@@ -1,0 +1,58 @@
+//! Criterion bench behind A-DATALOG: the generic Datalog engine on its
+//! own (transitive closure) and as the RDF saturation backend.
+
+use bench::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use datalog::engine::{fixpoint, Atom, Database, DlTerm, Program, Rule};
+use rdf_model::TermId;
+use std::hint::black_box;
+use workload::lubm::generate;
+
+fn closure_program() -> Program {
+    const EDGE: u32 = 0;
+    const PATH: u32 = 1;
+    Program::new(vec![
+        Rule {
+            head: Atom::new(PATH, [DlTerm::Var(0), DlTerm::Var(1)]),
+            body: vec![Atom::new(EDGE, [DlTerm::Var(0), DlTerm::Var(1)])],
+        },
+        Rule {
+            head: Atom::new(PATH, [DlTerm::Var(0), DlTerm::Var(2)]),
+            body: vec![
+                Atom::new(EDGE, [DlTerm::Var(0), DlTerm::Var(1)]),
+                Atom::new(PATH, [DlTerm::Var(1), DlTerm::Var(2)]),
+            ],
+        },
+    ])
+}
+
+fn bench_transitive_closure(c: &mut Criterion) {
+    let program = closure_program();
+    let mut group = c.benchmark_group("datalog/closure");
+    group.sample_size(20);
+    for n in [50usize, 200] {
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut db = Database::new();
+                for i in 0..n {
+                    db.insert(0, [TermId::from_index(i), TermId::from_index(i + 1)]);
+                }
+                black_box(fixpoint(&mut db, &program))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rdf_translation(c: &mut Criterion) {
+    let ds = generate(&Scale::Tiny.config());
+    let mut group = c.benchmark_group("datalog/rdf");
+    group.sample_size(10);
+    group.bench_function("saturate_via_datalog", |b| {
+        b.iter(|| black_box(datalog::saturate_via_datalog(&ds.graph, &ds.vocab)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_transitive_closure, bench_rdf_translation);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation bench for the storage substrate: dictionary encode/decode
+//! throughput and indexed-graph probe cost vs a full scan (DESIGN.md
+//! design decisions 1 and 2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rdf_model::{Dictionary, Graph, Pattern, Term, Triple};
+use std::hint::black_box;
+
+fn bench_dictionary(c: &mut Criterion) {
+    let iris: Vec<String> = (0..10_000).map(|i| format!("http://bench.example/entity/{i}")).collect();
+    let mut group = c.benchmark_group("dictionary");
+    group.bench_function("encode_10k_fresh", |b| {
+        b.iter(|| {
+            let mut d = Dictionary::with_capacity(iris.len());
+            for iri in &iris {
+                black_box(d.encode_iri(iri));
+            }
+        })
+    });
+    let mut d = Dictionary::new();
+    let ids: Vec<_> = iris.iter().map(|i| d.encode_iri(i)).collect();
+    group.bench_function("encode_10k_hit", |b| {
+        b.iter(|| {
+            for iri in &iris {
+                black_box(d.get_iri_id(iri));
+            }
+        })
+    });
+    group.bench_function("decode_10k", |b| {
+        b.iter(|| {
+            for &id in &ids {
+                black_box(d.decode(id));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut d = Dictionary::new();
+    let mut g = Graph::new();
+    let p = d.encode(&Term::iri("http://p"));
+    for i in 0..20_000 {
+        let s = d.encode_iri(&format!("http://s/{}", i % 2_000));
+        let o = d.encode_iri(&format!("http://o/{}", i % 500));
+        g.insert(Triple::new(s, p, o));
+    }
+    let probe_s = d.get_iri_id("http://s/42").unwrap();
+    let probe_o = d.get_iri_id("http://o/7").unwrap();
+
+    let mut group = c.benchmark_group("graph");
+    group.bench_function("probe_sp", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            g.for_each_match(&Pattern::new(Some(probe_s), Some(p), None), |_| n += 1);
+            black_box(n)
+        })
+    });
+    group.bench_function("probe_po", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            g.for_each_match(&Pattern::new(None, Some(p), Some(probe_o)), |_| n += 1);
+            black_box(n)
+        })
+    });
+    // The ablation baseline: what the same lookup costs without indexes.
+    group.bench_function("scan_filter_equivalent", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for t in g.iter() {
+                if t.s == probe_s && t.p == p {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dictionary, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench behind T-MAINT: saturation maintenance per update
+//! kind × algorithm. Each iteration deletes and re-inserts a sampled
+//! triple, so the maintained state is invariant across iterations.
+
+use bench::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdf_model::Triple;
+use rdfs::incremental::MaintenanceAlgorithm;
+use std::hint::black_box;
+use workload::lubm::generate;
+
+fn bench_maintenance(c: &mut Criterion) {
+    let ds = generate(&Scale::Tiny.config());
+    let instance: Triple = ds
+        .graph
+        .iter()
+        .find(|t| !ds.vocab.is_schema_property(t.p) && t.p != ds.vocab.rdf_type)
+        .expect("has instance triples");
+    let schema: Triple = ds
+        .graph
+        .iter()
+        .find(|t| ds.vocab.is_schema_property(t.p))
+        .expect("has schema triples");
+
+    let mut group = c.benchmark_group("maintenance");
+    group.sample_size(20);
+    for algo in MaintenanceAlgorithm::ALL {
+        let mut m = algo.build(ds.graph.clone(), ds.vocab);
+        group.bench_function(BenchmarkId::new("instance-roundtrip", algo.name()), |b| {
+            b.iter(|| {
+                black_box(m.delete(&instance));
+                black_box(m.insert(instance));
+            })
+        });
+        let mut m = algo.build(ds.graph.clone(), ds.vocab);
+        group.bench_function(BenchmarkId::new("schema-roundtrip", algo.name()), |b| {
+            b.iter(|| {
+                black_box(m.delete(&schema));
+                black_box(m.insert(schema));
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

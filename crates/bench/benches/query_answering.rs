@@ -1,0 +1,62 @@
+//! Criterion bench behind T-QA: evaluating each LUBM query on the
+//! saturated graph vs its reformulation on the base graph vs backward
+//! chaining — plus the planner ablation (greedy vs textual join order).
+
+use bench::{lubm_workload, saturated, Scale};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfs::Schema;
+use reformulation::reformulate;
+use sparql::plan::{plan_bgp, plan_textual};
+use sparql::{evaluate, evaluate_bgp_with_plan};
+use std::hint::black_box;
+use webreason_core::evaluate_backward;
+
+fn bench_strategies(c: &mut Criterion) {
+    let (ds, qs) = lubm_workload(Scale::Small);
+    let sat = saturated(&ds);
+    let schema = Schema::extract(&ds.graph, &ds.vocab);
+    let mut group = c.benchmark_group("query");
+    for (name, q) in &qs {
+        let r = reformulate(q, &schema, &ds.vocab).unwrap();
+        group.bench_function(BenchmarkId::new("saturated", name), |b| {
+            b.iter(|| black_box(evaluate(&sat, q)))
+        });
+        group.bench_function(BenchmarkId::new("reformulated", name), |b| {
+            b.iter(|| black_box(evaluate(&ds.graph, &r.query)))
+        });
+        group.bench_function(BenchmarkId::new("backward", name), |b| {
+            b.iter(|| black_box(evaluate_backward(&ds.graph, &schema, &ds.vocab, q)))
+        });
+    }
+    group.finish();
+}
+
+/// Ablation: greedy planner vs textual order on the join-heavy Q9.
+fn bench_planner_ablation(c: &mut Criterion) {
+    let (ds, qs) = lubm_workload(Scale::Small);
+    let sat = saturated(&ds);
+    let (_, q9) = qs.iter().find(|(n, _)| n == "Q9").expect("Q9 exists");
+    let bgp = &q9.bgps[0];
+    let n_vars = q9.var_names.len();
+    let mut group = c.benchmark_group("planner");
+    group.bench_function("greedy", |b| {
+        b.iter(|| {
+            let plan = plan_bgp(&sat, bgp);
+            let mut n = 0usize;
+            evaluate_bgp_with_plan(&sat, bgp, &plan, n_vars, |_| n += 1);
+            black_box(n)
+        })
+    });
+    group.bench_function("textual", |b| {
+        b.iter(|| {
+            let plan = plan_textual(bgp);
+            let mut n = 0usize;
+            evaluate_bgp_with_plan(&sat, bgp, &plan, n_vars, |_| n += 1);
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_planner_ablation);
+criterion_main!(benches);

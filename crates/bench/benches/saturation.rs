@@ -1,0 +1,47 @@
+//! Criterion bench behind T-SAT: graph saturation, specialised single-pass
+//! vs naive fix-point vs Datalog translation, across scales.
+
+use bench::Scale;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rdfs::{saturate, saturate_naive, saturate_parallel};
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+use workload::lubm::generate;
+
+fn bench_saturation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("saturation");
+    group.sample_size(10);
+    for scale in [Scale::Tiny, Scale::Small] {
+        let ds = generate(&scale.config());
+        let triples = ds.graph.len();
+        group.bench_with_input(
+            BenchmarkId::new("specialised", triples),
+            &ds,
+            |b, ds| b.iter(|| black_box(saturate(&ds.graph, &ds.vocab))),
+        );
+        group.bench_with_input(BenchmarkId::new("naive", triples), &ds, |b, ds| {
+            b.iter(|| black_box(saturate_naive(&ds.graph, &ds.vocab)))
+        });
+        group.bench_with_input(BenchmarkId::new("datalog", triples), &ds, |b, ds| {
+            b.iter(|| black_box(datalog::saturate_via_datalog(&ds.graph, &ds.vocab)))
+        });
+    }
+    group.finish();
+}
+
+/// A-PAR ablation: the derive-phase thread sweep.
+fn bench_parallel(c: &mut Criterion) {
+    let ds = generate(&Scale::Small.config());
+    let mut group = c.benchmark_group("saturation/parallel");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let t = NonZeroUsize::new(t).unwrap();
+            b.iter(|| black_box(saturate_parallel(&ds.graph, &ds.vocab, t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_saturation, bench_parallel);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! End-to-end Fig. 3 pipeline bench: how long the whole
+//! profile-then-compute-thresholds step takes (the cost of the advisor's
+//! quantitative analysis itself).
+
+use bench::{lubm_workload, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use webreason_core::cost::profile;
+use webreason_core::threshold::compute_thresholds;
+use webreason_core::MaintenanceAlgorithm;
+
+fn bench_threshold_pipeline(c: &mut Criterion) {
+    let (ds, qs) = lubm_workload(Scale::Tiny);
+    let mut group = c.benchmark_group("thresholds");
+    group.sample_size(10);
+    group.bench_function("profile+compute_tiny", |b| {
+        b.iter(|| {
+            let p = profile(&ds.graph, &ds.vocab, &qs, MaintenanceAlgorithm::Counting, 1);
+            black_box(compute_thresholds(&p))
+        })
+    });
+    let prof = profile(&ds.graph, &ds.vocab, &qs, MaintenanceAlgorithm::Counting, 2);
+    group.bench_function("compute_only", |b| {
+        b.iter(|| black_box(compute_thresholds(&prof)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_threshold_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! **Figure 3 reproduction** — "Saturation thresholds: quantifying the
+//! amortization of saturation".
+//!
+//! For each LUBM query Q1–Q10, measures the cost profile and prints the
+//! five thresholds (saturation, instance insertion/deletion, schema
+//! insertion/deletion) as a table and a log-scale ASCII bar chart — the
+//! same series the paper's Fig. 3 plots on a log axis — plus the headline
+//! observation: the spread in orders of magnitude.
+//!
+//! ```sh
+//! cargo run --release -p bench --bin fig3 [tiny|small|default|large] [recompute|dred|counting]
+//! ```
+
+use bench::{fmt_secs, log_bar, lubm_workload, render_table, write_json, Scale};
+use webreason_core::cost::profile;
+use webreason_core::threshold::{compute_thresholds, spread_orders_of_magnitude, Threshold};
+use webreason_core::MaintenanceAlgorithm;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = args
+        .first()
+        .map(|s| Scale::parse(s).unwrap_or_else(|| panic!("unknown scale {s:?}")))
+        .unwrap_or(Scale::Default);
+    let algo = match args.get(1).map(String::as_str) {
+        None | Some("counting") => MaintenanceAlgorithm::Counting,
+        Some("dred") => MaintenanceAlgorithm::DRed,
+        Some("recompute") => MaintenanceAlgorithm::Recompute,
+        Some(other) => panic!("unknown maintenance algorithm {other:?}"),
+    };
+
+    eprintln!("generating LUBM workload ({scale:?})…");
+    let (ds, qs) = lubm_workload(scale);
+    eprintln!("profiling {} triples × {} queries (algo: {})…", ds.graph.len(), qs.len(), algo.name());
+    let prof = profile(&ds.graph, &ds.vocab, &qs, algo, 5);
+
+    println!("== Figure 3: saturation thresholds ==");
+    println!(
+        "dataset: {} base / {} saturated triples; saturation {}; maintenance: {}",
+        prof.base_triples,
+        prof.saturated_triples,
+        fmt_secs(prof.saturation_time),
+        prof.maintenance_algorithm,
+    );
+    println!(
+        "maintenance per update: inst-ins {} | inst-del {} | schema-ins {} | schema-del {}\n",
+        fmt_secs(prof.maintenance.instance_insert),
+        fmt_secs(prof.maintenance.instance_delete),
+        fmt_secs(prof.maintenance.schema_insert),
+        fmt_secs(prof.maintenance.schema_delete),
+    );
+
+    let thresholds = compute_thresholds(&prof);
+    let fmt_t = |t: Threshold| t.to_string();
+    let rows: Vec<Vec<String>> = thresholds
+        .iter()
+        .map(|qt| {
+            vec![
+                qt.name.clone(),
+                fmt_t(qt.saturation),
+                fmt_t(qt.instance_insert),
+                fmt_t(qt.instance_delete),
+                fmt_t(qt.schema_insert),
+                fmt_t(qt.schema_delete),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["query", "saturation", "inst-insert", "inst-delete", "schema-insert", "schema-delete"],
+            &rows
+        )
+    );
+
+    println!("log-scale view (one bar per threshold, Fig. 3 legend order):");
+    for qt in &thresholds {
+        println!("{}", qt.name);
+        for (label, t) in qt.series() {
+            println!("  {:<20} {}", label, log_bar(t.runs(), 40));
+        }
+    }
+
+    let spread = spread_orders_of_magnitude(&thresholds);
+    println!("\nthreshold spread: {spread:.1} orders of magnitude across queries and update kinds");
+    println!("(the paper reports \"up to 7 orders of magnitude\" on its PostgreSQL-backed testbed)");
+
+    #[derive(serde::Serialize)]
+    struct Fig3Report<'a> {
+        scale: String,
+        profile: &'a webreason_core::cost::CostProfile,
+        thresholds: &'a [webreason_core::threshold::QueryThresholds],
+        spread_orders_of_magnitude: f64,
+    }
+    match write_json(
+        "fig3",
+        &Fig3Report { scale: format!("{scale:?}"), profile: &prof, thresholds: &thresholds, spread_orders_of_magnitude: spread },
+    ) {
+        Ok(path) => eprintln!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\ncould not write JSON report: {e}"),
+    }
+}

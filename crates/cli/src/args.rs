@@ -1,0 +1,307 @@
+//! Command-line argument parsing (hand-rolled; no dependency needed for
+//! five commands and six flags).
+
+use std::fmt;
+
+/// A reasoning strategy name accepted on the command line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// No reasoning (`q(G)`).
+    None,
+    /// Saturation with full recomputation on updates.
+    Saturation,
+    /// Saturation maintained by DRed.
+    DRed,
+    /// Saturation maintained by counting.
+    Counting,
+    /// RDFS-Plus (OWL inverse/symmetric/transitive).
+    Plus,
+    /// Query reformulation.
+    Reformulation,
+    /// Adaptive hybrid (learns per query).
+    Adaptive,
+    /// Backward chaining.
+    Backward,
+    /// Datalog translation.
+    Datalog,
+}
+
+impl Strategy {
+    fn parse(s: &str) -> Option<Strategy> {
+        Some(match s {
+            "none" => Strategy::None,
+            "saturation" | "recompute" => Strategy::Saturation,
+            "dred" => Strategy::DRed,
+            "counting" => Strategy::Counting,
+            "plus" | "rdfs-plus" => Strategy::Plus,
+            "reformulation" => Strategy::Reformulation,
+            "adaptive" => Strategy::Adaptive,
+            "backward" | "backward-chaining" => Strategy::Backward,
+            "datalog" => Strategy::Datalog,
+            _ => return None,
+        })
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `webreason query …`
+    Query {
+        /// Data files to load.
+        files: Vec<String>,
+        /// SPARQL text (already dereferenced if given as `@file`).
+        sparql: String,
+        /// Strategy to answer with.
+        strategy: Strategy,
+        /// Maximum solutions printed.
+        limit_display: usize,
+    },
+    /// `webreason saturate …`
+    Saturate {
+        /// Data files to load.
+        files: Vec<String>,
+        /// Worker threads (`None` = sequential).
+        parallel: Option<usize>,
+        /// `nt` or `ttl` output.
+        format: String,
+        /// Full-RDFS structural closure instead of the database fragment.
+        full: bool,
+    },
+    /// `webreason reformulate …`
+    Reformulate {
+        /// Data files to load (for the schema).
+        files: Vec<String>,
+        /// SPARQL text.
+        sparql: String,
+    },
+    /// `webreason explain …`
+    Explain {
+        /// Data files to load.
+        files: Vec<String>,
+        /// The triple, as three N-Triples terms.
+        triple: String,
+    },
+    /// `webreason stats …`
+    Stats {
+        /// Data files to load.
+        files: Vec<String>,
+    },
+    /// `webreason thresholds …` — the Fig. 3 analysis on user data.
+    Thresholds {
+        /// Data files to load.
+        files: Vec<String>,
+        /// Path to a query file: one query per line, optionally
+        /// `name<TAB>query` or `name|query`.
+        queries: String,
+    },
+    /// `webreason help`
+    Help,
+}
+
+/// A command-line or execution error, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Reads a `--sparql` value: literal text, or `@path` to read a file.
+fn sparql_value(raw: &str) -> Result<String, CliError> {
+    if let Some(path) = raw.strip_prefix('@') {
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read query file {path}: {e}")))
+    } else {
+        Ok(raw.to_owned())
+    }
+}
+
+/// Parses the command line (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let Some(command) = args.first() else {
+        return Err(err("missing command; try `webreason help`"));
+    };
+    if command == "help" || command == "--help" || command == "-h" {
+        return Ok(Command::Help);
+    }
+
+    // Split positionals (files) from --flag value pairs.
+    let mut files = Vec::new();
+    let mut flags: Vec<(String, String)> = Vec::new();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            let value = it
+                .next()
+                .ok_or_else(|| err(format!("flag --{name} needs a value")))?;
+            flags.push((name.to_owned(), value.clone()));
+        } else {
+            files.push(a.clone());
+        }
+    }
+    let flag = |name: &str| flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str());
+    let known_flags: &[&str] = &[
+        "sparql", "strategy", "triple", "parallel", "format", "limit-display", "queries",
+        "entailment",
+    ];
+    for (name, _) in &flags {
+        if !known_flags.contains(&name.as_str()) {
+            return Err(err(format!("unknown flag --{name}; try `webreason help`")));
+        }
+    }
+    if files.is_empty() {
+        return Err(err("no data files given"));
+    }
+
+    match command.as_str() {
+        "query" => {
+            let sparql = sparql_value(flag("sparql").ok_or_else(|| err("query needs --sparql"))?)?;
+            let strategy = match flag("strategy") {
+                None => Strategy::Counting,
+                Some(s) => {
+                    Strategy::parse(s).ok_or_else(|| err(format!("unknown strategy {s:?}")))?
+                }
+            };
+            let limit_display = match flag("limit-display") {
+                None => 20,
+                Some(v) => v.parse().map_err(|_| err("--limit-display needs a number"))?,
+            };
+            Ok(Command::Query { files, sparql, strategy, limit_display })
+        }
+        "saturate" => {
+            let parallel = match flag("parallel") {
+                None => None,
+                Some(v) => {
+                    Some(v.parse::<usize>().map_err(|_| err("--parallel needs a number"))?)
+                }
+            };
+            let format = flag("format").unwrap_or("nt").to_owned();
+            if format != "nt" && format != "ttl" {
+                return Err(err(format!("unknown format {format:?}; use nt or ttl")));
+            }
+            let full = match flag("entailment") {
+                None | Some("fragment") => false,
+                Some("full") => true,
+                Some(other) => {
+                    return Err(err(format!("unknown entailment {other:?}; use fragment or full")))
+                }
+            };
+            Ok(Command::Saturate { files, parallel, format, full })
+        }
+        "reformulate" => {
+            let sparql =
+                sparql_value(flag("sparql").ok_or_else(|| err("reformulate needs --sparql"))?)?;
+            Ok(Command::Reformulate { files, sparql })
+        }
+        "explain" => {
+            let triple = flag("triple")
+                .ok_or_else(|| err("explain needs --triple \"<s> <p> <o>\""))?
+                .to_owned();
+            Ok(Command::Explain { files, triple })
+        }
+        "stats" => Ok(Command::Stats { files }),
+        "thresholds" => {
+            let queries = flag("queries")
+                .ok_or_else(|| err("thresholds needs --queries <file>"))?
+                .to_owned();
+            Ok(Command::Thresholds { files, queries })
+        }
+        other => Err(err(format!("unknown command {other:?}; try `webreason help`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parses_query_command() {
+        let c = parse_args(&argv(
+            "query data.ttl more.nt --sparql SELECT --strategy reformulation --limit-display 5",
+        ))
+        .unwrap();
+        assert_eq!(
+            c,
+            Command::Query {
+                files: vec!["data.ttl".into(), "more.nt".into()],
+                sparql: "SELECT".into(),
+                strategy: Strategy::Reformulation,
+                limit_display: 5,
+            }
+        );
+    }
+
+    #[test]
+    fn defaults() {
+        let c = parse_args(&argv("query d.ttl --sparql Q")).unwrap();
+        match c {
+            Command::Query { strategy, limit_display, .. } => {
+                assert_eq!(strategy, Strategy::Counting);
+                assert_eq!(limit_display, 20);
+            }
+            other => panic!("{other:?}"),
+        }
+        let c = parse_args(&argv("saturate d.ttl")).unwrap();
+        assert_eq!(
+            c,
+            Command::Saturate {
+                files: vec!["d.ttl".into()],
+                parallel: None,
+                format: "nt".into(),
+                full: false,
+            }
+        );
+    }
+
+    #[test]
+    fn strategy_aliases() {
+        for (name, want) in [
+            ("none", Strategy::None),
+            ("dred", Strategy::DRed),
+            ("plus", Strategy::Plus),
+            ("backward-chaining", Strategy::Backward),
+            ("datalog", Strategy::Datalog),
+        ] {
+            let c = parse_args(&argv(&format!("query d --sparql Q --strategy {name}"))).unwrap();
+            assert!(matches!(c, Command::Query { strategy, .. } if strategy == want));
+        }
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse_args(&argv(h)).unwrap(), Command::Help);
+        }
+    }
+
+    #[test]
+    fn error_cases() {
+        for (line, needle) in [
+            ("", "missing command"),
+            ("frobnicate d.ttl", "unknown command"),
+            ("query --sparql Q", "no data files"),
+            ("query d.ttl", "needs --sparql"),
+            ("query d.ttl --sparql", "needs a value"),
+            ("query d.ttl --sparql Q --strategy warp", "unknown strategy"),
+            ("query d.ttl --sparql Q --bogus x", "unknown flag"),
+            ("saturate d.ttl --format xml", "unknown format"),
+            ("explain d.ttl", "needs --triple"),
+            ("query d.ttl --sparql @/nonexistent/query.rq", "cannot read"),
+        ] {
+            let e = parse_args(&argv(line)).unwrap_err();
+            assert!(e.0.contains(needle), "{line:?}: {e}");
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Command implementations. Each returns its stdout text so the tests can
+//! assert on output without spawning processes.
+
+use crate::args::{CliError, Command, Strategy};
+use rdf_model::{Dictionary, Graph, Term, Vocab};
+use rdfs::{saturate, saturate_parallel, Schema};
+use reformulation::reformulate;
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use webreason_core::{MaintenanceAlgorithm, ReasoningConfig, Store};
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))
+}
+
+/// Loads data files into a raw dictionary + graph.
+fn load_graph(files: &[String]) -> Result<(Dictionary, Vocab, Graph), CliError> {
+    let mut dict = Dictionary::new();
+    let vocab = Vocab::intern(&mut dict);
+    let mut g = Graph::new();
+    for path in files {
+        let text = read_file(path)?;
+        let result = if path.ends_with(".ttl") {
+            rdf_io::parse_turtle(&text, &mut dict, &mut g)
+        } else {
+            rdf_io::parse_ntriples(&text, &mut dict, &mut g)
+        };
+        result.map_err(|e| err(format!("{path}: {e}")))?;
+    }
+    Ok((dict, vocab, g))
+}
+
+fn store_config(strategy: Strategy) -> ReasoningConfig {
+    match strategy {
+        Strategy::None => ReasoningConfig::None,
+        Strategy::Saturation => ReasoningConfig::Saturation(MaintenanceAlgorithm::Recompute),
+        Strategy::DRed => ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed),
+        Strategy::Counting => ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting),
+        Strategy::Plus => ReasoningConfig::SaturationPlus,
+        Strategy::Reformulation => ReasoningConfig::Reformulation,
+        Strategy::Adaptive => ReasoningConfig::Adaptive,
+        Strategy::Backward => ReasoningConfig::BackwardChaining,
+        Strategy::Datalog => ReasoningConfig::Datalog,
+    }
+}
+
+fn load_store(files: &[String], strategy: Strategy) -> Result<Store, CliError> {
+    let (dict, vocab, g) = load_graph(files)?;
+    Ok(Store::from_parts(dict, vocab, g, store_config(strategy)))
+}
+
+/// Runs a parsed command, returning the text for stdout.
+pub fn run_command(command: &Command) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(crate::USAGE.to_owned()),
+        Command::Query { files, sparql, strategy, limit_display } => {
+            query(files, sparql, *strategy, *limit_display)
+        }
+        Command::Saturate { files, parallel, format, full } => {
+            saturate_cmd(files, *parallel, format, *full)
+        }
+        Command::Reformulate { files, sparql } => reformulate_cmd(files, sparql),
+        Command::Explain { files, triple } => explain_cmd(files, triple),
+        Command::Stats { files } => stats_cmd(files),
+        Command::Thresholds { files, queries } => thresholds_cmd(files, queries),
+    }
+}
+
+/// The Fig. 3 analysis on user data: measures the cost profile and prints
+/// the five amortisation thresholds per query.
+fn thresholds_cmd(files: &[String], queries_path: &str) -> Result<String, CliError> {
+    use webreason_core::cost::profile;
+    use webreason_core::threshold::{compute_thresholds, spread_orders_of_magnitude};
+
+    let (mut dict, vocab, g) = load_graph(files)?;
+    let text = read_file(queries_path)?;
+    let mut queries = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, sparql) = match line.split_once('\t').or_else(|| line.split_once('|')) {
+            Some((name, q)) => (name.trim().to_owned(), q.trim()),
+            None => (format!("Q{}", queries.len() + 1), line),
+        };
+        let mut q = sparql::parse_query(sparql, &mut dict)
+            .map_err(|e| err(format!("query {name}: {e}")))?;
+        q.distinct = true;
+        queries.push((name, q));
+    }
+    if queries.is_empty() {
+        return Err(err(format!("{queries_path} contains no queries")));
+    }
+    let prof = profile(&g, &vocab, &queries, MaintenanceAlgorithm::Counting, 3);
+    let thresholds = compute_thresholds(&prof);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "saturation: {} -> {} triples in {:.2} ms; maintenance (counting): \
+         inst-ins {:.1} µs, inst-del {:.1} µs, schema-ins {:.1} µs, schema-del {:.1} µs",
+        prof.base_triples,
+        prof.saturated_triples,
+        prof.saturation_time * 1e3,
+        prof.maintenance.instance_insert * 1e6,
+        prof.maintenance.instance_delete * 1e6,
+        prof.maintenance.schema_insert * 1e6,
+        prof.maintenance.schema_delete * 1e6,
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "query", "saturation", "inst-ins", "inst-del", "schema-ins", "schema-del"
+    );
+    for qt in &thresholds {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            qt.name,
+            qt.saturation.to_string(),
+            qt.instance_insert.to_string(),
+            qt.instance_delete.to_string(),
+            qt.schema_insert.to_string(),
+            qt.schema_delete.to_string(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "threshold spread: {:.1} orders of magnitude",
+        spread_orders_of_magnitude(&thresholds)
+    );
+    Ok(out)
+}
+
+fn query(
+    files: &[String],
+    sparql: &str,
+    strategy: Strategy,
+    limit_display: usize,
+) -> Result<String, CliError> {
+    let mut store = load_store(files, strategy)?;
+    let sols = store.answer_sparql(sparql).map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} solution(s) [strategy: {}, {} base triples]",
+        sols.len(),
+        store.config().name(),
+        store.base_graph().len()
+    );
+    let lines = sols.to_strings(store.dictionary());
+    for line in lines.iter().take(limit_display) {
+        let _ = writeln!(out, "  {line}");
+    }
+    if lines.len() > limit_display {
+        let _ = writeln!(out, "  … and {} more", lines.len() - limit_display);
+    }
+    Ok(out)
+}
+
+fn saturate_cmd(
+    files: &[String],
+    parallel: Option<usize>,
+    format: &str,
+    full: bool,
+) -> Result<String, CliError> {
+    let (dict, vocab, g) = load_graph(files)?;
+    let result = match (full, parallel) {
+        (true, _) => rdfs::saturate_full(&g, &vocab),
+        (false, Some(threads)) => {
+            let threads =
+                NonZeroUsize::new(threads).ok_or_else(|| err("--parallel must be at least 1"))?;
+            saturate_parallel(&g, &vocab, threads)
+        }
+        (false, None) => saturate(&g, &vocab),
+    };
+    let mut out = String::new();
+    if format == "ttl" {
+        out.push_str(&rdf_io::write_turtle(&result.graph, &dict, &rdf_io::PrefixMap::common()));
+    } else {
+        out.push_str(&rdf_io::write_ntriples_sorted(&result.graph, &dict));
+    }
+    let _ = writeln!(
+        out,
+        "# {} base + {} inferred = {} triples",
+        result.stats.input_triples, result.stats.inferred, result.stats.output_triples
+    );
+    Ok(out)
+}
+
+fn reformulate_cmd(files: &[String], sparql: &str) -> Result<String, CliError> {
+    let (mut dict, vocab, g) = load_graph(files)?;
+    let q = sparql::parse_query(sparql, &mut dict).map_err(|e| err(e.to_string()))?;
+    let schema = Schema::extract(&g, &vocab);
+    let r = reformulate(&q, &schema, &vocab).map_err(|e| err(e.to_string()))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "q_ref: {} union branch(es), {} atoms total, {} rewrite step(s)",
+        r.branches,
+        r.query.pattern_count(),
+        r.rewrite_steps
+    );
+    let _ = writeln!(out, "{}", r.query.to_sparql(&dict));
+    Ok(out)
+}
+
+fn explain_cmd(files: &[String], triple: &str) -> Result<String, CliError> {
+    let store = load_store(files, Strategy::Counting)?;
+    // Parse the triple via the N-Triples reader into a scratch space.
+    let mut scratch_dict = Dictionary::new();
+    let mut scratch = Graph::new();
+    rdf_io::parse_ntriples(&format!("{triple} .\n"), &mut scratch_dict, &mut scratch)
+        .map_err(|e| err(format!("--triple must be three N-Triples terms: {e}")))?;
+    let t = scratch.iter().next().ok_or_else(|| err("--triple parsed to nothing"))?;
+    let decode = |id| -> Term { scratch_dict.decode(id).expect("just parsed").clone() };
+    let (s, p, o) = (decode(t.s), decode(t.p), decode(t.o));
+    match store.explain_terms(&s, &p, &o) {
+        Some(explanation) => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "entailed ({} rule application(s), {} supporting assertion(s)):",
+                explanation.depth(),
+                explanation.support().len()
+            );
+            out.push_str(&explanation.render(store.dictionary()));
+            Ok(out)
+        }
+        None => Ok("not entailed: the triple is not in G∞\n".to_owned()),
+    }
+}
+
+fn stats_cmd(files: &[String]) -> Result<String, CliError> {
+    let (dict, vocab, g) = load_graph(files)?;
+    let schema = Schema::extract(&g, &vocab);
+    let sat = saturate(&g, &vocab);
+    let mut out = String::new();
+    let _ = writeln!(out, "triples:            {}", g.len());
+    let _ = writeln!(out, "dictionary terms:   {}", dict.len());
+    let _ = writeln!(out, "distinct subjects:  {}", g.subjects().count());
+    let _ = writeln!(out, "distinct properties:{}", g.property_count());
+    let _ = writeln!(out, "distinct objects:   {}", g.objects_iter().count());
+    let _ = writeln!(out, "schema constraints: {} asserted, {} closed", schema.direct_len(), schema.closed_len());
+    let _ = writeln!(out, "classes:            {}", schema.classes().len());
+    let _ = writeln!(out, "schema properties:  {}", schema.properties().len());
+    let _ = writeln!(
+        out,
+        "saturation:         {} triples ({:+} inferred, ×{:.2})",
+        sat.stats.output_triples,
+        sat.stats.inferred,
+        sat.stats.output_triples as f64 / g.len().max(1) as f64
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_args;
+
+    /// Writes fixture files into a temp dir and returns their paths.
+    struct Fixture {
+        dir: std::path::PathBuf,
+        files: Vec<String>,
+    }
+
+    impl Fixture {
+        fn new(name: &str, contents: &[(&str, &str)]) -> Self {
+            let dir = std::env::temp_dir().join(format!("webreason-cli-test-{name}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let files = contents
+                .iter()
+                .map(|(file, text)| {
+                    let path = dir.join(file);
+                    std::fs::write(&path, text).unwrap();
+                    path.to_string_lossy().into_owned()
+                })
+                .collect();
+            Fixture { dir, files }
+        }
+    }
+
+    impl Drop for Fixture {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.dir);
+        }
+    }
+
+    const ZOO_TTL: &str = "\
+@prefix ex: <http://ex/> .\n\
+@prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+ex:Cat rdfs:subClassOf ex:Mammal .\n\
+ex:Tom a ex:Cat .\n";
+
+    /// Builds argv from a whitespace-split line; '_' inside a token stands
+    /// for a space (so a SPARQL query can be one token).
+    fn run_line(line: &str, files: &[String]) -> Result<String, CliError> {
+        let mut argv: Vec<String> = Vec::new();
+        let mut parts = line.split_whitespace().map(|t| t.replace('_', " "));
+        argv.push(parts.next().unwrap());
+        argv.extend(files.iter().cloned());
+        argv.extend(parts);
+        run_command(&parse_args(&argv)?)
+    }
+
+    #[test]
+    fn query_across_strategies() {
+        let fx = Fixture::new("query", &[("zoo.ttl", ZOO_TTL)]);
+        for strategy in ["counting", "reformulation", "backward", "datalog", "plus"] {
+            let out = run_line(
+                &format!("query --sparql SELECT_?x_WHERE{{?x_a_<http://ex/Mammal>}} --strategy {strategy}"),
+                &fx.files,
+            )
+            .unwrap();
+            assert!(out.starts_with("1 solution(s)"), "{strategy}: {out}");
+            assert!(out.contains("<http://ex/Tom>"), "{strategy}");
+        }
+        let out = run_line(
+            "query --sparql SELECT_?x_WHERE{?x_a_<http://ex/Mammal>} --strategy none",
+            &fx.files,
+        )
+        .unwrap();
+        assert!(out.starts_with("0 solution(s)"));
+    }
+
+    #[test]
+    fn query_display_limit() {
+        let data: String = (0..30)
+            .map(|i| format!("<http://ex/s{i}> <http://ex/p> <http://ex/o> .\n"))
+            .collect();
+        let fx = Fixture::new("limit", &[("data.nt", &data)]);
+        let out = run_line(
+            "query --sparql SELECT_?x_WHERE{?x_<http://ex/p>_?y} --limit-display 3",
+            &fx.files,
+        )
+        .unwrap();
+        assert!(out.contains("30 solution(s)"));
+        assert!(out.contains("… and 27 more"), "{out}");
+    }
+
+    #[test]
+    fn saturate_formats() {
+        let fx = Fixture::new("saturate", &[("zoo.ttl", ZOO_TTL)]);
+        let nt = run_line("saturate", &fx.files).unwrap();
+        assert!(nt.contains("<http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Mammal> ."));
+        assert!(nt.contains("# 2 base + 1 inferred = 3 triples"));
+        let ttl = run_line("saturate --format ttl --parallel 2", &fx.files).unwrap();
+        assert!(ttl.contains("@prefix"), "{ttl}");
+        assert!(ttl.contains("rdfs:subClassOf"), "{ttl}");
+    }
+
+    #[test]
+    fn saturate_full_entailment() {
+        let fx = Fixture::new("saturate-full", &[("zoo.ttl", ZOO_TTL)]);
+        let fragment = run_line("saturate", &fx.files).unwrap();
+        let full = run_line("saturate --entailment full", &fx.files).unwrap();
+        assert!(full.lines().count() > fragment.lines().count(), "full closure is larger");
+        assert!(full.contains("rdf-syntax-ns#Property>"), "{full}");
+        assert!(run_line("saturate --entailment bogus", &fx.files).is_err());
+    }
+
+    #[test]
+    fn reformulate_prints_union() {
+        let fx = Fixture::new("reformulate", &[("zoo.ttl", ZOO_TTL)]);
+        let out = run_line(
+            "reformulate --sparql SELECT_?x_WHERE{?x_a_<http://ex/Mammal>}",
+            &fx.files,
+        )
+        .unwrap();
+        assert!(out.contains("2 union branch(es)"), "{out}");
+        assert!(out.contains("UNION"), "{out}");
+    }
+
+    #[test]
+    fn explain_entailed_and_not() {
+        let fx = Fixture::new("explain", &[("zoo.ttl", ZOO_TTL)]);
+        let argv: Vec<String> = vec![
+            "explain".into(),
+            fx.files[0].clone(),
+            "--triple".into(),
+            "<http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Mammal>".into(),
+        ];
+        let out = run_command(&parse_args(&argv).unwrap()).unwrap();
+        assert!(out.contains("entailed (1 rule application(s)"), "{out}");
+        assert!(out.contains("[rdfs9]"));
+        assert!(out.contains("[asserted]"));
+
+        let argv: Vec<String> = vec![
+            "explain".into(),
+            fx.files[0].clone(),
+            "--triple".into(),
+            "<http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Rocket>".into(),
+        ];
+        let out = run_command(&parse_args(&argv).unwrap()).unwrap();
+        assert!(out.contains("not entailed"));
+    }
+
+    #[test]
+    fn stats_summary() {
+        let fx = Fixture::new("stats", &[("zoo.ttl", ZOO_TTL)]);
+        let out = run_line("stats", &fx.files).unwrap();
+        assert!(out.contains("triples:            2"), "{out}");
+        assert!(out.contains("schema constraints: 1 asserted"), "{out}");
+        assert!(out.contains("+1 inferred"), "{out}");
+    }
+
+    #[test]
+    fn thresholds_on_user_data() {
+        let queries = "\
+# comment lines are skipped
+mammals|PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }
+PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Cat }
+";
+        let fx = Fixture::new("thresholds", &[("zoo.ttl", ZOO_TTL), ("queries.txt", queries)]);
+        let argv: Vec<String> = vec![
+            "thresholds".into(),
+            fx.files[0].clone(),
+            "--queries".into(),
+            fx.files[1].clone(),
+        ];
+        let out = run_command(&parse_args(&argv).unwrap()).unwrap();
+        assert!(out.contains("mammals"), "{out}");
+        assert!(out.contains("Q2"), "unnamed query gets a number: {out}");
+        assert!(out.contains("threshold spread:"), "{out}");
+        assert!(out.contains("saturation: 2 -> 3 triples"), "{out}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let e = run_line("stats", &["/nonexistent/data.ttl".into()]).unwrap_err();
+        assert!(e.0.contains("cannot read"), "{e}");
+    }
+
+    #[test]
+    fn multiple_files_combine() {
+        let fx = Fixture::new(
+            "multi",
+            &[
+                ("schema.ttl", "@prefix ex: <http://ex/> . @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\nex:Cat rdfs:subClassOf ex:Mammal .\n"),
+                ("data.nt", "<http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Cat> .\n"),
+            ],
+        );
+        let out = run_line(
+            "query --sparql SELECT_?x_WHERE{?x_a_<http://ex/Mammal>}",
+            &fx.files,
+        )
+        .unwrap();
+        assert!(out.starts_with("1 solution(s)"), "{out}");
+    }
+}

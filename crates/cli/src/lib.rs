@@ -1,0 +1,65 @@
+//! # webreason-cli — the `webreason` command-line tool
+//!
+//! A practitioner-facing front end over the store ("its target audience
+//! comprises students, researchers and practitioners with an interest in
+//! Web data management", §I):
+//!
+//! ```text
+//! webreason query <data.ttl>…   --sparql <text|@file> [--strategy S] [--limit-display N]
+//! webreason saturate <data.ttl>… [--parallel N] [--format nt|ttl]
+//! webreason reformulate <data.ttl>… --sparql <text|@file>
+//! webreason explain <data.ttl>… --triple "<s> <p> <o>"
+//! webreason stats <data.ttl>…
+//! ```
+//!
+//! Data files are Turtle (`.ttl`) or N-Triples (anything else). The
+//! library half exposes each command as a function returning its output
+//! as a string, so the test suite drives them without spawning processes;
+//! `src/main.rs` is a thin shell around [`run`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{parse_args, Command, CliError, Strategy};
+pub use commands::run_command;
+
+/// Parses `args` (without the program name) and runs the command,
+/// returning the text to print on stdout.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let command = parse_args(args)?;
+    run_command(&command)
+}
+
+/// The usage text.
+pub const USAGE: &str = "\
+webreason — RDF storage and reasoning (saturation / reformulation / backward chaining)
+
+USAGE:
+    webreason <COMMAND> <data-file>... [OPTIONS]
+
+COMMANDS:
+    query        answer a SPARQL BGP query over the data
+    saturate     print the saturated graph G∞
+    reformulate  print the reformulated query q_ref and its statistics
+    explain      show why a triple is entailed
+    stats        summarise the dataset (triples, schema, classes, properties)
+    thresholds   the paper's Fig. 3 analysis: per-query amortisation thresholds
+    help         show this message
+
+OPTIONS:
+    --sparql <text|@file>    the query (query/reformulate); '@f' reads file f
+    --strategy <name>        none | saturation | dred | counting | plus |
+                             reformulation | adaptive | backward | datalog
+                             [default: counting]
+    --triple \"<s> <p> <o>\"   the triple to explain (N-Triples terms)
+    --parallel <N>           saturate with N worker threads
+    --format <nt|ttl>        saturate output format            [default: nt]
+    --limit-display <N>      print at most N solutions         [default: 20]
+    --queries <file>         thresholds: one query per line (`name|query`)
+    --entailment <f>         saturate: fragment (default) or full RDFS closure
+
+Data files ending in .ttl parse as Turtle; anything else as N-Triples.
+";

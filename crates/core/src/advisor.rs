@@ -1,0 +1,283 @@
+//! The strategy advisor — the paper's third open issue (§II-D):
+//! "automatizing to the extent possible the choice between these two
+//! techniques, based on a quantitative evaluation of the application
+//! setting."
+//!
+//! Given a measured [`CostProfile`] and a description of the application's
+//! workload (how many query executions happen per update, and what kinds
+//! of updates occur), [`advise`] compares the steady-state cost per
+//! *epoch* — one update followed by `queries_per_update` query runs —
+//! under each technique and recommends the cheaper one, per query and
+//! overall.
+
+use crate::cost::CostProfile;
+use crate::threshold::Threshold;
+use serde::Serialize;
+
+/// Relative frequency of each update kind; need not be normalised.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct UpdateMix {
+    /// Instance insertions.
+    pub instance_insert: f64,
+    /// Instance deletions.
+    pub instance_delete: f64,
+    /// Schema insertions.
+    pub schema_insert: f64,
+    /// Schema deletions.
+    pub schema_delete: f64,
+}
+
+impl UpdateMix {
+    /// The common Semantic Web case: mostly instance insertions.
+    pub fn append_mostly() -> Self {
+        UpdateMix { instance_insert: 0.9, instance_delete: 0.1, schema_insert: 0.0, schema_delete: 0.0 }
+    }
+
+    /// Integration scenario: independently-authored schemas churn too
+    /// ("typical Semantic Web scenarios involve integrating data from
+    /// several RDF repositories … authored independently", §I).
+    pub fn schema_churn() -> Self {
+        UpdateMix { instance_insert: 0.4, instance_delete: 0.2, schema_insert: 0.2, schema_delete: 0.2 }
+    }
+
+    fn total(&self) -> f64 {
+        self.instance_insert + self.instance_delete + self.schema_insert + self.schema_delete
+    }
+}
+
+/// A workload description: the quantitative "application setting".
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WorkloadMix {
+    /// Average query executions between two consecutive updates. `0` means
+    /// update-only; `f64::INFINITY` means read-only.
+    pub queries_per_update: f64,
+    /// What the updates look like.
+    pub updates: UpdateMix,
+}
+
+/// Which technique to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Recommendation {
+    /// Materialise and maintain `G∞`.
+    Saturation,
+    /// Reformulate at query time.
+    Reformulation,
+}
+
+/// Advice for one query.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryAdvice {
+    /// Query name.
+    pub name: String,
+    /// Cost per epoch under saturation (maintenance + evaluations), seconds.
+    pub saturation_epoch_cost: f64,
+    /// Cost per epoch under reformulation, seconds.
+    pub reformulation_epoch_cost: f64,
+    /// The cheaper technique for this query alone.
+    pub recommendation: Recommendation,
+    /// The update threshold restated: epochs-per-amortisation under the
+    /// mixed update cost.
+    pub mixed_update_threshold: Threshold,
+}
+
+/// Overall advice.
+#[derive(Debug, Clone, Serialize)]
+pub struct Advice {
+    /// Workload-weighted cost per epoch under saturation.
+    pub saturation_epoch_cost: f64,
+    /// Workload-weighted cost per epoch under reformulation.
+    pub reformulation_epoch_cost: f64,
+    /// The overall recommendation.
+    pub recommendation: Recommendation,
+    /// Per-query breakdown.
+    pub per_query: Vec<QueryAdvice>,
+}
+
+/// Average maintenance cost per update under the mix.
+fn mixed_update_cost(profile: &CostProfile, mix: &UpdateMix) -> f64 {
+    let total = mix.total();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    (profile.maintenance.instance_insert * mix.instance_insert
+        + profile.maintenance.instance_delete * mix.instance_delete
+        + profile.maintenance.schema_insert * mix.schema_insert
+        + profile.maintenance.schema_delete * mix.schema_delete)
+        / total
+}
+
+/// Compares the two techniques under `workload` and recommends the cheaper.
+pub fn advise(profile: &CostProfile, workload: &WorkloadMix) -> Advice {
+    let update_cost = mixed_update_cost(profile, &workload.updates);
+    let k = workload.queries_per_update.max(0.0);
+
+    let mut per_query = Vec::with_capacity(profile.queries.len());
+    let (mut sat_total, mut ref_total) = (0.0, 0.0);
+    for q in &profile.queries {
+        let eval_ref = q.eval_reformulated + q.reformulation_time;
+        let (sat_cost, ref_cost) = if k.is_infinite() {
+            // Read-only: compare pure evaluation rates.
+            (q.eval_saturated, eval_ref)
+        } else {
+            (update_cost + k * q.eval_saturated, k * eval_ref)
+        };
+        sat_total += sat_cost;
+        ref_total += ref_cost;
+        per_query.push(QueryAdvice {
+            name: q.name.clone(),
+            saturation_epoch_cost: sat_cost,
+            reformulation_epoch_cost: ref_cost,
+            recommendation: if sat_cost <= ref_cost {
+                Recommendation::Saturation
+            } else {
+                Recommendation::Reformulation
+            },
+            mixed_update_threshold: Threshold::compute(update_cost, q.eval_saturated, eval_ref),
+        });
+    }
+    let n = profile.queries.len().max(1) as f64;
+    let (saturation_epoch_cost, reformulation_epoch_cost) = (sat_total / n, ref_total / n);
+    Advice {
+        saturation_epoch_cost,
+        reformulation_epoch_cost,
+        recommendation: if saturation_epoch_cost <= reformulation_epoch_cost {
+            Recommendation::Saturation
+        } else {
+            Recommendation::Reformulation
+        },
+        per_query,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{MaintenanceCosts, QueryCosts};
+
+    fn profile_with(maint: MaintenanceCosts, eval_sat: f64, eval_ref: f64) -> CostProfile {
+        CostProfile {
+            base_triples: 100,
+            saturated_triples: 150,
+            saturation_time: 1.0,
+            maintenance_algorithm: "counting".into(),
+            maintenance: maint,
+            queries: vec![QueryCosts {
+                name: "Q".into(),
+                eval_saturated: eval_sat,
+                reformulation_time: 0.0,
+                eval_reformulated: eval_ref,
+                branches: 3,
+                answers: 5,
+            }],
+        }
+    }
+
+    const CHEAP_MAINT: MaintenanceCosts = MaintenanceCosts {
+        instance_insert: 0.0001,
+        instance_delete: 0.0001,
+        schema_insert: 0.001,
+        schema_delete: 0.001,
+    };
+    const COSTLY_MAINT: MaintenanceCosts = MaintenanceCosts {
+        instance_insert: 0.5,
+        instance_delete: 0.5,
+        schema_insert: 2.0,
+        schema_delete: 2.0,
+    };
+
+    #[test]
+    fn read_heavy_workload_prefers_saturation() {
+        // "If the RDF graph never changes, RDF saturation is clearly
+        // preferable" (§II-B).
+        let p = profile_with(COSTLY_MAINT, 0.001, 0.010);
+        let advice = advise(
+            &p,
+            &WorkloadMix { queries_per_update: f64::INFINITY, updates: UpdateMix::append_mostly() },
+        );
+        assert_eq!(advice.recommendation, Recommendation::Saturation);
+    }
+
+    #[test]
+    fn update_heavy_workload_prefers_reformulation() {
+        // "on a frequently changing graph, saturation maintenance costs may
+        // be prohibitive, and thus reformulation is the only choice".
+        let p = profile_with(COSTLY_MAINT, 0.001, 0.010);
+        let advice = advise(
+            &p,
+            &WorkloadMix { queries_per_update: 1.0, updates: UpdateMix::schema_churn() },
+        );
+        assert_eq!(advice.recommendation, Recommendation::Reformulation);
+    }
+
+    #[test]
+    fn crossover_moves_with_query_rate() {
+        // maintenance 0.5s/update (instance), gain 9ms/query → crossover
+        // near 0.5 / 0.009 ≈ 56 queries per update.
+        let p = profile_with(
+            MaintenanceCosts {
+                instance_insert: 0.5,
+                instance_delete: 0.5,
+                schema_insert: 0.5,
+                schema_delete: 0.5,
+            },
+            0.001,
+            0.010,
+        );
+        let mix = UpdateMix::append_mostly();
+        let low = advise(&p, &WorkloadMix { queries_per_update: 10.0, updates: mix });
+        assert_eq!(low.recommendation, Recommendation::Reformulation);
+        let high = advise(&p, &WorkloadMix { queries_per_update: 100.0, updates: mix });
+        assert_eq!(high.recommendation, Recommendation::Saturation);
+        // the per-query threshold pins the crossover
+        let t = high.per_query[0].mixed_update_threshold.runs().unwrap();
+        assert!((50..=60).contains(&t), "got {t}");
+    }
+
+    #[test]
+    fn reformulation_faster_eval_never_amortises() {
+        let p = profile_with(CHEAP_MAINT, 0.010, 0.005);
+        let advice =
+            advise(&p, &WorkloadMix { queries_per_update: 1e9, updates: UpdateMix::append_mostly() });
+        assert_eq!(advice.recommendation, Recommendation::Reformulation);
+        assert_eq!(advice.per_query[0].mixed_update_threshold, Threshold::Never);
+    }
+
+    #[test]
+    fn update_mix_weighting_matters() {
+        // Schema updates cost 2s, instance updates 1ms: the recommendation
+        // flips with the mix at a fixed query rate.
+        let p = profile_with(
+            MaintenanceCosts {
+                instance_insert: 0.001,
+                instance_delete: 0.001,
+                schema_insert: 2.0,
+                schema_delete: 2.0,
+            },
+            0.001,
+            0.002,
+        );
+        let k = 30.0;
+        let append = advise(&p, &WorkloadMix { queries_per_update: k, updates: UpdateMix::append_mostly() });
+        assert_eq!(append.recommendation, Recommendation::Saturation);
+        let churn = advise(&p, &WorkloadMix { queries_per_update: k, updates: UpdateMix::schema_churn() });
+        assert_eq!(churn.recommendation, Recommendation::Reformulation);
+    }
+
+    #[test]
+    fn zero_update_mix_is_pure_query_cost() {
+        let p = profile_with(
+            MaintenanceCosts { instance_insert: 0.0, instance_delete: 0.0, schema_insert: 0.0, schema_delete: 0.0 },
+            0.002,
+            0.001,
+        );
+        let advice = advise(
+            &p,
+            &WorkloadMix {
+                queries_per_update: 5.0,
+                updates: UpdateMix { instance_insert: 0.0, instance_delete: 0.0, schema_insert: 0.0, schema_delete: 0.0 },
+            },
+        );
+        assert_eq!(advice.recommendation, Recommendation::Reformulation);
+        assert!((advice.reformulation_epoch_cost - 0.005).abs() < 1e-9);
+    }
+}

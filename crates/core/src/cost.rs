@@ -1,0 +1,242 @@
+//! Measured cost profiles: the raw numbers behind Fig. 3.
+//!
+//! [`profile`] measures, on a concrete dataset and query set:
+//!
+//! * the one-time cost of saturating the graph;
+//! * the cost of maintaining the saturation after each update kind
+//!   (instance/schema × insert/delete), for a chosen maintenance
+//!   algorithm — measured by deleting and re-inserting sampled triples,
+//!   which leaves the store unchanged;
+//! * per query: evaluating `q(G∞)`, producing `q_ref`, and evaluating
+//!   `q_ref(G)`.
+//!
+//! All durations are seconds (`f64`) so the threshold arithmetic of
+//! [`crate::threshold`] and the advisor stay plain math, and the profile
+//! serialises directly into the bench harness's JSON reports.
+
+use rdf_model::{Graph, Triple, Vocab};
+use rdfs::incremental::MaintenanceAlgorithm;
+use rdfs::{saturate, Schema};
+use reformulation::reformulate;
+use serde::Serialize;
+use sparql::{evaluate, Query};
+use std::time::Instant;
+
+/// Measured costs for one query.
+#[derive(Debug, Clone, Serialize)]
+pub struct QueryCosts {
+    /// Query name (e.g. `"Q4"`).
+    pub name: String,
+    /// Seconds to evaluate `q(G∞)`.
+    pub eval_saturated: f64,
+    /// Seconds to produce `q_ref` from `q`.
+    pub reformulation_time: f64,
+    /// Seconds to evaluate `q_ref(G)`.
+    pub eval_reformulated: f64,
+    /// Union branches in `q_ref`.
+    pub branches: usize,
+    /// Answer count (identical under both techniques; checked).
+    pub answers: usize,
+}
+
+/// Average maintenance cost (seconds) per update kind.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct MaintenanceCosts {
+    /// Instance triple insertion.
+    pub instance_insert: f64,
+    /// Instance triple deletion.
+    pub instance_delete: f64,
+    /// Schema triple insertion.
+    pub schema_insert: f64,
+    /// Schema triple deletion.
+    pub schema_delete: f64,
+}
+
+/// A full cost profile of a dataset × query set × maintenance algorithm.
+#[derive(Debug, Clone, Serialize)]
+pub struct CostProfile {
+    /// Explicit triples in `G`.
+    pub base_triples: usize,
+    /// Triples in `G∞`.
+    pub saturated_triples: usize,
+    /// Seconds to saturate from scratch.
+    pub saturation_time: f64,
+    /// Maintenance algorithm measured.
+    pub maintenance_algorithm: String,
+    /// Average maintenance costs per update kind.
+    pub maintenance: MaintenanceCosts,
+    /// Per-query costs.
+    pub queries: Vec<QueryCosts>,
+}
+
+fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_secs_f64())
+}
+
+/// Measures a cost profile. `samples` controls both how many triples are
+/// sampled per update kind and how many timing repetitions each query
+/// gets (the minimum is reported, Criterion-style, to suppress noise).
+pub fn profile(
+    graph: &Graph,
+    vocab: &Vocab,
+    queries: &[(String, Query)],
+    algo: MaintenanceAlgorithm,
+    samples: usize,
+) -> CostProfile {
+    let samples = samples.max(1);
+    let (sat, saturation_time) = time(|| saturate(graph, vocab));
+
+    // --- maintenance -----------------------------------------------------
+    let mut maintainer = algo.build(graph.clone(), *vocab);
+    let mut instance_samples: Vec<Triple> = Vec::new();
+    let mut schema_samples: Vec<Triple> = Vec::new();
+    for t in graph.iter() {
+        if vocab.is_schema_property(t.p) {
+            if schema_samples.len() < samples {
+                schema_samples.push(t);
+            }
+        } else if instance_samples.len() < samples {
+            instance_samples.push(t);
+        }
+        if instance_samples.len() >= samples && schema_samples.len() >= samples {
+            break;
+        }
+    }
+    let mut measure = |ts: &[Triple]| -> (f64, f64) {
+        // (avg delete, avg insert); net zero change to the maintainer.
+        if ts.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut del = 0.0;
+        let mut ins = 0.0;
+        for t in ts {
+            let (_, d) = time(|| maintainer.delete(t));
+            let (_, i) = time(|| maintainer.insert(*t));
+            del += d;
+            ins += i;
+        }
+        (del / ts.len() as f64, ins / ts.len() as f64)
+    };
+    let (instance_delete, instance_insert) = measure(&instance_samples);
+    let (schema_delete, schema_insert) = measure(&schema_samples);
+    let maintenance =
+        MaintenanceCosts { instance_insert, instance_delete, schema_insert, schema_delete };
+
+    // --- queries -----------------------------------------------------------
+    let schema = Schema::extract(graph, vocab);
+    let mut query_costs = Vec::with_capacity(queries.len());
+    for (name, q) in queries {
+        let mut q = q.clone();
+        q.distinct = true; // answer-set semantics on both sides
+
+        let (reform, reformulation_time) = time(|| reformulate(&q, &schema, vocab));
+        let reform = reform.unwrap_or_else(|e| {
+            panic!("profiled query {name} must be in the reformulation dialect: {e}")
+        });
+
+        let mut eval_saturated = f64::INFINITY;
+        let mut eval_reformulated = f64::INFINITY;
+        let mut answers = 0;
+        for _ in 0..samples {
+            let (sols, secs) = time(|| evaluate(&sat.graph, &q));
+            eval_saturated = eval_saturated.min(secs);
+            answers = sols.len();
+            let (ref_sols, secs) = time(|| evaluate(graph, &reform.query));
+            eval_reformulated = eval_reformulated.min(secs);
+            debug_assert_eq!(
+                sols.as_set(),
+                ref_sols.as_set(),
+                "strategies disagree on {name}"
+            );
+        }
+        query_costs.push(QueryCosts {
+            name: name.clone(),
+            eval_saturated,
+            reformulation_time,
+            eval_reformulated,
+            branches: reform.branches,
+            answers,
+        });
+    }
+
+    CostProfile {
+        base_triples: graph.len(),
+        saturated_triples: sat.graph.len(),
+        saturation_time,
+        maintenance_algorithm: algo.name().to_owned(),
+        maintenance,
+        queries: query_costs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::lubm::{generate, queries, LubmConfig};
+
+    #[test]
+    fn profile_on_tiny_lubm_is_coherent() {
+        let mut ds = generate(&LubmConfig::tiny());
+        let named = queries(&mut ds);
+        let qs: Vec<(String, Query)> =
+            named.iter().map(|nq| (nq.name.to_owned(), nq.query.clone())).collect();
+        let p = profile(&ds.graph, &ds.vocab, &qs, MaintenanceAlgorithm::Counting, 2);
+
+        assert_eq!(p.queries.len(), 10);
+        assert!(p.saturated_triples > p.base_triples);
+        assert!(p.saturation_time > 0.0);
+        assert_eq!(p.maintenance_algorithm, "counting");
+        assert!(p.maintenance.instance_insert >= 0.0);
+        for qc in &p.queries {
+            assert!(qc.branches >= 1, "{}", qc.name);
+            assert!(qc.eval_saturated > 0.0);
+            assert!(qc.eval_reformulated > 0.0);
+            assert!(qc.answers > 0, "{} has answers on LUBM", qc.name);
+        }
+        // Q1 needs no reasoning: exactly one branch.
+        assert_eq!(p.queries[0].branches, 1);
+        // Q2 (all persons) has a large reformulation.
+        assert!(p.queries[1].branches > 5, "got {}", p.queries[1].branches);
+        // profile serialises (bench harness contract)
+        let json = serde_json::to_string(&p).unwrap();
+        assert!(json.contains("\"saturation_time\""));
+    }
+
+    #[test]
+    fn profiling_leaves_the_dataset_unchanged() {
+        // The delete/re-insert sampling must be net zero.
+        let mut ds = generate(&LubmConfig::tiny());
+        let before = ds.graph.clone();
+        let named = queries(&mut ds);
+        let qs: Vec<(String, Query)> =
+            named.iter().take(2).map(|nq| (nq.name.to_owned(), nq.query.clone())).collect();
+        for algo in rdfs::incremental::MaintenanceAlgorithm::ALL {
+            let _ = profile(&ds.graph, &ds.vocab, &qs, algo, 3);
+            assert_eq!(ds.graph, before, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn recompute_maintenance_costs_the_full_saturation() {
+        let mut ds = generate(&LubmConfig::tiny());
+        let named = queries(&mut ds);
+        let qs: Vec<(String, Query)> =
+            vec![(named[0].name.to_owned(), named[0].query.clone())];
+        let p = profile(&ds.graph, &ds.vocab, &qs, MaintenanceAlgorithm::Recompute, 2);
+        // Every update pays roughly a saturation; allow generous slack for
+        // timer noise but catch order-of-magnitude regressions.
+        assert!(
+            p.maintenance.instance_insert > p.saturation_time / 20.0,
+            "recompute insert {} vs saturation {}",
+            p.maintenance.instance_insert,
+            p.saturation_time
+        );
+        let p_inc = profile(&ds.graph, &ds.vocab, &qs, MaintenanceAlgorithm::Counting, 2);
+        assert!(
+            p_inc.maintenance.instance_insert < p.maintenance.instance_insert,
+            "incremental maintenance is cheaper than recomputation"
+        );
+    }
+}

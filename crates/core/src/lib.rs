@@ -1,0 +1,60 @@
+//! # webreason-core — the integrated store
+//!
+//! This crate ties every substrate together into the system the paper
+//! describes: an RDF store whose *query answering* — "computing sound and
+//! complete answers based on the data and the semantics" (§I) — can be
+//! implemented by any of the techniques the tutorial classifies, behind
+//! one [`Store`] API:
+//!
+//! * [`ReasoningConfig::Saturation`] — materialise `G∞` and evaluate
+//!   `q(G∞)` (§II-B "Graph saturation"), with the maintenance algorithm
+//!   (recompute / DRed / counting) chosen per
+//!   [`rdfs::incremental::MaintenanceAlgorithm`];
+//! * [`ReasoningConfig::Reformulation`] — leave `G` alone and evaluate
+//!   `q_ref(G)` (§II-B "Query reformulation");
+//! * [`ReasoningConfig::BackwardChaining`] — AllegroGraph-RDFS++-style
+//!   run-time reasoning: per-atom entailment expansion during join
+//!   evaluation, "not complete, but … predictable and fast" (§II-C);
+//! * [`ReasoningConfig::Datalog`] — the §II-D open-issue alternative:
+//!   translate to Datalog, saturate with the generic engine, evaluate;
+//! * [`ReasoningConfig::None`] — plain evaluation over explicit triples,
+//!   the "(i) ignore entailed triples" class of §II-C.
+//!
+//! On top sit the performance tools the tutorial argues for:
+//! [`cost::profile`] measures a dataset × query-set cost profile,
+//! [`threshold::compute_thresholds`] turns it into the amortisation
+//! thresholds of **Fig. 3**, and [`advisor::advise`] automates "the choice
+//! between these two techniques, based on a quantitative evaluation of the
+//! application setting" (§II-D).
+//!
+//! ```
+//! use webreason_core::{ReasoningConfig, Store};
+//!
+//! let mut store = Store::new(ReasoningConfig::Reformulation);
+//! store.load_turtle(r#"
+//!     @prefix ex: <http://example.org/> .
+//!     @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+//!     ex:Cat rdfs:subClassOf ex:Mammal .
+//!     ex:Tom a ex:Cat .
+//! "#).unwrap();
+//! let sols = store.answer_sparql(
+//!     "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Mammal }"
+//! ).unwrap();
+//! assert_eq!(sols.len(), 1); // Tom, though never stated to be a mammal
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisor;
+mod backward;
+pub mod cost;
+mod store;
+pub mod threshold;
+
+pub use backward::evaluate_backward;
+pub use store::{AnswerError, ReasoningConfig, Store, StoreStats};
+
+// Re-export the pieces callers compose with.
+pub use rdfs::incremental::MaintenanceAlgorithm;
+pub use sparql::Solutions;

@@ -1,0 +1,867 @@
+//! The [`Store`]: one RDF database, five query-answering strategies.
+
+use crate::backward::evaluate_backward;
+use datalog::rdf::saturate_via_datalog;
+use rdf_io::ParseError;
+use rdf_model::{Dictionary, Graph, Term, Triple, Vocab};
+use rdfs::incremental::{Maintainer, MaintenanceAlgorithm, UpdateStats};
+use rdfs::Schema;
+use reformulation::{reformulate, ReformulationError};
+use sparql::{evaluate, parse_query, Query, QueryParseError, Solutions};
+use std::fmt;
+
+/// Which query-answering technique the store uses (§II-B / §II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReasoningConfig {
+    /// Ignore entailed triples: plain `q(G)` (RDF-3X-class systems).
+    None,
+    /// Materialise and maintain `G∞`; answer with `q(G∞)`.
+    Saturation(MaintenanceAlgorithm),
+    /// RDFS-Plus: RDFS plus `owl:inverseOf` / `owl:SymmetricProperty` /
+    /// `owl:TransitiveProperty` ("some of OWL's predicates", §II-C),
+    /// materialised and DRed-maintained.
+    SaturationPlus,
+    /// Rewrite queries; answer with `q_ref(G)`.
+    Reformulation,
+    /// Adaptive hybrid (the paper's §II-D open issue of "automatizing …
+    /// the choice between these two techniques"): maintains a saturation
+    /// *and* reformulates; the first execution of each distinct query
+    /// measures both paths and the cheaper one is used thereafter
+    /// (re-learned after schema changes). OWLIM-style "employs both
+    /// inferencing techniques" (§II-C).
+    Adaptive,
+    /// Per-atom run-time reasoning (AllegroGraph-RDFS++ class); complete
+    /// on the reformulation dialect, explicit-only beyond it.
+    BackwardChaining,
+    /// Translate to Datalog; saturate with the generic engine (§II-D).
+    Datalog,
+}
+
+impl ReasoningConfig {
+    /// Every configuration, for sweeps and equivalence tests.
+    pub const ALL: [ReasoningConfig; 9] = [
+        ReasoningConfig::None,
+        ReasoningConfig::Saturation(MaintenanceAlgorithm::Recompute),
+        ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed),
+        ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting),
+        ReasoningConfig::SaturationPlus,
+        ReasoningConfig::Reformulation,
+        ReasoningConfig::Adaptive,
+        ReasoningConfig::BackwardChaining,
+        ReasoningConfig::Datalog,
+    ];
+
+    /// Display name, e.g. `saturation(dred)`.
+    pub fn name(self) -> String {
+        match self {
+            ReasoningConfig::None => "none".into(),
+            ReasoningConfig::Saturation(a) => format!("saturation({})", a.name()),
+            ReasoningConfig::SaturationPlus => "saturation-plus".into(),
+            ReasoningConfig::Reformulation => "reformulation".into(),
+            ReasoningConfig::Adaptive => "adaptive".into(),
+            ReasoningConfig::BackwardChaining => "backward-chaining".into(),
+            ReasoningConfig::Datalog => "datalog".into(),
+        }
+    }
+}
+
+/// Errors surfaced by [`Store`] operations.
+#[derive(Debug)]
+pub enum AnswerError {
+    /// RDF data failed to parse.
+    Data(ParseError),
+    /// The SPARQL text failed to parse.
+    Query(QueryParseError),
+    /// The active strategy is reformulation and the query is outside the
+    /// reformulation dialect — switch to saturation or backward chaining.
+    Reformulation(ReformulationError),
+}
+
+impl fmt::Display for AnswerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnswerError::Data(e) => write!(f, "{e}"),
+            AnswerError::Query(e) => write!(f, "{e}"),
+            AnswerError::Reformulation(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AnswerError {}
+
+impl From<ParseError> for AnswerError {
+    fn from(e: ParseError) -> Self {
+        AnswerError::Data(e)
+    }
+}
+impl From<QueryParseError> for AnswerError {
+    fn from(e: QueryParseError) -> Self {
+        AnswerError::Query(e)
+    }
+}
+impl From<ReformulationError> for AnswerError {
+    fn from(e: ReformulationError) -> Self {
+        AnswerError::Reformulation(e)
+    }
+}
+
+/// Snapshot of the store's size and strategy state.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct StoreStats {
+    /// Explicit triples in `G`.
+    pub base_triples: usize,
+    /// Triples in the maintained `G∞` (saturation strategies only).
+    pub saturated_triples: Option<usize>,
+    /// Distinct dictionary terms.
+    pub dictionary_terms: usize,
+    /// Active strategy name.
+    pub strategy: String,
+}
+
+/// Which path the adaptive strategy learned for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AdaptiveChoice {
+    Saturated,
+    Reformulated,
+}
+
+/// Per-strategy state.
+enum State {
+    Plain(Graph),
+    Saturation(Box<dyn Maintainer + Send>),
+    /// Reformulation / backward chaining: base graph + schema cache
+    /// (rebuilt lazily after schema updates) + per-query reformulation
+    /// cache (keyed by the query's structural form, dropped with the
+    /// schema — "reformulation is made at query run-time", §II-B, but
+    /// repeating the same query need not repeat the rewriting).
+    SchemaBased {
+        graph: Graph,
+        schema: Option<Schema>,
+        backward: bool,
+        refo_cache: rustc_hash::FxHashMap<String, Query>,
+    },
+    /// Datalog: base graph + cached saturation (invalidated on update).
+    Datalog { graph: Graph, saturated: Option<Graph> },
+    /// Adaptive hybrid: maintained saturation + schema cache + learned
+    /// per-query winners (keyed by the query's structural form).
+    Adaptive {
+        maintainer: Box<dyn Maintainer + Send>,
+        schema: Option<Schema>,
+        winners: rustc_hash::FxHashMap<String, AdaptiveChoice>,
+    },
+}
+
+/// An RDF store with a pluggable reasoning strategy.
+pub struct Store {
+    dict: Dictionary,
+    vocab: Vocab,
+    owl: rdfs::plus::OwlVocab,
+    config: ReasoningConfig,
+    state: State,
+}
+
+impl Store {
+    /// Creates an empty store with the given strategy.
+    pub fn new(config: ReasoningConfig) -> Self {
+        let mut dict = Dictionary::new();
+        let vocab = Vocab::intern(&mut dict);
+        Self::from_parts(dict, vocab, Graph::new(), config)
+    }
+
+    /// Builds a store over an existing encoded graph (e.g. a generated
+    /// workload dataset). The dictionary must be the one the graph was
+    /// encoded against, with `vocab` interned in it.
+    pub fn from_parts(
+        mut dict: Dictionary,
+        vocab: Vocab,
+        graph: Graph,
+        config: ReasoningConfig,
+    ) -> Self {
+        let owl = rdfs::plus::OwlVocab::intern(&mut dict);
+        let state = Self::build_state(graph, vocab, owl, config);
+        Store { dict, vocab, owl, config, state }
+    }
+
+    fn build_state(
+        graph: Graph,
+        vocab: Vocab,
+        owl: rdfs::plus::OwlVocab,
+        config: ReasoningConfig,
+    ) -> State {
+        match config {
+            ReasoningConfig::None => State::Plain(graph),
+            ReasoningConfig::Saturation(algo) => State::Saturation(algo.build(graph, vocab)),
+            ReasoningConfig::SaturationPlus => {
+                State::Saturation(Box::new(rdfs::plus::PlusMaintainer::new(graph, vocab, owl)))
+            }
+            ReasoningConfig::Reformulation => {
+                State::SchemaBased {
+                    graph,
+                    schema: None,
+                    backward: false,
+                    refo_cache: rustc_hash::FxHashMap::default(),
+                }
+            }
+            ReasoningConfig::BackwardChaining => {
+                State::SchemaBased {
+                    graph,
+                    schema: None,
+                    backward: true,
+                    refo_cache: rustc_hash::FxHashMap::default(),
+                }
+            }
+            ReasoningConfig::Datalog => State::Datalog { graph, saturated: None },
+            ReasoningConfig::Adaptive => State::Adaptive {
+                maintainer: MaintenanceAlgorithm::Counting.build(graph, vocab),
+                schema: None,
+                winners: rustc_hash::FxHashMap::default(),
+            },
+        }
+    }
+
+    /// The active strategy.
+    pub fn config(&self) -> ReasoningConfig {
+        self.config
+    }
+
+    /// Switches strategy, rebuilding derived state from the base graph.
+    pub fn set_config(&mut self, config: ReasoningConfig) {
+        if config == self.config {
+            return;
+        }
+        let graph = self.base_graph().clone();
+        self.state = Self::build_state(graph, self.vocab, self.owl, config);
+        self.config = config;
+    }
+
+    /// The dictionary (for decoding solution ids).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    /// The pre-interned vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// The explicit graph `G`.
+    pub fn base_graph(&self) -> &Graph {
+        match &self.state {
+            State::Plain(g) => g,
+            State::Saturation(m) => m.base(),
+            State::SchemaBased { graph, .. } => graph,
+            State::Datalog { graph, .. } => graph,
+            State::Adaptive { maintainer, .. } => maintainer.base(),
+        }
+    }
+
+    /// Size and state snapshot.
+    pub fn stats(&self) -> StoreStats {
+        let saturated_triples = match &self.state {
+            State::Saturation(m) => Some(m.saturated().len()),
+            State::Datalog { saturated: Some(s), .. } => Some(s.len()),
+            State::Adaptive { maintainer, .. } => Some(maintainer.saturated().len()),
+            _ => None,
+        };
+        StoreStats {
+            base_triples: self.base_graph().len(),
+            saturated_triples,
+            dictionary_terms: self.dict.len(),
+            strategy: self.config.name(),
+        }
+    }
+
+    // --- loading and updates ---------------------------------------------
+
+    /// Parses Turtle and inserts every triple as one batch (a single
+    /// maintenance pass under the saturation strategies). Returns how many
+    /// triples the document contained.
+    pub fn load_turtle(&mut self, text: &str) -> Result<usize, AnswerError> {
+        let mut staging = Graph::new();
+        let n = rdf_io::parse_turtle(text, &mut self.dict, &mut staging)?;
+        let triples: Vec<Triple> = staging.iter().collect();
+        self.insert_batch(&triples);
+        Ok(n)
+    }
+
+    /// Parses N-Triples and inserts every triple as one batch.
+    pub fn load_ntriples(&mut self, text: &str) -> Result<usize, AnswerError> {
+        let mut staging = Graph::new();
+        let n = rdf_io::parse_ntriples(text, &mut self.dict, &mut staging)?;
+        let triples: Vec<Triple> = staging.iter().collect();
+        self.insert_batch(&triples);
+        Ok(n)
+    }
+
+    /// Inserts a batch of triples with one maintenance pass where the
+    /// strategy supports it (see [`rdfs::incremental::Maintainer::insert_batch`]).
+    pub fn insert_batch(&mut self, triples: &[Triple]) -> UpdateStats {
+        match &mut self.state {
+            State::Saturation(m) => m.insert_batch(triples),
+            State::Adaptive { maintainer, schema, winners } => {
+                let stats = maintainer.insert_batch(triples);
+                if triples.iter().any(|t| self.vocab.is_schema_property(t.p)) {
+                    *schema = None;
+                    winners.clear();
+                }
+                stats
+            }
+            _ => {
+                let mut total = UpdateStats {
+                    kind: rdfs::incremental::UpdateKind::Noop,
+                    added: 0,
+                    removed: 0,
+                    work: 0,
+                };
+                for &t in triples {
+                    let s = self.insert(t);
+                    if s.kind != rdfs::incremental::UpdateKind::Noop {
+                        total.kind = rdfs::incremental::UpdateKind::Batch;
+                    }
+                    total.added += s.added;
+                }
+                total
+            }
+        }
+    }
+
+    /// Deletes a batch of triples with one maintenance pass where the
+    /// strategy supports it.
+    pub fn delete_batch(&mut self, triples: &[Triple]) -> UpdateStats {
+        match &mut self.state {
+            State::Saturation(m) => m.delete_batch(triples),
+            State::Adaptive { maintainer, schema, winners } => {
+                let stats = maintainer.delete_batch(triples);
+                if triples.iter().any(|t| self.vocab.is_schema_property(t.p)) {
+                    *schema = None;
+                    winners.clear();
+                }
+                stats
+            }
+            _ => {
+                let mut total = UpdateStats {
+                    kind: rdfs::incremental::UpdateKind::Noop,
+                    added: 0,
+                    removed: 0,
+                    work: 0,
+                };
+                for t in triples {
+                    let s = self.delete(t);
+                    if s.kind != rdfs::incremental::UpdateKind::Noop {
+                        total.kind = rdfs::incremental::UpdateKind::Batch;
+                    }
+                    total.removed += s.removed;
+                }
+                total
+            }
+        }
+    }
+
+    /// Encodes three terms and inserts the triple.
+    pub fn insert_terms(&mut self, s: &Term, p: &Term, o: &Term) -> UpdateStats {
+        let t = Triple::new(self.dict.encode(s), self.dict.encode(p), self.dict.encode(o));
+        self.insert(t)
+    }
+
+    /// Inserts an encoded triple, maintaining derived state.
+    pub fn insert(&mut self, t: Triple) -> UpdateStats {
+        match &mut self.state {
+            State::Plain(g) => {
+                plain_update(g.insert(t), true, &t, &self.vocab)
+            }
+            State::Saturation(m) => m.insert(t),
+            State::SchemaBased { graph, schema, refo_cache, .. } => {
+                let changed = graph.insert(t);
+                if changed && self.vocab.is_schema_property(t.p) {
+                    *schema = None; // schema + reformulation caches invalidated
+                    refo_cache.clear();
+                }
+                plain_update(changed, true, &t, &self.vocab)
+            }
+            State::Datalog { graph, saturated } => {
+                let changed = graph.insert(t);
+                if changed {
+                    *saturated = None;
+                }
+                plain_update(changed, true, &t, &self.vocab)
+            }
+            State::Adaptive { maintainer, schema, winners } => {
+                let stats = maintainer.insert(t);
+                if self.vocab.is_schema_property(t.p) && stats.kind != rdfs::incremental::UpdateKind::Noop {
+                    *schema = None;
+                    winners.clear(); // costs may have shifted; re-learn
+                }
+                stats
+            }
+        }
+    }
+
+    /// Encodes three terms and deletes the triple (if the terms are known).
+    pub fn delete_terms(&mut self, s: &Term, p: &Term, o: &Term) -> UpdateStats {
+        match (self.dict.get_id(s), self.dict.get_id(p), self.dict.get_id(o)) {
+            (Some(s), Some(p), Some(o)) => self.delete(&Triple::new(s, p, o)),
+            _ => UpdateStats { kind: rdfs::incremental::UpdateKind::Noop, added: 0, removed: 0, work: 0 },
+        }
+    }
+
+    /// Deletes an encoded triple, maintaining derived state.
+    pub fn delete(&mut self, t: &Triple) -> UpdateStats {
+        match &mut self.state {
+            State::Plain(g) => plain_update(g.remove(t), false, t, &self.vocab),
+            State::Saturation(m) => m.delete(t),
+            State::SchemaBased { graph, schema, refo_cache, .. } => {
+                let changed = graph.remove(t);
+                if changed && self.vocab.is_schema_property(t.p) {
+                    *schema = None;
+                    refo_cache.clear();
+                }
+                plain_update(changed, false, t, &self.vocab)
+            }
+            State::Datalog { graph, saturated } => {
+                let changed = graph.remove(t);
+                if changed {
+                    *saturated = None;
+                }
+                plain_update(changed, false, t, &self.vocab)
+            }
+            State::Adaptive { maintainer, schema, winners } => {
+                let stats = maintainer.delete(t);
+                if self.vocab.is_schema_property(t.p) && stats.kind != rdfs::incremental::UpdateKind::Noop {
+                    *schema = None;
+                    winners.clear();
+                }
+                stats
+            }
+        }
+    }
+
+    // --- explanations -------------------------------------------------------
+
+    /// Explains why `t` is entailed (a derivation tree down to asserted
+    /// triples), or `None` if it is not. Reuses the maintained saturation
+    /// when one exists; otherwise saturates on the fly. See
+    /// [`rdfs::explain`] — the "justifications" of §II-C.
+    pub fn explain(&self, t: &Triple) -> Option<rdfs::explain::Explanation> {
+        match &self.state {
+            State::Saturation(m) | State::Adaptive { maintainer: m, .. } => {
+                rdfs::explain::explain_in(t, m.base(), m.saturated(), &self.vocab)
+            }
+            _ => rdfs::explain::explain(t, self.base_graph(), &self.vocab),
+        }
+    }
+
+    /// Term-level convenience for [`Store::explain`]; unknown terms mean
+    /// the triple cannot be entailed.
+    pub fn explain_terms(&self, s: &Term, p: &Term, o: &Term) -> Option<rdfs::explain::Explanation> {
+        let t = Triple::new(self.dict.get_id(s)?, self.dict.get_id(p)?, self.dict.get_id(o)?);
+        self.explain(&t)
+    }
+
+    // --- export ------------------------------------------------------------
+
+    /// Serialises the base graph `G` as sorted N-Triples.
+    pub fn export_ntriples(&self) -> String {
+        rdf_io::write_ntriples_sorted(self.base_graph(), &self.dict)
+    }
+
+    /// Serialises the base graph `G` as Turtle against `prefixes`.
+    pub fn export_turtle(&self, prefixes: &rdf_io::PrefixMap) -> String {
+        rdf_io::write_turtle(self.base_graph(), &self.dict, prefixes)
+    }
+
+    // --- query answering ---------------------------------------------------
+
+    /// Parses a SPARQL BGP query against this store's dictionary.
+    pub fn prepare(&mut self, sparql: &str) -> Result<Query, AnswerError> {
+        Ok(parse_query(sparql, &mut self.dict)?)
+    }
+
+    /// Answers a prepared query with the active strategy, applying any
+    /// solution modifiers / aggregate (`ORDER BY`, `LIMIT`, `OFFSET`,
+    /// `COUNT`) uniformly at the end.
+    ///
+    /// Takes `&mut self` because lazily-derived state (schema closure,
+    /// Datalog saturation) may need (re)building. Note: under
+    /// [`ReasoningConfig::Reformulation`], `COUNT(*)` counts *distinct*
+    /// solutions (reformulation's answer-set semantics).
+    pub fn answer(&mut self, q: &Query) -> Result<Solutions, AnswerError> {
+        let sols = match &mut self.state {
+            State::Plain(g) => evaluate(g, q),
+            State::Saturation(m) => evaluate(m.saturated(), q),
+            State::SchemaBased { graph, schema, backward, refo_cache } => {
+                let schema =
+                    schema.get_or_insert_with(|| Schema::extract(graph, &self.vocab));
+                if *backward {
+                    evaluate_backward(graph, schema, &self.vocab, q)
+                } else {
+                    let key = format!("{:?}|{:?}|{}", q.projection, q.bgps, q.distinct);
+                    let q_ref = match refo_cache.get(&key) {
+                        Some(cached) => cached,
+                        None => {
+                            let r = reformulate(q, schema, &self.vocab)?;
+                            refo_cache.entry(key).or_insert(r.query)
+                        }
+                    };
+                    evaluate(graph, q_ref)
+                }
+            }
+            State::Datalog { graph, saturated } => {
+                let sat = saturated
+                    .get_or_insert_with(|| saturate_via_datalog(graph, &self.vocab).0);
+                evaluate(sat, q)
+            }
+            State::Adaptive { maintainer, schema, winners } => {
+                let key = format!("{:?}|{:?}|{}", q.projection, q.bgps, q.distinct);
+                let schema =
+                    schema.get_or_insert_with(|| Schema::extract(maintainer.base(), &self.vocab));
+                let choice = winners.get(&key).copied();
+                match choice {
+                    Some(AdaptiveChoice::Saturated) => evaluate(maintainer.saturated(), q),
+                    Some(AdaptiveChoice::Reformulated) => {
+                        let r = reformulate(q, schema, &self.vocab)?;
+                        evaluate(maintainer.base(), &r.query)
+                    }
+                    None => {
+                        // First sight of this query: learn the cheaper path.
+                        // Non-DISTINCT queries pin to saturation (the
+                        // reformulated union has answer-set semantics), as
+                        // do queries outside the reformulation dialect.
+                        if !q.distinct {
+                            winners.insert(key, AdaptiveChoice::Saturated);
+                            evaluate(maintainer.saturated(), q)
+                        } else {
+                            match reformulate(q, schema, &self.vocab) {
+                                Err(_) => {
+                                    winners.insert(key, AdaptiveChoice::Saturated);
+                                    evaluate(maintainer.saturated(), q)
+                                }
+                                Ok(r) => {
+                                    let start = std::time::Instant::now();
+                                    let sat_sols = evaluate(maintainer.saturated(), q);
+                                    let sat_time = start.elapsed();
+                                    let start = std::time::Instant::now();
+                                    let _ref_sols = evaluate(maintainer.base(), &r.query);
+                                    let ref_time = start.elapsed();
+                                    winners.insert(
+                                        key,
+                                        if sat_time <= ref_time {
+                                            AdaptiveChoice::Saturated
+                                        } else {
+                                            AdaptiveChoice::Reformulated
+                                        },
+                                    );
+                                    sat_sols
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        Ok(sparql::finalize(sols, q, &mut self.dict))
+    }
+
+    /// For [`ReasoningConfig::Adaptive`]: how many distinct queries have
+    /// been pinned to each path, as `(saturated, reformulated)`.
+    pub fn adaptive_summary(&self) -> Option<(usize, usize)> {
+        match &self.state {
+            State::Adaptive { winners, .. } => {
+                let sat =
+                    winners.values().filter(|&&c| c == AdaptiveChoice::Saturated).count();
+                Some((sat, winners.len() - sat))
+            }
+            _ => None,
+        }
+    }
+
+    /// Parses and answers in one call.
+    pub fn answer_sparql(&mut self, sparql: &str) -> Result<Solutions, AnswerError> {
+        let q = self.prepare(sparql)?;
+        self.answer(&q)
+    }
+}
+
+fn plain_update(changed: bool, insert: bool, t: &Triple, vocab: &Vocab) -> UpdateStats {
+    use rdfs::incremental::UpdateKind;
+    let kind = if !changed {
+        UpdateKind::Noop
+    } else {
+        match (vocab.is_schema_property(t.p), insert) {
+            (true, true) => UpdateKind::SchemaInsert,
+            (true, false) => UpdateKind::SchemaDelete,
+            (false, true) => UpdateKind::InstanceInsert,
+            (false, false) => UpdateKind::InstanceDelete,
+        }
+    };
+    UpdateStats {
+        kind,
+        added: (changed && insert) as usize,
+        removed: (changed && !insert) as usize,
+        work: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ZOO: &str = r#"
+        @prefix ex: <http://ex/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        ex:Cat rdfs:subClassOf ex:Mammal .
+        ex:Mammal rdfs:subClassOf ex:Animal .
+        ex:hasPet rdfs:range ex:Animal .
+        ex:Tom a ex:Cat .
+        ex:anne ex:hasPet ex:Goldie .
+    "#;
+
+    const MAMMALS: &str = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }";
+    const ANIMALS: &str = "PREFIX ex: <http://ex/> SELECT DISTINCT ?x WHERE { ?x a ex:Animal }";
+
+    fn store_with(config: ReasoningConfig) -> Store {
+        let mut s = Store::new(config);
+        s.load_turtle(ZOO).expect("fixture loads");
+        s
+    }
+
+    #[test]
+    fn none_strategy_sees_explicit_only() {
+        let mut s = store_with(ReasoningConfig::None);
+        assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn every_reasoning_strategy_answers_the_paper_example() {
+        for config in ReasoningConfig::ALL {
+            if config == ReasoningConfig::None {
+                continue;
+            }
+            let mut s = store_with(config);
+            let sols = s.answer_sparql(MAMMALS).unwrap();
+            assert_eq!(sols.len(), 1, "{}: Tom is a mammal", config.name());
+            let sols = s.answer_sparql(ANIMALS).unwrap();
+            assert_eq!(sols.len(), 2, "{}: Tom + Goldie (range typing)", config.name());
+        }
+    }
+
+    #[test]
+    fn updates_flow_through_every_strategy() {
+        for config in ReasoningConfig::ALL {
+            if config == ReasoningConfig::None {
+                continue;
+            }
+            let mut s = store_with(config);
+            // insert a new cat
+            let stats = s.insert_terms(
+                &Term::iri("http://ex/Felix"),
+                &Term::iri(rdf_model::vocab::RDF_TYPE),
+                &Term::iri("http://ex/Cat"),
+            );
+            assert_eq!(stats.kind, rdfs::incremental::UpdateKind::InstanceInsert);
+            assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 2, "{}", config.name());
+            // schema update: Dog ⊑ Mammal + a dog
+            s.load_turtle(
+                "@prefix ex: <http://ex/> . @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+                 ex:Dog rdfs:subClassOf ex:Mammal . ex:Rex a ex:Dog .",
+            )
+            .unwrap();
+            assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 3, "{}", config.name());
+            // delete the schema edge again
+            s.delete_terms(
+                &Term::iri("http://ex/Dog"),
+                &Term::iri(rdf_model::vocab::RDFS_SUB_CLASS_OF),
+                &Term::iri("http://ex/Mammal"),
+            );
+            assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 2, "{}", config.name());
+        }
+    }
+
+    #[test]
+    fn strategy_switch_preserves_data() {
+        let mut s = store_with(ReasoningConfig::None);
+        let base = s.base_graph().len();
+        for config in ReasoningConfig::ALL {
+            s.set_config(config);
+            assert_eq!(s.base_graph().len(), base, "{}", config.name());
+        }
+        // end on a reasoning strategy and check answers
+        s.set_config(ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting));
+        assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn reformulation_rejects_out_of_dialect_queries_with_clear_error() {
+        let mut s = store_with(ReasoningConfig::Reformulation);
+        let err = s
+            .answer_sparql("SELECT ?p WHERE { <http://ex/Tom> ?p <http://ex/Cat> }")
+            .unwrap_err();
+        assert!(matches!(err, AnswerError::Reformulation(_)), "{err}");
+        // the same query is fine under saturation
+        s.set_config(ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed));
+        assert!(s.answer_sparql("SELECT ?p WHERE { <http://ex/Tom> ?p <http://ex/Cat> }").is_ok());
+    }
+
+    #[test]
+    fn stats_reflect_strategy() {
+        let mut s = store_with(ReasoningConfig::Saturation(MaintenanceAlgorithm::Recompute));
+        let st = s.stats();
+        assert!(st.saturated_triples.unwrap() > st.base_triples);
+        assert_eq!(st.strategy, "saturation(recompute)");
+
+        s.set_config(ReasoningConfig::Reformulation);
+        assert_eq!(s.stats().saturated_triples, None);
+
+        s.set_config(ReasoningConfig::Datalog);
+        assert_eq!(s.stats().saturated_triples, None, "datalog saturation is lazy");
+        s.answer_sparql(MAMMALS).unwrap();
+        assert!(s.stats().saturated_triples.is_some(), "materialised by the first query");
+    }
+
+    #[test]
+    fn bad_inputs_error_cleanly() {
+        let mut s = Store::new(ReasoningConfig::Reformulation);
+        assert!(matches!(s.load_turtle("not turtle"), Err(AnswerError::Data(_))));
+        assert!(matches!(s.answer_sparql("SELECT WHERE"), Err(AnswerError::Query(_))));
+        // deleting unknown terms is a noop
+        let stats = s.delete_terms(&Term::iri("http://nope"), &Term::iri("http://p"), &Term::iri("http://o"));
+        assert_eq!(stats.kind, rdfs::incremental::UpdateKind::Noop);
+    }
+
+    #[test]
+    fn not_exists_negation_across_strategies() {
+        // "SPARQL 1.1 supports aggregates, negation etc." (§II-B) — and
+        // negation shows the dialect interplay: complete under saturation,
+        // rejected by reformulation, explicit-only under backward chaining.
+        let q = "PREFIX ex: <http://ex/> SELECT ?x WHERE \
+                 { ?x a ex:Mammal . FILTER NOT EXISTS { ?x a ex:Cat } }";
+        // Under saturation: Tom IS a Cat (asserted), so no mammal remains.
+        let mut s = store_with(ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting));
+        assert_eq!(s.answer_sparql(q).unwrap().len(), 0);
+        // Add a non-cat mammal: it passes the negation.
+        s.load_turtle("@prefix ex: <http://ex/> .\nex:Moby a ex:Mammal .").unwrap();
+        assert_eq!(s.answer_sparql(q).unwrap().len(), 1);
+        // Reformulation rejects negation with a clear error.
+        s.set_config(ReasoningConfig::Reformulation);
+        assert!(matches!(s.answer_sparql(q), Err(AnswerError::Reformulation(_))));
+        // Adaptive pins such queries to the saturated path and answers.
+        s.set_config(ReasoningConfig::Adaptive);
+        assert_eq!(s.answer_sparql(q).unwrap().len(), 1);
+        assert_eq!(s.adaptive_summary(), Some((1, 0)));
+    }
+
+    #[test]
+    fn adaptive_strategy_learns_and_answers_correctly() {
+        let mut s = store_with(ReasoningConfig::Adaptive);
+        assert_eq!(s.adaptive_summary(), Some((0, 0)));
+        // First executions measure; repeats use the learned path — answers
+        // identical throughout.
+        let mammals = "PREFIX ex: <http://ex/> SELECT DISTINCT ?x WHERE { ?x a ex:Mammal }";
+        let first = s.answer_sparql(mammals).unwrap().as_set();
+        let (sat, refo) = s.adaptive_summary().unwrap();
+        assert_eq!(sat + refo, 1, "one query learned");
+        for _ in 0..3 {
+            assert_eq!(s.answer_sparql(mammals).unwrap().as_set(), first);
+        }
+        assert_eq!(s.adaptive_summary().map(|(a, b)| a + b), Some(1), "cache hit, no relearn");
+        // Out-of-dialect queries pin to saturation and still answer.
+        let var_prop = "SELECT ?p WHERE { <http://ex/Tom> ?p <http://ex/Cat> }";
+        assert_eq!(s.answer_sparql(var_prop).unwrap().len(), 1);
+        // Non-distinct queries pin to saturation (bag semantics preserved).
+        let bag = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Animal }";
+        let n = s.answer_sparql(bag).unwrap().len();
+        assert_eq!(n, s.answer_sparql(bag).unwrap().len(), "stable across repeats");
+        // Schema updates clear the learned winners.
+        s.load_turtle(
+            "@prefix ex: <http://ex/> . @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             ex:Dog rdfs:subClassOf ex:Mammal .",
+        )
+        .unwrap();
+        assert_eq!(s.adaptive_summary(), Some((0, 0)), "winners re-learned after schema change");
+        assert_eq!(s.answer_sparql(mammals).unwrap().as_set(), first, "same answers, no dogs yet");
+    }
+
+    #[test]
+    fn explanations_through_the_store() {
+        for config in [
+            ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting),
+            ReasoningConfig::Reformulation,
+        ] {
+            let s = store_with(config);
+            let ty = Term::iri(rdf_model::vocab::RDF_TYPE);
+            // Tom is a Mammal — derived.
+            let e = s
+                .explain_terms(&Term::iri("http://ex/Tom"), &ty, &Term::iri("http://ex/Mammal"))
+                .expect("entailed triple explains");
+            assert!(e.depth() >= 1, "{}", config.name());
+            assert!(e.support().iter().all(|t| s.base_graph().contains(t)));
+            // Goldie is an Animal via range typing.
+            let e = s
+                .explain_terms(&Term::iri("http://ex/Goldie"), &ty, &Term::iri("http://ex/Animal"))
+                .expect("range-typed triple explains");
+            assert!(e.render(s.dictionary()).contains("[rdfs3]"));
+            // A non-entailed triple has no explanation.
+            assert!(s
+                .explain_terms(&Term::iri("http://ex/Tom"), &ty, &Term::iri("http://ex/Rocket"))
+                .is_none());
+        }
+    }
+
+    #[test]
+    fn export_round_trips_the_base_graph() {
+        let s = store_with(ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting));
+        let nt = s.export_ntriples();
+        let mut s2 = Store::new(ReasoningConfig::None);
+        s2.load_ntriples(&nt).unwrap();
+        assert_eq!(s.base_graph().len(), s2.base_graph().len());
+        assert_eq!(nt, s2.export_ntriples(), "canonical N-Triples agree");
+        // the export is the *base* graph, not the saturation
+        assert!(nt.lines().count() < s.stats().saturated_triples.unwrap());
+
+        let mut prefixes = rdf_io::PrefixMap::common();
+        prefixes.add("ex", "http://ex/");
+        let ttl = s.export_turtle(&prefixes);
+        let mut s3 = Store::new(ReasoningConfig::None);
+        s3.load_turtle(&ttl).unwrap();
+        assert_eq!(nt, s3.export_ntriples(), "turtle export round-trips");
+    }
+
+    #[test]
+    fn saturation_plus_handles_owl_predicates() {
+        let mut s = Store::new(ReasoningConfig::SaturationPlus);
+        s.load_turtle(
+            r#"
+            @prefix ex: <http://ex/> .
+            @prefix owl: <http://www.w3.org/2002/07/owl#> .
+            ex:partOf a owl:TransitiveProperty .
+            ex:hasPart owl:inverseOf ex:partOf .
+            ex:wheel ex:partOf ex:axle .
+            ex:axle ex:partOf ex:car .
+        "#,
+        )
+        .unwrap();
+        // transitivity: wheel partOf car
+        let sols = s
+            .answer_sparql("PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:partOf ex:car }")
+            .unwrap();
+        assert_eq!(sols.len(), 2, "axle directly, wheel transitively");
+        // inverse: car hasPart wheel
+        let sols = s
+            .answer_sparql("PREFIX ex: <http://ex/> SELECT ?y WHERE { ex:car ex:hasPart ?y }")
+            .unwrap();
+        assert_eq!(sols.len(), 2);
+        // plain RDFS saturation ignores the OWL predicates
+        s.set_config(ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting));
+        let sols = s
+            .answer_sparql("PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:partOf ex:car }")
+            .unwrap();
+        assert_eq!(sols.len(), 1, "only the explicit edge");
+    }
+
+    #[test]
+    fn datalog_cache_invalidation() {
+        let mut s = store_with(ReasoningConfig::Datalog);
+        assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 1);
+        s.load_turtle("@prefix ex: <http://ex/> .\nex:Felix a ex:Cat .").unwrap();
+        assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 2, "cache was invalidated");
+    }
+}

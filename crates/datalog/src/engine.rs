@@ -1,0 +1,550 @@
+//! A generic positive-Datalog engine with semi-naive evaluation.
+//!
+//! Programs are sets of rules `head :- body₁, …, bodyₙ` over atoms whose
+//! arguments are variables or [`TermId`] constants. Facts are stored in
+//! per-predicate relations indexed on every argument position, so joins
+//! probe rather than scan whenever at least one argument is bound.
+
+use rdf_model::TermId;
+use rustc_hash::{FxHashMap, FxHashSet};
+use smallvec::SmallVec;
+
+/// A predicate symbol (caller-assigned).
+pub type Predicate = u32;
+
+/// A ground tuple.
+pub type Row = SmallVec<[TermId; 3]>;
+
+/// An argument of an atom: a rule variable or a constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DlTerm {
+    /// A rule variable, scoped to its rule.
+    Var(u16),
+    /// A constant.
+    Const(TermId),
+}
+
+/// An atom `p(t₁, …, tₖ)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The predicate symbol.
+    pub predicate: Predicate,
+    /// The argument terms.
+    pub args: SmallVec<[DlTerm; 3]>,
+}
+
+impl Atom {
+    /// Builds an atom.
+    pub fn new(predicate: Predicate, args: impl IntoIterator<Item = DlTerm>) -> Self {
+        Atom { predicate, args: args.into_iter().collect() }
+    }
+}
+
+/// A Datalog rule `head :- body`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The derived atom; its variables must all occur in the body
+    /// (range restriction), checked by [`Program::validate`].
+    pub head: Atom,
+    /// The body atoms (conjunctive).
+    pub body: Vec<Atom>,
+}
+
+/// A set of rules.
+#[derive(Debug, Clone, Default)]
+pub struct Program {
+    /// The rules.
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Builds a program from rules.
+    pub fn new(rules: Vec<Rule>) -> Self {
+        Program { rules }
+    }
+
+    /// Checks range restriction: every head variable occurs in the body.
+    /// Returns the index of the first offending rule, if any.
+    pub fn validate(&self) -> Result<(), usize> {
+        for (i, rule) in self.rules.iter().enumerate() {
+            let body_vars: FxHashSet<u16> = rule
+                .body
+                .iter()
+                .flat_map(|a| a.args.iter())
+                .filter_map(|t| match t {
+                    DlTerm::Var(v) => Some(*v),
+                    DlTerm::Const(_) => None,
+                })
+                .collect();
+            let ok = rule.head.args.iter().all(|t| match t {
+                DlTerm::Var(v) => body_vars.contains(v),
+                DlTerm::Const(_) => true,
+            });
+            if !ok {
+                return Err(i);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One predicate's facts, with an index per argument position.
+#[derive(Debug, Clone, Default)]
+struct Relation {
+    rows: Vec<Row>,
+    present: FxHashSet<Row>,
+    /// `index[pos][value]` = indexes into `rows` with `row[pos] == value`.
+    index: Vec<FxHashMap<TermId, Vec<u32>>>,
+}
+
+impl Relation {
+    fn insert(&mut self, row: Row) -> bool {
+        if !self.present.insert(row.clone()) {
+            return false;
+        }
+        if self.index.len() < row.len() {
+            self.index.resize_with(row.len(), FxHashMap::default);
+        }
+        let id = self.rows.len() as u32;
+        for (pos, &v) in row.iter().enumerate() {
+            self.index[pos].entry(v).or_default().push(id);
+        }
+        self.rows.push(row);
+        true
+    }
+
+    /// Iterates rows matching the partially-bound `probe` (`None` =
+    /// wildcard), using the most selective position index available.
+    fn for_each_match(&self, probe: &[Option<TermId>], mut f: impl FnMut(&Row)) {
+        // Pick the bound position with the fewest candidate rows.
+        let best = probe
+            .iter()
+            .enumerate()
+            .filter_map(|(pos, v)| {
+                v.map(|v| (pos, self.index.get(pos).and_then(|m| m.get(&v)).map_or(0, Vec::len)))
+            })
+            .min_by_key(|&(_, n)| n);
+        let matches = |row: &Row| -> bool {
+            probe.iter().zip(row.iter()).all(|(p, &v)| p.is_none_or(|pv| pv == v))
+        };
+        match best {
+            Some((pos, _)) => {
+                let v = probe[pos].expect("best position is bound");
+                if let Some(ids) = self.index.get(pos).and_then(|m| m.get(&v)) {
+                    for &id in ids {
+                        let row = &self.rows[id as usize];
+                        if matches(row) {
+                            f(row);
+                        }
+                    }
+                }
+            }
+            None => {
+                for row in &self.rows {
+                    if matches(row) {
+                        f(row);
+                    }
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// A fact database: per-predicate relations.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    relations: FxHashMap<Predicate, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a fact; returns true if it was new.
+    pub fn insert(&mut self, predicate: Predicate, row: impl IntoIterator<Item = TermId>) -> bool {
+        self.relations.entry(predicate).or_default().insert(row.into_iter().collect())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, predicate: Predicate, row: &Row) -> bool {
+        self.relations.get(&predicate).is_some_and(|r| r.present.contains(row))
+    }
+
+    /// Number of facts for one predicate.
+    pub fn predicate_len(&self, predicate: Predicate) -> usize {
+        self.relations.get(&predicate).map_or(0, Relation::len)
+    }
+
+    /// Total number of facts.
+    pub fn len(&self) -> usize {
+        self.relations.values().map(Relation::len).sum()
+    }
+
+    /// True when no fact is stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates the rows of one predicate.
+    pub fn rows(&self, predicate: Predicate) -> impl Iterator<Item = &Row> + '_ {
+        self.relations.get(&predicate).into_iter().flat_map(|r| r.rows.iter())
+    }
+
+    fn for_each_match(
+        &self,
+        predicate: Predicate,
+        probe: &[Option<TermId>],
+        f: impl FnMut(&Row),
+    ) {
+        if let Some(rel) = self.relations.get(&predicate) {
+            rel.for_each_match(probe, f);
+        }
+    }
+}
+
+/// Statistics of a fix-point run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FixpointStats {
+    /// Semi-naive rounds until quiescence.
+    pub rounds: usize,
+    /// Facts derived (new, after dedup).
+    pub derived: usize,
+    /// Rule-instance joins attempted (cost proxy).
+    pub joins: usize,
+}
+
+fn bind_row(atom: &Atom, row: &Row, subst: &mut [Option<TermId>], touched: &mut SmallVec<[u16; 4]>) -> bool {
+    for (t, &v) in atom.args.iter().zip(row.iter()) {
+        match t {
+            DlTerm::Const(c) => {
+                if *c != v {
+                    return false;
+                }
+            }
+            DlTerm::Var(x) => match subst[*x as usize] {
+                Some(b) => {
+                    if b != v {
+                        return false;
+                    }
+                }
+                None => {
+                    subst[*x as usize] = Some(v);
+                    touched.push(*x);
+                }
+            },
+        }
+    }
+    true
+}
+
+fn probe_of(atom: &Atom, subst: &[Option<TermId>]) -> SmallVec<[Option<TermId>; 3]> {
+    atom.args
+        .iter()
+        .map(|t| match t {
+            DlTerm::Const(c) => Some(*c),
+            DlTerm::Var(x) => subst[*x as usize],
+        })
+        .collect()
+}
+
+fn max_var(rule: &Rule) -> usize {
+    rule.head
+        .args
+        .iter()
+        .chain(rule.body.iter().flat_map(|a| a.args.iter()))
+        .filter_map(|t| match t {
+            DlTerm::Var(v) => Some(*v as usize + 1),
+            DlTerm::Const(_) => None,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Joins the body of `rule` with atom `delta_pos` drawn from `delta` and
+/// the others from `all`, emitting each ground head.
+#[allow(clippy::too_many_arguments)]
+fn join_rec(
+    rule: &Rule,
+    all: &Database,
+    delta: &Database,
+    delta_pos: usize,
+    depth: usize,
+    subst: &mut Vec<Option<TermId>>,
+    joins: &mut usize,
+    emit: &mut dyn FnMut(Row),
+) {
+    if depth == rule.body.len() {
+        let head: Row = rule
+            .head
+            .args
+            .iter()
+            .map(|t| match t {
+                DlTerm::Const(c) => *c,
+                DlTerm::Var(x) => subst[*x as usize].expect("range-restricted rule"),
+            })
+            .collect();
+        emit(head);
+        return;
+    }
+    let atom = &rule.body[depth];
+    let probe = probe_of(atom, subst);
+    let source = if depth == delta_pos { delta } else { all };
+    // Collect matches first: recursion inside the closure would otherwise
+    // borrow `subst` twice.
+    let mut matches: Vec<Row> = Vec::new();
+    source.for_each_match(atom.predicate, &probe, |row| matches.push(row.clone()));
+    *joins += matches.len();
+    for row in matches {
+        let mut touched: SmallVec<[u16; 4]> = SmallVec::new();
+        if bind_row(atom, &row, subst, &mut touched) {
+            join_rec(rule, all, delta, delta_pos, depth + 1, subst, joins, emit);
+        }
+        for x in touched {
+            subst[x as usize] = None;
+        }
+    }
+}
+
+/// Runs `program` to fix-point over `db` (mutated in place), semi-naive.
+///
+/// Panics in debug builds if the program is not range-restricted; call
+/// [`Program::validate`] first for a graceful error.
+pub fn fixpoint(db: &mut Database, program: &Program) -> FixpointStats {
+    debug_assert!(program.validate().is_ok(), "program must be range-restricted");
+    let mut stats = FixpointStats::default();
+
+    // Initial delta = everything.
+    let mut delta = db.clone();
+    let mut scratch: Vec<(Predicate, Row)> = Vec::new();
+
+    while !delta.is_empty() {
+        stats.rounds += 1;
+        scratch.clear();
+        for rule in &program.rules {
+            let mut subst: Vec<Option<TermId>> = vec![None; max_var(rule)];
+            for delta_pos in 0..rule.body.len() {
+                join_rec(rule, db, &delta, delta_pos, 0, &mut subst, &mut stats.joins, &mut |row| {
+                    scratch.push((rule.head.predicate, row));
+                });
+            }
+        }
+        let mut next = Database::new();
+        for (pred, row) in scratch.drain(..) {
+            if db.insert(pred, row.clone()) {
+                stats.derived += 1;
+                next.insert(pred, row);
+            }
+        }
+        delta = next;
+    }
+    stats
+}
+
+/// Answers a conjunctive query (a rule body) against `db`, returning the
+/// distinct bindings of `projection` variables.
+pub fn query(
+    db: &Database,
+    body: &[Atom],
+    projection: &[u16],
+) -> FxHashSet<Row> {
+    let rule = Rule {
+        head: Atom::new(u32::MAX, projection.iter().map(|&v| DlTerm::Var(v))),
+        body: body.to_vec(),
+    };
+    let mut out = FxHashSet::default();
+    let mut subst: Vec<Option<TermId>> = vec![None; max_var(&rule)];
+    let mut joins = 0;
+    // Reuse the join machinery with `delta == all` and a single pass: set
+    // delta_pos past the body so every atom reads from `all`.
+    join_rec(&rule, db, db, usize::MAX, 0, &mut subst, &mut joins, &mut |row| {
+        out.insert(row);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: usize) -> TermId {
+        TermId::from_index(i)
+    }
+
+    const EDGE: Predicate = 0;
+    const PATH: Predicate = 1;
+
+    /// path(X,Y) :- edge(X,Y).  path(X,Z) :- edge(X,Y), path(Y,Z).
+    fn transitive_closure_program() -> Program {
+        Program::new(vec![
+            Rule {
+                head: Atom::new(PATH, [DlTerm::Var(0), DlTerm::Var(1)]),
+                body: vec![Atom::new(EDGE, [DlTerm::Var(0), DlTerm::Var(1)])],
+            },
+            Rule {
+                head: Atom::new(PATH, [DlTerm::Var(0), DlTerm::Var(2)]),
+                body: vec![
+                    Atom::new(EDGE, [DlTerm::Var(0), DlTerm::Var(1)]),
+                    Atom::new(PATH, [DlTerm::Var(1), DlTerm::Var(2)]),
+                ],
+            },
+        ])
+    }
+
+    #[test]
+    fn transitive_closure_of_a_chain() {
+        let mut db = Database::new();
+        for i in 0..10 {
+            db.insert(EDGE, [c(i), c(i + 1)]);
+        }
+        let stats = fixpoint(&mut db, &transitive_closure_program());
+        // chain of 11 nodes: 10+9+…+1 = 55 paths
+        assert_eq!(db.predicate_len(PATH), 55);
+        assert!(stats.rounds > 2, "recursive program needs several rounds");
+        assert_eq!(stats.derived, 55);
+    }
+
+    #[test]
+    fn transitive_closure_of_a_cycle_terminates() {
+        let mut db = Database::new();
+        db.insert(EDGE, [c(0), c(1)]);
+        db.insert(EDGE, [c(1), c(2)]);
+        db.insert(EDGE, [c(2), c(0)]);
+        fixpoint(&mut db, &transitive_closure_program());
+        assert_eq!(db.predicate_len(PATH), 9, "3×3 pairs all reachable");
+    }
+
+    #[test]
+    fn fixpoint_is_idempotent() {
+        let mut db = Database::new();
+        db.insert(EDGE, [c(0), c(1)]);
+        db.insert(EDGE, [c(1), c(2)]);
+        let p = transitive_closure_program();
+        fixpoint(&mut db, &p);
+        let n = db.len();
+        let stats = fixpoint(&mut db, &p);
+        assert_eq!(db.len(), n);
+        assert_eq!(stats.derived, 0);
+    }
+
+    #[test]
+    fn constants_in_rules() {
+        // likes_anne(X) :- likes(X, anne).
+        const LIKES: Predicate = 2;
+        const FAN: Predicate = 3;
+        let anne = c(100);
+        let program = Program::new(vec![Rule {
+            head: Atom::new(FAN, [DlTerm::Var(0)]),
+            body: vec![Atom::new(LIKES, [DlTerm::Var(0), DlTerm::Const(anne)])],
+        }]);
+        let mut db = Database::new();
+        db.insert(LIKES, [c(1), anne]);
+        db.insert(LIKES, [c(2), c(200)]);
+        fixpoint(&mut db, &program);
+        assert_eq!(db.predicate_len(FAN), 1);
+        assert!(db.contains(FAN, &Row::from_slice(&[c(1)])));
+    }
+
+    #[test]
+    fn repeated_variables_join_within_an_atom() {
+        // loop(X) :- edge(X, X).
+        const LOOP: Predicate = 4;
+        let program = Program::new(vec![Rule {
+            head: Atom::new(LOOP, [DlTerm::Var(0)]),
+            body: vec![Atom::new(EDGE, [DlTerm::Var(0), DlTerm::Var(0)])],
+        }]);
+        let mut db = Database::new();
+        db.insert(EDGE, [c(0), c(1)]);
+        db.insert(EDGE, [c(2), c(2)]);
+        fixpoint(&mut db, &program);
+        assert_eq!(db.predicate_len(LOOP), 1);
+        assert!(db.contains(LOOP, &Row::from_slice(&[c(2)])));
+    }
+
+    #[test]
+    fn validate_rejects_unrestricted_head() {
+        let bad = Program::new(vec![Rule {
+            head: Atom::new(PATH, [DlTerm::Var(0), DlTerm::Var(9)]),
+            body: vec![Atom::new(EDGE, [DlTerm::Var(0), DlTerm::Var(1)])],
+        }]);
+        assert_eq!(bad.validate(), Err(0));
+        assert!(transitive_closure_program().validate().is_ok());
+    }
+
+    #[test]
+    fn query_conjunctive() {
+        let mut db = Database::new();
+        db.insert(EDGE, [c(0), c(1)]);
+        db.insert(EDGE, [c(1), c(2)]);
+        db.insert(EDGE, [c(2), c(3)]);
+        // two-hop: edge(X,Y), edge(Y,Z) → (X,Z)
+        let body = vec![
+            Atom::new(EDGE, [DlTerm::Var(0), DlTerm::Var(1)]),
+            Atom::new(EDGE, [DlTerm::Var(1), DlTerm::Var(2)]),
+        ];
+        let rows = query(&db, &body, &[0, 2]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.contains(&Row::from_slice(&[c(0), c(2)])));
+        assert!(rows.contains(&Row::from_slice(&[c(1), c(3)])));
+    }
+
+    #[test]
+    fn empty_database_and_program() {
+        let mut db = Database::new();
+        let stats = fixpoint(&mut db, &Program::default());
+        assert_eq!(stats.rounds, 0);
+        assert!(db.is_empty());
+        let stats = fixpoint(&mut db, &transitive_closure_program());
+        assert_eq!(stats.derived, 0);
+    }
+
+    #[test]
+    fn database_accessors() {
+        let mut db = Database::new();
+        assert!(db.insert(EDGE, [c(0), c(1)]));
+        assert!(!db.insert(EDGE, [c(0), c(1)]), "duplicate");
+        assert_eq!(db.len(), 1);
+        assert_eq!(db.rows(EDGE).count(), 1);
+        assert_eq!(db.rows(PATH).count(), 0);
+        assert!(db.contains(EDGE, &Row::from_slice(&[c(0), c(1)])));
+        assert!(!db.contains(EDGE, &Row::from_slice(&[c(1), c(0)])));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Engine transitive closure equals a reference reachability
+            /// computation on random graphs.
+            #[test]
+            fn closure_matches_reference(edges in proptest::collection::vec((0usize..12, 0usize..12), 0..40)) {
+                let mut db = Database::new();
+                for &(a, b) in &edges {
+                    db.insert(EDGE, [c(a), c(b)]);
+                }
+                fixpoint(&mut db, &transitive_closure_program());
+
+                // Reference: Floyd–Warshall-style reachability.
+                let mut reach = [[false; 12]; 12];
+                for &(a, b) in &edges {
+                    reach[a][b] = true;
+                }
+                for k in 0..12 {
+                    for i in 0..12 {
+                        for j in 0..12 {
+                            reach[i][j] |= reach[i][k] && reach[k][j];
+                        }
+                    }
+                }
+                let want: usize = reach.iter().flatten().filter(|&&b| b).count();
+                prop_assert_eq!(db.predicate_len(PATH), want);
+            }
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # datalog — a semi-naive Datalog engine with an RDF bridge
+//!
+//! The paper's open issues (§II-D) include: "alternative methods for
+//! answering queries against an RDF graph can be devised, for instance
+//! based on translation to Datalog; given the presence of new-generation,
+//! very efficient Datalog engines, smart translations to Datalog and
+//! possibly RDF-specific Datalog optimization techniques are of interest."
+//!
+//! This crate implements that alternative end to end:
+//!
+//! * [`engine`]: a generic positive-Datalog engine — constants are
+//!   [`rdf_model::TermId`]s, facts live in per-predicate relations indexed
+//!   on every argument position, and evaluation is semi-naive (each round
+//!   joins the delta against the full database);
+//! * [`rdf`]: the RDF→Datalog translation: a graph becomes a single
+//!   ternary relation `t(s, p, o)`, the RDFS entailment rules of the
+//!   paper's Fig. 2 (plus the schema-closure rules) become Datalog rules,
+//!   and saturation becomes the engine's fix-point —
+//!   [`rdf::saturate_via_datalog`] is cross-checked against the
+//!   specialised `rdfs::saturate` in the tests and raced against it in the
+//!   bench harness (experiment A-DATALOG).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod rdf;
+
+pub use engine::{Atom, Database, DlTerm, Program, Rule};
+pub use rdf::{rdfs_program, saturate_via_datalog};

@@ -1,0 +1,479 @@
+//! # federation — integrating independently-authored RDF endpoints
+//!
+//! The paper's §I motivates reformulation with exactly this scenario:
+//! "typical Semantic Web scenarios involve integrating data from several
+//! RDF repositories, also called 'RDF endpoints'. Since such repositories
+//! are often authored independently, they have their own sets of semantic
+//! constraints (or schemas, in short); computing prior to query answering
+//! all the consequences of facts from any endpoint and constraints from
+//! any (other) endpoint is not feasible."
+//!
+//! [`Federation`] is a mediator over such endpoints. Each endpoint owns
+//! its triples (facts *and* constraints); the mediator keeps a merged
+//! explicit index as a cache but **never materialises a global
+//! saturation**. Query answering reformulates against the union of all
+//! endpoint schemas and evaluates over the merged explicit triples —
+//! so constraints from one endpoint apply to facts from another, and
+//! endpoints can join, leave or be replaced with no saturation to
+//! maintain. A deliberately naive saturating mediator
+//! ([`Federation::answer_via_saturation`]) is provided as the comparison
+//! arm of experiment A-FED: it re-saturates the merged graph whenever any
+//! endpoint changed.
+//!
+//! ```
+//! use federation::Federation;
+//!
+//! let mut fed = Federation::new();
+//! // Endpoint A publishes facts with its own vocabulary…
+//! let a = fed.add_endpoint("endpointA");
+//! fed.load_turtle(a, r#"
+//!     @prefix a: <http://a.example/> .
+//!     a:r1 a:locatedIn a:paris .
+//! "#).unwrap();
+//! // …endpoint B publishes constraints over A's vocabulary.
+//! let b = fed.add_endpoint("endpointB");
+//! fed.load_turtle(b, r#"
+//!     @prefix a: <http://a.example/> .
+//!     @prefix b: <http://b.example/> .
+//!     @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+//!     a:locatedIn rdfs:range b:Place .
+//! "#).unwrap();
+//! let sols = fed.answer_sparql(
+//!     "PREFIX b: <http://b.example/> SELECT ?x WHERE { ?x a b:Place }"
+//! ).unwrap();
+//! assert_eq!(sols.len(), 1); // paris, typed across endpoints
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rdf_io::ParseError;
+use rdf_model::{Dictionary, Graph, Triple, Vocab};
+use rdfs::{saturate, Schema};
+use reformulation::{reformulate, ReformulationError};
+use sparql::{evaluate, finalize, parse_query, Query, QueryParseError, Solutions};
+use std::fmt;
+
+/// A stable handle to an endpoint of the federation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EndpointId(usize);
+
+/// Errors surfaced by federation operations.
+#[derive(Debug)]
+pub enum FederationError {
+    /// RDF data failed to parse.
+    Data(ParseError),
+    /// The SPARQL text failed to parse.
+    Query(QueryParseError),
+    /// The query is outside the reformulation dialect.
+    Reformulation(ReformulationError),
+    /// The endpoint id does not name a live endpoint.
+    UnknownEndpoint(EndpointId),
+}
+
+impl fmt::Display for FederationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FederationError::Data(e) => write!(f, "{e}"),
+            FederationError::Query(e) => write!(f, "{e}"),
+            FederationError::Reformulation(e) => write!(f, "{e}"),
+            FederationError::UnknownEndpoint(id) => write!(f, "unknown endpoint #{}", id.0),
+        }
+    }
+}
+
+impl std::error::Error for FederationError {}
+
+impl From<ParseError> for FederationError {
+    fn from(e: ParseError) -> Self {
+        FederationError::Data(e)
+    }
+}
+impl From<QueryParseError> for FederationError {
+    fn from(e: QueryParseError) -> Self {
+        FederationError::Query(e)
+    }
+}
+impl From<ReformulationError> for FederationError {
+    fn from(e: ReformulationError) -> Self {
+        FederationError::Reformulation(e)
+    }
+}
+
+struct Endpoint {
+    name: String,
+    graph: Graph,
+}
+
+/// A mediator over independently-authored RDF endpoints.
+pub struct Federation {
+    dict: Dictionary,
+    vocab: Vocab,
+    endpoints: Vec<Option<Endpoint>>,
+    /// Merged explicit triples (multi-set aware: a triple stays while any
+    /// endpoint asserts it). Rebuilt lazily after membership changes.
+    merged: Option<Graph>,
+    schema: Option<Schema>,
+    /// The naive comparison arm's cached saturation of the merged graph.
+    saturated: Option<Graph>,
+}
+
+impl Default for Federation {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Federation {
+    /// Creates an empty federation.
+    pub fn new() -> Self {
+        let mut dict = Dictionary::new();
+        let vocab = Vocab::intern(&mut dict);
+        Federation { dict, vocab, endpoints: Vec::new(), merged: None, schema: None, saturated: None }
+    }
+
+    /// Registers a new (empty) endpoint.
+    pub fn add_endpoint(&mut self, name: &str) -> EndpointId {
+        let id = EndpointId(self.endpoints.len());
+        self.endpoints.push(Some(Endpoint { name: name.to_owned(), graph: Graph::new() }));
+        id
+    }
+
+    /// Removes an endpoint and all its triples. Returns false if the id
+    /// was already gone. Nothing else needs maintenance — the point of the
+    /// reformulation-based mediator.
+    pub fn remove_endpoint(&mut self, id: EndpointId) -> bool {
+        match self.endpoints.get_mut(id.0) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                self.invalidate();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Loads Turtle into an endpoint. Returns the number of triples in the
+    /// document.
+    pub fn load_turtle(&mut self, id: EndpointId, text: &str) -> Result<usize, FederationError> {
+        let endpoint = self
+            .endpoints
+            .get_mut(id.0)
+            .and_then(Option::as_mut)
+            .ok_or(FederationError::UnknownEndpoint(id))?;
+        let n = rdf_io::parse_turtle(text, &mut self.dict, &mut endpoint.graph)?;
+        self.invalidate();
+        Ok(n)
+    }
+
+    /// Loads N-Triples into an endpoint.
+    pub fn load_ntriples(&mut self, id: EndpointId, text: &str) -> Result<usize, FederationError> {
+        let endpoint = self
+            .endpoints
+            .get_mut(id.0)
+            .and_then(Option::as_mut)
+            .ok_or(FederationError::UnknownEndpoint(id))?;
+        let n = rdf_io::parse_ntriples(text, &mut self.dict, &mut endpoint.graph)?;
+        self.invalidate();
+        Ok(n)
+    }
+
+    /// Inserts one triple into an endpoint.
+    pub fn insert(&mut self, id: EndpointId, t: Triple) -> Result<bool, FederationError> {
+        let endpoint = self
+            .endpoints
+            .get_mut(id.0)
+            .and_then(Option::as_mut)
+            .ok_or(FederationError::UnknownEndpoint(id))?;
+        let changed = endpoint.graph.insert(t);
+        if changed {
+            self.invalidate();
+        }
+        Ok(changed)
+    }
+
+    fn invalidate(&mut self) {
+        self.merged = None;
+        self.schema = None;
+        self.saturated = None;
+    }
+
+    /// Names of the live endpoints.
+    pub fn endpoint_names(&self) -> Vec<&str> {
+        self.endpoints.iter().flatten().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Number of live endpoints.
+    pub fn len(&self) -> usize {
+        self.endpoints.iter().flatten().count()
+    }
+
+    /// True when no endpoint is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The mediator's dictionary (shared across endpoints).
+    pub fn dictionary(&self) -> &Dictionary {
+        &self.dict
+    }
+
+    fn merged(&mut self) -> &Graph {
+        if self.merged.is_none() {
+            let mut g = Graph::new();
+            for e in self.endpoints.iter().flatten() {
+                for t in e.graph.iter() {
+                    g.insert(t);
+                }
+            }
+            self.merged = Some(g);
+        }
+        self.merged.as_ref().expect("just built")
+    }
+
+    /// Total explicit triples across endpoints (duplicates merged).
+    pub fn triple_count(&mut self) -> usize {
+        self.merged().len()
+    }
+
+    /// Parses a query against the federation's dictionary.
+    pub fn prepare(&mut self, sparql: &str) -> Result<Query, FederationError> {
+        Ok(parse_query(sparql, &mut self.dict)?)
+    }
+
+    /// Answers `q` by reformulation against the union of all endpoint
+    /// schemas, evaluated over the merged explicit triples — constraints
+    /// from any endpoint apply to facts from any other, with no global
+    /// saturation ever materialised.
+    pub fn answer(&mut self, q: &Query) -> Result<Solutions, FederationError> {
+        if self.schema.is_none() {
+            let vocab = self.vocab;
+            let schema = Schema::extract(self.merged(), &vocab);
+            self.schema = Some(schema);
+        }
+        let r = reformulate(q, self.schema.as_ref().expect("just built"), &self.vocab)?;
+        let sols = evaluate(self.merged(), &r.query);
+        Ok(finalize(sols, q, &mut self.dict))
+    }
+
+    /// Parses and answers in one call.
+    pub fn answer_sparql(&mut self, sparql: &str) -> Result<Solutions, FederationError> {
+        let q = self.prepare(sparql)?;
+        self.answer(&q)
+    }
+
+    /// The naive saturating mediator (A-FED comparison arm): maintains a
+    /// saturation of the merged graph, recomputed from scratch whenever
+    /// any endpoint changed — "computing prior to query answering all the
+    /// consequences of facts from any endpoint and constraints from any
+    /// (other) endpoint" (§I).
+    pub fn answer_via_saturation(&mut self, q: &Query) -> Result<Solutions, FederationError> {
+        if self.saturated.is_none() {
+            let vocab = self.vocab;
+            let merged = self.merged().clone();
+            self.saturated = Some(saturate(&merged, &vocab).graph);
+        }
+        let sols = evaluate(self.saturated.as_ref().expect("just built"), q);
+        Ok(finalize(sols, q, &mut self.dict))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §II-A example, split across two endpoints: the fact
+    /// lives in one, the constraint in the other.
+    #[test]
+    fn cross_endpoint_entailment() {
+        let mut fed = Federation::new();
+        let facts = fed.add_endpoint("facts");
+        fed.load_turtle(
+            facts,
+            "@prefix ex: <http://example.org/> .\nex:Anne ex:hasFriend ex:Marie .",
+        )
+        .unwrap();
+        let ontology = fed.add_endpoint("ontology");
+        fed.load_turtle(
+            ontology,
+            "@prefix ex: <http://example.org/> .\n\
+             @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             ex:hasFriend rdfs:domain ex:Person .",
+        )
+        .unwrap();
+        let q = "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Person }";
+        let sols = fed.answer_sparql(q).unwrap();
+        assert_eq!(sols.to_strings(fed.dictionary()), vec!["?x=<http://example.org/Anne>"]);
+    }
+
+    #[test]
+    fn reformulation_and_saturation_mediators_agree() {
+        let mut fed = Federation::new();
+        let a = fed.add_endpoint("a");
+        fed.load_turtle(
+            a,
+            "@prefix ex: <http://ex/> . @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             ex:Cat rdfs:subClassOf ex:Mammal .\nex:tom a ex:Cat .",
+        )
+        .unwrap();
+        let b = fed.add_endpoint("b");
+        fed.load_turtle(
+            b,
+            "@prefix ex: <http://ex/> . @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             ex:Dog rdfs:subClassOf ex:Mammal .\nex:rex a ex:Dog .",
+        )
+        .unwrap();
+        let mut q = fed
+            .prepare("PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }")
+            .unwrap();
+        q.distinct = true;
+        let refo = fed.answer(&q).unwrap().as_set();
+        let sat = fed.answer_via_saturation(&q).unwrap().as_set();
+        assert_eq!(refo, sat);
+        assert_eq!(refo.len(), 2);
+    }
+
+    #[test]
+    fn endpoint_removal_retracts_facts_and_constraints() {
+        let mut fed = Federation::new();
+        let facts = fed.add_endpoint("facts");
+        fed.load_turtle(facts, "@prefix ex: <http://ex/> .\nex:anne ex:hasFriend ex:marie .")
+            .unwrap();
+        let ontology = fed.add_endpoint("ontology");
+        fed.load_turtle(
+            ontology,
+            "@prefix ex: <http://ex/> . @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             ex:hasFriend rdfs:domain ex:Person .",
+        )
+        .unwrap();
+        let q = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Person }";
+        assert_eq!(fed.answer_sparql(q).unwrap().len(), 1);
+        // The ontology endpoint leaves: its constraint goes with it.
+        assert!(fed.remove_endpoint(ontology));
+        assert_eq!(fed.answer_sparql(q).unwrap().len(), 0);
+        assert_eq!(fed.len(), 1);
+        assert!(!fed.remove_endpoint(ontology), "double removal");
+        // Facts are still there.
+        let q = "PREFIX ex: <http://ex/> SELECT ?x ?y WHERE { ?x ex:hasFriend ?y }";
+        assert_eq!(fed.answer_sparql(q).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_assertions_across_endpoints_survive_one_removal() {
+        let mut fed = Federation::new();
+        let a = fed.add_endpoint("a");
+        let b = fed.add_endpoint("b");
+        let data = "@prefix ex: <http://ex/> .\nex:x ex:p ex:y .";
+        fed.load_turtle(a, data).unwrap();
+        fed.load_turtle(b, data).unwrap();
+        assert_eq!(fed.triple_count(), 1, "merged view dedups");
+        fed.remove_endpoint(a);
+        assert_eq!(fed.triple_count(), 1, "still asserted by b");
+        fed.remove_endpoint(b);
+        assert_eq!(fed.triple_count(), 0);
+    }
+
+    #[test]
+    fn out_of_dialect_query_errors_cleanly() {
+        let mut fed = Federation::new();
+        let a = fed.add_endpoint("a");
+        fed.load_turtle(a, "@prefix ex: <http://ex/> .\nex:x ex:p ex:y .").unwrap();
+        let err = fed
+            .answer_sparql("SELECT ?p WHERE { <http://ex/x> ?p <http://ex/y> }")
+            .unwrap_err();
+        assert!(matches!(err, FederationError::Reformulation(_)), "{err}");
+        // …and parse errors surface too
+        let err = fed.answer_sparql("SELECT WHERE").unwrap_err();
+        assert!(matches!(err, FederationError::Query(_)));
+    }
+
+    #[test]
+    fn modifiers_apply_at_the_mediator() {
+        let mut fed = Federation::new();
+        let a = fed.add_endpoint("a");
+        fed.load_turtle(
+            a,
+            "@prefix ex: <http://ex/> .\nex:a ex:age 30 . ex:b ex:age 10 . ex:c ex:age 20 .",
+        )
+        .unwrap();
+        let sols = fed
+            .answer_sparql(
+                "PREFIX ex: <http://ex/> SELECT ?x ?a WHERE { ?x ex:age ?a . FILTER (?a > 15) } \
+                 ORDER BY DESC(?a) LIMIT 1",
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(
+            sols.to_strings(fed.dictionary())[0].split_whitespace().next(),
+            Some("?x=<http://ex/a>")
+        );
+    }
+
+    #[test]
+    fn unknown_endpoint_errors() {
+        let mut fed = Federation::new();
+        let a = fed.add_endpoint("a");
+        fed.remove_endpoint(a);
+        assert!(matches!(
+            fed.load_turtle(a, "x"),
+            Err(FederationError::UnknownEndpoint(_))
+        ));
+        let mut d = Dictionary::new();
+        let v = Vocab::intern(&mut d);
+        let t = Triple::new(v.rdf_type, v.rdf_type, v.rdf_type);
+        assert!(matches!(fed.insert(a, t), Err(FederationError::UnknownEndpoint(_))));
+    }
+
+    #[test]
+    fn incremental_inserts_invalidate_caches() {
+        let mut fed = Federation::new();
+        let a = fed.add_endpoint("a");
+        fed.load_turtle(
+            a,
+            "@prefix ex: <http://ex/> . @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             ex:Cat rdfs:subClassOf ex:Mammal .",
+        )
+        .unwrap();
+        let q = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }";
+        assert_eq!(fed.answer_sparql(q).unwrap().len(), 0);
+        let tom = {
+            let mut dict = fed.dict.clone();
+            let t = Triple::new(
+                dict.encode_iri("http://ex/tom"),
+                fed.vocab.rdf_type,
+                dict.get_iri_id("http://ex/Cat").unwrap(),
+            );
+            fed.dict = dict;
+            t
+        };
+        assert!(fed.insert(a, tom).unwrap());
+        assert_eq!(fed.answer_sparql(q).unwrap().len(), 1, "reformulation path");
+        let mut q2 = fed.prepare(q).unwrap();
+        q2.distinct = true;
+        assert_eq!(fed.answer_via_saturation(&q2).unwrap().len(), 1, "saturation path");
+    }
+
+    #[test]
+    fn many_endpoints_with_distinct_schemas() {
+        // Five departments each publish their own subclass of a shared
+        // Employee class; a type query over the shared class spans all.
+        let mut fed = Federation::new();
+        for i in 0..5 {
+            let e = fed.add_endpoint(&format!("dept{i}"));
+            fed.load_turtle(
+                e,
+                &format!(
+                    "@prefix ex: <http://ex/> . @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+                     ex:Role{i} rdfs:subClassOf ex:Employee .\n\
+                     ex:worker{i} a ex:Role{i} ."
+                ),
+            )
+            .unwrap();
+        }
+        let sols = fed
+            .answer_sparql("PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Employee }")
+            .unwrap();
+        assert_eq!(sols.len(), 5);
+        assert_eq!(fed.endpoint_names().len(), 5);
+    }
+}

@@ -1,0 +1,585 @@
+//! A practical Turtle subset parser.
+//!
+//! Supported: `@prefix` / `PREFIX` directives, full IRIs, prefixed names,
+//! the `a` keyword, predicate lists (`;`), object lists (`,`), quoted
+//! literals with escapes / language tags / datatypes, numeric and boolean
+//! shorthand, labelled blank nodes and `#` comments. Anonymous blank nodes
+//! `[...]`, collections `(...)`, `@base` and triple-quoted strings are
+//! rejected with explicit errors — the workload fixtures and examples of
+//! this reproduction do not need them.
+
+use crate::error::ParseError;
+use rdf_model::{vocab, Dictionary, Graph, Literal, Term, Triple};
+use rustc_hash::FxHashMap;
+
+struct Parser<'a> {
+    rest: &'a str,
+    line: usize,
+    prefixes: FxHashMap<String, String>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { rest: input, line: 1, prefixes: FxHashMap::default() }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(self.line, msg)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest.chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.rest.chars().next()?;
+        if c == '\n' {
+            self.line += 1;
+        }
+        self.rest = &self.rest[c.len_utf8()..];
+        Some(c)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), ParseError> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(self.err(format!("expected '{c}', found {got:?}"))),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('#') => {
+                    while let Some(c) = self.bump() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        // ':' counts as a name character: `a:x` is a prefixed name, not the
+        // keyword `a` followed by `:x`.
+        if self.rest.get(..kw.len()).is_some_and(|head| head.eq_ignore_ascii_case(kw))
+            && !self.rest[kw.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':')
+        {
+            for _ in 0..kw.len() {
+                self.bump();
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn iri_ref(&mut self) -> Result<String, ParseError> {
+        self.expect('<')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('>') => return Ok(out),
+                Some(c) if c == ' ' || c == '\n' || c == '"' => {
+                    return Err(self.err(format!("character {c:?} not allowed in IRI")));
+                }
+                Some(c) => out.push(c),
+                None => return Err(self.err("unterminated IRI")),
+            }
+        }
+    }
+
+    /// A prefixed-name or bare local part: reads up to a delimiter, resolves
+    /// the prefix. `prefix:` with empty local part is allowed.
+    fn pname(&mut self) -> Result<String, ParseError> {
+        let end = self
+            .rest
+            .find(|c: char| c.is_whitespace() || matches!(c, ';' | ',' | '#' | '"' | '<' | ')' | ']'))
+            .unwrap_or(self.rest.len());
+        let mut token = &self.rest[..end];
+        // A trailing '.' ends the statement unless it is inside the local name
+        // (we keep dots followed by more name characters, per Turtle PN_LOCAL).
+        while token.ends_with('.') {
+            token = &token[..token.len() - 1];
+        }
+        if token.is_empty() {
+            return Err(self.err("expected a prefixed name"));
+        }
+        let Some(colon) = token.find(':') else {
+            return Err(self.err(format!("'{token}' is not a prefixed name (missing ':')")));
+        };
+        let (prefix, local) = (&token[..colon], &token[colon + 1..]);
+        let Some(ns) = self.prefixes.get(prefix) else {
+            return Err(self.err(format!("unknown prefix '{prefix}:'")));
+        };
+        let iri = format!("{ns}{local}");
+        self.rest = &self.rest[token.len()..];
+        Ok(iri)
+    }
+
+    fn string_literal(&mut self) -> Result<String, ParseError> {
+        self.expect('"')?;
+        if self.rest.starts_with("\"\"") {
+            return Err(self.err("triple-quoted strings are outside the supported Turtle subset"));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('"') => out.push('"'),
+                    Some('\'') => out.push('\''),
+                    Some('\\') => out.push('\\'),
+                    Some('u') => out.push(self.hex_char(4)?),
+                    Some('U') => out.push(self.hex_char(8)?),
+                    other => return Err(self.err(format!("invalid string escape {other:?}"))),
+                },
+                Some('\n') => return Err(self.err("newline in single-quoted string")),
+                Some(c) => out.push(c),
+                None => return Err(self.err("unterminated string literal")),
+            }
+        }
+    }
+
+    fn hex_char(&mut self, n: usize) -> Result<char, ParseError> {
+        if self.rest.len() < n || !self.rest.is_char_boundary(n) {
+            return Err(self.err("truncated unicode escape"));
+        }
+        let (hex, rest) = self.rest.split_at(n);
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid hex in unicode escape"))?;
+        self.rest = rest;
+        char::from_u32(code).ok_or_else(|| self.err("escape is not a scalar value"))
+    }
+
+    fn numeric_literal(&mut self) -> Result<Term, ParseError> {
+        let end = self
+            .rest
+            .find(|c: char| !(c.is_ascii_digit() || matches!(c, '+' | '-' | '.' | 'e' | 'E')))
+            .unwrap_or(self.rest.len());
+        let mut token = &self.rest[..end];
+        // A final '.' not followed by a digit terminates the statement.
+        if token.ends_with('.') {
+            token = &token[..token.len() - 1];
+        }
+        if token.is_empty() {
+            return Err(self.err("expected a numeric literal"));
+        }
+        let dt = if token.contains(['e', 'E']) {
+            token
+                .parse::<f64>()
+                .map_err(|_| self.err(format!("invalid double literal '{token}'")))?;
+            vocab::XSD_DOUBLE
+        } else if token.contains('.') {
+            token
+                .parse::<f64>()
+                .map_err(|_| self.err(format!("invalid decimal literal '{token}'")))?;
+            vocab::XSD_DECIMAL
+        } else {
+            token
+                .parse::<i128>()
+                .map_err(|_| self.err(format!("invalid integer literal '{token}'")))?;
+            vocab::XSD_INTEGER
+        };
+        self.rest = &self.rest[token.len()..];
+        Ok(Term::Literal(Literal::typed(token, dt)))
+    }
+
+    /// Parses a term in subject/object position.
+    fn term(&mut self, allow_literal: bool) -> Result<Term, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.iri_ref()?.into())),
+            Some('[') => Err(self.err("anonymous blank nodes '[...]' are outside the supported Turtle subset")),
+            Some('(') => Err(self.err("collections '(...)' are outside the supported Turtle subset")),
+            Some('_') if self.rest.starts_with("_:") => {
+                self.bump();
+                self.bump();
+                let end = self
+                    .rest
+                    .find(|c: char| !(c.is_alphanumeric() || c == '_' || c == '-'))
+                    .unwrap_or(self.rest.len());
+                if end == 0 {
+                    return Err(self.err("empty blank node label"));
+                }
+                let label = self.rest[..end].to_owned();
+                self.rest = &self.rest[end..];
+                Ok(Term::blank(label))
+            }
+            Some('"') if allow_literal => {
+                let lexical = self.string_literal()?;
+                match self.peek() {
+                    Some('@') => {
+                        self.bump();
+                        let end = self
+                            .rest
+                            .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+                            .unwrap_or(self.rest.len());
+                        if end == 0 {
+                            return Err(self.err("empty language tag"));
+                        }
+                        let tag = self.rest[..end].to_owned();
+                        self.rest = &self.rest[end..];
+                        Ok(Term::Literal(Literal::lang(lexical, &tag)))
+                    }
+                    Some('^') => {
+                        self.bump();
+                        self.expect('^')?;
+                        let dt = if self.peek() == Some('<') {
+                            self.iri_ref()?
+                        } else {
+                            self.pname()?
+                        };
+                        Ok(Term::Literal(Literal::typed(lexical, dt)))
+                    }
+                    _ => Ok(Term::Literal(Literal::plain(lexical))),
+                }
+            }
+            Some(c) if allow_literal && (c.is_ascii_digit() || c == '+' || c == '-') => {
+                self.numeric_literal()
+            }
+            Some(_) if allow_literal && self.eat_keyword("true") => {
+                Ok(Term::Literal(Literal::typed("true", vocab::XSD_BOOLEAN)))
+            }
+            Some(_) if allow_literal && self.eat_keyword("false") => {
+                Ok(Term::Literal(Literal::typed("false", vocab::XSD_BOOLEAN)))
+            }
+            Some('"') => Err(self.err("literal not allowed here")),
+            Some(_) => Ok(Term::Iri(self.pname()?.into())),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    /// Parses the predicate position: `a` or an IRI / prefixed name.
+    fn predicate(&mut self) -> Result<Term, ParseError> {
+        self.skip_ws();
+        if self.eat_keyword("a") {
+            return Ok(Term::iri(vocab::RDF_TYPE));
+        }
+        match self.peek() {
+            Some('<') => Ok(Term::Iri(self.iri_ref()?.into())),
+            Some(_) => Ok(Term::Iri(self.pname()?.into())),
+            None => Err(self.err("unexpected end of input in predicate position")),
+        }
+    }
+
+    fn directive(&mut self) -> Result<bool, ParseError> {
+        self.skip_ws();
+        let at_style = if self.rest.starts_with("@prefix") {
+            for _ in 0.."@prefix".len() {
+                self.bump();
+            }
+            true
+        } else if self.rest.get(..6).is_some_and(|h| h.eq_ignore_ascii_case("PREFIX")) {
+            for _ in 0..6 {
+                self.bump();
+            }
+            false
+        } else if self.rest.starts_with("@base")
+            || self.rest.get(..4).is_some_and(|h| h.eq_ignore_ascii_case("BASE"))
+        {
+            return Err(self.err("@base is outside the supported Turtle subset; use absolute IRIs"));
+        } else {
+            return Ok(false);
+        };
+        self.skip_ws();
+        let end = self
+            .rest
+            .find(':')
+            .ok_or_else(|| self.err("expected 'prefix:' in @prefix directive"))?;
+        let prefix = self.rest[..end].trim().to_owned();
+        if prefix.contains(char::is_whitespace) {
+            return Err(self.err("malformed prefix name"));
+        }
+        self.rest = &self.rest[end + 1..];
+        self.skip_ws();
+        let ns = self.iri_ref()?;
+        self.prefixes.insert(prefix, ns);
+        if at_style {
+            self.skip_ws();
+            self.expect('.')?;
+        } else {
+            // SPARQL-style PREFIX takes no dot; tolerate one for robustness.
+            self.skip_ws();
+            if self.peek() == Some('.') {
+                self.bump();
+            }
+        }
+        Ok(true)
+    }
+}
+
+/// Parses a Turtle document (see module docs for the supported subset),
+/// interning terms into `dict` and inserting encoded triples into `graph`.
+/// Returns the number of triples parsed.
+pub fn parse_turtle(
+    input: &str,
+    dict: &mut Dictionary,
+    graph: &mut Graph,
+) -> Result<usize, ParseError> {
+    let mut p = Parser::new(input);
+    let mut count = 0;
+    loop {
+        p.skip_ws();
+        if p.rest.is_empty() {
+            return Ok(count);
+        }
+        if p.directive()? {
+            continue;
+        }
+        // triples: subject predicateObjectList '.'
+        let subject = p.term(false)?;
+        let s_id = dict.encode(&subject);
+        loop {
+            let pred = p.predicate()?;
+            if !pred.is_iri() {
+                return Err(p.err("property must be an IRI"));
+            }
+            let p_id = dict.encode(&pred);
+            loop {
+                let object = p.term(true)?;
+                graph.insert(Triple::new(s_id, p_id, dict.encode(&object)));
+                count += 1;
+                p.skip_ws();
+                if p.peek() == Some(',') {
+                    p.bump();
+                } else {
+                    break;
+                }
+            }
+            p.skip_ws();
+            match p.peek() {
+                Some(';') => {
+                    p.bump();
+                    p.skip_ws();
+                    // Tolerate a dangling ';' before '.' as real Turtle does.
+                    if p.peek() == Some('.') {
+                        p.bump();
+                        break;
+                    }
+                }
+                Some('.') => {
+                    p.bump();
+                    break;
+                }
+                other => return Err(p.err(format!("expected ';' or '.', found {other:?}"))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdf_model::Pattern;
+
+    fn parse(input: &str) -> Result<(Dictionary, Graph), ParseError> {
+        let mut d = Dictionary::new();
+        let mut g = Graph::new();
+        parse_turtle(input, &mut d, &mut g)?;
+        Ok((d, g))
+    }
+
+    #[test]
+    fn prefixes_and_qnames() {
+        let (d, g) = parse(
+            "@prefix ex: <http://example.org/> .\n\
+             ex:Anne ex:hasFriend ex:Marie .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+        assert!(d.get_iri_id("http://example.org/Anne").is_some());
+        assert!(d.get_iri_id("http://example.org/hasFriend").is_some());
+    }
+
+    #[test]
+    fn sparql_style_prefix() {
+        let (_, g) = parse(
+            "PREFIX ex: <http://example.org/>\n\
+             ex:a ex:p ex:b .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn prefix_named_a_is_not_the_type_keyword() {
+        // regression: `a:p` is a prefixed name, not keyword `a` + `:p`
+        let (d, g) = parse(
+            "@prefix a: <http://a.example/> .\na:r1 a:locatedIn a:paris .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+        assert!(d.get_iri_id("http://a.example/locatedIn").is_some());
+        assert!(d.get_iri_id(vocab::RDF_TYPE).is_none());
+    }
+
+    #[test]
+    fn a_keyword_expands_to_rdf_type() {
+        let (d, g) = parse(
+            "@prefix ex: <http://ex/> .\n\
+             ex:Anne a ex:Person .",
+        )
+        .unwrap();
+        let ty = d.get_iri_id(vocab::RDF_TYPE).unwrap();
+        assert_eq!(g.count(&Pattern::new(None, Some(ty), None)), 1);
+    }
+
+    #[test]
+    fn predicate_and_object_lists() {
+        let (d, g) = parse(
+            "@prefix ex: <http://ex/> .\n\
+             ex:a ex:p ex:b , ex:c ; ex:q ex:d ; a ex:T .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 4);
+        let a = d.get_iri_id("http://ex/a").unwrap();
+        assert_eq!(g.count(&Pattern::new(Some(a), None, None)), 4);
+    }
+
+    #[test]
+    fn numeric_and_boolean_literals() {
+        let (d, g) = parse(
+            "@prefix ex: <http://ex/> .\n\
+             ex:a ex:int 42 ; ex:neg -7 ; ex:dec 3.14 ; ex:dbl 1.0e3 ; ex:t true ; ex:f false .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 6);
+        assert!(d.get_id(&Term::Literal(Literal::typed("42", vocab::XSD_INTEGER))).is_some());
+        assert!(d.get_id(&Term::Literal(Literal::typed("-7", vocab::XSD_INTEGER))).is_some());
+        assert!(d.get_id(&Term::Literal(Literal::typed("3.14", vocab::XSD_DECIMAL))).is_some());
+        assert!(d.get_id(&Term::Literal(Literal::typed("1.0e3", vocab::XSD_DOUBLE))).is_some());
+        assert!(d.get_id(&Term::Literal(Literal::typed("true", vocab::XSD_BOOLEAN))).is_some());
+    }
+
+    #[test]
+    fn string_literals_with_lang_and_datatype() {
+        let (d, _) = parse(
+            "@prefix ex: <http://ex/> .\n\
+             @prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n\
+             ex:a ex:p \"plain\" ; ex:q \"hi\"@en ; ex:r \"5\"^^xsd:integer ; ex:s \"x\"^^<http://dt> .",
+        )
+        .unwrap();
+        assert!(d.get_id(&Term::literal("plain")).is_some());
+        assert!(d.get_id(&Term::Literal(Literal::lang("hi", "en"))).is_some());
+        assert!(d.get_id(&Term::Literal(Literal::typed("5", vocab::XSD_INTEGER))).is_some());
+        assert!(d.get_id(&Term::Literal(Literal::typed("x", "http://dt"))).is_some());
+    }
+
+    #[test]
+    fn blank_node_labels() {
+        let (d, g) = parse("@prefix ex: <http://ex/> .\n_:x ex:p _:y .").unwrap();
+        assert!(d.get_id(&Term::blank("x")).is_some());
+        assert!(d.get_id(&Term::blank("y")).is_some());
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn comments_anywhere() {
+        let (_, g) = parse(
+            "# header\n@prefix ex: <http://ex/> . # ns\nex:a ex:p ex:b . # done",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn multiline_statements() {
+        let (_, g) = parse(
+            "@prefix ex: <http://ex/> .\nex:a\n  ex:p ex:b ;\n  ex:q ex:c ,\n        ex:d .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn unknown_prefix_is_an_error() {
+        let err = parse("ex:a ex:p ex:b .").unwrap_err();
+        assert!(err.message.contains("unknown prefix"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_constructs_are_rejected_clearly() {
+        for (src, needle) in [
+            ("@prefix ex: <http://ex/> .\nex:a ex:p [ ex:q ex:b ] .", "anonymous blank nodes"),
+            ("@prefix ex: <http://ex/> .\nex:a ex:p ( ex:b ) .", "collections"),
+            ("@base <http://ex/> .", "@base"),
+            ("@prefix ex: <http://ex/> .\nex:a ex:p \"\"\"triple\"\"\" .", "triple-quoted"),
+        ] {
+            let err = parse(src).unwrap_err();
+            assert!(err.message.contains(needle), "want {needle:?} in {err}");
+        }
+    }
+
+    #[test]
+    fn error_line_numbers_track_newlines() {
+        let err = parse("@prefix ex: <http://ex/> .\n\n\nex:a ex:p ??? .").unwrap_err();
+        assert_eq!(err.line, 4);
+    }
+
+    #[test]
+    fn trailing_semicolon_tolerated() {
+        let (_, g) = parse("@prefix ex: <http://ex/> .\nex:a ex:p ex:b ; .").unwrap();
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn dangling_statement_is_error() {
+        assert!(parse("@prefix ex: <http://ex/> .\nex:a ex:p ex:b").is_err());
+        assert!(parse("@prefix ex: <http://ex/> .\nex:a ex:p .").is_err());
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The Turtle parser never panics, whatever bytes arrive.
+            #[test]
+            fn parser_total_on_arbitrary_input(input in "\\PC{0,200}") {
+                let mut d = Dictionary::new();
+                let mut g = Graph::new();
+                let _ = parse_turtle(&input, &mut d, &mut g);
+            }
+
+            /// …including inputs seeded with Turtle punctuation.
+            #[test]
+            fn parser_total_on_turtle_like_input(
+                body in "[@a-z:<>\"';,.() \\n]{0,120}",
+            ) {
+                let mut d = Dictionary::new();
+                let mut g = Graph::new();
+                let _ = parse_turtle(&format!("@prefix ex: <http://ex/> .\n{body}"), &mut d, &mut g);
+            }
+        }
+    }
+
+    #[test]
+    fn figure1_statements_from_the_paper() {
+        // The running example of §II-A: domain typing entails Anne's type.
+        let (d, g) = parse(
+            "@prefix : <http://example.org/> .\n\
+             @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             :hasFriend rdfs:domain :Person .\n\
+             :Anne :hasFriend :Marie .",
+        )
+        .unwrap();
+        assert_eq!(g.len(), 2);
+        let dom = d.get_iri_id(vocab::RDFS_DOMAIN).unwrap();
+        assert_eq!(g.count(&Pattern::new(None, Some(dom), None)), 1);
+    }
+}

@@ -1,0 +1,514 @@
+//! An in-memory, triple-indexed RDF graph.
+//!
+//! The graph maintains the three nested-map indexes
+//!
+//! * `SPO`: subject → property → {object}
+//! * `POS`: property → object → {subject}
+//! * `OSP`: object → subject → {property}
+//!
+//! which together answer each of the eight bound/unbound [`Pattern`] shapes
+//! with a single probe chain — the classical "all access paths" layout of
+//! RDF stores such as Hexastore and RDF-3X (the paper's §II-C prototypes),
+//! reduced from six to three orders because RDF patterns never need a
+//! *sorted* residual column here, only a set.
+
+use crate::dictionary::TermId;
+use crate::triple::{Pattern, Triple};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+type Leaf = FxHashSet<TermId>;
+type Index = FxHashMap<TermId, FxHashMap<TermId, Leaf>>;
+
+/// An in-memory RDF graph over dictionary-encoded triples.
+///
+/// Duplicate-free by construction; `insert` and `remove` report whether the
+/// graph changed. Cloning a graph deep-copies the indexes, which the
+/// saturation maintenance algorithms use to snapshot states.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    spo: Index,
+    pos: Index,
+    osp: Index,
+    /// Exact triple count per property, kept for O(1) planner cardinalities.
+    p_counts: FxHashMap<TermId, usize>,
+    len: usize,
+}
+
+fn index_insert(index: &mut Index, a: TermId, b: TermId, c: TermId) -> bool {
+    index.entry(a).or_default().entry(b).or_default().insert(c)
+}
+
+fn index_remove(index: &mut Index, a: TermId, b: TermId, c: TermId) -> bool {
+    let Some(inner) = index.get_mut(&a) else { return false };
+    let Some(leaf) = inner.get_mut(&b) else { return false };
+    let removed = leaf.remove(&c);
+    if removed {
+        if leaf.is_empty() {
+            inner.remove(&b);
+        }
+        if inner.is_empty() {
+            index.remove(&a);
+        }
+    }
+    removed
+}
+
+impl Graph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of triples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the graph holds no triple.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts a triple. Returns `true` if it was not already present.
+    pub fn insert(&mut self, t: Triple) -> bool {
+        if !index_insert(&mut self.spo, t.s, t.p, t.o) {
+            return false;
+        }
+        index_insert(&mut self.pos, t.p, t.o, t.s);
+        index_insert(&mut self.osp, t.o, t.s, t.p);
+        *self.p_counts.entry(t.p).or_insert(0) += 1;
+        self.len += 1;
+        true
+    }
+
+    /// Removes a triple. Returns `true` if it was present.
+    pub fn remove(&mut self, t: &Triple) -> bool {
+        if !index_remove(&mut self.spo, t.s, t.p, t.o) {
+            return false;
+        }
+        index_remove(&mut self.pos, t.p, t.o, t.s);
+        index_remove(&mut self.osp, t.o, t.s, t.p);
+        match self.p_counts.get_mut(&t.p) {
+            Some(c) if *c > 1 => *c -= 1,
+            _ => {
+                self.p_counts.remove(&t.p);
+            }
+        }
+        self.len -= 1;
+        true
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, t: &Triple) -> bool {
+        self.spo
+            .get(&t.s)
+            .and_then(|inner| inner.get(&t.p))
+            .is_some_and(|leaf| leaf.contains(&t.o))
+    }
+
+    /// Removes every triple.
+    pub fn clear(&mut self) {
+        self.spo.clear();
+        self.pos.clear();
+        self.osp.clear();
+        self.p_counts.clear();
+        self.len = 0;
+    }
+
+    /// Iterates over all triples (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().flat_map(|(&s, inner)| {
+            inner
+                .iter()
+                .flat_map(move |(&p, leaf)| leaf.iter().map(move |&o| Triple::new(s, p, o)))
+        })
+    }
+
+    /// Calls `f` with every triple matching `pattern`, using the cheapest
+    /// index for the pattern's shape.
+    pub fn for_each_match(&self, pattern: &Pattern, mut f: impl FnMut(Triple)) {
+        match (pattern.s, pattern.p, pattern.o) {
+            (Some(s), Some(p), Some(o)) => {
+                let t = Triple::new(s, p, o);
+                if self.contains(&t) {
+                    f(t);
+                }
+            }
+            (Some(s), Some(p), None) => {
+                if let Some(leaf) = self.spo.get(&s).and_then(|i| i.get(&p)) {
+                    for &o in leaf {
+                        f(Triple::new(s, p, o));
+                    }
+                }
+            }
+            (Some(s), None, Some(o)) => {
+                if let Some(leaf) = self.osp.get(&o).and_then(|i| i.get(&s)) {
+                    for &p in leaf {
+                        f(Triple::new(s, p, o));
+                    }
+                }
+            }
+            (None, Some(p), Some(o)) => {
+                if let Some(leaf) = self.pos.get(&p).and_then(|i| i.get(&o)) {
+                    for &s in leaf {
+                        f(Triple::new(s, p, o));
+                    }
+                }
+            }
+            (Some(s), None, None) => {
+                if let Some(inner) = self.spo.get(&s) {
+                    for (&p, leaf) in inner {
+                        for &o in leaf {
+                            f(Triple::new(s, p, o));
+                        }
+                    }
+                }
+            }
+            (None, Some(p), None) => {
+                if let Some(inner) = self.pos.get(&p) {
+                    for (&o, leaf) in inner {
+                        for &s in leaf {
+                            f(Triple::new(s, p, o));
+                        }
+                    }
+                }
+            }
+            (None, None, Some(o)) => {
+                if let Some(inner) = self.osp.get(&o) {
+                    for (&s, leaf) in inner {
+                        for &p in leaf {
+                            f(Triple::new(s, p, o));
+                        }
+                    }
+                }
+            }
+            (None, None, None) => {
+                for t in self.iter() {
+                    f(t);
+                }
+            }
+        }
+    }
+
+    /// Collects the triples matching `pattern`.
+    pub fn matches(&self, pattern: &Pattern) -> Vec<Triple> {
+        let mut out = Vec::new();
+        self.for_each_match(pattern, |t| out.push(t));
+        out
+    }
+
+    /// Exact number of triples matching `pattern`.
+    ///
+    /// O(1) for fully-bound, `(s,p,?)`-class and `(?,p,?)` shapes; for the
+    /// remaining shapes it sums leaf sizes of the relevant inner map.
+    pub fn count(&self, pattern: &Pattern) -> usize {
+        match (pattern.s, pattern.p, pattern.o) {
+            (Some(s), Some(p), Some(o)) => self.contains(&Triple::new(s, p, o)) as usize,
+            (Some(s), Some(p), None) => {
+                self.spo.get(&s).and_then(|i| i.get(&p)).map_or(0, Leaf::len)
+            }
+            (Some(s), None, Some(o)) => {
+                self.osp.get(&o).and_then(|i| i.get(&s)).map_or(0, Leaf::len)
+            }
+            (None, Some(p), Some(o)) => {
+                self.pos.get(&p).and_then(|i| i.get(&o)).map_or(0, Leaf::len)
+            }
+            (Some(s), None, None) => {
+                self.spo.get(&s).map_or(0, |i| i.values().map(Leaf::len).sum())
+            }
+            (None, Some(p), None) => self.p_counts.get(&p).copied().unwrap_or(0),
+            (None, None, Some(o)) => {
+                self.osp.get(&o).map_or(0, |i| i.values().map(Leaf::len).sum())
+            }
+            (None, None, None) => self.len,
+        }
+    }
+
+    /// The set of objects `o` with `s p o` in the graph, if any.
+    ///
+    /// Hot accessor for the reasoner's specialised join loops.
+    #[inline]
+    pub fn objects(&self, s: TermId, p: TermId) -> Option<&FxHashSet<TermId>> {
+        self.spo.get(&s).and_then(|i| i.get(&p))
+    }
+
+    /// The set of subjects `s` with `s p o` in the graph, if any.
+    #[inline]
+    pub fn subjects_with(&self, p: TermId, o: TermId) -> Option<&FxHashSet<TermId>> {
+        self.pos.get(&p).and_then(|i| i.get(&o))
+    }
+
+    /// Iterates over `(s, o)` pairs of triples with property `p`.
+    pub fn pairs_with_property(&self, p: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
+        self.pos
+            .get(&p)
+            .into_iter()
+            .flat_map(|inner| inner.iter().flat_map(|(&o, leaf)| leaf.iter().map(move |&s| (s, o))))
+    }
+
+    /// Distinct subjects appearing in the graph.
+    pub fn subjects(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.spo.keys().copied()
+    }
+
+    /// Distinct properties appearing in the graph.
+    pub fn properties(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.pos.keys().copied()
+    }
+
+    /// Distinct objects appearing in the graph.
+    pub fn objects_iter(&self) -> impl Iterator<Item = TermId> + '_ {
+        self.osp.keys().copied()
+    }
+
+    /// Number of distinct properties.
+    pub fn property_count(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// True if `other` contains every triple of `self`.
+    pub fn is_subgraph_of(&self, other: &Graph) -> bool {
+        self.len <= other.len && self.iter().all(|t| other.contains(&t))
+    }
+
+    /// Inserts every triple yielded by the iterator; returns how many were new.
+    pub fn extend(&mut self, triples: impl IntoIterator<Item = Triple>) -> usize {
+        triples.into_iter().filter(|&t| self.insert(t)).count()
+    }
+
+    /// The triples of `self` absent from `other`, i.e. set difference.
+    pub fn difference(&self, other: &Graph) -> Vec<Triple> {
+        self.iter().filter(|t| !other.contains(t)).collect()
+    }
+}
+
+impl PartialEq for Graph {
+    /// Two graphs are equal when they hold the same triple set.
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().all(|t| other.contains(&t))
+    }
+}
+
+impl Eq for Graph {}
+
+impl FromIterator<Triple> for Graph {
+    fn from_iter<I: IntoIterator<Item = Triple>>(iter: I) -> Self {
+        let mut g = Graph::new();
+        g.extend(iter);
+        g
+    }
+}
+
+impl Extend<Triple> for Graph {
+    fn extend<I: IntoIterator<Item = Triple>>(&mut self, iter: I) {
+        Graph::extend(self, iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> TermId {
+        TermId::from_index(i)
+    }
+
+    fn t(s: usize, p: usize, o: usize) -> Triple {
+        Triple::new(id(s), id(p), id(o))
+    }
+
+    fn sample() -> Graph {
+        [t(1, 10, 2), t(1, 10, 3), t(2, 10, 3), t(1, 11, 2), t(4, 12, 1)].into_iter().collect()
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut g = Graph::new();
+        assert!(g.insert(t(1, 2, 3)));
+        assert!(!g.insert(t(1, 2, 3)), "duplicate insert reports false");
+        assert_eq!(g.len(), 1);
+        assert!(g.contains(&t(1, 2, 3)));
+        assert!(!g.contains(&t(3, 2, 1)));
+        assert!(g.remove(&t(1, 2, 3)));
+        assert!(!g.remove(&t(1, 2, 3)), "double remove reports false");
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn all_eight_pattern_shapes() {
+        let g = sample();
+        let m = |s: Option<usize>, p: Option<usize>, o: Option<usize>| {
+            let mut v = g.matches(&Pattern::new(
+                s.map(id),
+                p.map(id),
+                o.map(id),
+            ));
+            v.sort();
+            v
+        };
+        assert_eq!(m(Some(1), Some(10), Some(2)), vec![t(1, 10, 2)]);
+        assert_eq!(m(Some(1), Some(10), None), vec![t(1, 10, 2), t(1, 10, 3)]);
+        assert_eq!(m(Some(1), None, Some(2)), vec![t(1, 10, 2), t(1, 11, 2)]);
+        assert_eq!(m(None, Some(10), Some(3)), vec![t(1, 10, 3), t(2, 10, 3)]);
+        assert_eq!(m(Some(1), None, None), vec![t(1, 10, 2), t(1, 10, 3), t(1, 11, 2)]);
+        assert_eq!(m(None, Some(10), None), vec![t(1, 10, 2), t(1, 10, 3), t(2, 10, 3)]);
+        assert_eq!(m(None, None, Some(3)), vec![t(1, 10, 3), t(2, 10, 3)]);
+        assert_eq!(m(None, None, None).len(), 5);
+    }
+
+    #[test]
+    fn counts_agree_with_matches() {
+        let g = sample();
+        let shapes = [
+            Pattern::new(Some(id(1)), Some(id(10)), Some(id(2))),
+            Pattern::new(Some(id(1)), Some(id(10)), None),
+            Pattern::new(Some(id(1)), None, Some(id(2))),
+            Pattern::new(None, Some(id(10)), Some(id(3))),
+            Pattern::new(Some(id(1)), None, None),
+            Pattern::new(None, Some(id(10)), None),
+            Pattern::new(None, None, Some(id(3))),
+            Pattern::any(),
+            // misses:
+            Pattern::new(Some(id(99)), None, None),
+            Pattern::new(None, Some(id(99)), None),
+            Pattern::new(None, None, Some(id(99))),
+        ];
+        for p in &shapes {
+            assert_eq!(g.count(p), g.matches(p).len(), "pattern {p:?}");
+        }
+    }
+
+    #[test]
+    fn property_counts_track_removals() {
+        let mut g = sample();
+        assert_eq!(g.count(&Pattern::new(None, Some(id(10)), None)), 3);
+        g.remove(&t(1, 10, 2));
+        assert_eq!(g.count(&Pattern::new(None, Some(id(10)), None)), 2);
+        g.remove(&t(1, 10, 3));
+        g.remove(&t(2, 10, 3));
+        assert_eq!(g.count(&Pattern::new(None, Some(id(10)), None)), 0);
+        assert!(!g.properties().any(|p| p == id(10)), "empty property pruned from index");
+    }
+
+    #[test]
+    fn removal_prunes_index_keys() {
+        let mut g = Graph::new();
+        g.insert(t(1, 2, 3));
+        g.remove(&t(1, 2, 3));
+        assert_eq!(g.subjects().count(), 0);
+        assert_eq!(g.properties().count(), 0);
+        assert_eq!(g.objects_iter().count(), 0);
+    }
+
+    #[test]
+    fn hot_accessors() {
+        let g = sample();
+        let objs = g.objects(id(1), id(10)).unwrap();
+        assert_eq!(objs.len(), 2);
+        assert!(objs.contains(&id(2)) && objs.contains(&id(3)));
+        let subs = g.subjects_with(id(10), id(3)).unwrap();
+        assert_eq!(subs.len(), 2);
+        assert!(g.objects(id(9), id(9)).is_none());
+        let mut pairs: Vec<_> = g.pairs_with_property(id(10)).collect();
+        pairs.sort();
+        assert_eq!(pairs, vec![(id(1), id(2)), (id(1), id(3)), (id(2), id(3))]);
+    }
+
+    #[test]
+    fn graph_equality_ignores_insertion_order() {
+        let a: Graph = [t(1, 2, 3), t(4, 5, 6)].into_iter().collect();
+        let b: Graph = [t(4, 5, 6), t(1, 2, 3)].into_iter().collect();
+        assert_eq!(a, b);
+        let c: Graph = [t(1, 2, 3)].into_iter().collect();
+        assert_ne!(a, c);
+        assert!(c.is_subgraph_of(&a));
+        assert!(!a.is_subgraph_of(&c));
+    }
+
+    #[test]
+    fn difference() {
+        let a = sample();
+        let mut b = sample();
+        b.remove(&t(4, 12, 1));
+        let mut d = a.difference(&b);
+        d.sort();
+        assert_eq!(d, vec![t(4, 12, 1)]);
+        assert!(b.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut g = sample();
+        g.clear();
+        assert!(g.is_empty());
+        assert_eq!(g.iter().count(), 0);
+        assert_eq!(g.count(&Pattern::any()), 0);
+        assert!(g.insert(t(1, 10, 2)));
+        assert_eq!(g.len(), 1);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+        use std::collections::BTreeSet;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            Insert(Triple),
+            Remove(Triple),
+        }
+
+        fn arb_triple() -> impl Strategy<Value = Triple> {
+            (0usize..12, 0usize..6, 0usize..12).prop_map(|(s, p, o)| t(s, p, o))
+        }
+
+        fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+            proptest::collection::vec(
+                prop_oneof![arb_triple().prop_map(Op::Insert), arb_triple().prop_map(Op::Remove)],
+                0..200,
+            )
+        }
+
+        proptest! {
+            /// The indexed graph behaves exactly like a plain set of triples
+            /// under arbitrary insert/remove streams, for every pattern shape.
+            #[test]
+            fn graph_matches_set_model(ops in arb_ops()) {
+                let mut g = Graph::new();
+                let mut model: BTreeSet<Triple> = BTreeSet::new();
+                for op in ops {
+                    match op {
+                        Op::Insert(tr) => {
+                            prop_assert_eq!(g.insert(tr), model.insert(tr));
+                        }
+                        Op::Remove(tr) => {
+                            prop_assert_eq!(g.remove(&tr), model.remove(&tr));
+                        }
+                    }
+                }
+                prop_assert_eq!(g.len(), model.len());
+                let mut all: Vec<_> = g.iter().collect();
+                all.sort();
+                prop_assert_eq!(all, model.iter().copied().collect::<Vec<_>>());
+
+                // Exhaustive pattern check over the small id universe.
+                for s in (0..12).map(id).map(Some).chain([None]) {
+                    for p in (0..6).map(id).map(Some).chain([None]) {
+                        for o in (0..12).map(id).map(Some).chain([None]) {
+                            let pat = Pattern::new(s, p, o);
+                            let mut got = g.matches(&pat);
+                            got.sort();
+                            let want: Vec<_> =
+                                model.iter().copied().filter(|tr| pat.matches(tr)).collect();
+                            prop_assert_eq!(&got, &want);
+                            prop_assert_eq!(g.count(&pat), want.len());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Encoded triples and lookup patterns.
+
+use crate::dictionary::TermId;
+use std::fmt;
+
+/// A dictionary-encoded RDF triple `s p o`.
+///
+/// Twelve bytes, `Copy`; all reasoning and query-evaluation inner loops
+/// operate on these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject.
+    pub s: TermId,
+    /// Property (predicate).
+    pub p: TermId,
+    /// Object (value).
+    pub o: TermId,
+}
+
+impl Triple {
+    /// Builds a triple from its three components.
+    #[inline]
+    pub fn new(s: TermId, p: TermId, o: TermId) -> Self {
+        Triple { s, p, o }
+    }
+}
+
+impl fmt::Display for Triple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} {} {})", self.s, self.p, self.o)
+    }
+}
+
+/// A triple lookup pattern: each position is either bound to a [`TermId`] or
+/// a wildcard (`None`).
+///
+/// This is the *storage-level* pattern used by [`crate::Graph`] index
+/// probes; named query variables live one layer up, in the `sparql` crate,
+/// and compile down to these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Pattern {
+    /// Subject position; `None` is a wildcard.
+    pub s: Option<TermId>,
+    /// Property position; `None` is a wildcard.
+    pub p: Option<TermId>,
+    /// Object position; `None` is a wildcard.
+    pub o: Option<TermId>,
+}
+
+impl Pattern {
+    /// Builds a pattern from optional components.
+    #[inline]
+    pub fn new(s: Option<TermId>, p: Option<TermId>, o: Option<TermId>) -> Self {
+        Pattern { s, p, o }
+    }
+
+    /// The pattern matching every triple.
+    #[inline]
+    pub fn any() -> Self {
+        Pattern::default()
+    }
+
+    /// True if the triple agrees with every bound position.
+    #[inline]
+    pub fn matches(&self, t: &Triple) -> bool {
+        self.s.is_none_or(|s| s == t.s)
+            && self.p.is_none_or(|p| p == t.p)
+            && self.o.is_none_or(|o| o == t.o)
+    }
+
+    /// Number of bound positions (0–3).
+    #[inline]
+    pub fn bound_count(&self) -> u8 {
+        self.s.is_some() as u8 + self.p.is_some() as u8 + self.o.is_some() as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> TermId {
+        TermId::from_index(i)
+    }
+
+    #[test]
+    fn pattern_matches_semantics() {
+        let t = Triple::new(id(1), id(2), id(3));
+        assert!(Pattern::any().matches(&t));
+        assert!(Pattern::new(Some(id(1)), None, None).matches(&t));
+        assert!(Pattern::new(Some(id(1)), Some(id(2)), Some(id(3))).matches(&t));
+        assert!(!Pattern::new(Some(id(9)), None, None).matches(&t));
+        assert!(!Pattern::new(None, Some(id(9)), None).matches(&t));
+        assert!(!Pattern::new(None, None, Some(id(9))).matches(&t));
+    }
+
+    #[test]
+    fn bound_count() {
+        assert_eq!(Pattern::any().bound_count(), 0);
+        assert_eq!(Pattern::new(Some(id(0)), None, Some(id(1))).bound_count(), 2);
+        assert_eq!(Pattern::new(Some(id(0)), Some(id(0)), Some(id(0))).bound_count(), 3);
+    }
+
+    #[test]
+    fn triple_is_small() {
+        assert_eq!(std::mem::size_of::<Triple>(), 12);
+    }
+}

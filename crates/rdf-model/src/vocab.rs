@@ -1,0 +1,135 @@
+//! The RDF / RDFS built-in vocabulary (Fig. 1 of the paper) and common
+//! XSD datatypes, as IRI constants plus a pre-interned id bundle.
+
+use crate::dictionary::{Dictionary, TermId};
+use crate::term::Term;
+
+/// `rdf:type` — "specifies the class(es) to which a resource belongs".
+pub const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+/// `rdf:Property` — the class of RDF properties.
+pub const RDF_PROPERTY: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#Property";
+/// `rdfs:subClassOf` — subclass constraint (`s ⊆ o` on unary relations).
+pub const RDFS_SUB_CLASS_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+/// `rdfs:subPropertyOf` — subproperty constraint (`s ⊆ o` on binary relations).
+pub const RDFS_SUB_PROPERTY_OF: &str = "http://www.w3.org/2000/01/rdf-schema#subPropertyOf";
+/// `rdfs:domain` — domain typing constraint (`Π_domain(s) ⊆ o`).
+pub const RDFS_DOMAIN: &str = "http://www.w3.org/2000/01/rdf-schema#domain";
+/// `rdfs:range` — range typing constraint (`Π_range(s) ⊆ o`).
+pub const RDFS_RANGE: &str = "http://www.w3.org/2000/01/rdf-schema#range";
+/// `rdfs:Class` — the class of classes.
+pub const RDFS_CLASS: &str = "http://www.w3.org/2000/01/rdf-schema#Class";
+/// `rdfs:Resource` — the class of everything.
+pub const RDFS_RESOURCE: &str = "http://www.w3.org/2000/01/rdf-schema#Resource";
+/// `rdfs:Literal` — the class of literal values.
+pub const RDFS_LITERAL: &str = "http://www.w3.org/2000/01/rdf-schema#Literal";
+/// `xsd:string`.
+pub const XSD_STRING: &str = "http://www.w3.org/2001/XMLSchema#string";
+/// `xsd:integer`.
+pub const XSD_INTEGER: &str = "http://www.w3.org/2001/XMLSchema#integer";
+/// `xsd:decimal`.
+pub const XSD_DECIMAL: &str = "http://www.w3.org/2001/XMLSchema#decimal";
+/// `xsd:double`.
+pub const XSD_DOUBLE: &str = "http://www.w3.org/2001/XMLSchema#double";
+/// `xsd:boolean`.
+pub const XSD_BOOLEAN: &str = "http://www.w3.org/2001/XMLSchema#boolean";
+
+/// The `rdf:` namespace prefix.
+pub const NS_RDF: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#";
+/// The `rdfs:` namespace prefix.
+pub const NS_RDFS: &str = "http://www.w3.org/2000/01/rdf-schema#";
+/// The `xsd:` namespace prefix.
+pub const NS_XSD: &str = "http://www.w3.org/2001/XMLSchema#";
+
+/// Pre-interned ids for the vocabulary terms every reasoning algorithm
+/// dispatches on.
+///
+/// Interning these once up front keeps the hot loops free of string
+/// comparisons: a triple is a *schema triple* iff its property id equals one
+/// of the four constraint ids, an *assertion* otherwise (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Vocab {
+    /// `rdf:type`.
+    pub rdf_type: TermId,
+    /// `rdfs:subClassOf`.
+    pub sub_class_of: TermId,
+    /// `rdfs:subPropertyOf`.
+    pub sub_property_of: TermId,
+    /// `rdfs:domain`.
+    pub domain: TermId,
+    /// `rdfs:range`.
+    pub range: TermId,
+    /// `rdfs:Class`.
+    pub rdfs_class: TermId,
+    /// `rdf:Property`.
+    pub rdf_property: TermId,
+    /// `rdfs:Resource`.
+    pub rdfs_resource: TermId,
+    /// `rdfs:Literal`.
+    pub rdfs_literal: TermId,
+}
+
+impl Vocab {
+    /// Interns the vocabulary in `dict` and returns the id bundle.
+    ///
+    /// Call once per dictionary; repeated calls return identical ids.
+    pub fn intern(dict: &mut Dictionary) -> Self {
+        let mut enc = |iri: &str| dict.encode(&Term::iri(iri));
+        Vocab {
+            rdf_type: enc(RDF_TYPE),
+            sub_class_of: enc(RDFS_SUB_CLASS_OF),
+            sub_property_of: enc(RDFS_SUB_PROPERTY_OF),
+            domain: enc(RDFS_DOMAIN),
+            range: enc(RDFS_RANGE),
+            rdfs_class: enc(RDFS_CLASS),
+            rdf_property: enc(RDF_PROPERTY),
+            rdfs_resource: enc(RDFS_RESOURCE),
+            rdfs_literal: enc(RDFS_LITERAL),
+        }
+    }
+
+    /// True if `p` is one of the four RDFS constraint properties of Fig. 1
+    /// (subclass, subproperty, domain or range typing).
+    #[inline]
+    pub fn is_schema_property(&self, p: TermId) -> bool {
+        p == self.sub_class_of || p == self.sub_property_of || p == self.domain || p == self.range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut d = Dictionary::new();
+        let v1 = Vocab::intern(&mut d);
+        let n = d.len();
+        let v2 = Vocab::intern(&mut d);
+        assert_eq!(v1, v2);
+        assert_eq!(d.len(), n);
+    }
+
+    #[test]
+    fn schema_property_detection() {
+        let mut d = Dictionary::new();
+        let v = Vocab::intern(&mut d);
+        assert!(v.is_schema_property(v.sub_class_of));
+        assert!(v.is_schema_property(v.sub_property_of));
+        assert!(v.is_schema_property(v.domain));
+        assert!(v.is_schema_property(v.range));
+        assert!(!v.is_schema_property(v.rdf_type));
+        let other = d.encode_iri("http://example.org/p");
+        assert!(!v.is_schema_property(other));
+    }
+
+    #[test]
+    fn vocab_ids_decode_to_expected_iris() {
+        let mut d = Dictionary::new();
+        let v = Vocab::intern(&mut d);
+        assert_eq!(d.decode(v.rdf_type).unwrap().as_iri(), Some(RDF_TYPE));
+        assert_eq!(d.decode(v.domain).unwrap().as_iri(), Some(RDFS_DOMAIN));
+        assert_eq!(d.decode(v.range).unwrap().as_iri(), Some(RDFS_RANGE));
+        assert_eq!(d.decode(v.sub_class_of).unwrap().as_iri(), Some(RDFS_SUB_CLASS_OF));
+        assert_eq!(d.decode(v.sub_property_of).unwrap().as_iri(), Some(RDFS_SUB_PROPERTY_OF));
+    }
+}

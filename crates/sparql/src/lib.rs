@@ -1,0 +1,48 @@
+//! # sparql — BGP queries: AST, parser, planner, evaluator
+//!
+//! The paper considers "the well-known subset of SPARQL consisting of basic
+//! graph pattern (BGP) queries, also known as SPARQL conjunctive queries"
+//! (§II-A). This crate provides:
+//!
+//! * [`ast`]: variables, triple patterns, BGPs and queries whose body is a
+//!   *union of BGPs* — the shape reformulation produces (`q_ref`);
+//! * [`parse_query`]: a parser for the SPARQL dialect
+//!   `PREFIX… SELECT [DISTINCT] ?v… WHERE { … }` with `UNION` groups;
+//! * [`plan`]: a statistics-driven greedy join-order planner;
+//! * evaluation ([`evaluate`]): an index-nested-loop evaluator over [`rdf_model::Graph`],
+//!   performing plain *query evaluation* — `q(G)` — which yields complete
+//!   answers only when `G` is saturated or `q` reformulated, exactly the
+//!   dichotomy the paper studies.
+//!
+//! ```
+//! use rdf_model::{Dictionary, Graph};
+//! use sparql::{parse_query, evaluate};
+//!
+//! let mut dict = Dictionary::new();
+//! let mut g = Graph::new();
+//! rdf_io::parse_turtle(r#"
+//!     @prefix ex: <http://example.org/> .
+//!     ex:Anne ex:hasFriend ex:Marie .
+//!     ex:Marie ex:hasFriend ex:Paul .
+//! "#, &mut dict, &mut g).unwrap();
+//!
+//! let q = parse_query(r#"
+//!     PREFIX ex: <http://example.org/>
+//!     SELECT ?x ?z WHERE { ?x ex:hasFriend ?y . ?y ex:hasFriend ?z }
+//! "#, &mut dict).unwrap();
+//!
+//! let sols = evaluate(&g, &q);
+//! assert_eq!(sols.len(), 1); // Anne → Paul
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod eval;
+mod parser;
+pub mod plan;
+
+pub use ast::{Aggregate, Bgp, Modifiers, OrderKey, QTerm, Query, TriplePattern, Variable};
+pub use eval::{bgp_has_match, compare_terms, evaluate, evaluate_bgp, evaluate_bgp_with_plan, finalize, Solutions};
+pub use parser::{parse_query, QueryParseError};

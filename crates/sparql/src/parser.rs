@@ -1,0 +1,916 @@
+//! Parser for the SPARQL BGP dialect.
+//!
+//! Grammar (the paper's conjunctive fragment plus `UNION`, which
+//! reformulated queries need):
+//!
+//! ```text
+//! query   := prefix* 'SELECT' 'DISTINCT'? (var+ | '*') 'WHERE' group
+//! group   := '{' (bgp | group ('UNION' group)*) '}'
+//! bgp     := pattern ('.' pattern)* '.'?
+//! pattern := term term term
+//! term    := var | '<iri>' | pname | 'a' | literal | number | boolean
+//! ```
+//!
+//! Variables may appear in subject, property and object positions; objects
+//! may also be literals (§II-A "RDF querying through SPARQL").
+
+use crate::ast::{
+    Aggregate, Bgp, CompareOp, Filter, Modifiers, OrderKey, QTerm, Query, TriplePattern, Variable,
+};
+use rdf_model::{vocab, Dictionary, Literal, Term};
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// An error raised while parsing a query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl QueryParseError {
+    fn new(message: impl Into<String>) -> Self {
+        QueryParseError { message: message.into() }
+    }
+}
+
+impl fmt::Display for QueryParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for QueryParseError {}
+
+struct Parser<'a, 'd> {
+    rest: &'a str,
+    dict: &'d mut Dictionary,
+    prefixes: FxHashMap<String, String>,
+    var_names: Vec<String>,
+    var_ids: FxHashMap<String, Variable>,
+    filters: Vec<Filter>,
+    not_exists: Vec<Bgp>,
+}
+
+impl<'a, 'd> Parser<'a, 'd> {
+    fn err(&self, msg: impl Into<String>) -> QueryParseError {
+        QueryParseError::new(msg)
+    }
+
+    fn skip_ws(&mut self) {
+        loop {
+            self.rest = self.rest.trim_start();
+            if let Some(stripped) = self.rest.strip_prefix('#') {
+                match stripped.find('\n') {
+                    Some(i) => self.rest = &stripped[i + 1..],
+                    None => self.rest = "",
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest.chars().next()
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        if self.peek() == Some(c) {
+            self.rest = &self.rest[c.len_utf8()..];
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), QueryParseError> {
+        self.skip_ws();
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{c}' near {:?}", self.excerpt())))
+        }
+    }
+
+    fn excerpt(&self) -> &str {
+        let mut end = self.rest.len().min(24);
+        while !self.rest.is_char_boundary(end) {
+            end -= 1;
+        }
+        &self.rest[..end]
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        self.skip_ws();
+        // ':' counts as a name character: `a:x` is a prefixed name, not the
+        // keyword `a` followed by `:x`.
+        if self.rest.get(..kw.len()).is_some_and(|head| head.eq_ignore_ascii_case(kw))
+            && !self.rest[kw.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == ':')
+        {
+            self.rest = &self.rest[kw.len()..];
+            true
+        } else {
+            false
+        }
+    }
+
+    fn variable(&mut self) -> Result<Variable, QueryParseError> {
+        // caller consumed '?' or '$'
+        let end = self
+            .rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(self.err("empty variable name"));
+        }
+        let name = self.rest[..end].to_owned();
+        self.rest = &self.rest[end..];
+        if let Some(&v) = self.var_ids.get(&name) {
+            return Ok(v);
+        }
+        let v = Variable(u16::try_from(self.var_names.len()).map_err(|_| self.err("too many variables"))?);
+        self.var_ids.insert(name.clone(), v);
+        self.var_names.push(name);
+        Ok(v)
+    }
+
+    fn iri_ref(&mut self) -> Result<String, QueryParseError> {
+        // caller consumed '<'
+        let end = self.rest.find('>').ok_or_else(|| self.err("unterminated IRI"))?;
+        let iri = self.rest[..end].to_owned();
+        self.rest = &self.rest[end + 1..];
+        Ok(iri)
+    }
+
+    fn pname(&mut self) -> Result<String, QueryParseError> {
+        let end = self
+            .rest
+            .find(|c: char| {
+                c.is_whitespace() || matches!(c, ';' | ',' | '.' | '{' | '}' | '#' | '(' | ')')
+            })
+            .unwrap_or(self.rest.len());
+        let token = &self.rest[..end];
+        if token.is_empty() {
+            return Err(self.err(format!("expected a term near {:?}", self.excerpt())));
+        }
+        let colon = token
+            .find(':')
+            .ok_or_else(|| self.err(format!("'{token}' is not a prefixed name")))?;
+        let (prefix, local) = (&token[..colon], &token[colon + 1..]);
+        let ns = self
+            .prefixes
+            .get(prefix)
+            .ok_or_else(|| self.err(format!("unknown prefix '{prefix}:'")))?;
+        let iri = format!("{ns}{local}");
+        self.rest = &self.rest[token.len()..];
+        Ok(iri)
+    }
+
+    fn string_literal(&mut self) -> Result<String, QueryParseError> {
+        // caller consumed '"'
+        let mut out = String::new();
+        let mut chars = self.rest.char_indices();
+        loop {
+            let Some((i, c)) = chars.next() else {
+                return Err(self.err("unterminated string literal"));
+            };
+            match c {
+                '"' => {
+                    self.rest = &self.rest[i + 1..];
+                    return Ok(out);
+                }
+                '\\' => match chars.next() {
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    other => return Err(self.err(format!("bad escape {other:?}"))),
+                },
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// Parses one term of a triple pattern.
+    fn qterm(&mut self, position: &str) -> Result<QTerm, QueryParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some('?') | Some('$') => {
+                self.rest = &self.rest[1..];
+                Ok(QTerm::Var(self.variable()?))
+            }
+            Some('<') => {
+                self.rest = &self.rest[1..];
+                let iri = self.iri_ref()?;
+                Ok(QTerm::Const(self.dict.encode(&Term::iri(iri))))
+            }
+            Some('"') => {
+                if position != "object" {
+                    return Err(self.err(format!("literal not allowed in {position} position")));
+                }
+                self.rest = &self.rest[1..];
+                let lex = self.string_literal()?;
+                let term = if self.eat('@') {
+                    let end = self
+                        .rest
+                        .find(|c: char| !(c.is_ascii_alphanumeric() || c == '-'))
+                        .unwrap_or(self.rest.len());
+                    let tag = self.rest[..end].to_owned();
+                    self.rest = &self.rest[end..];
+                    Term::Literal(Literal::lang(lex, &tag))
+                } else if self.rest.starts_with("^^") {
+                    self.rest = &self.rest[2..];
+                    let dt = if self.eat('<') { self.iri_ref()? } else { self.pname()? };
+                    Term::Literal(Literal::typed(lex, dt))
+                } else {
+                    Term::Literal(Literal::plain(lex))
+                };
+                Ok(QTerm::Const(self.dict.encode(&term)))
+            }
+            Some(c) if c.is_ascii_digit() || c == '-' || c == '+' => {
+                if position != "object" {
+                    return Err(self.err(format!("literal not allowed in {position} position")));
+                }
+                let end = self
+                    .rest
+                    .find(|c: char| !(c.is_ascii_digit() || matches!(c, '+' | '-' | '.' | 'e' | 'E')))
+                    .unwrap_or(self.rest.len());
+                let mut token = &self.rest[..end];
+                if token.ends_with('.') {
+                    token = &token[..token.len() - 1];
+                }
+                let dt = if token.contains(['e', 'E']) {
+                    vocab::XSD_DOUBLE
+                } else if token.contains('.') {
+                    vocab::XSD_DECIMAL
+                } else {
+                    vocab::XSD_INTEGER
+                };
+                let term = Term::Literal(Literal::typed(token, dt));
+                self.rest = &self.rest[token.len()..];
+                Ok(QTerm::Const(self.dict.encode(&term)))
+            }
+            Some(_) if position == "property" && self.eat_keyword("a") => {
+                Ok(QTerm::Const(self.dict.encode(&Term::iri(vocab::RDF_TYPE))))
+            }
+            Some(_) if self.eat_keyword("true") => {
+                Ok(QTerm::Const(self.dict.encode(&Term::Literal(Literal::typed("true", vocab::XSD_BOOLEAN)))))
+            }
+            Some(_) if self.eat_keyword("false") => {
+                Ok(QTerm::Const(self.dict.encode(&Term::Literal(Literal::typed("false", vocab::XSD_BOOLEAN)))))
+            }
+            Some(_) => {
+                let iri = self.pname()?;
+                Ok(QTerm::Const(self.dict.encode(&Term::iri(iri))))
+            }
+            None => Err(self.err("unexpected end of query")),
+        }
+    }
+
+    /// Parses what follows the FILTER keyword: `NOT EXISTS { … }` or a
+    /// comparison `( ?v op term )`.
+    fn filter_clause(&mut self) -> Result<(), QueryParseError> {
+        if self.eat_keyword("NOT") {
+            if !self.eat_keyword("EXISTS") {
+                return Err(self.err("expected EXISTS after FILTER NOT"));
+            }
+            self.expect('{')?;
+            let inner = self.bgp()?;
+            self.expect('}')?;
+            if inner.patterns.is_empty() {
+                return Err(self.err("empty NOT EXISTS group"));
+            }
+            self.not_exists.push(inner);
+            Ok(())
+        } else {
+            self.filter()
+        }
+    }
+
+    /// Parses `FILTER ( ?v op term )`, pushing onto `self.filters`.
+    fn filter(&mut self) -> Result<(), QueryParseError> {
+        self.expect('(')?;
+        self.skip_ws();
+        let left = match self.peek() {
+            Some('?') | Some('$') => {
+                self.rest = &self.rest[1..];
+                self.variable()?
+            }
+            _ => return Err(self.err("FILTER left-hand side must be a variable")),
+        };
+        self.skip_ws();
+        let op = if self.rest.starts_with("!=") {
+            self.rest = &self.rest[2..];
+            CompareOp::Ne
+        } else if self.rest.starts_with("<=") {
+            self.rest = &self.rest[2..];
+            CompareOp::Le
+        } else if self.rest.starts_with(">=") {
+            self.rest = &self.rest[2..];
+            CompareOp::Ge
+        } else if self.eat('=') {
+            CompareOp::Eq
+        } else if self.eat('<') {
+            CompareOp::Lt
+        } else if self.eat('>') {
+            CompareOp::Gt
+        } else {
+            return Err(self.err(format!("expected a comparison operator near {:?}", self.excerpt())));
+        };
+        let right = self.qterm("object")?;
+        self.expect(')')?;
+        self.filters.push(Filter { left, op, right });
+        Ok(())
+    }
+
+    /// Parses a run of triple patterns (and FILTERs) until `}` (exclusive).
+    fn bgp(&mut self) -> Result<Bgp, QueryParseError> {
+        let mut patterns = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek() == Some('}') || self.rest.is_empty() {
+                break;
+            }
+            if self.eat_keyword("FILTER") {
+                self.filter_clause()?;
+                self.skip_ws();
+                let _ = self.eat('.'); // optional separator after FILTER
+                continue;
+            }
+            let s = self.qterm("subject")?;
+            let p = self.qterm("property")?;
+            let o = self.qterm("object")?;
+            patterns.push(TriplePattern::new(s, p, o));
+            self.skip_ws();
+            if self.eat('.') {
+                continue;
+            }
+            // FILTER may follow a pattern without a separating dot.
+            if self.rest.get(..6).is_some_and(|h| h.eq_ignore_ascii_case("FILTER")) {
+                continue;
+            }
+            break;
+        }
+        Ok(Bgp::new(patterns))
+    }
+
+    /// Parses a group: either a plain BGP or `{g} UNION {g} …`.
+    fn group(&mut self) -> Result<Vec<Bgp>, QueryParseError> {
+        self.expect('{')?;
+        self.skip_ws();
+        if self.peek() == Some('{') {
+            // union of sub-groups
+            let mut bgps = self.group()?;
+            loop {
+                self.skip_ws();
+                if self.eat_keyword("UNION") {
+                    bgps.extend(self.group()?);
+                } else if self.eat_keyword("FILTER") {
+                    self.filter_clause()?;
+                } else {
+                    break;
+                }
+            }
+            self.expect('}')?;
+            Ok(bgps)
+        } else {
+            let bgp = self.bgp()?;
+            self.expect('}')?;
+            Ok(vec![bgp])
+        }
+    }
+
+    fn query(&mut self) -> Result<Query, QueryParseError> {
+        // prefixes
+        loop {
+            self.skip_ws();
+            if self.eat_keyword("PREFIX") {
+                self.skip_ws();
+                let colon = self
+                    .rest
+                    .find(':')
+                    .ok_or_else(|| self.err("expected 'name:' after PREFIX"))?;
+                let name = self.rest[..colon].trim().to_owned();
+                self.rest = &self.rest[colon + 1..];
+                self.skip_ws();
+                if !self.eat('<') {
+                    return Err(self.err("expected <iri> after PREFIX name:"));
+                }
+                let iri = self.iri_ref()?;
+                self.prefixes.insert(name, iri);
+            } else {
+                break;
+            }
+        }
+        if !self.eat_keyword("SELECT") {
+            return Err(self.err(format!("expected SELECT near {:?}", self.excerpt())));
+        }
+        let distinct = self.eat_keyword("DISTINCT");
+        // projection: variables, '*', or an aggregate expression
+        let mut projection = Vec::new();
+        let mut star = false;
+        let mut aggregate = None;
+        self.skip_ws();
+        if self.peek() == Some('(') {
+            aggregate = Some(self.aggregate_expr()?);
+        } else {
+            loop {
+                self.skip_ws();
+                match self.peek() {
+                    Some('?') | Some('$') => {
+                        self.rest = &self.rest[1..];
+                        projection.push(self.variable()?);
+                    }
+                    Some('*') if projection.is_empty() && !star => {
+                        self.rest = &self.rest[1..];
+                        star = true;
+                    }
+                    _ => break,
+                }
+            }
+            if !star && projection.is_empty() {
+                return Err(self.err("SELECT needs at least one variable, * or an aggregate"));
+            }
+        }
+        if !self.eat_keyword("WHERE") {
+            return Err(self.err(format!("expected WHERE near {:?}", self.excerpt())));
+        }
+        let bgps = self.group()?;
+        let modifiers = self.modifiers()?;
+        self.skip_ws();
+        if !self.rest.is_empty() {
+            return Err(self.err(format!("trailing content: {:?}", self.excerpt())));
+        }
+        if bgps.iter().all(|b| b.patterns.is_empty()) {
+            return Err(self.err("empty WHERE clause"));
+        }
+        let projection = if star || aggregate.is_some() {
+            // '*' and aggregates bind every variable, in first-occurrence
+            // order (aggregates count whole solutions).
+            (0..self.var_names.len()).map(|i| Variable(i as u16)).collect()
+        } else {
+            projection
+        };
+        // projection variables must occur in the body
+        for &v in &projection {
+            if !bgps.iter().any(|b| b.variables().contains(&v)) {
+                return Err(self.err(format!(
+                    "projected variable ?{} does not occur in WHERE",
+                    self.var_names[v.index()]
+                )));
+            }
+        }
+        for key in &modifiers.order_by {
+            if !projection.contains(&key.var) {
+                return Err(self.err(format!(
+                    "ORDER BY variable ?{} is not projected",
+                    self.var_names[key.var.index()]
+                )));
+            }
+        }
+        // Filters commute with projection only when their variables are
+        // projected (the supported restriction; see ast::Filter docs).
+        for f in &self.filters {
+            let mut vars = vec![f.left];
+            if let QTerm::Var(v) = f.right {
+                vars.push(v);
+            }
+            for v in vars {
+                if !projection.contains(&v) {
+                    return Err(self.err(format!(
+                        "FILTER variable ?{} must be projected (supported FILTER restriction)",
+                        self.var_names[v.index()]
+                    )));
+                }
+            }
+        }
+        Ok(Query {
+            var_names: std::mem::take(&mut self.var_names),
+            projection,
+            distinct,
+            bgps,
+            filters: std::mem::take(&mut self.filters),
+            not_exists: std::mem::take(&mut self.not_exists),
+            modifiers,
+            aggregate,
+        })
+    }
+
+    /// Parses `(COUNT( [DISTINCT] * ) AS ?alias)` after peeking `(`.
+    fn aggregate_expr(&mut self) -> Result<Aggregate, QueryParseError> {
+        self.expect('(')?;
+        if !self.eat_keyword("COUNT") {
+            return Err(self.err("only the COUNT aggregate is supported"));
+        }
+        self.expect('(')?;
+        let distinct = self.eat_keyword("DISTINCT");
+        self.expect('*')?;
+        self.expect(')')?;
+        if !self.eat_keyword("AS") {
+            return Err(self.err("expected AS in aggregate expression"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some('?') | Some('$') => self.rest = &self.rest[1..],
+            _ => return Err(self.err("expected ?alias after AS")),
+        }
+        let end = self
+            .rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(self.err("empty aggregate alias"));
+        }
+        let alias = self.rest[..end].to_owned();
+        self.rest = &self.rest[end..];
+        self.expect(')')?;
+        Ok(Aggregate::Count { distinct, alias })
+    }
+
+    /// Parses trailing solution modifiers in any order.
+    fn modifiers(&mut self) -> Result<Modifiers, QueryParseError> {
+        let mut m = Modifiers::default();
+        loop {
+            if self.eat_keyword("ORDER") {
+                if !self.eat_keyword("BY") {
+                    return Err(self.err("expected BY after ORDER"));
+                }
+                loop {
+                    self.skip_ws();
+                    let descending = if self.eat_keyword("DESC") {
+                        self.expect('(')?;
+                        true
+                    } else if self.eat_keyword("ASC") {
+                        self.expect('(')?;
+                        false
+                    } else if matches!(self.peek(), Some('?') | Some('$')) {
+                        self.rest = &self.rest[1..];
+                        m.order_by.push(OrderKey { var: self.variable()?, descending: false });
+                        continue;
+                    } else {
+                        break;
+                    };
+                    self.skip_ws();
+                    match self.peek() {
+                        Some('?') | Some('$') => self.rest = &self.rest[1..],
+                        _ => return Err(self.err("expected a variable in ORDER BY")),
+                    }
+                    let var = self.variable()?;
+                    self.expect(')')?;
+                    m.order_by.push(OrderKey { var, descending });
+                }
+                if m.order_by.is_empty() {
+                    return Err(self.err("ORDER BY needs at least one key"));
+                }
+            } else if self.eat_keyword("LIMIT") {
+                m.limit = Some(self.integer()?);
+            } else if self.eat_keyword("OFFSET") {
+                m.offset = self.integer()?;
+            } else {
+                return Ok(m);
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Result<usize, QueryParseError> {
+        self.skip_ws();
+        let end = self.rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(self.rest.len());
+        if end == 0 {
+            return Err(self.err("expected a non-negative integer"));
+        }
+        let n = self.rest[..end]
+            .parse::<usize>()
+            .map_err(|_| self.err("integer out of range"))?;
+        self.rest = &self.rest[end..];
+        Ok(n)
+    }
+}
+
+/// Parses a SPARQL BGP query, interning constants into `dict`.
+pub fn parse_query(input: &str, dict: &mut Dictionary) -> Result<Query, QueryParseError> {
+    let mut p = Parser {
+        rest: input,
+        dict,
+        prefixes: FxHashMap::default(),
+        var_names: Vec::new(),
+        var_ids: FxHashMap::default(),
+        filters: Vec::new(),
+        not_exists: Vec::new(),
+    };
+    p.query()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(q: &str) -> Result<(Query, Dictionary), QueryParseError> {
+        let mut d = Dictionary::new();
+        let q = parse_query(q, &mut d)?;
+        Ok((q, d))
+    }
+
+    #[test]
+    fn simple_query() {
+        let (q, d) = parse(
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ex:b }",
+        )
+        .unwrap();
+        assert_eq!(q.bgps.len(), 1);
+        assert_eq!(q.bgps[0].patterns.len(), 1);
+        assert_eq!(q.projection, vec![Variable(0)]);
+        assert!(!q.distinct);
+        let p = q.bgps[0].patterns[0];
+        assert_eq!(p.s, QTerm::Var(Variable(0)));
+        assert_eq!(p.p.as_const(), d.get_iri_id("http://ex/p"));
+        assert_eq!(p.o.as_const(), d.get_iri_id("http://ex/b"));
+    }
+
+    #[test]
+    fn multi_pattern_and_shared_variables() {
+        let (q, _) = parse(
+            "PREFIX ex: <http://ex/> SELECT ?x ?z WHERE { ?x ex:p ?y . ?y ex:p ?z . }",
+        )
+        .unwrap();
+        assert_eq!(q.bgps[0].patterns.len(), 2);
+        // registration order: projection vars first (?x ?z), then body (?y)
+        assert_eq!(q.var_names, vec!["x", "z", "y"]);
+        // ?y is the same variable in both patterns
+        assert_eq!(q.bgps[0].patterns[0].o, q.bgps[0].patterns[1].s);
+    }
+
+    #[test]
+    fn distinct_and_star() {
+        let (q, _) = parse("PREFIX ex: <http://ex/> SELECT DISTINCT * WHERE { ?x ex:p ?y }").unwrap();
+        assert!(q.distinct);
+        assert_eq!(q.projection.len(), 2, "star projects all variables");
+    }
+
+    #[test]
+    fn a_keyword_and_type_pattern() {
+        let (q, d) = parse("PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Person }").unwrap();
+        let p = q.bgps[0].patterns[0];
+        assert_eq!(p.p.as_const(), d.get_iri_id(vocab::RDF_TYPE));
+    }
+
+    #[test]
+    fn prefix_named_a_is_not_the_type_keyword() {
+        let (q, d) = parse("PREFIX a: <http://a/> SELECT ?x WHERE { ?x a:p ?y }").unwrap();
+        assert_eq!(q.bgps[0].patterns[0].p.as_const(), d.get_iri_id("http://a/p"));
+        assert_eq!(d.get_iri_id(vocab::RDF_TYPE), None);
+    }
+
+    #[test]
+    fn variable_property_position() {
+        let (q, _) = parse("SELECT ?p WHERE { <http://s> ?p <http://o> }").unwrap();
+        assert!(q.bgps[0].patterns[0].p.as_var().is_some());
+    }
+
+    #[test]
+    fn literals_in_object_position() {
+        let (q, d) = parse(
+            r#"PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:name "Anne" . ?x ex:age 42 . ?x ex:bio "hi"@en . ?x ex:score "7"^^<http://dt> }"#,
+        )
+        .unwrap();
+        assert_eq!(q.bgps[0].patterns.len(), 4);
+        assert!(d.get_id(&Term::literal("Anne")).is_some());
+        assert!(d.get_id(&Term::Literal(Literal::typed("42", vocab::XSD_INTEGER))).is_some());
+        assert!(d.get_id(&Term::Literal(Literal::lang("hi", "en"))).is_some());
+        assert!(d.get_id(&Term::Literal(Literal::typed("7", "http://dt"))).is_some());
+    }
+
+    #[test]
+    fn union_groups() {
+        let (q, _) = parse(
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { { ?x ex:p ?y } UNION { ?x ex:q ?y } UNION { ?y ex:r ?x } }",
+        )
+        .unwrap();
+        assert_eq!(q.bgps.len(), 3);
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let (q, _) = parse(
+            "# find friends\nPREFIX ex: <http://ex/> # ns\nSELECT ?x WHERE { ?x ex:p ?y # pattern\n }",
+        )
+        .unwrap();
+        assert_eq!(q.bgps[0].patterns.len(), 1);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let (q, _) = parse("prefix ex: <http://ex/> select distinct ?x where { ?x ex:p ?y }").unwrap();
+        assert!(q.distinct);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        for (src, why) in [
+            ("SELECT ?x { ?x ?p ?o }", "missing WHERE"),
+            ("SELECT WHERE { ?x ?p ?o }", "no projection"),
+            ("SELECT ?x WHERE { }", "empty body"),
+            ("SELECT ?x WHERE { ?x ex:p ?y }", "unknown prefix"),
+            ("SELECT ?z WHERE { ?x <http://p> ?y }", "unused projection var"),
+            ("SELECT ?x WHERE { ?x <http://p> ?y } garbage", "trailing content"),
+            ("SELECT ?x WHERE { \"lit\" <http://p> ?y }", "literal subject"),
+            ("SELECT ?x WHERE { ?x \"lit\" ?y }", "literal predicate"),
+            ("SELECT ?x WHERE { ?x <http://p ?y }", "unterminated iri"),
+        ] {
+            assert!(parse(src).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn to_sparql_parse_round_trip() {
+        let (q, mut d) = parse(
+            "PREFIX ex: <http://ex/> SELECT DISTINCT ?x ?z WHERE { ?x ex:p ?y . ?y a ex:C . ?y ex:q ?z }",
+        )
+        .unwrap();
+        let text = q.to_sparql(&d);
+        let q2 = parse_query(&text, &mut d).unwrap();
+        assert_eq!(q.bgps, q2.bgps);
+        assert_eq!(q.projection, q2.projection);
+        assert_eq!(q.distinct, q2.distinct);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// The query parser never panics, whatever bytes arrive.
+            #[test]
+            fn parser_total_on_arbitrary_input(input in "\\PC{0,200}") {
+                let mut d = Dictionary::new();
+                let _ = parse_query(&input, &mut d);
+            }
+
+            /// …including inputs seeded with SPARQL keywords/punctuation.
+            #[test]
+            fn parser_total_on_sparql_like_input(
+                body in "[?a-zA-Z<>{}().*=! \\n]{0,120}",
+            ) {
+                let mut d = Dictionary::new();
+                let _ = parse_query(&format!("SELECT {body}"), &mut d);
+            }
+        }
+    }
+
+    #[test]
+    fn dollar_variables_accepted() {
+        let (q, _) = parse("SELECT $x WHERE { $x <http://p> ?y }").unwrap();
+        assert_eq!(q.var_names[0], "x");
+    }
+
+    #[test]
+    fn solution_modifiers() {
+        let (q, _) = parse(
+            "SELECT ?x ?y WHERE { ?x <http://p> ?y } ORDER BY ?y DESC(?x) LIMIT 10 OFFSET 5",
+        )
+        .unwrap();
+        assert_eq!(q.modifiers.order_by.len(), 2);
+        assert!(!q.modifiers.order_by[0].descending);
+        assert!(q.modifiers.order_by[1].descending);
+        assert_eq!(q.modifiers.limit, Some(10));
+        assert_eq!(q.modifiers.offset, 5);
+        // LIMIT/OFFSET in either order
+        let (q, _) = parse("SELECT ?x WHERE { ?x <http://p> ?y } OFFSET 2 LIMIT 3").unwrap();
+        assert_eq!(q.modifiers.limit, Some(3));
+        assert_eq!(q.modifiers.offset, 2);
+    }
+
+    #[test]
+    fn asc_order_key() {
+        let (q, _) = parse("SELECT ?x WHERE { ?x <http://p> ?y } ORDER BY ASC(?x)").unwrap();
+        assert_eq!(q.modifiers.order_by.len(), 1);
+        assert!(!q.modifiers.order_by[0].descending);
+    }
+
+    #[test]
+    fn count_aggregate() {
+        let (q, _) = parse("SELECT (COUNT(*) AS ?n) WHERE { ?x <http://p> ?y }").unwrap();
+        assert_eq!(q.aggregate, Some(Aggregate::Count { distinct: false, alias: "n".into() }));
+        let (q, _) =
+            parse("SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?x <http://p> ?y }").unwrap();
+        assert_eq!(q.aggregate, Some(Aggregate::Count { distinct: true, alias: "n".into() }));
+    }
+
+    #[test]
+    fn modifier_errors() {
+        for (src, why) in [
+            ("SELECT ?x WHERE { ?x <http://p> ?y } ORDER BY ?z", "unprojected order key"),
+            ("SELECT ?x WHERE { ?x <http://p> ?y } ORDER BY", "empty order by"),
+            ("SELECT ?x WHERE { ?x <http://p> ?y } LIMIT", "missing limit value"),
+            ("SELECT ?x WHERE { ?x <http://p> ?y } LIMIT -1", "negative limit"),
+            ("SELECT (SUM(*) AS ?n) WHERE { ?x <http://p> ?y }", "unsupported aggregate"),
+            ("SELECT (COUNT(*) AS n) WHERE { ?x <http://p> ?y }", "alias without ?"),
+        ] {
+            assert!(parse(src).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn filters_parse() {
+        let (q, d) = parse(
+            "PREFIX ex: <http://ex/> SELECT ?x ?a WHERE { ?x ex:age ?a . FILTER (?a > 30) . FILTER (?x != ex:bob) }",
+        )
+        .unwrap();
+        assert_eq!(q.filters.len(), 2);
+        assert_eq!(q.filters[0].op, CompareOp::Gt);
+        assert_eq!(q.filters[1].op, CompareOp::Ne);
+        assert_eq!(q.filters[1].right.as_const(), d.get_iri_id("http://ex/bob"));
+        // all six operators
+        for op in ["=", "!=", "<", "<=", ">", ">="] {
+            let src = format!("SELECT ?x ?y WHERE {{ ?x <http://p> ?y . FILTER (?y {op} ?x) }}");
+            let (q, _) = parse(&src).unwrap();
+            assert_eq!(q.filters.len(), 1, "{op}");
+        }
+    }
+
+    #[test]
+    fn filter_in_union_group() {
+        let (q, _) = parse(
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { { ?x ex:p ?y } UNION { ?x ex:q ?y } FILTER (?x != ex:a) }",
+        )
+        .unwrap();
+        assert_eq!(q.bgps.len(), 2);
+        assert_eq!(q.filters.len(), 1);
+    }
+
+    #[test]
+    fn filter_errors() {
+        for (src, why) in [
+            (
+                "SELECT ?x WHERE { ?x <http://p> ?y . FILTER (?y > 3) }",
+                "unprojected filter var",
+            ),
+            ("SELECT ?x WHERE { ?x <http://p> ?y . FILTER (3 > ?x) }", "constant lhs"),
+            ("SELECT ?x WHERE { ?x <http://p> ?y . FILTER (?x ~ ?y) }", "bad operator"),
+            ("SELECT ?x WHERE { ?x <http://p> ?y . FILTER ?x = ?y }", "missing parens"),
+        ] {
+            assert!(parse(src).is_err(), "should reject: {why}");
+        }
+    }
+
+    #[test]
+    fn filters_round_trip_through_to_sparql() {
+        let (q, mut d) = parse(
+            "PREFIX ex: <http://ex/> SELECT ?x ?a WHERE { ?x ex:age ?a . FILTER (?a >= 18) }",
+        )
+        .unwrap();
+        let text = q.to_sparql(&d);
+        assert!(text.contains("FILTER (?a >= "), "{text}");
+        let q2 = parse_query(&text, &mut d).unwrap();
+        assert_eq!(q.filters, q2.filters);
+    }
+
+    #[test]
+    fn not_exists_parses() {
+        let (q, _) = parse(
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Person . FILTER NOT EXISTS { ?x ex:banned ?r } }",
+        )
+        .unwrap();
+        assert_eq!(q.not_exists.len(), 1);
+        assert_eq!(q.not_exists[0].patterns.len(), 1);
+        // ?x is shared with the outer query
+        assert_eq!(q.not_exists[0].patterns[0].s, q.bgps[0].patterns[0].s);
+        // rejects malformed forms
+        for src in [
+            "SELECT ?x WHERE { ?x <http://p> ?y . FILTER NOT { ?x <http://q> ?z } }",
+            "SELECT ?x WHERE { ?x <http://p> ?y . FILTER NOT EXISTS { } }",
+            "SELECT ?x WHERE { ?x <http://p> ?y . FILTER NOT EXISTS ?x <http://q> ?z }",
+        ] {
+            assert!(parse(src).is_err(), "{src}");
+        }
+    }
+
+    #[test]
+    fn not_exists_round_trips_through_to_sparql() {
+        let (q, mut d) = parse(
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Person . FILTER NOT EXISTS { ?x ex:banned ?r } }",
+        )
+        .unwrap();
+        let text = q.to_sparql(&d);
+        assert!(text.contains("FILTER NOT EXISTS {"), "{text}");
+        let q2 = parse_query(&text, &mut d).unwrap();
+        assert_eq!(q.not_exists, q2.not_exists);
+    }
+
+    #[test]
+    fn modifiers_round_trip_through_to_sparql() {
+        let (q, mut d) = parse(
+            "SELECT DISTINCT ?x ?y WHERE { ?x <http://p> ?y } ORDER BY ?x DESC(?y) LIMIT 7 OFFSET 3",
+        )
+        .unwrap();
+        let text = q.to_sparql(&d);
+        let q2 = parse_query(&text, &mut d).unwrap();
+        assert_eq!(q.modifiers, q2.modifiers);
+        let (q, d) = parse("SELECT (COUNT(DISTINCT *) AS ?c) WHERE { ?x <http://p> ?y }").unwrap();
+        assert!(q.to_sparql(&d).contains("(COUNT(DISTINCT *) AS ?c)"));
+    }
+}

@@ -1,0 +1,53 @@
+//! # workload — synthetic RDF workloads
+//!
+//! The evaluation behind the paper's Fig. 3 (borrowed from its ref. \[12\],
+//! EDBT 2013) runs on LUBM, the Lehigh University Benchmark. The official
+//! generator is a Java artifact we don't have, so this crate re-implements
+//! the workload (a substitution documented in DESIGN.md):
+//!
+//! * [`lubm`]: a seeded generator producing the Univ-Bench ontology
+//!   skeleton (the professor/student class tree, works-for / teaches /
+//!   takes-course / advisor properties with domains, ranges and
+//!   subproperty links) and scalable instance data with LUBM's key trait —
+//!   entities are typed at *leaf* classes only, so queries over
+//!   mid-hierarchy classes (`Person`, `Faculty`, `Student`) return nothing
+//!   without reasoning — plus the ten-query workload Q1–Q10 whose
+//!   reformulations range from trivial (1 branch) to large (tens of
+//!   branches), driving the threshold spread of Fig. 3;
+//! * [`synth`]: a parametric random ontology/instance generator (class
+//!   tree depth × fan-out, subproperty chain length, domain/range density)
+//!   used by the reformulation-size sweep (experiment T-REF).
+//!
+//! Both generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lubm;
+pub mod social;
+pub mod synth;
+
+use rdf_model::{Dictionary, Graph, Vocab};
+
+/// A generated dataset: dictionary, vocabulary and the base graph
+/// (schema + instance triples, unsaturated).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// The dictionary the graph is encoded against.
+    pub dict: Dictionary,
+    /// Pre-interned RDF/RDFS vocabulary ids.
+    pub vocab: Vocab,
+    /// The base graph `G`.
+    pub graph: Graph,
+}
+
+/// A named benchmark query.
+#[derive(Debug, Clone)]
+pub struct NamedQuery {
+    /// Short identifier, e.g. `"Q4"`.
+    pub name: &'static str,
+    /// What the query asks, for reports.
+    pub description: &'static str,
+    /// The parsed query.
+    pub query: sparql::Query,
+}

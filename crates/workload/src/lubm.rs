@@ -1,0 +1,429 @@
+//! LUBM-style university workload: ontology, instance generator, queries.
+
+use crate::{Dataset, NamedQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdf_model::{Dictionary, Graph, TermId, Triple, Vocab};
+use sparql::parse_query;
+
+/// Namespace of the Univ-Bench-style ontology vocabulary.
+pub const NS_UB: &str = "http://webreason.example/univ-bench#";
+/// Namespace of generated instance data.
+pub const NS_DATA: &str = "http://webreason.example/data/";
+
+/// Generator configuration. Defaults give ≈50k triples per university.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LubmConfig {
+    /// Number of universities.
+    pub universities: usize,
+    /// Departments per university.
+    pub departments: usize,
+    /// Undergraduate students per department (graduates are a quarter of
+    /// this).
+    pub students_per_department: usize,
+    /// Faculty members per department, split across professor ranks and
+    /// lecturers.
+    pub faculty_per_department: usize,
+    /// Courses per department.
+    pub courses_per_department: usize,
+    /// Publications per faculty member.
+    pub publications_per_faculty: usize,
+    /// RNG seed; generation is deterministic given the full config.
+    pub seed: u64,
+}
+
+impl Default for LubmConfig {
+    fn default() -> Self {
+        LubmConfig {
+            universities: 1,
+            departments: 20,
+            students_per_department: 300,
+            faculty_per_department: 30,
+            courses_per_department: 40,
+            publications_per_faculty: 10,
+            seed: 42,
+        }
+    }
+}
+
+impl LubmConfig {
+    /// A small configuration for unit tests (≈2k triples).
+    pub fn tiny() -> Self {
+        LubmConfig {
+            universities: 1,
+            departments: 2,
+            students_per_department: 12,
+            faculty_per_department: 4,
+            courses_per_department: 5,
+            publications_per_faculty: 2,
+            seed: 7,
+        }
+    }
+
+    /// Scales every per-container count by `factor` (≥ 1 universities).
+    pub fn scaled(universities: usize) -> Self {
+        LubmConfig { universities, ..Default::default() }
+    }
+}
+
+/// The ontology's class and property ids, exposed so benches and tests can
+/// build queries without string lookups.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)] // field names mirror the ontology 1:1
+pub struct UbVocab {
+    pub person: TermId,
+    pub employee: TermId,
+    pub faculty: TermId,
+    pub professor: TermId,
+    pub full_professor: TermId,
+    pub associate_professor: TermId,
+    pub assistant_professor: TermId,
+    pub lecturer: TermId,
+    pub student: TermId,
+    pub undergraduate_student: TermId,
+    pub graduate_student: TermId,
+    pub course: TermId,
+    pub graduate_course: TermId,
+    pub organization: TermId,
+    pub university: TermId,
+    pub department: TermId,
+    pub publication: TermId,
+    pub member_of: TermId,
+    pub works_for: TermId,
+    pub head_of: TermId,
+    pub teacher_of: TermId,
+    pub takes_course: TermId,
+    pub advisor: TermId,
+    pub publication_author: TermId,
+    pub sub_organization_of: TermId,
+    pub degree_from: TermId,
+    pub undergraduate_degree_from: TermId,
+    pub doctoral_degree_from: TermId,
+}
+
+impl UbVocab {
+    /// Interns the ontology vocabulary.
+    pub fn intern(dict: &mut Dictionary) -> Self {
+        let mut enc = |n: &str| dict.encode_iri(&format!("{NS_UB}{n}"));
+        UbVocab {
+            person: enc("Person"),
+            employee: enc("Employee"),
+            faculty: enc("Faculty"),
+            professor: enc("Professor"),
+            full_professor: enc("FullProfessor"),
+            associate_professor: enc("AssociateProfessor"),
+            assistant_professor: enc("AssistantProfessor"),
+            lecturer: enc("Lecturer"),
+            student: enc("Student"),
+            undergraduate_student: enc("UndergraduateStudent"),
+            graduate_student: enc("GraduateStudent"),
+            course: enc("Course"),
+            graduate_course: enc("GraduateCourse"),
+            organization: enc("Organization"),
+            university: enc("University"),
+            department: enc("Department"),
+            publication: enc("Publication"),
+            member_of: enc("memberOf"),
+            works_for: enc("worksFor"),
+            head_of: enc("headOf"),
+            teacher_of: enc("teacherOf"),
+            takes_course: enc("takesCourse"),
+            advisor: enc("advisor"),
+            publication_author: enc("publicationAuthor"),
+            sub_organization_of: enc("subOrganizationOf"),
+            degree_from: enc("degreeFrom"),
+            undergraduate_degree_from: enc("undergraduateDegreeFrom"),
+            doctoral_degree_from: enc("doctoralDegreeFrom"),
+        }
+    }
+}
+
+/// Emits the ontology (schema triples) into `g`.
+fn emit_schema(g: &mut Graph, v: &Vocab, ub: &UbVocab) {
+    let mut sc = |a: TermId, b: TermId| {
+        g.insert(Triple::new(a, v.sub_class_of, b));
+    };
+    sc(ub.employee, ub.person);
+    sc(ub.faculty, ub.employee);
+    sc(ub.professor, ub.faculty);
+    sc(ub.full_professor, ub.professor);
+    sc(ub.associate_professor, ub.professor);
+    sc(ub.assistant_professor, ub.professor);
+    sc(ub.lecturer, ub.faculty);
+    sc(ub.student, ub.person);
+    sc(ub.undergraduate_student, ub.student);
+    sc(ub.graduate_student, ub.student);
+    sc(ub.graduate_course, ub.course);
+    sc(ub.university, ub.organization);
+    sc(ub.department, ub.organization);
+
+    let mut sp = |a: TermId, b: TermId| {
+        g.insert(Triple::new(a, v.sub_property_of, b));
+    };
+    sp(ub.works_for, ub.member_of);
+    sp(ub.head_of, ub.works_for);
+    sp(ub.undergraduate_degree_from, ub.degree_from);
+    sp(ub.doctoral_degree_from, ub.degree_from);
+
+    let mut dom_rng = |p: TermId, d: TermId, r: TermId| {
+        g.insert(Triple::new(p, v.domain, d));
+        g.insert(Triple::new(p, v.range, r));
+    };
+    dom_rng(ub.member_of, ub.person, ub.organization);
+    dom_rng(ub.teacher_of, ub.faculty, ub.course);
+    dom_rng(ub.takes_course, ub.student, ub.course);
+    dom_rng(ub.advisor, ub.student, ub.professor);
+    dom_rng(ub.publication_author, ub.publication, ub.person);
+    dom_rng(ub.sub_organization_of, ub.organization, ub.organization);
+    dom_rng(ub.degree_from, ub.person, ub.university);
+}
+
+/// Generates a dataset per `cfg`. Instance IRIs are deterministic
+/// (`…/u{u}`, `…/u{u}/d{d}`, `…/u{u}/d{d}/prof{i}` …), so queries can
+/// reference specific entities.
+pub fn generate(cfg: &LubmConfig) -> Dataset {
+    let mut dict = Dictionary::new();
+    let vocab = Vocab::intern(&mut dict);
+    let ub = UbVocab::intern(&mut dict);
+    let mut g = Graph::new();
+    emit_schema(&mut g, &vocab, &ub);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    for u in 0..cfg.universities {
+        let uni = dict.encode_iri(&format!("{NS_DATA}u{u}"));
+        g.insert(Triple::new(uni, vocab.rdf_type, ub.university));
+
+        for d in 0..cfg.departments {
+            let dept = dict.encode_iri(&format!("{NS_DATA}u{u}/d{d}"));
+            g.insert(Triple::new(dept, vocab.rdf_type, ub.department));
+            g.insert(Triple::new(dept, ub.sub_organization_of, uni));
+
+            // --- courses ------------------------------------------------
+            let mut courses = Vec::with_capacity(cfg.courses_per_department);
+            for c in 0..cfg.courses_per_department {
+                let course = dict.encode_iri(&format!("{NS_DATA}u{u}/d{d}/course{c}"));
+                // Every third course is a graduate course (leaf-typed).
+                let class = if c % 3 == 0 { ub.graduate_course } else { ub.course };
+                g.insert(Triple::new(course, vocab.rdf_type, class));
+                courses.push(course);
+            }
+
+            // --- faculty ------------------------------------------------
+            let ranks = [
+                ub.full_professor,
+                ub.associate_professor,
+                ub.assistant_professor,
+                ub.lecturer,
+            ];
+            let mut faculty = Vec::with_capacity(cfg.faculty_per_department);
+            let mut professors = Vec::new();
+            for i in 0..cfg.faculty_per_department {
+                let person = dict.encode_iri(&format!("{NS_DATA}u{u}/d{d}/prof{i}"));
+                let rank = ranks[i % ranks.len()];
+                g.insert(Triple::new(person, vocab.rdf_type, rank));
+                g.insert(Triple::new(person, ub.works_for, dept));
+                g.insert(Triple::new(
+                    person,
+                    ub.doctoral_degree_from,
+                    dict.encode_iri(&format!("{NS_DATA}u{}", rng.gen_range(0..cfg.universities))),
+                ));
+                // every faculty member teaches 1–3 courses
+                for _ in 0..rng.gen_range(1..=3usize) {
+                    let course = courses[rng.gen_range(0..courses.len())];
+                    g.insert(Triple::new(person, ub.teacher_of, course));
+                }
+                if rank != ub.lecturer {
+                    professors.push(person);
+                }
+                faculty.push(person);
+            }
+            // The department head: headOf (⊑ worksFor ⊑ memberOf).
+            g.insert(Triple::new(faculty[0], ub.head_of, dept));
+
+            // --- publications -------------------------------------------
+            for (i, &author) in faculty.iter().enumerate() {
+                for p in 0..cfg.publications_per_faculty {
+                    let publ = dict.encode_iri(&format!("{NS_DATA}u{u}/d{d}/pub{i}_{p}"));
+                    // NOTE: publications carry no explicit type — their
+                    // membership in Publication is derivable from the
+                    // domain of publicationAuthor only (LUBM-style
+                    // incompleteness driving the reasoning need).
+                    g.insert(Triple::new(publ, ub.publication_author, author));
+                    // occasional co-author from the same department
+                    if rng.gen_bool(0.3) {
+                        let co = faculty[rng.gen_range(0..faculty.len())];
+                        g.insert(Triple::new(publ, ub.publication_author, co));
+                    }
+                }
+            }
+
+            // --- students -----------------------------------------------
+            let undergrads = cfg.students_per_department;
+            let grads = cfg.students_per_department / 4;
+            for s in 0..undergrads + grads {
+                let student = dict.encode_iri(&format!("{NS_DATA}u{u}/d{d}/student{s}"));
+                let grad = s >= undergrads;
+                let class = if grad { ub.graduate_student } else { ub.undergraduate_student };
+                g.insert(Triple::new(student, vocab.rdf_type, class));
+                g.insert(Triple::new(student, ub.member_of, dept));
+                for _ in 0..rng.gen_range(2..=4usize) {
+                    let course = courses[rng.gen_range(0..courses.len())];
+                    g.insert(Triple::new(student, ub.takes_course, course));
+                }
+                if grad && !professors.is_empty() {
+                    let prof = professors[rng.gen_range(0..professors.len())];
+                    g.insert(Triple::new(student, ub.advisor, prof));
+                    g.insert(Triple::new(
+                        student,
+                        ub.undergraduate_degree_from,
+                        dict.encode_iri(&format!(
+                            "{NS_DATA}u{}",
+                            rng.gen_range(0..cfg.universities)
+                        )),
+                    ));
+                }
+            }
+        }
+    }
+    Dataset { dict, vocab, graph: g }
+}
+
+/// The ten-query workload. Reformulation sizes range from 1 branch (Q1) to
+/// dozens (Q2, Q9), giving the per-query threshold spread of Fig. 3.
+pub fn queries(ds: &mut Dataset) -> Vec<NamedQuery> {
+    let prologue = format!("PREFIX ub: <{NS_UB}> PREFIX d: <{NS_DATA}>\n");
+    let mut make = |name: &'static str, description: &'static str, body: &str| NamedQuery {
+        name,
+        description,
+        query: parse_query(&format!("{prologue}{body}"), &mut ds.dict)
+            .unwrap_or_else(|e| panic!("workload query {name} must parse: {e}")),
+    };
+    vec![
+        make(
+            "Q1",
+            "students taking a specific course (no reasoning needed)",
+            "SELECT ?x WHERE { ?x ub:takesCourse <http://webreason.example/data/u0/d0/course1> }",
+        ),
+        make(
+            "Q2",
+            "all persons (deep subclass + domain/range reformulation)",
+            "SELECT ?x WHERE { ?x a ub:Person }",
+        ),
+        make(
+            "Q3",
+            "publications of a specific professor (domain reasoning types the publication)",
+            "SELECT ?p WHERE { ?p a ub:Publication . ?p ub:publicationAuthor <http://webreason.example/data/u0/d0/prof0> }",
+        ),
+        make(
+            "Q4",
+            "professors working for a specific department (rank subclasses + worksFor subproperties)",
+            "SELECT ?x WHERE { ?x a ub:Professor . ?x ub:worksFor <http://webreason.example/data/u0/d0> }",
+        ),
+        make(
+            "Q5",
+            "members of a specific department (memberOf ⊒ worksFor ⊒ headOf)",
+            "SELECT ?x WHERE { ?x ub:memberOf <http://webreason.example/data/u0/d0> }",
+        ),
+        make(
+            "Q6",
+            "all students (subclasses ∪ domain of takesCourse/advisor)",
+            "SELECT ?x WHERE { ?x a ub:Student }",
+        ),
+        make(
+            "Q7",
+            "students taking a course taught by a specific professor",
+            "SELECT ?x ?y WHERE { ?x a ub:Student . ?x ub:takesCourse ?y . <http://webreason.example/data/u0/d0/prof0> ub:teacherOf ?y }",
+        ),
+        make(
+            "Q8",
+            "students who are members of a sub-organization of a specific university",
+            "SELECT ?x ?d WHERE { ?x a ub:Student . ?x ub:memberOf ?d . ?d ub:subOrganizationOf <http://webreason.example/data/u0> }",
+        ),
+        make(
+            "Q9",
+            "advisor triangle: student advised by the teacher of a course they take",
+            "SELECT ?x ?y ?z WHERE { ?x a ub:Student . ?y a ub:Faculty . ?x ub:advisor ?y . ?y ub:teacherOf ?z . ?x ub:takesCourse ?z }",
+        ),
+        make(
+            "Q10",
+            "graduate students and where they got their degree (degreeFrom subproperties)",
+            "SELECT ?x ?u WHERE { ?x a ub:GraduateStudent . ?x ub:degreeFrom ?u }",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfs::{saturate, Schema};
+    use sparql::evaluate;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = LubmConfig::tiny();
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.graph.len(), b.graph.len());
+        let c = generate(&LubmConfig { seed: 8, ..cfg });
+        assert_ne!(a.graph, c.graph, "different seed, different data");
+    }
+
+    #[test]
+    fn scale_grows_linearly_with_universities() {
+        let one = generate(&LubmConfig { universities: 1, ..LubmConfig::tiny() });
+        let two = generate(&LubmConfig { universities: 2, ..LubmConfig::tiny() });
+        let ratio = two.graph.len() as f64 / one.graph.len() as f64;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn schema_shape() {
+        let ds = generate(&LubmConfig::tiny());
+        let schema = Schema::extract(&ds.graph, &ds.vocab);
+        let mut dict = ds.dict.clone();
+        let ub = UbVocab::intern(&mut dict);
+        // FullProfessor ⊑* Person (4 hops)
+        assert!(schema.super_classes(ub.full_professor).contains(&ub.person));
+        // headOf ⊑* memberOf
+        assert!(schema.super_properties(ub.head_of).contains(&ub.member_of));
+        // takesCourse domain lifts to Person
+        assert!(schema.domains(ub.takes_course).contains(&ub.person));
+    }
+
+    #[test]
+    fn leaf_typing_requires_reasoning() {
+        let mut ds = generate(&LubmConfig::tiny());
+        let qs = queries(&mut ds);
+        let q2 = &qs[1].query; // all persons
+        let plain = evaluate(&ds.graph, q2);
+        assert!(plain.is_empty(), "no explicit ub:Person assertions");
+        let sat = saturate(&ds.graph, &ds.vocab).graph;
+        let reasoned = evaluate(&sat, q2);
+        assert!(!reasoned.is_empty(), "reasoning reveals the persons");
+    }
+
+    #[test]
+    fn all_queries_have_answers_under_reasoning() {
+        let mut ds = generate(&LubmConfig::tiny());
+        let sat = saturate(&ds.graph, &ds.vocab).graph;
+        for nq in queries(&mut ds) {
+            let sols = evaluate(&sat, &nq.query);
+            assert!(!sols.is_empty(), "{} should have answers: {}", nq.name, nq.description);
+        }
+    }
+
+    #[test]
+    fn saturation_blowup_is_significant() {
+        let ds = generate(&LubmConfig::tiny());
+        let sat = saturate(&ds.graph, &ds.vocab);
+        let blowup = sat.stats.output_triples as f64 / sat.stats.input_triples as f64;
+        assert!(blowup > 1.3, "LUBM-style data inflates under RDFS: {blowup}");
+    }
+
+    #[test]
+    fn default_scale_is_substantial() {
+        let ds = generate(&LubmConfig::default());
+        assert!(ds.graph.len() > 40_000, "got {}", ds.graph.len());
+    }
+}

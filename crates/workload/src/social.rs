@@ -1,0 +1,250 @@
+//! Social-network workload — the paper's §II-A running example
+//! (`hasFriend rdfs:domain Person`, "Anne hasFriend Marie") scaled into a
+//! generator.
+//!
+//! The LUBM-style workload has a deep class tree and shallow property
+//! hierarchy; this one is the opposite — a flat class hierarchy but a
+//! property lattice (`closeFriendOf ⊑ hasFriend ⊑ knows`,
+//! `follows ⊑ knows`) over a high-fan-out graph — so the two workloads
+//! stress different reformulation shapes (subproperty chains vs subclass
+//! trees) and different saturation profiles (rdfs7-heavy vs rdfs9-heavy).
+
+use crate::{Dataset, NamedQuery};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdf_model::{Dictionary, Graph, TermId, Triple, Vocab};
+use sparql::parse_query;
+
+/// Namespace of the social-network vocabulary.
+pub const NS_SN: &str = "http://webreason.example/social#";
+/// Namespace of generated people and places.
+pub const NS_PEOPLE: &str = "http://webreason.example/people/";
+
+/// Generator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocialConfig {
+    /// Number of people.
+    pub people: usize,
+    /// Average friendship edges per person.
+    pub friends_per_person: usize,
+    /// Average follow edges per person.
+    pub follows_per_person: usize,
+    /// Number of cities people live in.
+    pub cities: usize,
+    /// Fraction (percent) of people explicitly typed; the rest are typed
+    /// only via the domain/range of their edges — the paper's point that
+    /// "taking into account this implicit information is crucial".
+    pub typed_percent: u8,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SocialConfig {
+    fn default() -> Self {
+        SocialConfig {
+            people: 2_000,
+            friends_per_person: 6,
+            follows_per_person: 4,
+            cities: 25,
+            typed_percent: 30,
+            seed: 7,
+        }
+    }
+}
+
+impl SocialConfig {
+    /// A small configuration for unit tests.
+    pub fn tiny() -> Self {
+        SocialConfig { people: 60, friends_per_person: 3, follows_per_person: 2, cities: 4, ..Default::default() }
+    }
+}
+
+/// The ontology's ids.
+#[derive(Debug, Clone, Copy)]
+#[allow(missing_docs)] // field names mirror the ontology 1:1
+pub struct SnVocab {
+    pub person: TermId,
+    pub influencer: TermId,
+    pub place: TermId,
+    pub city: TermId,
+    pub knows: TermId,
+    pub has_friend: TermId,
+    pub close_friend_of: TermId,
+    pub follows: TermId,
+    pub lives_in: TermId,
+}
+
+impl SnVocab {
+    /// Interns the vocabulary.
+    pub fn intern(dict: &mut Dictionary) -> Self {
+        let mut enc = |n: &str| dict.encode_iri(&format!("{NS_SN}{n}"));
+        SnVocab {
+            person: enc("Person"),
+            influencer: enc("Influencer"),
+            place: enc("Place"),
+            city: enc("City"),
+            knows: enc("knows"),
+            has_friend: enc("hasFriend"),
+            close_friend_of: enc("closeFriendOf"),
+            follows: enc("follows"),
+            lives_in: enc("livesIn"),
+        }
+    }
+}
+
+/// Generates the dataset.
+pub fn generate(cfg: &SocialConfig) -> Dataset {
+    let mut dict = Dictionary::new();
+    let vocab = Vocab::intern(&mut dict);
+    let sn = SnVocab::intern(&mut dict);
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Schema: property lattice + flat-ish classes (the §II-A constraints).
+    g.insert(Triple::new(sn.has_friend, vocab.sub_property_of, sn.knows));
+    g.insert(Triple::new(sn.close_friend_of, vocab.sub_property_of, sn.has_friend));
+    g.insert(Triple::new(sn.follows, vocab.sub_property_of, sn.knows));
+    g.insert(Triple::new(sn.has_friend, vocab.domain, sn.person));
+    g.insert(Triple::new(sn.has_friend, vocab.range, sn.person));
+    g.insert(Triple::new(sn.follows, vocab.domain, sn.person));
+    g.insert(Triple::new(sn.follows, vocab.range, sn.influencer));
+    g.insert(Triple::new(sn.lives_in, vocab.domain, sn.person));
+    g.insert(Triple::new(sn.lives_in, vocab.range, sn.place));
+    g.insert(Triple::new(sn.influencer, vocab.sub_class_of, sn.person));
+    g.insert(Triple::new(sn.city, vocab.sub_class_of, sn.place));
+
+    let people: Vec<TermId> =
+        (0..cfg.people).map(|i| dict.encode_iri(&format!("{NS_PEOPLE}p{i}"))).collect();
+    let cities: Vec<TermId> =
+        (0..cfg.cities).map(|i| dict.encode_iri(&format!("{NS_PEOPLE}city{i}"))).collect();
+    for &c in &cities {
+        g.insert(Triple::new(c, vocab.rdf_type, sn.city));
+    }
+
+    // ~5% of people are influencers (explicitly typed — follow targets).
+    let influencers: Vec<TermId> =
+        people.iter().copied().filter(|_| rng.gen_bool(0.05)).collect();
+    for &i in &influencers {
+        g.insert(Triple::new(i, vocab.rdf_type, sn.influencer));
+    }
+
+    for (idx, &p) in people.iter().enumerate() {
+        if rng.gen_range(0..100) < cfg.typed_percent {
+            g.insert(Triple::new(p, vocab.rdf_type, sn.person));
+        }
+        g.insert(Triple::new(p, sn.lives_in, cities[idx % cities.len()]));
+        for _ in 0..rng.gen_range(1..=cfg.friends_per_person.max(1) * 2) {
+            let friend = people[rng.gen_range(0..people.len())];
+            // every third friendship is a close one (subproperty chain)
+            let prop = if rng.gen_bool(0.33) { sn.close_friend_of } else { sn.has_friend };
+            g.insert(Triple::new(p, prop, friend));
+        }
+        if !influencers.is_empty() {
+            for _ in 0..rng.gen_range(0..=cfg.follows_per_person.max(1) * 2) {
+                let target = influencers[rng.gen_range(0..influencers.len())];
+                g.insert(Triple::new(p, sn.follows, target));
+            }
+        }
+    }
+    Dataset { dict, vocab, graph: g }
+}
+
+/// The query workload S1–S5.
+pub fn queries(ds: &mut Dataset) -> Vec<NamedQuery> {
+    let prologue = format!("PREFIX sn: <{NS_SN}> PREFIX pp: <{NS_PEOPLE}>\n");
+    let mut make = |name: &'static str, description: &'static str, body: &str| NamedQuery {
+        name,
+        description,
+        query: parse_query(&format!("{prologue}{body}"), &mut ds.dict)
+            .unwrap_or_else(|e| panic!("social query {name} must parse: {e}")),
+    };
+    vec![
+        make(
+            "S1",
+            "all persons — mostly implicit via domain/range (the §II-A entailment)",
+            "SELECT DISTINCT ?x WHERE { ?x a sn:Person }",
+        ),
+        make(
+            "S2",
+            "who knows whom — three subproperties fold into one query",
+            "SELECT ?x ?y WHERE { ?x sn:knows ?y }",
+        ),
+        make(
+            "S3",
+            "friends-of-friends under the property lattice",
+            "SELECT DISTINCT ?x ?z WHERE { ?x sn:hasFriend ?y . ?y sn:hasFriend ?z }",
+        ),
+        make(
+            "S4",
+            "influencers known by people of a given city",
+            "SELECT DISTINCT ?i WHERE { ?x sn:livesIn pp:city0 . ?x sn:knows ?i . ?i a sn:Influencer }",
+        ),
+        make(
+            "S5",
+            "count the persons (aggregate over entailed types)",
+            "SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?x a sn:Person }",
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfs::saturate;
+    use sparql::{evaluate, finalize};
+
+    #[test]
+    fn deterministic_and_scaled() {
+        let a = generate(&SocialConfig::tiny());
+        let b = generate(&SocialConfig::tiny());
+        assert_eq!(a.graph, b.graph);
+        let big = generate(&SocialConfig { people: 120, ..SocialConfig::tiny() });
+        assert!(big.graph.len() > a.graph.len());
+    }
+
+    #[test]
+    fn implicit_typing_dominates() {
+        let mut ds = generate(&SocialConfig::tiny());
+        let qs = queries(&mut ds);
+        let s1 = &qs[0].query;
+        let explicit = evaluate(&ds.graph, s1).len();
+        let sat = saturate(&ds.graph, &ds.vocab).graph;
+        let entailed = evaluate(&sat, s1).len();
+        assert!(
+            entailed > explicit * 2,
+            "most persons are implicit: {explicit} explicit vs {entailed} entailed"
+        );
+        assert_eq!(entailed, SocialConfig::tiny().people, "everyone is derivably a Person");
+    }
+
+    #[test]
+    fn subproperty_lattice_folds_into_knows() {
+        let mut ds = generate(&SocialConfig::tiny());
+        let qs = queries(&mut ds);
+        let s2 = &qs[1].query;
+        let sat = saturate(&ds.graph, &ds.vocab).graph;
+        let knows = evaluate(&sat, s2).len();
+        let explicit = evaluate(&ds.graph, s2).len();
+        assert_eq!(explicit, 0, "nobody asserts sn:knows directly");
+        assert!(knows > 100, "friendships + follows lift into knows: {knows}");
+    }
+
+    #[test]
+    fn all_queries_answer_under_reasoning_and_strategies_agree() {
+        let mut ds = generate(&SocialConfig::tiny());
+        let qs = queries(&mut ds);
+        let sat = saturate(&ds.graph, &ds.vocab).graph;
+        let schema = rdfs::Schema::extract(&ds.graph, &ds.vocab);
+        for nq in &qs {
+            let mut q = nq.query.clone();
+            q.distinct = true;
+            let direct = finalize(evaluate(&sat, &q), &q, &mut ds.dict);
+            assert!(!direct.is_empty(), "{}", nq.name);
+            if q.aggregate.is_none() {
+                let r = reformulation::reformulate(&q, &schema, &ds.vocab).expect("dialect ok");
+                let refo = evaluate(&ds.graph, &r.query);
+                assert_eq!(refo.as_set(), direct.as_set(), "{}", nq.name);
+            }
+        }
+    }
+}

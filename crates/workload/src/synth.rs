@@ -1,0 +1,239 @@
+//! Parametric random ontologies and instance data.
+//!
+//! Used by the reformulation-size sweep (experiment T-REF): the number of
+//! union branches `q_ref` contains is governed by the class tree's depth ×
+//! fan-out and by how many properties have a domain/range inside the tree,
+//! so this generator exposes exactly those knobs.
+
+use crate::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdf_model::{Dictionary, Graph, TermId, Triple, Vocab};
+use sparql::{parse_query, Query};
+
+/// Namespace for synthetic ontologies.
+pub const NS_SYNTH: &str = "http://webreason.example/synth#";
+
+/// Configuration of the synthetic generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynthConfig {
+    /// Depth of the class tree (root at depth 0).
+    pub class_depth: usize,
+    /// Children per class node.
+    pub class_fanout: usize,
+    /// Number of property chains (`p0 ⊑ p1 ⊑ …`).
+    pub property_chains: usize,
+    /// Length of each subproperty chain.
+    pub chain_length: usize,
+    /// Probability that a property gets a domain (and range) constraint
+    /// pointing at a random class.
+    pub domain_range_density: f64,
+    /// Number of individuals.
+    pub individuals: usize,
+    /// Instance property edges.
+    pub edges: usize,
+    /// Explicit (leaf-class) type assertions.
+    pub typings: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        SynthConfig {
+            class_depth: 3,
+            class_fanout: 3,
+            property_chains: 4,
+            chain_length: 3,
+            domain_range_density: 0.5,
+            individuals: 500,
+            edges: 2_000,
+            typings: 500,
+            seed: 42,
+        }
+    }
+}
+
+/// A generated synthetic workload: the dataset plus handles for building
+/// queries against it.
+#[derive(Debug, Clone)]
+pub struct SynthWorkload {
+    /// The dataset (schema + instances).
+    pub dataset: Dataset,
+    /// The root class of the tree (worst-case type query target).
+    pub root_class: TermId,
+    /// All classes, breadth-first from the root.
+    pub classes: Vec<TermId>,
+    /// The top property of each chain.
+    pub top_properties: Vec<TermId>,
+}
+
+/// Generates a synthetic workload.
+pub fn generate(cfg: &SynthConfig) -> SynthWorkload {
+    let mut dict = Dictionary::new();
+    let vocab = Vocab::intern(&mut dict);
+    let mut g = Graph::new();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Class tree, breadth-first.
+    let class_iri = |i: usize| format!("{NS_SYNTH}C{i}");
+    let mut classes: Vec<TermId> = vec![dict.encode_iri(&class_iri(0))];
+    let mut frontier = vec![0usize];
+    let mut next_id = 1usize;
+    for _ in 0..cfg.class_depth {
+        let mut next_frontier = Vec::new();
+        for &parent in &frontier {
+            for _ in 0..cfg.class_fanout {
+                let id = next_id;
+                next_id += 1;
+                let c = dict.encode_iri(&class_iri(id));
+                classes.push(c);
+                g.insert(Triple::new(c, vocab.sub_class_of, classes[parent]));
+                next_frontier.push(id);
+            }
+        }
+        frontier = next_frontier;
+    }
+    let leaf_start = classes.len() - frontier.len();
+
+    // Property chains with optional domain/range constraints.
+    let mut top_properties = Vec::new();
+    let mut all_properties = Vec::new();
+    for chain in 0..cfg.property_chains {
+        let mut upper: Option<TermId> = None;
+        for link in 0..cfg.chain_length {
+            let p = dict.encode_iri(&format!("{NS_SYNTH}p{chain}_{link}"));
+            all_properties.push(p);
+            if let Some(sup) = upper {
+                g.insert(Triple::new(p, vocab.sub_property_of, sup));
+            } else {
+                top_properties.push(p);
+            }
+            if rng.gen_bool(cfg.domain_range_density) {
+                let dom = classes[rng.gen_range(0..classes.len())];
+                g.insert(Triple::new(p, vocab.domain, dom));
+            }
+            if rng.gen_bool(cfg.domain_range_density) {
+                let ran = classes[rng.gen_range(0..classes.len())];
+                g.insert(Triple::new(p, vocab.range, ran));
+            }
+            upper = Some(p);
+        }
+    }
+
+    // Individuals, edges, typings.
+    let individuals: Vec<TermId> = (0..cfg.individuals)
+        .map(|i| dict.encode_iri(&format!("{NS_SYNTH}i{i}")))
+        .collect();
+    if !individuals.is_empty() && !all_properties.is_empty() {
+        for _ in 0..cfg.edges {
+            let s = individuals[rng.gen_range(0..individuals.len())];
+            let p = all_properties[rng.gen_range(0..all_properties.len())];
+            let o = individuals[rng.gen_range(0..individuals.len())];
+            g.insert(Triple::new(s, p, o));
+        }
+        for _ in 0..cfg.typings {
+            let s = individuals[rng.gen_range(0..individuals.len())];
+            // type at a leaf class so mid-tree queries need reasoning
+            let c = classes[rng.gen_range(leaf_start..classes.len())];
+            g.insert(Triple::new(s, vocab.rdf_type, c));
+        }
+    }
+
+    SynthWorkload {
+        dataset: Dataset { dict, vocab, graph: g },
+        root_class: classes[0],
+        classes,
+        top_properties,
+    }
+}
+
+impl SynthWorkload {
+    /// `SELECT ?x WHERE { ?x rdf:type <class> }` — reformulation size grows
+    /// with the subtree under `class`.
+    pub fn type_query(&mut self, class: TermId) -> Query {
+        let iri = self
+            .dataset
+            .dict
+            .decode(class)
+            .and_then(|t| t.as_iri())
+            .expect("class is an IRI")
+            .to_owned();
+        parse_query(&format!("SELECT ?x WHERE {{ ?x a <{iri}> }}"), &mut self.dataset.dict)
+            .expect("type query parses")
+    }
+
+    /// `SELECT ?x ?y WHERE { ?x <p> ?y }` for a top property — reformulation
+    /// size grows with the chain below it.
+    pub fn property_query(&mut self, p: TermId) -> Query {
+        let iri = self
+            .dataset
+            .dict
+            .decode(p)
+            .and_then(|t| t.as_iri())
+            .expect("property is an IRI")
+            .to_owned();
+        parse_query(
+            &format!("SELECT ?x ?y WHERE {{ ?x <{iri}> ?y }}"),
+            &mut self.dataset.dict,
+        )
+        .expect("property query parses")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfs::Schema;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = SynthConfig { individuals: 50, edges: 100, typings: 50, ..Default::default() };
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.dataset.graph, b.dataset.graph);
+    }
+
+    #[test]
+    fn class_tree_size_matches_depth_and_fanout() {
+        let cfg = SynthConfig { class_depth: 3, class_fanout: 2, ..Default::default() };
+        let w = generate(&cfg);
+        // 1 + 2 + 4 + 8 = 15
+        assert_eq!(w.classes.len(), 15);
+        let schema = Schema::extract(&w.dataset.graph, &w.dataset.vocab);
+        assert_eq!(schema.sub_classes(w.root_class).len(), 14, "every class is under the root");
+    }
+
+    #[test]
+    fn property_chains_close_transitively() {
+        let cfg = SynthConfig {
+            property_chains: 2,
+            chain_length: 4,
+            domain_range_density: 0.0,
+            ..Default::default()
+        };
+        let w = generate(&cfg);
+        let schema = Schema::extract(&w.dataset.graph, &w.dataset.vocab);
+        for &top in &w.top_properties {
+            assert_eq!(schema.sub_properties(top).len(), 3, "3 links below each top");
+        }
+    }
+
+    #[test]
+    fn queries_build_and_reference_real_entities() {
+        let mut w = generate(&SynthConfig { individuals: 20, edges: 50, typings: 20, ..Default::default() });
+        let root = w.root_class;
+        let q = w.type_query(root);
+        assert_eq!(q.bgps[0].patterns.len(), 1);
+        let tops = w.top_properties.clone();
+        let q = w.property_query(tops[0]);
+        assert_eq!(q.projection.len(), 2);
+    }
+
+    #[test]
+    fn zero_depth_tree_is_one_class() {
+        let cfg = SynthConfig { class_depth: 0, ..Default::default() };
+        let w = generate(&cfg);
+        assert_eq!(w.classes.len(), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Strategy equivalence on the LUBM workload: every reasoning strategy
+//! must return the same answer sets on the reformulation dialect —
+//! `q(G∞) = q_ref(G) = backward(G) = datalog(G)` — which is the semantic
+//! backbone of the paper's performance comparison (the techniques compute
+//! the *same* answers at different costs).
+
+use rustc_hash::FxHashSet;
+use webreason_core::{ReasoningConfig, Store};
+use workload::lubm::{generate, queries, LubmConfig};
+
+#[test]
+fn all_strategies_agree_on_lubm_q1_to_q10() {
+    let mut ds = generate(&LubmConfig::tiny());
+    let named = queries(&mut ds);
+
+    // Reference answers from recompute-saturation.
+    let mut reference: Vec<FxHashSet<Vec<rdf_model::TermId>>> = Vec::new();
+    {
+        let mut store = Store::from_parts(
+            ds.dict.clone(),
+            ds.vocab,
+            ds.graph.clone(),
+            ReasoningConfig::Saturation(webreason_core::MaintenanceAlgorithm::Recompute),
+        );
+        for nq in &named {
+            let mut q = nq.query.clone();
+            q.distinct = true;
+            reference.push(store.answer(&q).unwrap().as_set());
+        }
+    }
+
+    for config in ReasoningConfig::ALL {
+        if config == ReasoningConfig::None {
+            continue;
+        }
+        let mut store =
+            Store::from_parts(ds.dict.clone(), ds.vocab, ds.graph.clone(), config);
+        for (nq, want) in named.iter().zip(&reference) {
+            let mut q = nq.query.clone();
+            q.distinct = true;
+            let got = store.answer(&q).unwrap().as_set();
+            assert_eq!(
+                &got,
+                want,
+                "{} disagrees on {} ({})",
+                config.name(),
+                nq.name,
+                nq.description
+            );
+            assert!(!got.is_empty(), "{} is non-trivial", nq.name);
+        }
+    }
+}
+
+#[test]
+fn plain_evaluation_misses_answers_on_lubm() {
+    // The motivation for the whole paper: ignoring entailment loses answers.
+    let mut ds = generate(&LubmConfig::tiny());
+    let named = queries(&mut ds);
+    let mut none = Store::from_parts(ds.dict.clone(), ds.vocab, ds.graph.clone(), ReasoningConfig::None);
+    let mut sat = Store::from_parts(
+        ds.dict,
+        ds.vocab,
+        ds.graph,
+        ReasoningConfig::Saturation(webreason_core::MaintenanceAlgorithm::Counting),
+    );
+    let mut lossy = 0;
+    for nq in &named {
+        let mut q = nq.query.clone();
+        q.distinct = true;
+        let incomplete = none.answer(&q).unwrap().len();
+        let complete = sat.answer(&q).unwrap().len();
+        assert!(incomplete <= complete, "{}", nq.name);
+        if incomplete < complete {
+            lossy += 1;
+        }
+    }
+    assert!(lossy >= 6, "most LUBM queries need reasoning; only {lossy} did");
+}
+
+#[test]
+fn strategies_agree_after_updates() {
+    let mut ds = generate(&LubmConfig::tiny());
+    let named = queries(&mut ds);
+    let q5 = named.iter().find(|nq| nq.name == "Q5").unwrap().query.clone();
+
+    // Pick an update: a new head of department d1 (headOf ⊑ worksFor ⊑ memberOf).
+    let new_person = ds.dict.encode_iri("http://webreason.example/data/u0/d0/newhire");
+    let head_of = ds.dict.encode_iri("http://webreason.example/univ-bench#headOf");
+    let dept = ds.dict.encode_iri("http://webreason.example/data/u0/d0");
+    let t = rdf_model::Triple::new(new_person, head_of, dept);
+
+    let mut results = Vec::new();
+    for config in ReasoningConfig::ALL {
+        if config == ReasoningConfig::None {
+            continue;
+        }
+        let mut store = Store::from_parts(ds.dict.clone(), ds.vocab, ds.graph.clone(), config);
+        let mut q = q5.clone();
+        q.distinct = true;
+        let before = store.answer(&q).unwrap().len();
+        store.insert(t);
+        let after = store.answer(&q).unwrap().len();
+        assert_eq!(after, before + 1, "{}: new member visible", config.name());
+        store.delete(&t);
+        let back = store.answer(&q).unwrap().as_set();
+        results.push((config.name(), before, back));
+    }
+    let first = results[0].2.clone();
+    for (name, _, set) in &results {
+        assert_eq!(set, &first, "{name} diverged after update round-trip");
+    }
+}

@@ -1,0 +1,195 @@
+//! End-to-end store scenarios across crates: load RDF text, reason, query.
+
+use rdf_model::Term;
+use webreason_core::{MaintenanceAlgorithm, ReasoningConfig, Store};
+
+/// The paper's §I motivating example, end to end.
+#[test]
+fn tom_the_cat_end_to_end() {
+    for config in ReasoningConfig::ALL {
+        let mut store = Store::new(config);
+        store
+            .load_turtle(
+                r#"
+                @prefix zoo: <http://zoo.example/> .
+                @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+                zoo:Cat rdfs:subClassOf zoo:Mammal .
+                zoo:Tom a zoo:Cat .
+            "#,
+            )
+            .unwrap();
+        let sols = store
+            .answer_sparql("PREFIX zoo: <http://zoo.example/> SELECT ?x WHERE { ?x a zoo:Mammal }")
+            .unwrap();
+        let expected = if config == ReasoningConfig::None { 0 } else { 1 };
+        assert_eq!(sols.len(), expected, "{}", config.name());
+    }
+}
+
+/// The paper's §II-A example: domain typing entails `Anne rdf:type Person`.
+#[test]
+fn anne_has_friend_domain_typing() {
+    let mut store = Store::new(ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting));
+    store
+        .load_turtle(
+            r#"
+            @prefix ex: <http://example.org/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            ex:hasFriend rdfs:domain ex:Person .
+            ex:Anne ex:hasFriend ex:Marie .
+        "#,
+        )
+        .unwrap();
+    let sols = store
+        .answer_sparql("PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Person }")
+        .unwrap();
+    let names = sols.to_strings(store.dictionary());
+    assert_eq!(names, vec!["?x=<http://example.org/Anne>"]);
+}
+
+#[test]
+fn ntriples_loading_and_literals() {
+    let mut store = Store::new(ReasoningConfig::Reformulation);
+    let n = store
+        .load_ntriples(
+            "<http://ex/p1> <http://ex/name> \"Anne\" .\n\
+             <http://ex/p1> <http://ex/age> \"31\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n",
+        )
+        .unwrap();
+    assert_eq!(n, 2);
+    let sols = store
+        .answer_sparql("PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:name \"Anne\" }")
+        .unwrap();
+    assert_eq!(sols.len(), 1);
+}
+
+#[test]
+fn multi_hop_reasoning_query_with_joins() {
+    let data = r#"
+        @prefix ex: <http://ex/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        ex:PhDStudent rdfs:subClassOf ex:Student .
+        ex:Student rdfs:subClassOf ex:Person .
+        ex:advises rdfs:domain ex:Professor .
+        ex:advises rdfs:range ex:Student .
+        ex:Professor rdfs:subClassOf ex:Person .
+        ex:kim ex:advises ex:lee .
+        ex:lee a ex:PhDStudent .
+        ex:lee ex:friendOf ex:sam .
+    "#;
+    let q = "PREFIX ex: <http://ex/> SELECT DISTINCT ?prof ?stud WHERE { \
+             ?prof a ex:Professor . ?prof ex:advises ?stud . ?stud a ex:Student }";
+    let mut reference: Option<Vec<Vec<rdf_model::TermId>>> = None;
+    for config in ReasoningConfig::ALL {
+        if config == ReasoningConfig::None {
+            continue;
+        }
+        let mut store = Store::new(config);
+        store.load_turtle(data).unwrap();
+        let sols = store.answer_sparql(q).unwrap();
+        assert_eq!(sols.len(), 1, "{}: kim advises lee", config.name());
+        let rows = sols.sorted_rows();
+        match &reference {
+            None => reference = Some(rows),
+            Some(r) => assert_eq!(r, &rows, "{}", config.name()),
+        }
+    }
+}
+
+#[test]
+fn deletes_retract_inferences_in_live_store() {
+    for algo in MaintenanceAlgorithm::ALL {
+        let mut store = Store::new(ReasoningConfig::Saturation(algo));
+        store
+            .load_turtle(
+                r#"
+                @prefix ex: <http://ex/> .
+                @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+                ex:Cat rdfs:subClassOf ex:Mammal .
+                ex:Tom a ex:Cat .
+            "#,
+            )
+            .unwrap();
+        let q = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }";
+        assert_eq!(store.answer_sparql(q).unwrap().len(), 1);
+        store.delete_terms(
+            &Term::iri("http://ex/Tom"),
+            &Term::iri(rdf_model::vocab::RDF_TYPE),
+            &Term::iri("http://ex/Cat"),
+        );
+        assert_eq!(store.answer_sparql(q).unwrap().len(), 0, "{}", algo.name());
+    }
+}
+
+#[test]
+fn stats_track_sizes_across_strategies() {
+    let mut store = Store::new(ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed));
+    store
+        .load_turtle(
+            r#"
+            @prefix ex: <http://ex/> .
+            @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+            ex:A rdfs:subClassOf ex:B .
+            ex:x a ex:A .
+        "#,
+        )
+        .unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.base_triples, 2);
+    assert_eq!(stats.saturated_triples, Some(3));
+    assert!(stats.dictionary_terms >= 4);
+}
+
+#[test]
+fn modifiers_and_aggregates_apply_uniformly_across_strategies() {
+    let data = r#"
+        @prefix ex: <http://ex/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        ex:Cat rdfs:subClassOf ex:Animal .
+        ex:Dog rdfs:subClassOf ex:Animal .
+        ex:tom a ex:Cat . ex:rex a ex:Dog . ex:ada a ex:Cat .
+        ex:tom ex:age 3 . ex:rex ex:age 11 . ex:ada ex:age 2 .
+    "#;
+    for config in ReasoningConfig::ALL {
+        if config == ReasoningConfig::None {
+            continue;
+        }
+        let mut store = Store::new(config);
+        store.load_turtle(data).unwrap();
+
+        // COUNT over an entailed class
+        let sols = store
+            .answer_sparql(
+                "PREFIX ex: <http://ex/> SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?x a ex:Animal }",
+            )
+            .unwrap();
+        let n = store.dictionary().decode(sols.rows[0][0]).unwrap();
+        assert_eq!(n.as_literal().unwrap().lexical(), "3", "{}", config.name());
+
+        // ORDER BY a numeric literal + LIMIT
+        let sols = store
+            .answer_sparql(
+                "PREFIX ex: <http://ex/> SELECT DISTINCT ?x ?a WHERE { ?x a ex:Animal . ?x ex:age ?a } \
+                 ORDER BY DESC(?a) LIMIT 2",
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 2, "{}", config.name());
+        let oldest = store.dictionary().decode(sols.rows[0][0]).unwrap();
+        assert_eq!(oldest.as_iri(), Some("http://ex/rex"), "{}", config.name());
+
+        // FILTER over an entailed pattern
+        let sols = store
+            .answer_sparql(
+                "PREFIX ex: <http://ex/> SELECT DISTINCT ?x ?a WHERE { ?x a ex:Animal . ?x ex:age ?a . FILTER (?a < 10) }",
+            )
+            .unwrap();
+        assert_eq!(sols.len(), 2, "{}: tom (3) and ada (2)", config.name());
+    }
+}
+
+#[test]
+fn empty_store_answers_empty() {
+    let mut store = Store::new(ReasoningConfig::Reformulation);
+    let sols = store.answer_sparql("SELECT ?x WHERE { ?x <http://p> ?y }").unwrap();
+    assert!(sols.is_empty());
+}
