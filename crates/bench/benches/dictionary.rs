@@ -7,7 +7,9 @@ use rdf_model::{Dictionary, Graph, Pattern, Term, Triple};
 use std::hint::black_box;
 
 fn bench_dictionary(c: &mut Criterion) {
-    let iris: Vec<String> = (0..10_000).map(|i| format!("http://bench.example/entity/{i}")).collect();
+    let iris: Vec<String> = (0..10_000)
+        .map(|i| format!("http://bench.example/entity/{i}"))
+        .collect();
     let mut group = c.benchmark_group("dictionary");
     group.bench_function("encode_10k_fresh", |b| {
         b.iter(|| {

@@ -35,9 +35,10 @@ fn bench_tree_sweep(c: &mut Criterion) {
         let root = w.root_class;
         let q = w.type_query(root);
         let vocab = w.dataset.vocab;
-        group.bench_function(BenchmarkId::from_parameter(format!("d{depth}f{fanout}")), |b| {
-            b.iter(|| black_box(reformulate(&q, &schema, &vocab).unwrap()))
-        });
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("d{depth}f{fanout}")),
+            |b| b.iter(|| black_box(reformulate(&q, &schema, &vocab).unwrap())),
+        );
     }
     group.finish();
 }
@@ -71,5 +72,10 @@ fn bench_pruning_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lubm_queries, bench_tree_sweep, bench_pruning_ablation);
+criterion_group!(
+    benches,
+    bench_lubm_queries,
+    bench_tree_sweep,
+    bench_pruning_ablation
+);
 criterion_main!(benches);

@@ -14,11 +14,9 @@ fn bench_saturation(c: &mut Criterion) {
     for scale in [Scale::Tiny, Scale::Small] {
         let ds = generate(&scale.config());
         let triples = ds.graph.len();
-        group.bench_with_input(
-            BenchmarkId::new("specialised", triples),
-            &ds,
-            |b, ds| b.iter(|| black_box(saturate(&ds.graph, &ds.vocab))),
-        );
+        group.bench_with_input(BenchmarkId::new("specialised", triples), &ds, |b, ds| {
+            b.iter(|| black_box(saturate(&ds.graph, &ds.vocab)))
+        });
         group.bench_with_input(BenchmarkId::new("naive", triples), &ds, |b, ds| {
             b.iter(|| black_box(saturate_naive(&ds.graph, &ds.vocab)))
         });
@@ -29,12 +27,45 @@ fn bench_saturation(c: &mut Criterion) {
     group.finish();
 }
 
-/// A-PAR ablation: the derive-phase thread sweep.
+/// A-PAR ablation: the derive-phase thread sweep, with a per-phase
+/// wall-clock breakdown (the engine stamps `derive-us` / `merge-us`
+/// into its stats) and the speedup of each thread count over 1 thread.
 fn bench_parallel(c: &mut Criterion) {
     let ds = generate(&Scale::Small.config());
+    let thread_counts = [1usize, 2, 4, 8];
+
+    // Phase breakdown table: best-of-5 total per thread count, so the
+    // reported speedup is not dominated by a single cold run.
+    let mut rows = Vec::new();
+    for &t in &thread_counts {
+        let t = NonZeroUsize::new(t).unwrap();
+        let best = (0..5)
+            .map(|_| {
+                let sat = saturate_parallel(&ds.graph, &ds.vocab, t);
+                let derive = sat.stats.rule_firings["derive-us"];
+                let merge = sat.stats.rule_firings["merge-us"];
+                (derive + merge, derive, merge)
+            })
+            .min()
+            .unwrap();
+        rows.push((t.get(), best));
+    }
+    let baseline = rows[0].1 .0.max(1);
+    println!("\nA-PAR phase breakdown ({} base triples):", ds.graph.len());
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>9}",
+        "threads", "derive-us", "merge-us", "total-us", "speedup"
+    );
+    for (t, (total, derive, merge)) in &rows {
+        println!(
+            "{t:>8} {derive:>12} {merge:>12} {total:>12} {:>8.2}x",
+            baseline as f64 / (*total).max(1) as f64
+        );
+    }
+
     let mut group = c.benchmark_group("saturation/parallel");
     group.sample_size(10);
-    for threads in [1usize, 2, 4] {
+    for threads in thread_counts {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
             let t = NonZeroUsize::new(t).unwrap();
             b.iter(|| black_box(saturate_parallel(&ds.graph, &ds.vocab, t)))

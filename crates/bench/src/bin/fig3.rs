@@ -31,7 +31,12 @@ fn main() {
 
     eprintln!("generating LUBM workload ({scale:?})…");
     let (ds, qs) = lubm_workload(scale);
-    eprintln!("profiling {} triples × {} queries (algo: {})…", ds.graph.len(), qs.len(), algo.name());
+    eprintln!(
+        "profiling {} triples × {} queries (algo: {})…",
+        ds.graph.len(),
+        qs.len(),
+        algo.name()
+    );
     let prof = profile(&ds.graph, &ds.vocab, &qs, algo, 5);
 
     println!("== Figure 3: saturation thresholds ==");
@@ -68,7 +73,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["query", "saturation", "inst-insert", "inst-delete", "schema-insert", "schema-delete"],
+            &[
+                "query",
+                "saturation",
+                "inst-insert",
+                "inst-delete",
+                "schema-insert",
+                "schema-delete"
+            ],
             &rows
         )
     );
@@ -83,7 +95,9 @@ fn main() {
 
     let spread = spread_orders_of_magnitude(&thresholds);
     println!("\nthreshold spread: {spread:.1} orders of magnitude across queries and update kinds");
-    println!("(the paper reports \"up to 7 orders of magnitude\" on its PostgreSQL-backed testbed)");
+    println!(
+        "(the paper reports \"up to 7 orders of magnitude\" on its PostgreSQL-backed testbed)"
+    );
 
     #[derive(serde::Serialize)]
     struct Fig3Report<'a> {
@@ -94,7 +108,12 @@ fn main() {
     }
     match write_json(
         "fig3",
-        &Fig3Report { scale: format!("{scale:?}"), profile: &prof, thresholds: &thresholds, spread_orders_of_magnitude: spread },
+        &Fig3Report {
+            scale: format!("{scale:?}"),
+            profile: &prof,
+            thresholds: &thresholds,
+            spread_orders_of_magnitude: spread,
+        },
     ) {
         Ok(path) => eprintln!("\nwrote {}", path.display()),
         Err(e) => eprintln!("\ncould not write JSON report: {e}"),

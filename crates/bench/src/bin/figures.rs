@@ -20,28 +20,68 @@ use workload::lubm::generate;
 fn fig1() {
     println!("== Figure 1: RDF (top) & RDFS (bottom) statements ==");
     let assertion_rows = vec![
-        vec!["Class assertion".into(), "s rdf:type o".into(), "o(s)".into(),
-             "u0/d0/prof0 rdf:type ub:FullProfessor".into()],
-        vec!["Property assertion".into(), "s p o".into(), "p(s, o)".into(),
-             "u0/d0/student0 ub:takesCourse u0/d0/course2".into()],
+        vec![
+            "Class assertion".into(),
+            "s rdf:type o".into(),
+            "o(s)".into(),
+            "u0/d0/prof0 rdf:type ub:FullProfessor".into(),
+        ],
+        vec![
+            "Property assertion".into(),
+            "s p o".into(),
+            "p(s, o)".into(),
+            "u0/d0/student0 ub:takesCourse u0/d0/course2".into(),
+        ],
     ];
     println!(
         "{}",
-        render_table(&["Assertion", "Triple", "Relational notation", "LUBM instance"], &assertion_rows)
+        render_table(
+            &[
+                "Assertion",
+                "Triple",
+                "Relational notation",
+                "LUBM instance"
+            ],
+            &assertion_rows
+        )
     );
     let constraint_rows = vec![
-        vec!["Subclass".into(), "s rdfs:subClassOf o".into(), "s ⊆ o".into(),
-             "ub:FullProfessor ⊑ ub:Professor".into()],
-        vec!["Subproperty".into(), "s rdfs:subPropertyOf o".into(), "s ⊆ o".into(),
-             "ub:headOf ⊑ ub:worksFor".into()],
-        vec!["Domain typing".into(), "s rdfs:domain o".into(), "Π_domain(s) ⊆ o".into(),
-             "ub:takesCourse domain ub:Student".into()],
-        vec!["Range typing".into(), "s rdfs:range o".into(), "Π_range(s) ⊆ o".into(),
-             "ub:takesCourse range ub:Course".into()],
+        vec![
+            "Subclass".into(),
+            "s rdfs:subClassOf o".into(),
+            "s ⊆ o".into(),
+            "ub:FullProfessor ⊑ ub:Professor".into(),
+        ],
+        vec![
+            "Subproperty".into(),
+            "s rdfs:subPropertyOf o".into(),
+            "s ⊆ o".into(),
+            "ub:headOf ⊑ ub:worksFor".into(),
+        ],
+        vec![
+            "Domain typing".into(),
+            "s rdfs:domain o".into(),
+            "Π_domain(s) ⊆ o".into(),
+            "ub:takesCourse domain ub:Student".into(),
+        ],
+        vec![
+            "Range typing".into(),
+            "s rdfs:range o".into(),
+            "Π_range(s) ⊆ o".into(),
+            "ub:takesCourse range ub:Course".into(),
+        ],
     ];
     println!(
         "{}",
-        render_table(&["Constraint", "Triple", "OWA interpretation", "LUBM instance"], &constraint_rows)
+        render_table(
+            &[
+                "Constraint",
+                "Triple",
+                "OWA interpretation",
+                "LUBM instance"
+            ],
+            &constraint_rows
+        )
     );
 }
 
@@ -55,13 +95,23 @@ fn fig2() {
             let fired = sat.stats.rule_firings.get(r.name()).copied().unwrap_or(0);
             vec![
                 r.name().to_owned(),
-                if r.in_figure2() { "Fig. 2".into() } else { "schema closure".into() },
+                if r.in_figure2() {
+                    "Fig. 2".into()
+                } else {
+                    "schema closure".into()
+                },
                 r.statement().to_owned(),
                 fired.to_string(),
             ]
         })
         .collect();
-    println!("{}", render_table(&["rule", "origin", "statement", "new triples on LUBM"], &rows));
+    println!(
+        "{}",
+        render_table(
+            &["rule", "origin", "statement", "new triples on LUBM"],
+            &rows
+        )
+    );
     println!(
         "saturation: {} base → {} triples in {} fix-point passes\n",
         sat.stats.input_triples, sat.stats.output_triples, sat.stats.passes

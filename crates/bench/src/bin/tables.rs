@@ -9,10 +9,10 @@
 use bench::{fmt_secs, lubm_workload, render_table, saturated, time, write_json, Scale};
 use rdfs::incremental::MaintenanceAlgorithm;
 use rdfs::{saturate, saturate_naive, saturate_parallel, Schema};
-use std::num::NonZeroUsize;
 use reformulation::reformulate;
 use serde::Serialize;
 use sparql::evaluate;
+use std::num::NonZeroUsize;
 use webreason_core::advisor::{advise, Recommendation, UpdateMix, WorkloadMix};
 use webreason_core::cost::profile;
 use webreason_core::evaluate_backward;
@@ -22,7 +22,9 @@ use workload::synth::{generate as synth_generate, SynthConfig};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let get = |flag: &str| -> Option<String> {
-        args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1).cloned())
     };
     let scale = get("--scale")
         .map(|s| Scale::parse(&s).unwrap_or_else(|| panic!("unknown scale {s:?}")))
@@ -100,12 +102,20 @@ fn table_social() {
             r.branches.to_string(),
             fmt_secs(t_sat),
             fmt_secs(t_ref),
-            if t_sat <= t_ref { "saturation" } else { "reformulation" }.to_owned(),
+            if t_sat <= t_ref {
+                "saturation"
+            } else {
+                "reformulation"
+            }
+            .to_owned(),
         ]);
     }
     println!(
         "{}",
-        render_table(&["query", "answers", "branches", "q(G∞)", "q_ref(G)", "winner"], &rows)
+        render_table(
+            &["query", "answers", "branches", "q(G∞)", "q_ref(G)", "winner"],
+            &rows
+        )
     );
     println!(
         "(contrast with T-QA: a property-lattice workload derives via rdfs7/rdfs2\n\
@@ -143,8 +153,9 @@ fn table_federation() {
     for queries_per_churn in [1usize, 10, 100] {
         let run = |saturating: bool| -> (f64, usize) {
             let mut fed = Federation::new();
-            let ids: Vec<_> =
-                (0..datasets.len()).map(|i| fed.add_endpoint(&format!("uni{i}"))).collect();
+            let ids: Vec<_> = (0..datasets.len())
+                .map(|i| fed.add_endpoint(&format!("uni{i}")))
+                .collect();
             for (id, data) in ids.iter().zip(&datasets) {
                 fed.load_ntriples(*id, data).expect("endpoint data loads");
             }
@@ -179,14 +190,25 @@ fn table_federation() {
             queries_per_churn.to_string(),
             fmt_secs(refo_s),
             fmt_secs(sat_s),
-            if refo_s <= sat_s { "reformulation" } else { "saturation" }.to_owned(),
+            if refo_s <= sat_s {
+                "reformulation"
+            } else {
+                "saturation"
+            }
+            .to_owned(),
             refo_answers.to_string(),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["queries/churn", "reformulating mediator", "saturating mediator", "winner", "answers"],
+            &[
+                "queries/churn",
+                "reformulating mediator",
+                "saturating mediator",
+                "winner",
+                "answers"
+            ],
             &rows
         )
     );
@@ -226,12 +248,23 @@ fn table_parallel() {
     }
     println!(
         "{}",
-        render_table(&["engine", "wall-clock", "derive phase", "merge phase", "speedup"], &rows)
+        render_table(
+            &[
+                "engine",
+                "wall-clock",
+                "derive phase",
+                "merge phase",
+                "speedup"
+            ],
+            &rows
+        )
     );
     println!(
-        "The derive phase scales with threads; the serial merge into the shared\n\
-         indexes is the Amdahl bound — the contention point the paper's ref. [29]\n\
-         (parallel materialisation) attacks with lock-free index insertion.\n"
+        "Both phases run across the thread pool: workers derive into per-shard\n\
+         buckets, then one merge task per (index, shard) writes its shard with no\n\
+         cross-shard contention — the lock-free index insertion the paper's\n\
+         ref. [29] (parallel materialisation) calls for. Speedups require real\n\
+         cores; a single-CPU host shows thread overhead instead.\n"
     );
 }
 
@@ -256,7 +289,10 @@ fn table_sat() {
         for cfg in [
             LubmConfig::tiny(),
             Scale::Small.config(),
-            LubmConfig { universities: unis, ..LubmConfig::default() },
+            LubmConfig {
+                universities: unis,
+                ..LubmConfig::default()
+            },
         ] {
             let ds = generate(&cfg);
             let (fast, specialised_s) = time(|| saturate(&ds.graph, &ds.vocab));
@@ -288,7 +324,15 @@ fn table_sat() {
     println!(
         "{}",
         render_table(
-            &["base |G|", "|G∞|", "blow-up", "specialised", "naive", "datalog", "naive/spec"],
+            &[
+                "base |G|",
+                "|G∞|",
+                "blow-up",
+                "specialised",
+                "naive",
+                "datalog",
+                "naive/spec"
+            ],
             &rows
         )
     );
@@ -314,13 +358,9 @@ fn table_ref(scale: Scale) {
     let mut report = Vec::new();
     let mut rows = Vec::new();
     for (name, q) in &qs {
-        let raw = reformulation::reformulate_with(
-            q,
-            &schema,
-            &ds.vocab,
-            reformulation::Options::raw(),
-        )
-        .expect("dialect ok");
+        let raw =
+            reformulation::reformulate_with(q, &schema, &ds.vocab, reformulation::Options::raw())
+                .expect("dialect ok");
         let (r, secs) = time(|| reformulate(q, &schema, &ds.vocab).expect("dialect ok"));
         rows.push(vec![
             name.clone(),
@@ -344,7 +384,15 @@ fn table_ref(scale: Scale) {
     println!(
         "{}",
         render_table(
-            &["query", "atoms", "raw branches", "pruned branches", "total atoms", "rewrites", "time"],
+            &[
+                "query",
+                "atoms",
+                "raw branches",
+                "pruned branches",
+                "total atoms",
+                "rewrites",
+                "time"
+            ],
             &rows
         )
     );
@@ -376,7 +424,10 @@ fn table_ref(scale: Scale) {
             fmt_secs(secs),
         ]);
     }
-    println!("{}", render_table(&["tree", "classes", "branches(root query)", "time"], &rows));
+    println!(
+        "{}",
+        render_table(&["tree", "classes", "branches(root query)", "time"], &rows)
+    );
     let _ = write_json("table_ref", &report);
 }
 
@@ -442,7 +493,10 @@ fn table_qa(scale: Scale) {
     }
     println!(
         "{}",
-        render_table(&["query", "answers", "q(G∞)", "q_ref(G)", "backward", "winner"], &rows)
+        render_table(
+            &["query", "answers", "q(G∞)", "q_ref(G)", "backward", "winner"],
+            &rows
+        )
     );
     let _ = write_json("table_qa", &report);
 }
@@ -481,11 +535,19 @@ fn table_maint(scale: Scale) {
     println!(
         "{}",
         render_table(
-            &["algorithm", "inst-insert", "inst-delete", "schema-insert", "schema-delete"],
+            &[
+                "algorithm",
+                "inst-insert",
+                "inst-delete",
+                "schema-insert",
+                "schema-delete"
+            ],
             &rows
         )
     );
-    println!("(recompute pays the full saturation on every update; counting/DRed are incremental)\n");
+    println!(
+        "(recompute pays the full saturation on every update; counting/DRed are incremental)\n"
+    );
     let _ = write_json("table_maint", &report);
 }
 
@@ -497,9 +559,17 @@ fn table_datalog(scale: Scale) {
     let ((dl_graph, stats), dl_s) = time(|| datalog::saturate_via_datalog(&ds.graph, &ds.vocab));
     assert_eq!(native.graph, dl_graph, "translation must be equivalent");
     let mut rows = vec![
-        vec!["saturated triples".into(), native.graph.len().to_string(), dl_graph.len().to_string()],
+        vec![
+            "saturated triples".into(),
+            native.graph.len().to_string(),
+            dl_graph.len().to_string(),
+        ],
         vec!["wall-clock".into(), fmt_secs(native_s), fmt_secs(dl_s)],
-        vec!["passes / rounds".into(), native.stats.passes.to_string(), stats.rounds.to_string()],
+        vec![
+            "passes / rounds".into(),
+            native.stats.passes.to_string(),
+            stats.rounds.to_string(),
+        ],
     ];
     // answers over the datalog-saturated graph match too
     let mut agree = 0;
@@ -509,8 +579,15 @@ fn table_datalog(scale: Scale) {
         bench::assert_same_answers(&a, &b, name);
         agree += 1;
     }
-    rows.push(vec!["queries agreeing".into(), agree.to_string(), agree.to_string()]);
-    println!("{}", render_table(&["metric", "native (specialised)", "datalog engine"], &rows));
+    rows.push(vec![
+        "queries agreeing".into(),
+        agree.to_string(),
+        agree.to_string(),
+    ]);
+    println!(
+        "{}",
+        render_table(&["metric", "native (specialised)", "datalog engine"], &rows)
+    );
     println!(
         "generality costs {:.1}× on saturation — the \"RDF-specific Datalog optimization\"\n\
          gap the paper flags as an open issue.\n",
@@ -524,15 +601,25 @@ fn table_advisor(scale: Scale) {
     let (ds, qs) = lubm_workload(scale);
     // Use the recompute maintainer: the conservative upper bound on
     // maintenance cost (what a system without incremental maintenance pays).
-    let prof = profile(&ds.graph, &ds.vocab, &qs, MaintenanceAlgorithm::Recompute, 3);
+    let prof = profile(
+        &ds.graph,
+        &ds.vocab,
+        &qs,
+        MaintenanceAlgorithm::Recompute,
+        3,
+    );
     let prof_inc = profile(&ds.graph, &ds.vocab, &qs, MaintenanceAlgorithm::Counting, 3);
 
     let mut rows = Vec::new();
-    for (mix_name, updates) in
-        [("append-mostly", UpdateMix::append_mostly()), ("schema-churn", UpdateMix::schema_churn())]
-    {
+    for (mix_name, updates) in [
+        ("append-mostly", UpdateMix::append_mostly()),
+        ("schema-churn", UpdateMix::schema_churn()),
+    ] {
         for k in [0.1, 1.0, 10.0, 100.0, 1000.0] {
-            let w = WorkloadMix { queries_per_update: k, updates };
+            let w = WorkloadMix {
+                queries_per_update: k,
+                updates,
+            };
             let rec = |p| match advise(p, &w).recommendation {
                 Recommendation::Saturation => "saturation",
                 Recommendation::Reformulation => "reformulation",
@@ -548,7 +635,12 @@ fn table_advisor(scale: Scale) {
     println!(
         "{}",
         render_table(
-            &["update mix", "queries/update", "recommend (recompute maint.)", "recommend (counting maint.)"],
+            &[
+                "update mix",
+                "queries/update",
+                "recommend (recompute maint.)",
+                "recommend (counting maint.)"
+            ],
             &rows
         )
     );

@@ -90,7 +90,10 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.pop();
         out.push('\n');
     };
-    render_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(), &mut out);
+    render_row(
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &mut out,
+    );
     let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
     out.push_str(&"-".repeat(total));
     out.push('\n');
@@ -120,13 +123,19 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBu
     let dir = workspace_root().join("bench_results");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(&path, serde_json::to_string_pretty(value).expect("serialisable"))?;
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(value).expect("serialisable"),
+    )?;
     Ok(path)
 }
 
 /// The workspace root (two levels above this crate's manifest).
 pub fn workspace_root() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap_or_else(|_| PathBuf::from("."))
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| PathBuf::from("."))
 }
 
 /// Times a closure, returning (result, seconds).
@@ -164,9 +173,11 @@ mod tests {
 
     #[test]
     fn scales_parse_and_generate() {
-        for (name, scale) in
-            [("tiny", Scale::Tiny), ("small", Scale::Small), ("default", Scale::Default)]
-        {
+        for (name, scale) in [
+            ("tiny", Scale::Tiny),
+            ("small", Scale::Small),
+            ("default", Scale::Default),
+        ] {
             assert_eq!(Scale::parse(name), Some(scale));
         }
         assert_eq!(Scale::parse("bogus"), None);
@@ -180,7 +191,10 @@ mod tests {
     fn table_renderer_aligns() {
         let t = render_table(
             &["name", "value"],
-            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "222".into()]],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "222".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);
@@ -193,7 +207,10 @@ mod tests {
         assert!(log_bar(None, 10).contains('∞'));
         assert!(!log_bar(Some(1), 10).is_empty());
         let small = log_bar(Some(10), 20).chars().filter(|&c| c == '█').count();
-        let big = log_bar(Some(10_000_000), 20).chars().filter(|&c| c == '█').count();
+        let big = log_bar(Some(10_000_000), 20)
+            .chars()
+            .filter(|&c| c == '█')
+            .count();
         assert!(big > small);
     }
 

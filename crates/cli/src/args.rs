@@ -56,6 +56,8 @@ pub enum Command {
         strategy: Strategy,
         /// Maximum solutions printed.
         limit_display: usize,
+        /// Worker threads for saturation passes.
+        threads: usize,
     },
     /// `webreason saturate …`
     Saturate {
@@ -118,7 +120,8 @@ fn err(msg: impl Into<String>) -> CliError {
 /// Reads a `--sparql` value: literal text, or `@path` to read a file.
 fn sparql_value(raw: &str) -> Result<String, CliError> {
     if let Some(path) = raw.strip_prefix('@') {
-        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read query file {path}: {e}")))
+        std::fs::read_to_string(path)
+            .map_err(|e| err(format!("cannot read query file {path}: {e}")))
     } else {
         Ok(raw.to_owned())
     }
@@ -147,10 +150,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             files.push(a.clone());
         }
     }
-    let flag = |name: &str| flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str());
+    let flag = |name: &str| {
+        flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    };
     let known_flags: &[&str] = &[
-        "sparql", "strategy", "triple", "parallel", "format", "limit-display", "queries",
+        "sparql",
+        "strategy",
+        "triple",
+        "parallel",
+        "format",
+        "limit-display",
+        "queries",
         "entailment",
+        "threads",
     ];
     for (name, _) in &flags {
         if !known_flags.contains(&name.as_str()) {
@@ -172,16 +187,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             };
             let limit_display = match flag("limit-display") {
                 None => 20,
-                Some(v) => v.parse().map_err(|_| err("--limit-display needs a number"))?,
+                Some(v) => v
+                    .parse()
+                    .map_err(|_| err("--limit-display needs a number"))?,
             };
-            Ok(Command::Query { files, sparql, strategy, limit_display })
+            let threads = match flag("threads") {
+                None => 1,
+                Some(v) => v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| err("--threads needs a positive number"))?,
+            };
+            Ok(Command::Query {
+                files,
+                sparql,
+                strategy,
+                limit_display,
+                threads,
+            })
         }
         "saturate" => {
             let parallel = match flag("parallel") {
                 None => None,
-                Some(v) => {
-                    Some(v.parse::<usize>().map_err(|_| err("--parallel needs a number"))?)
-                }
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .map_err(|_| err("--parallel needs a number"))?,
+                ),
             };
             let format = flag("format").unwrap_or("nt").to_owned();
             if format != "nt" && format != "ttl" {
@@ -191,10 +223,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 None | Some("fragment") => false,
                 Some("full") => true,
                 Some(other) => {
-                    return Err(err(format!("unknown entailment {other:?}; use fragment or full")))
+                    return Err(err(format!(
+                        "unknown entailment {other:?}; use fragment or full"
+                    )))
                 }
             };
-            Ok(Command::Saturate { files, parallel, format, full })
+            Ok(Command::Saturate {
+                files,
+                parallel,
+                format,
+                full,
+            })
         }
         "reformulate" => {
             let sparql =
@@ -214,7 +253,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 .to_owned();
             Ok(Command::Thresholds { files, queries })
         }
-        other => Err(err(format!("unknown command {other:?}; try `webreason help`"))),
+        other => Err(err(format!(
+            "unknown command {other:?}; try `webreason help`"
+        ))),
     }
 }
 
@@ -229,7 +270,8 @@ mod tests {
     #[test]
     fn parses_query_command() {
         let c = parse_args(&argv(
-            "query data.ttl more.nt --sparql SELECT --strategy reformulation --limit-display 5",
+            "query data.ttl more.nt --sparql SELECT --strategy reformulation --limit-display 5 \
+             --threads 4",
         ))
         .unwrap();
         assert_eq!(
@@ -239,6 +281,7 @@ mod tests {
                 sparql: "SELECT".into(),
                 strategy: Strategy::Reformulation,
                 limit_display: 5,
+                threads: 4,
             }
         );
     }
@@ -247,9 +290,15 @@ mod tests {
     fn defaults() {
         let c = parse_args(&argv("query d.ttl --sparql Q")).unwrap();
         match c {
-            Command::Query { strategy, limit_display, .. } => {
+            Command::Query {
+                strategy,
+                limit_display,
+                threads,
+                ..
+            } => {
                 assert_eq!(strategy, Strategy::Counting);
                 assert_eq!(limit_display, 20);
+                assert_eq!(threads, 1);
             }
             other => panic!("{other:?}"),
         }
@@ -296,6 +345,8 @@ mod tests {
             ("query d.ttl --sparql", "needs a value"),
             ("query d.ttl --sparql Q --strategy warp", "unknown strategy"),
             ("query d.ttl --sparql Q --bogus x", "unknown flag"),
+            ("query d.ttl --sparql Q --threads 0", "positive number"),
+            ("query d.ttl --sparql Q --threads lots", "positive number"),
             ("saturate d.ttl --format xml", "unknown format"),
             ("explain d.ttl", "needs --triple"),
             ("query d.ttl --sparql @/nonexistent/query.rq", "cannot read"),

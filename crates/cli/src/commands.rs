@@ -48,21 +48,35 @@ fn store_config(strategy: Strategy) -> ReasoningConfig {
     }
 }
 
-fn load_store(files: &[String], strategy: Strategy) -> Result<Store, CliError> {
+fn load_store(files: &[String], strategy: Strategy, threads: usize) -> Result<Store, CliError> {
     let (dict, vocab, g) = load_graph(files)?;
-    Ok(Store::from_parts(dict, vocab, g, store_config(strategy)))
+    let threads = NonZeroUsize::new(threads).ok_or_else(|| err("--threads must be at least 1"))?;
+    Ok(Store::from_parts_with_threads(
+        dict,
+        vocab,
+        g,
+        store_config(strategy),
+        threads,
+    ))
 }
 
 /// Runs a parsed command, returning the text for stdout.
 pub fn run_command(command: &Command) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(crate::USAGE.to_owned()),
-        Command::Query { files, sparql, strategy, limit_display } => {
-            query(files, sparql, *strategy, *limit_display)
-        }
-        Command::Saturate { files, parallel, format, full } => {
-            saturate_cmd(files, *parallel, format, *full)
-        }
+        Command::Query {
+            files,
+            sparql,
+            strategy,
+            limit_display,
+            threads,
+        } => query(files, sparql, *strategy, *limit_display, *threads),
+        Command::Saturate {
+            files,
+            parallel,
+            format,
+            full,
+        } => saturate_cmd(files, *parallel, format, *full),
         Command::Reformulate { files, sparql } => reformulate_cmd(files, sparql),
         Command::Explain { files, triple } => explain_cmd(files, triple),
         Command::Stats { files } => stats_cmd(files),
@@ -142,16 +156,25 @@ fn query(
     sparql: &str,
     strategy: Strategy,
     limit_display: usize,
+    threads: usize,
 ) -> Result<String, CliError> {
-    let mut store = load_store(files, strategy)?;
-    let sols = store.answer_sparql(sparql).map_err(|e| err(e.to_string()))?;
+    let mut store = load_store(files, strategy, threads)?;
+    let sols = store
+        .answer_sparql(sparql)
+        .map_err(|e| err(e.to_string()))?;
     let mut out = String::new();
+    let threads_note = if threads > 1 {
+        format!(", {threads} threads")
+    } else {
+        String::new()
+    };
     let _ = writeln!(
         out,
-        "{} solution(s) [strategy: {}, {} base triples]",
+        "{} solution(s) [strategy: {}, {} base triples{}]",
         sols.len(),
         store.config().name(),
-        store.base_graph().len()
+        store.base_graph().len(),
+        threads_note
     );
     let lines = sols.to_strings(store.dictionary());
     for line in lines.iter().take(limit_display) {
@@ -181,7 +204,11 @@ fn saturate_cmd(
     };
     let mut out = String::new();
     if format == "ttl" {
-        out.push_str(&rdf_io::write_turtle(&result.graph, &dict, &rdf_io::PrefixMap::common()));
+        out.push_str(&rdf_io::write_turtle(
+            &result.graph,
+            &dict,
+            &rdf_io::PrefixMap::common(),
+        ));
     } else {
         out.push_str(&rdf_io::write_ntriples_sorted(&result.graph, &dict));
     }
@@ -211,13 +238,16 @@ fn reformulate_cmd(files: &[String], sparql: &str) -> Result<String, CliError> {
 }
 
 fn explain_cmd(files: &[String], triple: &str) -> Result<String, CliError> {
-    let store = load_store(files, Strategy::Counting)?;
+    let store = load_store(files, Strategy::Counting, 1)?;
     // Parse the triple via the N-Triples reader into a scratch space.
     let mut scratch_dict = Dictionary::new();
     let mut scratch = Graph::new();
     rdf_io::parse_ntriples(&format!("{triple} .\n"), &mut scratch_dict, &mut scratch)
         .map_err(|e| err(format!("--triple must be three N-Triples terms: {e}")))?;
-    let t = scratch.iter().next().ok_or_else(|| err("--triple parsed to nothing"))?;
+    let t = scratch
+        .iter()
+        .next()
+        .ok_or_else(|| err("--triple parsed to nothing"))?;
     let decode = |id| -> Term { scratch_dict.decode(id).expect("just parsed").clone() };
     let (s, p, o) = (decode(t.s), decode(t.p), decode(t.o));
     match store.explain_terms(&s, &p, &o) {
@@ -246,7 +276,12 @@ fn stats_cmd(files: &[String]) -> Result<String, CliError> {
     let _ = writeln!(out, "distinct subjects:  {}", g.subjects().count());
     let _ = writeln!(out, "distinct properties:{}", g.property_count());
     let _ = writeln!(out, "distinct objects:   {}", g.objects_iter().count());
-    let _ = writeln!(out, "schema constraints: {} asserted, {} closed", schema.direct_len(), schema.closed_len());
+    let _ = writeln!(
+        out,
+        "schema constraints: {} asserted, {} closed",
+        schema.direct_len(),
+        schema.closed_len()
+    );
     let _ = writeln!(out, "classes:            {}", schema.classes().len());
     let _ = writeln!(out, "schema properties:  {}", schema.properties().len());
     let _ = writeln!(
@@ -272,7 +307,8 @@ mod tests {
 
     impl Fixture {
         fn new(name: &str, contents: &[(&str, &str)]) -> Self {
-            let dir = std::env::temp_dir().join(format!("webreason-cli-test-{name}-{}", std::process::id()));
+            let dir = std::env::temp_dir()
+                .join(format!("webreason-cli-test-{name}-{}", std::process::id()));
             std::fs::create_dir_all(&dir).unwrap();
             let files = contents
                 .iter()
@@ -360,7 +396,10 @@ ex:Tom a ex:Cat .\n";
         let fx = Fixture::new("saturate-full", &[("zoo.ttl", ZOO_TTL)]);
         let fragment = run_line("saturate", &fx.files).unwrap();
         let full = run_line("saturate --entailment full", &fx.files).unwrap();
-        assert!(full.lines().count() > fragment.lines().count(), "full closure is larger");
+        assert!(
+            full.lines().count() > fragment.lines().count(),
+            "full closure is larger"
+        );
         assert!(full.contains("rdf-syntax-ns#Property>"), "{full}");
         assert!(run_line("saturate --entailment bogus", &fx.files).is_err());
     }
@@ -384,7 +423,8 @@ ex:Tom a ex:Cat .\n";
             "explain".into(),
             fx.files[0].clone(),
             "--triple".into(),
-            "<http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Mammal>".into(),
+            "<http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Mammal>"
+                .into(),
         ];
         let out = run_command(&parse_args(&argv).unwrap()).unwrap();
         assert!(out.contains("entailed (1 rule application(s)"), "{out}");
@@ -395,7 +435,8 @@ ex:Tom a ex:Cat .\n";
             "explain".into(),
             fx.files[0].clone(),
             "--triple".into(),
-            "<http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Rocket>".into(),
+            "<http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Rocket>"
+                .into(),
         ];
         let out = run_command(&parse_args(&argv).unwrap()).unwrap();
         assert!(out.contains("not entailed"));
@@ -417,7 +458,10 @@ ex:Tom a ex:Cat .\n";
 mammals|PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }
 PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Cat }
 ";
-        let fx = Fixture::new("thresholds", &[("zoo.ttl", ZOO_TTL), ("queries.txt", queries)]);
+        let fx = Fixture::new(
+            "thresholds",
+            &[("zoo.ttl", ZOO_TTL), ("queries.txt", queries)],
+        );
         let argv: Vec<String> = vec![
             "thresholds".into(),
             fx.files[0].clone(),

@@ -5,7 +5,7 @@
 //! Web data management", §I):
 //!
 //! ```text
-//! webreason query <data.ttl>…   --sparql <text|@file> [--strategy S] [--limit-display N]
+//! webreason query <data.ttl>…   --sparql <text|@file> [--strategy S] [--limit-display N] [--threads N]
 //! webreason saturate <data.ttl>… [--parallel N] [--format nt|ttl]
 //! webreason reformulate <data.ttl>… --sparql <text|@file>
 //! webreason explain <data.ttl>… --triple "<s> <p> <o>"
@@ -23,7 +23,7 @@
 mod args;
 mod commands;
 
-pub use args::{parse_args, Command, CliError, Strategy};
+pub use args::{parse_args, CliError, Command, Strategy};
 pub use commands::run_command;
 
 /// Parses `args` (without the program name) and runs the command,
@@ -56,6 +56,7 @@ OPTIONS:
                              [default: counting]
     --triple \"<s> <p> <o>\"   the triple to explain (N-Triples terms)
     --parallel <N>           saturate with N worker threads
+    --threads <N>            query: saturation passes use N threads [default: 1]
     --format <nt|ttl>        saturate output format            [default: nt]
     --limit-display <N>      print at most N solutions         [default: 20]
     --queries <file>         thresholds: one query per line (`name|query`)

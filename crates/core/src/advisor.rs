@@ -30,14 +30,24 @@ pub struct UpdateMix {
 impl UpdateMix {
     /// The common Semantic Web case: mostly instance insertions.
     pub fn append_mostly() -> Self {
-        UpdateMix { instance_insert: 0.9, instance_delete: 0.1, schema_insert: 0.0, schema_delete: 0.0 }
+        UpdateMix {
+            instance_insert: 0.9,
+            instance_delete: 0.1,
+            schema_insert: 0.0,
+            schema_delete: 0.0,
+        }
     }
 
     /// Integration scenario: independently-authored schemas churn too
     /// ("typical Semantic Web scenarios involve integrating data from
     /// several RDF repositories … authored independently", §I).
     pub fn schema_churn() -> Self {
-        UpdateMix { instance_insert: 0.4, instance_delete: 0.2, schema_insert: 0.2, schema_delete: 0.2 }
+        UpdateMix {
+            instance_insert: 0.4,
+            instance_delete: 0.2,
+            schema_insert: 0.2,
+            schema_delete: 0.2,
+        }
     }
 
     fn total(&self) -> f64 {
@@ -192,7 +202,10 @@ mod tests {
         let p = profile_with(COSTLY_MAINT, 0.001, 0.010);
         let advice = advise(
             &p,
-            &WorkloadMix { queries_per_update: f64::INFINITY, updates: UpdateMix::append_mostly() },
+            &WorkloadMix {
+                queries_per_update: f64::INFINITY,
+                updates: UpdateMix::append_mostly(),
+            },
         );
         assert_eq!(advice.recommendation, Recommendation::Saturation);
     }
@@ -204,7 +217,10 @@ mod tests {
         let p = profile_with(COSTLY_MAINT, 0.001, 0.010);
         let advice = advise(
             &p,
-            &WorkloadMix { queries_per_update: 1.0, updates: UpdateMix::schema_churn() },
+            &WorkloadMix {
+                queries_per_update: 1.0,
+                updates: UpdateMix::schema_churn(),
+            },
         );
         assert_eq!(advice.recommendation, Recommendation::Reformulation);
     }
@@ -224,9 +240,21 @@ mod tests {
             0.010,
         );
         let mix = UpdateMix::append_mostly();
-        let low = advise(&p, &WorkloadMix { queries_per_update: 10.0, updates: mix });
+        let low = advise(
+            &p,
+            &WorkloadMix {
+                queries_per_update: 10.0,
+                updates: mix,
+            },
+        );
         assert_eq!(low.recommendation, Recommendation::Reformulation);
-        let high = advise(&p, &WorkloadMix { queries_per_update: 100.0, updates: mix });
+        let high = advise(
+            &p,
+            &WorkloadMix {
+                queries_per_update: 100.0,
+                updates: mix,
+            },
+        );
         assert_eq!(high.recommendation, Recommendation::Saturation);
         // the per-query threshold pins the crossover
         let t = high.per_query[0].mixed_update_threshold.runs().unwrap();
@@ -236,8 +264,13 @@ mod tests {
     #[test]
     fn reformulation_faster_eval_never_amortises() {
         let p = profile_with(CHEAP_MAINT, 0.010, 0.005);
-        let advice =
-            advise(&p, &WorkloadMix { queries_per_update: 1e9, updates: UpdateMix::append_mostly() });
+        let advice = advise(
+            &p,
+            &WorkloadMix {
+                queries_per_update: 1e9,
+                updates: UpdateMix::append_mostly(),
+            },
+        );
         assert_eq!(advice.recommendation, Recommendation::Reformulation);
         assert_eq!(advice.per_query[0].mixed_update_threshold, Threshold::Never);
     }
@@ -257,16 +290,33 @@ mod tests {
             0.002,
         );
         let k = 30.0;
-        let append = advise(&p, &WorkloadMix { queries_per_update: k, updates: UpdateMix::append_mostly() });
+        let append = advise(
+            &p,
+            &WorkloadMix {
+                queries_per_update: k,
+                updates: UpdateMix::append_mostly(),
+            },
+        );
         assert_eq!(append.recommendation, Recommendation::Saturation);
-        let churn = advise(&p, &WorkloadMix { queries_per_update: k, updates: UpdateMix::schema_churn() });
+        let churn = advise(
+            &p,
+            &WorkloadMix {
+                queries_per_update: k,
+                updates: UpdateMix::schema_churn(),
+            },
+        );
         assert_eq!(churn.recommendation, Recommendation::Reformulation);
     }
 
     #[test]
     fn zero_update_mix_is_pure_query_cost() {
         let p = profile_with(
-            MaintenanceCosts { instance_insert: 0.0, instance_delete: 0.0, schema_insert: 0.0, schema_delete: 0.0 },
+            MaintenanceCosts {
+                instance_insert: 0.0,
+                instance_delete: 0.0,
+                schema_insert: 0.0,
+                schema_delete: 0.0,
+            },
             0.002,
             0.001,
         );
@@ -274,7 +324,12 @@ mod tests {
             &p,
             &WorkloadMix {
                 queries_per_update: 5.0,
-                updates: UpdateMix { instance_insert: 0.0, instance_delete: 0.0, schema_insert: 0.0, schema_delete: 0.0 },
+                updates: UpdateMix {
+                    instance_insert: 0.0,
+                    instance_delete: 0.0,
+                    schema_insert: 0.0,
+                    schema_delete: 0.0,
+                },
             },
         );
         assert_eq!(advice.recommendation, Recommendation::Reformulation);

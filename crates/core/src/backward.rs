@@ -54,9 +54,12 @@ fn for_each_entailed(
             classes.push(class);
             classes.extend(schema.sub_classes(class).iter().copied());
             for c in classes {
-                g.for_each_match(&Pattern::new(probe.s, Some(vocab.rdf_type), Some(c)), &mut |t: Triple| {
-                    f(Triple::new(t.s, vocab.rdf_type, class));
-                });
+                g.for_each_match(
+                    &Pattern::new(probe.s, Some(vocab.rdf_type), Some(c)),
+                    &mut |t: Triple| {
+                        f(Triple::new(t.s, vocab.rdf_type, class));
+                    },
+                );
             }
             // 2. subjects of domain properties
             for &p in schema.properties_with_domain(class) {
@@ -75,9 +78,12 @@ fn for_each_entailed(
             // explicit + subproperty edges, reported under `p`
             g.for_each_match(probe, &mut *f);
             for &sub in schema.sub_properties(p) {
-                g.for_each_match(&Pattern::new(probe.s, Some(sub), probe.o), &mut |t: Triple| {
-                    f(Triple::new(t.s, p, t.o));
-                });
+                g.for_each_match(
+                    &Pattern::new(probe.s, Some(sub), probe.o),
+                    &mut |t: Triple| {
+                        f(Triple::new(t.s, p, t.o));
+                    },
+                );
             }
         }
         _ => {
@@ -137,7 +143,11 @@ fn eval_rec(
         return;
     }
     let tp = &bgp.patterns[order[depth]];
-    let probe = Pattern::new(resolve(tp.s, binding), resolve(tp.p, binding), resolve(tp.o, binding));
+    let probe = Pattern::new(
+        resolve(tp.s, binding),
+        resolve(tp.p, binding),
+        resolve(tp.o, binding),
+    );
     // Entailed matches can repeat (multiple derivations); dedup per level so
     // sibling bindings are not enumerated twice.
     let mut seen: FxHashSet<Triple> = FxHashSet::default();
@@ -171,24 +181,43 @@ pub fn evaluate_backward(g: &Graph, schema: &Schema, vocab: &Vocab, q: &Query) -
         }
         let plan = plan_bgp(g, bgp);
         let mut binding: Vec<Option<TermId>> = vec![None; q.var_names.len()];
-        eval_rec(g, schema, vocab, bgp, &plan.order, 0, &mut binding, &mut |b| {
-            // NOT EXISTS probes the explicit graph only — the same
-            // RDFS++-style incompleteness as the rest of this strategy.
-            if q.not_exists.iter().any(|neg| sparql::bgp_has_match(g, neg, b)) {
-                return;
-            }
-            let row: Vec<TermId> =
-                q.projection.iter().map(|v| b[v.index()].expect("projected var bound")).collect();
-            if q.distinct {
-                if seen.insert(row.clone()) {
+        eval_rec(
+            g,
+            schema,
+            vocab,
+            bgp,
+            &plan.order,
+            0,
+            &mut binding,
+            &mut |b| {
+                // NOT EXISTS probes the explicit graph only — the same
+                // RDFS++-style incompleteness as the rest of this strategy.
+                if q.not_exists
+                    .iter()
+                    .any(|neg| sparql::bgp_has_match(g, neg, b))
+                {
+                    return;
+                }
+                let row: Vec<TermId> = q
+                    .projection
+                    .iter()
+                    .map(|v| b[v.index()].expect("projected var bound"))
+                    .collect();
+                if q.distinct {
+                    if seen.insert(row.clone()) {
+                        rows.push(row);
+                    }
+                } else {
                     rows.push(row);
                 }
-            } else {
-                rows.push(row);
-            }
-        });
+            },
+        );
     }
-    let var_names = q.projection.iter().map(|&v| q.var_name(v).to_owned()).collect();
+    let var_names = q
+        .projection
+        .iter()
+        .map(|&v| q.var_name(v).to_owned())
+        .collect();
     Solutions { var_names, rows }
 }
 
@@ -229,9 +258,18 @@ mod tests {
 
     #[test]
     fn complete_on_type_queries() {
-        check_complete(UNIVERSITY, "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Person }");
-        check_complete(UNIVERSITY, "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Employee }");
-        check_complete(UNIVERSITY, "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Org }");
+        check_complete(
+            UNIVERSITY,
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Person }",
+        );
+        check_complete(
+            UNIVERSITY,
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Employee }",
+        );
+        check_complete(
+            UNIVERSITY,
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Org }",
+        );
     }
 
     #[test]

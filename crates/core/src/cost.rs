@@ -121,8 +121,12 @@ pub fn profile(
     };
     let (instance_delete, instance_insert) = measure(&instance_samples);
     let (schema_delete, schema_insert) = measure(&schema_samples);
-    let maintenance =
-        MaintenanceCosts { instance_insert, instance_delete, schema_insert, schema_delete };
+    let maintenance = MaintenanceCosts {
+        instance_insert,
+        instance_delete,
+        schema_insert,
+        schema_delete,
+    };
 
     // --- queries -----------------------------------------------------------
     let schema = Schema::extract(graph, vocab);
@@ -180,8 +184,10 @@ mod tests {
     fn profile_on_tiny_lubm_is_coherent() {
         let mut ds = generate(&LubmConfig::tiny());
         let named = queries(&mut ds);
-        let qs: Vec<(String, Query)> =
-            named.iter().map(|nq| (nq.name.to_owned(), nq.query.clone())).collect();
+        let qs: Vec<(String, Query)> = named
+            .iter()
+            .map(|nq| (nq.name.to_owned(), nq.query.clone()))
+            .collect();
         let p = profile(&ds.graph, &ds.vocab, &qs, MaintenanceAlgorithm::Counting, 2);
 
         assert_eq!(p.queries.len(), 10);
@@ -210,8 +216,11 @@ mod tests {
         let mut ds = generate(&LubmConfig::tiny());
         let before = ds.graph.clone();
         let named = queries(&mut ds);
-        let qs: Vec<(String, Query)> =
-            named.iter().take(2).map(|nq| (nq.name.to_owned(), nq.query.clone())).collect();
+        let qs: Vec<(String, Query)> = named
+            .iter()
+            .take(2)
+            .map(|nq| (nq.name.to_owned(), nq.query.clone()))
+            .collect();
         for algo in rdfs::incremental::MaintenanceAlgorithm::ALL {
             let _ = profile(&ds.graph, &ds.vocab, &qs, algo, 3);
             assert_eq!(ds.graph, before, "{}", algo.name());
@@ -222,9 +231,14 @@ mod tests {
     fn recompute_maintenance_costs_the_full_saturation() {
         let mut ds = generate(&LubmConfig::tiny());
         let named = queries(&mut ds);
-        let qs: Vec<(String, Query)> =
-            vec![(named[0].name.to_owned(), named[0].query.clone())];
-        let p = profile(&ds.graph, &ds.vocab, &qs, MaintenanceAlgorithm::Recompute, 2);
+        let qs: Vec<(String, Query)> = vec![(named[0].name.to_owned(), named[0].query.clone())];
+        let p = profile(
+            &ds.graph,
+            &ds.vocab,
+            &qs,
+            MaintenanceAlgorithm::Recompute,
+            2,
+        );
         // Every update pays roughly a saturation; allow generous slack for
         // timer noise but catch order-of-magnitude regressions.
         assert!(

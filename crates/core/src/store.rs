@@ -9,6 +9,7 @@ use rdfs::Schema;
 use reformulation::{reformulate, ReformulationError};
 use sparql::{evaluate, parse_query, Query, QueryParseError, Solutions};
 use std::fmt;
+use std::num::NonZeroUsize;
 
 /// Which query-answering technique the store uses (§II-B / §II-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +117,8 @@ pub struct StoreStats {
     pub dictionary_terms: usize,
     /// Active strategy name.
     pub strategy: String,
+    /// Worker threads used for saturation passes.
+    pub threads: usize,
 }
 
 /// Which path the adaptive strategy learned for a query.
@@ -141,7 +144,10 @@ enum State {
         refo_cache: rustc_hash::FxHashMap<String, Query>,
     },
     /// Datalog: base graph + cached saturation (invalidated on update).
-    Datalog { graph: Graph, saturated: Option<Graph> },
+    Datalog {
+        graph: Graph,
+        saturated: Option<Graph>,
+    },
     /// Adaptive hybrid: maintained saturation + schema cache + learned
     /// per-query winners (keyed by the query's structural form).
     Adaptive {
@@ -157,29 +163,56 @@ pub struct Store {
     vocab: Vocab,
     owl: rdfs::plus::OwlVocab,
     config: ReasoningConfig,
+    threads: NonZeroUsize,
     state: State,
 }
 
 impl Store {
-    /// Creates an empty store with the given strategy.
+    /// Creates an empty store with the given strategy (single-threaded
+    /// saturation).
     pub fn new(config: ReasoningConfig) -> Self {
+        Self::new_with_threads(config, NonZeroUsize::MIN)
+    }
+
+    /// Creates an empty store with the given strategy, saturating with
+    /// `threads` worker threads where the strategy recomputes saturations
+    /// (see [`MaintenanceAlgorithm::build_with_threads`]).
+    pub fn new_with_threads(config: ReasoningConfig, threads: NonZeroUsize) -> Self {
         let mut dict = Dictionary::new();
         let vocab = Vocab::intern(&mut dict);
-        Self::from_parts(dict, vocab, Graph::new(), config)
+        Self::from_parts_with_threads(dict, vocab, Graph::new(), config, threads)
     }
 
     /// Builds a store over an existing encoded graph (e.g. a generated
     /// workload dataset). The dictionary must be the one the graph was
     /// encoded against, with `vocab` interned in it.
     pub fn from_parts(
-        mut dict: Dictionary,
+        dict: Dictionary,
         vocab: Vocab,
         graph: Graph,
         config: ReasoningConfig,
     ) -> Self {
+        Self::from_parts_with_threads(dict, vocab, graph, config, NonZeroUsize::MIN)
+    }
+
+    /// [`Store::from_parts`] with a saturation thread count.
+    pub fn from_parts_with_threads(
+        mut dict: Dictionary,
+        vocab: Vocab,
+        graph: Graph,
+        config: ReasoningConfig,
+        threads: NonZeroUsize,
+    ) -> Self {
         let owl = rdfs::plus::OwlVocab::intern(&mut dict);
-        let state = Self::build_state(graph, vocab, owl, config);
-        Store { dict, vocab, owl, config, state }
+        let state = Self::build_state(graph, vocab, owl, config, threads);
+        Store {
+            dict,
+            vocab,
+            owl,
+            config,
+            threads,
+            state,
+        }
     }
 
     fn build_state(
@@ -187,30 +220,32 @@ impl Store {
         vocab: Vocab,
         owl: rdfs::plus::OwlVocab,
         config: ReasoningConfig,
+        threads: NonZeroUsize,
     ) -> State {
         match config {
             ReasoningConfig::None => State::Plain(graph),
-            ReasoningConfig::Saturation(algo) => State::Saturation(algo.build(graph, vocab)),
+            ReasoningConfig::Saturation(algo) => {
+                State::Saturation(algo.build_with_threads(graph, vocab, threads))
+            }
             ReasoningConfig::SaturationPlus => {
                 State::Saturation(Box::new(rdfs::plus::PlusMaintainer::new(graph, vocab, owl)))
             }
-            ReasoningConfig::Reformulation => {
-                State::SchemaBased {
-                    graph,
-                    schema: None,
-                    backward: false,
-                    refo_cache: rustc_hash::FxHashMap::default(),
-                }
-            }
-            ReasoningConfig::BackwardChaining => {
-                State::SchemaBased {
-                    graph,
-                    schema: None,
-                    backward: true,
-                    refo_cache: rustc_hash::FxHashMap::default(),
-                }
-            }
-            ReasoningConfig::Datalog => State::Datalog { graph, saturated: None },
+            ReasoningConfig::Reformulation => State::SchemaBased {
+                graph,
+                schema: None,
+                backward: false,
+                refo_cache: rustc_hash::FxHashMap::default(),
+            },
+            ReasoningConfig::BackwardChaining => State::SchemaBased {
+                graph,
+                schema: None,
+                backward: true,
+                refo_cache: rustc_hash::FxHashMap::default(),
+            },
+            ReasoningConfig::Datalog => State::Datalog {
+                graph,
+                saturated: None,
+            },
             ReasoningConfig::Adaptive => State::Adaptive {
                 maintainer: MaintenanceAlgorithm::Counting.build(graph, vocab),
                 schema: None,
@@ -224,13 +259,31 @@ impl Store {
         self.config
     }
 
+    /// Worker threads used for saturation passes.
+    pub fn threads(&self) -> NonZeroUsize {
+        self.threads
+    }
+
+    /// Changes the saturation thread count, rebuilding derived state so
+    /// strategies that saturate pick it up. The answer contract is
+    /// unaffected: the parallel engine produces exactly the sequential
+    /// saturation.
+    pub fn set_threads(&mut self, threads: NonZeroUsize) {
+        if threads == self.threads {
+            return;
+        }
+        self.threads = threads;
+        let graph = self.base_graph().clone();
+        self.state = Self::build_state(graph, self.vocab, self.owl, self.config, threads);
+    }
+
     /// Switches strategy, rebuilding derived state from the base graph.
     pub fn set_config(&mut self, config: ReasoningConfig) {
         if config == self.config {
             return;
         }
         let graph = self.base_graph().clone();
-        self.state = Self::build_state(graph, self.vocab, self.owl, config);
+        self.state = Self::build_state(graph, self.vocab, self.owl, config, self.threads);
         self.config = config;
     }
 
@@ -259,7 +312,9 @@ impl Store {
     pub fn stats(&self) -> StoreStats {
         let saturated_triples = match &self.state {
             State::Saturation(m) => Some(m.saturated().len()),
-            State::Datalog { saturated: Some(s), .. } => Some(s.len()),
+            State::Datalog {
+                saturated: Some(s), ..
+            } => Some(s.len()),
             State::Adaptive { maintainer, .. } => Some(maintainer.saturated().len()),
             _ => None,
         };
@@ -268,6 +323,7 @@ impl Store {
             saturated_triples,
             dictionary_terms: self.dict.len(),
             strategy: self.config.name(),
+            threads: self.threads.get(),
         }
     }
 
@@ -298,7 +354,11 @@ impl Store {
     pub fn insert_batch(&mut self, triples: &[Triple]) -> UpdateStats {
         match &mut self.state {
             State::Saturation(m) => m.insert_batch(triples),
-            State::Adaptive { maintainer, schema, winners } => {
+            State::Adaptive {
+                maintainer,
+                schema,
+                winners,
+            } => {
                 let stats = maintainer.insert_batch(triples);
                 if triples.iter().any(|t| self.vocab.is_schema_property(t.p)) {
                     *schema = None;
@@ -330,7 +390,11 @@ impl Store {
     pub fn delete_batch(&mut self, triples: &[Triple]) -> UpdateStats {
         match &mut self.state {
             State::Saturation(m) => m.delete_batch(triples),
-            State::Adaptive { maintainer, schema, winners } => {
+            State::Adaptive {
+                maintainer,
+                schema,
+                winners,
+            } => {
                 let stats = maintainer.delete_batch(triples);
                 if triples.iter().any(|t| self.vocab.is_schema_property(t.p)) {
                     *schema = None;
@@ -359,18 +423,25 @@ impl Store {
 
     /// Encodes three terms and inserts the triple.
     pub fn insert_terms(&mut self, s: &Term, p: &Term, o: &Term) -> UpdateStats {
-        let t = Triple::new(self.dict.encode(s), self.dict.encode(p), self.dict.encode(o));
+        let t = Triple::new(
+            self.dict.encode(s),
+            self.dict.encode(p),
+            self.dict.encode(o),
+        );
         self.insert(t)
     }
 
     /// Inserts an encoded triple, maintaining derived state.
     pub fn insert(&mut self, t: Triple) -> UpdateStats {
         match &mut self.state {
-            State::Plain(g) => {
-                plain_update(g.insert(t), true, &t, &self.vocab)
-            }
+            State::Plain(g) => plain_update(g.insert(t), true, &t, &self.vocab),
             State::Saturation(m) => m.insert(t),
-            State::SchemaBased { graph, schema, refo_cache, .. } => {
+            State::SchemaBased {
+                graph,
+                schema,
+                refo_cache,
+                ..
+            } => {
                 let changed = graph.insert(t);
                 if changed && self.vocab.is_schema_property(t.p) {
                     *schema = None; // schema + reformulation caches invalidated
@@ -385,9 +456,15 @@ impl Store {
                 }
                 plain_update(changed, true, &t, &self.vocab)
             }
-            State::Adaptive { maintainer, schema, winners } => {
+            State::Adaptive {
+                maintainer,
+                schema,
+                winners,
+            } => {
                 let stats = maintainer.insert(t);
-                if self.vocab.is_schema_property(t.p) && stats.kind != rdfs::incremental::UpdateKind::Noop {
+                if self.vocab.is_schema_property(t.p)
+                    && stats.kind != rdfs::incremental::UpdateKind::Noop
+                {
                     *schema = None;
                     winners.clear(); // costs may have shifted; re-learn
                 }
@@ -398,9 +475,18 @@ impl Store {
 
     /// Encodes three terms and deletes the triple (if the terms are known).
     pub fn delete_terms(&mut self, s: &Term, p: &Term, o: &Term) -> UpdateStats {
-        match (self.dict.get_id(s), self.dict.get_id(p), self.dict.get_id(o)) {
+        match (
+            self.dict.get_id(s),
+            self.dict.get_id(p),
+            self.dict.get_id(o),
+        ) {
             (Some(s), Some(p), Some(o)) => self.delete(&Triple::new(s, p, o)),
-            _ => UpdateStats { kind: rdfs::incremental::UpdateKind::Noop, added: 0, removed: 0, work: 0 },
+            _ => UpdateStats {
+                kind: rdfs::incremental::UpdateKind::Noop,
+                added: 0,
+                removed: 0,
+                work: 0,
+            },
         }
     }
 
@@ -409,7 +495,12 @@ impl Store {
         match &mut self.state {
             State::Plain(g) => plain_update(g.remove(t), false, t, &self.vocab),
             State::Saturation(m) => m.delete(t),
-            State::SchemaBased { graph, schema, refo_cache, .. } => {
+            State::SchemaBased {
+                graph,
+                schema,
+                refo_cache,
+                ..
+            } => {
                 let changed = graph.remove(t);
                 if changed && self.vocab.is_schema_property(t.p) {
                     *schema = None;
@@ -424,9 +515,15 @@ impl Store {
                 }
                 plain_update(changed, false, t, &self.vocab)
             }
-            State::Adaptive { maintainer, schema, winners } => {
+            State::Adaptive {
+                maintainer,
+                schema,
+                winners,
+            } => {
                 let stats = maintainer.delete(t);
-                if self.vocab.is_schema_property(t.p) && stats.kind != rdfs::incremental::UpdateKind::Noop {
+                if self.vocab.is_schema_property(t.p)
+                    && stats.kind != rdfs::incremental::UpdateKind::Noop
+                {
                     *schema = None;
                     winners.clear();
                 }
@@ -452,8 +549,17 @@ impl Store {
 
     /// Term-level convenience for [`Store::explain`]; unknown terms mean
     /// the triple cannot be entailed.
-    pub fn explain_terms(&self, s: &Term, p: &Term, o: &Term) -> Option<rdfs::explain::Explanation> {
-        let t = Triple::new(self.dict.get_id(s)?, self.dict.get_id(p)?, self.dict.get_id(o)?);
+    pub fn explain_terms(
+        &self,
+        s: &Term,
+        p: &Term,
+        o: &Term,
+    ) -> Option<rdfs::explain::Explanation> {
+        let t = Triple::new(
+            self.dict.get_id(s)?,
+            self.dict.get_id(p)?,
+            self.dict.get_id(o)?,
+        );
         self.explain(&t)
     }
 
@@ -488,9 +594,13 @@ impl Store {
         let sols = match &mut self.state {
             State::Plain(g) => evaluate(g, q),
             State::Saturation(m) => evaluate(m.saturated(), q),
-            State::SchemaBased { graph, schema, backward, refo_cache } => {
-                let schema =
-                    schema.get_or_insert_with(|| Schema::extract(graph, &self.vocab));
+            State::SchemaBased {
+                graph,
+                schema,
+                backward,
+                refo_cache,
+            } => {
+                let schema = schema.get_or_insert_with(|| Schema::extract(graph, &self.vocab));
                 if *backward {
                     evaluate_backward(graph, schema, &self.vocab, q)
                 } else {
@@ -506,11 +616,15 @@ impl Store {
                 }
             }
             State::Datalog { graph, saturated } => {
-                let sat = saturated
-                    .get_or_insert_with(|| saturate_via_datalog(graph, &self.vocab).0);
+                let sat =
+                    saturated.get_or_insert_with(|| saturate_via_datalog(graph, &self.vocab).0);
                 evaluate(sat, q)
             }
-            State::Adaptive { maintainer, schema, winners } => {
+            State::Adaptive {
+                maintainer,
+                schema,
+                winners,
+            } => {
                 let key = format!("{:?}|{:?}|{}", q.projection, q.bgps, q.distinct);
                 let schema =
                     schema.get_or_insert_with(|| Schema::extract(maintainer.base(), &self.vocab));
@@ -566,8 +680,10 @@ impl Store {
     pub fn adaptive_summary(&self) -> Option<(usize, usize)> {
         match &self.state {
             State::Adaptive { winners, .. } => {
-                let sat =
-                    winners.values().filter(|&&c| c == AdaptiveChoice::Saturated).count();
+                let sat = winners
+                    .values()
+                    .filter(|&&c| c == AdaptiveChoice::Saturated)
+                    .count();
                 Some((sat, winners.len() - sat))
             }
             _ => None,
@@ -640,7 +756,12 @@ mod tests {
             let sols = s.answer_sparql(MAMMALS).unwrap();
             assert_eq!(sols.len(), 1, "{}: Tom is a mammal", config.name());
             let sols = s.answer_sparql(ANIMALS).unwrap();
-            assert_eq!(sols.len(), 2, "{}: Tom + Goldie (range typing)", config.name());
+            assert_eq!(
+                sols.len(),
+                2,
+                "{}: Tom + Goldie (range typing)",
+                config.name()
+            );
         }
     }
 
@@ -658,21 +779,36 @@ mod tests {
                 &Term::iri("http://ex/Cat"),
             );
             assert_eq!(stats.kind, rdfs::incremental::UpdateKind::InstanceInsert);
-            assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 2, "{}", config.name());
+            assert_eq!(
+                s.answer_sparql(MAMMALS).unwrap().len(),
+                2,
+                "{}",
+                config.name()
+            );
             // schema update: Dog ⊑ Mammal + a dog
             s.load_turtle(
                 "@prefix ex: <http://ex/> . @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
                  ex:Dog rdfs:subClassOf ex:Mammal . ex:Rex a ex:Dog .",
             )
             .unwrap();
-            assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 3, "{}", config.name());
+            assert_eq!(
+                s.answer_sparql(MAMMALS).unwrap().len(),
+                3,
+                "{}",
+                config.name()
+            );
             // delete the schema edge again
             s.delete_terms(
                 &Term::iri("http://ex/Dog"),
                 &Term::iri(rdf_model::vocab::RDFS_SUB_CLASS_OF),
                 &Term::iri("http://ex/Mammal"),
             );
-            assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 2, "{}", config.name());
+            assert_eq!(
+                s.answer_sparql(MAMMALS).unwrap().len(),
+                2,
+                "{}",
+                config.name()
+            );
         }
     }
 
@@ -698,7 +834,9 @@ mod tests {
         assert!(matches!(err, AnswerError::Reformulation(_)), "{err}");
         // the same query is fine under saturation
         s.set_config(ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed));
-        assert!(s.answer_sparql("SELECT ?p WHERE { <http://ex/Tom> ?p <http://ex/Cat> }").is_ok());
+        assert!(s
+            .answer_sparql("SELECT ?p WHERE { <http://ex/Tom> ?p <http://ex/Cat> }")
+            .is_ok());
     }
 
     #[test]
@@ -712,18 +850,67 @@ mod tests {
         assert_eq!(s.stats().saturated_triples, None);
 
         s.set_config(ReasoningConfig::Datalog);
-        assert_eq!(s.stats().saturated_triples, None, "datalog saturation is lazy");
+        assert_eq!(
+            s.stats().saturated_triples,
+            None,
+            "datalog saturation is lazy"
+        );
         s.answer_sparql(MAMMALS).unwrap();
-        assert!(s.stats().saturated_triples.is_some(), "materialised by the first query");
+        assert!(
+            s.stats().saturated_triples.is_some(),
+            "materialised by the first query"
+        );
+    }
+
+    #[test]
+    fn threaded_store_answers_identically() {
+        let mut seq = store_with(ReasoningConfig::Saturation(MaintenanceAlgorithm::Recompute));
+        let mut par = Store::new_with_threads(
+            ReasoningConfig::Saturation(MaintenanceAlgorithm::Recompute),
+            NonZeroUsize::new(4).unwrap(),
+        );
+        par.load_turtle(ZOO).unwrap();
+        assert_eq!(par.threads().get(), 4);
+        assert_eq!(par.stats().threads, 4);
+        assert_eq!(par.stats().saturated_triples, seq.stats().saturated_triples);
+        assert_eq!(
+            par.answer_sparql(MAMMALS).unwrap().as_set(),
+            seq.answer_sparql(MAMMALS).unwrap().as_set()
+        );
+        // updates keep the parallel recomputation in lock-step
+        par.load_turtle("@prefix ex: <http://ex/> .\nex:Felix a ex:Cat .")
+            .unwrap();
+        seq.load_turtle("@prefix ex: <http://ex/> .\nex:Felix a ex:Cat .")
+            .unwrap();
+        assert_eq!(
+            par.answer_sparql(MAMMALS).unwrap().as_set(),
+            seq.answer_sparql(MAMMALS).unwrap().as_set()
+        );
+        // switching the knob rebuilds without changing answers
+        seq.set_threads(NonZeroUsize::new(2).unwrap());
+        assert_eq!(
+            par.answer_sparql(MAMMALS).unwrap().as_set(),
+            seq.answer_sparql(MAMMALS).unwrap().as_set()
+        );
     }
 
     #[test]
     fn bad_inputs_error_cleanly() {
         let mut s = Store::new(ReasoningConfig::Reformulation);
-        assert!(matches!(s.load_turtle("not turtle"), Err(AnswerError::Data(_))));
-        assert!(matches!(s.answer_sparql("SELECT WHERE"), Err(AnswerError::Query(_))));
+        assert!(matches!(
+            s.load_turtle("not turtle"),
+            Err(AnswerError::Data(_))
+        ));
+        assert!(matches!(
+            s.answer_sparql("SELECT WHERE"),
+            Err(AnswerError::Query(_))
+        ));
         // deleting unknown terms is a noop
-        let stats = s.delete_terms(&Term::iri("http://nope"), &Term::iri("http://p"), &Term::iri("http://o"));
+        let stats = s.delete_terms(
+            &Term::iri("http://nope"),
+            &Term::iri("http://p"),
+            &Term::iri("http://o"),
+        );
         assert_eq!(stats.kind, rdfs::incremental::UpdateKind::Noop);
     }
 
@@ -738,11 +925,15 @@ mod tests {
         let mut s = store_with(ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting));
         assert_eq!(s.answer_sparql(q).unwrap().len(), 0);
         // Add a non-cat mammal: it passes the negation.
-        s.load_turtle("@prefix ex: <http://ex/> .\nex:Moby a ex:Mammal .").unwrap();
+        s.load_turtle("@prefix ex: <http://ex/> .\nex:Moby a ex:Mammal .")
+            .unwrap();
         assert_eq!(s.answer_sparql(q).unwrap().len(), 1);
         // Reformulation rejects negation with a clear error.
         s.set_config(ReasoningConfig::Reformulation);
-        assert!(matches!(s.answer_sparql(q), Err(AnswerError::Reformulation(_))));
+        assert!(matches!(
+            s.answer_sparql(q),
+            Err(AnswerError::Reformulation(_))
+        ));
         // Adaptive pins such queries to the saturated path and answers.
         s.set_config(ReasoningConfig::Adaptive);
         assert_eq!(s.answer_sparql(q).unwrap().len(), 1);
@@ -762,22 +953,38 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(s.answer_sparql(mammals).unwrap().as_set(), first);
         }
-        assert_eq!(s.adaptive_summary().map(|(a, b)| a + b), Some(1), "cache hit, no relearn");
+        assert_eq!(
+            s.adaptive_summary().map(|(a, b)| a + b),
+            Some(1),
+            "cache hit, no relearn"
+        );
         // Out-of-dialect queries pin to saturation and still answer.
         let var_prop = "SELECT ?p WHERE { <http://ex/Tom> ?p <http://ex/Cat> }";
         assert_eq!(s.answer_sparql(var_prop).unwrap().len(), 1);
         // Non-distinct queries pin to saturation (bag semantics preserved).
         let bag = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Animal }";
         let n = s.answer_sparql(bag).unwrap().len();
-        assert_eq!(n, s.answer_sparql(bag).unwrap().len(), "stable across repeats");
+        assert_eq!(
+            n,
+            s.answer_sparql(bag).unwrap().len(),
+            "stable across repeats"
+        );
         // Schema updates clear the learned winners.
         s.load_turtle(
             "@prefix ex: <http://ex/> . @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
              ex:Dog rdfs:subClassOf ex:Mammal .",
         )
         .unwrap();
-        assert_eq!(s.adaptive_summary(), Some((0, 0)), "winners re-learned after schema change");
-        assert_eq!(s.answer_sparql(mammals).unwrap().as_set(), first, "same answers, no dogs yet");
+        assert_eq!(
+            s.adaptive_summary(),
+            Some((0, 0)),
+            "winners re-learned after schema change"
+        );
+        assert_eq!(
+            s.answer_sparql(mammals).unwrap().as_set(),
+            first,
+            "same answers, no dogs yet"
+        );
     }
 
     #[test]
@@ -790,18 +997,30 @@ mod tests {
             let ty = Term::iri(rdf_model::vocab::RDF_TYPE);
             // Tom is a Mammal — derived.
             let e = s
-                .explain_terms(&Term::iri("http://ex/Tom"), &ty, &Term::iri("http://ex/Mammal"))
+                .explain_terms(
+                    &Term::iri("http://ex/Tom"),
+                    &ty,
+                    &Term::iri("http://ex/Mammal"),
+                )
                 .expect("entailed triple explains");
             assert!(e.depth() >= 1, "{}", config.name());
             assert!(e.support().iter().all(|t| s.base_graph().contains(t)));
             // Goldie is an Animal via range typing.
             let e = s
-                .explain_terms(&Term::iri("http://ex/Goldie"), &ty, &Term::iri("http://ex/Animal"))
+                .explain_terms(
+                    &Term::iri("http://ex/Goldie"),
+                    &ty,
+                    &Term::iri("http://ex/Animal"),
+                )
                 .expect("range-typed triple explains");
             assert!(e.render(s.dictionary()).contains("[rdfs3]"));
             // A non-entailed triple has no explanation.
             assert!(s
-                .explain_terms(&Term::iri("http://ex/Tom"), &ty, &Term::iri("http://ex/Rocket"))
+                .explain_terms(
+                    &Term::iri("http://ex/Tom"),
+                    &ty,
+                    &Term::iri("http://ex/Rocket")
+                )
                 .is_none());
         }
     }
@@ -861,7 +1080,12 @@ mod tests {
     fn datalog_cache_invalidation() {
         let mut s = store_with(ReasoningConfig::Datalog);
         assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 1);
-        s.load_turtle("@prefix ex: <http://ex/> .\nex:Felix a ex:Cat .").unwrap();
-        assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 2, "cache was invalidated");
+        s.load_turtle("@prefix ex: <http://ex/> .\nex:Felix a ex:Cat .")
+            .unwrap();
+        assert_eq!(
+            s.answer_sparql(MAMMALS).unwrap().len(),
+            2,
+            "cache was invalidated"
+        );
     }
 }

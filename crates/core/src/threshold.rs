@@ -176,10 +176,21 @@ mod tests {
 
     #[test]
     fn threshold_formula() {
-        assert_eq!(Threshold::compute(1.0, 0.01, 0.02), Threshold::Amortizes(100));
-        assert_eq!(Threshold::compute(0.0001, 0.01, 0.02), Threshold::Amortizes(1), "minimum is 1 run");
+        assert_eq!(
+            Threshold::compute(1.0, 0.01, 0.02),
+            Threshold::Amortizes(100)
+        );
+        assert_eq!(
+            Threshold::compute(0.0001, 0.01, 0.02),
+            Threshold::Amortizes(1),
+            "minimum is 1 run"
+        );
         assert_eq!(Threshold::compute(1.0, 0.02, 0.01), Threshold::Never);
-        assert_eq!(Threshold::compute(1.0, 0.01, 0.01), Threshold::Never, "tie → never");
+        assert_eq!(
+            Threshold::compute(1.0, 0.01, 0.01),
+            Threshold::Never,
+            "tie → never"
+        );
     }
 
     #[test]
@@ -189,7 +200,11 @@ mod tests {
 
         let fast = &ths[0];
         assert_eq!(fast.saturation, Threshold::Amortizes(100));
-        assert_eq!(fast.instance_insert, Threshold::Amortizes(1), "cheap maintenance amortises immediately");
+        assert_eq!(
+            fast.instance_insert,
+            Threshold::Amortizes(1),
+            "cheap maintenance amortises immediately"
+        );
         assert_eq!(fast.schema_delete, Threshold::Amortizes(10), "0.1 / 0.01");
 
         let tiny = &ths[1];
@@ -232,7 +247,13 @@ mod tests {
         let labels: Vec<&str> = ths[0].series().iter().map(|(l, _)| *l).collect();
         assert_eq!(
             labels,
-            vec!["saturation", "instance insertion", "instance deletion", "schema insertion", "schema deletion"]
+            vec![
+                "saturation",
+                "instance insertion",
+                "instance deletion",
+                "schema insertion",
+                "schema deletion"
+            ]
         );
     }
 }

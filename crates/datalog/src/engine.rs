@@ -36,7 +36,10 @@ pub struct Atom {
 impl Atom {
     /// Builds an atom.
     pub fn new(predicate: Predicate, args: impl IntoIterator<Item = DlTerm>) -> Self {
-        Atom { predicate, args: args.into_iter().collect() }
+        Atom {
+            predicate,
+            args: args.into_iter().collect(),
+        }
     }
 }
 
@@ -121,11 +124,22 @@ impl Relation {
             .iter()
             .enumerate()
             .filter_map(|(pos, v)| {
-                v.map(|v| (pos, self.index.get(pos).and_then(|m| m.get(&v)).map_or(0, Vec::len)))
+                v.map(|v| {
+                    (
+                        pos,
+                        self.index
+                            .get(pos)
+                            .and_then(|m| m.get(&v))
+                            .map_or(0, Vec::len),
+                    )
+                })
             })
             .min_by_key(|&(_, n)| n);
         let matches = |row: &Row| -> bool {
-            probe.iter().zip(row.iter()).all(|(p, &v)| p.is_none_or(|pv| pv == v))
+            probe
+                .iter()
+                .zip(row.iter())
+                .all(|(p, &v)| p.is_none_or(|pv| pv == v))
         };
         match best {
             Some((pos, _)) => {
@@ -168,12 +182,17 @@ impl Database {
 
     /// Inserts a fact; returns true if it was new.
     pub fn insert(&mut self, predicate: Predicate, row: impl IntoIterator<Item = TermId>) -> bool {
-        self.relations.entry(predicate).or_default().insert(row.into_iter().collect())
+        self.relations
+            .entry(predicate)
+            .or_default()
+            .insert(row.into_iter().collect())
     }
 
     /// Membership test.
     pub fn contains(&self, predicate: Predicate, row: &Row) -> bool {
-        self.relations.get(&predicate).is_some_and(|r| r.present.contains(row))
+        self.relations
+            .get(&predicate)
+            .is_some_and(|r| r.present.contains(row))
     }
 
     /// Number of facts for one predicate.
@@ -193,15 +212,13 @@ impl Database {
 
     /// Iterates the rows of one predicate.
     pub fn rows(&self, predicate: Predicate) -> impl Iterator<Item = &Row> + '_ {
-        self.relations.get(&predicate).into_iter().flat_map(|r| r.rows.iter())
+        self.relations
+            .get(&predicate)
+            .into_iter()
+            .flat_map(|r| r.rows.iter())
     }
 
-    fn for_each_match(
-        &self,
-        predicate: Predicate,
-        probe: &[Option<TermId>],
-        f: impl FnMut(&Row),
-    ) {
+    fn for_each_match(&self, predicate: Predicate, probe: &[Option<TermId>], f: impl FnMut(&Row)) {
         if let Some(rel) = self.relations.get(&predicate) {
             rel.for_each_match(probe, f);
         }
@@ -219,7 +236,12 @@ pub struct FixpointStats {
     pub joins: usize,
 }
 
-fn bind_row(atom: &Atom, row: &Row, subst: &mut [Option<TermId>], touched: &mut SmallVec<[u16; 4]>) -> bool {
+fn bind_row(
+    atom: &Atom,
+    row: &Row,
+    subst: &mut [Option<TermId>],
+    touched: &mut SmallVec<[u16; 4]>,
+) -> bool {
     for (t, &v) in atom.args.iter().zip(row.iter()) {
         match t {
             DlTerm::Const(c) => {
@@ -316,7 +338,10 @@ fn join_rec(
 /// Panics in debug builds if the program is not range-restricted; call
 /// [`Program::validate`] first for a graceful error.
 pub fn fixpoint(db: &mut Database, program: &Program) -> FixpointStats {
-    debug_assert!(program.validate().is_ok(), "program must be range-restricted");
+    debug_assert!(
+        program.validate().is_ok(),
+        "program must be range-restricted"
+    );
     let mut stats = FixpointStats::default();
 
     // Initial delta = everything.
@@ -329,9 +354,18 @@ pub fn fixpoint(db: &mut Database, program: &Program) -> FixpointStats {
         for rule in &program.rules {
             let mut subst: Vec<Option<TermId>> = vec![None; max_var(rule)];
             for delta_pos in 0..rule.body.len() {
-                join_rec(rule, db, &delta, delta_pos, 0, &mut subst, &mut stats.joins, &mut |row| {
-                    scratch.push((rule.head.predicate, row));
-                });
+                join_rec(
+                    rule,
+                    db,
+                    &delta,
+                    delta_pos,
+                    0,
+                    &mut subst,
+                    &mut stats.joins,
+                    &mut |row| {
+                        scratch.push((rule.head.predicate, row));
+                    },
+                );
             }
         }
         let mut next = Database::new();
@@ -348,11 +382,7 @@ pub fn fixpoint(db: &mut Database, program: &Program) -> FixpointStats {
 
 /// Answers a conjunctive query (a rule body) against `db`, returning the
 /// distinct bindings of `projection` variables.
-pub fn query(
-    db: &Database,
-    body: &[Atom],
-    projection: &[u16],
-) -> FxHashSet<Row> {
+pub fn query(db: &Database, body: &[Atom], projection: &[u16]) -> FxHashSet<Row> {
     let rule = Rule {
         head: Atom::new(u32::MAX, projection.iter().map(|&v| DlTerm::Var(v))),
         body: body.to_vec(),
@@ -362,9 +392,18 @@ pub fn query(
     let mut joins = 0;
     // Reuse the join machinery with `delta == all` and a single pass: set
     // delta_pos past the body so every atom reads from `all`.
-    join_rec(&rule, db, db, usize::MAX, 0, &mut subst, &mut joins, &mut |row| {
-        out.insert(row);
-    });
+    join_rec(
+        &rule,
+        db,
+        db,
+        usize::MAX,
+        0,
+        &mut subst,
+        &mut joins,
+        &mut |row| {
+            out.insert(row);
+        },
+    );
     out
 }
 

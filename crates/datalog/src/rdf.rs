@@ -93,7 +93,9 @@ pub fn load_graph(g: &Graph) -> Database {
 
 /// Reads the `t` relation back into a [`Graph`].
 pub fn read_graph(db: &Database) -> Graph {
-    db.rows(TRIPLE).map(|row| Triple::new(row[0], row[1], row[2])).collect()
+    db.rows(TRIPLE)
+        .map(|row| Triple::new(row[0], row[1], row[2]))
+        .collect()
 }
 
 /// Saturates `g` by translation to Datalog: load, fix-point, read back.
@@ -130,7 +132,11 @@ mod tests {
         fn new() -> Self {
             let mut dict = Dictionary::new();
             let vocab = Vocab::intern(&mut dict);
-            Fx { dict, vocab, g: Graph::new() }
+            Fx {
+                dict,
+                vocab,
+                g: Graph::new(),
+            }
         }
         fn id(&mut self, n: &str) -> TermId {
             self.dict.encode_iri(&format!("http://ex/{n}"))
@@ -214,8 +220,14 @@ mod tests {
         use proptest::prelude::*;
 
         /// (subclass, subproperty, domain, range, facts, typings) pairs.
-        type GraphParts =
-            (Vec<(u8, u8)>, Vec<(u8, u8)>, Vec<(u8, u8)>, Vec<(u8, u8)>, Vec<(u8, u8, u8)>, Vec<(u8, u8)>);
+        type GraphParts = (
+            Vec<(u8, u8)>,
+            Vec<(u8, u8)>,
+            Vec<(u8, u8)>,
+            Vec<(u8, u8)>,
+            Vec<(u8, u8, u8)>,
+            Vec<(u8, u8)>,
+        );
 
         fn arb_parts() -> impl Strategy<Value = GraphParts> {
             (

@@ -129,13 +129,23 @@ impl Federation {
     pub fn new() -> Self {
         let mut dict = Dictionary::new();
         let vocab = Vocab::intern(&mut dict);
-        Federation { dict, vocab, endpoints: Vec::new(), merged: None, schema: None, saturated: None }
+        Federation {
+            dict,
+            vocab,
+            endpoints: Vec::new(),
+            merged: None,
+            schema: None,
+            saturated: None,
+        }
     }
 
     /// Registers a new (empty) endpoint.
     pub fn add_endpoint(&mut self, name: &str) -> EndpointId {
         let id = EndpointId(self.endpoints.len());
-        self.endpoints.push(Some(Endpoint { name: name.to_owned(), graph: Graph::new() }));
+        self.endpoints.push(Some(Endpoint {
+            name: name.to_owned(),
+            graph: Graph::new(),
+        }));
         id
     }
 
@@ -200,7 +210,11 @@ impl Federation {
 
     /// Names of the live endpoints.
     pub fn endpoint_names(&self) -> Vec<&str> {
-        self.endpoints.iter().flatten().map(|e| e.name.as_str()).collect()
+        self.endpoints
+            .iter()
+            .flatten()
+            .map(|e| e.name.as_str())
+            .collect()
     }
 
     /// Number of live endpoints.
@@ -303,7 +317,10 @@ mod tests {
         .unwrap();
         let q = "PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Person }";
         let sols = fed.answer_sparql(q).unwrap();
-        assert_eq!(sols.to_strings(fed.dictionary()), vec!["?x=<http://example.org/Anne>"]);
+        assert_eq!(
+            sols.to_strings(fed.dictionary()),
+            vec!["?x=<http://example.org/Anne>"]
+        );
     }
 
     #[test]
@@ -337,8 +354,11 @@ mod tests {
     fn endpoint_removal_retracts_facts_and_constraints() {
         let mut fed = Federation::new();
         let facts = fed.add_endpoint("facts");
-        fed.load_turtle(facts, "@prefix ex: <http://ex/> .\nex:anne ex:hasFriend ex:marie .")
-            .unwrap();
+        fed.load_turtle(
+            facts,
+            "@prefix ex: <http://ex/> .\nex:anne ex:hasFriend ex:marie .",
+        )
+        .unwrap();
         let ontology = fed.add_endpoint("ontology");
         fed.load_turtle(
             ontology,
@@ -377,7 +397,8 @@ mod tests {
     fn out_of_dialect_query_errors_cleanly() {
         let mut fed = Federation::new();
         let a = fed.add_endpoint("a");
-        fed.load_turtle(a, "@prefix ex: <http://ex/> .\nex:x ex:p ex:y .").unwrap();
+        fed.load_turtle(a, "@prefix ex: <http://ex/> .\nex:x ex:p ex:y .")
+            .unwrap();
         let err = fed
             .answer_sparql("SELECT ?p WHERE { <http://ex/x> ?p <http://ex/y> }")
             .unwrap_err();
@@ -404,7 +425,9 @@ mod tests {
             .unwrap();
         assert_eq!(sols.len(), 1);
         assert_eq!(
-            sols.to_strings(fed.dictionary())[0].split_whitespace().next(),
+            sols.to_strings(fed.dictionary())[0]
+                .split_whitespace()
+                .next(),
             Some("?x=<http://ex/a>")
         );
     }
@@ -421,7 +444,10 @@ mod tests {
         let mut d = Dictionary::new();
         let v = Vocab::intern(&mut d);
         let t = Triple::new(v.rdf_type, v.rdf_type, v.rdf_type);
-        assert!(matches!(fed.insert(a, t), Err(FederationError::UnknownEndpoint(_))));
+        assert!(matches!(
+            fed.insert(a, t),
+            Err(FederationError::UnknownEndpoint(_))
+        ));
     }
 
     #[test]
@@ -450,7 +476,11 @@ mod tests {
         assert_eq!(fed.answer_sparql(q).unwrap().len(), 1, "reformulation path");
         let mut q2 = fed.prepare(q).unwrap();
         q2.distinct = true;
-        assert_eq!(fed.answer_via_saturation(&q2).unwrap().len(), 1, "saturation path");
+        assert_eq!(
+            fed.answer_via_saturation(&q2).unwrap().len(),
+            1,
+            "saturation path"
+        );
     }
 
     #[test]

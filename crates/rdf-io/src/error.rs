@@ -13,7 +13,10 @@ pub struct ParseError {
 
 impl ParseError {
     pub(crate) fn new(line: usize, message: impl Into<String>) -> Self {
-        ParseError { line, message: message.into() }
+        ParseError {
+            line,
+            message: message.into(),
+        }
     }
 }
 

@@ -16,7 +16,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(line_text: &'a str, line: usize) -> Self {
-        Cursor { rest: line_text, line }
+        Cursor {
+            rest: line_text,
+            line,
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
@@ -79,7 +82,8 @@ impl<'a> Cursor<'a> {
         let code = u32::from_str_radix(hex, 16)
             .map_err(|_| self.err(format!("invalid hex in \\{kind} escape: {hex:?}")))?;
         self.rest = rest;
-        char::from_u32(code).ok_or_else(|| self.err(format!("\\{kind} escape U+{code:X} is not a scalar value")))
+        char::from_u32(code)
+            .ok_or_else(|| self.err(format!("\\{kind} escape U+{code:X} is not a scalar value")))
     }
 
     /// Parses a blank node label after `_:`.
@@ -267,10 +271,8 @@ mod tests {
 
     #[test]
     fn skips_comments_and_blank_lines() {
-        let (_, g, n) = parse(
-            "# a comment\n\n   \n<http://a> <http://p> <http://b> . # trailing\n",
-        )
-        .unwrap();
+        let (_, g, n) =
+            parse("# a comment\n\n   \n<http://a> <http://p> <http://b> . # trailing\n").unwrap();
         assert_eq!(n, 1);
         assert_eq!(g.len(), 1);
     }
@@ -292,9 +294,14 @@ mod tests {
         )
         .unwrap();
         assert!(d.get_id(&Term::Literal(Literal::plain("plain"))).is_some());
-        assert!(d.get_id(&Term::Literal(Literal::lang("tagged", "en-gb"))).is_some());
         assert!(d
-            .get_id(&Term::Literal(Literal::typed("7", "http://www.w3.org/2001/XMLSchema#integer")))
+            .get_id(&Term::Literal(Literal::lang("tagged", "en-gb")))
+            .is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::typed(
+                "7",
+                "http://www.w3.org/2001/XMLSchema#integer"
+            )))
             .is_some());
     }
 
@@ -320,7 +327,10 @@ mod tests {
             ("\"lit\" <http://p> <http://b> .", "literal subject"),
             ("<http://a> _:p <http://b> .", "blank predicate"),
             ("<http://a> \"p\" <http://b> .", "literal predicate"),
-            ("<http://a> <http://p> \"unterminated .", "unterminated string"),
+            (
+                "<http://a> <http://p> \"unterminated .",
+                "unterminated string",
+            ),
             ("<http://a> <http://p> <http://b> . extra", "trailing junk"),
             ("<http://a <http://p> <http://b> .", "bad iri"),
             (r#"<http://a> <http://p> "x"@ ."#, "empty lang tag"),
@@ -356,16 +366,18 @@ mod tests {
         let out = write_ntriples_sorted(&g1, &d1);
         let (d2, g2, _) = parse(&out).unwrap();
         // Same triple set modulo re-encoding: compare decoded sorted dumps.
-        assert_eq!(write_ntriples_sorted(&g1, &d1), write_ntriples_sorted(&g2, &d2));
+        assert_eq!(
+            write_ntriples_sorted(&g1, &d1),
+            write_ntriples_sorted(&g2, &d2)
+        );
         assert_eq!(g1.len(), g2.len());
     }
 
     #[test]
     fn sorted_writer_is_deterministic() {
-        let (d, g, _) = parse(
-            "<http://c> <http://p> <http://d> .\n<http://a> <http://p> <http://b> .\n",
-        )
-        .unwrap();
+        let (d, g, _) =
+            parse("<http://c> <http://p> <http://d> .\n<http://a> <http://p> <http://b> .\n")
+                .unwrap();
         let out = write_ntriples_sorted(&g, &d);
         let lines: Vec<_> = out.lines().collect();
         assert_eq!(lines.len(), 2);

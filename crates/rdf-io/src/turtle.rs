@@ -20,7 +20,11 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(input: &'a str) -> Self {
-        Parser { rest: input, line: 1, prefixes: FxHashMap::default() }
+        Parser {
+            rest: input,
+            line: 1,
+            prefixes: FxHashMap::default(),
+        }
     }
 
     fn err(&self, msg: impl Into<String>) -> ParseError {
@@ -68,7 +72,10 @@ impl<'a> Parser<'a> {
     fn eat_keyword(&mut self, kw: &str) -> bool {
         // ':' counts as a name character: `a:x` is a prefixed name, not the
         // keyword `a` followed by `:x`.
-        if self.rest.get(..kw.len()).is_some_and(|head| head.eq_ignore_ascii_case(kw))
+        if self
+            .rest
+            .get(..kw.len())
+            .is_some_and(|head| head.eq_ignore_ascii_case(kw))
             && !self.rest[kw.len()..]
                 .chars()
                 .next()
@@ -103,7 +110,9 @@ impl<'a> Parser<'a> {
     fn pname(&mut self) -> Result<String, ParseError> {
         let end = self
             .rest
-            .find(|c: char| c.is_whitespace() || matches!(c, ';' | ',' | '#' | '"' | '<' | ')' | ']'))
+            .find(|c: char| {
+                c.is_whitespace() || matches!(c, ';' | ',' | '#' | '"' | '<' | ')' | ']')
+            })
             .unwrap_or(self.rest.len());
         let mut token = &self.rest[..end];
         // A trailing '.' ends the statement unless it is inside the local name
@@ -204,8 +213,13 @@ impl<'a> Parser<'a> {
         self.skip_ws();
         match self.peek() {
             Some('<') => Ok(Term::Iri(self.iri_ref()?.into())),
-            Some('[') => Err(self.err("anonymous blank nodes '[...]' are outside the supported Turtle subset")),
-            Some('(') => Err(self.err("collections '(...)' are outside the supported Turtle subset")),
+            Some('[') => {
+                Err(self
+                    .err("anonymous blank nodes '[...]' are outside the supported Turtle subset"))
+            }
+            Some('(') => {
+                Err(self.err("collections '(...)' are outside the supported Turtle subset"))
+            }
             Some('_') if self.rest.starts_with("_:") => {
                 self.bump();
                 self.bump();
@@ -284,13 +298,20 @@ impl<'a> Parser<'a> {
                 self.bump();
             }
             true
-        } else if self.rest.get(..6).is_some_and(|h| h.eq_ignore_ascii_case("PREFIX")) {
+        } else if self
+            .rest
+            .get(..6)
+            .is_some_and(|h| h.eq_ignore_ascii_case("PREFIX"))
+        {
             for _ in 0..6 {
                 self.bump();
             }
             false
         } else if self.rest.starts_with("@base")
-            || self.rest.get(..4).is_some_and(|h| h.eq_ignore_ascii_case("BASE"))
+            || self
+                .rest
+                .get(..4)
+                .is_some_and(|h| h.eq_ignore_ascii_case("BASE"))
         {
             return Err(self.err("@base is outside the supported Turtle subset; use absolute IRIs"));
         } else {
@@ -419,10 +440,7 @@ mod tests {
     #[test]
     fn prefix_named_a_is_not_the_type_keyword() {
         // regression: `a:p` is a prefixed name, not keyword `a` + `:p`
-        let (d, g) = parse(
-            "@prefix a: <http://a.example/> .\na:r1 a:locatedIn a:paris .",
-        )
-        .unwrap();
+        let (d, g) = parse("@prefix a: <http://a.example/> .\na:r1 a:locatedIn a:paris .").unwrap();
         assert_eq!(g.len(), 1);
         assert!(d.get_iri_id("http://a.example/locatedIn").is_some());
         assert!(d.get_iri_id(vocab::RDF_TYPE).is_none());
@@ -459,11 +477,21 @@ mod tests {
         )
         .unwrap();
         assert_eq!(g.len(), 6);
-        assert!(d.get_id(&Term::Literal(Literal::typed("42", vocab::XSD_INTEGER))).is_some());
-        assert!(d.get_id(&Term::Literal(Literal::typed("-7", vocab::XSD_INTEGER))).is_some());
-        assert!(d.get_id(&Term::Literal(Literal::typed("3.14", vocab::XSD_DECIMAL))).is_some());
-        assert!(d.get_id(&Term::Literal(Literal::typed("1.0e3", vocab::XSD_DOUBLE))).is_some());
-        assert!(d.get_id(&Term::Literal(Literal::typed("true", vocab::XSD_BOOLEAN))).is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::typed("42", vocab::XSD_INTEGER)))
+            .is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::typed("-7", vocab::XSD_INTEGER)))
+            .is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::typed("3.14", vocab::XSD_DECIMAL)))
+            .is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::typed("1.0e3", vocab::XSD_DOUBLE)))
+            .is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::typed("true", vocab::XSD_BOOLEAN)))
+            .is_some());
     }
 
     #[test]
@@ -475,9 +503,15 @@ mod tests {
         )
         .unwrap();
         assert!(d.get_id(&Term::literal("plain")).is_some());
-        assert!(d.get_id(&Term::Literal(Literal::lang("hi", "en"))).is_some());
-        assert!(d.get_id(&Term::Literal(Literal::typed("5", vocab::XSD_INTEGER))).is_some());
-        assert!(d.get_id(&Term::Literal(Literal::typed("x", "http://dt"))).is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::lang("hi", "en")))
+            .is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::typed("5", vocab::XSD_INTEGER)))
+            .is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::typed("x", "http://dt")))
+            .is_some());
     }
 
     #[test]
@@ -490,19 +524,16 @@ mod tests {
 
     #[test]
     fn comments_anywhere() {
-        let (_, g) = parse(
-            "# header\n@prefix ex: <http://ex/> . # ns\nex:a ex:p ex:b . # done",
-        )
-        .unwrap();
+        let (_, g) =
+            parse("# header\n@prefix ex: <http://ex/> . # ns\nex:a ex:p ex:b . # done").unwrap();
         assert_eq!(g.len(), 1);
     }
 
     #[test]
     fn multiline_statements() {
-        let (_, g) = parse(
-            "@prefix ex: <http://ex/> .\nex:a\n  ex:p ex:b ;\n  ex:q ex:c ,\n        ex:d .",
-        )
-        .unwrap();
+        let (_, g) =
+            parse("@prefix ex: <http://ex/> .\nex:a\n  ex:p ex:b ;\n  ex:q ex:c ,\n        ex:d .")
+                .unwrap();
         assert_eq!(g.len(), 3);
     }
 
@@ -515,10 +546,19 @@ mod tests {
     #[test]
     fn unsupported_constructs_are_rejected_clearly() {
         for (src, needle) in [
-            ("@prefix ex: <http://ex/> .\nex:a ex:p [ ex:q ex:b ] .", "anonymous blank nodes"),
-            ("@prefix ex: <http://ex/> .\nex:a ex:p ( ex:b ) .", "collections"),
+            (
+                "@prefix ex: <http://ex/> .\nex:a ex:p [ ex:q ex:b ] .",
+                "anonymous blank nodes",
+            ),
+            (
+                "@prefix ex: <http://ex/> .\nex:a ex:p ( ex:b ) .",
+                "collections",
+            ),
             ("@base <http://ex/> .", "@base"),
-            ("@prefix ex: <http://ex/> .\nex:a ex:p \"\"\"triple\"\"\" .", "triple-quoted"),
+            (
+                "@prefix ex: <http://ex/> .\nex:a ex:p \"\"\"triple\"\"\" .",
+                "triple-quoted",
+            ),
         ] {
             let err = parse(src).unwrap_err();
             assert!(err.message.contains(needle), "want {needle:?} in {err}");

@@ -68,9 +68,7 @@ impl PrefixMap {
 
 fn render_term(id: TermId, dict: &Dictionary, prefixes: &PrefixMap) -> String {
     match dict.decode(id) {
-        Some(Term::Iri(iri)) => {
-            prefixes.compact(iri).unwrap_or_else(|| format!("<{iri}>"))
-        }
+        Some(Term::Iri(iri)) => prefixes.compact(iri).unwrap_or_else(|| format!("<{iri}>")),
         Some(term) => term.to_string(),
         None => format!("{id}"),
     }
@@ -182,7 +180,10 @@ mod tests {
     #[test]
     fn deterministic_output() {
         let (dict, g, prefixes) = fixture();
-        assert_eq!(write_turtle(&g, &dict, &prefixes), write_turtle(&g, &dict, &prefixes));
+        assert_eq!(
+            write_turtle(&g, &dict, &prefixes),
+            write_turtle(&g, &dict, &prefixes)
+        );
     }
 
     #[test]

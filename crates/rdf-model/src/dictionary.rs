@@ -114,7 +114,10 @@ impl Dictionary {
 
     /// Iterates over `(id, term)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &Term)> {
-        self.terms.iter().enumerate().map(|(i, t)| (TermId(i as u32), t))
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t))
     }
 }
 
@@ -151,7 +154,10 @@ mod tests {
             Term::iri("http://example.org/a"),
             Term::literal("plain"),
             Term::Literal(Literal::lang("hi", "en")),
-            Term::Literal(Literal::typed("4", "http://www.w3.org/2001/XMLSchema#integer")),
+            Term::Literal(Literal::typed(
+                "4",
+                "http://www.w3.org/2001/XMLSchema#integer",
+            )),
             Term::blank("b0"),
         ];
         let ids: Vec<_> = terms.iter().map(|t| d.encode(t)).collect();
@@ -197,7 +203,8 @@ mod tests {
                 "[a-z:/#0-9]{0,20}".prop_map(Term::iri),
                 "\\PC{0,20}".prop_map(Term::literal),
                 ("\\PC{0,10}", "[a-z]{1,5}").prop_map(|(l, t)| Term::Literal(Literal::lang(l, &t))),
-                ("\\PC{0,10}", "[a-z:/#]{1,15}").prop_map(|(l, t)| Term::Literal(Literal::typed(l, t))),
+                ("\\PC{0,10}", "[a-z:/#]{1,15}")
+                    .prop_map(|(l, t)| Term::Literal(Literal::typed(l, t))),
                 "[A-Za-z0-9]{1,8}".prop_map(Term::blank),
             ]
         }

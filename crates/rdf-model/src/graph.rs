@@ -1,4 +1,4 @@
-//! An in-memory, triple-indexed RDF graph.
+//! An in-memory, triple-indexed, internally sharded RDF graph.
 //!
 //! The graph maintains the three nested-map indexes
 //!
@@ -11,6 +11,23 @@
 //! RDF stores such as Hexastore and RDF-3X (the paper's §II-C prototypes),
 //! reduced from six to three orders because RDF patterns never need a
 //! *sorted* residual column here, only a set.
+//!
+//! ## Sharding
+//!
+//! Each index is split into `N` shards (`N` a power of two, 1 by default),
+//! routed by the index's *leading* key: SPO by `subject_id & (N-1)`, POS by
+//! property, OSP by object. Routing by the leading key keeps every probe
+//! chain a single extra array index — `objects(s, p)` still lands on
+//! exactly one map — so the whole read API is shard-oblivious.
+//!
+//! The point of the layout is parallel bulk insertion: producers route
+//! triples into [`TripleBuckets`] (one `Vec` per index per shard) and
+//! [`Graph::merge_buckets`] then merges *every (index, shard) pair
+//! concurrently* — `3N` tasks with disjoint write targets, so the merge
+//! needs no locks and no cross-thread contention. The per-property counts
+//! are co-sharded with POS (same routing key) so they ride along in the
+//! POS merge task. The parallel saturation engine in the `rdfs` crate is
+//! built on this.
 
 use crate::dictionary::TermId;
 use crate::triple::{Pattern, Triple};
@@ -24,14 +41,30 @@ type Index = FxHashMap<TermId, FxHashMap<TermId, Leaf>>;
 /// Duplicate-free by construction; `insert` and `remove` report whether the
 /// graph changed. Cloning a graph deep-copies the indexes, which the
 /// saturation maintenance algorithms use to snapshot states.
-#[derive(Debug, Clone, Default)]
+///
+/// Equality is semantic (same triple set), so graphs with different shard
+/// counts compare equal when they hold the same triples.
+#[derive(Debug, Clone)]
 pub struct Graph {
-    spo: Index,
-    pos: Index,
-    osp: Index,
-    /// Exact triple count per property, kept for O(1) planner cardinalities.
-    p_counts: FxHashMap<TermId, usize>,
+    /// SPO index shards, routed by `s.index() & mask`.
+    spo: Vec<Index>,
+    /// POS index shards, routed by `p.index() & mask`.
+    pos: Vec<Index>,
+    /// OSP index shards, routed by `o.index() & mask`.
+    osp: Vec<Index>,
+    /// Exact triple count per property, kept for O(1) planner
+    /// cardinalities. Co-sharded with `pos` (same routing key) so the
+    /// parallel merge can update it contention-free.
+    p_counts: Vec<FxHashMap<TermId, usize>>,
+    /// `shard_count - 1`; shard count is always a power of two.
+    mask: usize,
     len: usize,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::with_shard_count(1)
+    }
 }
 
 fn index_insert(index: &mut Index, a: TermId, b: TermId, c: TermId) -> bool {
@@ -39,8 +72,12 @@ fn index_insert(index: &mut Index, a: TermId, b: TermId, c: TermId) -> bool {
 }
 
 fn index_remove(index: &mut Index, a: TermId, b: TermId, c: TermId) -> bool {
-    let Some(inner) = index.get_mut(&a) else { return false };
-    let Some(leaf) = inner.get_mut(&b) else { return false };
+    let Some(inner) = index.get_mut(&a) else {
+        return false;
+    };
+    let Some(leaf) = inner.get_mut(&b) else {
+        return false;
+    };
     let removed = leaf.remove(&c);
     if removed {
         if leaf.is_empty() {
@@ -53,10 +90,139 @@ fn index_remove(index: &mut Index, a: TermId, b: TermId, c: TermId) -> bool {
     removed
 }
 
+/// Pre-routed triples awaiting a (parallel) merge into a [`Graph`] with the
+/// same shard count: one bucket per index per shard, filled by
+/// [`TripleBuckets::push`]. Producers (e.g. saturation worker threads)
+/// each fill their own `TripleBuckets`; [`Graph::merge_buckets`] consumes
+/// any number of them at once.
+#[derive(Debug)]
+pub struct TripleBuckets {
+    mask: usize,
+    spo: Vec<Vec<Triple>>,
+    pos: Vec<Vec<Triple>>,
+    osp: Vec<Vec<Triple>>,
+}
+
+impl TripleBuckets {
+    /// Creates empty buckets for a graph with `shard_count` shards
+    /// (rounded up to a power of two, minimum 1).
+    pub fn new(shard_count: usize) -> Self {
+        let n = shard_count.max(1).next_power_of_two();
+        TripleBuckets {
+            mask: n - 1,
+            spo: (0..n).map(|_| Vec::new()).collect(),
+            pos: (0..n).map(|_| Vec::new()).collect(),
+            osp: (0..n).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Creates buckets matching `g`'s shard count.
+    pub fn for_graph(g: &Graph) -> Self {
+        Self::new(g.shard_count())
+    }
+
+    /// Routes `t` into the right bucket of each of the three indexes.
+    #[inline]
+    pub fn push(&mut self, t: Triple) {
+        self.spo[t.s.index() & self.mask].push(t);
+        self.pos[t.p.index() & self.mask].push(t);
+        self.osp[t.o.index() & self.mask].push(t);
+    }
+
+    /// Number of routed triples (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.spo.iter().map(Vec::len).sum()
+    }
+
+    /// True when no triple has been routed.
+    pub fn is_empty(&self) -> bool {
+        self.spo.iter().all(Vec::is_empty)
+    }
+}
+
+/// One (index, shard) merge unit: disjoint write target, runs lock-free.
+enum MergeTask<'a> {
+    Spo {
+        shard: &'a mut Index,
+        inputs: Vec<Vec<Triple>>,
+    },
+    Pos {
+        shard: &'a mut Index,
+        counts: &'a mut FxHashMap<TermId, usize>,
+        inputs: Vec<Vec<Triple>>,
+    },
+    Osp {
+        shard: &'a mut Index,
+        inputs: Vec<Vec<Triple>>,
+    },
+}
+
+/// Runs one merge task. Returns the number of newly inserted triples for
+/// SPO tasks (each triple is counted by exactly one SPO shard) and 0 for
+/// the other indexes, which insert the same triple set idempotently.
+fn run_merge_task(task: MergeTask<'_>) -> usize {
+    match task {
+        MergeTask::Spo { shard, inputs } => {
+            let mut new = 0;
+            for t in inputs.iter().flatten() {
+                if index_insert(shard, t.s, t.p, t.o) {
+                    new += 1;
+                }
+            }
+            new
+        }
+        MergeTask::Pos {
+            shard,
+            counts,
+            inputs,
+        } => {
+            for t in inputs.iter().flatten() {
+                if index_insert(shard, t.p, t.o, t.s) {
+                    *counts.entry(t.p).or_insert(0) += 1;
+                }
+            }
+            0
+        }
+        MergeTask::Osp { shard, inputs } => {
+            for t in inputs.iter().flatten() {
+                index_insert(shard, t.o, t.s, t.p);
+            }
+            0
+        }
+    }
+}
+
 impl Graph {
-    /// Creates an empty graph.
+    /// Creates an empty graph with a single shard.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty graph with `shard_count` shards per index
+    /// (rounded up to a power of two, minimum 1). Pick the expected
+    /// merge parallelism; single-threaded callers should stay at 1.
+    pub fn with_shard_count(shard_count: usize) -> Self {
+        let n = shard_count.max(1).next_power_of_two();
+        Graph {
+            spo: (0..n).map(|_| Index::default()).collect(),
+            pos: (0..n).map(|_| Index::default()).collect(),
+            osp: (0..n).map(|_| Index::default()).collect(),
+            p_counts: (0..n).map(|_| FxHashMap::default()).collect(),
+            mask: n - 1,
+            len: 0,
+        }
+    }
+
+    /// Number of shards per index (a power of two; 1 unless built with
+    /// [`Graph::with_shard_count`]).
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.mask + 1
+    }
+
+    #[inline]
+    fn shard(&self, id: TermId) -> usize {
+        id.index() & self.mask
     }
 
     /// Number of triples.
@@ -73,37 +239,114 @@ impl Graph {
 
     /// Inserts a triple. Returns `true` if it was not already present.
     pub fn insert(&mut self, t: Triple) -> bool {
-        if !index_insert(&mut self.spo, t.s, t.p, t.o) {
+        let (ks, kp, ko) = (self.shard(t.s), self.shard(t.p), self.shard(t.o));
+        if !index_insert(&mut self.spo[ks], t.s, t.p, t.o) {
             return false;
         }
-        index_insert(&mut self.pos, t.p, t.o, t.s);
-        index_insert(&mut self.osp, t.o, t.s, t.p);
-        *self.p_counts.entry(t.p).or_insert(0) += 1;
+        index_insert(&mut self.pos[kp], t.p, t.o, t.s);
+        index_insert(&mut self.osp[ko], t.o, t.s, t.p);
+        *self.p_counts[kp].entry(t.p).or_insert(0) += 1;
         self.len += 1;
         true
     }
 
     /// Removes a triple. Returns `true` if it was present.
     pub fn remove(&mut self, t: &Triple) -> bool {
-        if !index_remove(&mut self.spo, t.s, t.p, t.o) {
+        let (ks, kp, ko) = (self.shard(t.s), self.shard(t.p), self.shard(t.o));
+        if !index_remove(&mut self.spo[ks], t.s, t.p, t.o) {
             return false;
         }
-        index_remove(&mut self.pos, t.p, t.o, t.s);
-        index_remove(&mut self.osp, t.o, t.s, t.p);
-        match self.p_counts.get_mut(&t.p) {
+        index_remove(&mut self.pos[kp], t.p, t.o, t.s);
+        index_remove(&mut self.osp[ko], t.o, t.s, t.p);
+        match self.p_counts[kp].get_mut(&t.p) {
             Some(c) if *c > 1 => *c -= 1,
             _ => {
-                self.p_counts.remove(&t.p);
+                self.p_counts[kp].remove(&t.p);
             }
         }
         self.len -= 1;
         true
     }
 
+    /// Merges pre-routed buckets (from any number of producers) into the
+    /// graph, one task per (index, shard), distributed over at most
+    /// `threads` scoped worker threads. Write targets are disjoint by
+    /// construction, so no synchronisation beyond the final join is
+    /// needed. Duplicate triples across buckets are deduplicated by the
+    /// set-semantics inserts. Returns the number of newly added triples.
+    ///
+    /// Every bucket's shard count must match the graph's.
+    pub fn merge_buckets(&mut self, buckets: Vec<TripleBuckets>, threads: usize) -> usize {
+        let n = self.mask + 1;
+        // Transpose producer-major buckets into shard-major task inputs
+        // (pointer moves only, no triple copies).
+        let mut spo_in: Vec<Vec<Vec<Triple>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut pos_in: Vec<Vec<Vec<Triple>>> = (0..n).map(|_| Vec::new()).collect();
+        let mut osp_in: Vec<Vec<Vec<Triple>>> = (0..n).map(|_| Vec::new()).collect();
+        for mut b in buckets {
+            assert_eq!(
+                b.mask, self.mask,
+                "TripleBuckets shard count must match the graph's"
+            );
+            for k in 0..n {
+                spo_in[k].push(std::mem::take(&mut b.spo[k]));
+                pos_in[k].push(std::mem::take(&mut b.pos[k]));
+                osp_in[k].push(std::mem::take(&mut b.osp[k]));
+            }
+        }
+
+        let mut tasks: Vec<MergeTask<'_>> = Vec::with_capacity(3 * n);
+        for (shard, inputs) in self.spo.iter_mut().zip(spo_in) {
+            tasks.push(MergeTask::Spo { shard, inputs });
+        }
+        for ((shard, counts), inputs) in self
+            .pos
+            .iter_mut()
+            .zip(self.p_counts.iter_mut())
+            .zip(pos_in)
+        {
+            tasks.push(MergeTask::Pos {
+                shard,
+                counts,
+                inputs,
+            });
+        }
+        for (shard, inputs) in self.osp.iter_mut().zip(osp_in) {
+            tasks.push(MergeTask::Osp { shard, inputs });
+        }
+
+        let threads = threads.clamp(1, tasks.len());
+        let new = if threads == 1 {
+            tasks.into_iter().map(run_merge_task).sum()
+        } else {
+            // Round-robin tasks across workers: with shard and thread
+            // counts both powers of two, each worker gets the same shard
+            // residues of all three indexes.
+            let mut bins: Vec<Vec<MergeTask<'_>>> = (0..threads).map(|_| Vec::new()).collect();
+            for (i, task) in tasks.into_iter().enumerate() {
+                bins[i % threads].push(task);
+            }
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = bins
+                    .into_iter()
+                    .map(|bin| {
+                        scope.spawn(move || bin.into_iter().map(run_merge_task).sum::<usize>())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("merge worker panicked"))
+                    .sum()
+            })
+        };
+        self.len += new;
+        new
+    }
+
     /// Membership test.
     #[inline]
     pub fn contains(&self, t: &Triple) -> bool {
-        self.spo
+        self.spo[self.shard(t.s)]
             .get(&t.s)
             .and_then(|inner| inner.get(&t.p))
             .is_some_and(|leaf| leaf.contains(&t.o))
@@ -111,19 +354,28 @@ impl Graph {
 
     /// Removes every triple.
     pub fn clear(&mut self) {
-        self.spo.clear();
-        self.pos.clear();
-        self.osp.clear();
-        self.p_counts.clear();
+        for index in self
+            .spo
+            .iter_mut()
+            .chain(&mut self.pos)
+            .chain(&mut self.osp)
+        {
+            index.clear();
+        }
+        for counts in &mut self.p_counts {
+            counts.clear();
+        }
         self.len = 0;
     }
 
     /// Iterates over all triples (arbitrary order).
     pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
-        self.spo.iter().flat_map(|(&s, inner)| {
-            inner
-                .iter()
-                .flat_map(move |(&p, leaf)| leaf.iter().map(move |&o| Triple::new(s, p, o)))
+        self.spo.iter().flat_map(|index| {
+            index.iter().flat_map(|(&s, inner)| {
+                inner
+                    .iter()
+                    .flat_map(move |(&p, leaf)| leaf.iter().map(move |&o| Triple::new(s, p, o)))
+            })
         })
     }
 
@@ -138,28 +390,28 @@ impl Graph {
                 }
             }
             (Some(s), Some(p), None) => {
-                if let Some(leaf) = self.spo.get(&s).and_then(|i| i.get(&p)) {
+                if let Some(leaf) = self.spo[self.shard(s)].get(&s).and_then(|i| i.get(&p)) {
                     for &o in leaf {
                         f(Triple::new(s, p, o));
                     }
                 }
             }
             (Some(s), None, Some(o)) => {
-                if let Some(leaf) = self.osp.get(&o).and_then(|i| i.get(&s)) {
+                if let Some(leaf) = self.osp[self.shard(o)].get(&o).and_then(|i| i.get(&s)) {
                     for &p in leaf {
                         f(Triple::new(s, p, o));
                     }
                 }
             }
             (None, Some(p), Some(o)) => {
-                if let Some(leaf) = self.pos.get(&p).and_then(|i| i.get(&o)) {
+                if let Some(leaf) = self.pos[self.shard(p)].get(&p).and_then(|i| i.get(&o)) {
                     for &s in leaf {
                         f(Triple::new(s, p, o));
                     }
                 }
             }
             (Some(s), None, None) => {
-                if let Some(inner) = self.spo.get(&s) {
+                if let Some(inner) = self.spo[self.shard(s)].get(&s) {
                     for (&p, leaf) in inner {
                         for &o in leaf {
                             f(Triple::new(s, p, o));
@@ -168,7 +420,7 @@ impl Graph {
                 }
             }
             (None, Some(p), None) => {
-                if let Some(inner) = self.pos.get(&p) {
+                if let Some(inner) = self.pos[self.shard(p)].get(&p) {
                     for (&o, leaf) in inner {
                         for &s in leaf {
                             f(Triple::new(s, p, o));
@@ -177,7 +429,7 @@ impl Graph {
                 }
             }
             (None, None, Some(o)) => {
-                if let Some(inner) = self.osp.get(&o) {
+                if let Some(inner) = self.osp[self.shard(o)].get(&o) {
                     for (&s, leaf) in inner {
                         for &p in leaf {
                             f(Triple::new(s, p, o));
@@ -207,22 +459,25 @@ impl Graph {
     pub fn count(&self, pattern: &Pattern) -> usize {
         match (pattern.s, pattern.p, pattern.o) {
             (Some(s), Some(p), Some(o)) => self.contains(&Triple::new(s, p, o)) as usize,
-            (Some(s), Some(p), None) => {
-                self.spo.get(&s).and_then(|i| i.get(&p)).map_or(0, Leaf::len)
-            }
-            (Some(s), None, Some(o)) => {
-                self.osp.get(&o).and_then(|i| i.get(&s)).map_or(0, Leaf::len)
-            }
-            (None, Some(p), Some(o)) => {
-                self.pos.get(&p).and_then(|i| i.get(&o)).map_or(0, Leaf::len)
-            }
-            (Some(s), None, None) => {
-                self.spo.get(&s).map_or(0, |i| i.values().map(Leaf::len).sum())
-            }
-            (None, Some(p), None) => self.p_counts.get(&p).copied().unwrap_or(0),
-            (None, None, Some(o)) => {
-                self.osp.get(&o).map_or(0, |i| i.values().map(Leaf::len).sum())
-            }
+            (Some(s), Some(p), None) => self.spo[self.shard(s)]
+                .get(&s)
+                .and_then(|i| i.get(&p))
+                .map_or(0, Leaf::len),
+            (Some(s), None, Some(o)) => self.osp[self.shard(o)]
+                .get(&o)
+                .and_then(|i| i.get(&s))
+                .map_or(0, Leaf::len),
+            (None, Some(p), Some(o)) => self.pos[self.shard(p)]
+                .get(&p)
+                .and_then(|i| i.get(&o))
+                .map_or(0, Leaf::len),
+            (Some(s), None, None) => self.spo[self.shard(s)]
+                .get(&s)
+                .map_or(0, |i| i.values().map(Leaf::len).sum()),
+            (None, Some(p), None) => self.p_counts[self.shard(p)].get(&p).copied().unwrap_or(0),
+            (None, None, Some(o)) => self.osp[self.shard(o)]
+                .get(&o)
+                .map_or(0, |i| i.values().map(Leaf::len).sum()),
             (None, None, None) => self.len,
         }
     }
@@ -232,41 +487,45 @@ impl Graph {
     /// Hot accessor for the reasoner's specialised join loops.
     #[inline]
     pub fn objects(&self, s: TermId, p: TermId) -> Option<&FxHashSet<TermId>> {
-        self.spo.get(&s).and_then(|i| i.get(&p))
+        self.spo[self.shard(s)].get(&s).and_then(|i| i.get(&p))
     }
 
     /// The set of subjects `s` with `s p o` in the graph, if any.
     #[inline]
     pub fn subjects_with(&self, p: TermId, o: TermId) -> Option<&FxHashSet<TermId>> {
-        self.pos.get(&p).and_then(|i| i.get(&o))
+        self.pos[self.shard(p)].get(&p).and_then(|i| i.get(&o))
     }
 
     /// Iterates over `(s, o)` pairs of triples with property `p`.
     pub fn pairs_with_property(&self, p: TermId) -> impl Iterator<Item = (TermId, TermId)> + '_ {
-        self.pos
+        self.pos[self.shard(p)]
             .get(&p)
             .into_iter()
-            .flat_map(|inner| inner.iter().flat_map(|(&o, leaf)| leaf.iter().map(move |&s| (s, o))))
+            .flat_map(|inner| {
+                inner
+                    .iter()
+                    .flat_map(|(&o, leaf)| leaf.iter().map(move |&s| (s, o)))
+            })
     }
 
     /// Distinct subjects appearing in the graph.
     pub fn subjects(&self) -> impl Iterator<Item = TermId> + '_ {
-        self.spo.keys().copied()
+        self.spo.iter().flat_map(|index| index.keys().copied())
     }
 
     /// Distinct properties appearing in the graph.
     pub fn properties(&self) -> impl Iterator<Item = TermId> + '_ {
-        self.pos.keys().copied()
+        self.pos.iter().flat_map(|index| index.keys().copied())
     }
 
     /// Distinct objects appearing in the graph.
     pub fn objects_iter(&self) -> impl Iterator<Item = TermId> + '_ {
-        self.osp.keys().copied()
+        self.osp.iter().flat_map(|index| index.keys().copied())
     }
 
     /// Number of distinct properties.
     pub fn property_count(&self) -> usize {
-        self.pos.len()
+        self.pos.iter().map(FxHashMap::len).sum()
     }
 
     /// True if `other` contains every triple of `self`.
@@ -286,7 +545,8 @@ impl Graph {
 }
 
 impl PartialEq for Graph {
-    /// Two graphs are equal when they hold the same triple set.
+    /// Two graphs are equal when they hold the same triple set
+    /// (regardless of shard count).
     fn eq(&self, other: &Self) -> bool {
         self.len == other.len && self.iter().all(|t| other.contains(&t))
     }
@@ -321,7 +581,15 @@ mod tests {
     }
 
     fn sample() -> Graph {
-        [t(1, 10, 2), t(1, 10, 3), t(2, 10, 3), t(1, 11, 2), t(4, 12, 1)].into_iter().collect()
+        [
+            t(1, 10, 2),
+            t(1, 10, 3),
+            t(2, 10, 3),
+            t(1, 11, 2),
+            t(4, 12, 1),
+        ]
+        .into_iter()
+        .collect()
     }
 
     #[test]
@@ -341,11 +609,7 @@ mod tests {
     fn all_eight_pattern_shapes() {
         let g = sample();
         let m = |s: Option<usize>, p: Option<usize>, o: Option<usize>| {
-            let mut v = g.matches(&Pattern::new(
-                s.map(id),
-                p.map(id),
-                o.map(id),
-            ));
+            let mut v = g.matches(&Pattern::new(s.map(id), p.map(id), o.map(id)));
             v.sort();
             v
         };
@@ -353,8 +617,14 @@ mod tests {
         assert_eq!(m(Some(1), Some(10), None), vec![t(1, 10, 2), t(1, 10, 3)]);
         assert_eq!(m(Some(1), None, Some(2)), vec![t(1, 10, 2), t(1, 11, 2)]);
         assert_eq!(m(None, Some(10), Some(3)), vec![t(1, 10, 3), t(2, 10, 3)]);
-        assert_eq!(m(Some(1), None, None), vec![t(1, 10, 2), t(1, 10, 3), t(1, 11, 2)]);
-        assert_eq!(m(None, Some(10), None), vec![t(1, 10, 2), t(1, 10, 3), t(2, 10, 3)]);
+        assert_eq!(
+            m(Some(1), None, None),
+            vec![t(1, 10, 2), t(1, 10, 3), t(1, 11, 2)]
+        );
+        assert_eq!(
+            m(None, Some(10), None),
+            vec![t(1, 10, 2), t(1, 10, 3), t(2, 10, 3)]
+        );
         assert_eq!(m(None, None, Some(3)), vec![t(1, 10, 3), t(2, 10, 3)]);
         assert_eq!(m(None, None, None).len(), 5);
     }
@@ -390,7 +660,10 @@ mod tests {
         g.remove(&t(1, 10, 3));
         g.remove(&t(2, 10, 3));
         assert_eq!(g.count(&Pattern::new(None, Some(id(10)), None)), 0);
-        assert!(!g.properties().any(|p| p == id(10)), "empty property pruned from index");
+        assert!(
+            !g.properties().any(|p| p == id(10)),
+            "empty property pruned from index"
+        );
     }
 
     #[test]
@@ -450,6 +723,98 @@ mod tests {
         assert_eq!(g.len(), 1);
     }
 
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(Graph::new().shard_count(), 1);
+        assert_eq!(Graph::with_shard_count(0).shard_count(), 1);
+        assert_eq!(Graph::with_shard_count(3).shard_count(), 4);
+        assert_eq!(Graph::with_shard_count(8).shard_count(), 8);
+    }
+
+    #[test]
+    fn sharded_graph_behaves_like_unsharded() {
+        let plain = sample();
+        for shards in [2usize, 4, 8] {
+            let mut g = Graph::with_shard_count(shards);
+            for tr in plain.iter() {
+                assert!(g.insert(tr));
+            }
+            assert_eq!(g, plain, "{shards} shards");
+            assert_eq!(g.len(), plain.len());
+            assert_eq!(g.property_count(), plain.property_count());
+            assert_eq!(
+                g.count(&Pattern::new(None, Some(id(10)), None)),
+                plain.count(&Pattern::new(None, Some(id(10)), None))
+            );
+            let mut subj: Vec<_> = g.subjects().collect();
+            subj.sort();
+            let mut want: Vec<_> = plain.subjects().collect();
+            want.sort();
+            assert_eq!(subj, want);
+            // removal keeps the sharded bookkeeping straight
+            assert!(g.remove(&t(1, 10, 2)));
+            assert_eq!(g.count(&Pattern::new(None, Some(id(10)), None)), 2);
+        }
+    }
+
+    #[test]
+    fn merge_buckets_equals_sequential_inserts() {
+        let triples: Vec<Triple> = (0..300).map(|i| t(i % 17, i % 5, (i * 7) % 23)).collect();
+        let mut reference = Graph::new();
+        let mut expected_new = 0;
+        for &tr in &triples {
+            if reference.insert(tr) {
+                expected_new += 1;
+            }
+        }
+        for (shards, threads) in [(1, 1), (4, 1), (4, 4), (8, 3), (4, 64)] {
+            let mut g = Graph::with_shard_count(shards);
+            // two producers, overlapping triples
+            let mut a = TripleBuckets::for_graph(&g);
+            let mut b = TripleBuckets::for_graph(&g);
+            for (i, &tr) in triples.iter().enumerate() {
+                if i % 2 == 0 || i % 3 == 0 {
+                    a.push(tr);
+                }
+                if i % 2 == 1 || i % 3 == 0 {
+                    b.push(tr);
+                }
+            }
+            let new = g.merge_buckets(vec![a, b], threads);
+            assert_eq!(new, expected_new, "{shards} shards, {threads} threads");
+            assert_eq!(g, reference);
+            assert_eq!(g.len(), reference.len());
+            // p_counts survived the parallel merge
+            for p in 0..5 {
+                let pat = Pattern::new(None, Some(id(p)), None);
+                assert_eq!(g.count(&pat), reference.count(&pat), "p{p}");
+            }
+        }
+    }
+
+    #[test]
+    fn merge_buckets_into_nonempty_graph_deduplicates() {
+        let mut g = sample();
+        let before = g.len();
+        let mut bucket = TripleBuckets::for_graph(&g);
+        bucket.push(t(1, 10, 2)); // already present
+        bucket.push(t(9, 10, 9)); // new
+        bucket.push(t(9, 10, 9)); // duplicate within the bucket
+        assert_eq!(bucket.len(), 3);
+        let new = g.merge_buckets(vec![bucket], 2);
+        assert_eq!(new, 1);
+        assert_eq!(g.len(), before + 1);
+        assert!(g.contains(&t(9, 10, 9)));
+    }
+
+    #[test]
+    #[should_panic(expected = "shard count must match")]
+    fn merge_buckets_rejects_mismatched_shards() {
+        let mut g = Graph::with_shard_count(4);
+        let bucket = TripleBuckets::new(2);
+        g.merge_buckets(vec![bucket], 1);
+    }
+
     mod properties {
         use super::*;
         use proptest::prelude::*;
@@ -467,17 +832,21 @@ mod tests {
 
         fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
             proptest::collection::vec(
-                prop_oneof![arb_triple().prop_map(Op::Insert), arb_triple().prop_map(Op::Remove)],
+                prop_oneof![
+                    arb_triple().prop_map(Op::Insert),
+                    arb_triple().prop_map(Op::Remove)
+                ],
                 0..200,
             )
         }
 
         proptest! {
             /// The indexed graph behaves exactly like a plain set of triples
-            /// under arbitrary insert/remove streams, for every pattern shape.
+            /// under arbitrary insert/remove streams, for every pattern
+            /// shape — at every shard count.
             #[test]
-            fn graph_matches_set_model(ops in arb_ops()) {
-                let mut g = Graph::new();
+            fn graph_matches_set_model(ops in arb_ops(), shards in 0usize..9) {
+                let mut g = Graph::with_shard_count(shards);
                 let mut model: BTreeSet<Triple> = BTreeSet::new();
                 for op in ops {
                     match op {
@@ -507,6 +876,32 @@ mod tests {
                             prop_assert_eq!(g.count(&pat), want.len());
                         }
                     }
+                }
+            }
+
+            /// Parallel bucket merging produces exactly the graph that
+            /// sequential insertion does, whatever the producer split.
+            #[test]
+            fn merge_buckets_matches_sequential(
+                triples in proptest::collection::vec(arb_triple(), 0..120),
+                shards in 0usize..9,
+                threads in 1usize..9,
+                producers in 1usize..4,
+            ) {
+                let mut reference = Graph::new();
+                for &tr in &triples { reference.insert(tr); }
+                let mut g = Graph::with_shard_count(shards);
+                let mut buckets: Vec<TripleBuckets> =
+                    (0..producers).map(|_| TripleBuckets::for_graph(&g)).collect();
+                for (i, &tr) in triples.iter().enumerate() {
+                    buckets[i % producers].push(tr);
+                }
+                let new = g.merge_buckets(buckets, threads);
+                prop_assert_eq!(new, reference.len());
+                prop_assert_eq!(&g, &reference);
+                for p in (0..6).map(id) {
+                    let pat = Pattern::new(None, Some(p), None);
+                    prop_assert_eq!(g.count(&pat), reference.count(&pat));
                 }
             }
         }

@@ -13,7 +13,9 @@
 //! * [`Triple`] and [`Pattern`]: encoded triples and triple lookup patterns;
 //! * [`Graph`]: an in-memory triple store indexed in the three orders
 //!   SPO, POS and OSP, answering all eight bound/unbound pattern shapes
-//!   with a single index probe;
+//!   with a single index probe; each index is internally sharded so bulk
+//!   loads can merge pre-routed [`TripleBuckets`] with one thread per
+//!   shard, contention-free;
 //! * [`Vocab`]: the RDF/RDFS built-in vocabulary, pre-interned.
 //!
 //! ## Example
@@ -46,7 +48,7 @@ mod triple;
 pub mod vocab;
 
 pub use dictionary::{Dictionary, TermId};
-pub use graph::Graph;
+pub use graph::{Graph, TripleBuckets};
 pub use term::{Literal, Term};
 pub use triple::{Pattern, Triple};
 pub use vocab::Vocab;

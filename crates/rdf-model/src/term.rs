@@ -25,7 +25,10 @@ enum LiteralKind {
 impl Literal {
     /// Creates a plain literal such as `"hello"`.
     pub fn plain(lexical: impl Into<Box<str>>) -> Self {
-        Literal { lexical: lexical.into(), kind: LiteralKind::Plain }
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Plain,
+        }
     }
 
     /// Creates a language-tagged literal such as `"chat"@fr`.
@@ -41,7 +44,10 @@ impl Literal {
 
     /// Creates a typed literal such as `"1"^^<http://www.w3.org/2001/XMLSchema#integer>`.
     pub fn typed(lexical: impl Into<Box<str>>, datatype: impl Into<Box<str>>) -> Self {
-        Literal { lexical: lexical.into(), kind: LiteralKind::Typed(datatype.into()) }
+        Literal {
+            lexical: lexical.into(),
+            kind: LiteralKind::Typed(datatype.into()),
+        }
     }
 
     /// The lexical form, without quotes or escapes.
@@ -184,7 +190,10 @@ mod tests {
     #[test]
     fn literal_kinds_are_distinct_terms() {
         let plain = Term::Literal(Literal::plain("1"));
-        let typed = Term::Literal(Literal::typed("1", "http://www.w3.org/2001/XMLSchema#integer"));
+        let typed = Term::Literal(Literal::typed(
+            "1",
+            "http://www.w3.org/2001/XMLSchema#integer",
+        ));
         let tagged = Term::Literal(Literal::lang("1", "en"));
         assert_ne!(plain, typed);
         assert_ne!(plain, tagged);
@@ -218,7 +227,10 @@ mod tests {
         assert_eq!(Term::iri("http://a#x").to_string(), "<http://a#x>");
         assert_eq!(Term::blank("n1").to_string(), "_:n1");
         assert_eq!(Term::literal("hi").to_string(), "\"hi\"");
-        assert_eq!(Term::Literal(Literal::lang("hi", "en")).to_string(), "\"hi\"@en");
+        assert_eq!(
+            Term::Literal(Literal::lang("hi", "en")).to_string(),
+            "\"hi\"@en"
+        );
         assert_eq!(
             Term::Literal(Literal::typed("1", "http://t")).to_string(),
             "\"1\"^^<http://t>"

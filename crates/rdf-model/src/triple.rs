@@ -97,8 +97,14 @@ mod tests {
     #[test]
     fn bound_count() {
         assert_eq!(Pattern::any().bound_count(), 0);
-        assert_eq!(Pattern::new(Some(id(0)), None, Some(id(1))).bound_count(), 2);
-        assert_eq!(Pattern::new(Some(id(0)), Some(id(0)), Some(id(0))).bound_count(), 3);
+        assert_eq!(
+            Pattern::new(Some(id(0)), None, Some(id(1))).bound_count(),
+            2
+        );
+        assert_eq!(
+            Pattern::new(Some(id(0)), Some(id(0)), Some(id(0))).bound_count(),
+            3
+        );
     }
 
     #[test]

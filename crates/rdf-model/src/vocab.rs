@@ -129,7 +129,13 @@ mod tests {
         assert_eq!(d.decode(v.rdf_type).unwrap().as_iri(), Some(RDF_TYPE));
         assert_eq!(d.decode(v.domain).unwrap().as_iri(), Some(RDFS_DOMAIN));
         assert_eq!(d.decode(v.range).unwrap().as_iri(), Some(RDFS_RANGE));
-        assert_eq!(d.decode(v.sub_class_of).unwrap().as_iri(), Some(RDFS_SUB_CLASS_OF));
-        assert_eq!(d.decode(v.sub_property_of).unwrap().as_iri(), Some(RDFS_SUB_PROPERTY_OF));
+        assert_eq!(
+            d.decode(v.sub_class_of).unwrap().as_iri(),
+            Some(RDFS_SUB_CLASS_OF)
+        );
+        assert_eq!(
+            d.decode(v.sub_property_of).unwrap().as_iri(),
+            Some(RDFS_SUB_PROPERTY_OF)
+        );
     }
 }

@@ -63,9 +63,7 @@ impl Explanation {
     pub fn depth(&self) -> usize {
         match self {
             Explanation::Asserted(_) => 0,
-            Explanation::Derived { premises, .. } => {
-                1 + premises[0].depth() + premises[1].depth()
-            }
+            Explanation::Derived { premises, .. } => 1 + premises[0].depth() + premises[1].depth(),
         }
     }
 
@@ -100,7 +98,8 @@ impl Explanation {
         let pad = "  ".repeat(indent);
         let show = |t: &Triple| -> String {
             let term = |id| {
-                dict.decode(id).map_or_else(|| id.to_string(), |term| term.to_string())
+                dict.decode(id)
+                    .map_or_else(|| id.to_string(), |term| term.to_string())
             };
             format!("{} {} {}", term(t.s), term(t.p), term(t.o))
         };
@@ -108,7 +107,11 @@ impl Explanation {
             Explanation::Asserted(t) => {
                 let _ = writeln!(out, "{pad}{}   [asserted]", show(t));
             }
-            Explanation::Derived { triple, rule, premises } => {
+            Explanation::Derived {
+                triple,
+                rule,
+                premises,
+            } => {
                 let _ = writeln!(out, "{pad}{}   [{}]", show(triple), rule.name());
                 premises[0].render_into(dict, indent + 1, out);
                 premises[1].render_into(dict, indent + 1, out);
@@ -153,14 +156,20 @@ fn explain_rec(
     let mut instances: Vec<(Rule, Triple, Triple)> = Vec::new();
     derivations_of(t, sat, vocab, |rule, p1, p2| instances.push((rule, p1, p2)));
     // Prefer instances whose premises are asserted: shallower trees first.
-    instances.sort_by_key(|(_, p1, p2)| {
-        (!base.contains(p1)) as u8 + (!base.contains(p2)) as u8
-    });
+    instances.sort_by_key(|(_, p1, p2)| (!base.contains(p1)) as u8 + (!base.contains(p2)) as u8);
     let mut found = None;
     for (rule, p1, p2) in instances {
-        let Some(e1) = explain_rec(&p1, base, sat, vocab, visiting) else { continue };
-        let Some(e2) = explain_rec(&p2, base, sat, vocab, visiting) else { continue };
-        found = Some(Explanation::Derived { triple: *t, rule, premises: Box::new([e1, e2]) });
+        let Some(e1) = explain_rec(&p1, base, sat, vocab, visiting) else {
+            continue;
+        };
+        let Some(e2) = explain_rec(&p2, base, sat, vocab, visiting) else {
+            continue;
+        };
+        found = Some(Explanation::Derived {
+            triple: *t,
+            rule,
+            premises: Box::new([e1, e2]),
+        });
         break;
     }
     visiting.remove(t);
@@ -182,7 +191,11 @@ mod tests {
         fn new() -> Self {
             let mut dict = Dictionary::new();
             let vocab = Vocab::intern(&mut dict);
-            Fx { dict, vocab, g: Graph::new() }
+            Fx {
+                dict,
+                vocab,
+                g: Graph::new(),
+            }
         }
         fn id(&mut self, n: &str) -> TermId {
             self.dict.encode_iri(&format!("http://ex/{n}"))
@@ -248,7 +261,10 @@ mod tests {
         // rendering shows rule applications over asserted leaves (the
         // search may pick any valid derivation, e.g. via the ext rules)
         let text = e.render(&f.dict);
-        assert!(text.contains("[rdfs2]") || text.contains("[rdfs9]"), "{text}");
+        assert!(
+            text.contains("[rdfs2]") || text.contains("[rdfs9]"),
+            "{text}"
+        );
         assert!(text.contains("[asserted]"));
     }
 
@@ -298,7 +314,10 @@ mod tests {
             let e = explain_in(&t, &f.g, &sat, &v)
                 .unwrap_or_else(|| panic!("no explanation for saturated triple {t}"));
             assert_eq!(e.triple(), t);
-            assert!(e.support().iter().all(|leaf| f.g.contains(leaf)), "leaves asserted");
+            assert!(
+                e.support().iter().all(|leaf| f.g.contains(leaf)),
+                "leaves asserted"
+            );
         }
     }
 }

@@ -24,11 +24,13 @@
 //! All three implement [`Maintainer`] and are property-tested equivalent
 //! to recomputation under random update streams.
 
+use crate::parallel::saturate_parallel;
 use crate::rules::{consequences_of, one_step_derivable};
 use crate::saturation::{derive_instance_consequences, saturate};
 use crate::schema::Schema;
 use rdf_model::{Graph, Triple, Vocab};
 use rustc_hash::{FxHashMap, FxHashSet};
+use std::num::NonZeroUsize;
 
 /// What kind of update a triple insertion/deletion was classified as.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,7 +66,12 @@ pub struct UpdateStats {
 
 impl UpdateStats {
     fn noop() -> Self {
-        UpdateStats { kind: UpdateKind::Noop, added: 0, removed: 0, work: 0 }
+        UpdateStats {
+            kind: UpdateKind::Noop,
+            added: 0,
+            removed: 0,
+            work: 0,
+        }
     }
 }
 
@@ -88,7 +95,12 @@ pub trait Maintainer {
     /// (default: one at a time). Bulk loads should prefer this. Reports
     /// [`UpdateKind::Noop`] when nothing in the batch changed the base.
     fn insert_batch(&mut self, triples: &[Triple]) -> UpdateStats {
-        let mut total = UpdateStats { kind: UpdateKind::Noop, added: 0, removed: 0, work: 0 };
+        let mut total = UpdateStats {
+            kind: UpdateKind::Noop,
+            added: 0,
+            removed: 0,
+            work: 0,
+        };
         for &t in triples {
             let s = self.insert(t);
             if s.kind != UpdateKind::Noop {
@@ -104,7 +116,12 @@ pub trait Maintainer {
     /// Deletes a batch (default: one at a time). Reports
     /// [`UpdateKind::Noop`] when nothing in the batch changed the base.
     fn delete_batch(&mut self, triples: &[Triple]) -> UpdateStats {
-        let mut total = UpdateStats { kind: UpdateKind::Noop, added: 0, removed: 0, work: 0 };
+        let mut total = UpdateStats {
+            kind: UpdateKind::Noop,
+            added: 0,
+            removed: 0,
+            work: 0,
+        };
         for t in triples {
             let s = self.delete(t);
             if s.kind != UpdateKind::Noop {
@@ -131,8 +148,11 @@ pub enum MaintenanceAlgorithm {
 
 impl MaintenanceAlgorithm {
     /// All algorithms, for sweeps.
-    pub const ALL: [MaintenanceAlgorithm; 3] =
-        [MaintenanceAlgorithm::Recompute, MaintenanceAlgorithm::DRed, MaintenanceAlgorithm::Counting];
+    pub const ALL: [MaintenanceAlgorithm; 3] = [
+        MaintenanceAlgorithm::Recompute,
+        MaintenanceAlgorithm::DRed,
+        MaintenanceAlgorithm::Counting,
+    ];
 
     /// Display name.
     pub fn name(self) -> &'static str {
@@ -145,8 +165,23 @@ impl MaintenanceAlgorithm {
 
     /// Builds a maintainer over `base` using this algorithm.
     pub fn build(self, base: Graph, vocab: Vocab) -> Box<dyn Maintainer + Send> {
+        self.build_with_threads(base, vocab, NonZeroUsize::MIN)
+    }
+
+    /// Like [`MaintenanceAlgorithm::build`], with a thread count for the
+    /// saturation passes. Only [`MaintenanceAlgorithm::Recompute`]
+    /// saturates from scratch, so only it uses the parallel engine; the
+    /// delta-based maintainers ignore the knob.
+    pub fn build_with_threads(
+        self,
+        base: Graph,
+        vocab: Vocab,
+        threads: NonZeroUsize,
+    ) -> Box<dyn Maintainer + Send> {
         match self {
-            MaintenanceAlgorithm::Recompute => Box::new(RecomputeMaintainer::new(base, vocab)),
+            MaintenanceAlgorithm::Recompute => {
+                Box::new(RecomputeMaintainer::new_with_threads(base, vocab, threads))
+            }
             MaintenanceAlgorithm::DRed => Box::new(DRedMaintainer::new(base, vocab)),
             MaintenanceAlgorithm::Counting => Box::new(CountingMaintainer::new(base, vocab)),
         }
@@ -189,27 +224,49 @@ fn seminaive_extend(sat: &mut Graph, mut frontier: Vec<Triple>, vocab: &Vocab) -
 // Recompute
 // ---------------------------------------------------------------------------
 
-/// The baseline maintainer: every update re-saturates the base graph.
+/// The baseline maintainer: every update re-saturates the base graph,
+/// using the sharded parallel engine when built with more than one thread.
 #[derive(Debug, Clone)]
 pub struct RecomputeMaintainer {
     vocab: Vocab,
     base: Graph,
     sat: Graph,
+    threads: NonZeroUsize,
 }
 
 impl RecomputeMaintainer {
-    /// Builds the maintainer and computes the initial saturation.
+    /// Builds the maintainer and computes the initial saturation
+    /// (single-threaded).
     pub fn new(base: Graph, vocab: Vocab) -> Self {
-        let sat = saturate(&base, &vocab).graph;
-        RecomputeMaintainer { vocab, base, sat }
+        Self::new_with_threads(base, vocab, NonZeroUsize::MIN)
+    }
+
+    /// Builds the maintainer, saturating with `threads` worker threads on
+    /// construction and on every recomputation.
+    pub fn new_with_threads(base: Graph, vocab: Vocab, threads: NonZeroUsize) -> Self {
+        let sat = Self::saturate_base(&base, &vocab, threads);
+        RecomputeMaintainer {
+            vocab,
+            base,
+            sat,
+            threads,
+        }
+    }
+
+    fn saturate_base(base: &Graph, vocab: &Vocab, threads: NonZeroUsize) -> Graph {
+        if threads.get() > 1 {
+            saturate_parallel(base, vocab, threads).graph
+        } else {
+            saturate(base, vocab).graph
+        }
     }
 
     fn recompute(&mut self, kind: UpdateKind) -> UpdateStats {
         let old_len = self.sat.len();
-        let result = saturate(&self.base, &self.vocab);
-        let work = result.graph.len();
-        let new_len = result.graph.len();
-        self.sat = result.graph;
+        let graph = Self::saturate_base(&self.base, &self.vocab, self.threads);
+        let work = graph.len();
+        let new_len = graph.len();
+        self.sat = graph;
         UpdateStats {
             kind,
             added: new_len.saturating_sub(old_len),
@@ -296,10 +353,20 @@ impl Maintainer for DRedMaintainer {
         let kind = classify(&t, &self.vocab, true);
         if !self.sat.insert(t) {
             // Already derived: saturation unchanged.
-            return UpdateStats { kind, added: 0, removed: 0, work: 0 };
+            return UpdateStats {
+                kind,
+                added: 0,
+                removed: 0,
+                work: 0,
+            };
         }
         let (added, work) = seminaive_extend(&mut self.sat, vec![t], &self.vocab);
-        UpdateStats { kind, added: added + 1, removed: 0, work }
+        UpdateStats {
+            kind,
+            added: added + 1,
+            removed: 0,
+            work,
+        }
     }
 
     fn delete(&mut self, t: &Triple) -> UpdateStats {
@@ -308,7 +375,12 @@ impl Maintainer for DRedMaintainer {
         }
         let kind = classify(t, &self.vocab, false);
         let (removed, work) = self.dred_delete(vec![*t]);
-        UpdateStats { kind, added: 0, removed, work }
+        UpdateStats {
+            kind,
+            added: 0,
+            removed,
+            work,
+        }
     }
 
     fn algorithm(&self) -> MaintenanceAlgorithm {
@@ -328,19 +400,32 @@ impl Maintainer for DRedMaintainer {
         }
         let n_seeds = seeds.len();
         let (added, work) = seminaive_extend(&mut self.sat, seeds, &self.vocab);
-        UpdateStats { kind: UpdateKind::Batch, added: added + n_seeds, removed: 0, work }
+        UpdateStats {
+            kind: UpdateKind::Batch,
+            added: added + n_seeds,
+            removed: 0,
+            work,
+        }
     }
 
     /// A batch deletion over-deletes and re-derives **once** for the whole
     /// batch, instead of paying the re-derivation per triple.
     fn delete_batch(&mut self, triples: &[Triple]) -> UpdateStats {
-        let removed: Vec<Triple> =
-            triples.iter().copied().filter(|t| self.base.remove(t)).collect();
+        let removed: Vec<Triple> = triples
+            .iter()
+            .copied()
+            .filter(|t| self.base.remove(t))
+            .collect();
         if removed.is_empty() {
             return UpdateStats::noop();
         }
         let (removed, work) = self.dred_delete(removed);
-        UpdateStats { kind: UpdateKind::Batch, added: 0, removed, work }
+        UpdateStats {
+            kind: UpdateKind::Batch,
+            added: 0,
+            removed,
+            work,
+        }
     }
 }
 
@@ -498,7 +583,12 @@ impl CountingMaintainer {
                 added += 1;
             }
         }
-        UpdateStats { kind: UpdateKind::InstanceInsert, added, removed: 0, work }
+        UpdateStats {
+            kind: UpdateKind::InstanceInsert,
+            added,
+            removed: 0,
+            work,
+        }
     }
 
     fn instance_delete(&mut self, t: &Triple) -> UpdateStats {
@@ -513,7 +603,12 @@ impl CountingMaintainer {
                 removed += 1;
             }
         }
-        UpdateStats { kind: UpdateKind::InstanceDelete, added: 0, removed, work }
+        UpdateStats {
+            kind: UpdateKind::InstanceDelete,
+            added: 0,
+            removed,
+            work,
+        }
     }
 
     /// Handles a schema triple insertion or deletion (the base graph has
@@ -539,7 +634,11 @@ impl CountingMaintainer {
             if self.vocab.is_schema_property(p) || p == self.vocab.rdf_type {
                 continue; // fragment: built-ins are not data properties
             }
-            affected.extend(self.base.pairs_with_property(p).map(|(s, o)| Triple::new(s, p, o)));
+            affected.extend(
+                self.base
+                    .pairs_with_property(p)
+                    .map(|(s, o)| Triple::new(s, p, o)),
+            );
         }
 
         for t in affected {
@@ -574,7 +673,12 @@ impl CountingMaintainer {
         }
         self.closed_schema = new_closed;
         self.schema = new_schema;
-        UpdateStats { kind, added, removed, work }
+        UpdateStats {
+            kind,
+            added,
+            removed,
+            work,
+        }
     }
 }
 
@@ -634,7 +738,11 @@ mod tests {
         fn new() -> Self {
             let mut dict = Dictionary::new();
             let vocab = Vocab::intern(&mut dict);
-            Fx { dict, vocab, g: Graph::new() }
+            Fx {
+                dict,
+                vocab,
+                g: Graph::new(),
+            }
         }
         fn id(&mut self, n: &str) -> TermId {
             self.dict.encode_iri(&format!("http://ex/{n}"))
@@ -710,6 +818,23 @@ mod tests {
     }
 
     #[test]
+    fn threaded_recompute_matches_single_threaded() {
+        let (f, extra) = university_base();
+        for threads in [2usize, 4] {
+            let threads = NonZeroUsize::new(threads).unwrap();
+            let mut par = RecomputeMaintainer::new_with_threads(f.g.clone(), f.vocab, threads);
+            let mut seq = RecomputeMaintainer::new(f.g.clone(), f.vocab);
+            assert_eq!(par.saturated(), seq.saturated());
+            for &t in &extra {
+                par.insert(t);
+                seq.insert(t);
+                assert_eq!(par.saturated(), seq.saturated(), "{threads} threads");
+                check_invariant(&par, &f.vocab);
+            }
+        }
+    }
+
+    #[test]
     fn duplicate_insert_and_missing_delete_are_noops() {
         let (f, _) = university_base();
         for algo in MaintenanceAlgorithm::ALL {
@@ -745,9 +870,17 @@ mod tests {
             let mut m = algo.build(f.g.clone(), f.vocab);
             assert!(m.saturated().contains(&derived));
             m.delete(&Triple::new(anne, hf, m1));
-            assert!(m.saturated().contains(&derived), "{:?}: alternative support", algo.name());
+            assert!(
+                m.saturated().contains(&derived),
+                "{:?}: alternative support",
+                algo.name()
+            );
             m.delete(&Triple::new(anne, knows, m2));
-            assert!(!m.saturated().contains(&derived), "{:?}: no support left", algo.name());
+            assert!(
+                !m.saturated().contains(&derived),
+                "{:?}: no support left",
+                algo.name()
+            );
             check_invariant(m.as_ref(), &f.vocab);
         }
     }
@@ -757,7 +890,12 @@ mod tests {
         // (anne type Person) both asserted and derived: deleting the
         // deriving fact must keep the assertion.
         let mut f = Fx::new();
-        let (hf, person, anne, marie) = (f.id("hasFriend"), f.id("Person"), f.id("Anne"), f.id("Marie"));
+        let (hf, person, anne, marie) = (
+            f.id("hasFriend"),
+            f.id("Person"),
+            f.id("Anne"),
+            f.id("Marie"),
+        );
         let v = f.vocab;
         f.add(hf, v.domain, person);
         f.add(anne, hf, marie);
@@ -765,7 +903,12 @@ mod tests {
         for algo in MaintenanceAlgorithm::ALL {
             let mut m = algo.build(f.g.clone(), f.vocab);
             m.delete(&Triple::new(anne, hf, marie));
-            assert!(m.saturated().contains(&Triple::new(anne, v.rdf_type, person)), "{}", algo.name());
+            assert!(
+                m.saturated()
+                    .contains(&Triple::new(anne, v.rdf_type, person)),
+                "{}",
+                algo.name()
+            );
             check_invariant(m.as_ref(), &f.vocab);
         }
     }
@@ -773,15 +916,27 @@ mod tests {
     #[test]
     fn schema_insert_types_existing_instances() {
         let mut f = Fx::new();
-        let (hf, person, anne, marie) = (f.id("hasFriend"), f.id("Person"), f.id("Anne"), f.id("Marie"));
+        let (hf, person, anne, marie) = (
+            f.id("hasFriend"),
+            f.id("Person"),
+            f.id("Anne"),
+            f.id("Marie"),
+        );
         let v = f.vocab;
         f.add(anne, hf, marie);
         for algo in MaintenanceAlgorithm::ALL {
             let mut m = algo.build(f.g.clone(), f.vocab);
-            assert!(!m.saturated().contains(&Triple::new(anne, v.rdf_type, person)));
+            assert!(!m
+                .saturated()
+                .contains(&Triple::new(anne, v.rdf_type, person)));
             let stats = m.insert(Triple::new(hf, v.domain, person));
             assert_eq!(stats.kind, UpdateKind::SchemaInsert);
-            assert!(m.saturated().contains(&Triple::new(anne, v.rdf_type, person)), "{}", algo.name());
+            assert!(
+                m.saturated()
+                    .contains(&Triple::new(anne, v.rdf_type, person)),
+                "{}",
+                algo.name()
+            );
             check_invariant(m.as_ref(), &f.vocab);
         }
     }
@@ -817,7 +972,11 @@ mod tests {
         for algo in MaintenanceAlgorithm::ALL {
             let mut m = algo.build(f.g.clone(), f.vocab);
             m.delete(&Triple::new(a, v.sub_class_of, c));
-            assert!(m.saturated().contains(&Triple::new(a, v.sub_class_of, c)), "{}", algo.name());
+            assert!(
+                m.saturated().contains(&Triple::new(a, v.sub_class_of, c)),
+                "{}",
+                algo.name()
+            );
             check_invariant(m.as_ref(), &f.vocab);
         }
     }
@@ -836,7 +995,11 @@ mod tests {
             m.delete(&Triple::new(b, v.sub_class_of, a));
             check_invariant(m.as_ref(), &f.vocab);
             m.delete(&Triple::new(a, v.sub_class_of, b));
-            assert!(!m.saturated().contains(&Triple::new(x, v.rdf_type, b)), "{}", algo.name());
+            assert!(
+                !m.saturated().contains(&Triple::new(x, v.rdf_type, b)),
+                "{}",
+                algo.name()
+            );
             check_invariant(m.as_ref(), &f.vocab);
         }
     }
@@ -893,8 +1056,12 @@ mod tests {
             let stats = batch.insert_batch(&extra);
             assert_eq!(stats.kind, UpdateKind::Batch, "{}", algo.name());
             assert!(stats.added > 0);
-            let victims: Vec<Triple> =
-                base_triples.iter().step_by(2).chain(extra.iter()).copied().collect();
+            let victims: Vec<Triple> = base_triples
+                .iter()
+                .step_by(2)
+                .chain(extra.iter())
+                .copied()
+                .collect();
             let stats = batch.delete_batch(&victims);
             assert!(stats.removed > 0, "{}", algo.name());
 
@@ -916,12 +1083,25 @@ mod tests {
         let (f, _) = university_base();
         for algo in MaintenanceAlgorithm::ALL {
             let mut m = algo.build(f.g.clone(), f.vocab);
-            assert_eq!(m.insert_batch(&[]).kind, UpdateKind::Noop, "{}", algo.name());
+            assert_eq!(
+                m.insert_batch(&[]).kind,
+                UpdateKind::Noop,
+                "{}",
+                algo.name()
+            );
             let existing: Vec<Triple> = f.g.iter().take(3).collect();
-            assert_eq!(m.insert_batch(&existing).kind, UpdateKind::Noop, "all duplicates");
-            let absent =
-                vec![Triple::new(existing[0].s, existing[0].p, existing[0].s)];
-            assert_eq!(m.delete_batch(&absent).kind, UpdateKind::Noop, "{}", algo.name());
+            assert_eq!(
+                m.insert_batch(&existing).kind,
+                UpdateKind::Noop,
+                "all duplicates"
+            );
+            let absent = vec![Triple::new(existing[0].s, existing[0].p, existing[0].s)];
+            assert_eq!(
+                m.delete_batch(&absent).kind,
+                UpdateKind::Noop,
+                "{}",
+                algo.name()
+            );
             check_invariant(m.as_ref(), &f.vocab);
         }
     }

@@ -8,91 +8,117 @@
 //! The schema-closure-specialised saturation of [`crate::saturate`] is
 //! embarrassingly parallel in its instance pass: once the (small) schema
 //! is closed, each base triple's consequence set is independent. The
-//! parallel engine therefore:
+//! parallel engine is a two-phase pipeline over the sharded graph of
+//! `rdf_model`:
 //!
-//! 1. extracts and closes the schema (serial — the schema is tiny);
-//! 2. partitions the base instance triples across worker threads, each
-//!    deriving consequences into a thread-local buffer against the shared
-//!    read-only closed schema;
-//! 3. merges the buffers into the output graph (serial — insertion into
-//!    the shared indexes is the contended step a lock-free store would
-//!    parallelise further; the split lets the benchmark report the
-//!    derive/merge ratio).
+//! 1. **derive** — extract and close the schema (serial — the schema is
+//!    tiny), then partition the base instance triples across worker
+//!    threads; each worker routes the base triples plus its
+//!    locally-deduplicated consequences into per-shard
+//!    [`TripleBuckets`] *at emit time*, against the shared read-only
+//!    closed schema;
+//! 2. **merge** — [`Graph::merge_buckets`] folds every (index, shard)
+//!    bucket group into the output concurrently, one task per shard per
+//!    index. Write targets are disjoint, so the merge runs without locks
+//!    or cross-shard contention — this replaces the serial
+//!    one-triple-at-a-time insertion loop that previously bounded
+//!    scalability (Amdahl) regardless of derive-phase parallelism.
+//!
+//! No up-front clone of the input graph is taken: the output graph is
+//! built shard-by-shard from the routed buckets (base triples ride along
+//! in them).
 
 use crate::saturation::{derive_instance_consequences, SaturationResult, SaturationStats};
 use crate::schema::Schema;
-use rdf_model::{Graph, Triple, Vocab};
+use rdf_model::{Graph, Triple, TripleBuckets, Vocab};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::num::NonZeroUsize;
 use std::time::Instant;
 
-/// Computes `G∞` with `threads` worker threads for the derive phase.
+/// Computes `G∞` with `threads` worker threads for both phases.
 ///
 /// Produces exactly the same graph as [`crate::saturate`] (asserted by the
-/// test suite). Each worker deduplicates its derivations locally before the
-/// serial merge. `stats.rule_firings` records, besides the derivation
-/// counts (`"parallel-derived"`, `"parallel-new"`), the wall-clock of the
-/// two phases in microseconds (`"derive-us"`, `"merge-us"`) — the
-/// derive/merge split is the Amdahl bound a lock-free index (the paper's
-/// ref. \[29\]) would attack, and the A-PAR experiment reports it.
+/// test suite); the output graph is sharded `threads.next_power_of_two()`
+/// ways. `stats.rule_firings` records, besides the derivation counts
+/// (`"parallel-derived"`, `"parallel-new"`), the wall-clock of the two
+/// phases in microseconds (`"derive-us"`, `"merge-us"`) — the A-PAR
+/// experiment reports this split per thread count.
 pub fn saturate_parallel(g: &Graph, vocab: &Vocab, threads: NonZeroUsize) -> SaturationResult {
     let threads = threads.get();
     let schema = Schema::extract(g, vocab);
+    let shard_count = threads.next_power_of_two();
+    let mut out = Graph::with_shard_count(shard_count);
 
-    let mut out = g.clone();
-    for t in schema.closed_triples(vocab) {
-        out.insert(t);
-    }
-
-    // Partition the base triples across workers; each deduplicates locally.
+    // Phase 1 — derive. Workers route base triples and their consequences
+    // into per-shard buckets at emit time; each deduplicates derivations
+    // locally so bucket traffic stays proportional to distinct
+    // consequences per worker.
     let derive_start = Instant::now();
     let base: Vec<Triple> = g.iter().collect();
-    let chunk = base.len().div_ceil(threads.max(1)).max(1);
-    let buffers: Vec<FxHashSet<Triple>> = std::thread::scope(|scope| {
+    let chunk = base.len().div_ceil(threads).max(1);
+    let worker_out: Vec<(TripleBuckets, u64)> = std::thread::scope(|scope| {
         let schema = &schema;
         let handles: Vec<_> = base
             .chunks(chunk)
             .map(|part| {
                 scope.spawn(move || {
-                    let mut local = FxHashSet::with_capacity_and_hasher(
-                        part.len() * 2,
-                        Default::default(),
-                    );
+                    let mut bucket = TripleBuckets::new(shard_count);
+                    let mut local =
+                        FxHashSet::with_capacity_and_hasher(part.len() * 2, Default::default());
                     for t in part {
+                        bucket.push(*t);
                         derive_instance_consequences(t, vocab, schema, |_, c| {
-                            local.insert(c);
+                            if local.insert(c) {
+                                bucket.push(c);
+                            }
                         });
                     }
-                    local
+                    (bucket, local.len() as u64)
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
     });
-    let derive_us = derive_start.elapsed().as_micros() as u64;
-
-    let merge_start = Instant::now();
+    let mut buckets: Vec<TripleBuckets> = Vec::with_capacity(worker_out.len() + 1);
     let mut derived_raw = 0u64;
-    let mut inferred = 0u64;
-    for buffer in buffers {
-        derived_raw += buffer.len() as u64;
-        for c in buffer {
-            if out.insert(c) {
-                inferred += 1;
+    for (bucket, raw) in worker_out {
+        derived_raw += raw;
+        buckets.push(bucket);
+    }
+    // The closed schema is part of G∞. It is tiny, so the main thread
+    // routes it, counting its contribution for the stats split below.
+    let mut schema_bucket = TripleBuckets::new(shard_count);
+    let mut schema_seen: FxHashSet<Triple> = FxHashSet::default();
+    let mut schema_new = 0usize;
+    for t in schema.closed_triples(vocab) {
+        if schema_seen.insert(t) {
+            schema_bucket.push(t);
+            if !g.contains(&t) {
+                schema_new += 1;
             }
         }
     }
+    buckets.push(schema_bucket);
+    let derive_us = derive_start.elapsed().as_micros() as u64;
+
+    // Phase 2 — merge. One task per (index, shard), all concurrent.
+    let merge_start = Instant::now();
+    out.merge_buckets(buckets, threads);
     let merge_us = merge_start.elapsed().as_micros() as u64;
 
+    let inferred = out.len() - g.len();
     let mut rule_firings: FxHashMap<&'static str, u64> = FxHashMap::default();
     rule_firings.insert("parallel-derived", derived_raw);
-    rule_firings.insert("parallel-new", inferred);
+    rule_firings.insert("parallel-new", (inferred - schema_new) as u64);
     rule_firings.insert("derive-us", derive_us);
     rule_firings.insert("merge-us", merge_us);
     let stats = SaturationStats {
         input_triples: g.len(),
         output_triples: out.len(),
-        inferred: out.len() - g.len(),
+        inferred,
         passes: 1,
         rule_firings,
     };
@@ -138,6 +164,15 @@ mod tests {
             let par = saturate_parallel(&g, &vocab, NonZeroUsize::new(threads).unwrap());
             assert_eq!(par.graph, sequential.graph, "{threads} threads");
             assert_eq!(par.stats.inferred, sequential.stats.inferred);
+        }
+    }
+
+    #[test]
+    fn output_is_sharded_by_thread_count() {
+        let (g, vocab) = fixture();
+        for (threads, shards) in [(1usize, 1usize), (2, 2), (3, 4), (4, 4), (8, 8)] {
+            let par = saturate_parallel(&g, &vocab, NonZeroUsize::new(threads).unwrap());
+            assert_eq!(par.graph.shard_count(), shards, "{threads} threads");
         }
     }
 

@@ -155,7 +155,10 @@ pub fn one_step_derivable_plus(d: &Triple, g: &Graph, vocab: &Vocab, owl: &OwlVo
     // transitive?
     if g.contains(&Triple::new(d.p, vocab.rdf_type, owl.transitive_property)) {
         if let Some(mids) = g.objects(d.s, d.p) {
-            if mids.iter().any(|&m| m != d.o && g.contains(&Triple::new(m, d.p, d.o))) {
+            if mids
+                .iter()
+                .any(|&m| m != d.o && g.contains(&Triple::new(m, d.p, d.o)))
+            {
                 return true;
             }
         }
@@ -225,7 +228,12 @@ impl PlusMaintainer {
     /// Builds the maintainer, computing the initial RDFS-Plus saturation.
     pub fn new(base: Graph, vocab: Vocab, owl: OwlVocab) -> Self {
         let sat = saturate_plus(&base, &vocab, &owl).graph;
-        PlusMaintainer { vocab, owl, base, sat }
+        PlusMaintainer {
+            vocab,
+            owl,
+            base,
+            sat,
+        }
     }
 
     fn classify(&self, t: &Triple, insert: bool) -> UpdateKind {
@@ -252,19 +260,39 @@ impl Maintainer for PlusMaintainer {
 
     fn insert(&mut self, t: Triple) -> UpdateStats {
         if !self.base.insert(t) {
-            return UpdateStats { kind: UpdateKind::Noop, added: 0, removed: 0, work: 0 };
+            return UpdateStats {
+                kind: UpdateKind::Noop,
+                added: 0,
+                removed: 0,
+                work: 0,
+            };
         }
         let kind = self.classify(&t, true);
         if !self.sat.insert(t) {
-            return UpdateStats { kind, added: 0, removed: 0, work: 0 };
+            return UpdateStats {
+                kind,
+                added: 0,
+                removed: 0,
+                work: 0,
+            };
         }
         let (added, work, _) = seminaive_plus(&mut self.sat, vec![t], &self.vocab, &self.owl);
-        UpdateStats { kind, added: added + 1, removed: 0, work }
+        UpdateStats {
+            kind,
+            added: added + 1,
+            removed: 0,
+            work,
+        }
     }
 
     fn delete(&mut self, t: &Triple) -> UpdateStats {
         if !self.base.remove(t) {
-            return UpdateStats { kind: UpdateKind::Noop, added: 0, removed: 0, work: 0 };
+            return UpdateStats {
+                kind: UpdateKind::Noop,
+                added: 0,
+                removed: 0,
+                work: 0,
+            };
         }
         let kind = self.classify(t, false);
         let mut work = 0;
@@ -299,7 +327,12 @@ impl Maintainer for PlusMaintainer {
         work += w2;
 
         let removed = over.iter().filter(|d| !self.sat.contains(d)).count();
-        UpdateStats { kind, added: 0, removed, work }
+        UpdateStats {
+            kind,
+            added: 0,
+            removed,
+            work,
+        }
     }
 
     fn algorithm(&self) -> MaintenanceAlgorithm {
@@ -323,7 +356,12 @@ mod tests {
             let mut dict = Dictionary::new();
             let vocab = Vocab::intern(&mut dict);
             let owl = OwlVocab::intern(&mut dict);
-            Fx { dict, vocab, owl, g: Graph::new() }
+            Fx {
+                dict,
+                vocab,
+                owl,
+                g: Graph::new(),
+            }
         }
         fn id(&mut self, n: &str) -> TermId {
             self.dict.encode_iri(&format!("http://ex/{n}"))
@@ -339,17 +377,30 @@ mod tests {
     #[test]
     fn inverse_of_flips_edges_both_ways() {
         let mut f = Fx::new();
-        let (has_child, has_parent, ann, bob) =
-            (f.id("hasChild"), f.id("hasParent"), f.id("ann"), f.id("bob"));
+        let (has_child, has_parent, ann, bob) = (
+            f.id("hasChild"),
+            f.id("hasParent"),
+            f.id("ann"),
+            f.id("bob"),
+        );
         let owl = f.owl;
         f.add(has_child, owl.inverse_of, has_parent);
         f.add(ann, has_child, bob);
         let carol = f.id("carol");
         f.add(carol, has_parent, ann);
         let sat = f.sat();
-        assert!(sat.contains(&Triple::new(bob, has_parent, ann)), "forward inverse");
-        assert!(sat.contains(&Triple::new(ann, has_child, carol)), "backward inverse");
-        assert!(sat.contains(&Triple::new(has_parent, owl.inverse_of, has_child)), "symmetry of inverseOf");
+        assert!(
+            sat.contains(&Triple::new(bob, has_parent, ann)),
+            "forward inverse"
+        );
+        assert!(
+            sat.contains(&Triple::new(ann, has_child, carol)),
+            "backward inverse"
+        );
+        assert!(
+            sat.contains(&Triple::new(has_parent, owl.inverse_of, has_child)),
+            "symmetry of inverseOf"
+        );
     }
 
     #[test]
@@ -376,10 +427,9 @@ mod tests {
         let sat = f.sat();
         // full transitive closure of the chain: 5+4+3+2+1 = 15 edges
         let mut count = 0;
-        sat.for_each_match(
-            &rdf_model::Pattern::new(None, Some(part_of), None),
-            |_| count += 1,
-        );
+        sat.for_each_match(&rdf_model::Pattern::new(None, Some(part_of), None), |_| {
+            count += 1
+        });
         assert_eq!(count, 15);
         assert!(sat.contains(&Triple::new(nodes[0], part_of, nodes[5])));
     }
@@ -388,30 +438,46 @@ mod tests {
     fn owl_composes_with_rdfs() {
         // inverse edge feeds rdfs2 domain typing.
         let mut f = Fx::new();
-        let (employs, works_for, person, acme, ann) =
-            (f.id("employs"), f.id("worksFor"), f.id("Person"), f.id("acme"), f.id("ann"));
+        let (employs, works_for, person, acme, ann) = (
+            f.id("employs"),
+            f.id("worksFor"),
+            f.id("Person"),
+            f.id("acme"),
+            f.id("ann"),
+        );
         let (v, owl) = (f.vocab, f.owl);
         f.add(employs, owl.inverse_of, works_for);
         f.add(works_for, v.domain, person);
         f.add(acme, employs, ann);
         let sat = f.sat();
         assert!(sat.contains(&Triple::new(ann, works_for, acme)));
-        assert!(sat.contains(&Triple::new(ann, v.rdf_type, person)), "inverse then domain");
+        assert!(
+            sat.contains(&Triple::new(ann, v.rdf_type, person)),
+            "inverse then domain"
+        );
     }
 
     #[test]
     fn transitive_plus_subproperty() {
         // ancestor is transitive; parent ⊑ ancestor.
         let mut f = Fx::new();
-        let (parent, ancestor, a, b, c) =
-            (f.id("parent"), f.id("ancestor"), f.id("a"), f.id("b"), f.id("c"));
+        let (parent, ancestor, a, b, c) = (
+            f.id("parent"),
+            f.id("ancestor"),
+            f.id("a"),
+            f.id("b"),
+            f.id("c"),
+        );
         let (v, owl) = (f.vocab, f.owl);
         f.add(parent, v.sub_property_of, ancestor);
         f.add(ancestor, v.rdf_type, owl.transitive_property);
         f.add(a, parent, b);
         f.add(b, parent, c);
         let sat = f.sat();
-        assert!(sat.contains(&Triple::new(a, ancestor, c)), "lift then chain");
+        assert!(
+            sat.contains(&Triple::new(a, ancestor, c)),
+            "lift then chain"
+        );
     }
 
     #[test]
@@ -478,7 +544,8 @@ mod tests {
                         .prop_map(|(s, p, o, i)| Op::Edge(s, p, o, i)),
                     (0u8..3, proptest::bool::ANY).prop_map(|(p, i)| Op::MarkTransitive(p, i)),
                     (0u8..3, proptest::bool::ANY).prop_map(|(p, i)| Op::MarkSymmetric(p, i)),
-                    (0u8..3, 0u8..3, proptest::bool::ANY).prop_map(|(p, q, i)| Op::Inverse(p, q, i)),
+                    (0u8..3, 0u8..3, proptest::bool::ANY)
+                        .prop_map(|(p, q, i)| Op::Inverse(p, q, i)),
                 ],
                 0..25,
             )

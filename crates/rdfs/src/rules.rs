@@ -81,12 +81,18 @@ impl Rule {
         match self {
             Rule::Rdfs2 => "p rdfs:domain c ∧ s p o ⊢ s rdf:type c",
             Rule::Rdfs3 => "p rdfs:range c ∧ s p o ⊢ o rdf:type c",
-            Rule::Rdfs5 => "p1 rdfs:subPropertyOf p2 ∧ p2 rdfs:subPropertyOf p3 ⊢ p1 rdfs:subPropertyOf p3",
+            Rule::Rdfs5 => {
+                "p1 rdfs:subPropertyOf p2 ∧ p2 rdfs:subPropertyOf p3 ⊢ p1 rdfs:subPropertyOf p3"
+            }
             Rule::Rdfs7 => "p1 rdfs:subPropertyOf p2 ∧ s p1 o ⊢ s p2 o",
             Rule::Rdfs9 => "c1 rdfs:subClassOf c2 ∧ s rdf:type c1 ⊢ s rdf:type c2",
             Rule::Rdfs11 => "c1 rdfs:subClassOf c2 ∧ c2 rdfs:subClassOf c3 ⊢ c1 rdfs:subClassOf c3",
-            Rule::ExtDomainSubProperty => "p rdfs:subPropertyOf p' ∧ p' rdfs:domain c ⊢ p rdfs:domain c",
-            Rule::ExtRangeSubProperty => "p rdfs:subPropertyOf p' ∧ p' rdfs:range c ⊢ p rdfs:range c",
+            Rule::ExtDomainSubProperty => {
+                "p rdfs:subPropertyOf p' ∧ p' rdfs:domain c ⊢ p rdfs:domain c"
+            }
+            Rule::ExtRangeSubProperty => {
+                "p rdfs:subPropertyOf p' ∧ p' rdfs:range c ⊢ p rdfs:range c"
+            }
             Rule::ExtDomainSubClass => "p rdfs:domain c ∧ c rdfs:subClassOf c' ⊢ p rdfs:domain c'",
             Rule::ExtRangeSubClass => "p rdfs:range c ∧ c rdfs:subClassOf c' ⊢ p rdfs:range c'",
         }
@@ -249,7 +255,10 @@ pub fn one_step_derivable(d: &Triple, g: &Graph, vocab: &Vocab) -> bool {
         }
         // rdfs9: (c1 sc c) ∧ (s type c1)
         if let Some(c1s) = g.subjects_with(v.sub_class_of, d.o) {
-            if c1s.iter().any(|&c1| g.contains(&Triple::new(d.s, v.rdf_type, c1))) {
+            if c1s
+                .iter()
+                .any(|&c1| g.contains(&Triple::new(d.s, v.rdf_type, c1)))
+            {
                 return true;
             }
         }
@@ -257,36 +266,41 @@ pub fn one_step_derivable(d: &Triple, g: &Graph, vocab: &Vocab) -> bool {
     } else if d.p == v.sub_class_of {
         // rdfs11: (s sc m) ∧ (m sc o)
         g.objects(d.s, v.sub_class_of).is_some_and(|mids| {
-            mids.iter().any(|&m| g.contains(&Triple::new(m, v.sub_class_of, d.o)))
+            mids.iter()
+                .any(|&m| g.contains(&Triple::new(m, v.sub_class_of, d.o)))
         })
     } else if d.p == v.sub_property_of {
         // rdfs5
         g.objects(d.s, v.sub_property_of).is_some_and(|mids| {
-            mids.iter().any(|&m| g.contains(&Triple::new(m, v.sub_property_of, d.o)))
+            mids.iter()
+                .any(|&m| g.contains(&Triple::new(m, v.sub_property_of, d.o)))
         })
     } else if d.p == v.domain {
         // ext-dom-sp: (s sp p') ∧ (p' domain o)
         let via_sp = g.objects(d.s, v.sub_property_of).is_some_and(|ps| {
-            ps.iter().any(|&p2| g.contains(&Triple::new(p2, v.domain, d.o)))
+            ps.iter()
+                .any(|&p2| g.contains(&Triple::new(p2, v.domain, d.o)))
         });
         // ext-dom-sc: (s domain c0) ∧ (c0 sc o)
         let via_sc = g.objects(d.s, v.domain).is_some_and(|cs| {
-            cs.iter().any(|&c0| g.contains(&Triple::new(c0, v.sub_class_of, d.o)))
+            cs.iter()
+                .any(|&c0| g.contains(&Triple::new(c0, v.sub_class_of, d.o)))
         });
         via_sp || via_sc
     } else if d.p == v.range {
         let via_sp = g.objects(d.s, v.sub_property_of).is_some_and(|ps| {
-            ps.iter().any(|&p2| g.contains(&Triple::new(p2, v.range, d.o)))
+            ps.iter()
+                .any(|&p2| g.contains(&Triple::new(p2, v.range, d.o)))
         });
         let via_sc = g.objects(d.s, v.range).is_some_and(|cs| {
-            cs.iter().any(|&c0| g.contains(&Triple::new(c0, v.sub_class_of, d.o)))
+            cs.iter()
+                .any(|&c0| g.contains(&Triple::new(c0, v.sub_class_of, d.o)))
         });
         via_sp || via_sc
     } else {
         // rdfs7: (p1 sp p) ∧ (s p1 o)
-        g.subjects_with(v.sub_property_of, d.p).is_some_and(|p1s| {
-            p1s.iter().any(|&p1| g.contains(&Triple::new(d.s, p1, d.o)))
-        })
+        g.subjects_with(v.sub_property_of, d.p)
+            .is_some_and(|p1s| p1s.iter().any(|&p1| g.contains(&Triple::new(d.s, p1, d.o))))
     }
 }
 
@@ -308,7 +322,11 @@ pub fn derivations_of(
             for &p in ps {
                 if let Some(os) = g.objects(d.s, p) {
                     for &o in os {
-                        emit(Rule::Rdfs2, Triple::new(p, v.domain, d.o), Triple::new(d.s, p, o));
+                        emit(
+                            Rule::Rdfs2,
+                            Triple::new(p, v.domain, d.o),
+                            Triple::new(d.s, p, o),
+                        );
                     }
                 }
             }
@@ -318,7 +336,11 @@ pub fn derivations_of(
             for &p in ps {
                 if let Some(ss) = g.subjects_with(p, d.s) {
                     for &s in ss {
-                        emit(Rule::Rdfs3, Triple::new(p, v.range, d.o), Triple::new(s, p, d.s));
+                        emit(
+                            Rule::Rdfs3,
+                            Triple::new(p, v.range, d.o),
+                            Triple::new(s, p, d.s),
+                        );
                     }
                 }
             }
@@ -381,7 +403,11 @@ pub fn derivations_of(
         if let Some(cs) = g.objects(d.s, d.p) {
             for &c0 in cs {
                 if g.contains(&Triple::new(c0, v.sub_class_of, d.o)) {
-                    emit(sc_rule, Triple::new(d.s, d.p, c0), Triple::new(c0, v.sub_class_of, d.o));
+                    emit(
+                        sc_rule,
+                        Triple::new(d.s, d.p, c0),
+                        Triple::new(c0, v.sub_class_of, d.o),
+                    );
                 }
             }
         }
@@ -416,7 +442,11 @@ mod tests {
         fn new() -> Self {
             let mut dict = Dictionary::new();
             let vocab = Vocab::intern(&mut dict);
-            Fx { dict, vocab, g: Graph::new() }
+            Fx {
+                dict,
+                vocab,
+                g: Graph::new(),
+            }
         }
         fn id(&mut self, n: &str) -> TermId {
             self.dict.encode_iri(&format!("http://ex/{n}"))
@@ -439,21 +469,35 @@ mod tests {
     fn rdfs2_both_premise_positions() {
         // hasFriend rdfs:domain Person ∧ Anne hasFriend Marie ⊢ Anne type Person
         let mut f = Fx::new();
-        let (hf, person, anne, marie) =
-            (f.id("hasFriend"), f.id("Person"), f.id("Anne"), f.id("Marie"));
+        let (hf, person, anne, marie) = (
+            f.id("hasFriend"),
+            f.id("Person"),
+            f.id("Anne"),
+            f.id("Marie"),
+        );
         let v = f.vocab;
         let schema = f.add(hf, v.domain, person);
         let fact = f.add(anne, hf, marie);
         let want = Triple::new(anne, v.rdf_type, person);
-        assert!(f.consequences(&schema).contains(&(Rule::Rdfs2, want)), "via schema premise");
-        assert!(f.consequences(&fact).contains(&(Rule::Rdfs2, want)), "via instance premise");
+        assert!(
+            f.consequences(&schema).contains(&(Rule::Rdfs2, want)),
+            "via schema premise"
+        );
+        assert!(
+            f.consequences(&fact).contains(&(Rule::Rdfs2, want)),
+            "via instance premise"
+        );
     }
 
     #[test]
     fn rdfs3_both_premise_positions() {
         let mut f = Fx::new();
-        let (hf, person, anne, marie) =
-            (f.id("hasFriend"), f.id("Person"), f.id("Anne"), f.id("Marie"));
+        let (hf, person, anne, marie) = (
+            f.id("hasFriend"),
+            f.id("Person"),
+            f.id("Anne"),
+            f.id("Marie"),
+        );
         let v = f.vocab;
         let schema = f.add(hf, v.range, person);
         let fact = f.add(anne, hf, marie);
@@ -465,7 +509,12 @@ mod tests {
     #[test]
     fn rdfs7_both_premise_positions() {
         let mut f = Fx::new();
-        let (hf, knows, anne, marie) = (f.id("hasFriend"), f.id("knows"), f.id("Anne"), f.id("Marie"));
+        let (hf, knows, anne, marie) = (
+            f.id("hasFriend"),
+            f.id("knows"),
+            f.id("Anne"),
+            f.id("Marie"),
+        );
         let v = f.vocab;
         let schema = f.add(hf, v.sub_property_of, knows);
         let fact = f.add(anne, hf, marie);
@@ -518,15 +567,31 @@ mod tests {
         let rng = f.add(q, v.range, c);
 
         // p inherits q's domain / range
-        assert!(f.consequences(&sp).contains(&(Rule::ExtDomainSubProperty, Triple::new(p, v.domain, c))));
-        assert!(f.consequences(&dom).contains(&(Rule::ExtDomainSubProperty, Triple::new(p, v.domain, c))));
-        assert!(f.consequences(&sp).contains(&(Rule::ExtRangeSubProperty, Triple::new(p, v.range, c))));
-        assert!(f.consequences(&rng).contains(&(Rule::ExtRangeSubProperty, Triple::new(p, v.range, c))));
+        assert!(f
+            .consequences(&sp)
+            .contains(&(Rule::ExtDomainSubProperty, Triple::new(p, v.domain, c))));
+        assert!(f
+            .consequences(&dom)
+            .contains(&(Rule::ExtDomainSubProperty, Triple::new(p, v.domain, c))));
+        assert!(f
+            .consequences(&sp)
+            .contains(&(Rule::ExtRangeSubProperty, Triple::new(p, v.range, c))));
+        assert!(f
+            .consequences(&rng)
+            .contains(&(Rule::ExtRangeSubProperty, Triple::new(p, v.range, c))));
         // domain/range lift through subclass
-        assert!(f.consequences(&dom).contains(&(Rule::ExtDomainSubClass, Triple::new(q, v.domain, d))));
-        assert!(f.consequences(&sc).contains(&(Rule::ExtDomainSubClass, Triple::new(q, v.domain, d))));
-        assert!(f.consequences(&rng).contains(&(Rule::ExtRangeSubClass, Triple::new(q, v.range, d))));
-        assert!(f.consequences(&sc).contains(&(Rule::ExtRangeSubClass, Triple::new(q, v.range, d))));
+        assert!(f
+            .consequences(&dom)
+            .contains(&(Rule::ExtDomainSubClass, Triple::new(q, v.domain, d))));
+        assert!(f
+            .consequences(&sc)
+            .contains(&(Rule::ExtDomainSubClass, Triple::new(q, v.domain, d))));
+        assert!(f
+            .consequences(&rng)
+            .contains(&(Rule::ExtRangeSubClass, Triple::new(q, v.range, d))));
+        assert!(f
+            .consequences(&sc)
+            .contains(&(Rule::ExtRangeSubClass, Triple::new(q, v.range, d))));
     }
 
     #[test]
@@ -534,7 +599,10 @@ mod tests {
         let mut f = Fx::new();
         let (a, p, b) = (f.id("a"), f.id("p"), f.id("b"));
         let fact = f.add(a, p, b);
-        assert!(f.consequences(&fact).is_empty(), "no schema, no consequences");
+        assert!(
+            f.consequences(&fact).is_empty(),
+            "no schema, no consequences"
+        );
     }
 
     #[test]

@@ -73,15 +73,17 @@ pub fn saturate_with_schema(g: &Graph, vocab: &Vocab, schema: &Schema) -> Satura
         firings.insert("schema-closure", schema_new);
     }
 
-    // 2. Single pass over the *base* instance triples.
-    let mut buf: Vec<(&'static str, Triple)> = Vec::new();
+    // 2. Single pass over the *base* instance triples. Consequences are
+    // deduplicated inline against `out` (a clone of `g`, so iteration over
+    // `g` is unaffected) instead of buffering every raw emission in an
+    // unbounded Vec; emission order is unchanged, so per-rule firing
+    // counts are identical to the buffered formulation.
     for t in g.iter() {
-        derive_instance_consequences(&t, vocab, schema, |rule, c| buf.push((rule, c)));
-    }
-    for (rule, c) in buf {
-        if out.insert(c) {
-            *firings.entry(rule).or_insert(0) += 1;
-        }
+        derive_instance_consequences(&t, vocab, schema, |rule, c| {
+            if out.insert(c) {
+                *firings.entry(rule).or_insert(0) += 1;
+            }
+        });
     }
 
     let stats = SaturationStats {
@@ -141,19 +143,26 @@ pub(crate) fn derive_instance_consequences(
 /// `rdf:type`, `rdfs:Class`, … which are themselves resources/properties).
 /// These rules inflate the output heavily — that is the point: the
 /// fragment choice is a *performance* choice — so they are opt-in.
+///
+/// The fix-point is **frontier-driven**: every structural rule depends on
+/// a single triple (or a single class occurrence), so each pass only needs
+/// to examine the triples added by the previous pass, never a fresh
+/// snapshot of the whole graph. Classes are tracked in a seen-set so their
+/// per-class triples are emitted once. The test suite asserts this
+/// computes exactly the same closure as the snapshot-per-pass formulation.
 pub fn saturate_full(g: &Graph, vocab: &Vocab) -> SaturationResult {
     let base = saturate(g, vocab);
     let mut out = base.graph;
     let mut structural = 0u64;
     let mut passes = base.stats.passes;
 
-    loop {
+    let mut frontier: Vec<Triple> = out.iter().collect();
+    let mut classes_seen: rustc_hash::FxHashSet<rdf_model::TermId> =
+        rustc_hash::FxHashSet::default();
+    while !frontier.is_empty() {
         passes += 1;
-        let snapshot: Vec<Triple> = out.iter().collect();
         let mut pending: Vec<Triple> = Vec::new();
-        let mut classes: rustc_hash::FxHashSet<rdf_model::TermId> =
-            rustc_hash::FxHashSet::default();
-        for t in &snapshot {
+        for t in &frontier {
             // rdf1
             pending.push(Triple::new(t.p, vocab.rdf_type, vocab.rdf_property));
             // rdfs6 (reflexive subproperty for used properties)
@@ -161,31 +170,32 @@ pub fn saturate_full(g: &Graph, vocab: &Vocab) -> SaturationResult {
             // rdfs4a/4b
             pending.push(Triple::new(t.s, vocab.rdf_type, vocab.rdfs_resource));
             pending.push(Triple::new(t.o, vocab.rdf_type, vocab.rdfs_resource));
-            // class positions
+            // class positions — each class's triples are emitted the first
+            // time it is seen in class position (inserts are idempotent,
+            // so once is enough)
+            let mut class = |c: rdf_model::TermId, pending: &mut Vec<Triple>| {
+                if classes_seen.insert(c) {
+                    pending.push(Triple::new(c, vocab.rdf_type, vocab.rdfs_class));
+                    // rdfs10 (reflexive subclass for known classes)
+                    pending.push(Triple::new(c, vocab.sub_class_of, c));
+                    pending.push(Triple::new(c, vocab.sub_class_of, vocab.rdfs_resource));
+                }
+            };
             if t.p == vocab.rdf_type {
-                classes.insert(t.o);
+                class(t.o, &mut pending);
             } else if t.p == vocab.sub_class_of {
-                classes.insert(t.s);
-                classes.insert(t.o);
+                class(t.s, &mut pending);
+                class(t.o, &mut pending);
             } else if t.p == vocab.domain || t.p == vocab.range {
-                classes.insert(t.o);
+                class(t.o, &mut pending);
             }
         }
-        for c in classes {
-            pending.push(Triple::new(c, vocab.rdf_type, vocab.rdfs_class));
-            // rdfs10 (reflexive subclass for known classes)
-            pending.push(Triple::new(c, vocab.sub_class_of, c));
-            pending.push(Triple::new(c, vocab.sub_class_of, vocab.rdfs_resource));
-        }
-        let mut added = 0u64;
+        frontier.clear();
         for t in pending {
             if out.insert(t) {
-                added += 1;
+                structural += 1;
+                frontier.push(t);
             }
-        }
-        structural += added;
-        if added == 0 {
-            break;
         }
     }
 
@@ -250,7 +260,11 @@ mod tests {
         fn new() -> Self {
             let mut dict = Dictionary::new();
             let vocab = Vocab::intern(&mut dict);
-            Fx { dict, vocab, g: Graph::new() }
+            Fx {
+                dict,
+                vocab,
+                g: Graph::new(),
+            }
         }
         fn id(&mut self, n: &str) -> TermId {
             self.dict.encode_iri(&format!("http://ex/{n}"))
@@ -264,8 +278,12 @@ mod tests {
     #[test]
     fn paper_domain_example() {
         let mut f = Fx::new();
-        let (hf, person, anne, marie) =
-            (f.id("hasFriend"), f.id("Person"), f.id("Anne"), f.id("Marie"));
+        let (hf, person, anne, marie) = (
+            f.id("hasFriend"),
+            f.id("Person"),
+            f.id("Anne"),
+            f.id("Marie"),
+        );
         let v = f.vocab;
         f.add(hf, v.domain, person);
         f.add(anne, hf, marie);
@@ -332,7 +350,10 @@ mod tests {
         let naive = saturate_naive(&f.g, &v);
         assert_eq!(fast.graph, naive.graph);
         assert_eq!(fast.stats.inferred, naive.stats.inferred);
-        assert!(naive.stats.passes > 1, "fixture exercises multi-pass fix-point");
+        assert!(
+            naive.stats.passes > 1,
+            "fixture exercises multi-pass fix-point"
+        );
     }
 
     #[test]
@@ -393,13 +414,101 @@ mod tests {
         let naive = saturate_naive(&f.g, &v);
         assert_eq!(fast.graph, naive.graph);
         assert!(fast.graph.contains(&Triple::new(x, v.rdf_type, b)));
-        assert!(fast.graph.contains(&Triple::new(a, v.sub_class_of, a)), "cycle self-edges");
+        assert!(
+            fast.graph.contains(&Triple::new(a, v.sub_class_of, a)),
+            "cycle self-edges"
+        );
+        // The parallel engine handles schema cycles identically.
+        for threads in [2usize, 4] {
+            let par = crate::parallel::saturate_parallel(
+                &f.g,
+                &v,
+                std::num::NonZeroUsize::new(threads).unwrap(),
+            );
+            assert_eq!(par.graph, naive.graph, "{threads} threads");
+        }
+    }
+
+    /// Reference implementation of the structural fix-point that
+    /// re-snapshots the whole graph on every pass — the formulation
+    /// [`saturate_full`]'s frontier-driven loop replaced. Kept here so the
+    /// tests can assert the two closures are identical.
+    fn saturate_full_snapshot(g: &Graph, vocab: &Vocab) -> Graph {
+        let mut out = saturate(g, vocab).graph;
+        loop {
+            let snapshot: Vec<Triple> = out.iter().collect();
+            let mut pending: Vec<Triple> = Vec::new();
+            let mut classes: rustc_hash::FxHashSet<TermId> = rustc_hash::FxHashSet::default();
+            for t in &snapshot {
+                pending.push(Triple::new(t.p, vocab.rdf_type, vocab.rdf_property));
+                pending.push(Triple::new(t.p, vocab.sub_property_of, t.p));
+                pending.push(Triple::new(t.s, vocab.rdf_type, vocab.rdfs_resource));
+                pending.push(Triple::new(t.o, vocab.rdf_type, vocab.rdfs_resource));
+                if t.p == vocab.rdf_type {
+                    classes.insert(t.o);
+                } else if t.p == vocab.sub_class_of {
+                    classes.insert(t.s);
+                    classes.insert(t.o);
+                } else if t.p == vocab.domain || t.p == vocab.range {
+                    classes.insert(t.o);
+                }
+            }
+            for c in classes {
+                pending.push(Triple::new(c, vocab.rdf_type, vocab.rdfs_class));
+                pending.push(Triple::new(c, vocab.sub_class_of, c));
+                pending.push(Triple::new(c, vocab.sub_class_of, vocab.rdfs_resource));
+            }
+            let mut added = 0u64;
+            for t in pending {
+                if out.insert(t) {
+                    added += 1;
+                }
+            }
+            if added == 0 {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_full_saturation_matches_snapshot_reference() {
+        let mut f = Fx::new();
+        let (cat, mammal, tom, likes, ada, p) = (
+            f.id("Cat"),
+            f.id("Mammal"),
+            f.id("tom"),
+            f.id("likes"),
+            f.id("ada"),
+            f.id("p"),
+        );
+        let v = f.vocab;
+        f.add(cat, v.sub_class_of, mammal);
+        f.add(tom, v.rdf_type, cat);
+        f.add(tom, likes, ada);
+        f.add(p, v.domain, cat);
+        f.add(ada, p, tom);
+        assert_eq!(
+            saturate_full(&f.g, &v).graph,
+            saturate_full_snapshot(&f.g, &v)
+        );
+        // Empty graph too.
+        assert_eq!(
+            saturate_full(&Graph::new(), &v).graph,
+            saturate_full_snapshot(&Graph::new(), &v)
+        );
     }
 
     #[test]
     fn stats_rule_firings_cover_figure2_rules() {
         let mut f = Fx::new();
-        let (p, q, c, d, x, y) = (f.id("p"), f.id("q"), f.id("C"), f.id("D"), f.id("x"), f.id("y"));
+        let (p, q, c, d, x, y) = (
+            f.id("p"),
+            f.id("q"),
+            f.id("C"),
+            f.id("D"),
+            f.id("x"),
+            f.id("y"),
+        );
         let v = f.vocab;
         f.add(p, v.sub_property_of, q);
         f.add(q, v.domain, c);
@@ -421,8 +530,13 @@ mod tests {
     #[test]
     fn full_rdfs_adds_structural_triples_and_terminates() {
         let mut f = Fx::new();
-        let (cat, mammal, tom, likes, ada) =
-            (f.id("Cat"), f.id("Mammal"), f.id("tom"), f.id("likes"), f.id("ada"));
+        let (cat, mammal, tom, likes, ada) = (
+            f.id("Cat"),
+            f.id("Mammal"),
+            f.id("tom"),
+            f.id("likes"),
+            f.id("ada"),
+        );
         let v = f.vocab;
         f.add(cat, v.sub_class_of, mammal);
         f.add(tom, v.rdf_type, cat);
@@ -430,18 +544,33 @@ mod tests {
 
         let full = saturate_full(&f.g, &v);
         let fragment = saturate(&f.g, &v);
-        assert!(fragment.graph.is_subgraph_of(&full.graph), "full ⊇ fragment");
+        assert!(
+            fragment.graph.is_subgraph_of(&full.graph),
+            "full ⊇ fragment"
+        );
         // rdf1: likes is a Property
-        assert!(full.graph.contains(&Triple::new(likes, v.rdf_type, v.rdf_property)));
+        assert!(full
+            .graph
+            .contains(&Triple::new(likes, v.rdf_type, v.rdf_property)));
         // rdfs4: tom and ada are Resources
-        assert!(full.graph.contains(&Triple::new(tom, v.rdf_type, v.rdfs_resource)));
-        assert!(full.graph.contains(&Triple::new(ada, v.rdf_type, v.rdfs_resource)));
+        assert!(full
+            .graph
+            .contains(&Triple::new(tom, v.rdf_type, v.rdfs_resource)));
+        assert!(full
+            .graph
+            .contains(&Triple::new(ada, v.rdf_type, v.rdfs_resource)));
         // class machinery
-        assert!(full.graph.contains(&Triple::new(cat, v.rdf_type, v.rdfs_class)));
+        assert!(full
+            .graph
+            .contains(&Triple::new(cat, v.rdf_type, v.rdfs_class)));
         assert!(full.graph.contains(&Triple::new(cat, v.sub_class_of, cat)));
-        assert!(full.graph.contains(&Triple::new(cat, v.sub_class_of, v.rdfs_resource)));
+        assert!(full
+            .graph
+            .contains(&Triple::new(cat, v.sub_class_of, v.rdfs_resource)));
         // meta-closure reached a fix-point: rdf:type itself is a Property
-        assert!(full.graph.contains(&Triple::new(v.rdf_type, v.rdf_type, v.rdf_property)));
+        assert!(full
+            .graph
+            .contains(&Triple::new(v.rdf_type, v.rdf_type, v.rdf_property)));
         // and the blow-up is substantially larger than the fragment's
         assert!(full.graph.len() > fragment.graph.len() + 10);
         // idempotent
@@ -468,19 +597,25 @@ mod tests {
         use proptest::prelude::*;
 
         /// (subclass, subproperty, domain, range, facts, typings) pairs.
-        type GraphParts =
-            (Vec<(u8, u8)>, Vec<(u8, u8)>, Vec<(u8, u8)>, Vec<(u8, u8)>, Vec<(u8, u8, u8)>, Vec<(u8, u8)>);
+        type GraphParts = (
+            Vec<(u8, u8)>,
+            Vec<(u8, u8)>,
+            Vec<(u8, u8)>,
+            Vec<(u8, u8)>,
+            Vec<(u8, u8, u8)>,
+            Vec<(u8, u8)>,
+        );
 
         /// Random graphs within the database fragment: schema triples over a
         /// small class/property universe plus instance triples.
         fn arb_graph() -> impl Strategy<Value = GraphParts> {
             (
-                proptest::collection::vec((0u8..6, 0u8..6), 0..8),   // subclass pairs
-                proptest::collection::vec((0u8..5, 0u8..5), 0..6),   // subproperty pairs
-                proptest::collection::vec((0u8..5, 0u8..6), 0..5),   // domain pairs
-                proptest::collection::vec((0u8..5, 0u8..6), 0..5),   // range pairs
+                proptest::collection::vec((0u8..6, 0u8..6), 0..8), // subclass pairs
+                proptest::collection::vec((0u8..5, 0u8..5), 0..6), // subproperty pairs
+                proptest::collection::vec((0u8..5, 0u8..6), 0..5), // domain pairs
+                proptest::collection::vec((0u8..5, 0u8..6), 0..5), // range pairs
                 proptest::collection::vec((0u8..8, 0u8..5, 0u8..8), 0..20), // s p o
-                proptest::collection::vec((0u8..8, 0u8..6), 0..10),  // typing
+                proptest::collection::vec((0u8..8, 0u8..6), 0..10), // typing
             )
         }
 
@@ -519,14 +654,37 @@ mod tests {
         }
 
         proptest! {
-            /// The specialised single-pass engine computes exactly the naive
-            /// fix-point, on arbitrary fragment graphs (incl. cyclic schemas).
+            /// The specialised single-pass engine — and the sharded
+            /// parallel engine at 2 and 4 threads — compute exactly the
+            /// naive fix-point, on arbitrary fragment graphs (the
+            /// generator covers cyclic schemas, since subclass/subproperty
+            /// pairs are drawn freely, and the empty graph, since every
+            /// part may be empty).
             #[test]
             fn specialised_equals_naive(parts in arb_graph()) {
                 let (g, vocab) = build(&parts);
                 let fast = saturate(&g, &vocab);
                 let naive = saturate_naive(&g, &vocab);
                 prop_assert_eq!(&fast.graph, &naive.graph);
+                for threads in [2usize, 4] {
+                    let par = crate::parallel::saturate_parallel(
+                        &g,
+                        &vocab,
+                        std::num::NonZeroUsize::new(threads).unwrap(),
+                    );
+                    prop_assert_eq!(&par.graph, &naive.graph, "{} threads", threads);
+                }
+            }
+
+            /// Frontier-driven full-RDFS saturation equals the
+            /// snapshot-per-pass reference on arbitrary fragment graphs.
+            #[test]
+            fn frontier_full_equals_snapshot_full(parts in arb_graph()) {
+                let (g, vocab) = build(&parts);
+                prop_assert_eq!(
+                    saturate_full(&g, &vocab).graph,
+                    super::saturate_full_snapshot(&g, &vocab)
+                );
             }
 
             /// Saturation is monotone: G ⊆ H implies G∞ ⊆ H∞.

@@ -175,8 +175,16 @@ impl Schema {
             }
             out
         };
-        self.domains = lift(&self.direct_domain, &self.super_properties, &self.super_classes);
-        self.ranges = lift(&self.direct_range, &self.super_properties, &self.super_classes);
+        self.domains = lift(
+            &self.direct_domain,
+            &self.super_properties,
+            &self.super_classes,
+        );
+        self.ranges = lift(
+            &self.direct_range,
+            &self.super_properties,
+            &self.super_classes,
+        );
 
         self.sub_classes = invert(&self.super_classes);
         self.sub_properties = invert(&self.super_properties);
@@ -255,7 +263,10 @@ impl Schema {
     /// Number of closed constraints.
     pub fn closed_len(&self) -> usize {
         let count = |m: &IdSetMap| m.values().map(FxHashSet::len).sum::<usize>();
-        count(&self.super_classes) + count(&self.super_properties) + count(&self.domains) + count(&self.ranges)
+        count(&self.super_classes)
+            + count(&self.super_properties)
+            + count(&self.domains)
+            + count(&self.ranges)
     }
 
     /// All classes mentioned in a constraint (as sub/superclass or
@@ -266,7 +277,11 @@ impl Schema {
             out.insert(*k);
             out.extend(vs.iter().copied());
         }
-        for vs in self.direct_domain.values().chain(self.direct_range.values()) {
+        for vs in self
+            .direct_domain
+            .values()
+            .chain(self.direct_range.values())
+        {
             out.extend(vs.iter().copied());
         }
         out
@@ -361,7 +376,10 @@ mod tests {
         let s = university(&mut f);
         let (student, person, agent) = (f.id("Student"), f.id("Person"), f.id("Agent"));
         assert!(s.super_classes(student).contains(&person));
-        assert!(s.super_classes(student).contains(&agent), "transitivity (rdfs11)");
+        assert!(
+            s.super_classes(student).contains(&agent),
+            "transitivity (rdfs11)"
+        );
         assert!(!s.super_classes(student).contains(&student), "strict");
         assert!(s.sub_classes(agent).contains(&student));
         assert!(s.sub_classes(agent).contains(&person));
@@ -378,9 +396,15 @@ mod tests {
         assert!(s.sub_properties(member).contains(&enrolled));
         // enrolled inherits memberOf's domain/range, lifted through subclass.
         assert!(s.domains(enrolled).contains(&person));
-        assert!(s.domains(enrolled).contains(&agent), "domain lifted to superclass");
+        assert!(
+            s.domains(enrolled).contains(&agent),
+            "domain lifted to superclass"
+        );
         assert!(s.ranges(enrolled).contains(&org));
-        assert!(s.ranges(enrolled).contains(&agent), "range lifted to superclass");
+        assert!(
+            s.ranges(enrolled).contains(&agent),
+            "range lifted to superclass"
+        );
     }
 
     #[test]
@@ -399,7 +423,8 @@ mod tests {
     fn extract_from_graph_equals_from_constraints() {
         let mut f = Fixture::new();
         let want = university(&mut f);
-        let (student, person, agent, org) = (f.id("Student"), f.id("Person"), f.id("Agent"), f.id("Org"));
+        let (student, person, agent, org) =
+            (f.id("Student"), f.id("Person"), f.id("Agent"), f.id("Org"));
         let (enrolled, member) = (f.id("enrolled"), f.id("memberOf"));
         let v = f.vocab;
         let mut g = Graph::new();
@@ -428,7 +453,10 @@ mod tests {
         let s = Schema::from_constraints(&[(a, b), (b, a), (b, c)], &[], &[], &[]);
         // A and B are mutually subclasses; both reach C and themselves.
         assert!(s.super_classes(a).contains(&b));
-        assert!(s.super_classes(a).contains(&a), "cycle entails self-superclass via rdfs11");
+        assert!(
+            s.super_classes(a).contains(&a),
+            "cycle entails self-superclass via rdfs11"
+        );
         assert!(s.super_classes(b).contains(&a));
         assert!(s.super_classes(a).contains(&c));
         assert!(s.sub_classes(c).contains(&a));

@@ -29,7 +29,10 @@ struct Mapping {
 
 impl Mapping {
     fn get(&self, v: Variable) -> Option<QTerm> {
-        self.pairs.iter().find(|(from, _)| *from == v).map(|(_, to)| *to)
+        self.pairs
+            .iter()
+            .find(|(from, _)| *from == v)
+            .map(|(_, to)| *to)
     }
 
     /// Tries to extend the mapping with `v ↦ target`; returns whether it
@@ -37,7 +40,11 @@ impl Mapping {
     fn bind(&mut self, v: Variable, target: QTerm, fixed: &FxHashSet<Variable>) -> Option<bool> {
         if fixed.contains(&v) {
             // Answer variables must map to themselves.
-            return if target == QTerm::Var(v) { Some(false) } else { None };
+            return if target == QTerm::Var(v) {
+                Some(false)
+            } else {
+                None
+            };
         }
         match self.get(v) {
             Some(existing) => (existing == target).then_some(false),
@@ -136,10 +143,18 @@ pub fn minimize(bgp: &Bgp, fixed: &FxHashSet<Variable>) -> Bgp {
             }
             let mut candidate = atoms.clone();
             candidate.remove(i);
-            let candidate = Bgp { patterns: candidate };
+            let candidate = Bgp {
+                patterns: candidate,
+            };
             // candidate ⊆ full always (fewer atoms). full ⊆ candidate iff
             // hom full → candidate. Then they are equivalent.
-            if homomorphism(&Bgp { patterns: atoms.clone() }, &candidate, fixed) {
+            if homomorphism(
+                &Bgp {
+                    patterns: atoms.clone(),
+                },
+                &candidate,
+                fixed,
+            ) {
                 atoms = candidate.patterns;
                 changed = true;
                 break;
@@ -183,7 +198,9 @@ mod tests {
 
     impl Fx {
         fn new() -> Self {
-            Fx { dict: Dictionary::new() }
+            Fx {
+                dict: Dictionary::new(),
+            }
         }
         fn c(&mut self, n: &str) -> QTerm {
             QTerm::Const(self.dict.encode_iri(&format!("http://ex/{n}")))
@@ -215,7 +232,10 @@ mod tests {
         let general = Bgp::new(vec![TriplePattern::new(v(0), p, v(1))]);
         let specific = Bgp::new(vec![TriplePattern::new(v(0), p, a)]);
         assert!(homomorphism(&general, &specific, &fixed(&[0])));
-        assert!(!homomorphism(&specific, &general, &fixed(&[0])), "constants don't generalise");
+        assert!(
+            !homomorphism(&specific, &general, &fixed(&[0])),
+            "constants don't generalise"
+        );
     }
 
     #[test]
@@ -310,7 +330,10 @@ mod tests {
         let loop_q = Bgp::new(vec![TriplePattern::new(v(0), p, v(0))]);
         let edge_q = Bgp::new(vec![TriplePattern::new(v(0), p, v(1))]);
         assert!(homomorphism(&edge_q, &loop_q, &fixed(&[0])));
-        assert!(!homomorphism(&loop_q, &edge_q, &fixed(&[0])), "loop is stricter");
+        assert!(
+            !homomorphism(&loop_q, &edge_q, &fixed(&[0])),
+            "loop is stricter"
+        );
     }
 
     // The TermId import is used by Fx through Dictionary.

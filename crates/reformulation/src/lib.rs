@@ -91,13 +91,19 @@ impl fmt::Display for ReformulationError {
                 write!(f, "cannot reformulate a pattern with a variable property")
             }
             ReformulationError::VariableClass => {
-                write!(f, "cannot reformulate an rdf:type pattern with a variable class")
+                write!(
+                    f,
+                    "cannot reformulate an rdf:type pattern with a variable class"
+                )
             }
             ReformulationError::SchemaProperty(p) => {
                 write!(f, "cannot reformulate a pattern over schema property {p}")
             }
             ReformulationError::Negation => {
-                write!(f, "cannot reformulate FILTER NOT EXISTS; use a saturation strategy")
+                write!(
+                    f,
+                    "cannot reformulate FILTER NOT EXISTS; use a saturation strategy"
+                )
             }
         }
     }
@@ -135,14 +141,20 @@ pub struct Options {
 impl Default for Options {
     /// Both optimisations on — what [`reformulate`] uses.
     fn default() -> Self {
-        Options { minimize: true, prune_subsumed: true }
+        Options {
+            minimize: true,
+            prune_subsumed: true,
+        }
     }
 }
 
 impl Options {
     /// The raw rewriting, no optimisation (the ablation baseline).
     pub fn raw() -> Self {
-        Options { minimize: false, prune_subsumed: false }
+        Options {
+            minimize: false,
+            prune_subsumed: false,
+        }
     }
 }
 
@@ -234,14 +246,13 @@ impl Rewriter<'_> {
         };
         match tp.p {
             QTerm::Const(p) if p == self.vocab.rdf_type => {
-                let Some(class) = tp.o.as_const() else { return 0 };
+                let Some(class) = tp.o.as_const() else {
+                    return 0;
+                };
                 // rdfs9 backwards: subclasses
                 for &sub in self.schema.sub_classes(class) {
                     steps += 1;
-                    replace(
-                        TriplePattern::new(tp.s, tp.p, QTerm::Const(sub)),
-                        &mut emit,
-                    );
+                    replace(TriplePattern::new(tp.s, tp.p, QTerm::Const(sub)), &mut emit);
                 }
                 // rdfs2 backwards: properties whose domain is `class`
                 for &p in self.schema.properties_with_domain(class) {
@@ -266,10 +277,7 @@ impl Rewriter<'_> {
                 // rdfs7 backwards: subproperties
                 for &sub in self.schema.sub_properties(p) {
                     steps += 1;
-                    replace(
-                        TriplePattern::new(tp.s, QTerm::Const(sub), tp.o),
-                        &mut emit,
-                    );
+                    replace(TriplePattern::new(tp.s, QTerm::Const(sub), tp.o), &mut emit);
                 }
             }
             QTerm::Var(_) => {}
@@ -381,14 +389,19 @@ pub fn reformulate_with(
         modifiers: q.modifiers.clone(),
         aggregate: q.aggregate.clone(),
     };
-    Ok(Reformulation { query, branches, rewrite_steps, pruned_branches })
+    Ok(Reformulation {
+        query,
+        branches,
+        rewrite_steps,
+        pruned_branches,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rdf_model::{Dictionary, Graph};
     use rdf_io::parse_turtle;
+    use rdf_model::{Dictionary, Graph};
     use rdfs::saturate;
     use sparql::{evaluate, parse_query};
 
@@ -495,7 +508,10 @@ mod tests {
             &mut f,
             "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Person }",
         );
-        assert_eq!(r.branches, 5, "Person ∪ Employee ∪ Professor ∪ ∃worksFor ∪ ∃teaches");
+        assert_eq!(
+            r.branches, 5,
+            "Person ∪ Employee ∪ Professor ∪ ∃worksFor ∪ ∃teaches"
+        );
         let r = assert_contract(
             &mut f,
             "PREFIX ex: <http://ex/> SELECT ?y WHERE { ?y a ex:Org }",
@@ -552,7 +568,10 @@ mod tests {
     #[test]
     fn no_schema_means_identity() {
         let mut f = setup("@prefix ex: <http://ex/> .\nex:a ex:p ex:b .");
-        let r = assert_contract(&mut f, "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ?y }");
+        let r = assert_contract(
+            &mut f,
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ?y }",
+        );
         assert_eq!(r.branches, 1);
         assert_eq!(r.rewrite_steps, 0);
     }
@@ -579,7 +598,10 @@ mod tests {
             ex:y a ex:B .
         "#,
         );
-        let r = assert_contract(&mut f, "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:B }");
+        let r = assert_contract(
+            &mut f,
+            "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s a ex:B }",
+        );
         assert_eq!(r.branches, 2, "B ∪ A");
     }
 
@@ -616,7 +638,10 @@ mod tests {
         .unwrap();
         let schema = Schema::extract(&f.g, &f.vocab);
         let r = reformulate(&q, &schema, &f.vocab).unwrap();
-        assert!(r.query.var_names.len() > q.var_names.len(), "fresh vars added");
+        assert!(
+            r.query.var_names.len() > q.var_names.len(),
+            "fresh vars added"
+        );
         assert_eq!(r.query.projection, q.projection, "projection unchanged");
         assert!(r.query.distinct, "answer-set semantics");
         // serialises and parses back
@@ -663,15 +688,17 @@ mod tests {
                 proptest::collection::vec((0u8..6, 0u8..5), 0..8),
                 proptest::collection::vec((0u8..3, 0u8..5, 0u8..3, proptest::bool::ANY), 1..4),
             )
-                .prop_map(|(sub_class, sub_prop, domain, range, facts, types, query_atoms)| Case {
-                    sub_class,
-                    sub_prop,
-                    domain,
-                    range,
-                    facts,
-                    types,
-                    query_atoms,
-                })
+                .prop_map(
+                    |(sub_class, sub_prop, domain, range, facts, types, query_atoms)| Case {
+                        sub_class,
+                        sub_prop,
+                        domain,
+                        range,
+                        facts,
+                        types,
+                        query_atoms,
+                    },
+                )
         }
 
         proptest! {

@@ -66,7 +66,10 @@ impl TriplePattern {
 
     /// The variables of this pattern, in s/p/o order, possibly repeated.
     pub fn variables(&self) -> SmallVec<[Variable; 3]> {
-        [self.s, self.p, self.o].iter().filter_map(|t| t.as_var()).collect()
+        [self.s, self.p, self.o]
+            .iter()
+            .filter_map(|t| t.as_var())
+            .collect()
     }
 }
 
@@ -286,9 +289,9 @@ impl Query {
         let term = |t: QTerm| -> String {
             match t {
                 QTerm::Var(v) => format!("?{}", self.var_name(v)),
-                QTerm::Const(id) => {
-                    dict.decode(id).map_or_else(|| format!("{id}"), |tm| tm.to_string())
-                }
+                QTerm::Const(id) => dict
+                    .decode(id)
+                    .map_or_else(|| format!("{id}"), |tm| tm.to_string()),
             }
         };
         let bgp_text = |bgp: &Bgp| -> String {
@@ -310,8 +313,11 @@ impl Query {
             }
             None if self.projection.is_empty() => out.push('*'),
             None => {
-                let names: Vec<String> =
-                    self.projection.iter().map(|&v| format!("?{}", self.var_name(v))).collect();
+                let names: Vec<String> = self
+                    .projection
+                    .iter()
+                    .map(|&v| format!("?{}", self.var_name(v)))
+                    .collect();
                 out.push_str(&names.join(" "));
             }
         }
@@ -320,7 +326,12 @@ impl Query {
             .filters
             .iter()
             .map(|f| {
-                format!(" FILTER (?{} {} {})", self.var_name(f.left), f.op.token(), term(f.right))
+                format!(
+                    " FILTER (?{} {} {})",
+                    self.var_name(f.left),
+                    f.op.token(),
+                    term(f.right)
+                )
             })
             .collect();
         for neg in &self.not_exists {
@@ -435,6 +446,8 @@ mod tests {
     #[test]
     fn select_star_renders() {
         let q = Query::conjunctive(vec!["x".into()], vec![], false, Bgp::default());
-        assert!(q.to_sparql(&Dictionary::new()).starts_with("SELECT * WHERE"));
+        assert!(q
+            .to_sparql(&Dictionary::new())
+            .starts_with("SELECT * WHERE"));
     }
 }

@@ -146,7 +146,11 @@ fn exists_rec(
     let Some(tp) = patterns.get(depth) else {
         return true;
     };
-    let probe = Pattern::new(resolve(tp.s, binding), resolve(tp.p, binding), resolve(tp.o, binding));
+    let probe = Pattern::new(
+        resolve(tp.s, binding),
+        resolve(tp.p, binding),
+        resolve(tp.o, binding),
+    );
     // Collect then test: early exit without aborting the index callback.
     let mut matches: Vec<Triple> = Vec::new();
     g.for_each_match(&probe, |t| matches.push(t));
@@ -186,7 +190,9 @@ pub fn bgp_has_match(g: &Graph, bgp: &Bgp, binding: &[Option<TermId>]) -> bool {
 /// Applies the query's `NOT EXISTS` groups to a candidate binding.
 #[inline]
 fn passes_negation(g: &Graph, q: &Query, binding: &[Option<TermId>]) -> bool {
-    q.not_exists.iter().all(|neg| !bgp_has_match(g, neg, binding))
+    q.not_exists
+        .iter()
+        .all(|neg| !bgp_has_match(g, neg, binding))
 }
 
 /// Evaluates a single BGP with an explicit plan, emitting every complete
@@ -242,7 +248,11 @@ pub fn evaluate(g: &Graph, q: &Query) -> Solutions {
             }
         });
     }
-    let var_names = q.projection.iter().map(|&v| q.var_name(v).to_owned()).collect();
+    let var_names = q
+        .projection
+        .iter()
+        .map(|&v| q.var_name(v).to_owned())
+        .collect();
     Solutions { var_names, rows }
 }
 
@@ -278,7 +288,10 @@ pub fn finalize(mut sols: Solutions, q: &Query, dict: &mut Dictionary) -> Soluti
         // Filter variables are projected (parser restriction), so resolve
         // each side to a row column or a constant.
         let column = |v: Variable| -> usize {
-            q.projection.iter().position(|&p| p == v).expect("parser: filter vars projected")
+            q.projection
+                .iter()
+                .position(|&p| p == v)
+                .expect("parser: filter vars projected")
         };
         let checks: Vec<(usize, crate::ast::CompareOp, Result<usize, TermId>)> = q
             .filters
@@ -312,9 +325,19 @@ pub fn finalize(mut sols: Solutions, q: &Query, dict: &mut Dictionary) -> Soluti
         });
     }
     if let Some(Aggregate::Count { distinct, alias }) = &q.aggregate {
-        let n = if *distinct { sols.as_set().len() } else { sols.len() };
-        let id = dict.encode(&Term::Literal(Literal::typed(n.to_string(), vocab::XSD_INTEGER)));
-        return Solutions { var_names: vec![alias.clone()], rows: vec![vec![id]] };
+        let n = if *distinct {
+            sols.as_set().len()
+        } else {
+            sols.len()
+        };
+        let id = dict.encode(&Term::Literal(Literal::typed(
+            n.to_string(),
+            vocab::XSD_INTEGER,
+        )));
+        return Solutions {
+            var_names: vec![alias.clone()],
+            rows: vec![vec![id]],
+        };
     }
     if q.modifiers.is_empty() {
         return sols;
@@ -386,7 +409,10 @@ mod tests {
 
     #[test]
     fn single_pattern() {
-        let s = setup(DATA, "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:hasFriend ex:marie }");
+        let s = setup(
+            DATA,
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:hasFriend ex:marie }",
+        );
         assert_eq!(s.len(), 1);
     }
 
@@ -410,20 +436,29 @@ mod tests {
 
     #[test]
     fn variable_in_property_position() {
-        let s = setup(DATA, "PREFIX ex: <http://ex/> SELECT ?p WHERE { ex:bob ?p ex:anne }");
+        let s = setup(
+            DATA,
+            "PREFIX ex: <http://ex/> SELECT ?p WHERE { ex:bob ?p ex:anne }",
+        );
         assert_eq!(s.len(), 1);
     }
 
     #[test]
     fn literal_object() {
-        let s = setup(DATA, "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:age 31 }");
+        let s = setup(
+            DATA,
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:age 31 }",
+        );
         assert_eq!(s.len(), 1);
     }
 
     #[test]
     fn repeated_variable_self_join() {
         // ?x ex:hasFriend ?x — nobody is their own friend in DATA.
-        let s = setup(DATA, "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:hasFriend ?x }");
+        let s = setup(
+            DATA,
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:hasFriend ?x }",
+        );
         assert!(s.is_empty());
         // add a self-loop and check it is found
         let s = setup(
@@ -435,7 +470,10 @@ mod tests {
 
     #[test]
     fn no_match_returns_empty() {
-        let s = setup(DATA, "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:nonexistent ?y }");
+        let s = setup(
+            DATA,
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:nonexistent ?y }",
+        );
         assert!(s.is_empty());
     }
 
@@ -452,7 +490,11 @@ mod tests {
     fn union_bag_and_set_semantics() {
         let q = "PREFIX ex: <http://ex/> SELECT ?x WHERE { { ?x ex:hasFriend ?y } UNION { ?x a ex:Person } }";
         let bag = setup(DATA, q);
-        assert_eq!(bag.len(), 5, "3 friendship subjects + 2 typed, duplicates kept");
+        assert_eq!(
+            bag.len(),
+            5,
+            "3 friendship subjects + 2 typed, duplicates kept"
+        );
         let set = setup(DATA, &q.replace("SELECT", "SELECT DISTINCT"));
         assert_eq!(set.len(), 3, "anne, marie, paul");
     }
@@ -621,7 +663,10 @@ mod tests {
         let plan = crate::plan::plan_textual(&q.bgps[0]);
         evaluate_bgp_with_plan(&g, &q.bgps[0], &plan, q.var_names.len(), |b| {
             rows.insert(
-                q.projection.iter().map(|v| b[v.index()].unwrap()).collect::<Vec<_>>(),
+                q.projection
+                    .iter()
+                    .map(|v| b[v.index()].unwrap())
+                    .collect::<Vec<_>>(),
             );
         });
         assert_eq!(planned, rows, "join order must not change the answers");
@@ -645,46 +690,101 @@ mod tests {
 
     #[test]
     fn order_by_numeric_not_lexicographic() {
-        let (s, d) = finalized(AGES, "PREFIX ex: <http://ex/> SELECT ?x ?a WHERE { ?x ex:age ?a } ORDER BY ?a");
+        let (s, d) = finalized(
+            AGES,
+            "PREFIX ex: <http://ex/> SELECT ?x ?a WHERE { ?x ex:age ?a } ORDER BY ?a",
+        );
         let ages: Vec<String> = s
             .rows
             .iter()
-            .map(|r| d.decode(r[1]).unwrap().as_literal().unwrap().lexical().to_owned())
+            .map(|r| {
+                d.decode(r[1])
+                    .unwrap()
+                    .as_literal()
+                    .unwrap()
+                    .lexical()
+                    .to_owned()
+            })
             .collect();
         assert_eq!(ages, vec!["9", "31", "120"], "numeric, not string, order");
     }
 
     #[test]
     fn order_by_desc_and_iri_keys() {
-        let (s, d) = finalized(AGES, "PREFIX ex: <http://ex/> SELECT ?x ?a WHERE { ?x ex:age ?a } ORDER BY DESC(?x)");
-        let names: Vec<&str> =
-            s.rows.iter().map(|r| d.decode(r[0]).unwrap().as_iri().unwrap()).collect();
-        assert_eq!(names, vec!["http://ex/carol", "http://ex/bob", "http://ex/anne"]);
+        let (s, d) = finalized(
+            AGES,
+            "PREFIX ex: <http://ex/> SELECT ?x ?a WHERE { ?x ex:age ?a } ORDER BY DESC(?x)",
+        );
+        let names: Vec<&str> = s
+            .rows
+            .iter()
+            .map(|r| d.decode(r[0]).unwrap().as_iri().unwrap())
+            .collect();
+        assert_eq!(
+            names,
+            vec!["http://ex/carol", "http://ex/bob", "http://ex/anne"]
+        );
     }
 
     #[test]
     fn limit_and_offset() {
         let (s, _) = finalized(AGES, "PREFIX ex: <http://ex/> SELECT ?x ?a WHERE { ?x ex:age ?a } ORDER BY ?a LIMIT 1 OFFSET 1");
         assert_eq!(s.len(), 1);
-        let (s, _) = finalized(AGES, "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:age ?a } OFFSET 10");
+        let (s, _) = finalized(
+            AGES,
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:age ?a } OFFSET 10",
+        );
         assert!(s.is_empty(), "offset past the end");
-        let (s, _) = finalized(AGES, "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:age ?a } LIMIT 0");
+        let (s, _) = finalized(
+            AGES,
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:age ?a } LIMIT 0",
+        );
         assert!(s.is_empty());
     }
 
     #[test]
     fn count_aggregate_plain_and_distinct() {
         let data = format!("{AGES}\nex:anne ex:age 32 .");
-        let (s, d) = finalized(&data, "PREFIX ex: <http://ex/> SELECT (COUNT(*) AS ?n) WHERE { ?x ex:age ?a }");
+        let (s, d) = finalized(
+            &data,
+            "PREFIX ex: <http://ex/> SELECT (COUNT(*) AS ?n) WHERE { ?x ex:age ?a }",
+        );
         assert_eq!(s.var_names, vec!["n"]);
-        assert_eq!(d.decode(s.rows[0][0]).unwrap().as_literal().unwrap().lexical(), "4");
+        assert_eq!(
+            d.decode(s.rows[0][0])
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .lexical(),
+            "4"
+        );
         // distinct subjects only
-        let (s, d) = finalized(&data, "PREFIX ex: <http://ex/> SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?x ex:age ?a }");
-        assert_eq!(d.decode(s.rows[0][0]).unwrap().as_literal().unwrap().lexical(), "4");
+        let (s, d) = finalized(
+            &data,
+            "PREFIX ex: <http://ex/> SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?x ex:age ?a }",
+        );
+        assert_eq!(
+            d.decode(s.rows[0][0])
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .lexical(),
+            "4"
+        );
         // count of an empty result is 0, still one row
-        let (s, d) = finalized(AGES, "PREFIX ex: <http://ex/> SELECT (COUNT(*) AS ?n) WHERE { ?x ex:nope ?a }");
+        let (s, d) = finalized(
+            AGES,
+            "PREFIX ex: <http://ex/> SELECT (COUNT(*) AS ?n) WHERE { ?x ex:nope ?a }",
+        );
         assert_eq!(s.len(), 1);
-        assert_eq!(d.decode(s.rows[0][0]).unwrap().as_literal().unwrap().lexical(), "0");
+        assert_eq!(
+            d.decode(s.rows[0][0])
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .lexical(),
+            "0"
+        );
     }
 
     #[test]
@@ -718,7 +818,14 @@ mod tests {
             AGES,
             "PREFIX ex: <http://ex/> SELECT (COUNT(*) AS ?n) WHERE { ?x ex:age ?a . FILTER (?a <= 31) }",
         );
-        assert_eq!(d.decode(s.rows[0][0]).unwrap().as_literal().unwrap().lexical(), "2");
+        assert_eq!(
+            d.decode(s.rows[0][0])
+                .unwrap()
+                .as_literal()
+                .unwrap()
+                .lexical(),
+            "2"
+        );
     }
 
     #[test]
@@ -779,12 +886,18 @@ mod tests {
             "PREFIX ex: <http://ex/> SELECT ?x ?a ?l WHERE { ?x ex:age ?a . ?x ex:limit ?l . FILTER (?a < ?l) }",
         );
         assert_eq!(s.len(), 1);
-        assert_eq!(d.decode(s.rows[0][0]).unwrap().as_iri(), Some("http://ex/a"));
+        assert_eq!(
+            d.decode(s.rows[0][0]).unwrap().as_iri(),
+            Some("http://ex/a")
+        );
     }
 
     #[test]
     fn finalize_without_modifiers_is_identity() {
-        let (s, _) = finalized(AGES, "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:age ?a }");
+        let (s, _) = finalized(
+            AGES,
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:age ?a }",
+        );
         assert_eq!(s.len(), 3);
     }
 
@@ -794,9 +907,20 @@ mod tests {
         let int = |n: &str| Term::Literal(Literal::typed(n, vocab::XSD_INTEGER));
         let dec = |n: &str| Term::Literal(Literal::typed(n, vocab::XSD_DECIMAL));
         assert_eq!(compare_terms(&int("9"), &int("31")), Ordering::Less);
-        assert_eq!(compare_terms(&int("10"), &dec("9.5")), Ordering::Greater, "cross-type numeric");
-        assert_eq!(compare_terms(&Term::iri("a"), &Term::literal("a")), Ordering::Less, "IRI before literal");
-        assert_eq!(compare_terms(&Term::literal("a"), &Term::blank("a")), Ordering::Less);
+        assert_eq!(
+            compare_terms(&int("10"), &dec("9.5")),
+            Ordering::Greater,
+            "cross-type numeric"
+        );
+        assert_eq!(
+            compare_terms(&Term::iri("a"), &Term::literal("a")),
+            Ordering::Less,
+            "IRI before literal"
+        );
+        assert_eq!(
+            compare_terms(&Term::literal("a"), &Term::blank("a")),
+            Ordering::Less
+        );
         assert_eq!(compare_terms(&int("5"), &int("5")), Ordering::Equal);
     }
 

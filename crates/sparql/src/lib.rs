@@ -44,5 +44,8 @@ mod parser;
 pub mod plan;
 
 pub use ast::{Aggregate, Bgp, Modifiers, OrderKey, QTerm, Query, TriplePattern, Variable};
-pub use eval::{bgp_has_match, compare_terms, evaluate, evaluate_bgp, evaluate_bgp_with_plan, finalize, Solutions};
+pub use eval::{
+    bgp_has_match, compare_terms, evaluate, evaluate_bgp, evaluate_bgp_with_plan, finalize,
+    Solutions,
+};
 pub use parser::{parse_query, QueryParseError};

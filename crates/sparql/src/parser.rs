@@ -30,7 +30,9 @@ pub struct QueryParseError {
 
 impl QueryParseError {
     fn new(message: impl Into<String>) -> Self {
-        QueryParseError { message: message.into() }
+        QueryParseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -105,7 +107,10 @@ impl<'a, 'd> Parser<'a, 'd> {
         self.skip_ws();
         // ':' counts as a name character: `a:x` is a prefixed name, not the
         // keyword `a` followed by `:x`.
-        if self.rest.get(..kw.len()).is_some_and(|head| head.eq_ignore_ascii_case(kw))
+        if self
+            .rest
+            .get(..kw.len())
+            .is_some_and(|head| head.eq_ignore_ascii_case(kw))
             && !self.rest[kw.len()..]
                 .chars()
                 .next()
@@ -132,7 +137,9 @@ impl<'a, 'd> Parser<'a, 'd> {
         if let Some(&v) = self.var_ids.get(&name) {
             return Ok(v);
         }
-        let v = Variable(u16::try_from(self.var_names.len()).map_err(|_| self.err("too many variables"))?);
+        let v = Variable(
+            u16::try_from(self.var_names.len()).map_err(|_| self.err("too many variables"))?,
+        );
         self.var_ids.insert(name.clone(), v);
         self.var_names.push(name);
         Ok(v)
@@ -140,7 +147,10 @@ impl<'a, 'd> Parser<'a, 'd> {
 
     fn iri_ref(&mut self) -> Result<String, QueryParseError> {
         // caller consumed '<'
-        let end = self.rest.find('>').ok_or_else(|| self.err("unterminated IRI"))?;
+        let end = self
+            .rest
+            .find('>')
+            .ok_or_else(|| self.err("unterminated IRI"))?;
         let iri = self.rest[..end].to_owned();
         self.rest = &self.rest[end + 1..];
         Ok(iri)
@@ -225,7 +235,11 @@ impl<'a, 'd> Parser<'a, 'd> {
                     Term::Literal(Literal::lang(lex, &tag))
                 } else if self.rest.starts_with("^^") {
                     self.rest = &self.rest[2..];
-                    let dt = if self.eat('<') { self.iri_ref()? } else { self.pname()? };
+                    let dt = if self.eat('<') {
+                        self.iri_ref()?
+                    } else {
+                        self.pname()?
+                    };
                     Term::Literal(Literal::typed(lex, dt))
                 } else {
                     Term::Literal(Literal::plain(lex))
@@ -238,7 +252,9 @@ impl<'a, 'd> Parser<'a, 'd> {
                 }
                 let end = self
                     .rest
-                    .find(|c: char| !(c.is_ascii_digit() || matches!(c, '+' | '-' | '.' | 'e' | 'E')))
+                    .find(|c: char| {
+                        !(c.is_ascii_digit() || matches!(c, '+' | '-' | '.' | 'e' | 'E'))
+                    })
                     .unwrap_or(self.rest.len());
                 let mut token = &self.rest[..end];
                 if token.ends_with('.') {
@@ -258,12 +274,14 @@ impl<'a, 'd> Parser<'a, 'd> {
             Some(_) if position == "property" && self.eat_keyword("a") => {
                 Ok(QTerm::Const(self.dict.encode(&Term::iri(vocab::RDF_TYPE))))
             }
-            Some(_) if self.eat_keyword("true") => {
-                Ok(QTerm::Const(self.dict.encode(&Term::Literal(Literal::typed("true", vocab::XSD_BOOLEAN)))))
-            }
-            Some(_) if self.eat_keyword("false") => {
-                Ok(QTerm::Const(self.dict.encode(&Term::Literal(Literal::typed("false", vocab::XSD_BOOLEAN)))))
-            }
+            Some(_) if self.eat_keyword("true") => Ok(QTerm::Const(
+                self.dict
+                    .encode(&Term::Literal(Literal::typed("true", vocab::XSD_BOOLEAN))),
+            )),
+            Some(_) if self.eat_keyword("false") => Ok(QTerm::Const(
+                self.dict
+                    .encode(&Term::Literal(Literal::typed("false", vocab::XSD_BOOLEAN))),
+            )),
             Some(_) => {
                 let iri = self.pname()?;
                 Ok(QTerm::Const(self.dict.encode(&Term::iri(iri))))
@@ -320,7 +338,10 @@ impl<'a, 'd> Parser<'a, 'd> {
         } else if self.eat('>') {
             CompareOp::Gt
         } else {
-            return Err(self.err(format!("expected a comparison operator near {:?}", self.excerpt())));
+            return Err(self.err(format!(
+                "expected a comparison operator near {:?}",
+                self.excerpt()
+            )));
         };
         let right = self.qterm("object")?;
         self.expect(')')?;
@@ -351,7 +372,11 @@ impl<'a, 'd> Parser<'a, 'd> {
                 continue;
             }
             // FILTER may follow a pattern without a separating dot.
-            if self.rest.get(..6).is_some_and(|h| h.eq_ignore_ascii_case("FILTER")) {
+            if self
+                .rest
+                .get(..6)
+                .is_some_and(|h| h.eq_ignore_ascii_case("FILTER"))
+            {
                 continue;
             }
             break;
@@ -452,7 +477,9 @@ impl<'a, 'd> Parser<'a, 'd> {
         let projection = if star || aggregate.is_some() {
             // '*' and aggregates bind every variable, in first-occurrence
             // order (aggregates count whole solutions).
-            (0..self.var_names.len()).map(|i| Variable(i as u16)).collect()
+            (0..self.var_names.len())
+                .map(|i| Variable(i as u16))
+                .collect()
         } else {
             projection
         };
@@ -550,7 +577,10 @@ impl<'a, 'd> Parser<'a, 'd> {
                         false
                     } else if matches!(self.peek(), Some('?') | Some('$')) {
                         self.rest = &self.rest[1..];
-                        m.order_by.push(OrderKey { var: self.variable()?, descending: false });
+                        m.order_by.push(OrderKey {
+                            var: self.variable()?,
+                            descending: false,
+                        });
                         continue;
                     } else {
                         break;
@@ -579,7 +609,10 @@ impl<'a, 'd> Parser<'a, 'd> {
 
     fn integer(&mut self) -> Result<usize, QueryParseError> {
         self.skip_ws();
-        let end = self.rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(self.rest.len());
+        let end = self
+            .rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(self.rest.len());
         if end == 0 {
             return Err(self.err("expected a non-negative integer"));
         }
@@ -617,10 +650,7 @@ mod tests {
 
     #[test]
     fn simple_query() {
-        let (q, d) = parse(
-            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ex:b }",
-        )
-        .unwrap();
+        let (q, d) = parse("PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ex:b }").unwrap();
         assert_eq!(q.bgps.len(), 1);
         assert_eq!(q.bgps[0].patterns.len(), 1);
         assert_eq!(q.projection, vec![Variable(0)]);
@@ -633,10 +663,9 @@ mod tests {
 
     #[test]
     fn multi_pattern_and_shared_variables() {
-        let (q, _) = parse(
-            "PREFIX ex: <http://ex/> SELECT ?x ?z WHERE { ?x ex:p ?y . ?y ex:p ?z . }",
-        )
-        .unwrap();
+        let (q, _) =
+            parse("PREFIX ex: <http://ex/> SELECT ?x ?z WHERE { ?x ex:p ?y . ?y ex:p ?z . }")
+                .unwrap();
         assert_eq!(q.bgps[0].patterns.len(), 2);
         // registration order: projection vars first (?x ?z), then body (?y)
         assert_eq!(q.var_names, vec!["x", "z", "y"]);
@@ -646,7 +675,8 @@ mod tests {
 
     #[test]
     fn distinct_and_star() {
-        let (q, _) = parse("PREFIX ex: <http://ex/> SELECT DISTINCT * WHERE { ?x ex:p ?y }").unwrap();
+        let (q, _) =
+            parse("PREFIX ex: <http://ex/> SELECT DISTINCT * WHERE { ?x ex:p ?y }").unwrap();
         assert!(q.distinct);
         assert_eq!(q.projection.len(), 2, "star projects all variables");
     }
@@ -661,7 +691,10 @@ mod tests {
     #[test]
     fn prefix_named_a_is_not_the_type_keyword() {
         let (q, d) = parse("PREFIX a: <http://a/> SELECT ?x WHERE { ?x a:p ?y }").unwrap();
-        assert_eq!(q.bgps[0].patterns[0].p.as_const(), d.get_iri_id("http://a/p"));
+        assert_eq!(
+            q.bgps[0].patterns[0].p.as_const(),
+            d.get_iri_id("http://a/p")
+        );
         assert_eq!(d.get_iri_id(vocab::RDF_TYPE), None);
     }
 
@@ -679,9 +712,15 @@ mod tests {
         .unwrap();
         assert_eq!(q.bgps[0].patterns.len(), 4);
         assert!(d.get_id(&Term::literal("Anne")).is_some());
-        assert!(d.get_id(&Term::Literal(Literal::typed("42", vocab::XSD_INTEGER))).is_some());
-        assert!(d.get_id(&Term::Literal(Literal::lang("hi", "en"))).is_some());
-        assert!(d.get_id(&Term::Literal(Literal::typed("7", "http://dt"))).is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::typed("42", vocab::XSD_INTEGER)))
+            .is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::lang("hi", "en")))
+            .is_some());
+        assert!(d
+            .get_id(&Term::Literal(Literal::typed("7", "http://dt")))
+            .is_some());
     }
 
     #[test]
@@ -704,7 +743,8 @@ mod tests {
 
     #[test]
     fn keywords_case_insensitive() {
-        let (q, _) = parse("prefix ex: <http://ex/> select distinct ?x where { ?x ex:p ?y }").unwrap();
+        let (q, _) =
+            parse("prefix ex: <http://ex/> select distinct ?x where { ?x ex:p ?y }").unwrap();
         assert!(q.distinct);
     }
 
@@ -715,9 +755,18 @@ mod tests {
             ("SELECT WHERE { ?x ?p ?o }", "no projection"),
             ("SELECT ?x WHERE { }", "empty body"),
             ("SELECT ?x WHERE { ?x ex:p ?y }", "unknown prefix"),
-            ("SELECT ?z WHERE { ?x <http://p> ?y }", "unused projection var"),
-            ("SELECT ?x WHERE { ?x <http://p> ?y } garbage", "trailing content"),
-            ("SELECT ?x WHERE { \"lit\" <http://p> ?y }", "literal subject"),
+            (
+                "SELECT ?z WHERE { ?x <http://p> ?y }",
+                "unused projection var",
+            ),
+            (
+                "SELECT ?x WHERE { ?x <http://p> ?y } garbage",
+                "trailing content",
+            ),
+            (
+                "SELECT ?x WHERE { \"lit\" <http://p> ?y }",
+                "literal subject",
+            ),
             ("SELECT ?x WHERE { ?x \"lit\" ?y }", "literal predicate"),
             ("SELECT ?x WHERE { ?x <http://p ?y }", "unterminated iri"),
         ] {
@@ -769,10 +818,9 @@ mod tests {
 
     #[test]
     fn solution_modifiers() {
-        let (q, _) = parse(
-            "SELECT ?x ?y WHERE { ?x <http://p> ?y } ORDER BY ?y DESC(?x) LIMIT 10 OFFSET 5",
-        )
-        .unwrap();
+        let (q, _) =
+            parse("SELECT ?x ?y WHERE { ?x <http://p> ?y } ORDER BY ?y DESC(?x) LIMIT 10 OFFSET 5")
+                .unwrap();
         assert_eq!(q.modifiers.order_by.len(), 2);
         assert!(!q.modifiers.order_by[0].descending);
         assert!(q.modifiers.order_by[1].descending);
@@ -794,21 +842,50 @@ mod tests {
     #[test]
     fn count_aggregate() {
         let (q, _) = parse("SELECT (COUNT(*) AS ?n) WHERE { ?x <http://p> ?y }").unwrap();
-        assert_eq!(q.aggregate, Some(Aggregate::Count { distinct: false, alias: "n".into() }));
-        let (q, _) =
-            parse("SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?x <http://p> ?y }").unwrap();
-        assert_eq!(q.aggregate, Some(Aggregate::Count { distinct: true, alias: "n".into() }));
+        assert_eq!(
+            q.aggregate,
+            Some(Aggregate::Count {
+                distinct: false,
+                alias: "n".into()
+            })
+        );
+        let (q, _) = parse("SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?x <http://p> ?y }").unwrap();
+        assert_eq!(
+            q.aggregate,
+            Some(Aggregate::Count {
+                distinct: true,
+                alias: "n".into()
+            })
+        );
     }
 
     #[test]
     fn modifier_errors() {
         for (src, why) in [
-            ("SELECT ?x WHERE { ?x <http://p> ?y } ORDER BY ?z", "unprojected order key"),
-            ("SELECT ?x WHERE { ?x <http://p> ?y } ORDER BY", "empty order by"),
-            ("SELECT ?x WHERE { ?x <http://p> ?y } LIMIT", "missing limit value"),
-            ("SELECT ?x WHERE { ?x <http://p> ?y } LIMIT -1", "negative limit"),
-            ("SELECT (SUM(*) AS ?n) WHERE { ?x <http://p> ?y }", "unsupported aggregate"),
-            ("SELECT (COUNT(*) AS n) WHERE { ?x <http://p> ?y }", "alias without ?"),
+            (
+                "SELECT ?x WHERE { ?x <http://p> ?y } ORDER BY ?z",
+                "unprojected order key",
+            ),
+            (
+                "SELECT ?x WHERE { ?x <http://p> ?y } ORDER BY",
+                "empty order by",
+            ),
+            (
+                "SELECT ?x WHERE { ?x <http://p> ?y } LIMIT",
+                "missing limit value",
+            ),
+            (
+                "SELECT ?x WHERE { ?x <http://p> ?y } LIMIT -1",
+                "negative limit",
+            ),
+            (
+                "SELECT (SUM(*) AS ?n) WHERE { ?x <http://p> ?y }",
+                "unsupported aggregate",
+            ),
+            (
+                "SELECT (COUNT(*) AS n) WHERE { ?x <http://p> ?y }",
+                "alias without ?",
+            ),
         ] {
             assert!(parse(src).is_err(), "should reject: {why}");
         }
@@ -849,9 +926,18 @@ mod tests {
                 "SELECT ?x WHERE { ?x <http://p> ?y . FILTER (?y > 3) }",
                 "unprojected filter var",
             ),
-            ("SELECT ?x WHERE { ?x <http://p> ?y . FILTER (3 > ?x) }", "constant lhs"),
-            ("SELECT ?x WHERE { ?x <http://p> ?y . FILTER (?x ~ ?y) }", "bad operator"),
-            ("SELECT ?x WHERE { ?x <http://p> ?y . FILTER ?x = ?y }", "missing parens"),
+            (
+                "SELECT ?x WHERE { ?x <http://p> ?y . FILTER (3 > ?x) }",
+                "constant lhs",
+            ),
+            (
+                "SELECT ?x WHERE { ?x <http://p> ?y . FILTER (?x ~ ?y) }",
+                "bad operator",
+            ),
+            (
+                "SELECT ?x WHERE { ?x <http://p> ?y . FILTER ?x = ?y }",
+                "missing parens",
+            ),
         ] {
             assert!(parse(src).is_err(), "should reject: {why}");
         }

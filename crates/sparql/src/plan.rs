@@ -47,7 +47,12 @@ impl DistinctCounts {
 /// Estimated number of matches of `tp` given the variables in `bound` are
 /// already fixed (to unknown values): the exact count of the constant
 /// skeleton, discounted by `1/V(position)` per bound-variable position.
-fn estimate(g: &Graph, dc: &DistinctCounts, tp: &TriplePattern, bound: &FxHashSet<Variable>) -> f64 {
+fn estimate(
+    g: &Graph,
+    dc: &DistinctCounts,
+    tp: &TriplePattern,
+    bound: &FxHashSet<Variable>,
+) -> f64 {
     let skeleton = Pattern::new(tp.s.as_const(), tp.p.as_const(), tp.o.as_const());
     let mut est = g.count(&skeleton) as f64;
     if tp.s.as_var().is_some_and(|v| bound.contains(&v)) {
@@ -76,7 +81,10 @@ fn ground(tp: &TriplePattern) -> bool {
 pub fn plan_bgp(g: &Graph, bgp: &Bgp) -> PlannedBgp {
     let n = bgp.patterns.len();
     if n == 0 {
-        return PlannedBgp { order: Vec::new(), estimates: Vec::new() };
+        return PlannedBgp {
+            order: Vec::new(),
+            estimates: Vec::new(),
+        };
     }
     let dc = DistinctCounts::of(g);
     let mut remaining: Vec<usize> = (0..n).collect();
@@ -158,7 +166,10 @@ mod tests {
             TriplePattern::new(var(0), QTerm::Const(rare), var(2)),
         ]);
         let plan = plan_bgp(&g, &bgp);
-        assert_eq!(plan.order[0], 1, "rare pattern (1 match) before common (100)");
+        assert_eq!(
+            plan.order[0], 1,
+            "rare pattern (1 match) before common (100)"
+        );
         assert_eq!(plan.estimates[0], 1.0, "exact count of the rare skeleton");
     }
 
@@ -175,7 +186,10 @@ mod tests {
         ]);
         let plan = plan_bgp(&g, &bgp);
         assert_eq!(plan.order[0], 0);
-        assert_eq!(plan.order[1], 2, "stay connected to ?x before jumping to the cartesian part");
+        assert_eq!(
+            plan.order[1], 2,
+            "stay connected to ?x before jumping to the cartesian part"
+        );
     }
 
     #[test]

@@ -62,7 +62,10 @@ impl LubmConfig {
 
     /// Scales every per-container count by `factor` (≥ 1 universities).
     pub fn scaled(universities: usize) -> Self {
-        LubmConfig { universities, ..Default::default() }
+        LubmConfig {
+            universities,
+            ..Default::default()
+        }
     }
 }
 
@@ -203,7 +206,11 @@ pub fn generate(cfg: &LubmConfig) -> Dataset {
             for c in 0..cfg.courses_per_department {
                 let course = dict.encode_iri(&format!("{NS_DATA}u{u}/d{d}/course{c}"));
                 // Every third course is a graduate course (leaf-typed).
-                let class = if c % 3 == 0 { ub.graduate_course } else { ub.course };
+                let class = if c % 3 == 0 {
+                    ub.graduate_course
+                } else {
+                    ub.course
+                };
                 g.insert(Triple::new(course, vocab.rdf_type, class));
                 courses.push(course);
             }
@@ -263,7 +270,11 @@ pub fn generate(cfg: &LubmConfig) -> Dataset {
             for s in 0..undergrads + grads {
                 let student = dict.encode_iri(&format!("{NS_DATA}u{u}/d{d}/student{s}"));
                 let grad = s >= undergrads;
-                let class = if grad { ub.graduate_student } else { ub.undergraduate_student };
+                let class = if grad {
+                    ub.graduate_student
+                } else {
+                    ub.undergraduate_student
+                };
                 g.insert(Triple::new(student, vocab.rdf_type, class));
                 g.insert(Triple::new(student, ub.member_of, dept));
                 for _ in 0..rng.gen_range(2..=4usize) {
@@ -285,7 +296,11 @@ pub fn generate(cfg: &LubmConfig) -> Dataset {
             }
         }
     }
-    Dataset { dict, vocab, graph: g }
+    Dataset {
+        dict,
+        vocab,
+        graph: g,
+    }
 }
 
 /// The ten-query workload. Reformulation sizes range from 1 branch (Q1) to
@@ -371,8 +386,14 @@ mod tests {
 
     #[test]
     fn scale_grows_linearly_with_universities() {
-        let one = generate(&LubmConfig { universities: 1, ..LubmConfig::tiny() });
-        let two = generate(&LubmConfig { universities: 2, ..LubmConfig::tiny() });
+        let one = generate(&LubmConfig {
+            universities: 1,
+            ..LubmConfig::tiny()
+        });
+        let two = generate(&LubmConfig {
+            universities: 2,
+            ..LubmConfig::tiny()
+        });
         let ratio = two.graph.len() as f64 / one.graph.len() as f64;
         assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
     }
@@ -409,7 +430,12 @@ mod tests {
         let sat = saturate(&ds.graph, &ds.vocab).graph;
         for nq in queries(&mut ds) {
             let sols = evaluate(&sat, &nq.query);
-            assert!(!sols.is_empty(), "{} should have answers: {}", nq.name, nq.description);
+            assert!(
+                !sols.is_empty(),
+                "{} should have answers: {}",
+                nq.name,
+                nq.description
+            );
         }
     }
 
@@ -418,7 +444,10 @@ mod tests {
         let ds = generate(&LubmConfig::tiny());
         let sat = saturate(&ds.graph, &ds.vocab);
         let blowup = sat.stats.output_triples as f64 / sat.stats.input_triples as f64;
-        assert!(blowup > 1.3, "LUBM-style data inflates under RDFS: {blowup}");
+        assert!(
+            blowup > 1.3,
+            "LUBM-style data inflates under RDFS: {blowup}"
+        );
     }
 
     #[test]

@@ -55,7 +55,13 @@ impl Default for SocialConfig {
 impl SocialConfig {
     /// A small configuration for unit tests.
     pub fn tiny() -> Self {
-        SocialConfig { people: 60, friends_per_person: 3, follows_per_person: 2, cities: 4, ..Default::default() }
+        SocialConfig {
+            people: 60,
+            friends_per_person: 3,
+            follows_per_person: 2,
+            cities: 4,
+            ..Default::default()
+        }
     }
 }
 
@@ -102,7 +108,11 @@ pub fn generate(cfg: &SocialConfig) -> Dataset {
 
     // Schema: property lattice + flat-ish classes (the §II-A constraints).
     g.insert(Triple::new(sn.has_friend, vocab.sub_property_of, sn.knows));
-    g.insert(Triple::new(sn.close_friend_of, vocab.sub_property_of, sn.has_friend));
+    g.insert(Triple::new(
+        sn.close_friend_of,
+        vocab.sub_property_of,
+        sn.has_friend,
+    ));
     g.insert(Triple::new(sn.follows, vocab.sub_property_of, sn.knows));
     g.insert(Triple::new(sn.has_friend, vocab.domain, sn.person));
     g.insert(Triple::new(sn.has_friend, vocab.range, sn.person));
@@ -113,17 +123,22 @@ pub fn generate(cfg: &SocialConfig) -> Dataset {
     g.insert(Triple::new(sn.influencer, vocab.sub_class_of, sn.person));
     g.insert(Triple::new(sn.city, vocab.sub_class_of, sn.place));
 
-    let people: Vec<TermId> =
-        (0..cfg.people).map(|i| dict.encode_iri(&format!("{NS_PEOPLE}p{i}"))).collect();
-    let cities: Vec<TermId> =
-        (0..cfg.cities).map(|i| dict.encode_iri(&format!("{NS_PEOPLE}city{i}"))).collect();
+    let people: Vec<TermId> = (0..cfg.people)
+        .map(|i| dict.encode_iri(&format!("{NS_PEOPLE}p{i}")))
+        .collect();
+    let cities: Vec<TermId> = (0..cfg.cities)
+        .map(|i| dict.encode_iri(&format!("{NS_PEOPLE}city{i}")))
+        .collect();
     for &c in &cities {
         g.insert(Triple::new(c, vocab.rdf_type, sn.city));
     }
 
     // ~5% of people are influencers (explicitly typed — follow targets).
-    let influencers: Vec<TermId> =
-        people.iter().copied().filter(|_| rng.gen_bool(0.05)).collect();
+    let influencers: Vec<TermId> = people
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(0.05))
+        .collect();
     for &i in &influencers {
         g.insert(Triple::new(i, vocab.rdf_type, sn.influencer));
     }
@@ -136,7 +151,11 @@ pub fn generate(cfg: &SocialConfig) -> Dataset {
         for _ in 0..rng.gen_range(1..=cfg.friends_per_person.max(1) * 2) {
             let friend = people[rng.gen_range(0..people.len())];
             // every third friendship is a close one (subproperty chain)
-            let prop = if rng.gen_bool(0.33) { sn.close_friend_of } else { sn.has_friend };
+            let prop = if rng.gen_bool(0.33) {
+                sn.close_friend_of
+            } else {
+                sn.has_friend
+            };
             g.insert(Triple::new(p, prop, friend));
         }
         if !influencers.is_empty() {
@@ -146,7 +165,11 @@ pub fn generate(cfg: &SocialConfig) -> Dataset {
             }
         }
     }
-    Dataset { dict, vocab, graph: g }
+    Dataset {
+        dict,
+        vocab,
+        graph: g,
+    }
 }
 
 /// The query workload S1–S5.
@@ -198,7 +221,10 @@ mod tests {
         let a = generate(&SocialConfig::tiny());
         let b = generate(&SocialConfig::tiny());
         assert_eq!(a.graph, b.graph);
-        let big = generate(&SocialConfig { people: 120, ..SocialConfig::tiny() });
+        let big = generate(&SocialConfig {
+            people: 120,
+            ..SocialConfig::tiny()
+        });
         assert!(big.graph.len() > a.graph.len());
     }
 
@@ -214,7 +240,11 @@ mod tests {
             entailed > explicit * 2,
             "most persons are implicit: {explicit} explicit vs {entailed} entailed"
         );
-        assert_eq!(entailed, SocialConfig::tiny().people, "everyone is derivably a Person");
+        assert_eq!(
+            entailed,
+            SocialConfig::tiny().people,
+            "everyone is derivably a Person"
+        );
     }
 
     #[test]
@@ -226,7 +256,10 @@ mod tests {
         let knows = evaluate(&sat, s2).len();
         let explicit = evaluate(&ds.graph, s2).len();
         assert_eq!(explicit, 0, "nobody asserts sn:knows directly");
-        assert!(knows > 100, "friendships + follows lift into knows: {knows}");
+        assert!(
+            knows > 100,
+            "friendships + follows lift into knows: {knows}"
+        );
     }
 
     #[test]

@@ -141,7 +141,11 @@ pub fn generate(cfg: &SynthConfig) -> SynthWorkload {
     }
 
     SynthWorkload {
-        dataset: Dataset { dict, vocab, graph: g },
+        dataset: Dataset {
+            dict,
+            vocab,
+            graph: g,
+        },
         root_class: classes[0],
         classes,
         top_properties,
@@ -159,8 +163,11 @@ impl SynthWorkload {
             .and_then(|t| t.as_iri())
             .expect("class is an IRI")
             .to_owned();
-        parse_query(&format!("SELECT ?x WHERE {{ ?x a <{iri}> }}"), &mut self.dataset.dict)
-            .expect("type query parses")
+        parse_query(
+            &format!("SELECT ?x WHERE {{ ?x a <{iri}> }}"),
+            &mut self.dataset.dict,
+        )
+        .expect("type query parses")
     }
 
     /// `SELECT ?x ?y WHERE { ?x <p> ?y }` for a top property — reformulation
@@ -188,7 +195,12 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let cfg = SynthConfig { individuals: 50, edges: 100, typings: 50, ..Default::default() };
+        let cfg = SynthConfig {
+            individuals: 50,
+            edges: 100,
+            typings: 50,
+            ..Default::default()
+        };
         let a = generate(&cfg);
         let b = generate(&cfg);
         assert_eq!(a.dataset.graph, b.dataset.graph);
@@ -196,12 +208,20 @@ mod tests {
 
     #[test]
     fn class_tree_size_matches_depth_and_fanout() {
-        let cfg = SynthConfig { class_depth: 3, class_fanout: 2, ..Default::default() };
+        let cfg = SynthConfig {
+            class_depth: 3,
+            class_fanout: 2,
+            ..Default::default()
+        };
         let w = generate(&cfg);
         // 1 + 2 + 4 + 8 = 15
         assert_eq!(w.classes.len(), 15);
         let schema = Schema::extract(&w.dataset.graph, &w.dataset.vocab);
-        assert_eq!(schema.sub_classes(w.root_class).len(), 14, "every class is under the root");
+        assert_eq!(
+            schema.sub_classes(w.root_class).len(),
+            14,
+            "every class is under the root"
+        );
     }
 
     #[test]
@@ -215,13 +235,22 @@ mod tests {
         let w = generate(&cfg);
         let schema = Schema::extract(&w.dataset.graph, &w.dataset.vocab);
         for &top in &w.top_properties {
-            assert_eq!(schema.sub_properties(top).len(), 3, "3 links below each top");
+            assert_eq!(
+                schema.sub_properties(top).len(),
+                3,
+                "3 links below each top"
+            );
         }
     }
 
     #[test]
     fn queries_build_and_reference_real_entities() {
-        let mut w = generate(&SynthConfig { individuals: 20, edges: 50, typings: 20, ..Default::default() });
+        let mut w = generate(&SynthConfig {
+            individuals: 20,
+            edges: 50,
+            typings: 20,
+            ..Default::default()
+        });
         let root = w.root_class;
         let q = w.type_query(root);
         assert_eq!(q.bgps[0].patterns.len(), 1);
@@ -232,7 +261,10 @@ mod tests {
 
     #[test]
     fn zero_depth_tree_is_one_class() {
-        let cfg = SynthConfig { class_depth: 0, ..Default::default() };
+        let cfg = SynthConfig {
+            class_depth: 0,
+            ..Default::default()
+        };
         let w = generate(&cfg);
         assert_eq!(w.classes.len(), 1);
     }

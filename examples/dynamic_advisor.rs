@@ -17,13 +17,23 @@ use webreason_core::MaintenanceAlgorithm;
 use workload::lubm::{generate, queries, LubmConfig};
 
 fn main() {
-    let cfg = LubmConfig { departments: 3, students_per_department: 40, ..LubmConfig::default() };
+    let cfg = LubmConfig {
+        departments: 3,
+        students_per_department: 40,
+        ..LubmConfig::default()
+    };
     let mut ds = generate(&cfg);
     let named = queries(&mut ds);
-    let qs: Vec<(String, sparql::Query)> =
-        named.iter().map(|nq| (nq.name.to_owned(), nq.query.clone())).collect();
+    let qs: Vec<(String, sparql::Query)> = named
+        .iter()
+        .map(|nq| (nq.name.to_owned(), nq.query.clone()))
+        .collect();
 
-    println!("profiling {} triples × {} queries…\n", ds.graph.len(), qs.len());
+    println!(
+        "profiling {} triples × {} queries…\n",
+        ds.graph.len(),
+        qs.len()
+    );
     let prof = profile(&ds.graph, &ds.vocab, &qs, MaintenanceAlgorithm::Counting, 3);
 
     println!(
@@ -45,23 +55,38 @@ fn main() {
     let scenarios: [(&str, WorkloadMix); 4] = [
         (
             "read-only analytics",
-            WorkloadMix { queries_per_update: f64::INFINITY, updates: UpdateMix::append_mostly() },
+            WorkloadMix {
+                queries_per_update: f64::INFINITY,
+                updates: UpdateMix::append_mostly(),
+            },
         ),
         (
             "dashboard (1000 queries per update)",
-            WorkloadMix { queries_per_update: 1000.0, updates: UpdateMix::append_mostly() },
+            WorkloadMix {
+                queries_per_update: 1000.0,
+                updates: UpdateMix::append_mostly(),
+            },
         ),
         (
             "live feed (1 query per update)",
-            WorkloadMix { queries_per_update: 1.0, updates: UpdateMix::append_mostly() },
+            WorkloadMix {
+                queries_per_update: 1.0,
+                updates: UpdateMix::append_mostly(),
+            },
         ),
         (
             "data integration (schema churn)",
-            WorkloadMix { queries_per_update: 10.0, updates: UpdateMix::schema_churn() },
+            WorkloadMix {
+                queries_per_update: 10.0,
+                updates: UpdateMix::schema_churn(),
+            },
         ),
     ];
 
-    println!("{:<38} {:>14} {:>14}   recommendation", "scenario", "sat €/epoch", "ref €/epoch");
+    println!(
+        "{:<38} {:>14} {:>14}   recommendation",
+        "scenario", "sat €/epoch", "ref €/epoch"
+    );
     for (name, mix) in scenarios {
         let advice = advise(&prof, &mix);
         println!(

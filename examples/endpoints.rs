@@ -59,7 +59,10 @@ fn main() {
     .unwrap();
 
     let merged = fed.triple_count();
-    println!("endpoints: {:?}, merged triples: {merged}", fed.endpoint_names());
+    println!(
+        "endpoints: {:?}, merged triples: {merged}",
+        fed.endpoint_names()
+    );
 
     let artworks =
         "PREFIX t: <http://tourism.example/> SELECT DISTINCT ?x WHERE { ?x a t:Artwork }";

@@ -33,25 +33,41 @@ fn main() {
 
     let q = "PREFIX geo: <http://geo.example/> SELECT ?x WHERE { geo:montmartre geo:locatedIn ?x }";
     println!("Montmartre is located in (transitivity):");
-    for line in store.answer_sparql(q).unwrap().to_strings(store.dictionary()) {
+    for line in store
+        .answer_sparql(q)
+        .unwrap()
+        .to_strings(store.dictionary())
+    {
         println!("    {line}");
     }
 
     let q = "PREFIX geo: <http://geo.example/> SELECT ?x WHERE { geo:europe geo:contains ?x }";
     println!("\nEurope contains (inverse of the transitive closure):");
-    for line in store.answer_sparql(q).unwrap().to_strings(store.dictionary()) {
+    for line in store
+        .answer_sparql(q)
+        .unwrap()
+        .to_strings(store.dictionary())
+    {
         println!("    {line}");
     }
 
     let q = "PREFIX geo: <http://geo.example/> SELECT ?x WHERE { geo:spain geo:borders ?x }";
     println!("\nSpain borders (symmetry):");
-    for line in store.answer_sparql(q).unwrap().to_strings(store.dictionary()) {
+    for line in store
+        .answer_sparql(q)
+        .unwrap()
+        .to_strings(store.dictionary())
+    {
         println!("    {line}");
     }
 
     let q = "PREFIX geo: <http://geo.example/> SELECT DISTINCT ?x WHERE { ?x a geo:Place }";
     println!("\nPlaces (OWL edges composing with the RDFS domain rule):");
-    for line in store.answer_sparql(q).unwrap().to_strings(store.dictionary()) {
+    for line in store
+        .answer_sparql(q)
+        .unwrap()
+        .to_strings(store.dictionary())
+    {
         println!("    {line}");
     }
 

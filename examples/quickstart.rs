@@ -32,7 +32,9 @@ fn main() {
     println!("Query: all animals — none is *explicitly* typed zoo:Animal.\n");
     for config in ReasoningConfig::ALL {
         let mut store = Store::new(config);
-        store.load_turtle(DATA).expect("example data is valid Turtle");
+        store
+            .load_turtle(DATA)
+            .expect("example data is valid Turtle");
         let sols = store.answer_sparql(QUERY).expect("example query is valid");
         println!("strategy {:<22} -> {} answers", config.name(), sols.len());
         for line in sols.to_strings(store.dictionary()) {

@@ -38,8 +38,7 @@ fn main() {
         .unwrap();
 
     let persons = "PREFIX sn: <http://social.example/> SELECT DISTINCT ?x WHERE { ?x a sn:Person }";
-    let friends =
-        "PREFIX sn: <http://social.example/> SELECT ?x ?y WHERE { ?x sn:hasFriend ?y }";
+    let friends = "PREFIX sn: <http://social.example/> SELECT ?x ?y WHERE { ?x sn:hasFriend ?y }";
 
     println!("== saturation-backed store ==");
     let sols = store.answer_sparql(persons).unwrap();

@@ -12,11 +12,22 @@ use webreason_core::{MaintenanceAlgorithm, ReasoningConfig, Store};
 use workload::lubm::{generate, queries, LubmConfig};
 
 fn main() {
-    let cfg = LubmConfig { departments: 4, students_per_department: 60, ..LubmConfig::default() };
-    println!("generating LUBM-style data ({} university, {} departments)…", cfg.universities, cfg.departments);
+    let cfg = LubmConfig {
+        departments: 4,
+        students_per_department: 60,
+        ..LubmConfig::default()
+    };
+    println!(
+        "generating LUBM-style data ({} university, {} departments)…",
+        cfg.universities, cfg.departments
+    );
     let mut ds = generate(&cfg);
     let named = queries(&mut ds);
-    println!("base graph: {} triples, {} dictionary terms\n", ds.graph.len(), ds.dict.len());
+    println!(
+        "base graph: {} triples, {} dictionary terms\n",
+        ds.graph.len(),
+        ds.dict.len()
+    );
 
     let start = Instant::now();
     let mut sat_store = Store::from_parts(
@@ -35,8 +46,12 @@ fn main() {
         stats.saturated_triples.unwrap() as f64 / stats.base_triples as f64
     );
 
-    let mut ref_store =
-        Store::from_parts(ds.dict.clone(), ds.vocab, ds.graph.clone(), ReasoningConfig::Reformulation);
+    let mut ref_store = Store::from_parts(
+        ds.dict.clone(),
+        ds.vocab,
+        ds.graph.clone(),
+        ReasoningConfig::Reformulation,
+    );
 
     println!(
         "{:<4} {:>8} {:>14} {:>14}   description",
@@ -54,7 +69,12 @@ fn main() {
         let ref_answers = ref_store.answer(&q).unwrap();
         let ref_ms = t0.elapsed().as_secs_f64() * 1e3;
 
-        assert_eq!(sat_answers.as_set(), ref_answers.as_set(), "{} strategies agree", nq.name);
+        assert_eq!(
+            sat_answers.as_set(),
+            ref_answers.as_set(),
+            "{} strategies agree",
+            nq.name
+        );
         println!(
             "{:<4} {:>8} {:>14.3} {:>14.3}   {}",
             nq.name,

@@ -33,8 +33,7 @@ fn all_strategies_agree_on_lubm_q1_to_q10() {
         if config == ReasoningConfig::None {
             continue;
         }
-        let mut store =
-            Store::from_parts(ds.dict.clone(), ds.vocab, ds.graph.clone(), config);
+        let mut store = Store::from_parts(ds.dict.clone(), ds.vocab, ds.graph.clone(), config);
         for (nq, want) in named.iter().zip(&reference) {
             let mut q = nq.query.clone();
             q.distinct = true;
@@ -53,11 +52,59 @@ fn all_strategies_agree_on_lubm_q1_to_q10() {
 }
 
 #[test]
+fn threaded_saturation_store_agrees_on_lubm() {
+    // The sharded parallel engine must be invisible end to end: a store
+    // saturating with 4 worker threads answers every LUBM query exactly
+    // like the single-threaded one, before and after an update.
+    let mut ds = generate(&LubmConfig::tiny());
+    let named = queries(&mut ds);
+    let config = ReasoningConfig::Saturation(webreason_core::MaintenanceAlgorithm::Recompute);
+    let mut seq = Store::from_parts(ds.dict.clone(), ds.vocab, ds.graph.clone(), config);
+    let mut par = Store::from_parts_with_threads(
+        ds.dict.clone(),
+        ds.vocab,
+        ds.graph.clone(),
+        config,
+        std::num::NonZeroUsize::new(4).unwrap(),
+    );
+    assert_eq!(par.stats().threads, 4);
+
+    let new_person = ds
+        .dict
+        .encode_iri("http://webreason.example/data/u0/d0/newhire");
+    let head_of = ds
+        .dict
+        .encode_iri("http://webreason.example/univ-bench#headOf");
+    let dept = ds.dict.encode_iri("http://webreason.example/data/u0/d0");
+    let t = rdf_model::Triple::new(new_person, head_of, dept);
+
+    for round in 0..2 {
+        for nq in &named {
+            let mut q = nq.query.clone();
+            q.distinct = true;
+            assert_eq!(
+                par.answer(&q).unwrap().as_set(),
+                seq.answer(&q).unwrap().as_set(),
+                "4-thread store disagrees on {} (round {round})",
+                nq.name
+            );
+        }
+        seq.insert(t);
+        par.insert(t);
+    }
+}
+
+#[test]
 fn plain_evaluation_misses_answers_on_lubm() {
     // The motivation for the whole paper: ignoring entailment loses answers.
     let mut ds = generate(&LubmConfig::tiny());
     let named = queries(&mut ds);
-    let mut none = Store::from_parts(ds.dict.clone(), ds.vocab, ds.graph.clone(), ReasoningConfig::None);
+    let mut none = Store::from_parts(
+        ds.dict.clone(),
+        ds.vocab,
+        ds.graph.clone(),
+        ReasoningConfig::None,
+    );
     let mut sat = Store::from_parts(
         ds.dict,
         ds.vocab,
@@ -75,18 +122,30 @@ fn plain_evaluation_misses_answers_on_lubm() {
             lossy += 1;
         }
     }
-    assert!(lossy >= 6, "most LUBM queries need reasoning; only {lossy} did");
+    assert!(
+        lossy >= 6,
+        "most LUBM queries need reasoning; only {lossy} did"
+    );
 }
 
 #[test]
 fn strategies_agree_after_updates() {
     let mut ds = generate(&LubmConfig::tiny());
     let named = queries(&mut ds);
-    let q5 = named.iter().find(|nq| nq.name == "Q5").unwrap().query.clone();
+    let q5 = named
+        .iter()
+        .find(|nq| nq.name == "Q5")
+        .unwrap()
+        .query
+        .clone();
 
     // Pick an update: a new head of department d1 (headOf ⊑ worksFor ⊑ memberOf).
-    let new_person = ds.dict.encode_iri("http://webreason.example/data/u0/d0/newhire");
-    let head_of = ds.dict.encode_iri("http://webreason.example/univ-bench#headOf");
+    let new_person = ds
+        .dict
+        .encode_iri("http://webreason.example/data/u0/d0/newhire");
+    let head_of = ds
+        .dict
+        .encode_iri("http://webreason.example/univ-bench#headOf");
     let dept = ds.dict.encode_iri("http://webreason.example/data/u0/d0");
     let t = rdf_model::Triple::new(new_person, head_of, dept);
 

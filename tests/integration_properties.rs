@@ -30,9 +30,20 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
         0u8..5,
         0u8..4,
     )
-        .prop_map(|(sub_class, sub_prop, domain, range, facts, types, query_class, query_prop)| {
-            Scenario { sub_class, sub_prop, domain, range, facts, types, query_class, query_prop }
-        })
+        .prop_map(
+            |(sub_class, sub_prop, domain, range, facts, types, query_class, query_prop)| {
+                Scenario {
+                    sub_class,
+                    sub_prop,
+                    domain,
+                    range,
+                    facts,
+                    types,
+                    query_class,
+                    query_prop,
+                }
+            },
+        )
 }
 
 fn build_graph(s: &Scenario) -> (Dictionary, Vocab, Graph) {
@@ -47,7 +58,11 @@ fn build_graph(s: &Scenario) -> (Dictionary, Vocab, Graph) {
         g.insert(t);
     }
     for &(a, b) in &s.sub_prop {
-        let t = Triple::new(prop(&mut dict, a), vocab.sub_property_of, prop(&mut dict, b));
+        let t = Triple::new(
+            prop(&mut dict, a),
+            vocab.sub_property_of,
+            prop(&mut dict, b),
+        );
         g.insert(t);
     }
     for &(p, c) in &s.domain {

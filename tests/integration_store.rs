@@ -21,7 +21,11 @@ fn tom_the_cat_end_to_end() {
         let sols = store
             .answer_sparql("PREFIX zoo: <http://zoo.example/> SELECT ?x WHERE { ?x a zoo:Mammal }")
             .unwrap();
-        let expected = if config == ReasoningConfig::None { 0 } else { 1 };
+        let expected = if config == ReasoningConfig::None {
+            0
+        } else {
+            1
+        };
         assert_eq!(sols.len(), expected, "{}", config.name());
     }
 }
@@ -190,6 +194,8 @@ fn modifiers_and_aggregates_apply_uniformly_across_strategies() {
 #[test]
 fn empty_store_answers_empty() {
     let mut store = Store::new(ReasoningConfig::Reformulation);
-    let sols = store.answer_sparql("SELECT ?x WHERE { ?x <http://p> ?y }").unwrap();
+    let sols = store
+        .answer_sparql("SELECT ?x WHERE { ?x <http://p> ?y }")
+        .unwrap();
     assert!(sols.is_empty());
 }

@@ -59,7 +59,15 @@ fn lubm_update_stream_checkpoints() {
         .map(|i| {
             let s = dict.encode_iri(&format!("http://webreason.example/data/new{i}"));
             let dept = dict.encode_iri("http://webreason.example/data/u0/d1");
-            Triple::new(s, if i % 2 == 0 { ub.member_of } else { ub.takes_course }, dept)
+            Triple::new(
+                s,
+                if i % 2 == 0 {
+                    ub.member_of
+                } else {
+                    ub.takes_course
+                },
+                dept,
+            )
         })
         .collect();
     // plus a schema change: new class + subclass edge
@@ -70,10 +78,16 @@ fn lubm_update_stream_checkpoints() {
         let mut m = algo.build(ds.graph.clone(), vocab);
         let mut base = ds.graph.clone();
         let mut step = 0usize;
-        let checkpoint = |m: &dyn rdfs::incremental::Maintainer, base: &rdf_model::Graph, step: usize| {
-            let expect = saturate(base, &vocab).graph;
-            assert_eq!(m.saturated(), &expect, "{} diverged at step {step}", algo.name());
-        };
+        let checkpoint =
+            |m: &dyn rdfs::incremental::Maintainer, base: &rdf_model::Graph, step: usize| {
+                let expect = saturate(base, &vocab).graph;
+                assert_eq!(
+                    m.saturated(),
+                    &expect,
+                    "{} diverged at step {step}",
+                    algo.name()
+                );
+            };
         for t in &existing {
             base.remove(t);
             m.delete(t);
@@ -100,7 +114,9 @@ fn lubm_update_stream_checkpoints() {
 #[test]
 fn update_kind_classification() {
     let mut store = Store::new(ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting));
-    store.load_turtle("@prefix ex: <http://ex/> .\nex:a ex:p ex:b .").unwrap();
+    store
+        .load_turtle("@prefix ex: <http://ex/> .\nex:a ex:p ex:b .")
+        .unwrap();
     let mut dict = store.dictionary().clone();
     let vocab = *store.vocab();
     let a = dict.get_iri_id("http://ex/a").unwrap();
@@ -135,8 +151,10 @@ fn synthetic_mixed_stream_three_way_agreement() {
     let vocab = w.dataset.vocab;
     let graph = w.dataset.graph;
 
-    let mut maintainers: Vec<_> =
-        MaintenanceAlgorithm::ALL.iter().map(|a| a.build(graph.clone(), vocab)).collect();
+    let mut maintainers: Vec<_> = MaintenanceAlgorithm::ALL
+        .iter()
+        .map(|a| a.build(graph.clone(), vocab))
+        .collect();
 
     // Stream: remove every 7th triple, re-add every 3rd removed.
     let victims: Vec<Triple> = graph.iter().step_by(7).collect();

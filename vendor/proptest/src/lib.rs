@@ -1,0 +1,344 @@
+//! Vendored minimal property-testing harness with a proptest-compatible
+//! API surface (the container has no network access to crates.io).
+//!
+//! Covers exactly what this workspace uses: the `proptest!` macro (with
+//! optional `#![proptest_config(..)]`), `prop_assert!`/`prop_assert_eq!`,
+//! `prop_oneof!`, `Strategy` with `prop_map`, integer-range and tuple
+//! strategies, `&'static str` regex strategies (character classes, `\PC`,
+//! `{n,m}` repetition, concatenation), `proptest::collection::vec`, and
+//! `proptest::bool::ANY`.
+//!
+//! Differences from upstream: no shrinking (failures report the full
+//! generated inputs instead of a minimised case), and generation is
+//! deterministic per (test name, case index) so failures reproduce
+//! across runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Strategies over `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// The `proptest::bool::ANY` strategy: a fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+}
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of `element` values with a length drawn
+    /// uniformly from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `proptest::collection::vec(element, len_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.start < self.size.end {
+                rng.gen_range(self.size.clone())
+            } else {
+                self.size.start
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Generation from the mini-regex subset proptest string strategies use.
+pub(crate) mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    enum Atom {
+        /// `[a-z0-9_]`-style class, as inclusive char ranges.
+        Class(Vec<(char, char)>),
+        /// `\PC`: any non-control character.
+        AnyNonControl,
+        Literal(char),
+    }
+
+    /// Sprinkled into `\PC` output so non-ASCII text gets exercised.
+    const NON_ASCII: &[char] = &['é', 'ß', 'λ', '中', 'ő', '→', '°', 'Ω', 'ñ', '🦀'];
+
+    fn parse_class(chars: &[char], i: &mut usize) -> Vec<(char, char)> {
+        let mut ranges = Vec::new();
+        // *i points just past '['.
+        while *i < chars.len() && chars[*i] != ']' {
+            let lo = if chars[*i] == '\\' {
+                *i += 1;
+                unescape(chars[*i])
+            } else {
+                chars[*i]
+            };
+            *i += 1;
+            // `a-z` is a range unless '-' is last in the class.
+            if *i + 1 < chars.len() && chars[*i] == '-' && chars[*i + 1] != ']' {
+                *i += 1;
+                let hi = if chars[*i] == '\\' {
+                    *i += 1;
+                    unescape(chars[*i])
+                } else {
+                    chars[*i]
+                };
+                *i += 1;
+                ranges.push((lo, hi));
+            } else {
+                ranges.push((lo, lo));
+            }
+        }
+        *i += 1; // consume ']'
+        ranges
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            '0' => '\0',
+            other => other,
+        }
+    }
+
+    /// `{n}` / `{n,m}` repetition; defaults to exactly one.
+    fn parse_repeat(chars: &[char], i: &mut usize) -> (usize, usize) {
+        if *i >= chars.len() || chars[*i] != '{' {
+            return (1, 1);
+        }
+        *i += 1;
+        let mut lo = 0usize;
+        while chars[*i].is_ascii_digit() {
+            lo = lo * 10 + chars[*i].to_digit(10).unwrap() as usize;
+            *i += 1;
+        }
+        let hi = if chars[*i] == ',' {
+            *i += 1;
+            let mut h = 0usize;
+            while chars[*i].is_ascii_digit() {
+                h = h * 10 + chars[*i].to_digit(10).unwrap() as usize;
+                *i += 1;
+            }
+            h
+        } else {
+            lo
+        };
+        *i += 1; // consume '}'
+        (lo, hi)
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, usize, usize)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut atoms = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    i += 1;
+                    Atom::Class(parse_class(&chars, &mut i))
+                }
+                '\\' => {
+                    i += 1;
+                    if chars[i] == 'P' && i + 1 < chars.len() && chars[i + 1] == 'C' {
+                        i += 2;
+                        Atom::AnyNonControl
+                    } else {
+                        let c = unescape(chars[i]);
+                        i += 1;
+                        Atom::Literal(c)
+                    }
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            let (lo, hi) = parse_repeat(&chars, &mut i);
+            atoms.push((atom, lo, hi));
+        }
+        atoms
+    }
+
+    fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+        let total: u32 = ranges
+            .iter()
+            .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+            .sum();
+        let mut idx = rng.gen_range(0..total.max(1));
+        for &(lo, hi) in ranges {
+            let span = hi as u32 - lo as u32 + 1;
+            if idx < span {
+                return char::from_u32(lo as u32 + idx).unwrap_or(lo);
+            }
+            idx -= span;
+        }
+        ranges.first().map(|&(lo, _)| lo).unwrap_or('a')
+    }
+
+    fn sample_non_control(rng: &mut TestRng) -> char {
+        if rng.gen_bool(0.95) {
+            char::from_u32(rng.gen_range(0x20u32..0x7F)).unwrap()
+        } else {
+            NON_ASCII[rng.gen_range(0..NON_ASCII.len())]
+        }
+    }
+
+    pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, lo, hi) in parse(pattern) {
+            let count = rng.gen_range(lo..=hi);
+            for _ in 0..count {
+                match &atom {
+                    Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+                    Atom::AnyNonControl => out.push(sample_non_control(rng)),
+                    Atom::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Asserts a condition inside `proptest!`, reporting the generated inputs
+/// on failure instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, printing both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(
+                format!("assertion failed: `left == right`\n  left: {:?}\n right: {:?}", l, r));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left == right`: {}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), l, r));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: `left != right`\n  both: {:?}",
+                l
+            ));
+        }
+    }};
+}
+
+/// Picks uniformly among heterogeneous strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::union_boxed($strategy),)+])
+    };
+}
+
+/// Declares property tests. Each `pat in strategy` argument is generated
+/// `config.cases` times; `prop_assert*` failures report the inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                let mut __inputs = ::std::string::String::new();
+                $(
+                    let __value = $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                    __inputs.push_str(&format!(
+                        "{} = {:?}; ", stringify!($pat), &__value));
+                    let $pat = __value;
+                )+
+                let __result: ::std::result::Result<(), ::std::string::String> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                if let ::std::result::Result::Err(__msg) = __result {
+                    panic!(
+                        "proptest {} failed at case {}/{}:\n{}\ninputs: {}",
+                        stringify!($name), __case, __config.cases, __msg, __inputs,
+                    );
+                }
+            }
+        }
+    )*};
+}

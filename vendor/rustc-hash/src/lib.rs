@@ -1,0 +1,114 @@
+//! Vendored minimal reimplementation of the `rustc-hash` crate (the
+//! container has no network access to crates.io). Provides the same
+//! `FxHashMap` / `FxHashSet` aliases over a fast non-cryptographic
+//! multiply-rotate hasher, API-compatible with the subset this workspace
+//! uses.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A speedy, non-cryptographic hasher in the style of rustc's FxHasher.
+#[derive(Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+        assert!(s.contains(&42));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let h = |x: u64| {
+            let mut hasher = FxHasher::default();
+            hasher.write_u64(x);
+            hasher.finish()
+        };
+        assert_eq!(h(7), h(7));
+        assert_ne!(h(7), h(8));
+    }
+
+    #[test]
+    fn byte_stream_hashing_covers_remainders() {
+        let h = |b: &[u8]| {
+            let mut hasher = FxHasher::default();
+            hasher.write(b);
+            hasher.finish()
+        };
+        assert_eq!(h(b"hello"), h(b"hello"));
+        assert_ne!(h(b"hello"), h(b"hellp"));
+        assert_ne!(h(b"123456789"), h(b"12345678"));
+    }
+}

@@ -1,0 +1,199 @@
+//! Vendored minimal reimplementation of the `serde` serialization facade
+//! (the container has no network access to crates.io). Instead of the full
+//! `Serializer` visitor architecture, [`Serialize`] writes JSON directly —
+//! the only data format this workspace emits. `#[derive(Serialize)]` is
+//! provided by the sibling `serde_derive` proc-macro crate and produces
+//! the same JSON shapes as upstream serde_json (named structs → objects,
+//! unit enum variants → strings, newtype variants → single-key objects).
+
+pub use serde_derive::Serialize;
+
+/// A type that can write itself as JSON.
+pub trait Serialize {
+    /// Appends the JSON encoding of `self` to `out`.
+    fn write_json(&self, out: &mut String);
+}
+
+/// Writes a JSON string literal (with escaping) to `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                out.push_str(&self.to_string());
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn write_json(&self, out: &mut String) {
+                if self.is_finite() {
+                    // Match serde_json: floats always render with enough
+                    // precision to round-trip; integral floats get ".0".
+                    let mut s = format!("{self}");
+                    if !s.contains('.') && !s.contains('e') && !s.contains("inf") && !s.contains("NaN") {
+                        s.push_str(".0");
+                    }
+                    out.push_str(&s);
+                } else {
+                    // serde_json serialises non-finite floats as null.
+                    out.push_str("null");
+                }
+            }
+        }
+    )*};
+}
+
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn write_json(&self, out: &mut String) {
+        out.push_str(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for str {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl Serialize for String {
+    fn write_json(&self, out: &mut String) {
+        write_json_string(out, self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn write_json(&self, out: &mut String) {
+        (**self).write_json(out);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Some(v) => v.write_json(out),
+            None => out.push_str("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn write_json(&self, out: &mut String) {
+        out.push('[');
+        for (i, v) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            v.write_json(out);
+        }
+        out.push(']');
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn write_json(&self, out: &mut String) {
+        self.as_slice().write_json(out);
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn write_json(&self, out: &mut String) {
+        // Deterministic output: sort keys like a BTreeMap would.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        out.push('{');
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, k);
+            out.push(':');
+            self[*k].write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_json_string(out, k);
+            out.push(':');
+            v.write_json(out);
+        }
+        out.push('}');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn json<T: Serialize>(v: T) -> String {
+        let mut s = String::new();
+        v.write_json(&mut s);
+        s
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(json(42u32), "42");
+        assert_eq!(json(-3i64), "-3");
+        assert_eq!(json(true), "true");
+        assert_eq!(json(2.5f64), "2.5");
+        assert_eq!(json(3.0f64), "3.0");
+        assert_eq!(json(f64::INFINITY), "null");
+        assert_eq!(json("hi \"there\"\n"), r#""hi \"there\"\n""#);
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(json(vec![1, 2, 3]), "[1,2,3]");
+        assert_eq!(json(Option::<u8>::None), "null");
+        assert_eq!(json(Some("x")), "\"x\"");
+    }
+}

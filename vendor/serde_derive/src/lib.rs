@@ -1,0 +1,198 @@
+//! Vendored minimal `#[derive(Serialize)]` proc macro (the container has no
+//! network access to crates.io, so upstream serde_derive with its syn/quote
+//! dependency tree is unavailable). Parses the token stream by hand and
+//! supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields (including lifetime generics);
+//! * enums with unit and newtype (single unnamed field) variants.
+//!
+//! The generated code targets the vendored `serde::Serialize` trait, which
+//! writes JSON directly.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip attributes (`#[...]`, including doc comments) and visibility.
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => "struct",
+        TokenTree::Ident(id) if id.to_string() == "enum" => "enum",
+        other => panic!("derive(Serialize): expected struct or enum, found {other}"),
+    };
+    i += 1;
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("derive(Serialize): expected type name, found {other}"),
+    };
+    i += 1;
+
+    // Generics: collect `<...>` verbatim (lifetimes only in this workspace).
+    let mut generics = String::new();
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        let mut depth = 0;
+        let mut collected: Vec<TokenTree> = Vec::new();
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                if p.as_char() == '<' {
+                    depth += 1;
+                } else if p.as_char() == '>' {
+                    depth -= 1;
+                }
+            }
+            collected.push(tokens[i].clone());
+            i += 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        generics = TokenStream::from_iter(collected).to_string();
+    }
+
+    // Skip a where clause if present (none in this workspace).
+    while i < tokens.len()
+        && !matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Brace)
+    {
+        i += 1;
+    }
+    let body = match &tokens[i] {
+        TokenTree::Group(g) => g.stream(),
+        other => panic!("derive(Serialize): expected braced body, found {other}"),
+    };
+
+    let write_fn = if kind == "struct" {
+        struct_body(&parse_named_fields(body))
+    } else {
+        enum_body(&name, &parse_variants(body))
+    };
+
+    let out = format!(
+        "impl {generics} ::serde::Serialize for {name} {generics} {{\n\
+             fn write_json(&self, out: &mut ::std::string::String) {{\n{write_fn}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .expect("derive(Serialize): generated impl parses")
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracketed group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Skip `: Type` up to the next top-level comma; commas inside
+        // angle brackets (e.g. `HashMap<String, f64>`) don't split.
+        let mut angle: i32 = 0;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// `(name, is_newtype)` of each enum variant.
+fn parse_variants(body: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let newtype = matches!(
+            tokens.get(i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        );
+        if newtype {
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace) {
+            panic!(
+                "derive(Serialize): struct enum variants are not supported by the vendored shim"
+            );
+        }
+        variants.push((name, newtype));
+        // Skip to past the next comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+    }
+    variants
+}
+
+fn struct_body(fields: &[String]) -> String {
+    let mut out = String::from("out.push('{');\n");
+    for (idx, f) in fields.iter().enumerate() {
+        let comma = if idx > 0 { "," } else { "" };
+        out.push_str(&format!(
+            "out.push_str(\"{comma}\\\"{f}\\\":\");\n\
+             ::serde::Serialize::write_json(&self.{f}, out);\n"
+        ));
+    }
+    out.push_str("out.push('}');");
+    out
+}
+
+fn enum_body(name: &str, variants: &[(String, bool)]) -> String {
+    let mut arms = String::new();
+    for (v, newtype) in variants {
+        if *newtype {
+            arms.push_str(&format!(
+                "{name}::{v}(__value) => {{\n\
+                     out.push_str(\"{{\\\"{v}\\\":\");\n\
+                     ::serde::Serialize::write_json(__value, out);\n\
+                     out.push('}}');\n\
+                 }}\n"
+            ));
+        } else {
+            arms.push_str(&format!("{name}::{v} => out.push_str(\"\\\"{v}\\\"\"),\n"));
+        }
+    }
+    format!("match self {{\n{arms}}}")
+}

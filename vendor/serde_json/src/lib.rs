@@ -1,0 +1,115 @@
+//! Vendored minimal `serde_json` (the container has no network access to
+//! crates.io). Serialization only — the workspace never deserialises JSON.
+//! Rides on the vendored `serde::Serialize` trait, which writes compact
+//! JSON directly; pretty-printing reformats that compact output.
+
+use std::fmt;
+
+/// Serialization error. The vendored writer is infallible, so this is only
+/// here to keep `to_string(..) -> Result<..>` signatures source-compatible.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.write_json(&mut out);
+    Ok(out)
+}
+
+/// Serialises `value` as pretty-printed JSON (two-space indent, like
+/// upstream serde_json's default pretty formatter).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(prettify(&to_string(value)?))
+}
+
+/// Reformats compact JSON with newlines and two-space indentation.
+fn prettify(compact: &str) -> String {
+    let mut out = String::with_capacity(compact.len() * 2);
+    let mut indent = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut chars = compact.chars().peekable();
+    while let Some(c) = chars.next() {
+        if in_string {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_string = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                // Keep empty containers on one line.
+                let close = if c == '{' { '}' } else { ']' };
+                if chars.peek() == Some(&close) {
+                    out.push(chars.next().unwrap());
+                } else {
+                    indent += 1;
+                    newline(&mut out, indent);
+                }
+            }
+            '}' | ']' => {
+                indent = indent.saturating_sub(1);
+                newline(&mut out, indent);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                newline(&mut out, indent);
+            }
+            ':' => {
+                out.push(c);
+                out.push(' ');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn newline(out: &mut String, indent: usize) {
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn compact_round_trip_shapes() {
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), vec![1, 2]);
+        m.insert("b".to_string(), vec![]);
+        assert_eq!(to_string(&m).unwrap(), r#"{"a":[1,2],"b":[]}"#);
+    }
+
+    #[test]
+    fn pretty_indents_and_preserves_strings() {
+        let mut m = BTreeMap::new();
+        m.insert("k{1}".to_string(), "v,\":".to_string());
+        let pretty = to_string_pretty(&m).unwrap();
+        assert_eq!(pretty, "{\n  \"k{1}\": \"v,\\\":\"\n}");
+    }
+}

@@ -1,0 +1,249 @@
+//! Vendored minimal reimplementation of the `smallvec` crate (the container
+//! has no network access to crates.io). The inline-storage optimisation is
+//! deliberately *not* reproduced — `SmallVec<[T; N]>` is a thin wrapper over
+//! `Vec<T>` exposing the same API subset this workspace uses. Semantics are
+//! identical; only the allocation profile differs.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Deref, DerefMut};
+
+/// Types usable as the backing array parameter of [`SmallVec`].
+pub trait Array {
+    /// Element type.
+    type Item;
+    /// Inline capacity (unused by this vendored shim).
+    fn size() -> usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+    fn size() -> usize {
+        N
+    }
+}
+
+/// A `Vec`-backed stand-in for `smallvec::SmallVec`.
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// Creates an empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        SmallVec { inner: Vec::new() }
+    }
+
+    /// Creates an empty vector with room for `cap` elements.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        SmallVec {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Copies a slice into a new vector.
+    #[inline]
+    pub fn from_slice(slice: &[A::Item]) -> Self
+    where
+        A::Item: Clone,
+    {
+        SmallVec {
+            inner: slice.to_vec(),
+        }
+    }
+
+    /// Appends an element.
+    #[inline]
+    pub fn push(&mut self, value: A::Item) {
+        self.inner.push(value);
+    }
+
+    /// Removes and returns the last element, if any.
+    #[inline]
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.inner.pop()
+    }
+
+    /// Shortens the vector to `len` elements.
+    #[inline]
+    pub fn truncate(&mut self, len: usize) {
+        self.inner.truncate(len);
+    }
+
+    /// Removes every element.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// View as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[A::Item] {
+        &self.inner
+    }
+
+    /// Converts into a plain `Vec`.
+    #[inline]
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> Deref for SmallVec<A> {
+    type Target = [A::Item];
+    #[inline]
+    fn deref(&self) -> &[A::Item] {
+        &self.inner
+    }
+}
+
+impl<A: Array> DerefMut for SmallVec<A> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array, B: Array<Item = A::Item>> PartialEq<SmallVec<B>> for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &SmallVec<B>) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
+    }
+}
+
+impl<A: Array> PartialOrd for SmallVec<A>
+where
+    A::Item: PartialOrd,
+{
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.inner.partial_cmp(&other.inner)
+    }
+}
+
+impl<A: Array> Ord for SmallVec<A>
+where
+    A::Item: Ord,
+{
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.inner.cmp(&other.inner)
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec {
+            inner: Vec::from_iter(iter),
+        }
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a mut SmallVec<A> {
+    type Item = &'a mut A::Item;
+    type IntoIter = std::slice::IterMut<'a, A::Item>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter_mut()
+    }
+}
+
+/// Constructs a `SmallVec` from a list of elements, like `vec!`.
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($($x:expr),+ $(,)?) => {{
+        let mut v = $crate::SmallVec::new();
+        $(v.push($x);)+
+        v
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_slice() {
+        let mut v: SmallVec<[u32; 3]> = SmallVec::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.as_slice(), &[1, 2]);
+        assert_eq!(v.pop(), Some(2));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn from_slice_and_eq() {
+        let a: SmallVec<[u8; 4]> = SmallVec::from_slice(&[1, 2, 3]);
+        let b: SmallVec<[u8; 4]> = [1u8, 2, 3].into_iter().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deref_gives_slice_methods() {
+        let v: SmallVec<[i32; 2]> = SmallVec::from_slice(&[3, 1, 2]);
+        assert!(v.contains(&3));
+        assert_eq!(v.iter().max(), Some(&3));
+    }
+}
