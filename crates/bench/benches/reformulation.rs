@@ -72,10 +72,61 @@ fn bench_pruning_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Sequential per-branch evaluation vs the union-aware evaluator (shared
+/// trie at 1 thread, plus 4 workers) on a subclass-heavy join whose
+/// reformulation exceeds 300 branches — the evaluation side of A-REF.
+fn bench_union_evaluation(c: &mut Criterion) {
+    use sparql::{evaluate, evaluate_union, parse_query};
+    use std::num::NonZeroUsize;
+
+    let mut w = synth_generate(&SynthConfig {
+        class_depth: 4,
+        class_fanout: 3,
+        individuals: 2_000,
+        edges: 6_000,
+        typings: 80_000,
+        domain_range_density: 0.0,
+        ..Default::default()
+    });
+    let schema = Schema::extract(&w.dataset.graph, &w.dataset.vocab);
+    let decode = |t| {
+        w.dataset
+            .dict
+            .decode(t)
+            .and_then(|term| term.as_iri())
+            .expect("IRI")
+            .to_owned()
+    };
+    let root_iri = decode(w.root_class);
+    let p_iri = decode(w.top_properties[0]);
+    let q = parse_query(
+        &format!("SELECT ?x WHERE {{ ?x <{p_iri}> ?y . ?y a <{root_iri}> }}"),
+        &mut w.dataset.dict,
+    )
+    .expect("join query parses");
+    let r = reformulate(&q, &schema, &w.dataset.vocab).expect("dialect ok");
+    assert!(r.branches > 100, "subclass-heavy: got {}", r.branches);
+    let g = &w.dataset.graph;
+
+    let mut group = c.benchmark_group("union_eval/synth_join");
+    group.bench_function("per_branch", |b| {
+        b.iter(|| black_box(evaluate(g, &r.query)))
+    });
+    for threads in [1usize, 4] {
+        let n = NonZeroUsize::new(threads).unwrap();
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("union_{threads}thr")),
+            |b| b.iter(|| black_box(evaluate_union(g, &r.query, n))),
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_lubm_queries,
     bench_tree_sweep,
-    bench_pruning_ablation
+    bench_pruning_ablation,
+    bench_union_evaluation
 );
 criterion_main!(benches);

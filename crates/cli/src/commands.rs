@@ -176,6 +176,9 @@ fn query(
         store.base_graph().len(),
         threads_note
     );
+    if let Some(stats) = store.last_eval_stats() {
+        let _ = writeln!(out, "  eval: {}", stats.summary());
+    }
     let lines = sols.to_strings(store.dictionary());
     for line in lines.iter().take(limit_display) {
         let _ = writeln!(out, "  {line}");
@@ -363,6 +366,26 @@ ex:Tom a ex:Cat .\n";
         )
         .unwrap();
         assert!(out.starts_with("0 solution(s)"));
+    }
+
+    #[test]
+    fn query_reports_eval_stats_on_reformulation_path() {
+        let fx = Fixture::new("query-stats", &[("zoo.ttl", ZOO_TTL)]);
+        let out = run_line(
+            "query --sparql SELECT_?x_WHERE{?x_a_<http://ex/Mammal>} --strategy reformulation --threads 2",
+            &fx.files,
+        )
+        .unwrap();
+        assert!(out.contains("eval: "), "{out}");
+        assert!(out.contains("branches"), "{out}");
+        assert!(out.contains("scan cache"), "{out}");
+        // Saturation-based strategies never run the union evaluator.
+        let out = run_line(
+            "query --sparql SELECT_?x_WHERE{?x_a_<http://ex/Mammal>} --strategy counting",
+            &fx.files,
+        )
+        .unwrap();
+        assert!(!out.contains("eval: "), "{out}");
     }
 
     #[test]

@@ -177,6 +177,8 @@ mod tests {
                 reformulation_time: 0.0,
                 eval_reformulated: eval_ref,
                 branches: 3,
+                shared_prefix_scans: 0,
+                scan_cache_hits: 0,
                 answers: 5,
             }],
         }

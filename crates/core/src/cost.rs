@@ -19,7 +19,8 @@ use rdfs::incremental::MaintenanceAlgorithm;
 use rdfs::{saturate, Schema};
 use reformulation::reformulate;
 use serde::Serialize;
-use sparql::{evaluate, Query};
+use sparql::{evaluate, evaluate_union, Query};
+use std::num::NonZeroUsize;
 use std::time::Instant;
 
 /// Measured costs for one query.
@@ -31,10 +32,16 @@ pub struct QueryCosts {
     pub eval_saturated: f64,
     /// Seconds to produce `q_ref` from `q`.
     pub reformulation_time: f64,
-    /// Seconds to evaluate `q_ref(G)`.
+    /// Seconds to evaluate `q_ref(G)` with the union-aware evaluator —
+    /// the path [`crate::Store`] actually takes, so the threshold /
+    /// advisor arithmetic reads the sharing-aware cost.
     pub eval_reformulated: f64,
     /// Union branches in `q_ref`.
     pub branches: usize,
+    /// Index scans saved by shared-prefix evaluation of `q_ref`.
+    pub shared_prefix_scans: usize,
+    /// Scan-cache hits while evaluating `q_ref`.
+    pub scan_cache_hits: usize,
     /// Answer count (identical under both techniques; checked).
     pub answers: usize,
 }
@@ -143,12 +150,17 @@ pub fn profile(
         let mut eval_saturated = f64::INFINITY;
         let mut eval_reformulated = f64::INFINITY;
         let mut answers = 0;
+        let mut shared_prefix_scans = 0;
+        let mut scan_cache_hits = 0;
         for _ in 0..samples {
             let (sols, secs) = time(|| evaluate(&sat.graph, &q));
             eval_saturated = eval_saturated.min(secs);
             answers = sols.len();
-            let (ref_sols, secs) = time(|| evaluate(graph, &reform.query));
+            let ((ref_sols, stats), secs) =
+                time(|| evaluate_union(graph, &reform.query, NonZeroUsize::MIN));
             eval_reformulated = eval_reformulated.min(secs);
+            shared_prefix_scans = stats.shared_prefix_scans();
+            scan_cache_hits = stats.scan_cache_hits as usize;
             debug_assert_eq!(
                 sols.as_set(),
                 ref_sols.as_set(),
@@ -161,6 +173,8 @@ pub fn profile(
             reformulation_time,
             eval_reformulated,
             branches: reform.branches,
+            shared_prefix_scans,
+            scan_cache_hits,
             answers,
         });
     }

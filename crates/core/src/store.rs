@@ -7,7 +7,7 @@ use rdf_model::{Dictionary, Graph, Term, Triple, Vocab};
 use rdfs::incremental::{Maintainer, MaintenanceAlgorithm, UpdateStats};
 use rdfs::Schema;
 use reformulation::{reformulate, ReformulationError};
-use sparql::{evaluate, parse_query, Query, QueryParseError, Solutions};
+use sparql::{evaluate, evaluate_union, parse_query, EvalStats, Query, QueryParseError, Solutions};
 use std::fmt;
 use std::num::NonZeroUsize;
 
@@ -117,7 +117,8 @@ pub struct StoreStats {
     pub dictionary_terms: usize,
     /// Active strategy name.
     pub strategy: String,
-    /// Worker threads used for saturation passes.
+    /// Worker threads used for saturation passes and union-aware
+    /// evaluation of reformulated queries.
     pub threads: usize,
 }
 
@@ -165,6 +166,9 @@ pub struct Store {
     config: ReasoningConfig,
     threads: NonZeroUsize,
     state: State,
+    /// Stats of the most recent union-aware evaluation (reformulation
+    /// paths only); `None` when the last answer took another path.
+    last_eval_stats: Option<EvalStats>,
 }
 
 impl Store {
@@ -212,6 +216,7 @@ impl Store {
             config,
             threads,
             state,
+            last_eval_stats: None,
         }
     }
 
@@ -259,7 +264,8 @@ impl Store {
         self.config
     }
 
-    /// Worker threads used for saturation passes.
+    /// Worker threads used for saturation passes and for the union-aware
+    /// evaluation of reformulated queries.
     pub fn threads(&self) -> NonZeroUsize {
         self.threads
     }
@@ -591,6 +597,8 @@ impl Store {
     /// [`ReasoningConfig::Reformulation`], `COUNT(*)` counts *distinct*
     /// solutions (reformulation's answer-set semantics).
     pub fn answer(&mut self, q: &Query) -> Result<Solutions, AnswerError> {
+        let threads = self.threads;
+        let mut eval_stats: Option<EvalStats> = None;
         let sols = match &mut self.state {
             State::Plain(g) => evaluate(g, q),
             State::Saturation(m) => evaluate(m.saturated(), q),
@@ -612,7 +620,11 @@ impl Store {
                             refo_cache.entry(key).or_insert(r.query)
                         }
                     };
-                    evaluate(graph, q_ref)
+                    // The union-aware evaluator: shared-prefix trie +
+                    // scan cache, parallel across the threads knob.
+                    let (sols, stats) = evaluate_union(graph, q_ref, threads);
+                    eval_stats = Some(stats);
+                    sols
                 }
             }
             State::Datalog { graph, saturated } => {
@@ -633,7 +645,9 @@ impl Store {
                     Some(AdaptiveChoice::Saturated) => evaluate(maintainer.saturated(), q),
                     Some(AdaptiveChoice::Reformulated) => {
                         let r = reformulate(q, schema, &self.vocab)?;
-                        evaluate(maintainer.base(), &r.query)
+                        let (sols, stats) = evaluate_union(maintainer.base(), &r.query, threads);
+                        eval_stats = Some(stats);
+                        sols
                     }
                     None => {
                         // First sight of this query: learn the cheaper path.
@@ -654,7 +668,9 @@ impl Store {
                                     let sat_sols = evaluate(maintainer.saturated(), q);
                                     let sat_time = start.elapsed();
                                     let start = std::time::Instant::now();
-                                    let _ref_sols = evaluate(maintainer.base(), &r.query);
+                                    // Measure the path the strategy would
+                                    // actually take: the union-aware one.
+                                    let _ = evaluate_union(maintainer.base(), &r.query, threads);
                                     let ref_time = start.elapsed();
                                     winners.insert(
                                         key,
@@ -672,7 +688,16 @@ impl Store {
                 }
             }
         };
+        self.last_eval_stats = eval_stats;
         Ok(sparql::finalize(sols, q, &mut self.dict))
+    }
+
+    /// Stats of the most recent [`Store::answer`] call that took a
+    /// union-aware reformulation path (branch sharing, scan-cache
+    /// counters, phase timings); `None` when the last answer came from a
+    /// saturated graph, backward chaining or plain evaluation.
+    pub fn last_eval_stats(&self) -> Option<&EvalStats> {
+        self.last_eval_stats.as_ref()
     }
 
     /// For [`ReasoningConfig::Adaptive`]: how many distinct queries have
@@ -892,6 +917,30 @@ mod tests {
             par.answer_sparql(MAMMALS).unwrap().as_set(),
             seq.answer_sparql(MAMMALS).unwrap().as_set()
         );
+    }
+
+    #[test]
+    fn reformulation_surfaces_eval_stats() {
+        let mut s = store_with(ReasoningConfig::Reformulation);
+        assert!(s.last_eval_stats().is_none(), "no query answered yet");
+        s.answer_sparql(ANIMALS).unwrap();
+        let stats = s.last_eval_stats().expect("reformulation records stats");
+        assert!(stats.branches_total >= 3, "{stats:?}");
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.rows, 2, "Tom + Goldie");
+        // A threaded store reports its worker count and the same answers.
+        let mut par = Store::new_with_threads(
+            ReasoningConfig::Reformulation,
+            NonZeroUsize::new(4).unwrap(),
+        );
+        par.load_turtle(ZOO).unwrap();
+        let sols = par.answer_sparql(ANIMALS).unwrap();
+        assert_eq!(sols.len(), 2);
+        assert!(par.last_eval_stats().unwrap().threads >= 1);
+        // Non-reformulation paths leave no stats behind.
+        s.set_config(ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting));
+        s.answer_sparql(ANIMALS).unwrap();
+        assert!(s.last_eval_stats().is_none());
     }
 
     #[test]

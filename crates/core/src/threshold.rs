@@ -146,6 +146,8 @@ mod tests {
             reformulation_time: reform,
             eval_reformulated: eval_ref,
             branches: 2,
+            shared_prefix_scans: 0,
+            scan_cache_hits: 0,
             answers: 1,
         }
     }

@@ -76,7 +76,7 @@ impl Solutions {
 /// newly-bound variables onto `touched`. Returns false on a repeated-variable
 /// mismatch (e.g. `?x p ?x` matched against `a p b`).
 #[inline]
-fn bind_triple(
+pub(crate) fn bind_triple(
     tp: &TriplePattern,
     t: &Triple,
     binding: &mut [Option<TermId>],
@@ -101,7 +101,7 @@ fn bind_triple(
 }
 
 #[inline]
-fn resolve(qt: QTerm, binding: &[Option<TermId>]) -> Option<TermId> {
+pub(crate) fn resolve(qt: QTerm, binding: &[Option<TermId>]) -> Option<TermId> {
     match qt {
         QTerm::Const(c) => Some(c),
         QTerm::Var(v) => binding[v.index()],
@@ -189,7 +189,7 @@ pub fn bgp_has_match(g: &Graph, bgp: &Bgp, binding: &[Option<TermId>]) -> bool {
 
 /// Applies the query's `NOT EXISTS` groups to a candidate binding.
 #[inline]
-fn passes_negation(g: &Graph, q: &Query, binding: &[Option<TermId>]) -> bool {
+pub(crate) fn passes_negation(g: &Graph, q: &Query, binding: &[Option<TermId>]) -> bool {
     q.not_exists
         .iter()
         .all(|neg| !bgp_has_match(g, neg, binding))
@@ -488,15 +488,42 @@ mod tests {
 
     #[test]
     fn union_bag_and_set_semantics() {
+        // Pins SPARQL union semantics for BOTH evaluators: under bag
+        // semantics (`distinct=false`) each branch contributes its full
+        // bag — a solution produced by two overlapping branches appears
+        // twice, and a duplicated branch doubles its solutions. The
+        // shared-prefix evaluator must NOT deduplicate what its trie
+        // happens to share; it keeps a leaf multiplicity instead.
+        let mut dict = Dictionary::new();
+        let mut g = Graph::new();
+        rdf_io::parse_turtle(DATA, &mut dict, &mut g).unwrap();
+        let threads = std::num::NonZeroUsize::new(2).unwrap();
+
         let q = "PREFIX ex: <http://ex/> SELECT ?x WHERE { { ?x ex:hasFriend ?y } UNION { ?x a ex:Person } }";
-        let bag = setup(DATA, q);
+        let bag_q = crate::parse_query(q, &mut dict).unwrap();
+        let bag = evaluate(&g, &bag_q);
         assert_eq!(
             bag.len(),
             5,
             "3 friendship subjects + 2 typed, duplicates kept"
         );
-        let set = setup(DATA, &q.replace("SELECT", "SELECT DISTINCT"));
+        let (union_bag, _) = crate::evaluate_union(&g, &bag_q, threads);
+        assert_eq!(union_bag.sorted_rows(), bag.sorted_rows());
+
+        let set_q = crate::parse_query(&q.replace("SELECT", "SELECT DISTINCT"), &mut dict).unwrap();
+        let set = evaluate(&g, &set_q);
         assert_eq!(set.len(), 3, "anne, marie, paul");
+        let (union_set, _) = crate::evaluate_union(&g, &set_q, threads);
+        assert_eq!(union_set.sorted_rows(), set.sorted_rows());
+
+        // Overlapping-branch edge: the same branch twice. Bag semantics
+        // double-counts; DISTINCT collapses. Both evaluators agree.
+        let dup = "PREFIX ex: <http://ex/> SELECT ?x WHERE { { ?x a ex:Person } UNION { ?x a ex:Person } }";
+        let dup_q = crate::parse_query(dup, &mut dict).unwrap();
+        let dup_bag = evaluate(&g, &dup_q);
+        assert_eq!(dup_bag.len(), 4, "2 persons × 2 identical branches");
+        let (union_dup, _) = crate::evaluate_union(&g, &dup_q, threads);
+        assert_eq!(union_dup.sorted_rows(), dup_bag.sorted_rows());
     }
 
     #[test]

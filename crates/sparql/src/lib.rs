@@ -42,6 +42,7 @@ pub mod ast;
 mod eval;
 mod parser;
 pub mod plan;
+mod union_eval;
 
 pub use ast::{Aggregate, Bgp, Modifiers, OrderKey, QTerm, Query, TriplePattern, Variable};
 pub use eval::{
@@ -49,3 +50,4 @@ pub use eval::{
     Solutions,
 };
 pub use parser::{parse_query, QueryParseError};
+pub use union_eval::{evaluate_union, EvalStats};

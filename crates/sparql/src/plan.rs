@@ -28,14 +28,20 @@ pub struct PlannedBgp {
 }
 
 /// Distinct-value counts used as `V(attr)` in the selectivity discounts.
-struct DistinctCounts {
+///
+/// Computing them walks the whole graph, so callers planning many BGPs
+/// over the same graph (a reformulated union can have hundreds of
+/// branches) should compute them once with [`DistinctCounts::of`] and
+/// reuse them via [`plan_bgp_with`].
+pub struct DistinctCounts {
     subjects: f64,
     properties: f64,
     objects: f64,
 }
 
 impl DistinctCounts {
-    fn of(g: &Graph) -> Self {
+    /// Collects the distinct subject/property/object counts of `g`.
+    pub fn of(g: &Graph) -> Self {
         DistinctCounts {
             subjects: g.subjects().count().max(1) as f64,
             properties: g.property_count().max(1) as f64,
@@ -79,6 +85,12 @@ fn ground(tp: &TriplePattern) -> bool {
 
 /// Computes a greedy join order for `bgp` over `g`.
 pub fn plan_bgp(g: &Graph, bgp: &Bgp) -> PlannedBgp {
+    plan_bgp_with(g, &DistinctCounts::of(g), bgp)
+}
+
+/// [`plan_bgp`] with precomputed distinct-value counts, so a union of many
+/// branches pays the graph walk once instead of once per branch.
+pub fn plan_bgp_with(g: &Graph, dc: &DistinctCounts, bgp: &Bgp) -> PlannedBgp {
     let n = bgp.patterns.len();
     if n == 0 {
         return PlannedBgp {
@@ -86,7 +98,6 @@ pub fn plan_bgp(g: &Graph, bgp: &Bgp) -> PlannedBgp {
             estimates: Vec::new(),
         };
     }
-    let dc = DistinctCounts::of(g);
     let mut remaining: Vec<usize> = (0..n).collect();
     let mut order = Vec::with_capacity(n);
     let mut estimates = Vec::with_capacity(n);
@@ -107,7 +118,7 @@ pub fn plan_bgp(g: &Graph, bgp: &Bgp) -> PlannedBgp {
         }
         let (best, best_est) = candidates
             .iter()
-            .map(|&i| (i, estimate(g, &dc, &bgp.patterns[i], &bound)))
+            .map(|&i| (i, estimate(g, dc, &bgp.patterns[i], &bound)))
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .expect("candidates nonempty");
         remaining.retain(|&i| i != best);

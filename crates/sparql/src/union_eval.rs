@@ -1,0 +1,624 @@
+//! Union-aware evaluation of reformulated queries (`q_ref(G)`).
+//!
+//! A reformulated query is a union of up to thousands of conjunctive
+//! branches that overlap heavily: most branches differ from their
+//! neighbours in a single rewritten atom. [`evaluate`](crate::evaluate)
+//! treats every branch as an independent query — it re-plans, re-scans and
+//! re-joins the shared atoms once per branch. This module evaluates the
+//! union *as a union*:
+//!
+//! 1. **Shared-prefix trie.** Every branch is planned (with the graph's
+//!    distinct-value counts computed *once* for the whole union), and the
+//!    planned pattern sequences are folded into a trie: branches whose
+//!    planned orders start with the same patterns share one trie path, so
+//!    the index scans and intermediate bindings for that prefix are
+//!    computed once. A trie node where a branch ends carries a *leaf
+//!    multiplicity* so duplicated branches keep SPARQL bag semantics
+//!    (see `union_bag_and_set_semantics` in `eval.rs`).
+//! 2. **Memoized scan cache.** Each worker keeps a `(resolved
+//!    Pattern) → matches` cache with hit/miss counters. First-time probes
+//!    are streamed straight off the indexes (no allocation); a probe is
+//!    materialized only once it repeats. Prefix sharing removes repeats
+//!    *within* a subtree; the cache removes repeats *across* subtrees
+//!    (e.g. the same `(s, p, ?)` probe reached from different first
+//!    atoms).
+//! 3. **Parallel subtrees.** The sorted branch list is split into
+//!    contiguous chunks (sorting co-locates shared prefixes), one trie per
+//!    worker, evaluated across `std::thread::scope` workers. Rows are
+//!    routed into hash-sharded buckets; the merge phase deduplicates each
+//!    shard independently (disjoint writes, `Graph::merge_buckets` style),
+//!    so `DISTINCT` costs one set per shard instead of one global lock.
+//!
+//! The answer set is exactly [`evaluate`](crate::evaluate)'s: sharing a
+//! prefix never changes which bindings reach a leaf (the trie path *is*
+//! the branch's planned pattern sequence), and leaf multiplicities keep
+//! duplicate counts identical under bag semantics.
+
+use crate::ast::{Query, TriplePattern};
+use crate::eval::{bind_triple, passes_negation, resolve, Solutions};
+use crate::plan::{plan_bgp_with, DistinctCounts};
+use rdf_model::{Graph, Pattern, TermId, Triple};
+use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
+use smallvec::SmallVec;
+use std::hash::{Hash, Hasher};
+use std::num::NonZeroUsize;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// One projected answer row.
+type Row = Vec<TermId>;
+
+/// Evaluation statistics of one union-aware evaluation, surfaced through
+/// `Store::answer`, the `webreason query` CLI and the A-REF bench table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Union branches in the query.
+    pub branches_total: usize,
+    /// Branches skipped because they do not bind every projected variable.
+    pub branches_pruned: usize,
+    /// Branches that shared at least their first planned pattern with an
+    /// earlier branch (their prefix scans were reused from the trie).
+    pub branches_shared: usize,
+    /// Total planned patterns across evaluated branches.
+    pub patterns_total: usize,
+    /// Trie nodes actually built — `patterns_total - trie_nodes` index
+    /// scans were saved by prefix sharing.
+    pub trie_nodes: usize,
+    /// Scan-cache hits (a probe answered from a worker's memo table).
+    pub scan_cache_hits: u64,
+    /// Scan-cache misses (a probe that went to the graph indexes).
+    pub scan_cache_misses: u64,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock of the derive phase (planning + trie walks), µs.
+    pub eval_us: u64,
+    /// Wall-clock of the merge phase (shard dedup + concatenation), µs.
+    pub merge_us: u64,
+    /// Answer rows produced (after `DISTINCT`, before `finalize`).
+    pub rows: usize,
+}
+
+impl EvalStats {
+    /// Index scans saved by prefix sharing in the trie.
+    pub fn shared_prefix_scans(&self) -> usize {
+        self.patterns_total.saturating_sub(self.trie_nodes)
+    }
+
+    /// One-line human-readable rendering for CLI / bench output.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} branches ({} pruned, {} shared ≥1 prefix, {} scans saved), \
+             scan cache {} hits / {} misses, {} worker(s), \
+             eval {}µs + merge {}µs",
+            self.branches_total,
+            self.branches_pruned,
+            self.branches_shared,
+            self.shared_prefix_scans(),
+            self.scan_cache_hits,
+            self.scan_cache_misses,
+            self.threads,
+            self.eval_us,
+            self.merge_us,
+        )
+    }
+}
+
+/// One node of the shared-prefix trie: a planned pattern, the branches
+/// ending exactly here (`leaf_mult`), and the continuations.
+struct TrieNode {
+    tp: TriplePattern,
+    leaf_mult: usize,
+    children: Vec<TrieNode>,
+}
+
+/// The trie for one worker's chunk of branches.
+struct Trie {
+    roots: Vec<TrieNode>,
+    /// Branches with an empty pattern list (they emit one empty binding
+    /// each, exactly like the per-branch evaluator's empty BGP).
+    empty_mult: usize,
+    nodes: usize,
+    shared_branches: usize,
+}
+
+impl Trie {
+    fn build(branches: &[Vec<TriplePattern>]) -> Trie {
+        let mut trie = Trie {
+            roots: Vec::new(),
+            empty_mult: 0,
+            nodes: 0,
+            shared_branches: 0,
+        };
+        for seq in branches {
+            if seq.is_empty() {
+                trie.empty_mult += 1;
+                continue;
+            }
+            let mut level = &mut trie.roots;
+            let mut reused_any = false;
+            for (depth, tp) in seq.iter().enumerate() {
+                let pos = match level.iter().position(|n| n.tp == *tp) {
+                    Some(pos) => {
+                        if depth == 0 {
+                            reused_any = true;
+                        }
+                        pos
+                    }
+                    None => {
+                        level.push(TrieNode {
+                            tp: *tp,
+                            leaf_mult: 0,
+                            children: Vec::new(),
+                        });
+                        trie.nodes += 1;
+                        level.len() - 1
+                    }
+                };
+                if depth + 1 == seq.len() {
+                    level[pos].leaf_mult += 1;
+                }
+                level = &mut level[pos].children;
+            }
+            if reused_any {
+                trie.shared_branches += 1;
+            }
+        }
+        trie
+    }
+}
+
+/// Per-worker memoized scan cache keyed on the *resolved* probe pattern
+/// (constants plus already-bound variables), with hit/miss counters.
+///
+/// A probe seen for the first time is *streamed* straight off the graph
+/// indexes (zero allocation, exactly the per-branch evaluator's inner
+/// loop) and only remembered in a seen-set; a probe seen again is
+/// materialized into the cache and every further repeat is a hit. One-shot
+/// probes — the overwhelming majority in selective joins — therefore pay
+/// one set insert instead of a `Vec` allocation and copy.
+///
+/// Both tables are bounded so pathological unions cannot hoard memory;
+/// past the caps further probes go straight to the indexes (still counted
+/// as misses).
+struct ScanCache {
+    map: FxHashMap<Pattern, Rc<[Triple]>>,
+    seen: FxHashSet<Pattern>,
+    cached_triples: usize,
+    hits: u64,
+    misses: u64,
+}
+
+/// Cap on triples retained across all cache entries of one worker
+/// (~12 bytes each, so ≈24 MiB per worker at the cap).
+const SCAN_CACHE_MAX_TRIPLES: usize = 2 << 20;
+
+/// Cap on distinct probes tracked in the seen-set of one worker.
+const SCAN_CACHE_MAX_PROBES: usize = 1 << 20;
+
+impl ScanCache {
+    fn new() -> ScanCache {
+        ScanCache {
+            map: FxHashMap::default(),
+            seen: FxHashSet::default(),
+            cached_triples: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// `Some(matches)` if the probe is (now) memoized, `None` if the
+    /// caller should stream it off the indexes.
+    fn lookup(&mut self, g: &Graph, probe: &Pattern) -> Option<Rc<[Triple]>> {
+        if let Some(hit) = self.map.get(probe) {
+            self.hits += 1;
+            return Some(Rc::clone(hit));
+        }
+        self.misses += 1;
+        if !self.seen.contains(probe) {
+            if self.seen.len() < SCAN_CACHE_MAX_PROBES {
+                self.seen.insert(*probe);
+            }
+            return None;
+        }
+        let matches: Rc<[Triple]> = g.matches(probe).into();
+        if self.cached_triples + matches.len() <= SCAN_CACHE_MAX_TRIPLES {
+            self.cached_triples += matches.len();
+            self.map.insert(*probe, Rc::clone(&matches));
+        }
+        Some(matches)
+    }
+}
+
+/// What one worker sends back: rows routed into shards, plus counters.
+struct WorkerOutput {
+    shards: Vec<Vec<Row>>,
+    cache_hits: u64,
+    cache_misses: u64,
+    trie_nodes: usize,
+    shared_branches: usize,
+}
+
+fn shard_of(row: &[TermId], mask: usize) -> usize {
+    let mut h = FxHasher::default();
+    row.hash(&mut h);
+    (h.finish() as usize) & mask
+}
+
+/// Walks one trie node under the current binding: probe, bind, emit at
+/// leaves (with multiplicity), recurse into continuations, unbind.
+fn walk(
+    g: &Graph,
+    node: &TrieNode,
+    binding: &mut Vec<Option<TermId>>,
+    cache: &mut ScanCache,
+    emit: &mut dyn FnMut(&[Option<TermId>], usize),
+) {
+    let probe = Pattern::new(
+        resolve(node.tp.s, binding),
+        resolve(node.tp.p, binding),
+        resolve(node.tp.o, binding),
+    );
+    // A fully ground probe is an O(1) membership test on the indexes —
+    // memoizing it can only add hashing and allocation on top.
+    if probe.s.is_some() && probe.p.is_some() && probe.o.is_some() {
+        g.for_each_match(&probe, |t| step(g, node, &t, binding, cache, emit));
+        return;
+    }
+    match cache.lookup(g, &probe) {
+        Some(scan) => {
+            for t in scan.iter() {
+                step(g, node, t, binding, cache, emit);
+            }
+        }
+        None => g.for_each_match(&probe, |t| step(g, node, &t, binding, cache, emit)),
+    }
+}
+
+/// Processes one matched triple of a trie node's probe.
+#[inline]
+fn step(
+    g: &Graph,
+    node: &TrieNode,
+    t: &Triple,
+    binding: &mut Vec<Option<TermId>>,
+    cache: &mut ScanCache,
+    emit: &mut dyn FnMut(&[Option<TermId>], usize),
+) {
+    let mut touched: SmallVec<[crate::ast::Variable; 3]> = SmallVec::new();
+    if bind_triple(&node.tp, t, binding, &mut touched) {
+        if node.leaf_mult > 0 {
+            emit(binding, node.leaf_mult);
+        }
+        for child in &node.children {
+            walk(g, child, binding, cache, emit);
+        }
+    }
+    for v in touched {
+        binding[v.index()] = None;
+    }
+}
+
+/// Evaluates one chunk of branches: builds the chunk's trie, walks it with
+/// a fresh scan cache, and routes projected rows into `shard_count`
+/// hash-sharded buckets.
+fn run_chunk(
+    g: &Graph,
+    q: &Query,
+    branches: &[Vec<TriplePattern>],
+    shard_count: usize,
+) -> WorkerOutput {
+    let trie = Trie::build(branches);
+    let mask = shard_count - 1;
+    let mut shards: Vec<Vec<Row>> = (0..shard_count).map(|_| Vec::new()).collect();
+    let mut cache = ScanCache::new();
+    let mut binding: Vec<Option<TermId>> = vec![None; q.var_names.len()];
+    // Under `DISTINCT` each worker deduplicates its own rows as they are
+    // emitted (the per-branch evaluator's `seen` set), so the merge phase
+    // only resolves duplicates *across* workers — with a single worker it
+    // degenerates to a move.
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    {
+        let mut emit = |binding: &[Option<TermId>], mult: usize| {
+            if !passes_negation(g, q, binding) {
+                return;
+            }
+            let row: Row = q
+                .projection
+                .iter()
+                .map(|v| binding[v.index()].expect("projected variable bound"))
+                .collect();
+            if q.distinct {
+                if !seen.insert(row.clone()) {
+                    return;
+                }
+                let shard = if mask == 0 { 0 } else { shard_of(&row, mask) };
+                shards[shard].push(row);
+            } else {
+                // Under bag semantics a branch duplicated `mult` times
+                // contributes `mult` copies (exactly like the per-branch
+                // evaluator).
+                let shard = if mask == 0 { 0 } else { shard_of(&row, mask) };
+                for _ in 1..mult {
+                    shards[shard].push(row.clone());
+                }
+                shards[shard].push(row);
+            }
+        };
+        if trie.empty_mult > 0 {
+            emit(&binding, trie.empty_mult);
+        }
+        for root in &trie.roots {
+            walk(g, root, &mut binding, &mut cache, &mut emit);
+        }
+    }
+    WorkerOutput {
+        shards,
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        trie_nodes: trie.nodes,
+        shared_branches: trie.shared_branches,
+    }
+}
+
+/// Merges one shard's per-worker row lists. Workers already deduplicated
+/// their own rows, so `distinct` only has to resolve duplicates across
+/// workers; identical rows hash to the same shard, so per-shard dedup is
+/// globally complete.
+fn merge_shard(mut parts: Vec<Vec<Row>>, distinct: bool) -> Vec<Row> {
+    if parts.len() == 1 {
+        return parts.pop().expect("one part");
+    }
+    if !distinct {
+        return parts.into_iter().flatten().collect();
+    }
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    let mut out = Vec::new();
+    for rows in parts {
+        for row in rows {
+            if seen.insert(row.clone()) {
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+/// Evaluates a union query with prefix sharing, scan memoization and up
+/// to `threads` parallel workers. Returns the same answer multiset as
+/// [`evaluate`](crate::evaluate) (set-equal under `DISTINCT`, bag-equal
+/// otherwise), plus the [`EvalStats`] describing how it got there.
+pub fn evaluate_union(g: &Graph, q: &Query, threads: NonZeroUsize) -> (Solutions, EvalStats) {
+    let eval_start = Instant::now();
+    let mut stats = EvalStats {
+        branches_total: q.bgps.len(),
+        ..EvalStats::default()
+    };
+
+    // Plan every branch once, with one distinct-counts pass for the whole
+    // union (the per-branch evaluator pays this walk per branch).
+    let dc = DistinctCounts::of(g);
+    let mut branches: Vec<Vec<TriplePattern>> = Vec::with_capacity(q.bgps.len());
+    for bgp in &q.bgps {
+        let vars = bgp.variables();
+        if !q.projection.iter().all(|v| vars.contains(v)) {
+            stats.branches_pruned += 1;
+            continue;
+        }
+        let plan = plan_bgp_with(g, &dc, bgp);
+        let seq: Vec<TriplePattern> = plan.order.iter().map(|&i| bgp.patterns[i]).collect();
+        stats.patterns_total += seq.len();
+        branches.push(seq);
+    }
+    // Sorting makes shared prefixes contiguous, so chunking loses little
+    // sharing, and duplicated branches always land in the same chunk.
+    branches.sort();
+
+    let workers = threads.get().min(branches.len()).max(1);
+    stats.threads = workers;
+    let shard_count = workers.next_power_of_two();
+
+    let outputs: Vec<WorkerOutput> = if workers <= 1 {
+        vec![run_chunk(g, q, &branches, shard_count)]
+    } else {
+        let per = branches.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = branches
+                .chunks(per)
+                .map(|chunk| s.spawn(move || run_chunk(g, q, chunk, shard_count)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("union evaluation worker panicked"))
+                .collect()
+        })
+    };
+
+    // Transpose worker outputs into per-shard merge tasks.
+    let mut shard_parts: Vec<Vec<Vec<Row>>> = (0..shard_count).map(|_| Vec::new()).collect();
+    for out in outputs {
+        stats.scan_cache_hits += out.cache_hits;
+        stats.scan_cache_misses += out.cache_misses;
+        stats.trie_nodes += out.trie_nodes;
+        stats.branches_shared += out.shared_branches;
+        for (shard, rows) in out.shards.into_iter().enumerate() {
+            shard_parts[shard].push(rows);
+        }
+    }
+    stats.eval_us = eval_start.elapsed().as_micros() as u64;
+
+    // Merge phase: each shard deduplicates independently (disjoint
+    // writes), in parallel when several workers are available.
+    let merge_start = Instant::now();
+    let mut merged: Vec<Vec<Row>> = (0..shard_count).map(|_| Vec::new()).collect();
+    if workers > 1 && shard_count > 1 {
+        let mut tasks: Vec<Option<Vec<Vec<Row>>>> = shard_parts.into_iter().map(Some).collect();
+        let per = shard_count.div_ceil(workers);
+        std::thread::scope(|s| {
+            for (task_chunk, out_chunk) in tasks.chunks_mut(per).zip(merged.chunks_mut(per)) {
+                s.spawn(move || {
+                    for (task, out) in task_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                        *out = merge_shard(task.take().expect("merge task"), q.distinct);
+                    }
+                });
+            }
+        });
+    } else {
+        for (parts, out) in shard_parts.into_iter().zip(merged.iter_mut()) {
+            *out = merge_shard(parts, q.distinct);
+        }
+    }
+    let rows: Vec<Row> = merged.into_iter().flatten().collect();
+    stats.merge_us = merge_start.elapsed().as_micros() as u64;
+    stats.rows = rows.len();
+
+    let var_names = q
+        .projection
+        .iter()
+        .map(|&v| q.var_name(v).to_owned())
+        .collect();
+    (Solutions { var_names, rows }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::evaluate;
+    use crate::parser::parse_query;
+    use rdf_model::Dictionary;
+
+    const DATA: &str = r#"
+        @prefix ex: <http://ex/> .
+        ex:anne ex:hasFriend ex:marie .
+        ex:marie ex:hasFriend ex:paul .
+        ex:paul ex:hasFriend ex:anne .
+        ex:anne a ex:Person .
+        ex:marie a ex:Person .
+        ex:bob ex:knows ex:anne .
+    "#;
+
+    fn fixture(query: &str) -> (Graph, Query) {
+        let mut dict = Dictionary::new();
+        let mut g = Graph::new();
+        rdf_io::parse_turtle(DATA, &mut dict, &mut g).expect("fixture parses");
+        let q = parse_query(query, &mut dict).expect("query parses");
+        (g, q)
+    }
+
+    fn threads(n: usize) -> NonZeroUsize {
+        NonZeroUsize::new(n).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_per_branch_evaluator_on_unions() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?x WHERE \
+                 { { ?x ex:hasFriend ?y } UNION { ?x a ex:Person } UNION { ?x ex:knows ?y } }";
+        for distinct in [false, true] {
+            let (g, mut query) = fixture(q);
+            query.distinct = distinct;
+            let legacy = evaluate(&g, &query);
+            for t in [1usize, 2, 4] {
+                let (got, stats) = evaluate_union(&g, &query, threads(t));
+                assert_eq!(
+                    got.sorted_rows(),
+                    legacy.sorted_rows(),
+                    "distinct={distinct} threads={t}"
+                );
+                assert_eq!(stats.branches_total, 3);
+                assert_eq!(stats.rows, got.len());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_prefix_counts_scans_saved() {
+        // Two branches sharing the same first planned atom must share a
+        // trie node at a single worker.
+        let q = "PREFIX ex: <http://ex/> SELECT ?x WHERE \
+                 { { ?x ex:knows ?y . ?y ex:hasFriend ?z } \
+                   UNION { ?x ex:knows ?y . ?y a ex:Person } }";
+        let (g, query) = fixture(q);
+        let (got, stats) = evaluate_union(&g, &query, threads(1));
+        assert_eq!(got.sorted_rows(), evaluate(&g, &query).sorted_rows());
+        assert_eq!(stats.patterns_total, 4);
+        assert_eq!(
+            stats.trie_nodes, 3,
+            "the shared ?x ex:knows ?y prefix is one node"
+        );
+        assert_eq!(stats.shared_prefix_scans(), 1);
+        assert_eq!(stats.branches_shared, 1);
+    }
+
+    #[test]
+    fn scan_cache_hits_across_subtrees() {
+        // Both branches end with the same disconnected probe
+        // (`?a ex:hasFriend ?b`, always resolving to the same pattern)
+        // after *different* first atoms, so the trie cannot share it —
+        // but the scan cache answers the repeats.
+        let q = "PREFIX ex: <http://ex/> SELECT ?x WHERE \
+                 { { ?x ex:knows ?k . ?a ex:hasFriend ?b } \
+                   UNION { ?x a ex:Person . ?a ex:hasFriend ?b } }";
+        let (g, query) = fixture(q);
+        let (got, stats) = evaluate_union(&g, &query, threads(1));
+        assert_eq!(got.sorted_rows(), evaluate(&g, &query).sorted_rows());
+        assert!(
+            stats.scan_cache_hits > 0,
+            "repeated probes memoized: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn duplicated_branches_keep_bag_multiplicity() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?x WHERE \
+                 { { ?x a ex:Person } UNION { ?x a ex:Person } }";
+        let (g, mut query) = fixture(q);
+        assert!(!query.distinct);
+        let legacy = evaluate(&g, &query);
+        assert_eq!(legacy.len(), 4, "2 persons × 2 identical branches");
+        for t in [1usize, 2] {
+            let (got, stats) = evaluate_union(&g, &query, threads(t));
+            assert_eq!(got.sorted_rows(), legacy.sorted_rows(), "threads={t}");
+            assert_eq!(stats.branches_total, 2);
+        }
+        query.distinct = true;
+        let (got, _) = evaluate_union(&g, &query, threads(1));
+        assert_eq!(got.len(), 2, "DISTINCT collapses the duplicate branch");
+    }
+
+    #[test]
+    fn branches_missing_projection_vars_are_pruned() {
+        let q = "PREFIX ex: <http://ex/> SELECT ?x ?y WHERE \
+                 { { ?x ex:hasFriend ?y } UNION { ?x a ex:Person } }";
+        let (g, query) = fixture(q);
+        let (got, stats) = evaluate_union(&g, &query, threads(2));
+        assert_eq!(got.sorted_rows(), evaluate(&g, &query).sorted_rows());
+        assert_eq!(stats.branches_pruned, 1, "the ?y-less branch is skipped");
+    }
+
+    #[test]
+    fn empty_graph_and_empty_union() {
+        let mut dict = Dictionary::new();
+        let g = Graph::new();
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Person }",
+            &mut dict,
+        )
+        .unwrap();
+        for t in [1usize, 4] {
+            let (got, stats) = evaluate_union(&g, &q, threads(t));
+            assert!(got.is_empty());
+            assert_eq!(stats.rows, 0);
+        }
+    }
+
+    #[test]
+    fn stats_summary_renders() {
+        let (g, query) = fixture(
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE \
+             { { ?x ex:hasFriend ?y } UNION { ?x a ex:Person } }",
+        );
+        let (_, stats) = evaluate_union(&g, &query, threads(2));
+        let line = stats.summary();
+        assert!(line.contains("2 branches"), "{line}");
+        assert!(line.contains("worker(s)"), "{line}");
+    }
+}

@@ -3,8 +3,22 @@
 //! `q(G∞) = q_ref(G) = backward(G) = datalog(G)` — which is the semantic
 //! backbone of the paper's performance comparison (the techniques compute
 //! the *same* answers at different costs).
+//!
+//! The differential half of the file locks the union-aware evaluator to
+//! that contract on *random* schemas (cyclic ones included), graphs
+//! (empty ones included) and queries: `q_ref(G)` under
+//! [`sparql::evaluate_union`] at 1, 2 and 4 threads must equal `q(G∞)`
+//! and the legacy per-branch evaluator — set-equal under `DISTINCT`,
+//! bag-equal otherwise. `WEBREASON_PROPTEST_CASES` scales the case count
+//! (CI pins it for reproducibility; generation is already deterministic
+//! per test name and case index).
 
+use proptest::prelude::*;
+use rdf_model::{Dictionary, Graph, Triple, Vocab};
+use rdfs::saturate;
 use rustc_hash::FxHashSet;
+use sparql::{evaluate, evaluate_union, parse_query};
+use std::num::NonZeroUsize;
 use webreason_core::{ReasoningConfig, Store};
 use workload::lubm::{generate, queries, LubmConfig};
 
@@ -126,6 +140,239 @@ fn plain_evaluation_misses_answers_on_lubm() {
         lossy >= 6,
         "most LUBM queries need reasoning; only {lossy} did"
     );
+}
+
+// --- differential harness: union-aware evaluator vs saturation vs legacy ---
+
+/// Random schema + instance data. Subclass/subproperty edges are drawn as
+/// arbitrary pairs, so cycles (`C0 ⊑ C1 ⊑ C0`) and self-loops occur
+/// naturally; every `vec` lower bound is 0, so empty graphs occur too.
+#[derive(Debug, Clone)]
+struct DiffScenario {
+    sub_class: Vec<(u8, u8)>,
+    sub_prop: Vec<(u8, u8)>,
+    domain: Vec<(u8, u8)>,
+    range: Vec<(u8, u8)>,
+    facts: Vec<(u8, u8, u8)>,
+    types: Vec<(u8, u8)>,
+    query_class: u8,
+    query_prop: u8,
+}
+
+fn arb_diff_scenario() -> impl Strategy<Value = DiffScenario> {
+    (
+        proptest::collection::vec((0u8..5, 0u8..5), 0..8),
+        proptest::collection::vec((0u8..4, 0u8..4), 0..5),
+        proptest::collection::vec((0u8..4, 0u8..5), 0..4),
+        proptest::collection::vec((0u8..4, 0u8..5), 0..4),
+        proptest::collection::vec((0u8..8, 0u8..4, 0u8..8), 0..24),
+        proptest::collection::vec((0u8..8, 0u8..5), 0..12),
+        0u8..5,
+        0u8..4,
+    )
+        .prop_map(
+            |(sub_class, sub_prop, domain, range, facts, types, query_class, query_prop)| {
+                DiffScenario {
+                    sub_class,
+                    sub_prop,
+                    domain,
+                    range,
+                    facts,
+                    types,
+                    query_class,
+                    query_prop,
+                }
+            },
+        )
+}
+
+fn build_diff_graph(s: &DiffScenario) -> (Dictionary, Vocab, Graph) {
+    let mut dict = Dictionary::new();
+    let vocab = Vocab::intern(&mut dict);
+    let class = |d: &mut Dictionary, i: u8| d.encode_iri(&format!("http://ex/C{i}"));
+    let prop = |d: &mut Dictionary, i: u8| d.encode_iri(&format!("http://ex/p{i}"));
+    let node = |d: &mut Dictionary, i: u8| d.encode_iri(&format!("http://ex/n{i}"));
+    let mut g = Graph::new();
+    for &(a, b) in &s.sub_class {
+        let t = Triple::new(class(&mut dict, a), vocab.sub_class_of, class(&mut dict, b));
+        g.insert(t);
+    }
+    for &(a, b) in &s.sub_prop {
+        let t = Triple::new(
+            prop(&mut dict, a),
+            vocab.sub_property_of,
+            prop(&mut dict, b),
+        );
+        g.insert(t);
+    }
+    for &(p, c) in &s.domain {
+        let t = Triple::new(prop(&mut dict, p), vocab.domain, class(&mut dict, c));
+        g.insert(t);
+    }
+    for &(p, c) in &s.range {
+        let t = Triple::new(prop(&mut dict, p), vocab.range, class(&mut dict, c));
+        g.insert(t);
+    }
+    for &(a, p, b) in &s.facts {
+        let t = Triple::new(node(&mut dict, a), prop(&mut dict, p), node(&mut dict, b));
+        g.insert(t);
+    }
+    for &(a, c) in &s.types {
+        let t = Triple::new(node(&mut dict, a), vocab.rdf_type, class(&mut dict, c));
+        g.insert(t);
+    }
+    (dict, vocab, g)
+}
+
+/// Case-count knob: `WEBREASON_PROPTEST_CASES=200` for a deeper local
+/// run; CI exports a fixed value so runs are comparable.
+fn env_cases(default: u32) -> u32 {
+    std::env::var("WEBREASON_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+const DIFF_THREADS: [usize; 3] = [1, 2, 4];
+
+/// The differential check for one query text over one scenario graph:
+/// reformulate, then compare every evaluation route.
+fn assert_routes_agree(
+    dict: &mut Dictionary,
+    vocab: &Vocab,
+    g: &Graph,
+    sat_graph: &Graph,
+    query_text: &str,
+) -> Result<(), String> {
+    let q = parse_query(query_text, dict).map_err(|e| format!("{query_text}: {e}"))?;
+    let schema = rdfs::Schema::extract(g, vocab);
+    let r =
+        reformulation::reformulate(&q, &schema, vocab).map_err(|e| format!("{query_text}: {e}"))?;
+
+    // Answer-set semantics: q(G∞) is the ground truth.
+    let reference = evaluate(sat_graph, &q).as_set();
+    let legacy = evaluate(g, &r.query).as_set();
+    if legacy != reference {
+        return Err(format!("legacy q_ref(G) != q(G∞) on {query_text}"));
+    }
+    for t in DIFF_THREADS {
+        let (sols, stats) = evaluate_union(g, &r.query, NonZeroUsize::new(t).unwrap());
+        if sols.as_set() != reference {
+            return Err(format!("union eval ({t} threads) != q(G∞) on {query_text}"));
+        }
+        if stats.rows != sols.len() {
+            return Err(format!("stats.rows mismatch ({t} threads) on {query_text}"));
+        }
+    }
+
+    // Bag semantics: both evaluators of q_ref must agree on multiplicities.
+    let mut bag = r.query.clone();
+    bag.distinct = false;
+    let legacy_bag = evaluate(g, &bag).sorted_rows();
+    for t in DIFF_THREADS {
+        let (sols, _) = evaluate_union(g, &bag, NonZeroUsize::new(t).unwrap());
+        if sols.sorted_rows() != legacy_bag {
+            return Err(format!(
+                "union eval bag ({t} threads) != legacy bag on {query_text}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(env_cases(32)))]
+
+    /// On random graphs, schemas (cyclic included) and queries, the
+    /// union-aware evaluator matches `q(G∞)` and the legacy per-branch
+    /// evaluator at 1, 2 and 4 threads, under both set and bag semantics.
+    #[test]
+    fn union_evaluator_is_differentially_equivalent(s in arb_diff_scenario()) {
+        let (mut dict, vocab, g) = build_diff_graph(&s);
+        let sat = saturate(&g, &vocab);
+        let type_q = format!(
+            "SELECT DISTINCT ?x WHERE {{ ?x <{}> <http://ex/C{}> }}",
+            rdf_model::vocab::RDF_TYPE,
+            s.query_class
+        );
+        let prop_q = format!(
+            "SELECT DISTINCT ?x ?y WHERE {{ ?x <http://ex/p{}> ?y }}",
+            s.query_prop
+        );
+        let join_q = format!(
+            "SELECT DISTINCT ?x WHERE {{ ?x <http://ex/p{}> ?y . ?y <{}> <http://ex/C{}> }}",
+            s.query_prop,
+            rdf_model::vocab::RDF_TYPE,
+            s.query_class
+        );
+        for query_text in [&type_q, &prop_q, &join_q] {
+            if let Err(msg) =
+                assert_routes_agree(&mut dict, &vocab, &g, &sat.graph, query_text)
+            {
+                prop_assert!(false, "{}", msg);
+            }
+        }
+    }
+}
+
+#[test]
+fn union_evaluator_handles_empty_graph() {
+    let mut dict = Dictionary::new();
+    let vocab = Vocab::intern(&mut dict);
+    let g = Graph::new();
+    let sat = saturate(&g, &vocab);
+    let q = format!(
+        "SELECT DISTINCT ?x WHERE {{ ?x <{}> <http://ex/C0> }}",
+        rdf_model::vocab::RDF_TYPE
+    );
+    assert_routes_agree(&mut dict, &vocab, &g, &sat.graph, &q).unwrap();
+}
+
+#[test]
+fn union_evaluator_handles_cyclic_schema() {
+    // C0 ⊑ C1 ⊑ C2 ⊑ C0 and p0 ⊑ p1 ⊑ p0: every class is equivalent to
+    // every other, so a query on any of them returns all typed nodes, and
+    // reformulation must terminate despite the cycles.
+    let mut dict = Dictionary::new();
+    let vocab = Vocab::intern(&mut dict);
+    let class = |d: &mut Dictionary, i: u8| d.encode_iri(&format!("http://ex/C{i}"));
+    let prop = |d: &mut Dictionary, i: u8| d.encode_iri(&format!("http://ex/p{i}"));
+    let node = |d: &mut Dictionary, i: u8| d.encode_iri(&format!("http://ex/n{i}"));
+    let mut g = Graph::new();
+    for (a, b) in [(0u8, 1u8), (1, 2), (2, 0)] {
+        let t = Triple::new(class(&mut dict, a), vocab.sub_class_of, class(&mut dict, b));
+        g.insert(t);
+    }
+    for (a, b) in [(0u8, 1u8), (1, 0)] {
+        let t = Triple::new(
+            prop(&mut dict, a),
+            vocab.sub_property_of,
+            prop(&mut dict, b),
+        );
+        g.insert(t);
+    }
+    let n0 = node(&mut dict, 0);
+    let n1 = node(&mut dict, 1);
+    let c0 = class(&mut dict, 0);
+    let p1 = prop(&mut dict, 1);
+    g.insert(Triple::new(n0, vocab.rdf_type, c0));
+    g.insert(Triple::new(n0, p1, n1));
+    let sat = saturate(&g, &vocab);
+
+    for i in 0..3u8 {
+        let q = format!(
+            "SELECT DISTINCT ?x WHERE {{ ?x <{}> <http://ex/C{i}> }}",
+            rdf_model::vocab::RDF_TYPE
+        );
+        assert_routes_agree(&mut dict, &vocab, &g, &sat.graph, &q).unwrap();
+        // The cycle makes C0 ⊑ Ci for every i: n0 is an answer everywhere.
+        let parsed = parse_query(&q, &mut dict).unwrap();
+        assert_eq!(evaluate(&sat.graph, &parsed).len(), 1, "C{i}");
+    }
+    for i in 0..2u8 {
+        let q = format!("SELECT DISTINCT ?x ?y WHERE {{ ?x <http://ex/p{i}> ?y }}");
+        assert_routes_agree(&mut dict, &vocab, &g, &sat.graph, &q).unwrap();
+    }
 }
 
 #[test]

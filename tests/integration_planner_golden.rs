@@ -1,0 +1,83 @@
+//! Golden-file test for the BGP planner: the join order and cardinality
+//! estimates picked for LUBM Q1–Q10 are snapshotted in
+//! `tests/golden/planner_lubm.txt`. Any change to the cost model, the
+//! greedy search or the LUBM generator shows up as a readable diff
+//! instead of a silent plan regression.
+//!
+//! To accept an intentional change, regenerate the snapshot with
+//! `WEBREASON_BLESS=1 cargo test -p webreason-core --test
+//! integration_planner_golden` and review the diff like any other code.
+
+use sparql::plan::{plan_bgp_with, DistinctCounts};
+use sparql::{QTerm, Query};
+use workload::lubm::{generate, queries, LubmConfig};
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/planner_lubm.txt")
+}
+
+/// Renders one planned query: each BGP's patterns in evaluation order,
+/// with the estimate the planner used when it chose them.
+fn render_plan(dict: &rdf_model::Dictionary, q: &Query, g: &rdf_model::Graph) -> String {
+    let dc = DistinctCounts::of(g);
+    let term = |q: &Query, t: QTerm| -> String {
+        match t {
+            QTerm::Var(v) => format!("?{}", q.var_name(v)),
+            QTerm::Const(id) => dict
+                .decode(id)
+                .map_or_else(|| format!("#{id}"), |tm| tm.to_string()),
+        }
+    };
+    let mut out = String::new();
+    for (bi, bgp) in q.bgps.iter().enumerate() {
+        let plan = plan_bgp_with(g, &dc, bgp);
+        if q.bgps.len() > 1 {
+            out.push_str(&format!("  branch {bi}:\n"));
+        }
+        for (step, (&idx, est)) in plan.order.iter().zip(&plan.estimates).enumerate() {
+            let tp = &bgp.patterns[idx];
+            out.push_str(&format!(
+                "  {step}. {} {} {}  est={est:.4}\n",
+                term(q, tp.s),
+                term(q, tp.p),
+                term(q, tp.o),
+            ));
+        }
+    }
+    out
+}
+
+#[test]
+fn planner_join_orders_match_golden_file() {
+    let mut ds = generate(&LubmConfig::tiny());
+    let named = queries(&mut ds);
+
+    let mut snapshot = String::from(
+        "# Planner snapshot: LUBM Q1-Q10 join orders and cardinality estimates\n\
+         # (LubmConfig::tiny). Regenerate with WEBREASON_BLESS=1; review diffs.\n",
+    );
+    for nq in &named {
+        snapshot.push_str(&format!("\n{}: {}\n", nq.name, nq.description));
+        snapshot.push_str(&render_plan(&ds.dict, &nq.query, &ds.graph));
+    }
+
+    let path = golden_path();
+    if std::env::var("WEBREASON_BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &snapshot).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with WEBREASON_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        snapshot,
+        want,
+        "planner output diverged from {}; if the change is intentional, \
+         regenerate with WEBREASON_BLESS=1 and commit the diff",
+        path.display()
+    );
+}
