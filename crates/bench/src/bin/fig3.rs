@@ -5,28 +5,46 @@
 //! five thresholds (saturation, instance insertion/deletion, schema
 //! insertion/deletion) as a table and a log-scale ASCII bar chart — the
 //! same series the paper's Fig. 3 plots on a log axis — plus the headline
-//! observation: the spread in orders of magnitude.
+//! observation: the spread in orders of magnitude. Since updates against
+//! a journaled store pay a write-ahead append before maintenance runs,
+//! the report also measures that per-update journal overhead under both
+//! fsync policies.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin fig3 [tiny|small|default|large] [recompute|dred|counting]
 //! ```
 
-use bench::{fmt_secs, log_bar, lubm_workload, render_table, write_json, Scale};
+use bench::{
+    emit_json, fmt_secs, journal_append_cost, log_bar, lubm_workload, render_table, Scale,
+};
+use durability::FsyncPolicy;
 use webreason_core::cost::profile;
 use webreason_core::threshold::{compute_thresholds, spread_orders_of_magnitude, Threshold};
 use webreason_core::MaintenanceAlgorithm;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let scale = args
-        .first()
-        .map(|s| Scale::parse(s).unwrap_or_else(|| panic!("unknown scale {s:?}")))
-        .unwrap_or(Scale::Default);
+    let scale = match args.first() {
+        None => Scale::Default,
+        Some(s) => match Scale::parse(s) {
+            Some(scale) => scale,
+            None => {
+                eprintln!("error: unknown scale {s:?} (expected tiny|small|default|large)");
+                std::process::exit(2);
+            }
+        },
+    };
     let algo = match args.get(1).map(String::as_str) {
         None | Some("counting") => MaintenanceAlgorithm::Counting,
         Some("dred") => MaintenanceAlgorithm::DRed,
         Some("recompute") => MaintenanceAlgorithm::Recompute,
-        Some(other) => panic!("unknown maintenance algorithm {other:?}"),
+        Some(other) => {
+            eprintln!(
+                "error: unknown maintenance algorithm {other:?} \
+                 (expected recompute|dred|counting)"
+            );
+            std::process::exit(2);
+        }
     };
 
     eprintln!("generating LUBM workload ({scale:?})…");
@@ -99,23 +117,56 @@ fn main() {
         "(the paper reports \"up to 7 orders of magnitude\" on its PostgreSQL-backed testbed)"
     );
 
+    let journal_overhead = measure_journal_overhead();
+    if let Some(o) = &journal_overhead {
+        println!(
+            "journal overhead per update: {} (fsync always) | {} (fsync never)",
+            fmt_secs(o.append_always_s),
+            fmt_secs(o.append_never_s),
+        );
+    }
+
     #[derive(serde::Serialize)]
     struct Fig3Report<'a> {
         scale: String,
         profile: &'a webreason_core::cost::CostProfile,
         thresholds: &'a [webreason_core::threshold::QueryThresholds],
         spread_orders_of_magnitude: f64,
+        journal_overhead: Option<JournalOverhead>,
     }
-    match write_json(
+    let ok = emit_json(
         "fig3",
         &Fig3Report {
             scale: format!("{scale:?}"),
             profile: &prof,
             thresholds: &thresholds,
             spread_orders_of_magnitude: spread,
+            journal_overhead,
         },
-    ) {
-        Ok(path) => eprintln!("\nwrote {}", path.display()),
-        Err(e) => eprintln!("\ncould not write JSON report: {e}"),
+    );
+    if !ok {
+        std::process::exit(1);
     }
+}
+
+#[derive(serde::Serialize)]
+struct JournalOverhead {
+    append_always_s: f64,
+    append_never_s: f64,
+}
+
+/// Per-append journal cost under both fsync policies; `None` (with a
+/// message) when the filesystem refuses, rather than aborting the run.
+fn measure_journal_overhead() -> Option<JournalOverhead> {
+    let measure = |fsync| match journal_append_cost(fsync, 200) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            eprintln!("could not measure journal overhead: {e}");
+            None
+        }
+    };
+    Some(JournalOverhead {
+        append_always_s: measure(FsyncPolicy::Always)?,
+        append_never_s: measure(FsyncPolicy::Never)?,
+    })
 }

@@ -7,8 +7,10 @@
 //! ```
 
 use bench::{
-    assert_same_answers, fmt_secs, lubm_workload, render_table, saturated, time, write_json, Scale,
+    assert_same_answers, emit_json, fmt_secs, journal_append_cost, lubm_workload, render_table,
+    saturated, time, Scale,
 };
+use durability::FsyncPolicy;
 use rdfs::incremental::MaintenanceAlgorithm;
 use rdfs::{saturate, saturate_naive, saturate_parallel, Schema};
 use reformulation::reformulate;
@@ -28,23 +30,31 @@ fn main() {
             .position(|a| a == flag)
             .and_then(|i| args.get(i + 1).cloned())
     };
-    let scale = get("--scale")
-        .map(|s| Scale::parse(&s).unwrap_or_else(|| panic!("unknown scale {s:?}")))
-        .unwrap_or(Scale::Small);
+    let scale = match get("--scale") {
+        None => Scale::Small,
+        Some(s) => match Scale::parse(&s) {
+            Some(scale) => scale,
+            None => {
+                eprintln!("error: unknown scale {s:?} (expected tiny|small|default|large)");
+                std::process::exit(2);
+            }
+        },
+    };
     let which = get("--table").unwrap_or_else(|| "all".to_owned());
 
     let run = |name: &str| which == "all" || which == name;
+    let mut reports_ok = true;
     if run("sat") {
-        table_sat();
+        reports_ok &= table_sat();
     }
     if run("ref") {
-        table_ref(scale);
+        reports_ok &= table_ref(scale);
     }
     if run("qa") {
-        table_qa(scale);
+        reports_ok &= table_qa(scale);
     }
     if run("maint") {
-        table_maint(scale);
+        reports_ok &= table_maint(scale);
     }
     if run("datalog") {
         table_datalog(scale);
@@ -56,13 +66,16 @@ fn main() {
         table_parallel();
     }
     if run("aref") {
-        table_aref(scale);
+        reports_ok &= table_aref(scale);
     }
     if run("fed") {
         table_federation();
     }
     if run("soc") {
         table_social();
+    }
+    if !reports_ok {
+        std::process::exit(1);
     }
 }
 
@@ -278,7 +291,7 @@ fn table_parallel() {
 /// evaluator across 4 workers. The subclass-heavy synthetic query (a
 /// depth-4 × fanout-3 class tree, >100 union branches) is the stress case
 /// for the §II-D open issue of evaluating large reformulated unions.
-fn table_aref(scale: Scale) {
+fn table_aref(scale: Scale) -> bool {
     println!("== A-REF: union-aware evaluation of q_ref (sequential / shared / parallel) ==");
     const SAMPLES: usize = 3;
 
@@ -425,13 +438,13 @@ fn table_aref(scale: Scale) {
          list across 4 workers with sharded disjoint-write merging. All three\n\
          are asserted to return the same answer set.\n"
     );
-    let _ = write_json("table_aref", &report);
+    emit_json("table_aref", &report)
 }
 
 /// T-SAT: saturation time and size blow-up across dataset scales, for the
 /// specialised single-pass engine vs the naive fix-point vs the Datalog
 /// translation (the engine-specialisation ablation).
-fn table_sat() {
+fn table_sat() -> bool {
     println!("== T-SAT: graph saturation across scales ==");
     #[derive(Serialize)]
     struct Row {
@@ -496,12 +509,12 @@ fn table_sat() {
             &rows
         )
     );
-    let _ = write_json("table_sat", &report);
+    emit_json("table_sat", &report)
 }
 
 /// T-REF: reformulated query size (union branches) and reformulation time,
 /// on LUBM Q1–Q10 and on a synthetic class-tree depth sweep.
-fn table_ref(scale: Scale) {
+fn table_ref(scale: Scale) -> bool {
     println!("== T-REF: reformulation size and time (LUBM) ==");
     let (ds, qs) = lubm_workload(scale);
     let schema = Schema::extract(&ds.graph, &ds.vocab);
@@ -588,12 +601,12 @@ fn table_ref(scale: Scale) {
         "{}",
         render_table(&["tree", "classes", "branches(root query)", "time"], &rows)
     );
-    let _ = write_json("table_ref", &report);
+    emit_json("table_ref", &report)
 }
 
 /// T-QA: per-query evaluation time — q(G∞) vs q_ref(G) vs backward
 /// chaining — with the winner column ("who wins, where").
-fn table_qa(scale: Scale) {
+fn table_qa(scale: Scale) -> bool {
     println!("== T-QA: query answering, saturation vs reformulation vs backward ==");
     let (ds, qs) = lubm_workload(scale);
     let sat = saturated(&ds);
@@ -658,13 +671,26 @@ fn table_qa(scale: Scale) {
             &rows
         )
     );
-    let _ = write_json("table_qa", &report);
+    emit_json("table_qa", &report)
 }
 
-/// T-MAINT: maintenance cost per update kind, per algorithm.
-fn table_maint(scale: Scale) {
+/// T-MAINT: maintenance cost per update kind, per algorithm, next to the
+/// write-ahead-journal append a durable (`--journal`) store pays before
+/// any maintenance runs.
+fn table_maint(scale: Scale) -> bool {
     println!("== T-MAINT: saturation maintenance per update kind ==");
     let (ds, qs) = lubm_workload(scale);
+    // The WAL append is algorithm-independent: every durable update pays
+    // it once, before maintenance. Measured under both fsync policies.
+    let wal = |fsync| match journal_append_cost(fsync, 200) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("could not measure journal overhead ({e}); reporting 0");
+            0.0
+        }
+    };
+    let wal_always_s = wal(FsyncPolicy::Always);
+    let wal_never_s = wal(FsyncPolicy::Never);
     #[derive(Serialize)]
     struct Row {
         algorithm: String,
@@ -672,6 +698,7 @@ fn table_maint(scale: Scale) {
         instance_delete_s: f64,
         schema_insert_s: f64,
         schema_delete_s: f64,
+        wal_append_s: f64,
     }
     let mut report = Vec::new();
     let mut rows = Vec::new();
@@ -683,6 +710,7 @@ fn table_maint(scale: Scale) {
             fmt_secs(p.maintenance.instance_delete),
             fmt_secs(p.maintenance.schema_insert),
             fmt_secs(p.maintenance.schema_delete),
+            fmt_secs(wal_always_s),
         ]);
         report.push(Row {
             algorithm: algo.name().to_owned(),
@@ -690,6 +718,7 @@ fn table_maint(scale: Scale) {
             instance_delete_s: p.maintenance.instance_delete,
             schema_insert_s: p.maintenance.schema_insert,
             schema_delete_s: p.maintenance.schema_delete,
+            wal_append_s: wal_always_s,
         });
     }
     println!(
@@ -700,15 +729,19 @@ fn table_maint(scale: Scale) {
                 "inst-insert",
                 "inst-delete",
                 "schema-insert",
-                "schema-delete"
+                "schema-delete",
+                "wal-append"
             ],
             &rows
         )
     );
     println!(
-        "(recompute pays the full saturation on every update; counting/DRed are incremental)\n"
+        "(recompute pays the full saturation on every update; counting/DRed are\n\
+         incremental. wal-append is the journal write a --journal store adds to\n\
+         every update, fsync always; with fsync never it costs {}.)\n",
+        fmt_secs(wal_never_s),
     );
-    let _ = write_json("table_maint", &report);
+    emit_json("table_maint", &report)
 }
 
 /// A-DATALOG: the §II-D translation — equivalence and relative speed.

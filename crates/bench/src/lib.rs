@@ -123,11 +123,57 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<PathBu
     let dir = workspace_root().join("bench_results");
     std::fs::create_dir_all(&dir)?;
     let path = dir.join(format!("{name}.json"));
-    std::fs::write(
-        &path,
-        serde_json::to_string_pretty(value).expect("serialisable"),
-    )?;
+    let json = serde_json::to_string_pretty(value)
+        .map_err(|e| std::io::Error::other(format!("report is not serialisable: {e}")))?;
+    std::fs::write(&path, json)?;
     Ok(path)
+}
+
+/// [`write_json`] for the harness binaries: prints the path on success or
+/// a readable message on failure, and returns whether the write landed so
+/// `main` can exit non-zero instead of silently dropping the report.
+pub fn emit_json<T: Serialize>(name: &str, value: &T) -> bool {
+    match write_json(name, value) {
+        Ok(path) => {
+            eprintln!("wrote {}", path.display());
+            true
+        }
+        Err(e) => {
+            eprintln!("error: could not write bench_results/{name}.json: {e}");
+            false
+        }
+    }
+}
+
+/// Measures the write-ahead-journal overhead a durable store adds to one
+/// update: the per-append cost of journaling a representative one-triple
+/// `InsertBatch` (a few fresh terms ride along, as they do in real
+/// workloads). Returns seconds per append, or an error when the
+/// filesystem refuses (the caller reports, it does not panic).
+pub fn journal_append_cost(
+    fsync: durability::FsyncPolicy,
+    appends: usize,
+) -> Result<f64, durability::DurabilityError> {
+    use rdf_model::{Term, TermId, Triple};
+    let dir = std::env::temp_dir().join(format!("webreason-bench-wal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(durability::DurabilityError::Io)?;
+    let path = dir.join(format!("overhead-{}.wal", fsync.name()));
+    let _ = std::fs::remove_file(&path);
+    let mut journal = durability::Journal::open(&path, fsync)?;
+    let t = |i| TermId::from_index(i);
+    let start = std::time::Instant::now();
+    for i in 0..appends.max(1) {
+        journal.append(&durability::JournalRecord::InsertBatch {
+            new_terms: vec![
+                Term::iri(format!("http://bench/subject-{i}")),
+                Term::literal("payload"),
+            ],
+            triples: vec![Triple::new(t(i), t(1), t(2))],
+        })?;
+    }
+    let per_append = start.elapsed().as_secs_f64() / appends.max(1) as f64;
+    let _ = std::fs::remove_file(&path);
+    Ok(per_append)
 }
 
 /// The workspace root (two levels above this crate's manifest).

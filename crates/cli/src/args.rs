@@ -1,7 +1,8 @@
 //! Command-line argument parsing (hand-rolled; no dependency needed for
-//! five commands and six flags).
+//! a handful of commands and flags).
 
 use std::fmt;
+use webreason_core::FsyncPolicy;
 
 /// A reasoning strategy name accepted on the command line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -52,12 +53,19 @@ pub enum Command {
         files: Vec<String>,
         /// SPARQL text (already dereferenced if given as `@file`).
         sparql: String,
-        /// Strategy to answer with.
-        strategy: Strategy,
+        /// Strategy to answer with (`None` = the default, or — with
+        /// `--journal` — whatever strategy the journaled store has).
+        strategy: Option<Strategy>,
         /// Maximum solutions printed.
         limit_display: usize,
-        /// Worker threads for saturation passes.
-        threads: usize,
+        /// Worker threads for saturation passes (`None` = default / the
+        /// journaled store's count).
+        threads: Option<usize>,
+        /// Durability directory: updates are journaled and the store is
+        /// recovered from it on the next run.
+        journal: Option<String>,
+        /// When journal appends reach the disk (`--fsync always|never`).
+        fsync: FsyncPolicy,
     },
     /// `webreason saturate …`
     Saturate {
@@ -96,6 +104,17 @@ pub enum Command {
         /// Path to a query file: one query per line, optionally
         /// `name<TAB>query` or `name|query`.
         queries: String,
+    },
+    /// `webreason checkpoint <journal-dir>` — snapshot a durable store.
+    Checkpoint {
+        /// The durability directory holding the journal.
+        dir: String,
+    },
+    /// `webreason recover <journal-dir>` — rebuild and summarise a
+    /// durable store without modifying it.
+    Recover {
+        /// The durability directory holding the journal.
+        dir: String,
     },
     /// `webreason help`
     Help,
@@ -166,23 +185,39 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "queries",
         "entailment",
         "threads",
+        "journal",
+        "fsync",
     ];
     for (name, _) in &flags {
         if !known_flags.contains(&name.as_str()) {
             return Err(err(format!("unknown flag --{name}; try `webreason help`")));
         }
     }
-    if files.is_empty() {
-        return Err(err("no data files given"));
+    // The durability commands take the journal directory as their only
+    // positional; every data-driven command needs at least one file —
+    // except `query --journal`, whose data may live entirely in the
+    // journal.
+    match command.as_str() {
+        "checkpoint" | "recover" => {
+            if files.len() != 1 {
+                return Err(err(format!("{command} needs exactly one <journal-dir>")));
+            }
+        }
+        "query" if flag("journal").is_some() => {}
+        _ => {
+            if files.is_empty() {
+                return Err(err("no data files given"));
+            }
+        }
     }
 
     match command.as_str() {
         "query" => {
             let sparql = sparql_value(flag("sparql").ok_or_else(|| err("query needs --sparql"))?)?;
             let strategy = match flag("strategy") {
-                None => Strategy::Counting,
+                None => None,
                 Some(s) => {
-                    Strategy::parse(s).ok_or_else(|| err(format!("unknown strategy {s:?}")))?
+                    Some(Strategy::parse(s).ok_or_else(|| err(format!("unknown strategy {s:?}")))?)
                 }
             };
             let limit_display = match flag("limit-display") {
@@ -192,21 +227,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .map_err(|_| err("--limit-display needs a number"))?,
             };
             let threads = match flag("threads") {
-                None => 1,
-                Some(v) => v
-                    .parse::<usize>()
-                    .ok()
-                    .filter(|&n| n >= 1)
-                    .ok_or_else(|| err("--threads needs a positive number"))?,
+                None => None,
+                Some(v) => Some(
+                    v.parse::<usize>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or_else(|| err("--threads needs a positive number"))?,
+                ),
             };
+            let journal = flag("journal").map(str::to_owned);
+            let fsync = match flag("fsync") {
+                None => FsyncPolicy::Always,
+                Some(v) => FsyncPolicy::parse(v).ok_or_else(|| {
+                    err(format!("unknown fsync policy {v:?}; use always or never"))
+                })?,
+            };
+            if fsync != FsyncPolicy::Always && journal.is_none() {
+                return Err(err("--fsync only applies with --journal"));
+            }
             Ok(Command::Query {
                 files,
                 sparql,
                 strategy,
                 limit_display,
                 threads,
+                journal,
+                fsync,
             })
         }
+        "checkpoint" => Ok(Command::Checkpoint {
+            dir: files.remove(0),
+        }),
+        "recover" => Ok(Command::Recover {
+            dir: files.remove(0),
+        }),
         "saturate" => {
             let parallel = match flag("parallel") {
                 None => None,
@@ -279,9 +333,11 @@ mod tests {
             Command::Query {
                 files: vec!["data.ttl".into(), "more.nt".into()],
                 sparql: "SELECT".into(),
-                strategy: Strategy::Reformulation,
+                strategy: Some(Strategy::Reformulation),
                 limit_display: 5,
-                threads: 4,
+                threads: Some(4),
+                journal: None,
+                fsync: FsyncPolicy::Always,
             }
         );
     }
@@ -294,11 +350,15 @@ mod tests {
                 strategy,
                 limit_display,
                 threads,
+                journal,
+                fsync,
                 ..
             } => {
-                assert_eq!(strategy, Strategy::Counting);
+                assert_eq!(strategy, None, "resolved to counting at run time");
                 assert_eq!(limit_display, 20);
-                assert_eq!(threads, 1);
+                assert_eq!(threads, None);
+                assert_eq!(journal, None);
+                assert_eq!(fsync, FsyncPolicy::Always);
             }
             other => panic!("{other:?}"),
         }
@@ -324,7 +384,53 @@ mod tests {
             ("datalog", Strategy::Datalog),
         ] {
             let c = parse_args(&argv(&format!("query d --sparql Q --strategy {name}"))).unwrap();
-            assert!(matches!(c, Command::Query { strategy, .. } if strategy == want));
+            assert!(matches!(c, Command::Query { strategy, .. } if strategy == Some(want)));
+        }
+    }
+
+    #[test]
+    fn durability_commands_and_flags() {
+        assert_eq!(
+            parse_args(&argv("checkpoint /tmp/j")).unwrap(),
+            Command::Checkpoint {
+                dir: "/tmp/j".into()
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("recover /tmp/j")).unwrap(),
+            Command::Recover {
+                dir: "/tmp/j".into()
+            }
+        );
+        // a journaled query needs no data files; --fsync rides along
+        let c = parse_args(&argv("query --sparql Q --journal /tmp/j --fsync never")).unwrap();
+        match c {
+            Command::Query {
+                files,
+                journal,
+                fsync,
+                ..
+            } => {
+                assert!(files.is_empty());
+                assert_eq!(journal.as_deref(), Some("/tmp/j"));
+                assert_eq!(fsync, FsyncPolicy::Never);
+            }
+            other => panic!("{other:?}"),
+        }
+        for (line, needle) in [
+            ("checkpoint", "exactly one"),
+            ("recover a b", "exactly one"),
+            (
+                "query --sparql Q --journal /tmp/j --fsync sometimes",
+                "unknown fsync",
+            ),
+            (
+                "query d.ttl --sparql Q --fsync never",
+                "only applies with --journal",
+            ),
+        ] {
+            let e = parse_args(&argv(line)).unwrap_err();
+            assert!(e.0.contains(needle), "{line:?}: {e}");
         }
     }
 

@@ -7,7 +7,10 @@ use rdfs::{saturate, saturate_parallel, Schema};
 use reformulation::reformulate;
 use std::fmt::Write as _;
 use std::num::NonZeroUsize;
-use webreason_core::{MaintenanceAlgorithm, ReasoningConfig, Store};
+use webreason_core::durable::JOURNAL_FILE;
+use webreason_core::{
+    DurableStore, FsyncPolicy, MaintenanceAlgorithm, ReasoningConfig, Store, StoreStats,
+};
 
 fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
@@ -70,7 +73,28 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
             strategy,
             limit_display,
             threads,
-        } => query(files, sparql, *strategy, *limit_display, *threads),
+            journal,
+            fsync,
+        } => match journal {
+            Some(dir) => query_journaled(
+                files,
+                sparql,
+                *strategy,
+                *limit_display,
+                *threads,
+                dir,
+                *fsync,
+            ),
+            None => query(
+                files,
+                sparql,
+                strategy.unwrap_or(Strategy::Counting),
+                *limit_display,
+                threads.unwrap_or(1),
+            ),
+        },
+        Command::Checkpoint { dir } => checkpoint_cmd(dir),
+        Command::Recover { dir } => recover_cmd(dir),
         Command::Saturate {
             files,
             parallel,
@@ -186,6 +210,107 @@ fn query(
     if lines.len() > limit_display {
         let _ = writeln!(out, "  … and {} more", lines.len() - limit_display);
     }
+    Ok(out)
+}
+
+/// `query --journal DIR`: recover (or create) a durable store in `dir`,
+/// durably load any data files given on top, and answer. Strategy and
+/// thread flags, when given, are journaled switches; when omitted the
+/// store keeps whatever it had (a fresh store defaults to counting).
+fn query_journaled(
+    files: &[String],
+    sparql: &str,
+    strategy: Option<Strategy>,
+    limit_display: usize,
+    threads: Option<usize>,
+    dir: &str,
+    fsync: FsyncPolicy,
+) -> Result<String, CliError> {
+    let exists = std::path::Path::new(dir).join(JOURNAL_FILE).exists();
+    let mut ds = if exists {
+        DurableStore::open(dir, fsync)
+    } else {
+        DurableStore::create(
+            dir,
+            store_config(strategy.unwrap_or(Strategy::Counting)),
+            NonZeroUsize::new(threads.unwrap_or(1)).expect("validated by the parser"),
+            fsync,
+        )
+    }
+    .map_err(|e| err(format!("{dir}: {e}")))?;
+    if let Some(s) = strategy {
+        ds.set_config(store_config(s))
+            .map_err(|e| err(e.to_string()))?;
+    }
+    if let Some(n) = threads {
+        ds.set_threads(NonZeroUsize::new(n).expect("validated by the parser"))
+            .map_err(|e| err(e.to_string()))?;
+    }
+    for path in files {
+        let text = read_file(path)?;
+        let result = if path.ends_with(".ttl") {
+            ds.load_turtle(&text)
+        } else {
+            ds.load_ntriples(&text)
+        };
+        result.map_err(|e| err(format!("{path}: {e}")))?;
+    }
+    let sols = ds.answer_sparql(sparql).map_err(|e| err(e.to_string()))?;
+    let store = ds.store();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} solution(s) [strategy: {}, {} base triples, journal: {} record(s), fsync {}]",
+        sols.len(),
+        store.config().name(),
+        store.base_graph().len(),
+        ds.seq(),
+        fsync.name(),
+    );
+    let lines = sols.to_strings(store.dictionary());
+    for line in lines.iter().take(limit_display) {
+        let _ = writeln!(out, "  {line}");
+    }
+    if lines.len() > limit_display {
+        let _ = writeln!(out, "  … and {} more", lines.len() - limit_display);
+    }
+    Ok(out)
+}
+
+fn render_store_stats(out: &mut String, stats: &StoreStats) {
+    let _ = writeln!(out, "strategy:          {}", stats.strategy);
+    let _ = writeln!(out, "threads:           {}", stats.threads);
+    let _ = writeln!(out, "base triples:      {}", stats.base_triples);
+    if let Some(n) = stats.saturated_triples {
+        let _ = writeln!(out, "saturated triples: {n}");
+    }
+    let _ = writeln!(out, "dictionary terms:  {}", stats.dictionary_terms);
+}
+
+/// `webreason checkpoint <dir>`: snapshot the durable store so future
+/// recoveries replay less journal.
+fn checkpoint_cmd(dir: &str) -> Result<String, CliError> {
+    let mut ds =
+        DurableStore::open(dir, FsyncPolicy::Always).map_err(|e| err(format!("{dir}: {e}")))?;
+    let path = ds.checkpoint().map_err(|e| err(format!("{dir}: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "checkpoint written: {} (covers {} journal record(s))",
+        path.display(),
+        ds.seq().saturating_sub(1), // minus the checkpoint mark itself
+    );
+    render_store_stats(&mut out, &ds.stats());
+    Ok(out)
+}
+
+/// `webreason recover <dir>`: rebuild the store read-only and summarise
+/// what came back.
+fn recover_cmd(dir: &str) -> Result<String, CliError> {
+    let store = Store::recover(dir).map_err(|e| err(format!("{dir}: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "recovered store from {dir}");
+    render_store_stats(&mut out, &store.stats());
     Ok(out)
 }
 
@@ -496,6 +621,61 @@ PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Cat }
         assert!(out.contains("Q2"), "unnamed query gets a number: {out}");
         assert!(out.contains("threshold spread:"), "{out}");
         assert!(out.contains("saturation: 2 -> 3 triples"), "{out}");
+    }
+
+    #[test]
+    fn journaled_query_survives_across_runs() {
+        let fx = Fixture::new("journal", &[("zoo.ttl", ZOO_TTL)]);
+        let jdir = fx.dir.join("journal");
+        let jflag = format!("--journal {}", jdir.display());
+        // First run: create the store, load the data, answer.
+        let out = run_line(
+            &format!(
+                "query --sparql SELECT_?x_WHERE{{?x_a_<http://ex/Mammal>}} --strategy dred {jflag}"
+            ),
+            &fx.files,
+        )
+        .unwrap();
+        assert!(out.starts_with("1 solution(s)"), "{out}");
+        assert!(out.contains("journal:"), "{out}");
+        // Second run: NO data files — everything comes back from the journal.
+        let out = run_line(
+            &format!("query --sparql SELECT_?x_WHERE{{?x_a_<http://ex/Mammal>}} {jflag}"),
+            &[],
+        )
+        .unwrap();
+        assert!(out.starts_with("1 solution(s)"), "{out}");
+        assert!(
+            out.contains("strategy: saturation(dred)"),
+            "journaled strategy survives: {out}"
+        );
+        // Checkpoint, then recover, both against the same directory.
+        let out = run_line("checkpoint", &[jdir.display().to_string()]).unwrap();
+        assert!(out.contains("checkpoint written:"), "{out}");
+        let out = run_line("recover", &[jdir.display().to_string()]).unwrap();
+        assert!(out.contains("recovered store"), "{out}");
+        assert!(out.contains("base triples:      2"), "{out}");
+        assert!(out.contains("saturation(dred)"), "{out}");
+        // The third query run still opens the checkpointed store cleanly.
+        let out = run_line(
+            &format!(
+                "query --sparql SELECT_?x_WHERE{{?x_a_<http://ex/Mammal>}} --fsync never {jflag}"
+            ),
+            &[],
+        )
+        .unwrap();
+        assert!(out.starts_with("1 solution(s)"), "{out}");
+    }
+
+    #[test]
+    fn recover_on_a_missing_directory_is_an_empty_store() {
+        let fx = Fixture::new("recover-missing", &[("zoo.ttl", ZOO_TTL)]);
+        let out = run_line(
+            "recover",
+            &[fx.dir.join("never-written").display().to_string()],
+        )
+        .unwrap();
+        assert!(out.contains("base triples:      0"), "{out}");
     }
 
     #[test]

@@ -6,10 +6,13 @@
 //!
 //! ```text
 //! webreason query <data.ttl>…   --sparql <text|@file> [--strategy S] [--limit-display N] [--threads N]
+//!                               [--journal DIR [--fsync always|never]]
 //! webreason saturate <data.ttl>… [--parallel N] [--format nt|ttl]
 //! webreason reformulate <data.ttl>… --sparql <text|@file>
 //! webreason explain <data.ttl>… --triple "<s> <p> <o>"
 //! webreason stats <data.ttl>…
+//! webreason checkpoint <journal-dir>
+//! webreason recover <journal-dir>
 //! ```
 //!
 //! Data files are Turtle (`.ttl`) or N-Triples (anything else). The
@@ -47,6 +50,8 @@ COMMANDS:
     explain      show why a triple is entailed
     stats        summarise the dataset (triples, schema, classes, properties)
     thresholds   the paper's Fig. 3 analysis: per-query amortisation thresholds
+    checkpoint   snapshot a journaled store (takes the journal dir, not data files)
+    recover      rebuild a journaled store read-only and summarise it
     help         show this message
 
 OPTIONS:
@@ -61,6 +66,9 @@ OPTIONS:
     --limit-display <N>      print at most N solutions         [default: 20]
     --queries <file>         thresholds: one query per line (`name|query`)
     --entailment <f>         saturate: fragment (default) or full RDFS closure
+    --journal <dir>          query: journal updates to <dir>; the store is
+                             recovered from it on later runs (data files optional)
+    --fsync <always|never>   journal durability against OS crashes [default: always]
 
 Data files ending in .ttl parse as Turtle; anything else as N-Triples.
 ";

@@ -1,0 +1,629 @@
+//! Crash-safe stores: a write-ahead journal around [`Store`] updates,
+//! periodic checkpoints, and recovery.
+//!
+//! [`DurableStore`] wraps a [`Store`] so that every state-changing
+//! operation is journaled *before* it is applied in memory (write-ahead
+//! order). [`Store::recover`] rebuilds the store from the newest valid
+//! checkpoint plus the journal tail; because the incremental maintenance
+//! engines converge on the same `G∞` as a from-scratch saturation, a
+//! recovered store answers every query exactly as the store that never
+//! crashed (asserted by the crash-equivalence suite under
+//! `--features failpoints`).
+//!
+//! What is journaled: insert/delete batches (with the dictionary terms
+//! interned since the previous record, in interning order — replay
+//! re-interns them and necessarily assigns the same sequential ids),
+//! strategy switches and thread-count changes. Derived state (saturations,
+//! schema closures, caches) is never journaled: it is recomputed from the
+//! base graph, which is what makes recovery converge instead of having to
+//! trust a possibly-torn derived structure.
+
+use crate::store::{AnswerError, ReasoningConfig, Store, StoreStats};
+use durability::{
+    load_latest, prune_checkpoints, write_checkpoint, Checkpoint, DurabilityError, FsyncPolicy,
+    Journal, JournalRecord,
+};
+use rdf_model::{Dictionary, Graph, Term, Triple, Vocab};
+use rdfs::incremental::UpdateStats;
+use sparql::Solutions;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
+
+/// The journal file name inside a durability directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// How many checkpoints [`DurableStore::checkpoint`] keeps on disk (the
+/// newest, plus one fallback in case the newest is damaged).
+const CHECKPOINTS_KEPT: usize = 2;
+
+/// An error raised by durable-store operations or recovery.
+#[derive(Debug)]
+pub enum DurableError {
+    /// The journal or a checkpoint failed (I/O or corruption).
+    Durability(DurabilityError),
+    /// The wrapped store operation failed (parse errors etc.).
+    Answer(AnswerError),
+    /// A checkpoint claims more journal records than the journal holds —
+    /// the journal was truncated or swapped and recovery cannot trust it.
+    CheckpointAhead {
+        /// Records the checkpoint claims are reflected in it.
+        seq: u64,
+        /// Intact records actually present in the journal.
+        available: u64,
+    },
+    /// A journaled or checkpointed strategy name is not a known
+    /// [`ReasoningConfig`] (a file from a newer version, or tampering).
+    UnknownConfig(String),
+}
+
+impl fmt::Display for DurableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableError::Durability(e) => write!(f, "{e}"),
+            DurableError::Answer(e) => write!(f, "{e}"),
+            DurableError::CheckpointAhead { seq, available } => write!(
+                f,
+                "checkpoint covers {seq} journal records but only {available} exist — \
+                 the journal is missing records"
+            ),
+            DurableError::UnknownConfig(name) => {
+                write!(f, "unknown reasoning strategy in durable state: {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurableError {}
+
+impl From<DurabilityError> for DurableError {
+    fn from(e: DurabilityError) -> Self {
+        DurableError::Durability(e)
+    }
+}
+impl From<AnswerError> for DurableError {
+    fn from(e: AnswerError) -> Self {
+        DurableError::Answer(e)
+    }
+}
+impl From<std::io::Error> for DurableError {
+    fn from(e: std::io::Error) -> Self {
+        DurableError::Durability(DurabilityError::Io(e))
+    }
+}
+
+/// A [`Store`] whose updates survive crashes.
+///
+/// Every mutation goes through the journal first; [`DurableStore::open`]
+/// (or [`Store::recover`] for a read-only rebuild) brings a directory
+/// back to exactly the state the last acknowledged update left it in.
+pub struct DurableStore {
+    store: Store,
+    journal: Journal,
+    dir: PathBuf,
+    /// Dictionary length already captured by the journal stream (baseline
+    /// terms + every record's `new_terms`). The delta above this watermark
+    /// rides along with the next journaled update.
+    journaled_terms: usize,
+}
+
+impl DurableStore {
+    /// Creates a fresh durable store in `dir` (created if missing). Fails
+    /// if `dir` already holds a journal with records or a checkpoint —
+    /// use [`DurableStore::open`] to resume an existing one.
+    pub fn create(
+        dir: impl Into<PathBuf>,
+        config: ReasoningConfig,
+        threads: NonZeroUsize,
+        fsync: FsyncPolicy,
+    ) -> Result<DurableStore, DurableError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut journal = Journal::open(dir.join(JOURNAL_FILE), fsync)?;
+        if journal.seq() > 0 || load_latest(&dir)?.is_some() {
+            return Err(DurableError::Durability(DurabilityError::Io(
+                std::io::Error::new(
+                    std::io::ErrorKind::AlreadyExists,
+                    format!("{} already holds a durable store", dir.display()),
+                ),
+            )));
+        }
+        let store = Store::new_with_threads(config, threads);
+        // Journal the initial strategy and thread count so a recovery that
+        // has lost every checkpoint still converges from the empty
+        // baseline (whose vocabulary terms are interned deterministically).
+        journal.append(&JournalRecord::SetConfig {
+            name: config.name(),
+        })?;
+        journal.append(&JournalRecord::SetThreads {
+            threads: threads.get() as u32,
+        })?;
+        let journaled_terms = store.dictionary().len();
+        Ok(DurableStore {
+            store,
+            journal,
+            dir,
+            journaled_terms,
+        })
+    }
+
+    /// Opens the durable store in `dir`, recovering its state: newest
+    /// valid checkpoint, journal tail replayed, torn tail truncated. A
+    /// directory with neither journal nor checkpoint opens as an empty
+    /// store under [`ReasoningConfig::None`].
+    pub fn open(dir: impl Into<PathBuf>, fsync: FsyncPolicy) -> Result<DurableStore, DurableError> {
+        let dir = dir.into();
+        let store = recover_in(&dir)?;
+        // `Journal::open` rescans and truncates any torn tail, so appends
+        // resume exactly after the last record the recovery replayed.
+        let journal = Journal::open(dir.join(JOURNAL_FILE), fsync)?;
+        let journaled_terms = store.dictionary().len();
+        Ok(DurableStore {
+            store,
+            journal,
+            dir,
+            journaled_terms,
+        })
+    }
+
+    /// The wrapped store (read-only — mutations must go through the
+    /// journaled methods).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The durability directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Records appended to the journal so far.
+    pub fn seq(&self) -> u64 {
+        self.journal.seq()
+    }
+
+    /// Size and state snapshot of the wrapped store.
+    pub fn stats(&self) -> StoreStats {
+        self.store.stats()
+    }
+
+    /// Terms interned since the journal stream last captured the
+    /// dictionary (query preparation may intern terms between updates;
+    /// the next journaled update carries them).
+    fn dict_delta(&self) -> Vec<Term> {
+        self.store
+            .dictionary()
+            .iter()
+            .skip(self.journaled_terms)
+            .map(|(_, t)| t.clone())
+            .collect()
+    }
+
+    /// Parses Turtle and durably inserts every triple as one batch.
+    /// Returns the document's triple count and the update stats.
+    pub fn load_turtle(&mut self, text: &str) -> Result<(usize, UpdateStats), DurableError> {
+        let mut staging = Graph::new();
+        let n = rdf_io::parse_turtle(text, self.store.dict_mut(), &mut staging)
+            .map_err(AnswerError::Data)?;
+        let triples: Vec<Triple> = staging.iter().collect();
+        let stats = self.insert_batch(&triples)?;
+        Ok((n, stats))
+    }
+
+    /// Parses N-Triples and durably inserts every triple as one batch.
+    pub fn load_ntriples(&mut self, text: &str) -> Result<(usize, UpdateStats), DurableError> {
+        let mut staging = Graph::new();
+        let n = rdf_io::parse_ntriples(text, self.store.dict_mut(), &mut staging)
+            .map_err(AnswerError::Data)?;
+        let triples: Vec<Triple> = staging.iter().collect();
+        let stats = self.insert_batch(&triples)?;
+        Ok((n, stats))
+    }
+
+    /// Durably inserts a batch of encoded triples: journal first, then
+    /// apply (one maintenance pass where the strategy supports it).
+    pub fn insert_batch(&mut self, triples: &[Triple]) -> Result<UpdateStats, DurableError> {
+        self.journal.append(&JournalRecord::InsertBatch {
+            new_terms: self.dict_delta(),
+            triples: triples.to_vec(),
+        })?;
+        self.journaled_terms = self.store.dictionary().len();
+        Ok(self.store.insert_batch(triples))
+    }
+
+    /// Durably deletes a batch of encoded triples.
+    pub fn delete_batch(&mut self, triples: &[Triple]) -> Result<UpdateStats, DurableError> {
+        self.journal.append(&JournalRecord::DeleteBatch {
+            new_terms: self.dict_delta(),
+            triples: triples.to_vec(),
+        })?;
+        self.journaled_terms = self.store.dictionary().len();
+        Ok(self.store.delete_batch(triples))
+    }
+
+    /// Encodes three terms and durably inserts the triple.
+    pub fn insert_terms(
+        &mut self,
+        s: &Term,
+        p: &Term,
+        o: &Term,
+    ) -> Result<UpdateStats, DurableError> {
+        let dict = self.store.dict_mut();
+        let t = Triple::new(dict.encode(s), dict.encode(p), dict.encode(o));
+        self.insert_batch(&[t])
+    }
+
+    /// Durably deletes the triple formed by three terms (a no-op when any
+    /// term is unknown, mirroring [`Store::delete_terms`]).
+    pub fn delete_terms(
+        &mut self,
+        s: &Term,
+        p: &Term,
+        o: &Term,
+    ) -> Result<UpdateStats, DurableError> {
+        let dict = self.store.dictionary();
+        match (dict.get_id(s), dict.get_id(p), dict.get_id(o)) {
+            (Some(s), Some(p), Some(o)) => self.delete_batch(&[Triple::new(s, p, o)]),
+            _ => Ok(UpdateStats {
+                kind: rdfs::incremental::UpdateKind::Noop,
+                added: 0,
+                removed: 0,
+                work: 0,
+            }),
+        }
+    }
+
+    /// Durably switches reasoning strategy.
+    pub fn set_config(&mut self, config: ReasoningConfig) -> Result<(), DurableError> {
+        self.journal.append(&JournalRecord::SetConfig {
+            name: config.name(),
+        })?;
+        self.store.set_config(config);
+        Ok(())
+    }
+
+    /// Durably changes the worker-thread count.
+    pub fn set_threads(&mut self, threads: NonZeroUsize) -> Result<(), DurableError> {
+        self.journal.append(&JournalRecord::SetThreads {
+            threads: threads.get() as u32,
+        })?;
+        self.store.set_threads(threads);
+        Ok(())
+    }
+
+    /// Answers a SPARQL query (queries are not journaled; the terms they
+    /// intern ride along with the next update record).
+    pub fn answer_sparql(&mut self, sparql: &str) -> Result<Solutions, AnswerError> {
+        self.store.answer_sparql(sparql)
+    }
+
+    /// Writes a checkpoint of the current state, marks it in the journal,
+    /// and prunes old checkpoints (the newest two are kept). Returns the
+    /// checkpoint's path.
+    ///
+    /// The journal is forced to disk first, so a checkpoint never claims
+    /// records the disk has not seen; the checkpoint file itself lands
+    /// atomically (tmp + fsync + rename).
+    pub fn checkpoint(&mut self) -> Result<PathBuf, DurableError> {
+        self.journal.sync()?;
+        let cp = Checkpoint {
+            seq: self.journal.seq(),
+            config: self.store.config().name(),
+            threads: self.store.threads().get() as u32,
+            terms: self
+                .store
+                .dictionary()
+                .iter()
+                .map(|(_, t)| t.clone())
+                .collect(),
+            triples: self.store.base_graph().iter().collect(),
+        };
+        let path = write_checkpoint(&self.dir, &cp)?;
+        self.journal
+            .append(&JournalRecord::CheckpointMark { seq: cp.seq })?;
+        prune_checkpoints(&self.dir, CHECKPOINTS_KEPT)?;
+        Ok(path)
+    }
+
+    /// Forces buffered journal appends to disk regardless of the fsync
+    /// policy.
+    pub fn sync(&mut self) -> Result<(), DurableError> {
+        self.journal.sync()?;
+        Ok(())
+    }
+}
+
+impl Store {
+    /// Rebuilds the store a crashed (or cleanly exited) [`DurableStore`]
+    /// left in `dir`: loads the newest checkpoint that validates, replays
+    /// the journal records it does not cover, ignores a torn final record,
+    /// and re-runs maintenance so derived state (saturation, schema
+    /// closure) converges on the same `G∞` the live store had.
+    ///
+    /// Read-only: the journal is not opened for appending and nothing in
+    /// `dir` is modified. Use [`DurableStore::open`] to resume journaling.
+    pub fn recover(dir: impl AsRef<Path>) -> Result<Store, DurableError> {
+        recover_in(dir.as_ref())
+    }
+}
+
+/// The recovery algorithm shared by [`Store::recover`] and
+/// [`DurableStore::open`].
+fn recover_in(dir: &Path) -> Result<Store, DurableError> {
+    let replay = Journal::replay(dir.join(JOURNAL_FILE))?;
+    let (mut store, start) = match load_latest(dir)? {
+        Some((cp, _path)) => {
+            let seq = cp.seq;
+            if seq > replay.records.len() as u64 {
+                return Err(DurableError::CheckpointAhead {
+                    seq,
+                    available: replay.records.len() as u64,
+                });
+            }
+            (store_from_checkpoint(cp)?, seq as usize)
+        }
+        // No usable checkpoint: the empty baseline. Its vocabulary terms
+        // are interned deterministically, so journaled term ids line up.
+        None => (Store::new(ReasoningConfig::None), 0),
+    };
+    for record in &replay.records[start..] {
+        apply_record(&mut store, record)?;
+    }
+    Ok(store)
+}
+
+fn store_from_checkpoint(cp: Checkpoint) -> Result<Store, DurableError> {
+    let config = ReasoningConfig::from_name(&cp.config)
+        .ok_or_else(|| DurableError::UnknownConfig(cp.config.clone()))?;
+    let threads = NonZeroUsize::new(cp.threads.max(1) as usize).expect("max(1) is non-zero");
+    // Re-interning the checkpointed terms in id order reproduces the ids
+    // the checkpointed triples were encoded against.
+    let mut dict = Dictionary::new();
+    for term in &cp.terms {
+        dict.encode(term);
+    }
+    let vocab = Vocab::intern(&mut dict);
+    let mut graph = Graph::new();
+    for t in &cp.triples {
+        graph.insert(*t);
+    }
+    Ok(Store::from_parts_with_threads(
+        dict, vocab, graph, config, threads,
+    ))
+}
+
+/// Applies one journal record to a store being recovered. The write-ahead
+/// discipline makes this idempotent at the convergence level: inserting a
+/// present triple or deleting an absent one is a maintained no-op.
+fn apply_record(store: &mut Store, record: &JournalRecord) -> Result<(), DurableError> {
+    match record {
+        JournalRecord::InsertBatch { new_terms, triples } => {
+            for term in new_terms {
+                store.dict_mut().encode(term);
+            }
+            store.insert_batch(triples);
+        }
+        JournalRecord::DeleteBatch { new_terms, triples } => {
+            for term in new_terms {
+                store.dict_mut().encode(term);
+            }
+            store.delete_batch(triples);
+        }
+        JournalRecord::SetConfig { name } => {
+            let config = ReasoningConfig::from_name(name)
+                .ok_or_else(|| DurableError::UnknownConfig(name.clone()))?;
+            store.set_config(config);
+        }
+        JournalRecord::SetThreads { threads } => {
+            let threads =
+                NonZeroUsize::new((*threads).max(1) as usize).expect("max(1) is non-zero");
+            store.set_threads(threads);
+        }
+        JournalRecord::CheckpointMark { .. } => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rdfs::incremental::MaintenanceAlgorithm;
+
+    const ZOO: &str = r#"
+        @prefix ex: <http://ex/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        ex:Cat rdfs:subClassOf ex:Mammal .
+        ex:Mammal rdfs:subClassOf ex:Animal .
+        ex:Tom a ex:Cat .
+    "#;
+    const MAMMALS: &str = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }";
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("webreason-durable-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sat(alg: MaintenanceAlgorithm) -> ReasoningConfig {
+        ReasoningConfig::Saturation(alg)
+    }
+
+    #[test]
+    fn journal_only_recovery_round_trips() {
+        let dir = tmpdir("journal-only");
+        {
+            let mut ds = DurableStore::create(
+                &dir,
+                sat(MaintenanceAlgorithm::DRed),
+                NonZeroUsize::MIN,
+                FsyncPolicy::Always,
+            )
+            .unwrap();
+            ds.load_turtle(ZOO).unwrap();
+            ds.insert_terms(
+                &Term::iri("http://ex/Felix"),
+                &Term::iri(rdf_model::vocab::RDF_TYPE),
+                &Term::iri("http://ex/Cat"),
+            )
+            .unwrap();
+            ds.delete_terms(
+                &Term::iri("http://ex/Tom"),
+                &Term::iri(rdf_model::vocab::RDF_TYPE),
+                &Term::iri("http://ex/Cat"),
+            )
+            .unwrap();
+            assert_eq!(ds.answer_sparql(MAMMALS).unwrap().len(), 1, "Felix only");
+        }
+        let mut rec = Store::recover(&dir).unwrap();
+        assert_eq!(rec.config(), sat(MaintenanceAlgorithm::DRed));
+        assert_eq!(rec.answer_sparql(MAMMALS).unwrap().len(), 1);
+        assert_eq!(rec.export_ntriples().lines().count(), 3, "3 + Felix - Tom");
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay_and_recovers() {
+        let dir = tmpdir("checkpointed");
+        {
+            let mut ds = DurableStore::create(
+                &dir,
+                sat(MaintenanceAlgorithm::Counting),
+                NonZeroUsize::MIN,
+                FsyncPolicy::Never,
+            )
+            .unwrap();
+            ds.load_turtle(ZOO).unwrap();
+            let path = ds.checkpoint().unwrap();
+            assert!(path.exists());
+            // post-checkpoint tail
+            ds.insert_terms(
+                &Term::iri("http://ex/Rex"),
+                &Term::iri(rdf_model::vocab::RDF_TYPE),
+                &Term::iri("http://ex/Mammal"),
+            )
+            .unwrap();
+            ds.sync().unwrap();
+        }
+        let mut rec = Store::recover(&dir).unwrap();
+        assert_eq!(rec.answer_sparql(MAMMALS).unwrap().len(), 2, "Tom + Rex");
+        // reopening for append keeps journaling consistent
+        let mut ds = DurableStore::open(&dir, FsyncPolicy::Always).unwrap();
+        ds.insert_terms(
+            &Term::iri("http://ex/Ana"),
+            &Term::iri(rdf_model::vocab::RDF_TYPE),
+            &Term::iri("http://ex/Mammal"),
+        )
+        .unwrap();
+        let mut rec = Store::recover(&dir).unwrap();
+        assert_eq!(rec.answer_sparql(MAMMALS).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn torn_journal_tail_recovers_to_the_committed_prefix() {
+        let dir = tmpdir("torn-tail");
+        {
+            let mut ds = DurableStore::create(
+                &dir,
+                sat(MaintenanceAlgorithm::Recompute),
+                NonZeroUsize::MIN,
+                FsyncPolicy::Always,
+            )
+            .unwrap();
+            ds.load_turtle(ZOO).unwrap();
+            ds.insert_terms(
+                &Term::iri("http://ex/Rex"),
+                &Term::iri(rdf_model::vocab::RDF_TYPE),
+                &Term::iri("http://ex/Mammal"),
+            )
+            .unwrap();
+        }
+        // Tear the final record (crash mid-append).
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let mut rec = Store::recover(&dir).unwrap();
+        assert_eq!(rec.answer_sparql(MAMMALS).unwrap().len(), 1, "Rex lost");
+        // …and the torn tail does not poison further appends.
+        let mut ds = DurableStore::open(&dir, FsyncPolicy::Always).unwrap();
+        ds.insert_terms(
+            &Term::iri("http://ex/Rex"),
+            &Term::iri(rdf_model::vocab::RDF_TYPE),
+            &Term::iri("http://ex/Mammal"),
+        )
+        .unwrap();
+        let mut rec = Store::recover(&dir).unwrap();
+        assert_eq!(rec.answer_sparql(MAMMALS).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn config_and_thread_changes_are_durable() {
+        let dir = tmpdir("reconfig");
+        {
+            let mut ds = DurableStore::create(
+                &dir,
+                ReasoningConfig::None,
+                NonZeroUsize::MIN,
+                FsyncPolicy::Always,
+            )
+            .unwrap();
+            ds.load_turtle(ZOO).unwrap();
+            ds.set_config(ReasoningConfig::Reformulation).unwrap();
+            ds.set_threads(NonZeroUsize::new(2).unwrap()).unwrap();
+        }
+        let rec = Store::recover(&dir).unwrap();
+        assert_eq!(rec.config(), ReasoningConfig::Reformulation);
+        assert_eq!(rec.threads().get(), 2);
+    }
+
+    #[test]
+    fn create_refuses_an_existing_store() {
+        let dir = tmpdir("exists");
+        DurableStore::create(
+            &dir,
+            ReasoningConfig::None,
+            NonZeroUsize::MIN,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        assert!(DurableStore::create(
+            &dir,
+            ReasoningConfig::None,
+            NonZeroUsize::MIN,
+            FsyncPolicy::Always,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn recovery_matches_a_never_crashed_reference() {
+        // The in-process half of the crash-equivalence argument: recovery
+        // from (checkpoint + journal) equals the live store, answers and
+        // saturation included. The process-kill half lives in
+        // tests/integration_crash.rs behind --features failpoints.
+        let dir = tmpdir("reference");
+        let mut live = DurableStore::create(
+            &dir,
+            sat(MaintenanceAlgorithm::DRed),
+            NonZeroUsize::MIN,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        live.load_turtle(ZOO).unwrap();
+        live.checkpoint().unwrap();
+        live.load_turtle("@prefix ex: <http://ex/> .\nex:Rex a ex:Mammal .")
+            .unwrap();
+        live.delete_terms(
+            &Term::iri("http://ex/Tom"),
+            &Term::iri(rdf_model::vocab::RDF_TYPE),
+            &Term::iri("http://ex/Cat"),
+        )
+        .unwrap();
+        let mut rec = Store::recover(live.dir()).unwrap();
+        assert_eq!(rec.export_ntriples(), live.store().export_ntriples());
+        assert_eq!(rec.stats(), live.stats());
+        assert_eq!(
+            rec.answer_sparql(MAMMALS).unwrap().as_set(),
+            live.answer_sparql(MAMMALS).unwrap().as_set()
+        );
+    }
+}

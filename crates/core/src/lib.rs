@@ -49,12 +49,15 @@
 pub mod advisor;
 mod backward;
 pub mod cost;
+pub mod durable;
 mod store;
 pub mod threshold;
 
 pub use backward::evaluate_backward;
+pub use durable::{DurableError, DurableStore};
 pub use store::{AnswerError, ReasoningConfig, Store, StoreStats};
 
 // Re-export the pieces callers compose with.
+pub use durability::FsyncPolicy;
 pub use rdfs::incremental::MaintenanceAlgorithm;
 pub use sparql::Solutions;

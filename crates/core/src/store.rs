@@ -3,11 +3,14 @@
 use crate::backward::evaluate_backward;
 use datalog::rdf::saturate_via_datalog;
 use rdf_io::ParseError;
-use rdf_model::{Dictionary, Graph, Term, Triple, Vocab};
+use rdf_model::{Dictionary, Graph, Term, Triple, Vocab, WorkerPanicked};
 use rdfs::incremental::{Maintainer, MaintenanceAlgorithm, UpdateStats};
 use rdfs::Schema;
 use reformulation::{reformulate, ReformulationError};
-use sparql::{evaluate, evaluate_union, parse_query, EvalStats, Query, QueryParseError, Solutions};
+use sparql::{
+    evaluate, evaluate_union, parse_query, try_evaluate_union, EvalStats, Query, QueryParseError,
+    Solutions,
+};
 use std::fmt;
 use std::num::NonZeroUsize;
 
@@ -52,6 +55,13 @@ impl ReasoningConfig {
         ReasoningConfig::Datalog,
     ];
 
+    /// Parses a [`ReasoningConfig::name`] back into the configuration
+    /// (used by journal replay and the CLI). Returns `None` for unknown
+    /// names.
+    pub fn from_name(name: &str) -> Option<ReasoningConfig> {
+        Self::ALL.into_iter().find(|c| c.name() == name)
+    }
+
     /// Display name, e.g. `saturation(dred)`.
     pub fn name(self) -> String {
         match self {
@@ -76,6 +86,10 @@ pub enum AnswerError {
     /// The active strategy is reformulation and the query is outside the
     /// reformulation dialect — switch to saturation or backward chaining.
     Reformulation(ReformulationError),
+    /// A parallel evaluation worker panicked; the query was abandoned
+    /// without corrupting the store (which stays usable — retry, or drop
+    /// to one thread).
+    Worker(WorkerPanicked),
 }
 
 impl fmt::Display for AnswerError {
@@ -84,6 +98,7 @@ impl fmt::Display for AnswerError {
             AnswerError::Data(e) => write!(f, "{e}"),
             AnswerError::Query(e) => write!(f, "{e}"),
             AnswerError::Reformulation(e) => write!(f, "{e}"),
+            AnswerError::Worker(e) => write!(f, "{e}"),
         }
     }
 }
@@ -103,6 +118,11 @@ impl From<QueryParseError> for AnswerError {
 impl From<ReformulationError> for AnswerError {
     fn from(e: ReformulationError) -> Self {
         AnswerError::Reformulation(e)
+    }
+}
+impl From<WorkerPanicked> for AnswerError {
+    fn from(e: WorkerPanicked) -> Self {
+        AnswerError::Worker(e)
     }
 }
 
@@ -296,6 +316,13 @@ impl Store {
     /// The dictionary (for decoding solution ids).
     pub fn dictionary(&self) -> &Dictionary {
         &self.dict
+    }
+
+    /// Mutable dictionary access for the durable layer (journal replay
+    /// re-interns terms; the journaled loaders parse against the store's
+    /// dictionary before appending).
+    pub(crate) fn dict_mut(&mut self) -> &mut Dictionary {
+        &mut self.dict
     }
 
     /// The pre-interned vocabulary.
@@ -621,8 +648,10 @@ impl Store {
                         }
                     };
                     // The union-aware evaluator: shared-prefix trie +
-                    // scan cache, parallel across the threads knob.
-                    let (sols, stats) = evaluate_union(graph, q_ref, threads);
+                    // scan cache, parallel across the threads knob. A
+                    // worker panic surfaces as `AnswerError::Worker`; the
+                    // store itself stays consistent.
+                    let (sols, stats) = try_evaluate_union(graph, q_ref, threads)?;
                     eval_stats = Some(stats);
                     sols
                 }
@@ -645,7 +674,8 @@ impl Store {
                     Some(AdaptiveChoice::Saturated) => evaluate(maintainer.saturated(), q),
                     Some(AdaptiveChoice::Reformulated) => {
                         let r = reformulate(q, schema, &self.vocab)?;
-                        let (sols, stats) = evaluate_union(maintainer.base(), &r.query, threads);
+                        let (sols, stats) =
+                            try_evaluate_union(maintainer.base(), &r.query, threads)?;
                         eval_stats = Some(stats);
                         sols
                     }

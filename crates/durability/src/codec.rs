@@ -1,0 +1,248 @@
+//! The compact binary codec shared by journal records and checkpoints.
+//!
+//! Primitives are little-endian and length-prefixed; no padding, no
+//! self-description. [`Term`]s serialise as a tag byte plus their string
+//! parts, [`Triple`]s as three `u32` dictionary ids. Decoding is strict:
+//! any out-of-bounds length, unknown tag or trailing garbage is a
+//! [`CodecError`] — corrupt bytes must never panic or silently decode.
+
+use rdf_model::{Literal, Term, TermId, Triple};
+use std::fmt;
+
+/// A structural decoding failure (after the checksum already passed, this
+/// means a logic error or deliberate tampering; before it, torn bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError {
+    /// Byte offset within the buffer being decoded.
+    pub offset: usize,
+    /// What was being decoded when the bytes ran out or made no sense.
+    pub what: &'static str,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed {} at byte {}", self.what, self.offset)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Appends primitives to a byte buffer.
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: Vec<u8>,
+}
+
+impl Encoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Self {
+        Encoder::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a term: tag byte + string parts.
+    pub fn term(&mut self, t: &Term) {
+        match t {
+            Term::Iri(iri) => {
+                self.u8(0);
+                self.str(iri);
+            }
+            Term::BlankNode(label) => {
+                self.u8(1);
+                self.str(label);
+            }
+            Term::Literal(lit) => match (lit.language(), lit.datatype()) {
+                (None, None) => {
+                    self.u8(2);
+                    self.str(lit.lexical());
+                }
+                (Some(tag), _) => {
+                    self.u8(3);
+                    self.str(lit.lexical());
+                    self.str(tag);
+                }
+                (None, Some(dt)) => {
+                    self.u8(4);
+                    self.str(lit.lexical());
+                    self.str(dt);
+                }
+            },
+        }
+    }
+
+    /// Writes a triple as three dictionary-id indexes.
+    pub fn triple(&mut self, t: &Triple) {
+        self.u32(t.s.index() as u32);
+        self.u32(t.p.index() as u32);
+        self.u32(t.o.index() as u32);
+    }
+}
+
+/// Reads primitives back out of a byte buffer, tracking its offset.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// A decoder over `buf`, starting at offset 0.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Decoder { buf, pos: 0 }
+    }
+
+    /// Current byte offset.
+    pub fn offset(&self) -> usize {
+        self.pos
+    }
+
+    /// True when every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+
+    fn err(&self, what: &'static str) -> CodecError {
+        CodecError {
+            offset: self.pos,
+            what,
+        }
+    }
+
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], CodecError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| self.err(what))?;
+        if end > self.buf.len() {
+            return Err(self.err(what));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self, what: &'static str) -> Result<u8, CodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self, what: &'static str) -> Result<u32, CodecError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self, what: &'static str) -> Result<u64, CodecError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &'static str) -> Result<&'a str, CodecError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        std::str::from_utf8(bytes).map_err(|_| self.err(what))
+    }
+
+    /// Reads a term.
+    pub fn term(&mut self) -> Result<Term, CodecError> {
+        match self.u8("term tag")? {
+            0 => Ok(Term::Iri(self.str("iri")?.into())),
+            1 => Ok(Term::BlankNode(self.str("blank label")?.into())),
+            2 => Ok(Term::Literal(Literal::plain(self.str("literal")?))),
+            3 => {
+                let lexical = self.str("literal")?.to_owned();
+                let tag = self.str("language tag")?;
+                Ok(Term::Literal(Literal::lang(lexical, tag)))
+            }
+            4 => {
+                let lexical = self.str("literal")?.to_owned();
+                let dt = self.str("datatype")?.to_owned();
+                Ok(Term::Literal(Literal::typed(lexical, dt)))
+            }
+            _ => Err(self.err("term tag")),
+        }
+    }
+
+    /// Reads a triple of dictionary-id indexes.
+    pub fn triple(&mut self) -> Result<Triple, CodecError> {
+        let s = self.u32("triple subject")?;
+        let p = self.u32("triple property")?;
+        let o = self.u32("triple object")?;
+        Ok(Triple::new(
+            TermId::from_index(s as usize),
+            TermId::from_index(p as usize),
+            TermId::from_index(o as usize),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn terms_round_trip() {
+        let terms = [
+            Term::iri("http://ex/a"),
+            Term::blank("b0"),
+            Term::literal("plain"),
+            Term::Literal(Literal::lang("chat", "FR")),
+            Term::Literal(Literal::typed(
+                "1",
+                "http://www.w3.org/2001/XMLSchema#integer",
+            )),
+        ];
+        let mut enc = Encoder::new();
+        for t in &terms {
+            enc.term(t);
+        }
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        for t in &terms {
+            assert_eq!(&dec.term().unwrap(), t);
+        }
+        assert!(dec.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_and_bad_tags_error_cleanly() {
+        let mut enc = Encoder::new();
+        enc.term(&Term::iri("http://ex/long-enough-to-truncate"));
+        let bytes = enc.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut dec = Decoder::new(&bytes[..cut]);
+            assert!(dec.term().is_err(), "cut at {cut}");
+        }
+        let mut dec = Decoder::new(&[9u8, 0, 0, 0, 0]);
+        assert!(dec.term().is_err(), "unknown tag");
+        // a length prefix pointing past the end of the buffer
+        let mut dec = Decoder::new(&[0u8, 0xFF, 0xFF, 0xFF, 0xFF, b'x']);
+        assert!(dec.term().is_err(), "oversized length");
+    }
+}

@@ -1,0 +1,55 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected), the checksum guarding every
+//! journal record and checkpoint file. Implemented locally — this build
+//! environment has no crates.io access — with the standard 256-entry
+//! table, built once at first use.
+
+use std::sync::OnceLock;
+
+fn table() -> &'static [u32; 256] {
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+            *entry = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 of `data` (IEEE, reflected, init/final xor `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ table[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let a = b"hello, journal".to_vec();
+        let mut b = a.clone();
+        b[3] ^= 0x40;
+        assert_ne!(crc32(&a), crc32(&b));
+    }
+}

@@ -1,0 +1,103 @@
+//! # durability — crash-safe update journal and checkpoints
+//!
+//! The paper's Fig. 3 is about the cost of *maintaining* a saturated
+//! store under updates; a production store must additionally survive a
+//! crash in the middle of that maintenance. This crate provides the two
+//! on-disk halves of that guarantee, independent of any particular store:
+//!
+//! * [`Journal`] — a write-ahead log of update operations
+//!   ([`JournalRecord`]) in a length-prefixed, CRC-32-checksummed binary
+//!   format, with torn-tail detection and truncation on reopen;
+//! * [`Checkpoint`] — an atomic whole-store snapshot (dictionary + base
+//!   graph + configuration) that bounds how much journal a recovery must
+//!   replay.
+//!
+//! `webreason-core` wires these into the `Store` as `DurableStore` and
+//! `Store::recover`; the CLI exposes them as `webreason checkpoint` /
+//! `webreason recover`. Fault-injection sites (`store.journal.append`,
+//! `store.checkpoint.write`) are compiled in under the `failpoints`
+//! feature for the crash-equivalence test suite.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checkpoint;
+pub mod codec;
+pub mod crc32;
+pub mod journal;
+
+pub use checkpoint::{
+    checkpoint_file_name, load_checkpoint, load_latest, prune_checkpoints, write_checkpoint,
+    Checkpoint,
+};
+pub use journal::{Journal, JournalRecord, Replay};
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// When journal appends reach the disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every appended record: an acknowledged update
+    /// survives an OS crash or power cut (the default).
+    #[default]
+    Always,
+    /// Leave flushing to the OS page cache: much faster, and still safe
+    /// against *process* crashes (the kernel owns the dirty pages), but an
+    /// OS crash can lose the unsynced tail.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parses `always` / `never` (aliases: `os`, `none` for `never`).
+    pub fn parse(s: &str) -> Option<FsyncPolicy> {
+        match s {
+            "always" => Some(FsyncPolicy::Always),
+            "never" | "os" | "none" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Never => "never",
+        }
+    }
+}
+
+/// An error raised by journal or checkpoint operations.
+#[derive(Debug)]
+pub enum DurabilityError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// Bytes on disk fail validation (checksum, magic, or structure).
+    Corrupt {
+        /// The damaged file.
+        path: PathBuf,
+        /// Byte offset of the damage.
+        offset: u64,
+        /// What failed to validate.
+        what: String,
+    },
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io(e) => write!(f, "journal I/O error: {e}"),
+            DurabilityError::Corrupt { path, offset, what } => {
+                write!(f, "{} is corrupt at byte {offset}: {what}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+impl From<std::io::Error> for DurabilityError {
+    fn from(e: std::io::Error) -> Self {
+        DurabilityError::Io(e)
+    }
+}

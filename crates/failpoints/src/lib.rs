@@ -1,0 +1,224 @@
+//! # webreason-failpoints — deterministic fault injection
+//!
+//! A minimal, dependency-free failpoint layer in the style of
+//! `tikv/fail-rs`: code under test marks crash-relevant sites with
+//! [`fail_point!`]`("site.name")`, and a test (or an operator chasing a
+//! heisenbug) arms those sites with an action script. The layer is
+//! **zero-cost unless the `failpoints` cargo feature is enabled**: with
+//! the feature off, `fail_point!` expands to nothing — no registry, no
+//! atomics, no branch.
+//!
+//! ## Arming sites
+//!
+//! Sites are armed from the `WEBREASON_FAILPOINTS` environment variable
+//! (read once, at first evaluation) or programmatically via [`configure`]:
+//!
+//! ```text
+//! WEBREASON_FAILPOINTS=store.journal.append=panic@3,store.merge.pre_commit=abort
+//! ```
+//!
+//! Each entry is `site=action[@n]` where `action` is one of
+//!
+//! * `panic` — panic at the site (unwinding; exercises panic isolation),
+//! * `abort` — abort the process at the site (no destructors, no unwind;
+//!   models a crash / power cut for recovery tests),
+//! * `off`   — explicitly disarmed (useful to override an outer script).
+//!
+//! `@n` (1-based, default 1) delays the action until the *n*-th hit of the
+//! site, so a test can survive two appends and die on the third. Hits are
+//! counted per site with a process-global atomic counter, which makes the
+//! trigger deterministic for a deterministic workload.
+//!
+//! ## Naming convention
+//!
+//! Site names are dotted paths, `<subsystem>.<component>.<event>`:
+//! `store.journal.append`, `store.checkpoint.write`,
+//! `store.merge.pre_commit`, `store.maintain.incremental`,
+//! `rdfs.parallel.worker`, `sparql.union.worker`. The registry is
+//! open-world — arming an unknown site is not an error, it simply never
+//! fires — so tests can be written against sites before they exist.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Marks a fault-injection site.
+///
+/// With the `failpoints` feature enabled this evaluates the site against
+/// the process-global registry (possibly panicking or aborting); with the
+/// feature off it expands to nothing.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {
+        $crate::eval($name)
+    };
+}
+
+/// Marks a fault-injection site (no-op build: the `failpoints` feature is
+/// disabled, the macro expands to nothing).
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! fail_point {
+    ($name:expr) => {};
+}
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex, OnceLock};
+
+    /// What an armed site does when it triggers.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Action {
+        /// Panic (unwinding) at the site.
+        Panic,
+        /// Abort the process at the site — models a hard crash.
+        Abort,
+        /// Explicitly disarmed.
+        Off,
+    }
+
+    struct Site {
+        action: Action,
+        /// 1-based hit index on which the action fires.
+        trigger_at: u64,
+        hits: AtomicU64,
+    }
+
+    struct Registry {
+        sites: HashMap<String, Site>,
+    }
+
+    fn registry() -> &'static Mutex<Registry> {
+        static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+        REGISTRY.get_or_init(|| {
+            let spec = std::env::var("WEBREASON_FAILPOINTS").unwrap_or_default();
+            Mutex::new(parse(&spec))
+        })
+    }
+
+    fn parse(spec: &str) -> Registry {
+        let mut sites = HashMap::new();
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let Some((name, rhs)) = entry.split_once('=') else {
+                continue;
+            };
+            let (action, trigger_at) = match rhs.split_once('@') {
+                Some((a, n)) => (a, n.parse::<u64>().unwrap_or(1).max(1)),
+                None => (rhs, 1),
+            };
+            let action = match action.trim() {
+                "panic" => Action::Panic,
+                "abort" | "kill" => Action::Abort,
+                _ => Action::Off,
+            };
+            sites.insert(
+                name.trim().to_owned(),
+                Site {
+                    action,
+                    trigger_at,
+                    hits: AtomicU64::new(0),
+                },
+            );
+        }
+        Registry { sites }
+    }
+
+    /// Evaluates a site: counts the hit and fires the armed action on the
+    /// configured occurrence. Called by `fail_point!`.
+    pub fn eval(name: &str) {
+        let reg = registry().lock().expect("failpoint registry");
+        let Some(site) = reg.sites.get(name) else {
+            return;
+        };
+        let hit = site.hits.fetch_add(1, Ordering::SeqCst) + 1;
+        if hit != site.trigger_at {
+            return;
+        }
+        match site.action {
+            Action::Off => {}
+            Action::Panic => {
+                drop(reg); // don't poison the registry for catch_unwind users
+                panic!("failpoint {name} triggered (hit {hit})");
+            }
+            Action::Abort => {
+                // Flush nothing, unwind nothing: model a hard crash.
+                eprintln!("failpoint {name} aborting process (hit {hit})");
+                std::process::abort();
+            }
+        }
+    }
+
+    /// Replaces the whole registry from a spec string (same grammar as the
+    /// `WEBREASON_FAILPOINTS` environment variable). Hit counters reset.
+    pub fn configure(spec: &str) {
+        *registry().lock().expect("failpoint registry") = parse(spec);
+    }
+
+    /// How many times a site has been evaluated since it was last armed.
+    pub fn hit_count(name: &str) -> u64 {
+        registry()
+            .lock()
+            .expect("failpoint registry")
+            .sites
+            .get(name)
+            .map(|s| s.hits.load(Ordering::SeqCst))
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{configure, eval, hit_count, Action};
+
+#[cfg(all(test, feature = "failpoints"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The registry is process-global; tests that reconfigure it must not
+    /// overlap.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn unarmed_sites_are_inert() {
+        let _g = serial();
+        configure("");
+        fail_point!("nothing.armed.here");
+        assert_eq!(hit_count("nothing.armed.here"), 0);
+    }
+
+    #[test]
+    fn panic_fires_on_the_configured_hit() {
+        let _g = serial();
+        configure("t.panic=panic@3");
+        fail_point!("t.panic");
+        fail_point!("t.panic");
+        assert_eq!(hit_count("t.panic"), 2);
+        let r = std::panic::catch_unwind(|| fail_point!("t.panic"));
+        assert!(r.is_err(), "third hit panics");
+        // subsequent hits are inert again (one-shot trigger)
+        fail_point!("t.panic");
+        assert_eq!(hit_count("t.panic"), 4);
+    }
+
+    #[test]
+    fn off_and_garbage_actions_never_fire() {
+        let _g = serial();
+        configure("t.off=off,t.junk=frobnicate,malformed-entry,x=panic@0");
+        fail_point!("t.off");
+        fail_point!("t.junk");
+        // `@0` clamps to 1, so "x" would fire on first hit — but only for
+        // a real action; `panic@0` is armed as panic at hit 1.
+        let r = std::panic::catch_unwind(|| fail_point!("x"));
+        assert!(r.is_err());
+        assert_eq!(hit_count("t.off"), 1);
+    }
+}

@@ -1,0 +1,121 @@
+//! Robustness of the parsers against damaged input: files cut off
+//! mid-write, garbage spliced into valid documents, and malformed escape
+//! sequences. The contract under test is total: whatever arrives, the
+//! parser returns `Ok`/`Err` — it never panics — and malformed escapes in
+//! particular are always a readable `Err`, not a silent mis-decode.
+
+use proptest::prelude::*;
+use rdf_io::{parse_ntriples, parse_turtle};
+use rdf_model::{Dictionary, Graph};
+
+/// A well-formed N-Triples document exercising every term shape the
+/// writer produces: IRIs, blank nodes, plain / language-tagged / typed
+/// literals, and string + unicode escapes.
+const VALID_NT: &str = "<http://ex/a> <http://ex/p> <http://ex/b> .\n\
+     _:b0 <http://ex/p> \"plain\" .\n\
+     <http://ex/a> <http://ex/q> \"caf\\u00E9 \\\"quoted\\\" \\n tail\"@en .\n\
+     <http://ex/a> <http://ex/r> \"3.5\"^^<http://www.w3.org/2001/XMLSchema#decimal> .\n";
+
+/// A well-formed Turtle document exercising directives, prefixed names,
+/// `a`, predicate lists and object lists.
+const VALID_TTL: &str = "@prefix ex: <http://ex/> .\n\
+     PREFIX xsd: <http://www.w3.org/2001/XMLSchema#>\n\
+     ex:a a ex:Class ; ex:p ex:b , _:b0 .\n\
+     ex:b ex:q \"lit\"^^xsd:string ; ex:r \"fr\"@fr .\n";
+
+fn nt(input: &str) -> Result<(), rdf_io::ParseError> {
+    let mut d = Dictionary::new();
+    let mut g = Graph::new();
+    parse_ntriples(input, &mut d, &mut g).map(|_| ())
+}
+
+fn ttl(input: &str) -> Result<(), rdf_io::ParseError> {
+    let mut d = Dictionary::new();
+    let mut g = Graph::new();
+    parse_turtle(input, &mut d, &mut g).map(|_| ())
+}
+
+/// Truncates at an arbitrary byte index, snapped back to a char boundary
+/// (a real torn write tears bytes; the parsers take `&str`, so the
+/// filesystem layer has already rejected invalid UTF-8).
+fn truncate_at(doc: &str, at: usize) -> &str {
+    let mut at = at.min(doc.len());
+    while !doc.is_char_boundary(at) {
+        at -= 1;
+    }
+    &doc[..at]
+}
+
+proptest! {
+    /// A document cut off at any point never panics the N-Triples parser.
+    #[test]
+    fn truncated_ntriples_never_panics(at in 0usize..=200) {
+        let _ = nt(truncate_at(VALID_NT, at));
+    }
+
+    /// A document cut off at any point never panics the Turtle parser.
+    #[test]
+    fn truncated_turtle_never_panics(at in 0usize..=200) {
+        let _ = ttl(truncate_at(VALID_TTL, at));
+    }
+
+    /// Garbage spliced into the middle of a valid document never panics
+    /// either parser — the error (if any) is a value, not an unwind.
+    #[test]
+    fn garbage_splice_never_panics(at in 0usize..=200, garbage in "\\PC{0,40}") {
+        for doc in [VALID_NT, VALID_TTL] {
+            let cut = truncate_at(doc, at);
+            let spliced = format!("{cut}{garbage}{}", &doc[cut.len()..]);
+            let _ = nt(&spliced);
+            let _ = ttl(&spliced);
+        }
+    }
+
+    /// A malformed escape inside a literal is always an `Err` — bad hex,
+    /// short escapes, unknown escape letters, non-scalar code points.
+    #[test]
+    fn invalid_escape_is_an_error(esc in prop_oneof![
+        Just("\\x".to_owned()),
+        Just("\\u12".to_owned()),
+        Just("\\uZZZZ".to_owned()),
+        Just("\\U0000".to_owned()),
+        Just("\\UDEADBEEF".to_owned()),
+        Just("\\uD800".to_owned()),            // lone surrogate
+        "\\\\u[0-9A-F]{0,3}",                  // truncated \u escapes
+        "\\\\[cdeghijkmosvwxyz]",              // unknown escape letters
+    ]) {
+        let line = format!("<http://ex/a> <http://ex/p> \"{esc}\" .");
+        prop_assert!(nt(&line).is_err(), "N-Triples accepted {esc:?}");
+        let doc = format!("@prefix ex: <http://ex/> .\nex:a ex:p \"{esc}\" .");
+        prop_assert!(ttl(&doc).is_err(), "Turtle accepted {esc:?}");
+    }
+
+    /// A malformed `\u` escape inside an IRI is likewise an `Err`.
+    #[test]
+    fn invalid_iri_escape_is_an_error(esc in prop_oneof![
+        Just("\\uD800".to_owned()),
+        Just("\\uGGGG".to_owned()),
+        "\\\\u[0-9A-F]{0,3}",
+    ]) {
+        let line = format!("<http://ex/{esc}> <http://ex/p> <http://ex/b> .");
+        prop_assert!(nt(&line).is_err(), "N-Triples accepted IRI escape {esc:?}");
+    }
+}
+
+/// Deterministic spot-checks that truncation lands where expected: a cut
+/// at a line boundary parses the surviving prefix, a cut mid-triple is a
+/// parse error (never a panic, never a phantom triple).
+#[test]
+fn truncation_boundaries_behave() {
+    let first_line_len = VALID_NT.find('\n').unwrap() + 1;
+    let mut d = Dictionary::new();
+    let mut g = Graph::new();
+    parse_ntriples(&VALID_NT[..first_line_len], &mut d, &mut g).unwrap();
+    assert_eq!(g.len(), 1);
+
+    // cut inside the second triple's subject
+    assert!(nt(&VALID_NT[..first_line_len + 2]).is_err());
+    // cut inside a quoted literal: the string never closes
+    let quote = VALID_NT.find('"').unwrap();
+    assert!(nt(&VALID_NT[..quote + 3]).is_err());
+}

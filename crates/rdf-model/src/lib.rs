@@ -46,9 +46,11 @@ mod graph;
 mod term;
 mod triple;
 pub mod vocab;
+mod worker;
 
 pub use dictionary::{Dictionary, TermId};
 pub use graph::{Graph, TripleBuckets};
 pub use term::{Literal, Term};
 pub use triple::{Pattern, Triple};
 pub use vocab::Vocab;
+pub use worker::WorkerPanicked;

@@ -1,0 +1,44 @@
+//! Structured reporting of panics in scoped worker threads.
+//!
+//! The parallel engines (`rdfs::parallel`, `sparql::union_eval`) fan work
+//! out over `std::thread::scope` workers. A panic in one worker must not
+//! abort the whole process or poison the store: each worker body runs
+//! under `catch_unwind` and a panic surfaces as a [`WorkerPanicked`]
+//! value naming the site, which upper layers convert into their own error
+//! types (e.g. `AnswerError::Worker`). The type lives here because both
+//! engines (and the store above them) need the same shape and this crate
+//! is their shared base dependency.
+
+use std::fmt;
+
+/// A worker thread panicked; the operation was abandoned without
+/// corrupting any shared state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanicked {
+    /// The site that panicked, in failpoint naming convention
+    /// (`<subsystem>.<component>.<event>`, e.g. `rdfs.parallel.worker`).
+    pub site: &'static str,
+    /// The panic payload, when it was a string (the common case).
+    pub message: String,
+}
+
+impl WorkerPanicked {
+    /// Builds the error from a site name and the payload `catch_unwind`
+    /// returned.
+    pub fn from_payload(site: &'static str, payload: Box<dyn std::any::Any + Send>) -> Self {
+        let message = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        WorkerPanicked { site, message }
+    }
+}
+
+impl fmt::Display for WorkerPanicked {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "worker panicked at {}: {}", self.site, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanicked {}

@@ -200,6 +200,10 @@ fn classify(t: &Triple, vocab: &Vocab, insert: bool) -> UpdateKind {
 /// Semi-naive forward closure from `frontier` (already inserted in `sat`).
 /// Returns `(new_triples, work)`.
 fn seminaive_extend(sat: &mut Graph, mut frontier: Vec<Triple>, vocab: &Vocab) -> (usize, usize) {
+    // Crash site for the fault-injection suite: the base graph is already
+    // updated but the saturation delta has not been applied yet — exactly
+    // the state a recovery must be able to reconverge from.
+    webreason_failpoints::fail_point!("store.maintain.incremental");
     let mut added = 0;
     let mut work = 0;
     let mut buf: Vec<Triple> = Vec::new();
@@ -434,6 +438,7 @@ impl DRedMaintainer {
     /// the seeds (already removed from the base), then re-derive what is
     /// still supported. Returns `(net_removed, work)`.
     fn dred_delete(&mut self, seeds: Vec<Triple>) -> (usize, usize) {
+        webreason_failpoints::fail_point!("store.maintain.incremental");
         let mut work = 0;
 
         // 1. Over-delete: everything transitively derivable from the seeds.

@@ -30,10 +30,12 @@
 
 use crate::saturation::{derive_instance_consequences, SaturationResult, SaturationStats};
 use crate::schema::Schema;
-use rdf_model::{Graph, Triple, TripleBuckets, Vocab};
+use rdf_model::{Graph, Triple, TripleBuckets, Vocab, WorkerPanicked};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
+use webreason_failpoints::fail_point;
 
 /// Computes `G∞` with `threads` worker threads for both phases.
 ///
@@ -43,7 +45,29 @@ use std::time::Instant;
 /// (`"parallel-derived"`, `"parallel-new"`), the wall-clock of the two
 /// phases in microseconds (`"derive-us"`, `"merge-us"`) — the A-PAR
 /// experiment reports this split per thread count.
+///
+/// Panic isolation: a panic inside a derive worker is caught and the
+/// whole pass **falls back to the sequential engine**, which computes the
+/// identical graph — callers that want the panic surfaced instead use
+/// [`try_saturate_parallel`].
 pub fn saturate_parallel(g: &Graph, vocab: &Vocab, threads: NonZeroUsize) -> SaturationResult {
+    match try_saturate_parallel(g, vocab, threads) {
+        Ok(result) => result,
+        // The sequential engine derives the same closure; the store stays
+        // consistent (and unpoisoned) even when a worker died.
+        Err(_) => crate::saturate(g, vocab),
+    }
+}
+
+/// [`saturate_parallel`] that surfaces a derive-worker panic as a
+/// structured [`WorkerPanicked`] error instead of falling back. No
+/// partial output escapes: the routed buckets of a failed pass are
+/// dropped whole.
+pub fn try_saturate_parallel(
+    g: &Graph,
+    vocab: &Vocab,
+    threads: NonZeroUsize,
+) -> Result<SaturationResult, WorkerPanicked> {
     let threads = threads.get();
     let schema = Schema::extract(g, vocab);
     let shard_count = threads.next_power_of_two();
@@ -56,35 +80,46 @@ pub fn saturate_parallel(g: &Graph, vocab: &Vocab, threads: NonZeroUsize) -> Sat
     let derive_start = Instant::now();
     let base: Vec<Triple> = g.iter().collect();
     let chunk = base.len().div_ceil(threads).max(1);
-    let worker_out: Vec<(TripleBuckets, u64)> = std::thread::scope(|scope| {
+    type WorkerResult = Result<(TripleBuckets, u64), WorkerPanicked>;
+    let worker_out: Vec<WorkerResult> = std::thread::scope(|scope| {
         let schema = &schema;
         let handles: Vec<_> = base
             .chunks(chunk)
             .map(|part| {
                 scope.spawn(move || {
-                    let mut bucket = TripleBuckets::new(shard_count);
-                    let mut local =
-                        FxHashSet::with_capacity_and_hasher(part.len() * 2, Default::default());
-                    for t in part {
-                        bucket.push(*t);
-                        derive_instance_consequences(t, vocab, schema, |_, c| {
-                            if local.insert(c) {
-                                bucket.push(c);
-                            }
-                        });
-                    }
-                    (bucket, local.len() as u64)
+                    // Panic isolation: a panicking worker (a bug, or an
+                    // armed failpoint) is caught here so the scope joins
+                    // cleanly and no lock or shared structure is poisoned.
+                    catch_unwind(AssertUnwindSafe(|| {
+                        fail_point!("rdfs.parallel.worker");
+                        let mut bucket = TripleBuckets::new(shard_count);
+                        let mut local =
+                            FxHashSet::with_capacity_and_hasher(part.len() * 2, Default::default());
+                        for t in part {
+                            bucket.push(*t);
+                            derive_instance_consequences(t, vocab, schema, |_, c| {
+                                if local.insert(c) {
+                                    bucket.push(c);
+                                }
+                            });
+                        }
+                        (bucket, local.len() as u64)
+                    }))
+                    .map_err(|payload| {
+                        WorkerPanicked::from_payload("rdfs.parallel.worker", payload)
+                    })
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
+            .map(|h| h.join().expect("caught-panic worker never unwinds"))
             .collect()
     });
     let mut buckets: Vec<TripleBuckets> = Vec::with_capacity(worker_out.len() + 1);
     let mut derived_raw = 0u64;
-    for (bucket, raw) in worker_out {
+    for result in worker_out {
+        let (bucket, raw) = result?;
         derived_raw += raw;
         buckets.push(bucket);
     }
@@ -104,7 +139,10 @@ pub fn saturate_parallel(g: &Graph, vocab: &Vocab, threads: NonZeroUsize) -> Sat
     buckets.push(schema_bucket);
     let derive_us = derive_start.elapsed().as_micros() as u64;
 
-    // Phase 2 — merge. One task per (index, shard), all concurrent.
+    // Phase 2 — merge. One task per (index, shard), all concurrent. The
+    // failpoint sits between the phases: killing here models a crash
+    // after derivation but before any write lands in the output graph.
+    fail_point!("store.merge.pre_commit");
     let merge_start = Instant::now();
     out.merge_buckets(buckets, threads);
     let merge_us = merge_start.elapsed().as_micros() as u64;
@@ -122,7 +160,7 @@ pub fn saturate_parallel(g: &Graph, vocab: &Vocab, threads: NonZeroUsize) -> Sat
         passes: 1,
         rule_firings,
     };
-    SaturationResult { graph: out, stats }
+    Ok(SaturationResult { graph: out, stats })
 }
 
 #[cfg(test)]

@@ -37,13 +37,15 @@
 use crate::ast::{Query, TriplePattern};
 use crate::eval::{bind_triple, passes_negation, resolve, Solutions};
 use crate::plan::{plan_bgp_with, DistinctCounts};
-use rdf_model::{Graph, Pattern, TermId, Triple};
+use rdf_model::{Graph, Pattern, TermId, Triple, WorkerPanicked};
 use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
 use smallvec::SmallVec;
 use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::rc::Rc;
 use std::time::Instant;
+use webreason_failpoints::fail_point;
 
 /// One projected answer row.
 type Row = Vec<TermId>;
@@ -387,7 +389,27 @@ fn merge_shard(mut parts: Vec<Vec<Row>>, distinct: bool) -> Vec<Row> {
 /// to `threads` parallel workers. Returns the same answer multiset as
 /// [`evaluate`](crate::evaluate) (set-equal under `DISTINCT`, bag-equal
 /// otherwise), plus the [`EvalStats`] describing how it got there.
+///
+/// Panic isolation: a panic inside an evaluation or merge worker is
+/// caught and the query is **re-run single-threaded**, which computes the
+/// identical answer without spawning workers — callers that want the
+/// panic surfaced instead use [`try_evaluate_union`].
 pub fn evaluate_union(g: &Graph, q: &Query, threads: NonZeroUsize) -> (Solutions, EvalStats) {
+    match try_evaluate_union(g, q, threads) {
+        Ok(result) => result,
+        Err(_) => try_evaluate_union(g, q, NonZeroUsize::MIN)
+            .expect("single-threaded union evaluation spawns no workers"),
+    }
+}
+
+/// [`evaluate_union`] that surfaces a worker panic as a structured
+/// [`WorkerPanicked`] error instead of falling back. No partial answer
+/// escapes: the routed row shards of a failed pass are dropped whole.
+pub fn try_evaluate_union(
+    g: &Graph,
+    q: &Query,
+    threads: NonZeroUsize,
+) -> Result<(Solutions, EvalStats), WorkerPanicked> {
     let eval_start = Instant::now();
     let mut stats = EvalStats {
         branches_total: q.bgps.len(),
@@ -424,13 +446,26 @@ pub fn evaluate_union(g: &Graph, q: &Query, threads: NonZeroUsize) -> (Solutions
         std::thread::scope(|s| {
             let handles: Vec<_> = branches
                 .chunks(per)
-                .map(|chunk| s.spawn(move || run_chunk(g, q, chunk, shard_count)))
+                .map(|chunk| {
+                    s.spawn(move || {
+                        // Panic isolation: a panicking worker (a bug, or
+                        // an armed failpoint) is caught here so the scope
+                        // joins cleanly and nothing shared is poisoned.
+                        catch_unwind(AssertUnwindSafe(|| {
+                            fail_point!("sparql.union.worker");
+                            run_chunk(g, q, chunk, shard_count)
+                        }))
+                        .map_err(|payload| {
+                            WorkerPanicked::from_payload("sparql.union.worker", payload)
+                        })
+                    })
+                })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("union evaluation worker panicked"))
-                .collect()
-        })
+                .map(|h| h.join().expect("caught-panic worker never unwinds"))
+                .collect::<Result<Vec<_>, _>>()
+        })?
     };
 
     // Transpose worker outputs into per-shard merge tasks.
@@ -454,14 +489,27 @@ pub fn evaluate_union(g: &Graph, q: &Query, threads: NonZeroUsize) -> (Solutions
         let mut tasks: Vec<Option<Vec<Vec<Row>>>> = shard_parts.into_iter().map(Some).collect();
         let per = shard_count.div_ceil(workers);
         std::thread::scope(|s| {
-            for (task_chunk, out_chunk) in tasks.chunks_mut(per).zip(merged.chunks_mut(per)) {
-                s.spawn(move || {
-                    for (task, out) in task_chunk.iter_mut().zip(out_chunk.iter_mut()) {
-                        *out = merge_shard(task.take().expect("merge task"), q.distinct);
-                    }
-                });
-            }
-        });
+            let handles: Vec<_> = tasks
+                .chunks_mut(per)
+                .zip(merged.chunks_mut(per))
+                .map(|(task_chunk, out_chunk)| {
+                    s.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| {
+                            fail_point!("sparql.union.worker");
+                            for (task, out) in task_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                                *out = merge_shard(task.take().expect("merge task"), q.distinct);
+                            }
+                        }))
+                        .map_err(|payload| {
+                            WorkerPanicked::from_payload("sparql.union.worker", payload)
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .try_for_each(|h| h.join().expect("caught-panic worker never unwinds"))
+        })?;
     } else {
         for (parts, out) in shard_parts.into_iter().zip(merged.iter_mut()) {
             *out = merge_shard(parts, q.distinct);
@@ -476,7 +524,7 @@ pub fn evaluate_union(g: &Graph, q: &Query, threads: NonZeroUsize) -> (Solutions
         .iter()
         .map(|&v| q.var_name(v).to_owned())
         .collect();
-    (Solutions { var_names, rows }, stats)
+    Ok((Solutions { var_names, rows }, stats))
 }
 
 #[cfg(test)]

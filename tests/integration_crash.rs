@@ -1,0 +1,331 @@
+//! Crash-equivalence suite (build with `--features failpoints`).
+//!
+//! The property under test: **killing the process at any fault-injection
+//! site leaves a directory from which [`Store::recover`] rebuilds exactly
+//! the store a never-crashed run of the committed operation prefix would
+//! have produced** — same base graph, same converged saturation, same
+//! query answers.
+//!
+//! Mechanics: each scenario re-executes this test binary, filtered to
+//! [`crash_child_entry`], with `WEBREASON_FAILPOINTS` arming one site with
+//! `abort@n`. The child runs a fixed durable workload and dies at the
+//! armed site (no unwind, no destructors — a model power cut). The parent
+//! then recovers the directory and checks it against the oracle: the
+//! journal's record count determines the exact committed prefix, and a
+//! fresh store fed the recovered base graph must converge on the same
+//! derived state and answers.
+//!
+//! The same binary also exercises the panic-isolation contract of the
+//! scoped-worker pools (`rdfs.parallel.worker`, `sparql.union.worker`):
+//! an injected worker panic surfaces as a structured error or a clean
+//! sequential fallback, never as a poisoned store or a process abort.
+
+use durability::{FsyncPolicy, Journal};
+use rdf_model::Term;
+use rdfs::incremental::MaintenanceAlgorithm;
+use std::num::NonZeroUsize;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use webreason_core::durable::JOURNAL_FILE;
+use webreason_core::{DurableStore, ReasoningConfig, Store};
+
+const ZOO: &str = r#"
+    @prefix ex: <http://ex/> .
+    @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+    ex:Cat rdfs:subClassOf ex:Mammal .
+    ex:Mammal rdfs:subClassOf ex:Animal .
+    ex:Tom a ex:Cat .
+"#;
+const MAMMALS: &str = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }";
+const ANIMALS: &str = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Animal }";
+
+/// The fixed child workload. Journal records, in order:
+///
+/// | # | record                      | MAMMALS after |
+/// |---|-----------------------------|---------------|
+/// | 1 | SetConfig(sat-dred)         | 0             |
+/// | 2 | SetThreads(1)               | 0             |
+/// | 3 | InsertBatch(ZOO)            | 1 (Tom)       |
+/// | 4 | InsertBatch(Rex a Mammal)   | 2             |
+/// | 5 | CheckpointMark              | 2             |
+/// | 6 | InsertBatch(Ana a Cat)      | 3             |
+/// | 7 | DeleteBatch(Tom a Cat)      | 2             |
+/// | 8 | InsertBatch(Dog ⊑ Mammal)   | 2             |
+///
+/// `EXPECTED_MAMMALS[k]` is the answer count after the first `k` records.
+const EXPECTED_MAMMALS: [usize; 9] = [0, 0, 0, 1, 2, 2, 3, 2, 2];
+
+fn rdf_type() -> Term {
+    Term::iri(rdf_model::vocab::RDF_TYPE)
+}
+
+fn run_workload(dir: &Path) {
+    let mut ds = DurableStore::create(
+        dir,
+        ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed),
+        NonZeroUsize::MIN,
+        FsyncPolicy::Always,
+    )
+    .expect("child creates the store");
+    ds.load_turtle(ZOO).expect("zoo loads");
+    // Force the first saturation so later updates run the incremental
+    // maintenance engine (and hit its failpoint site).
+    assert_eq!(ds.answer_sparql(MAMMALS).expect("answers").len(), 1);
+    ds.insert_terms(
+        &Term::iri("http://ex/Rex"),
+        &rdf_type(),
+        &Term::iri("http://ex/Mammal"),
+    )
+    .expect("insert Rex");
+    ds.checkpoint().expect("checkpoint");
+    ds.load_turtle("@prefix ex: <http://ex/> .\nex:Ana a ex:Cat .")
+        .expect("insert Ana");
+    ds.delete_terms(
+        &Term::iri("http://ex/Tom"),
+        &rdf_type(),
+        &Term::iri("http://ex/Cat"),
+    )
+    .expect("delete Tom");
+    ds.insert_terms(
+        &Term::iri("http://ex/Dog"),
+        &Term::iri(rdf_model::vocab::RDFS_SUB_CLASS_OF),
+        &Term::iri("http://ex/Mammal"),
+    )
+    .expect("schema insert");
+    ds.sync().expect("sync");
+    std::fs::write(dir.join("workload-done"), b"done").expect("marker");
+}
+
+/// The child half of every crash scenario: inert under a normal test run
+/// (the driver env var is absent), otherwise runs the workload and dies
+/// at whatever site `WEBREASON_FAILPOINTS` armed.
+#[test]
+fn crash_child_entry() {
+    let Ok(dir) = std::env::var("WEBREASON_CRASH_DIR") else {
+        return;
+    };
+    run_workload(Path::new(&dir));
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("webreason-crash-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Kills a child running [`run_workload`] at `failpoints`, recovers the
+/// directory, and asserts crash equivalence. Returns the recovered store
+/// for scenario-specific checks.
+fn crash_and_recover(name: &str, failpoints: &str) -> (PathBuf, Store) {
+    let dir = tmpdir(name);
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = Command::new(&exe)
+        .args(["--exact", "crash_child_entry", "--nocapture"])
+        .env("WEBREASON_CRASH_DIR", &dir)
+        .env("WEBREASON_FAILPOINTS", failpoints)
+        .output()
+        .expect("child spawns");
+    assert!(
+        !out.status.success(),
+        "{name}: child survived {failpoints:?}\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+    assert!(
+        !dir.join("workload-done").exists(),
+        "{name}: workload finished before {failpoints:?} fired"
+    );
+
+    let mut rec = Store::recover(&dir).unwrap_or_else(|e| panic!("{name}: recovery failed: {e}"));
+
+    // Oracle 1 — the committed prefix: the journal's record count pins
+    // down exactly which updates the crashed run acknowledged, and the
+    // recovered store must answer accordingly (for records written but
+    // not applied before the crash, write-ahead order means they count).
+    let records = Journal::replay(dir.join(JOURNAL_FILE))
+        .expect("journal replays")
+        .records
+        .len();
+    assert_eq!(
+        rec.answer_sparql(MAMMALS).expect("answers").len(),
+        EXPECTED_MAMMALS[records],
+        "{name}: wrong answers for a {records}-record journal"
+    );
+
+    // Oracle 2 — convergence: a fresh, never-crashed store fed the
+    // recovered base graph must reach the same derived state and answers.
+    let base = rec.export_ntriples();
+    let mut fresh = Store::new_with_threads(rec.config(), rec.threads());
+    fresh.load_ntriples(&base).expect("exported graph re-loads");
+    assert_eq!(fresh.export_ntriples(), base, "{name}: base graph drifts");
+    for query in [MAMMALS, ANIMALS] {
+        let a = rec.answer_sparql(query).expect("recovered store answers");
+        let b = fresh.answer_sparql(query).expect("fresh store answers");
+        assert_eq!(
+            a.to_strings(rec.dictionary()),
+            b.to_strings(fresh.dictionary()),
+            "{name}: recovered and never-crashed stores disagree on {query}"
+        );
+    }
+    assert_eq!(
+        rec.stats().saturated_triples,
+        fresh.stats().saturated_triples,
+        "{name}: saturations diverge"
+    );
+
+    // Oracle 3 — recovery is deterministic, and the directory stays
+    // writable: open for append, add a triple, recover again.
+    let rec2 = Store::recover(&dir).expect("second recovery");
+    assert_eq!(
+        rec2.export_ntriples(),
+        base,
+        "{name}: recovery not deterministic"
+    );
+    let mut resumed = DurableStore::open(&dir, FsyncPolicy::Always).expect("reopen for append");
+    resumed
+        .insert_terms(
+            &Term::iri("http://ex/Post"),
+            &rdf_type(),
+            &Term::iri("http://ex/Mammal"),
+        )
+        .expect("post-crash insert");
+    let mut rec3 = Store::recover(&dir).expect("recovery after resume");
+    assert_eq!(
+        rec3.answer_sparql(MAMMALS).expect("answers").len(),
+        EXPECTED_MAMMALS[records] + 1,
+        "{name}: post-crash append lost"
+    );
+
+    (dir, rec)
+}
+
+/// Crash at every journal append: the armed site fires *before* the frame
+/// is written, so record `n` is exactly the first uncommitted operation.
+#[test]
+fn killed_at_each_journal_append_recovers_the_committed_prefix() {
+    for hit in 1..=8u32 {
+        let (_dir, _rec) = crash_and_recover(
+            &format!("append-{hit}"),
+            &format!("store.journal.append=abort@{hit}"),
+        );
+    }
+}
+
+/// Crash between a checkpoint's tmp-file write and its rename: the
+/// half-made checkpoint must be invisible and recovery journal-only.
+#[test]
+fn killed_mid_checkpoint_falls_back_to_the_journal() {
+    let (dir, mut rec) = crash_and_recover("mid-checkpoint", "store.checkpoint.write=abort@1");
+    // The abort fired inside checkpoint(): 4 records committed, no
+    // CheckpointMark, no visible checkpoint file — Tom and Rex survive.
+    assert!(!dir
+        .read_dir()
+        .expect("dir lists")
+        .filter_map(Result::ok)
+        .any(|e| e.file_name().to_string_lossy().ends_with(".ckpt")));
+    assert_eq!(rec.answer_sparql(MAMMALS).expect("answers").len(), 2);
+}
+
+/// Crash *after* the journal write but *during* the in-memory apply (the
+/// incremental-maintenance engine): write-ahead order means the committed
+/// record must be visible after recovery even though the crashed process
+/// never finished applying it.
+#[test]
+fn killed_during_maintenance_still_recovers_the_journaled_update() {
+    for hit in 1..=2u32 {
+        let (_dir, _rec) = crash_and_recover(
+            &format!("maintain-{hit}"),
+            &format!("store.maintain.incremental=abort@{hit}"),
+        );
+    }
+}
+
+/// A crash plus a torn final frame (the classic power-cut-mid-write):
+/// recovery drops the torn bytes and replays the intact prefix.
+#[test]
+fn torn_tail_on_top_of_a_crash_recovers() {
+    let dir = tmpdir("torn");
+    let exe = std::env::current_exe().expect("test binary path");
+    let out = Command::new(&exe)
+        .args(["--exact", "crash_child_entry", "--nocapture"])
+        .env("WEBREASON_CRASH_DIR", &dir)
+        .env("WEBREASON_FAILPOINTS", "store.maintain.incremental=abort@2")
+        .output()
+        .expect("child spawns");
+    assert!(!out.status.success());
+
+    let path = dir.join(JOURNAL_FILE);
+    let intact = Journal::replay(&path)
+        .expect("journal replays")
+        .records
+        .len();
+    let bytes = std::fs::read(&path).expect("journal reads");
+    std::fs::write(&path, &bytes[..bytes.len() - 3]).expect("tear the tail");
+
+    let replay = Journal::replay(&path).expect("torn journal still replays");
+    assert_eq!(replay.records.len(), intact - 1, "final record dropped");
+    let mut rec = Store::recover(&dir).expect("recovery over a torn tail");
+    assert_eq!(
+        rec.answer_sparql(MAMMALS).expect("answers").len(),
+        EXPECTED_MAMMALS[replay.records.len()],
+    );
+}
+
+mod panic_isolation {
+    //! Worker panics must stay inside the pool that spawned them: the
+    //! fallible APIs return a structured [`WorkerPanicked`], the
+    //! infallible ones fall back to their sequential twin, and the store
+    //! keeps answering afterwards.
+
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+    use webreason_core::AnswerError;
+
+    /// The failpoint registry is process-global; tests that reconfigure
+    /// it must not overlap.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn union_worker_panic_surfaces_as_a_structured_error() {
+        let _g = serial();
+        let mut store = Store::new_with_threads(
+            ReasoningConfig::Reformulation,
+            NonZeroUsize::new(2).unwrap(),
+        );
+        store.load_turtle(ZOO).expect("zoo loads");
+
+        webreason_failpoints::configure("sparql.union.worker=panic");
+        match store.answer_sparql(MAMMALS) {
+            Err(AnswerError::Worker(e)) => assert_eq!(e.site, "sparql.union.worker"),
+            other => panic!("expected a worker panic, got {other:?}"),
+        }
+
+        // The store is not poisoned: disarmed, the same query answers.
+        webreason_failpoints::configure("");
+        assert_eq!(store.answer_sparql(MAMMALS).expect("answers").len(), 1);
+    }
+
+    #[test]
+    fn parallel_saturation_worker_panic_falls_back_to_sequential() {
+        let _g = serial();
+        let mut store = Store::new(ReasoningConfig::None);
+        store.load_turtle(ZOO).expect("zoo loads");
+        let reference = rdfs::saturate(store.base_graph(), store.vocab());
+
+        webreason_failpoints::configure("rdfs.parallel.worker=panic");
+        let threads = NonZeroUsize::new(2).unwrap();
+        let err = rdfs::parallel::try_saturate_parallel(store.base_graph(), store.vocab(), threads)
+            .expect_err("armed worker must fail");
+        assert_eq!(err.site, "rdfs.parallel.worker");
+
+        // The infallible wrapper absorbs the panic and still saturates.
+        webreason_failpoints::configure("rdfs.parallel.worker=panic");
+        let fallback = rdfs::saturate_parallel(store.base_graph(), store.vocab(), threads);
+        assert_eq!(fallback.graph, reference.graph);
+
+        webreason_failpoints::configure("");
+    }
+}
