@@ -47,6 +47,12 @@ fn main() {
         }
     };
 
+    // Collect an observability snapshot for the whole run: the profiling
+    // below drives saturation, maintenance and both query paths through
+    // the instrumented engines.
+    let reg = obs::global();
+    reg.reset();
+
     eprintln!("generating LUBM workload ({scale:?})…");
     let (ds, qs) = lubm_workload(scale);
     eprintln!(
@@ -56,6 +62,44 @@ fn main() {
         algo.name()
     );
     let prof = profile(&ds.graph, &ds.vocab, &qs, algo, 5);
+
+    // Replay the workload through the instrumented `Store` so the metrics
+    // snapshot covers both query paths (`core.answer.query` over G∞ and
+    // `sparql.union.total` over G) plus the maintenance histograms —
+    // that is what `ObservedCosts::from_snapshot` derives thresholds from.
+    eprintln!("replaying queries through instrumented stores…");
+    let one = std::num::NonZeroUsize::new(1).expect("non-zero");
+    let mut sat_store = webreason_core::Store::from_parts_with_threads(
+        ds.dict.clone(),
+        ds.vocab,
+        ds.graph.clone(),
+        webreason_core::ReasoningConfig::Saturation(algo),
+        one,
+    );
+    let mut ref_store = webreason_core::Store::from_parts_with_threads(
+        ds.dict.clone(),
+        ds.vocab,
+        ds.graph.clone(),
+        webreason_core::ReasoningConfig::Reformulation,
+        one,
+    );
+    for (name, q) in &qs {
+        let mut q = q.clone();
+        q.distinct = true;
+        let a = sat_store.answer(&q).expect("saturated answers");
+        let b = ref_store.answer(&q).expect("reformulated answers");
+        assert_eq!(a.len(), b.len(), "{name}: both paths agree");
+    }
+    let instance_sample: Vec<rdf_model::Triple> = ds
+        .graph
+        .iter()
+        .filter(|t| !ds.vocab.is_schema_property(t.p))
+        .take(5)
+        .collect();
+    for t in &instance_sample {
+        sat_store.delete(t);
+        sat_store.insert(*t);
+    }
 
     println!("== Figure 3: saturation thresholds ==");
     println!(
@@ -126,6 +170,18 @@ fn main() {
         );
     }
 
+    // Snapshot what the instrumented engines observed during the run, and
+    // cross-check Fig. 3 against it: thresholds recomputed from measured
+    // per-operation costs rather than the profiler's stopwatch.
+    let snapshot = reg.snapshot();
+    let observed = webreason_core::ObservedCosts::from_snapshot(&snapshot);
+    if let Some(t) = webreason_core::observed_thresholds(&observed) {
+        println!("\nobserved-cost thresholds (from the metrics snapshot):");
+        for (label, threshold) in t.series() {
+            println!("  {:<20} {}", label, threshold);
+        }
+    }
+
     #[derive(serde::Serialize)]
     struct Fig3Report<'a> {
         scale: String,
@@ -133,6 +189,8 @@ fn main() {
         thresholds: &'a [webreason_core::threshold::QueryThresholds],
         spread_orders_of_magnitude: f64,
         journal_overhead: Option<JournalOverhead>,
+        observed_costs: webreason_core::ObservedCosts,
+        metrics: &'a obs::MetricsSnapshot,
     }
     let ok = emit_json(
         "fig3",
@@ -142,8 +200,10 @@ fn main() {
             thresholds: &thresholds,
             spread_orders_of_magnitude: spread,
             journal_overhead,
+            observed_costs: observed,
+            metrics: &snapshot,
         },
-    );
+    ) && emit_json("metrics", &snapshot);
     if !ok {
         std::process::exit(1);
     }

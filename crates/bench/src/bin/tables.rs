@@ -295,6 +295,11 @@ fn table_aref(scale: Scale) -> bool {
     println!("== A-REF: union-aware evaluation of q_ref (sequential / shared / parallel) ==");
     const SAMPLES: usize = 3;
 
+    // The union evaluator is instrumented; reset the registry so the
+    // embedded snapshot covers exactly this table's evaluations.
+    let reg = obs::global();
+    reg.reset();
+
     #[derive(Serialize)]
     struct Row {
         query: String,
@@ -438,7 +443,19 @@ fn table_aref(scale: Scale) -> bool {
          list across 4 workers with sharded disjoint-write merging. All three\n\
          are asserted to return the same answer set.\n"
     );
-    emit_json("table_aref", &report)
+
+    #[derive(Serialize)]
+    struct ArefReport {
+        rows: Vec<Row>,
+        metrics: obs::MetricsSnapshot,
+    }
+    emit_json(
+        "table_aref",
+        &ArefReport {
+            rows: report,
+            metrics: reg.snapshot(),
+        },
+    )
 }
 
 /// T-SAT: saturation time and size blow-up across dataset scales, for the

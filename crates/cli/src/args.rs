@@ -105,6 +105,15 @@ pub enum Command {
         /// `name<TAB>query` or `name|query`.
         queries: String,
     },
+    /// `webreason metrics` — run a built-in workload against every
+    /// instrumented subsystem and print the observability snapshot.
+    Metrics {
+        /// `json` or `prometheus` output.
+        format: String,
+        /// Durability directory for the journalled part of the workload
+        /// (`None` = a scratch directory, removed afterwards).
+        journal: Option<String>,
+    },
     /// `webreason checkpoint <journal-dir>` — snapshot a durable store.
     Checkpoint {
         /// The durability directory holding the journal.
@@ -204,6 +213,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
         }
         "query" if flag("journal").is_some() => {}
+        "metrics" => {
+            if !files.is_empty() {
+                return Err(err(
+                    "metrics runs a built-in workload and takes no data files",
+                ));
+            }
+        }
         _ => {
             if files.is_empty() {
                 return Err(err("no data files given"));
@@ -254,6 +270,16 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 journal,
                 fsync,
             })
+        }
+        "metrics" => {
+            let format = flag("format").unwrap_or("json").to_owned();
+            if format != "json" && format != "prometheus" {
+                return Err(err(format!(
+                    "unknown format {format:?}; use json or prometheus"
+                )));
+            }
+            let journal = flag("journal").map(str::to_owned);
+            Ok(Command::Metrics { format, journal })
         }
         "checkpoint" => Ok(Command::Checkpoint {
             dir: files.remove(0),
@@ -428,6 +454,31 @@ mod tests {
                 "query d.ttl --sparql Q --fsync never",
                 "only applies with --journal",
             ),
+        ] {
+            let e = parse_args(&argv(line)).unwrap_err();
+            assert!(e.0.contains(needle), "{line:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn parses_metrics_command() {
+        assert_eq!(
+            parse_args(&argv("metrics")).unwrap(),
+            Command::Metrics {
+                format: "json".into(),
+                journal: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv("metrics --format prometheus --journal /tmp/j")).unwrap(),
+            Command::Metrics {
+                format: "prometheus".into(),
+                journal: Some("/tmp/j".into()),
+            }
+        );
+        for (line, needle) in [
+            ("metrics --format xml", "unknown format"),
+            ("metrics data.ttl", "takes no data files"),
         ] {
             let e = parse_args(&argv(line)).unwrap_err();
             assert!(e.0.contains(needle), "{line:?}: {e}");

@@ -93,6 +93,7 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
                 threads.unwrap_or(1),
             ),
         },
+        Command::Metrics { format, journal } => metrics_cmd(format, journal.as_deref()),
         Command::Checkpoint { dir } => checkpoint_cmd(dir),
         Command::Recover { dir } => recover_cmd(dir),
         Command::Saturate {
@@ -105,6 +106,117 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
         Command::Explain { files, triple } => explain_cmd(files, triple),
         Command::Stats { files } => stats_cmd(files),
         Command::Thresholds { files, queries } => thresholds_cmd(files, queries),
+    }
+}
+
+/// The built-in dataset for `webreason metrics`: a small schema plus
+/// generated instances — enough for every instrumented subsystem to do
+/// real work without shipping a benchmark file.
+fn metrics_dataset() -> String {
+    let mut ttl = String::from(
+        "@prefix ex: <http://ex/> .\n\
+         @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+         ex:Cat rdfs:subClassOf ex:Mammal .\n\
+         ex:Mammal rdfs:subClassOf ex:Animal .\n\
+         ex:hasPet rdfs:range ex:Animal .\n\
+         ex:hasCat rdfs:subPropertyOf ex:hasPet .\n",
+    );
+    for i in 0..32 {
+        let _ = writeln!(ttl, "ex:cat{i} a ex:Cat .");
+        let _ = writeln!(ttl, "ex:owner{i} ex:hasCat ex:cat{i} .");
+    }
+    ttl
+}
+
+const METRICS_QUERY: &str = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Animal }";
+
+/// Exercises saturation (sequential and parallel), reformulated and
+/// saturated query answering, incremental maintenance, and the journal +
+/// checkpoint path, so the snapshot covers every subsystem.
+fn run_metrics_workload(journal: Option<&str>) -> Result<(), CliError> {
+    let ttl = metrics_dataset();
+
+    // rdfs.saturate + core: a saturating store answers queries and
+    // absorbs instance updates through the maintenance path.
+    let mut sat = Store::new(ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting));
+    sat.load_turtle(&ttl).map_err(|e| err(e.to_string()))?;
+    sat.answer_sparql(METRICS_QUERY)
+        .map_err(|e| err(e.to_string()))?;
+    let (s, p, o) = (
+        Term::iri("http://ex/extra"),
+        Term::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+        Term::iri("http://ex/Cat"),
+    );
+    sat.insert_terms(&s, &p, &o);
+    sat.answer_sparql(METRICS_QUERY)
+        .map_err(|e| err(e.to_string()))?;
+    sat.delete_terms(&s, &p, &o);
+
+    // rdfs.saturate + rdfs.parallel: one sequential and one multi-worker
+    // saturation pass over the same data.
+    let mut dict = Dictionary::new();
+    let vocab = Vocab::intern(&mut dict);
+    let mut g = Graph::new();
+    rdf_io::parse_turtle(&ttl, &mut dict, &mut g).map_err(|e| err(e.to_string()))?;
+    saturate(&g, &vocab);
+    saturate_parallel(&g, &vocab, NonZeroUsize::new(2).expect("non-zero"));
+
+    // sparql.union: the reformulated path with its shared-trie evaluator.
+    let mut refo = Store::new(ReasoningConfig::Reformulation);
+    refo.load_turtle(&ttl).map_err(|e| err(e.to_string()))?;
+    refo.answer_sparql(METRICS_QUERY)
+        .map_err(|e| err(e.to_string()))?;
+    refo.answer_sparql(METRICS_QUERY)
+        .map_err(|e| err(e.to_string()))?;
+
+    // durability: journal appends and a checkpoint, in `--journal DIR` or
+    // a scratch directory that is removed afterwards.
+    let (dir, scratch) = match journal {
+        Some(d) => (std::path::PathBuf::from(d), false),
+        None => {
+            let d = std::env::temp_dir().join(format!("webreason-metrics-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            (d, true)
+        }
+    };
+    let durable = (|| {
+        let exists = dir.join(JOURNAL_FILE).exists();
+        let mut ds = if exists {
+            DurableStore::open(&dir, FsyncPolicy::Always)
+        } else {
+            DurableStore::create(
+                &dir,
+                ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting),
+                NonZeroUsize::new(1).expect("non-zero"),
+                FsyncPolicy::Always,
+            )
+        }
+        .map_err(|e| err(format!("{}: {e}", dir.display())))?;
+        ds.load_turtle(&ttl).map_err(|e| err(e.to_string()))?;
+        ds.checkpoint()
+            .map_err(|e| err(format!("{}: {e}", dir.display())))?;
+        Ok(())
+    })();
+    if scratch {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    durable
+}
+
+/// `webreason metrics`: reset the global registry, run the built-in
+/// workload, and print the snapshot as JSON or Prometheus text.
+fn metrics_cmd(format: &str, journal: Option<&str>) -> Result<String, CliError> {
+    let reg = obs::global();
+    reg.reset();
+    run_metrics_workload(journal)?;
+    let snap = reg.snapshot();
+    if format == "prometheus" {
+        Ok(snap.to_prometheus())
+    } else {
+        let mut out = serde_json::to_string_pretty(&snap)
+            .map_err(|e| err(format!("metrics serialisation failed: {e}")))?;
+        out.push('\n');
+        Ok(out)
     }
 }
 
@@ -621,6 +733,51 @@ PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Cat }
         assert!(out.contains("Q2"), "unnamed query gets a number: {out}");
         assert!(out.contains("threshold spread:"), "{out}");
         assert!(out.contains("saturation: 2 -> 3 triples"), "{out}");
+    }
+
+    /// The metrics command resets the process-wide registry, so the two
+    /// metrics tests must not overlap (other tests only ever add).
+    static METRICS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn metrics_json_covers_the_instrumented_subsystems() {
+        let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let out = run_line("metrics", &[]).unwrap();
+        assert!(out.trim_start().starts_with('{'), "{out}");
+        for needle in [
+            "rdfs.saturate.runs",
+            "rdfs.parallel.runs",
+            "sparql.union.queries",
+            "durability.journal.appends",
+            "durability.checkpoint.writes",
+            "core.answer.queries",
+            "core.maintain.instance_insert_us",
+        ] {
+            assert!(out.contains(needle), "missing {needle}: {out}");
+        }
+    }
+
+    #[test]
+    fn metrics_prometheus_is_lintable_and_covers_four_subsystems() {
+        let _guard = METRICS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let fx = Fixture::new("metrics-prom", &[]);
+        let jdir = fx.dir.join("journal");
+        let out = run_line(
+            &format!("metrics --format prometheus --journal {}", jdir.display()),
+            &[],
+        )
+        .unwrap();
+        obs::lint_prometheus_text(&out).unwrap_or_else(|e| panic!("{e}\n{out}"));
+        for needle in [
+            "webreason_rdfs_",
+            "webreason_sparql_",
+            "webreason_durability_",
+            "webreason_core_",
+        ] {
+            assert!(out.contains(needle), "missing {needle}: {out}");
+        }
+        // The journal directory was user-supplied, so it survives the run.
+        assert!(jdir.join(JOURNAL_FILE).exists());
     }
 
     #[test]

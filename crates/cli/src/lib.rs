@@ -11,6 +11,7 @@
 //! webreason reformulate <data.ttl>… --sparql <text|@file>
 //! webreason explain <data.ttl>… --triple "<s> <p> <o>"
 //! webreason stats <data.ttl>…
+//! webreason metrics [--format json|prometheus] [--journal DIR]
 //! webreason checkpoint <journal-dir>
 //! webreason recover <journal-dir>
 //! ```
@@ -50,6 +51,7 @@ COMMANDS:
     explain      show why a triple is entailed
     stats        summarise the dataset (triples, schema, classes, properties)
     thresholds   the paper's Fig. 3 analysis: per-query amortisation thresholds
+    metrics      run a built-in workload and print the observability snapshot
     checkpoint   snapshot a journaled store (takes the journal dir, not data files)
     recover      rebuild a journaled store read-only and summarise it
     help         show this message
@@ -62,12 +64,14 @@ OPTIONS:
     --triple \"<s> <p> <o>\"   the triple to explain (N-Triples terms)
     --parallel <N>           saturate with N worker threads
     --threads <N>            query: saturation passes use N threads [default: 1]
-    --format <nt|ttl>        saturate output format            [default: nt]
+    --format <f>             saturate: nt or ttl [default: nt];
+                             metrics: json or prometheus       [default: json]
     --limit-display <N>      print at most N solutions         [default: 20]
     --queries <file>         thresholds: one query per line (`name|query`)
     --entailment <f>         saturate: fragment (default) or full RDFS closure
     --journal <dir>          query: journal updates to <dir>; the store is
                              recovered from it on later runs (data files optional)
+                             metrics: keep the workload's journal in <dir>
     --fsync <always|never>   journal durability against OS crashes [default: always]
 
 Data files ending in .ttl parse as Turtle; anything else as N-Triples.

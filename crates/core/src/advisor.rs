@@ -10,7 +10,7 @@
 //! under each technique and recommends the cheaper one, per query and
 //! overall.
 
-use crate::cost::CostProfile;
+use crate::cost::{CostProfile, ObservedCosts, QueryCosts};
 use crate::threshold::Threshold;
 use serde::Serialize;
 
@@ -157,6 +157,50 @@ pub fn advise(profile: &CostProfile, workload: &WorkloadMix) -> Advice {
         },
         per_query,
     }
+}
+
+/// Casts observed per-operation means into a one-entry [`CostProfile`]
+/// (the pseudo-query `"observed"` aggregates the live workload), so every
+/// profile-based consumer — [`advise`], `compute_thresholds`, the bench
+/// reports — can run on observed numbers unchanged.
+pub fn observed_profile(costs: &ObservedCosts) -> CostProfile {
+    CostProfile {
+        base_triples: 0,
+        saturated_triples: 0,
+        saturation_time: costs.saturation,
+        maintenance_algorithm: "observed".to_owned(),
+        maintenance: costs.maintenance,
+        queries: vec![QueryCosts {
+            name: "observed".to_owned(),
+            eval_saturated: costs.eval_saturated,
+            // The union span wraps planning + reformulated evaluation, so
+            // the run-time reformulation cost is already inside it.
+            reformulation_time: 0.0,
+            eval_reformulated: costs.eval_reformulated,
+            branches: 0,
+            shared_prefix_scans: 0,
+            scan_cache_hits: 0,
+            answers: 0,
+        }],
+    }
+}
+
+/// [`advise`] on observed costs. `None` when the snapshot did not observe
+/// both answer paths — there is no measured ratio to compare.
+pub fn advise_observed(costs: &ObservedCosts, workload: &WorkloadMix) -> Option<Advice> {
+    if !costs.covers_both_paths() {
+        return None;
+    }
+    Some(advise(&observed_profile(costs), workload))
+}
+
+/// Closes the self-tuning loop end to end: reads [`ObservedCosts`] out of
+/// a live metrics snapshot and recommends the cheaper technique for
+/// `workload`. This is the paper's §II-D "automatizing … based on a
+/// quantitative evaluation of the application setting", with the
+/// quantities measured by the system itself.
+pub fn advise_from_snapshot(snap: &obs::MetricsSnapshot, workload: &WorkloadMix) -> Option<Advice> {
+    advise_observed(&ObservedCosts::from_snapshot(snap), workload)
 }
 
 #[cfg(test)]
@@ -308,6 +352,106 @@ mod tests {
             },
         );
         assert_eq!(churn.recommendation, Recommendation::Reformulation);
+    }
+
+    #[test]
+    fn recommendation_flips_exactly_at_the_threshold_boundary() {
+        // All values are powers of two so the boundary arithmetic is exact
+        // in f64: update cost 8 s, per-run gain 0.5 − 0.25 = 0.25 s ⇒ the
+        // documented boundary is queries_per_update = 8 / 0.25 = 32.
+        let p = profile_with(
+            MaintenanceCosts {
+                instance_insert: 8.0,
+                instance_delete: 8.0,
+                schema_insert: 8.0,
+                schema_delete: 8.0,
+            },
+            0.25,
+            0.5,
+        );
+        let mix = UpdateMix {
+            instance_insert: 1.0,
+            instance_delete: 0.0,
+            schema_insert: 0.0,
+            schema_delete: 0.0,
+        };
+        let advice_at = |k: f64| {
+            advise(
+                &p,
+                &WorkloadMix {
+                    queries_per_update: k,
+                    updates: mix,
+                },
+            )
+        };
+        assert_eq!(
+            advice_at(31.0).recommendation,
+            Recommendation::Reformulation,
+            "one query short of the boundary, maintenance not yet amortised"
+        );
+        assert_eq!(
+            advice_at(32.0).recommendation,
+            Recommendation::Saturation,
+            "at the boundary the epoch costs tie and ties go to saturation"
+        );
+        assert_eq!(advice_at(33.0).recommendation, Recommendation::Saturation);
+        // The per-query threshold pins the same boundary.
+        assert_eq!(
+            advice_at(32.0).per_query[0].mixed_update_threshold,
+            Threshold::Amortizes(32)
+        );
+    }
+
+    #[test]
+    fn observed_costs_flow_through_the_same_advice() {
+        // Same binary-exact boundary as above: 8 / (0.5 − 0.25) = 32.
+        let costs = ObservedCosts {
+            saturation: 1.0,
+            saturation_runs: 1,
+            maintenance: MaintenanceCosts {
+                instance_insert: 8.0,
+                instance_delete: 8.0,
+                schema_insert: 8.0,
+                schema_delete: 8.0,
+            },
+            updates_observed: 4,
+            eval_saturated: 0.25,
+            eval_saturated_runs: 10,
+            eval_reformulated: 0.5,
+            eval_reformulated_runs: 10,
+        };
+        let mix = UpdateMix {
+            instance_insert: 1.0,
+            instance_delete: 0.0,
+            schema_insert: 0.0,
+            schema_delete: 0.0,
+        };
+        let at = |k: f64| {
+            advise_observed(
+                &costs,
+                &WorkloadMix {
+                    queries_per_update: k,
+                    updates: mix,
+                },
+            )
+            .expect("both paths observed")
+        };
+        assert_eq!(at(31.0).recommendation, Recommendation::Reformulation);
+        assert_eq!(at(32.0).recommendation, Recommendation::Saturation);
+
+        // A snapshot that never exercised reformulation gives no advice.
+        let one_sided = ObservedCosts {
+            eval_reformulated_runs: 0,
+            ..costs
+        };
+        assert!(advise_observed(
+            &one_sided,
+            &WorkloadMix {
+                queries_per_update: 50.0,
+                updates: mix
+            }
+        )
+        .is_none());
     }
 
     #[test]

@@ -82,6 +82,128 @@ fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
     (r, start.elapsed().as_secs_f64())
 }
 
+/// Per-operation mean costs (seconds) read out of a live
+/// [`MetricsSnapshot`](obs::MetricsSnapshot) — the *observed* counterpart
+/// of [`profile`]'s synthetic measurements, closing the paper's §II-D loop:
+/// the system measures itself and feeds the measurements back into the
+/// Figure 3 threshold arithmetic (see
+/// [`crate::threshold::observed_thresholds`] and
+/// [`crate::advisor::advise_from_snapshot`]).
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct ObservedCosts {
+    /// Mean wall-clock of one saturation run, seconds (sequential and
+    /// parallel engines combined), or 0 when none ran.
+    pub saturation: f64,
+    /// Saturation runs observed.
+    pub saturation_runs: u64,
+    /// Mean maintenance cost per update kind, seconds (0 for kinds with
+    /// no observations).
+    pub maintenance: MaintenanceCosts,
+    /// Maintenance updates observed (all kinds).
+    pub updates_observed: u64,
+    /// Mean `q(G∞)`-style answer cost, seconds: `core.answer.query` time
+    /// that was *not* spent inside the union-aware reformulation
+    /// evaluator, over the answers that did not take that path.
+    pub eval_saturated: f64,
+    /// Saturated-path answers observed.
+    pub eval_saturated_runs: u64,
+    /// Mean `q_ref(G)` cost, seconds: the `sparql.union.total` span.
+    pub eval_reformulated: f64,
+    /// Reformulated (union-aware) evaluations observed.
+    pub eval_reformulated_runs: u64,
+}
+
+/// Microseconds to seconds.
+fn us_to_s(us: f64) -> f64 {
+    us / 1e6
+}
+
+impl ObservedCosts {
+    /// Derives mean per-operation costs from a metrics snapshot.
+    ///
+    /// * saturation — the `rdfs.saturate.run` + `rdfs.parallel.run` spans;
+    /// * maintenance — the `core.maintain.<kind>_us` histograms;
+    /// * `q_ref(G)` — the `sparql.union.total` span across all parents;
+    /// * `q(G∞)` — `core.answer.query` span time minus the union-eval
+    ///   and query-rewrite time nested under it, averaged over the
+    ///   answers that did not take the reformulation path.
+    pub fn from_snapshot(snap: &obs::MetricsSnapshot) -> ObservedCosts {
+        let span_mean = |name: &str| -> (f64, u64) {
+            let count = snap.span_count(name);
+            if count == 0 {
+                return (0.0, 0);
+            }
+            (
+                us_to_s(snap.span_total_us(name) as f64 / count as f64),
+                count,
+            )
+        };
+        let hist_mean = |name: &str| -> f64 {
+            snap.histogram(name)
+                .and_then(|h| h.mean())
+                .map_or(0.0, us_to_s)
+        };
+
+        let sat_runs = snap.span_count("rdfs.saturate.run") + snap.span_count("rdfs.parallel.run");
+        let sat_total =
+            snap.span_total_us("rdfs.saturate.run") + snap.span_total_us("rdfs.parallel.run");
+        let saturation = if sat_runs > 0 {
+            us_to_s(sat_total as f64 / sat_runs as f64)
+        } else {
+            0.0
+        };
+
+        let maintenance = MaintenanceCosts {
+            instance_insert: hist_mean("core.maintain.instance_insert_us"),
+            instance_delete: hist_mean("core.maintain.instance_delete_us"),
+            schema_insert: hist_mean("core.maintain.schema_insert_us"),
+            schema_delete: hist_mean("core.maintain.schema_delete_us"),
+        };
+        let updates_observed = snap.counter("core.maintain.updates").unwrap_or(0);
+
+        let (eval_reformulated, eval_reformulated_runs) = span_mean("sparql.union.total");
+
+        // Answers that did not go through the union evaluator: subtract the
+        // nested reformulation time from the total answer time.
+        let answers = snap.span_count("core.answer.query");
+        let union_under_answer = snap
+            .span("sparql.union.total", Some("core.answer.query"))
+            .map(|s| (s.count, s.total_us))
+            .unwrap_or((0, 0));
+        let refo_under_answer_us = snap
+            .span("core.answer.reformulate", Some("core.answer.query"))
+            .map(|s| s.total_us)
+            .unwrap_or(0);
+        let sat_answers = answers.saturating_sub(union_under_answer.0);
+        let sat_answer_us = snap
+            .span_total_us("core.answer.query")
+            .saturating_sub(union_under_answer.1)
+            .saturating_sub(refo_under_answer_us);
+        let eval_saturated = if sat_answers > 0 {
+            us_to_s(sat_answer_us as f64 / sat_answers as f64)
+        } else {
+            0.0
+        };
+
+        ObservedCosts {
+            saturation,
+            saturation_runs: sat_runs,
+            maintenance,
+            updates_observed,
+            eval_saturated,
+            eval_saturated_runs: sat_answers,
+            eval_reformulated,
+            eval_reformulated_runs,
+        }
+    }
+
+    /// Whether the snapshot observed both evaluation paths, i.e. the
+    /// threshold/advisor arithmetic has real numbers on both sides.
+    pub fn covers_both_paths(&self) -> bool {
+        self.eval_saturated_runs > 0 && self.eval_reformulated_runs > 0
+    }
+}
+
 /// Measures a cost profile. `samples` controls both how many triples are
 /// sampled per update kind and how many timing repetitions each query
 /// gets (the minimum is reported, Criterion-style, to suppress noise).

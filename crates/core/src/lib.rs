@@ -53,9 +53,12 @@ pub mod durable;
 mod store;
 pub mod threshold;
 
+pub use advisor::{advise_from_snapshot, advise_observed};
 pub use backward::evaluate_backward;
+pub use cost::ObservedCosts;
 pub use durable::{DurableError, DurableStore};
 pub use store::{AnswerError, ReasoningConfig, Store, StoreStats};
+pub use threshold::{observed_thresholds, ObservedThresholds};
 
 // Re-export the pieces callers compose with.
 pub use durability::FsyncPolicy;

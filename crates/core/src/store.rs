@@ -466,7 +466,9 @@ impl Store {
 
     /// Inserts an encoded triple, maintaining derived state.
     pub fn insert(&mut self, t: Triple) -> UpdateStats {
-        match &mut self.state {
+        let reg = obs::global();
+        let start = reg.now_us();
+        let stats = match &mut self.state {
             State::Plain(g) => plain_update(g.insert(t), true, &t, &self.vocab),
             State::Saturation(m) => m.insert(t),
             State::SchemaBased {
@@ -503,7 +505,9 @@ impl Store {
                 }
                 stats
             }
-        }
+        };
+        publish_update(reg, &stats, reg.now_us().saturating_sub(start));
+        stats
     }
 
     /// Encodes three terms and deletes the triple (if the terms are known).
@@ -525,7 +529,9 @@ impl Store {
 
     /// Deletes an encoded triple, maintaining derived state.
     pub fn delete(&mut self, t: &Triple) -> UpdateStats {
-        match &mut self.state {
+        let reg = obs::global();
+        let start = reg.now_us();
+        let stats = match &mut self.state {
             State::Plain(g) => plain_update(g.remove(t), false, t, &self.vocab),
             State::Saturation(m) => m.delete(t),
             State::SchemaBased {
@@ -562,7 +568,9 @@ impl Store {
                 }
                 stats
             }
-        }
+        };
+        publish_update(reg, &stats, reg.now_us().saturating_sub(start));
+        stats
     }
 
     // --- explanations -------------------------------------------------------
@@ -624,6 +632,9 @@ impl Store {
     /// [`ReasoningConfig::Reformulation`], `COUNT(*)` counts *distinct*
     /// solutions (reformulation's answer-set semantics).
     pub fn answer(&mut self, q: &Query) -> Result<Solutions, AnswerError> {
+        let reg = obs::global();
+        let _span = reg.span("core.answer.query");
+        reg.add("core.answer.queries", 1);
         let threads = self.threads;
         let mut eval_stats: Option<EvalStats> = None;
         let sols = match &mut self.state {
@@ -643,6 +654,9 @@ impl Store {
                     let q_ref = match refo_cache.get(&key) {
                         Some(cached) => cached,
                         None => {
+                            // Spanned separately so observed-cost analysis
+                            // can keep rewrite time out of evaluation time.
+                            let _refo = reg.span("core.answer.reformulate");
                             let r = reformulate(q, schema, &self.vocab)?;
                             refo_cache.entry(key).or_insert(r.query)
                         }
@@ -673,7 +687,10 @@ impl Store {
                 match choice {
                     Some(AdaptiveChoice::Saturated) => evaluate(maintainer.saturated(), q),
                     Some(AdaptiveChoice::Reformulated) => {
-                        let r = reformulate(q, schema, &self.vocab)?;
+                        let r = {
+                            let _refo = reg.span("core.answer.reformulate");
+                            reformulate(q, schema, &self.vocab)?
+                        };
                         let (sols, stats) =
                             try_evaluate_union(maintainer.base(), &r.query, threads)?;
                         eval_stats = Some(stats);
@@ -750,6 +767,29 @@ impl Store {
         let q = self.prepare(sparql)?;
         self.answer(&q)
     }
+}
+
+/// Mirrors one finished maintenance update into the metrics registry: a
+/// per-kind latency histogram (`core.maintain.<kind>_us`) plus update and
+/// work counters. `UpdateStats` stays the caller-facing façade.
+fn publish_update(reg: &obs::Registry, stats: &UpdateStats, dur_us: u64) {
+    use rdfs::incremental::UpdateKind;
+    if !reg.is_enabled() {
+        return;
+    }
+    reg.add("core.maintain.updates", 1);
+    reg.add("core.maintain.work", stats.work as u64);
+    reg.add("core.maintain.triples_added", stats.added as u64);
+    reg.add("core.maintain.triples_removed", stats.removed as u64);
+    let histogram = match stats.kind {
+        UpdateKind::InstanceInsert => "core.maintain.instance_insert_us",
+        UpdateKind::InstanceDelete => "core.maintain.instance_delete_us",
+        UpdateKind::SchemaInsert => "core.maintain.schema_insert_us",
+        UpdateKind::SchemaDelete => "core.maintain.schema_delete_us",
+        UpdateKind::Batch => "core.maintain.batch_us",
+        UpdateKind::Noop => "core.maintain.noop_us",
+    };
+    reg.record(histogram, dur_us);
 }
 
 fn plain_update(changed: bool, insert: bool, t: &Triple, vocab: &Vocab) -> UpdateStats {

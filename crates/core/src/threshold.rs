@@ -18,7 +18,7 @@
 //! (> 10⁷ runs) approach in spirit: "in some cases it takes more than 10
 //! million runs to amortize".
 
-use crate::cost::CostProfile;
+use crate::cost::{CostProfile, ObservedCosts};
 use serde::Serialize;
 use std::fmt;
 
@@ -113,6 +113,55 @@ pub fn compute_thresholds(profile: &CostProfile) -> Vec<QueryThresholds> {
             }
         })
         .collect()
+}
+
+/// Figure 3-style thresholds computed from *observed* runtimes (an
+/// [`ObservedCosts`] read out of a live metrics snapshot) instead of a
+/// synthetic [`CostProfile`] — the same five-series shape, one workload
+/// aggregate instead of one entry per named query.
+#[derive(Debug, Clone, Serialize)]
+pub struct ObservedThresholds {
+    /// Runs to amortise one observed-mean saturation.
+    pub saturation: Threshold,
+    /// Runs to amortise one observed-mean instance insertion.
+    pub instance_insert: Threshold,
+    /// … instance deletion.
+    pub instance_delete: Threshold,
+    /// … schema insertion.
+    pub schema_insert: Threshold,
+    /// … schema deletion.
+    pub schema_delete: Threshold,
+}
+
+impl ObservedThresholds {
+    /// The five thresholds in Fig. 3's legend order, with labels.
+    pub fn series(&self) -> [(&'static str, Threshold); 5] {
+        [
+            ("saturation", self.saturation),
+            ("instance insertion", self.instance_insert),
+            ("instance deletion", self.instance_delete),
+            ("schema insertion", self.schema_insert),
+            ("schema deletion", self.schema_delete),
+        ]
+    }
+}
+
+/// Computes the Fig. 3 thresholds from observed per-operation means:
+/// `n = ⌈fixed / (eval_ref − eval_sat)⌉`, with `eval_ref` and `eval_sat`
+/// the observed mean costs of the two answer paths. Returns `None` when
+/// the snapshot did not observe both paths (no ratio to compute).
+pub fn observed_thresholds(costs: &ObservedCosts) -> Option<ObservedThresholds> {
+    if !costs.covers_both_paths() {
+        return None;
+    }
+    let t = |fixed: f64| Threshold::compute(fixed, costs.eval_saturated, costs.eval_reformulated);
+    Some(ObservedThresholds {
+        saturation: t(costs.saturation),
+        instance_insert: t(costs.maintenance.instance_insert),
+        instance_delete: t(costs.maintenance.instance_delete),
+        schema_insert: t(costs.maintenance.schema_insert),
+        schema_delete: t(costs.maintenance.schema_delete),
+    })
 }
 
 /// The spread of finite thresholds across queries and update kinds, in
@@ -235,6 +284,65 @@ mod tests {
         let ths = compute_thresholds(&synthetic_profile());
         let spread = spread_orders_of_magnitude(&ths);
         assert!(spread >= 5.0, "1 .. 1M+ is ≥ 5 orders, got {spread}");
+    }
+
+    #[test]
+    fn observed_thresholds_match_hand_computed_ratios() {
+        let costs = ObservedCosts {
+            saturation: 2.0,
+            saturation_runs: 1,
+            maintenance: MaintenanceCosts {
+                instance_insert: 0.004,
+                instance_delete: 0.006,
+                schema_insert: 0.03,
+                schema_delete: 0.05,
+            },
+            updates_observed: 20,
+            eval_saturated: 0.001,
+            eval_saturated_runs: 5,
+            eval_reformulated: 0.003,
+            eval_reformulated_runs: 5,
+        };
+        // gain = 0.003 − 0.001 = 0.002 s per run; n = ⌈fixed / gain⌉.
+        let t = observed_thresholds(&costs).expect("both paths observed");
+        assert_eq!(t.saturation, Threshold::Amortizes(1000)); // 2.0 / 0.002
+        assert_eq!(t.instance_insert, Threshold::Amortizes(2)); // 0.004 / 0.002
+        assert_eq!(t.instance_delete, Threshold::Amortizes(3));
+        assert_eq!(t.schema_insert, Threshold::Amortizes(15));
+        assert_eq!(t.schema_delete, Threshold::Amortizes(25));
+        assert_eq!(t.series().len(), 5);
+    }
+
+    #[test]
+    fn observed_thresholds_need_both_paths_and_a_gain() {
+        let base = ObservedCosts {
+            eval_saturated: 0.001,
+            eval_saturated_runs: 1,
+            eval_reformulated: 0.003,
+            eval_reformulated_runs: 1,
+            ..ObservedCosts::default()
+        };
+        assert!(observed_thresholds(&base).is_some());
+        // Missing either path → no ratio to compute.
+        for one_sided in [
+            ObservedCosts {
+                eval_saturated_runs: 0,
+                ..base
+            },
+            ObservedCosts {
+                eval_reformulated_runs: 0,
+                ..base
+            },
+        ] {
+            assert!(observed_thresholds(&one_sided).is_none());
+        }
+        // Reformulation observed faster → every threshold is Never.
+        let ref_wins = ObservedCosts {
+            eval_saturated: 0.005,
+            ..base
+        };
+        let t = observed_thresholds(&ref_wins).unwrap();
+        assert!(t.series().iter().all(|(_, th)| *th == Threshold::Never));
     }
 
     #[test]

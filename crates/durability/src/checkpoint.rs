@@ -97,6 +97,8 @@ pub fn checkpoint_file_name(seq: u64) -> String {
 
 /// Writes `cp` atomically under `dir`, returning the final path.
 pub fn write_checkpoint(dir: &Path, cp: &Checkpoint) -> Result<PathBuf, DurabilityError> {
+    let reg = obs::global();
+    let _span = reg.span("durability.checkpoint.write");
     std::fs::create_dir_all(dir)?;
     let payload = cp.encode();
     let mut bytes = Vec::with_capacity(20 + payload.len());
@@ -119,6 +121,8 @@ pub fn write_checkpoint(dir: &Path, cp: &Checkpoint) -> Result<PathBuf, Durabili
     if let Ok(d) = std::fs::File::open(dir) {
         let _ = d.sync_all();
     }
+    reg.add("durability.checkpoint.writes", 1);
+    reg.add("durability.checkpoint.write_bytes", bytes.len() as u64);
     Ok(path)
 }
 
@@ -126,6 +130,9 @@ pub fn write_checkpoint(dir: &Path, cp: &Checkpoint) -> Result<PathBuf, Durabili
 /// mismatch or structural damage is an error — a checkpoint is used whole
 /// or not at all.
 pub fn load_checkpoint(path: &Path) -> Result<Checkpoint, DurabilityError> {
+    let reg = obs::global();
+    let _span = reg.span("durability.checkpoint.load");
+    reg.add("durability.checkpoint.loads", 1);
     let bytes = std::fs::read(path)?;
     let corrupt = |offset: u64, what: &str| DurabilityError::Corrupt {
         path: path.to_owned(),

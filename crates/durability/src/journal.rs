@@ -322,8 +322,12 @@ impl Journal {
         // One write call for the whole frame: a crash can tear the frame
         // but never interleave it with another record.
         self.file.write_all(&frame)?;
+        let reg = obs::global();
+        reg.add("durability.journal.appends", 1);
+        reg.add("durability.journal.append_bytes", frame.len() as u64);
         if self.fsync == FsyncPolicy::Always {
             self.file.sync_data()?;
+            reg.add("durability.journal.fsyncs", 1);
         }
         let index = self.seq;
         self.seq += 1;
@@ -333,6 +337,7 @@ impl Journal {
     /// Forces buffered appends to disk regardless of the fsync policy.
     pub fn sync(&mut self) -> Result<(), DurabilityError> {
         self.file.sync_data()?;
+        obs::global().add("durability.journal.fsyncs", 1);
         Ok(())
     }
 }

@@ -1,0 +1,111 @@
+//! Time sources for the registry.
+//!
+//! Every duration the registry records flows through the [`Clock`] trait,
+//! so tests can substitute a [`ManualClock`] and make timing-dependent
+//! assertions exact — no sleeps, no flaky wall-clock comparisons. The
+//! production default is [`MonotonicClock`], a microsecond reading of
+//! [`std::time::Instant`] against a fixed origin.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotonic microsecond time source.
+pub trait Clock: Send + Sync {
+    /// Microseconds since this clock's origin. Must never decrease.
+    fn now_us(&self) -> u64;
+}
+
+/// The production clock: microseconds since the clock was created, read
+/// from [`Instant`].
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose origin is now.
+    pub fn new() -> MonotonicClock {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A test clock that only moves when told to. Share it (via `Arc`) with a
+/// registry and advance it between operations: every span duration is
+/// then an exact, deterministic number.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: AtomicU64,
+}
+
+impl ManualClock {
+    /// Creates a manual clock at time 0.
+    pub fn new() -> ManualClock {
+        ManualClock::default()
+    }
+
+    /// Advances the clock by `us` microseconds.
+    pub fn advance(&self, us: u64) {
+        self.now.fetch_add(us, Ordering::SeqCst);
+    }
+
+    /// Sets the clock to an absolute microsecond value. Panics if the
+    /// clock would go backwards (monotonicity is part of the contract).
+    pub fn set(&self, us: u64) {
+        let prev = self.now.swap(us, Ordering::SeqCst);
+        assert!(
+            prev <= us,
+            "ManualClock::set would go backwards: {prev} -> {us}"
+        );
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_us(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_does_not_decrease() {
+        let c = MonotonicClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_when_told() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_us(), 0);
+        c.advance(5);
+        assert_eq!(c.now_us(), 5);
+        c.set(100);
+        assert_eq!(c.now_us(), 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn manual_clock_rejects_time_travel() {
+        let c = ManualClock::new();
+        c.set(10);
+        c.set(5);
+    }
+}

@@ -1,0 +1,151 @@
+//! Log2-bucketed histograms.
+//!
+//! Bucket `0` holds the value `0`; bucket `i ≥ 1` holds the half-open
+//! power-of-two range `[2^(i-1), 2^i)`. 65 buckets therefore cover the
+//! whole `u64` domain with no configuration and O(1) recording, which is
+//! all a latency/size distribution needs for threshold arithmetic (means)
+//! and Prometheus export (cumulative buckets).
+//!
+//! [`Histogram::merge`] is associative and commutative and conserves
+//! per-bucket counts (property-tested), so per-worker histograms can be
+//! folded together in any order.
+
+/// Number of buckets: one for zero plus one per power of two up to 2^63.
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in.
+pub fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// The inclusive value range `[lo, hi]` of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    if i == 0 {
+        (0, 0)
+    } else if i == 64 {
+        (1u64 << 63, u64::MAX)
+    } else {
+        (1u64 << (i - 1), (1u64 << i) - 1)
+    }
+}
+
+/// A fixed-shape log2 histogram: total count, total sum, per-bucket counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    sum: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Folds `other` into `self`. Associative and commutative; bucket
+    /// counts are conserved (`merge(a, b).count() == a.count() + b.count()`
+    /// bucket by bucket).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean of the observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// The raw per-bucket counts.
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.buckets
+    }
+
+    /// Whether no observation was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "hi of bucket {i}");
+        }
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn record_tracks_count_sum_mean() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), None);
+        for v in [0u64, 1, 5, 10] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 16);
+        assert_eq!(h.mean(), Some(4.0));
+        assert_eq!(h.buckets().iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
+    fn merge_is_addition() {
+        let mut a = Histogram::new();
+        a.record(3);
+        a.record(100);
+        let mut b = Histogram::new();
+        b.record(3);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.count(), 3);
+        assert_eq!(ab.sum(), 106);
+        assert_eq!(ab.buckets()[bucket_index(3)], 2);
+    }
+}

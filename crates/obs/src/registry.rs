@@ -1,0 +1,411 @@
+//! The metrics [`Registry`]: counters, histograms and hierarchical spans
+//! behind one handle, global by default and resettable under test.
+//!
+//! Instrumentation sites use `&'static str` names following the
+//! `subsystem.operation.unit` scheme (see DESIGN.md §5); the registry
+//! aggregates — it never retains one record per event — so memory stays
+//! bounded no matter how hot the instrumented path is. A disabled
+//! registry (`Registry::disabled()`, or `set_enabled(false)`) reduces
+//! every operation to an atomic flag test: no allocation, no lock, and
+//! counter reads return 0.
+
+use crate::clock::{Clock, ManualClock, MonotonicClock};
+use crate::histogram::Histogram;
+use crate::snapshot::{CounterSnapshot, HistogramSnapshot, MetricsSnapshot, SpanSnapshot};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+
+/// A handle to one monotonic counter. Cheap to clone; `None` inside means
+/// the registry was disabled when the handle was created, making every
+/// operation a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A permanently-inert counter (what disabled registries hand out).
+    pub fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds 1.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value (0 for a no-op counter).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Aggregated statistics of one (span name, parent) pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// How many spans finished.
+    pub count: u64,
+    /// Summed wall-clock microseconds.
+    pub total_us: u64,
+}
+
+thread_local! {
+    /// The active span names of this thread, innermost last. Spans opened
+    /// on worker threads start a fresh hierarchy (parent `None`), which is
+    /// exactly the per-worker grouping the reports want.
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span. Records `(name, parent, elapsed µs)` into the registry
+/// when dropped; while open, it is the parent of any span started on the
+/// same thread.
+#[must_use = "a span measures until it is dropped"]
+pub struct Span<'r> {
+    reg: Option<&'r Registry>,
+    name: &'static str,
+    parent: Option<&'static str>,
+    start_us: u64,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        let Some(reg) = self.reg else { return };
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let dur = reg.now_us().saturating_sub(self.start_us);
+        reg.record_span(self.name, self.parent, dur);
+    }
+}
+
+/// The metrics registry. See the module docs; most code uses
+/// [`crate::global()`].
+pub struct Registry {
+    enabled: AtomicBool,
+    clock: RwLock<Arc<dyn Clock>>,
+    counters: Mutex<BTreeMap<&'static str, Arc<AtomicU64>>>,
+    histograms: Mutex<BTreeMap<&'static str, Histogram>>,
+    spans: Mutex<BTreeMap<(&'static str, Option<&'static str>), SpanAgg>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry on the monotonic production clock.
+    pub fn new() -> Registry {
+        Registry::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// An enabled registry on an explicit clock (tests pass a shared
+    /// [`ManualClock`]).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Registry {
+        Registry {
+            enabled: AtomicBool::new(true),
+            clock: RwLock::new(clock),
+            counters: Mutex::new(BTreeMap::new()),
+            histograms: Mutex::new(BTreeMap::new()),
+            spans: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A no-op registry: every operation is inert, counter handles are
+    /// [`Counter::noop`], snapshots are empty. The instrumented engines
+    /// must compute byte-identical results against it (asserted by the
+    /// overhead-guard test).
+    pub fn disabled() -> Registry {
+        let r = Registry::new();
+        r.set_enabled(false);
+        r
+    }
+
+    /// The process-wide registry the instrumentation sites record into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    /// Turns recording on or off. Existing counter handles created while
+    /// enabled keep recording; new handles are inert while disabled.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::SeqCst);
+    }
+
+    /// Whether the registry records.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::SeqCst)
+    }
+
+    /// Swaps the time source (tests inject a [`ManualClock`]).
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        *self.clock.write().expect("clock lock") = clock;
+    }
+
+    /// Installs and returns a fresh shared [`ManualClock`] — the
+    /// one-line test setup for deterministic timings.
+    pub fn install_manual_clock(&self) -> Arc<ManualClock> {
+        let clock = Arc::new(ManualClock::new());
+        self.set_clock(clock.clone() as Arc<dyn Clock>);
+        clock
+    }
+
+    /// The current clock reading (0 when disabled).
+    pub fn now_us(&self) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        self.clock.read().expect("clock lock").now_us()
+    }
+
+    /// Drops every recorded metric. The clock and enabled flag survive, so
+    /// a test can `reset()` between scenarios without re-wiring.
+    pub fn reset(&self) {
+        self.counters.lock().expect("counters lock").clear();
+        self.histograms.lock().expect("histograms lock").clear();
+        self.spans.lock().expect("spans lock").clear();
+    }
+
+    /// A handle to the named counter, registering it on first use.
+    /// Disabled registries return an inert handle without registering
+    /// (or allocating) anything.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        if !self.is_enabled() {
+            return Counter::noop();
+        }
+        let mut counters = self.counters.lock().expect("counters lock");
+        Counter(Some(Arc::clone(counters.entry(name).or_default())))
+    }
+
+    /// Adds `n` to the named counter (shorthand for one-shot sites).
+    pub fn add(&self, name: &'static str, n: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.counter(name).add(n);
+    }
+
+    /// The counter's current value; 0 if it never recorded (or disabled).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        if !self.is_enabled() {
+            return 0;
+        }
+        self.counters
+            .lock()
+            .expect("counters lock")
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn record(&self, name: &'static str, value: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.histograms
+            .lock()
+            .expect("histograms lock")
+            .entry(name)
+            .or_default()
+            .record(value);
+    }
+
+    /// Folds a locally-accumulated histogram into the named one (workers
+    /// record locally, merge once — merge order does not matter).
+    pub fn merge_histogram(&self, name: &'static str, h: &Histogram) {
+        if !self.is_enabled() || h.is_empty() {
+            return;
+        }
+        self.histograms
+            .lock()
+            .expect("histograms lock")
+            .entry(name)
+            .or_default()
+            .merge(h);
+    }
+
+    /// Opens a span. The innermost span already open on this thread
+    /// becomes its parent; the span records on drop.
+    pub fn span(&self, name: &'static str) -> Span<'_> {
+        if !self.is_enabled() {
+            return Span {
+                reg: None,
+                name,
+                parent: None,
+                start_us: 0,
+            };
+        }
+        let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        Span {
+            reg: Some(self),
+            name,
+            parent,
+            start_us: self.now_us(),
+        }
+    }
+
+    /// Directly records one finished span (used by `Span::drop`; exposed
+    /// for instrumentation that measures durations out-of-band).
+    pub fn record_span(&self, name: &'static str, parent: Option<&'static str>, dur_us: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut spans = self.spans.lock().expect("spans lock");
+        let agg = spans.entry((name, parent)).or_default();
+        agg.count += 1;
+        agg.total_us += dur_us;
+    }
+
+    /// The aggregate of one (span, parent) pair, if it ever finished.
+    pub fn span_agg(&self, name: &str, parent: Option<&str>) -> Option<SpanAgg> {
+        self.spans
+            .lock()
+            .expect("spans lock")
+            .iter()
+            .find(|((n, p), _)| *n == name && p.as_deref() == parent)
+            .map(|(_, agg)| *agg)
+    }
+
+    /// A consistent, deterministically-ordered copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .lock()
+            .expect("counters lock")
+            .iter()
+            .map(|(name, v)| CounterSnapshot {
+                name: (*name).to_owned(),
+                value: v.load(Ordering::Relaxed),
+            })
+            .collect();
+        let histograms = self
+            .histograms
+            .lock()
+            .expect("histograms lock")
+            .iter()
+            .map(|(name, h)| HistogramSnapshot::of(name, h))
+            .collect();
+        let spans = self
+            .spans
+            .lock()
+            .expect("spans lock")
+            .iter()
+            .map(|((name, parent), agg)| SpanSnapshot {
+                name: (*name).to_owned(),
+                parent: parent.map(str::to_owned),
+                count: agg.count,
+                total_us: agg.total_us,
+            })
+            .collect();
+        MetricsSnapshot {
+            counters,
+            histograms,
+            spans,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_register_and_accumulate() {
+        let reg = Registry::new();
+        let c = reg.counter("t.op.count");
+        c.add(2);
+        c.incr();
+        assert_eq!(c.get(), 3);
+        assert_eq!(reg.counter_value("t.op.count"), 3);
+        assert_eq!(reg.counter_value("t.other.count"), 0);
+        // A second handle shares the cell.
+        reg.counter("t.op.count").add(1);
+        assert_eq!(c.get(), 4);
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let reg = Registry::disabled();
+        let c = reg.counter("t.op.count");
+        c.add(10);
+        assert_eq!(c.get(), 0, "disabled counter reads return 0");
+        reg.add("t.op.count", 5);
+        reg.record("t.op.us", 5);
+        {
+            let _s = reg.span("t.op");
+        }
+        assert_eq!(reg.counter_value("t.op.count"), 0);
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty(), "nothing was registered");
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+        assert_eq!(reg.now_us(), 0);
+    }
+
+    #[test]
+    fn spans_nest_via_the_thread_stack() {
+        let reg = Registry::new();
+        let clock = reg.install_manual_clock();
+        {
+            let _outer = reg.span("t.outer");
+            clock.advance(10);
+            {
+                let _inner = reg.span("t.inner");
+                clock.advance(5);
+            }
+            clock.advance(3);
+        }
+        let outer = reg.span_agg("t.outer", None).unwrap();
+        let inner = reg.span_agg("t.inner", Some("t.outer")).unwrap();
+        assert_eq!(
+            outer,
+            SpanAgg {
+                count: 1,
+                total_us: 18
+            }
+        );
+        assert_eq!(
+            inner,
+            SpanAgg {
+                count: 1,
+                total_us: 5
+            }
+        );
+        assert!(reg.span_agg("t.inner", None).is_none(), "parent recorded");
+    }
+
+    #[test]
+    fn reset_clears_metrics_but_keeps_the_clock() {
+        let reg = Registry::new();
+        let clock = reg.install_manual_clock();
+        clock.advance(7);
+        reg.add("t.a.count", 1);
+        reg.record("t.a.us", 2);
+        reg.record_span("t.a", None, 3);
+        reg.reset();
+        let snap = reg.snapshot();
+        assert!(snap.counters.is_empty() && snap.histograms.is_empty() && snap.spans.is_empty());
+        assert_eq!(reg.now_us(), 7, "clock survives reset");
+    }
+
+    #[test]
+    fn snapshot_is_deterministically_ordered() {
+        let reg = Registry::new();
+        reg.add("t.z.count", 1);
+        reg.add("t.a.count", 1);
+        reg.add("t.m.count", 1);
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["t.a.count", "t.m.count", "t.z.count"]);
+    }
+}

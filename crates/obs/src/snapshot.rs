@@ -1,0 +1,365 @@
+//! Point-in-time, serialisable copies of a registry's metrics.
+//!
+//! [`MetricsSnapshot`] is the interchange type of the observability layer:
+//! the CLI serialises it (JSON via serde, or Prometheus text format via
+//! [`MetricsSnapshot::to_prometheus`]), the bench binaries embed it in
+//! their reports, and `core::cost::ObservedCosts` reads per-operation
+//! means out of it to compute Figure 3-style amortisation thresholds from
+//! observed runtimes. All vectors are sorted by name (the registry
+//! iterates `BTreeMap`s), so snapshots diff cleanly in golden tests.
+
+use crate::histogram::{bucket_bounds, Histogram};
+use serde::Serialize;
+use std::collections::BTreeSet;
+
+/// One counter: a name and its monotonic value.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct CounterSnapshot {
+    /// Metric name (`subsystem.operation.unit`).
+    pub name: String,
+    /// Current value.
+    pub value: u64,
+}
+
+/// One non-empty histogram bucket.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct BucketSnapshot {
+    /// Inclusive upper bound of the bucket's value range.
+    pub le: u64,
+    /// Observations that landed in this bucket (non-cumulative).
+    pub count: u64,
+}
+
+/// One histogram: totals plus its non-empty buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct HistogramSnapshot {
+    /// Metric name (`subsystem.operation.unit`).
+    pub name: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values (saturating).
+    pub sum: u64,
+    /// Non-empty buckets, ascending by `le`.
+    pub buckets: Vec<BucketSnapshot>,
+}
+
+impl HistogramSnapshot {
+    /// Snapshots `h` under `name`, keeping only non-empty buckets.
+    pub fn of(name: &str, h: &Histogram) -> HistogramSnapshot {
+        let buckets = h
+            .buckets()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| BucketSnapshot {
+                le: bucket_bounds(i).1,
+                count: *c,
+            })
+            .collect();
+        HistogramSnapshot {
+            name: name.to_owned(),
+            count: h.count(),
+            sum: h.sum(),
+            buckets,
+        }
+    }
+
+    /// Arithmetic mean of the observations, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+}
+
+/// One aggregated span: `(name, parent)` with how often it closed and the
+/// summed wall-clock time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SpanSnapshot {
+    /// Span name (`subsystem.operation`).
+    pub name: String,
+    /// Name of the span that was open on the same thread when this one
+    /// started, or `None` for roots.
+    pub parent: Option<String>,
+    /// How many spans with this (name, parent) finished.
+    pub count: u64,
+    /// Summed wall-clock microseconds.
+    pub total_us: u64,
+}
+
+/// A consistent copy of every metric in a registry, sorted by name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct MetricsSnapshot {
+    /// All counters, ascending by name.
+    pub counters: Vec<CounterSnapshot>,
+    /// All histograms, ascending by name.
+    pub histograms: Vec<HistogramSnapshot>,
+    /// All span aggregates, ascending by (name, parent).
+    pub spans: Vec<SpanSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: Vec::new(),
+            histograms: Vec::new(),
+            spans: Vec::new(),
+        }
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+    }
+
+    /// The named counter's value, or `None` if it never registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// The named histogram, if it recorded anything.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The aggregate of one exact (span, parent) pair.
+    pub fn span(&self, name: &str, parent: Option<&str>) -> Option<&SpanSnapshot> {
+        self.spans
+            .iter()
+            .find(|s| s.name == name && s.parent.as_deref() == parent)
+    }
+
+    /// Total wall-clock microseconds of the named span across all parents.
+    pub fn span_total_us(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.total_us)
+            .sum()
+    }
+
+    /// Total completions of the named span across all parents.
+    pub fn span_count(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.count)
+            .sum()
+    }
+
+    /// The distinct subsystems (the segment before the first `.`) seen in
+    /// any metric name — how the CLI proves coverage.
+    pub fn subsystems(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        let names = self
+            .counters
+            .iter()
+            .map(|c| c.name.as_str())
+            .chain(self.histograms.iter().map(|h| h.name.as_str()))
+            .chain(self.spans.iter().map(|s| s.name.as_str()));
+        for name in names {
+            let subsystem = name.split('.').next().unwrap_or(name);
+            out.insert(subsystem.to_owned());
+        }
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): counters as `_total` counters, histograms with
+    /// cumulative `le` buckets and `+Inf`, spans as `count`/`sum_us`
+    /// counters labelled by name and parent.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for c in &self.counters {
+            let name = format!("{}_total", sanitize_metric_name(&c.name));
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            out.push_str(&format!("{name} {}\n", c.value));
+        }
+        for h in &self.histograms {
+            let name = sanitize_metric_name(&h.name);
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            let mut cumulative = 0u64;
+            for b in &h.buckets {
+                cumulative += b.count;
+                out.push_str(&format!("{name}_bucket{{le=\"{}\"}} {cumulative}\n", b.le));
+            }
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{name}_sum {}\n", h.sum));
+            out.push_str(&format!("{name}_count {}\n", h.count));
+        }
+        if !self.spans.is_empty() {
+            out.push_str("# TYPE webreason_span_count_total counter\n");
+            out.push_str("# TYPE webreason_span_us_total counter\n");
+            for s in &self.spans {
+                let labels = format!(
+                    "{{name=\"{}\",parent=\"{}\"}}",
+                    escape_label_value(&s.name),
+                    escape_label_value(s.parent.as_deref().unwrap_or(""))
+                );
+                out.push_str(&format!("webreason_span_count_total{labels} {}\n", s.count));
+                out.push_str(&format!("webreason_span_us_total{labels} {}\n", s.total_us));
+            }
+        }
+        out
+    }
+}
+
+/// Maps a dotted metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`), prefixed `webreason_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 10);
+    out.push_str("webreason_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Lints Prometheus text-format output line by line: every line must be a
+/// `# HELP`/`# TYPE` comment or a `name[{labels}] value` sample with a
+/// legal metric name and a parseable value. Returns the first offending
+/// line. Backs the CI assertion that `webreason metrics --format
+/// prometheus` stays machine-readable.
+pub fn lint_prometheus_text(text: &str) -> Result<(), String> {
+    for (idx, line) in text.lines().enumerate() {
+        let n = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let rest = comment.trim_start();
+            if !(rest.starts_with("TYPE ") || rest.starts_with("HELP ") || rest.is_empty()) {
+                return Err(format!("line {n}: unknown comment form: {line:?}"));
+            }
+            continue;
+        }
+        // Split `name{labels}` from the value.
+        let (name_part, value_part) = match line.find('}') {
+            Some(close) => {
+                let (head, tail) = line.split_at(close + 1);
+                (head, tail.trim())
+            }
+            None => match line.split_once(' ') {
+                Some((h, t)) => (h, t.trim()),
+                None => return Err(format!("line {n}: no value: {line:?}")),
+            },
+        };
+        let bare_name = name_part.split('{').next().unwrap_or("");
+        if bare_name.is_empty()
+            || !bare_name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+            || bare_name.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("line {n}: bad metric name {bare_name:?}"));
+        }
+        if let Some(labels) = name_part.strip_prefix(bare_name) {
+            let well_formed = labels.starts_with('{')
+                && labels.ends_with('}')
+                && labels.matches('"').count() % 2 == 0;
+            if !labels.is_empty() && !well_formed {
+                return Err(format!("line {n}: bad label set {labels:?}"));
+            }
+        }
+        if value_part.parse::<f64>().is_err() && value_part != "+Inf" && value_part != "-Inf" {
+            return Err(format!("line {n}: bad sample value {value_part:?}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> MetricsSnapshot {
+        let reg = Registry::new();
+        let clock = reg.install_manual_clock();
+        reg.add("rdfs.saturate.rule_firings", 7);
+        reg.record("core.maintain.instance_insert_us", 3);
+        reg.record("core.maintain.instance_insert_us", 300);
+        {
+            let _outer = reg.span("sparql.union.total");
+            clock.advance(10);
+            let _inner = reg.span("sparql.union.eval");
+            clock.advance(4);
+        }
+        reg.snapshot()
+    }
+
+    #[test]
+    fn accessors_find_metrics_by_name() {
+        let snap = sample();
+        assert_eq!(snap.counter("rdfs.saturate.rule_firings"), Some(7));
+        assert_eq!(snap.counter("rdfs.saturate.nope"), None);
+        let h = snap.histogram("core.maintain.instance_insert_us").unwrap();
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 303);
+        assert_eq!(h.mean(), Some(151.5));
+        assert_eq!(snap.span_count("sparql.union.eval"), 1);
+        assert_eq!(snap.span_total_us("sparql.union.eval"), 4);
+        assert_eq!(snap.span_total_us("sparql.union.total"), 14);
+        assert!(snap
+            .span("sparql.union.eval", Some("sparql.union.total"))
+            .is_some());
+        let subs: Vec<String> = snap.subsystems().into_iter().collect();
+        assert_eq!(subs, vec!["core", "rdfs", "sparql"]);
+    }
+
+    #[test]
+    fn json_round_trip_shape() {
+        let snap = sample();
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"counters\":["));
+        assert!(json.contains("\"name\":\"rdfs.saturate.rule_firings\",\"value\":7"));
+        assert!(json.contains("\"parent\":\"sparql.union.total\""));
+        assert!(json.contains("\"parent\":null"));
+    }
+
+    #[test]
+    fn prometheus_output_is_lintable_and_cumulative() {
+        let snap = sample();
+        let text = snap.to_prometheus();
+        lint_prometheus_text(&text).unwrap();
+        assert!(text.contains("webreason_rdfs_saturate_rule_firings_total 7\n"));
+        // 3 lands in bucket [2,3] (le=3), 300 in [256,511]; cumulative counts.
+        assert!(text.contains("webreason_core_maintain_instance_insert_us_bucket{le=\"3\"} 1\n"));
+        assert!(text.contains("webreason_core_maintain_instance_insert_us_bucket{le=\"511\"} 2\n"));
+        assert!(text.contains("webreason_core_maintain_instance_insert_us_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("webreason_core_maintain_instance_insert_us_sum 303\n"));
+        assert!(text.contains(
+            "webreason_span_us_total{name=\"sparql.union.eval\",parent=\"sparql.union.total\"} 4\n"
+        ));
+    }
+
+    #[test]
+    fn lint_rejects_malformed_lines() {
+        assert!(lint_prometheus_text("ok_metric 1\n").is_ok());
+        assert!(lint_prometheus_text("bad metric name 1\n").is_err());
+        assert!(lint_prometheus_text("metric notanumber\n").is_err());
+        assert!(lint_prometheus_text("# CHATTER hello\n").is_err());
+        assert!(lint_prometheus_text("metric{le=\"4\"} 2\n").is_ok());
+    }
+
+    #[test]
+    fn empty_snapshot_reports_empty() {
+        let snap = MetricsSnapshot::empty();
+        assert!(snap.is_empty());
+        assert!(snap.subsystems().is_empty());
+        assert_eq!(snap.to_prometheus(), "");
+        lint_prometheus_text(&snap.to_prometheus()).unwrap();
+    }
+}

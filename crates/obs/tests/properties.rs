@@ -1,0 +1,215 @@
+//! Metrics correctness suite (ISSUE 4, satellite 1).
+//!
+//! * Histogram merge is associative, commutative and conserves per-bucket
+//!   counts (property-tested).
+//! * Counters are exact under concurrent increments (`std::thread::scope`).
+//! * Span nesting under a `ManualClock`: child time ≤ parent time, and
+//!   disjoint siblings sum to exactly the parent's non-gap time.
+
+use obs::{bucket_index, Histogram, ManualClock, Registry, BUCKETS};
+use proptest::prelude::*;
+
+fn histogram_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..64),
+        ys in proptest::collection::vec(0u64..1_000_000, 0..64),
+    ) {
+        let (a, b) = (histogram_of(&xs), histogram_of(&ys));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn merge_is_associative(
+        xs in proptest::collection::vec(0u64..1_000_000, 0..48),
+        ys in proptest::collection::vec(0u64..1_000_000, 0..48),
+        zs in proptest::collection::vec(0u64..1_000_000, 0..48),
+    ) {
+        let (a, b, c) = (histogram_of(&xs), histogram_of(&ys), histogram_of(&zs));
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn merge_conserves_bucket_counts(
+        xs in proptest::collection::vec(0u64..u64::MAX, 0..64),
+        ys in proptest::collection::vec(0u64..u64::MAX, 0..64),
+    ) {
+        let (a, b) = (histogram_of(&xs), histogram_of(&ys));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        prop_assert_eq!(merged.count(), a.count() + b.count());
+        for i in 0..BUCKETS {
+            prop_assert_eq!(merged.buckets()[i], a.buckets()[i] + b.buckets()[i]);
+        }
+        // No observation leaks out of the bucket array either.
+        prop_assert_eq!(merged.buckets().iter().sum::<u64>(), merged.count());
+    }
+
+    #[test]
+    fn recording_preserves_totals(values in proptest::collection::vec(0u64..1_000_000, 0..128)) {
+        let h = histogram_of(&values);
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        for &v in &values {
+            prop_assert!(h.buckets()[bucket_index(v)] > 0);
+        }
+    }
+}
+
+#[test]
+fn counters_are_exact_under_concurrency() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let reg = Registry::new();
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = reg.counter("test.concurrent.incr");
+            scope.spawn(move || {
+                for _ in 0..PER_THREAD {
+                    counter.incr();
+                }
+            });
+        }
+    });
+    assert_eq!(
+        reg.counter_value("test.concurrent.incr"),
+        THREADS * PER_THREAD,
+        "no increment may be lost or double-counted"
+    );
+}
+
+#[test]
+fn concurrent_handles_share_one_cell() {
+    let reg = Registry::new();
+    std::thread::scope(|scope| {
+        for t in 0..4u64 {
+            let reg = &reg;
+            scope.spawn(move || {
+                // Each thread registers the counter itself — first-use
+                // registration must race safely to a single cell.
+                reg.counter("test.concurrent.add").add(t + 1);
+            });
+        }
+    });
+    assert_eq!(reg.counter_value("test.concurrent.add"), 1 + 2 + 3 + 4);
+}
+
+#[test]
+fn child_span_time_is_bounded_by_parent_time() {
+    let reg = Registry::new();
+    let clock = reg.install_manual_clock();
+    {
+        let _parent = reg.span("test.parent");
+        clock.advance(3);
+        {
+            let _child = reg.span("test.child");
+            clock.advance(11);
+        }
+        clock.advance(2);
+    }
+    let parent = reg.span_agg("test.parent", None).expect("parent recorded");
+    let child = reg
+        .span_agg("test.child", Some("test.parent"))
+        .expect("child recorded under parent");
+    assert_eq!(parent.total_us, 16);
+    assert_eq!(child.total_us, 11);
+    assert!(
+        child.total_us <= parent.total_us,
+        "a child span cannot outlast its parent"
+    );
+}
+
+#[test]
+fn disjoint_sibling_spans_sum_into_the_parent() {
+    let reg = Registry::new();
+    let clock = reg.install_manual_clock();
+    {
+        let _parent = reg.span("test.parent");
+        for step in [7u64, 5, 9] {
+            let _sibling = reg.span("test.sibling");
+            clock.advance(step);
+        }
+    }
+    let parent = reg.span_agg("test.parent", None).expect("parent recorded");
+    let siblings = reg
+        .span_agg("test.sibling", Some("test.parent"))
+        .expect("siblings recorded under parent");
+    assert_eq!(siblings.count, 3);
+    assert_eq!(siblings.total_us, 7 + 5 + 9);
+    assert_eq!(
+        parent.total_us, siblings.total_us,
+        "no time passed outside the siblings, so their sum is exactly the parent"
+    );
+}
+
+#[test]
+fn sibling_spans_with_gaps_still_fit_inside_the_parent() {
+    let reg = Registry::new();
+    let clock = reg.install_manual_clock();
+    {
+        let _parent = reg.span("test.gappy");
+        for step in [4u64, 6] {
+            {
+                let _sibling = reg.span("test.gappy_child");
+                clock.advance(step);
+            }
+            clock.advance(1); // gap between siblings, inside the parent
+        }
+    }
+    let parent = reg.span_agg("test.gappy", None).unwrap();
+    let children = reg
+        .span_agg("test.gappy_child", Some("test.gappy"))
+        .unwrap();
+    assert_eq!(children.total_us, 10);
+    assert_eq!(parent.total_us, 12);
+    assert!(children.total_us <= parent.total_us);
+}
+
+#[test]
+fn spans_on_other_threads_start_fresh_hierarchies() {
+    let reg = Registry::new();
+    let _clock = reg.install_manual_clock();
+    {
+        let _parent = reg.span("test.main");
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let _worker = reg.span("test.worker");
+            });
+        });
+    }
+    assert!(
+        reg.span_agg("test.worker", None).is_some(),
+        "worker-thread spans must not inherit another thread's parent"
+    );
+    assert!(reg.span_agg("test.worker", Some("test.main")).is_none());
+}
+
+#[test]
+fn manual_clock_is_shared_through_the_arc() {
+    let reg = Registry::new();
+    let clock: std::sync::Arc<ManualClock> = reg.install_manual_clock();
+    assert_eq!(reg.now_us(), 0);
+    clock.advance(42);
+    assert_eq!(reg.now_us(), 42);
+}

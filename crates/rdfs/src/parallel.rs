@@ -68,6 +68,8 @@ pub fn try_saturate_parallel(
     vocab: &Vocab,
     threads: NonZeroUsize,
 ) -> Result<SaturationResult, WorkerPanicked> {
+    let reg = obs::global();
+    let _run_span = reg.span("rdfs.parallel.run");
     let threads = threads.get();
     let schema = Schema::extract(g, vocab);
     let shard_count = threads.next_power_of_two();
@@ -77,6 +79,7 @@ pub fn try_saturate_parallel(
     // into per-shard buckets at emit time; each deduplicates derivations
     // locally so bucket traffic stays proportional to distinct
     // consequences per worker.
+    let derive_span = reg.span("rdfs.parallel.derive");
     let derive_start = Instant::now();
     let base: Vec<Triple> = g.iter().collect();
     let chunk = base.len().div_ceil(threads).max(1);
@@ -121,6 +124,8 @@ pub fn try_saturate_parallel(
     for result in worker_out {
         let (bucket, raw) = result?;
         derived_raw += raw;
+        // Per-worker derivation spread — skew here means poor balance.
+        reg.record("rdfs.parallel.worker_derived", raw);
         buckets.push(bucket);
     }
     // The closed schema is part of G∞. It is tiny, so the main thread
@@ -138,14 +143,17 @@ pub fn try_saturate_parallel(
     }
     buckets.push(schema_bucket);
     let derive_us = derive_start.elapsed().as_micros() as u64;
+    drop(derive_span);
 
     // Phase 2 — merge. One task per (index, shard), all concurrent. The
     // failpoint sits between the phases: killing here models a crash
     // after derivation but before any write lands in the output graph.
     fail_point!("store.merge.pre_commit");
+    let merge_span = reg.span("rdfs.parallel.merge");
     let merge_start = Instant::now();
     out.merge_buckets(buckets, threads);
     let merge_us = merge_start.elapsed().as_micros() as u64;
+    drop(merge_span);
 
     let inferred = out.len() - g.len();
     let mut rule_firings: FxHashMap<&'static str, u64> = FxHashMap::default();
@@ -160,6 +168,19 @@ pub fn try_saturate_parallel(
         passes: 1,
         rule_firings,
     };
+    reg.add("rdfs.parallel.runs", 1);
+    reg.add("rdfs.parallel.workers", threads as u64);
+    reg.add("rdfs.parallel.shards", shard_count as u64);
+    reg.add("rdfs.parallel.derived_raw", derived_raw);
+    reg.add(
+        "rdfs.parallel.derived_new",
+        stats.rule_firings["parallel-new"],
+    );
+    reg.add("rdfs.saturate.inferred", inferred as u64);
+    reg.add(
+        "rdfs.saturate.rule_firings",
+        derived_raw + schema_new as u64,
+    );
     Ok(SaturationResult { graph: out, stats })
 }
 

@@ -24,6 +24,47 @@ use crate::schema::Schema;
 use rdf_model::{Graph, Triple, Vocab};
 use rustc_hash::FxHashMap;
 
+/// Maps a rule name onto its static registry counter
+/// (`rdfs.saturate.fired_<rule>`), for the rules the engines report.
+/// Registry counter names are `&'static str`, so the mapping is a match.
+pub(crate) fn rule_counter(rule: &str) -> Option<&'static str> {
+    Some(match rule {
+        "rdfs2" => "rdfs.saturate.fired_rdfs2",
+        "rdfs3" => "rdfs.saturate.fired_rdfs3",
+        "rdfs7" => "rdfs.saturate.fired_rdfs7",
+        "rdfs9" => "rdfs.saturate.fired_rdfs9",
+        "schema-closure" => "rdfs.saturate.fired_schema_closure",
+        "structural" => "rdfs.saturate.fired_structural",
+        _ => return None,
+    })
+}
+
+/// Publishes a finished saturation run into the metrics registry: the run
+/// counter, total/per-rule firings and the inferred-triples counter. The
+/// `SaturationStats` struct stays the caller-facing façade; this only
+/// mirrors it into `obs`.
+pub(crate) fn publish_stats(stats: &SaturationStats) {
+    let reg = obs::global();
+    if !reg.is_enabled() {
+        return;
+    }
+    reg.add("rdfs.saturate.runs", 1);
+    reg.add("rdfs.saturate.inferred", stats.inferred as u64);
+    reg.add("rdfs.saturate.input_triples", stats.input_triples as u64);
+    reg.add("rdfs.saturate.passes", stats.passes as u64);
+    for (rule, n) in &stats.rule_firings {
+        // Phase timings ride in rule_firings for the bench split; they are
+        // not firings, so keep them out of the aggregate counter.
+        if rule.ends_with("-us") {
+            continue;
+        }
+        reg.add("rdfs.saturate.rule_firings", *n);
+        if let Some(counter) = rule_counter(rule) {
+            reg.add(counter, *n);
+        }
+    }
+}
+
 /// Statistics of a saturation run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SaturationStats {
@@ -59,6 +100,7 @@ pub fn saturate(g: &Graph, vocab: &Vocab) -> SaturationResult {
 /// Like [`saturate`], but reuses an already-extracted (and closed) schema —
 /// the incremental maintainers call this to avoid re-extracting.
 pub fn saturate_with_schema(g: &Graph, vocab: &Vocab, schema: &Schema) -> SaturationResult {
+    let _span = obs::global().span("rdfs.saturate.run");
     let mut out = g.clone();
     let mut firings: FxHashMap<&'static str, u64> = FxHashMap::default();
 
@@ -93,6 +135,7 @@ pub fn saturate_with_schema(g: &Graph, vocab: &Vocab, schema: &Schema) -> Satura
         passes: 1,
         rule_firings: firings,
     };
+    publish_stats(&stats);
     SaturationResult { graph: out, stats }
 }
 
@@ -199,6 +242,12 @@ pub fn saturate_full(g: &Graph, vocab: &Vocab) -> SaturationResult {
         }
     }
 
+    // The base pass already published its own stats; mirror only the
+    // structural delta so firings are not double-counted.
+    let reg = obs::global();
+    reg.add("rdfs.saturate.rule_firings", structural);
+    reg.add("rdfs.saturate.fired_structural", structural);
+
     let mut rule_firings = base.stats.rule_firings;
     rule_firings.insert("structural", structural);
     let stats = SaturationStats {
@@ -214,6 +263,7 @@ pub fn saturate_full(g: &Graph, vocab: &Vocab) -> SaturationResult {
 /// Computes `G∞` by generic semi-naive fix-point iteration of the
 /// immediate entailment rules — the literal definition of saturation.
 pub fn saturate_naive(g: &Graph, vocab: &Vocab) -> SaturationResult {
+    let _span = obs::global().span("rdfs.saturate.naive");
     let mut out = g.clone();
     let mut frontier: Vec<Triple> = g.iter().collect();
     let mut firings: FxHashMap<&'static str, u64> = FxHashMap::default();

@@ -105,6 +105,30 @@ impl EvalStats {
     }
 }
 
+/// Mirrors a finished evaluation's [`EvalStats`] into the metrics
+/// registry. The struct stays the caller-facing façade (CLI summary line,
+/// bench tables); the registry gets the same numbers under the
+/// `sparql.union.*` names so snapshots cover the subsystem.
+fn publish_stats(reg: &obs::Registry, stats: &EvalStats) {
+    if !reg.is_enabled() {
+        return;
+    }
+    reg.add("sparql.union.queries", 1);
+    reg.add("sparql.union.branches_total", stats.branches_total as u64);
+    reg.add("sparql.union.branches_pruned", stats.branches_pruned as u64);
+    reg.add("sparql.union.branches_shared", stats.branches_shared as u64);
+    reg.add("sparql.union.patterns_total", stats.patterns_total as u64);
+    reg.add("sparql.union.trie_nodes", stats.trie_nodes as u64);
+    reg.add(
+        "sparql.union.shared_prefix_scans",
+        stats.shared_prefix_scans() as u64,
+    );
+    reg.add("sparql.union.scan_cache_hits", stats.scan_cache_hits);
+    reg.add("sparql.union.scan_cache_misses", stats.scan_cache_misses);
+    reg.add("sparql.union.rows", stats.rows as u64);
+    reg.add("sparql.union.workers", stats.threads as u64);
+}
+
 /// One node of the shared-prefix trie: a planned pattern, the branches
 /// ending exactly here (`leaf_mult`), and the continuations.
 struct TrieNode {
@@ -410,6 +434,8 @@ pub fn try_evaluate_union(
     q: &Query,
     threads: NonZeroUsize,
 ) -> Result<(Solutions, EvalStats), WorkerPanicked> {
+    let reg = obs::global();
+    let _total_span = reg.span("sparql.union.total");
     let eval_start = Instant::now();
     let mut stats = EvalStats {
         branches_total: q.bgps.len(),
@@ -418,6 +444,7 @@ pub fn try_evaluate_union(
 
     // Plan every branch once, with one distinct-counts pass for the whole
     // union (the per-branch evaluator pays this walk per branch).
+    let plan_span = reg.span("sparql.union.plan");
     let dc = DistinctCounts::of(g);
     let mut branches: Vec<Vec<TriplePattern>> = Vec::with_capacity(q.bgps.len());
     for bgp in &q.bgps {
@@ -434,11 +461,13 @@ pub fn try_evaluate_union(
     // Sorting makes shared prefixes contiguous, so chunking loses little
     // sharing, and duplicated branches always land in the same chunk.
     branches.sort();
+    drop(plan_span);
 
     let workers = threads.get().min(branches.len()).max(1);
     stats.threads = workers;
     let shard_count = workers.next_power_of_two();
 
+    let eval_span = reg.span("sparql.union.eval");
     let outputs: Vec<WorkerOutput> = if workers <= 1 {
         vec![run_chunk(g, q, &branches, shard_count)]
     } else {
@@ -475,14 +504,21 @@ pub fn try_evaluate_union(
         stats.scan_cache_misses += out.cache_misses;
         stats.trie_nodes += out.trie_nodes;
         stats.branches_shared += out.shared_branches;
+        // Per-worker emitted-row spread — skew here means poor balance.
+        reg.record(
+            "sparql.union.worker_rows",
+            out.shards.iter().map(|s| s.len() as u64).sum(),
+        );
         for (shard, rows) in out.shards.into_iter().enumerate() {
             shard_parts[shard].push(rows);
         }
     }
     stats.eval_us = eval_start.elapsed().as_micros() as u64;
+    drop(eval_span);
 
     // Merge phase: each shard deduplicates independently (disjoint
     // writes), in parallel when several workers are available.
+    let merge_span = reg.span("sparql.union.merge");
     let merge_start = Instant::now();
     let mut merged: Vec<Vec<Row>> = (0..shard_count).map(|_| Vec::new()).collect();
     if workers > 1 && shard_count > 1 {
@@ -518,6 +554,8 @@ pub fn try_evaluate_union(
     let rows: Vec<Row> = merged.into_iter().flatten().collect();
     stats.merge_us = merge_start.elapsed().as_micros() as u64;
     stats.rows = rows.len();
+    drop(merge_span);
+    publish_stats(reg, &stats);
 
     let var_names = q
         .projection

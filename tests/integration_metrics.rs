@@ -1,0 +1,344 @@
+//! Integration tests for the observability layer: the golden metrics
+//! snapshot, the instrumentation-overhead guard, per-answer `EvalStats`
+//! isolation, and the observed-cost threshold arithmetic.
+//!
+//! Every test here manipulates the process-global [`obs::Registry`]
+//! (clock swaps, resets, enable toggles), so they serialise on one lock —
+//! the registry is shared across threads within this test binary.
+
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use obs::{Clock, MonotonicClock};
+use rdf_model::Triple;
+use webreason_core::{
+    observed_thresholds, MaintenanceAlgorithm, ObservedCosts, ReasoningConfig, Store,
+};
+use workload::lubm::{generate, queries, LubmConfig};
+
+static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    REGISTRY_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn one() -> NonZeroUsize {
+    NonZeroUsize::new(1).expect("non-zero")
+}
+
+/// An instance (non-schema) triple from the dataset, for net-zero
+/// maintenance rounds.
+fn instance_triple(ds: &workload::Dataset) -> Triple {
+    ds.graph
+        .iter()
+        .find(|t| !ds.vocab.is_schema_property(t.p))
+        .expect("LUBM has instance triples")
+}
+
+// ---------------------------------------------------------------------------
+// Golden snapshot: LUBM Q1 through saturation and reformulation under a
+// ManualClock. Counter values and span/histogram *counts* are
+// deterministic (seeded generator, 1 thread, frozen clock); timings are
+// excluded. Regenerate with
+// `WEBREASON_BLESS=1 cargo test -p webreason-core --test integration_metrics`.
+// ---------------------------------------------------------------------------
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/metrics_lubm.txt")
+}
+
+fn render_snapshot(snap: &obs::MetricsSnapshot) -> String {
+    let mut out = String::from(
+        "# Metrics snapshot: LUBM Q1 (LubmConfig::tiny) answered over G∞ and via\n\
+         # q_ref(G) (DRed maintainer), plus one net-zero instance update,\n\
+         # 1 thread, ManualClock.\n\
+         # Counter values and span/histogram counts only — no timings.\n\
+         # Regenerate with WEBREASON_BLESS=1; review diffs like code.\n",
+    );
+    for c in &snap.counters {
+        out.push_str(&format!("counter {} = {}\n", c.name, c.value));
+    }
+    for h in &snap.histograms {
+        out.push_str(&format!("histogram {} count={}\n", h.name, h.count));
+    }
+    for s in &snap.spans {
+        out.push_str(&format!(
+            "span {} parent={} count={}\n",
+            s.name,
+            s.parent.as_deref().unwrap_or("-"),
+            s.count
+        ));
+    }
+    out
+}
+
+#[test]
+fn lubm_q1_metrics_snapshot_matches_golden_file() {
+    let _guard = lock();
+    let reg = obs::global();
+    let _clock = reg.install_manual_clock();
+    reg.reset();
+
+    let mut ds = generate(&LubmConfig::tiny());
+    let named = queries(&mut ds);
+    let mut q1 = named[0].query.clone();
+    q1.distinct = true;
+
+    // Saturate + answer over G∞ …
+    let mut sat = Store::from_parts_with_threads(
+        ds.dict.clone(),
+        ds.vocab,
+        ds.graph.clone(),
+        ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed),
+        one(),
+    );
+    sat.answer(&q1).expect("Q1 over G∞");
+    // … the same query through the reformulated path …
+    let mut refo = Store::from_parts_with_threads(
+        ds.dict.clone(),
+        ds.vocab,
+        ds.graph.clone(),
+        ReasoningConfig::Reformulation,
+        one(),
+    );
+    refo.answer(&q1).expect("Q1 via q_ref");
+    // … and one net-zero maintenance round.
+    let t = instance_triple(&ds);
+    sat.delete(&t);
+    sat.insert(t);
+
+    let snapshot = render_snapshot(&reg.snapshot());
+    reg.set_clock(Arc::new(MonotonicClock::new()) as Arc<dyn Clock>);
+
+    let path = golden_path();
+    if std::env::var("WEBREASON_BLESS").is_ok_and(|v| !v.is_empty() && v != "0") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &snapshot).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with WEBREASON_BLESS=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        snapshot,
+        want,
+        "metric names/counts diverged from {}; if intentional, regenerate \
+         with WEBREASON_BLESS=1 and commit the diff",
+        path.display()
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Overhead guard: instrumentation must be observation, not behaviour.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn disabling_instrumentation_changes_no_results() {
+    let _guard = lock();
+    let reg = obs::global();
+    reg.reset();
+    reg.set_enabled(true);
+
+    let ds = generate(&LubmConfig::tiny());
+    let on = rdfs::saturate(&ds.graph, &ds.vocab);
+    let on_parallel = rdfs::saturate_parallel(
+        &ds.graph,
+        &ds.vocab,
+        NonZeroUsize::new(2).expect("non-zero"),
+    );
+
+    reg.set_enabled(false);
+    let off = rdfs::saturate(&ds.graph, &ds.vocab);
+    let off_parallel = rdfs::saturate_parallel(
+        &ds.graph,
+        &ds.vocab,
+        NonZeroUsize::new(2).expect("non-zero"),
+    );
+    reg.set_enabled(true);
+
+    assert_eq!(on.graph, off.graph, "G∞ must not depend on instrumentation");
+    assert_eq!(
+        on.stats.rule_firings, off.stats.rule_firings,
+        "rule firings must not depend on instrumentation"
+    );
+    assert_eq!(on_parallel.graph, off_parallel.graph);
+    assert_eq!(on_parallel.stats.inferred, off_parallel.stats.inferred);
+}
+
+#[test]
+fn a_disabled_registry_is_inert() {
+    // No global state: a local disabled registry hands out no-op handles.
+    let reg = obs::Registry::disabled();
+    let c = reg.counter("rdfs.saturate.runs");
+    c.add(41);
+    c.incr();
+    assert_eq!(c.get(), 0, "disabled counter reads 0");
+    assert_eq!(reg.counter_value("rdfs.saturate.runs"), 0);
+    reg.record("core.maintain.noop_us", 7);
+    {
+        let _span = reg.span("core.answer.query");
+    }
+    assert!(
+        reg.snapshot().is_empty(),
+        "nothing is recorded while disabled"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// EvalStats isolation: scan-cache hit/miss counters are per-answer, not
+// accumulated across consecutive `Store::answer` calls.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn eval_stats_do_not_accumulate_across_answers() {
+    let _guard = lock();
+    let mut ds = generate(&LubmConfig::tiny());
+    let named = queries(&mut ds);
+    // Q2 ("all persons") has a wide reformulation — plenty of cache traffic.
+    let mut q = named[1].query.clone();
+    q.distinct = true;
+    let mut store = Store::from_parts_with_threads(
+        ds.dict.clone(),
+        ds.vocab,
+        ds.graph.clone(),
+        ReasoningConfig::Reformulation,
+        one(),
+    );
+
+    store.answer(&q).expect("first answer");
+    let first = store.last_eval_stats().expect("union path ran").clone();
+    assert!(
+        first.scan_cache_hits + first.scan_cache_misses > 0,
+        "the scan cache saw traffic: {first:?}"
+    );
+    for _ in 0..3 {
+        store.answer(&q).expect("repeat answer");
+        let again = store.last_eval_stats().expect("union path ran");
+        assert_eq!(
+            again.scan_cache_hits, first.scan_cache_hits,
+            "hits reset per answer"
+        );
+        assert_eq!(
+            again.scan_cache_misses, first.scan_cache_misses,
+            "misses reset per answer"
+        );
+        assert_eq!(again.rows, first.rows);
+        assert_eq!(again.branches_total, first.branches_total);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Observed-cost thresholds: run a real workload, snapshot it, and check
+// the derived thresholds against ratios recomputed by hand from the same
+// snapshot's raw span totals and histogram means.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn observed_thresholds_match_hand_computed_ratios_from_a_real_workload() {
+    let _guard = lock();
+    let reg = obs::global();
+    reg.set_clock(Arc::new(MonotonicClock::new()) as Arc<dyn Clock>);
+    reg.reset();
+
+    let mut ds = generate(&LubmConfig::tiny());
+    let named = queries(&mut ds);
+    let mut sat = Store::from_parts_with_threads(
+        ds.dict.clone(),
+        ds.vocab,
+        ds.graph.clone(),
+        ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed),
+        one(),
+    );
+    let mut refo = Store::from_parts_with_threads(
+        ds.dict.clone(),
+        ds.vocab,
+        ds.graph.clone(),
+        ReasoningConfig::Reformulation,
+        one(),
+    );
+    for nq in named.iter().take(3) {
+        let mut q = nq.query.clone();
+        q.distinct = true;
+        sat.answer(&q).expect("saturated path");
+        refo.answer(&q).expect("reformulated path");
+    }
+    let t = instance_triple(&ds);
+    for _ in 0..3 {
+        sat.delete(&t);
+        sat.insert(t);
+    }
+
+    let snap = reg.snapshot();
+    let costs = ObservedCosts::from_snapshot(&snap);
+    assert!(costs.covers_both_paths(), "workload drove both paths");
+    assert_eq!(costs.eval_reformulated_runs, 3);
+    assert_eq!(costs.eval_saturated_runs, 3);
+    assert!(costs.saturation_runs >= 1);
+    assert!(costs.updates_observed >= 6);
+    let derived = observed_thresholds(&costs).expect("both paths covered");
+
+    // Recompute every input from the snapshot's raw numbers.
+    let us = 1e6;
+    let sat_runs = snap.span_count("rdfs.saturate.run") + snap.span_count("rdfs.parallel.run");
+    let sat_cost = (snap.span_total_us("rdfs.saturate.run")
+        + snap.span_total_us("rdfs.parallel.run")) as f64
+        / sat_runs as f64
+        / us;
+    let union = snap
+        .span("sparql.union.total", Some("core.answer.query"))
+        .expect("union ran under answer");
+    let rewrite_us = snap
+        .span("core.answer.reformulate", Some("core.answer.query"))
+        .map(|s| s.total_us)
+        .unwrap_or(0);
+    let answers = snap.span_count("core.answer.query");
+    let eval_sat = snap
+        .span_total_us("core.answer.query")
+        .saturating_sub(union.total_us)
+        .saturating_sub(rewrite_us) as f64
+        / (answers - union.count) as f64
+        / us;
+    let eval_ref = snap.span_total_us("sparql.union.total") as f64
+        / snap.span_count("sparql.union.total") as f64
+        / us;
+    let hist_mean =
+        |name: &str| -> f64 { snap.histogram(name).and_then(|h| h.mean()).unwrap_or(0.0) / us };
+
+    assert_eq!(costs.saturation, sat_cost);
+    assert_eq!(costs.eval_saturated, eval_sat);
+    assert_eq!(costs.eval_reformulated, eval_ref);
+    assert_eq!(
+        costs.maintenance.instance_insert,
+        hist_mean("core.maintain.instance_insert_us")
+    );
+    assert_eq!(
+        costs.maintenance.instance_delete,
+        hist_mean("core.maintain.instance_delete_us")
+    );
+
+    // Hand-apply the Fig. 3 amortisation rule to each fixed cost.
+    let by_hand = |fixed: f64| -> Option<u64> {
+        let gain = eval_ref - eval_sat;
+        (gain > 0.0).then(|| (fixed / gain).ceil().max(1.0) as u64)
+    };
+    assert_eq!(derived.saturation.runs(), by_hand(sat_cost));
+    assert_eq!(
+        derived.instance_insert.runs(),
+        by_hand(hist_mean("core.maintain.instance_insert_us"))
+    );
+    assert_eq!(
+        derived.instance_delete.runs(),
+        by_hand(hist_mean("core.maintain.instance_delete_us"))
+    );
+    assert_eq!(
+        derived.schema_insert.runs(),
+        by_hand(hist_mean("core.maintain.schema_insert_us"))
+    );
+    assert_eq!(
+        derived.schema_delete.runs(),
+        by_hand(hist_mean("core.maintain.schema_delete_us"))
+    );
+}
