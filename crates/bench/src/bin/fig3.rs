@@ -76,7 +76,7 @@ fn main() {
         webreason_core::ReasoningConfig::Saturation(algo),
         one,
     );
-    let mut ref_store = webreason_core::Store::from_parts_with_threads(
+    let ref_store = webreason_core::Store::from_parts_with_threads(
         ds.dict.clone(),
         ds.vocab,
         ds.graph.clone(),

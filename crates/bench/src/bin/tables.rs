@@ -1,5 +1,5 @@
 //! Regenerates the evaluation tables (DESIGN.md §3): T-SAT, T-REF, T-QA,
-//! T-MAINT, A-DATALOG, A-ADVISOR, A-PAR, A-REF.
+//! T-MAINT, A-DATALOG, A-ADVISOR, A-PAR, A-REF, A-SERVE.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin tables            # all tables, small scale
@@ -73,6 +73,9 @@ fn main() {
     }
     if run("soc") {
         table_social();
+    }
+    if run("serve") {
+        reports_ok &= table_aserve();
     }
     if !reports_ok {
         std::process::exit(1);
@@ -456,6 +459,193 @@ fn table_aref(scale: Scale) -> bool {
             metrics: reg.snapshot(),
         },
     )
+}
+
+/// A-SERVE: closed-loop throughput of the embedded query server over real
+/// sockets — concurrent readers against one live update client, exercising
+/// the snapshot-publication path (DESIGN.md §6) end to end. Readers never
+/// block on the writer; throughput should scale with the reader count.
+fn table_aserve() -> bool {
+    use std::io::{Read as _, Write as _};
+    use std::net::{SocketAddr, TcpStream};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use webreason_core::{DurableStore, ReasoningConfig};
+    use webreason_server::{Server, ServerConfig};
+
+    println!("== A-SERVE: embedded server, closed-loop socket clients ==");
+    const QUERY: &str = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }";
+    const CELL_MILLIS: u64 = 400;
+
+    fn post(addr: SocketAddr, path: &str, body: &str) -> u16 {
+        let mut stream = TcpStream::connect(addr).expect("connects");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout sets");
+        let raw = format!(
+            "POST {path} HTTP/1.1\r\nHost: b\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(raw.as_bytes()).expect("request writes");
+        let mut text = String::new();
+        stream.read_to_string(&mut text).expect("response reads");
+        text.split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line")
+    }
+
+    #[derive(Serialize)]
+    struct Row {
+        readers: usize,
+        queries: u64,
+        queries_per_s: f64,
+        mean_query_ms: f64,
+        updates_applied: u64,
+        updates_rejected: u64,
+    }
+
+    // Seed: a small zoo — a subclass chain plus typed individuals, so every
+    // query pays for real entailed answers rather than an empty scan.
+    let mut seed = String::from(
+        "@prefix ex: <http://ex/> .\n\
+         @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+         ex:Cat rdfs:subClassOf ex:Mammal .\n\
+         ex:Dog rdfs:subClassOf ex:Mammal .\n",
+    );
+    for i in 0..200 {
+        let class = if i % 2 == 0 { "Cat" } else { "Dog" };
+        seed.push_str(&format!("ex:ind{i} a ex:{class} .\n"));
+    }
+
+    let mut rows = Vec::new();
+    let mut report = Vec::new();
+    for readers in [1usize, 2, 4] {
+        let dir =
+            std::env::temp_dir().join(format!("webreason-aserve-{readers}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = DurableStore::create(
+            &dir,
+            ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed),
+            NonZeroUsize::MIN,
+            FsyncPolicy::Never,
+        )
+        .expect("store creates");
+        store.load_turtle(&seed).expect("seed loads");
+        let server = Server::start(
+            store,
+            ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: readers + 1,
+                ..Default::default()
+            },
+        )
+        .expect("server boots");
+        let addr = server.local_addr();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let query_threads: Vec<_> = (0..readers)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let (mut n, mut total_us) = (0u64, 0u64);
+                    while !stop.load(Ordering::Relaxed) {
+                        let t = Instant::now();
+                        assert_eq!(post(addr, "/query", QUERY), 200);
+                        total_us += t.elapsed().as_micros() as u64;
+                        n += 1;
+                    }
+                    (n, total_us)
+                })
+            })
+            .collect();
+        let update_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let (mut applied, mut rejected, mut i) = (0u64, 0u64, 0u64);
+                while !stop.load(Ordering::Relaxed) {
+                    let body = if i % 2 == 0 {
+                        format!(
+                            "insert <http://ex/live{}> \
+                             <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                             <http://ex/Cat> .\n",
+                            i / 2
+                        )
+                    } else {
+                        format!(
+                            "delete <http://ex/live{}> \
+                             <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                             <http://ex/Cat> .\n",
+                            i / 2
+                        )
+                    };
+                    match post(addr, "/update", &body) {
+                        200 => applied += 1,
+                        429 => rejected += 1,
+                        other => panic!("update client: unexpected {other}"),
+                    }
+                    i += 1;
+                }
+                (applied, rejected)
+            })
+        };
+
+        std::thread::sleep(Duration::from_millis(CELL_MILLIS));
+        stop.store(true, Ordering::Relaxed);
+        let mut queries = 0u64;
+        let mut total_us = 0u64;
+        for h in query_threads {
+            let (n, us) = h.join().expect("query client");
+            queries += n;
+            total_us += us;
+        }
+        let (updates_applied, updates_rejected) = update_thread.join().expect("update client");
+        let elapsed = started.elapsed().as_secs_f64();
+        drop(server.shutdown());
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let queries_per_s = queries as f64 / elapsed;
+        let mean_query_ms = total_us as f64 / 1_000.0 / queries.max(1) as f64;
+        rows.push(vec![
+            readers.to_string(),
+            queries.to_string(),
+            format!("{queries_per_s:.0}"),
+            format!("{mean_query_ms:.2}"),
+            updates_applied.to_string(),
+            updates_rejected.to_string(),
+        ]);
+        report.push(Row {
+            readers,
+            queries,
+            queries_per_s,
+            mean_query_ms,
+            updates_applied,
+            updates_rejected,
+        });
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "readers",
+                "queries",
+                "queries/s",
+                "mean query (ms)",
+                "updates applied",
+                "updates 429d",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "Closed-loop clients over real sockets against a seeded store (402\n\
+         base triples), one continuous update client alongside; each cell\n\
+         runs {CELL_MILLIS} ms. Readers answer from published snapshots and\n\
+         never wait on the writer.\n"
+    );
+    emit_json("table_aserve", &report)
 }
 
 /// T-SAT: saturation time and size blow-up across dataset scales, for the

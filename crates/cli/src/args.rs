@@ -114,6 +114,22 @@ pub enum Command {
         /// (`None` = a scratch directory, removed afterwards).
         journal: Option<String>,
     },
+    /// `webreason serve …` — run the embedded HTTP query/update server
+    /// over a journaled store.
+    Serve {
+        /// Bind address, e.g. `127.0.0.1:7878` (`:0` picks a free port).
+        addr: String,
+        /// Worker threads serving queries.
+        threads: usize,
+        /// Durability directory (created on first run; recovered after).
+        journal: String,
+        /// When journal appends reach the disk.
+        fsync: FsyncPolicy,
+        /// Bounded writer-queue depth (a full queue answers 429).
+        queue: usize,
+        /// Stop after this many seconds (`None` = run until killed).
+        duration_secs: Option<u64>,
+    },
     /// `webreason checkpoint <journal-dir>` — snapshot a durable store.
     Checkpoint {
         /// The durability directory holding the journal.
@@ -196,6 +212,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "threads",
         "journal",
         "fsync",
+        "addr",
+        "queue",
+        "duration-secs",
     ];
     for (name, _) in &flags {
         if !known_flags.contains(&name.as_str()) {
@@ -213,6 +232,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
         }
         "query" if flag("journal").is_some() => {}
+        "serve" => {
+            if !files.is_empty() {
+                return Err(err(
+                    "serve takes no data files; load via the journal or POST /update",
+                ));
+            }
+        }
         "metrics" => {
             if !files.is_empty() {
                 return Err(err(
@@ -280,6 +306,49 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             let journal = flag("journal").map(str::to_owned);
             Ok(Command::Metrics { format, journal })
+        }
+        "serve" => {
+            let journal = flag("journal")
+                .ok_or_else(|| err("serve needs --journal <dir>"))?
+                .to_owned();
+            let addr = flag("addr").unwrap_or("127.0.0.1:7878").to_owned();
+            let threads = match flag("threads") {
+                None => 4,
+                Some(v) => v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| err("--threads needs a positive number"))?,
+            };
+            let queue = match flag("queue") {
+                None => 64,
+                Some(v) => v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| err("--queue needs a positive number"))?,
+            };
+            let fsync = match flag("fsync") {
+                None => FsyncPolicy::Always,
+                Some(v) => FsyncPolicy::parse(v).ok_or_else(|| {
+                    err(format!("unknown fsync policy {v:?}; use always or never"))
+                })?,
+            };
+            let duration_secs = match flag("duration-secs") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<u64>()
+                        .map_err(|_| err("--duration-secs needs a number"))?,
+                ),
+            };
+            Ok(Command::Serve {
+                addr,
+                threads,
+                journal,
+                fsync,
+                queue,
+                duration_secs,
+            })
         }
         "checkpoint" => Ok(Command::Checkpoint {
             dir: files.remove(0),
@@ -453,6 +522,49 @@ mod tests {
             (
                 "query d.ttl --sparql Q --fsync never",
                 "only applies with --journal",
+            ),
+        ] {
+            let e = parse_args(&argv(line)).unwrap_err();
+            assert!(e.0.contains(needle), "{line:?}: {e}");
+        }
+    }
+
+    #[test]
+    fn parses_serve_command() {
+        assert_eq!(
+            parse_args(&argv("serve --journal /tmp/j")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7878".into(),
+                threads: 4,
+                journal: "/tmp/j".into(),
+                fsync: FsyncPolicy::Always,
+                queue: 64,
+                duration_secs: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(
+                "serve --journal /tmp/j --addr 127.0.0.1:0 --threads 2 --queue 8 \
+                 --fsync never --duration-secs 3"
+            ))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                threads: 2,
+                journal: "/tmp/j".into(),
+                fsync: FsyncPolicy::Never,
+                queue: 8,
+                duration_secs: Some(3),
+            }
+        );
+        for (line, needle) in [
+            ("serve", "needs --journal"),
+            ("serve data.ttl --journal /tmp/j", "takes no data files"),
+            ("serve --journal /tmp/j --threads 0", "positive number"),
+            ("serve --journal /tmp/j --queue nope", "positive number"),
+            (
+                "serve --journal /tmp/j --duration-secs soon",
+                "needs a number",
             ),
         ] {
             let e = parse_args(&argv(line)).unwrap_err();

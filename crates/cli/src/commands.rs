@@ -93,6 +93,14 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
                 threads.unwrap_or(1),
             ),
         },
+        Command::Serve {
+            addr,
+            threads,
+            journal,
+            fsync,
+            queue,
+            duration_secs,
+        } => serve_cmd(addr, *threads, journal, *fsync, *queue, *duration_secs),
         Command::Metrics { format, journal } => metrics_cmd(format, journal.as_deref()),
         Command::Checkpoint { dir } => checkpoint_cmd(dir),
         Command::Recover { dir } => recover_cmd(dir),
@@ -107,6 +115,74 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
         Command::Stats { files } => stats_cmd(files),
         Command::Thresholds { files, queries } => thresholds_cmd(files, queries),
     }
+}
+
+/// Boots the embedded HTTP server over a journaled store and blocks.
+///
+/// A missing journal directory is created fresh (counting maintenance,
+/// like `query --journal` on a new directory); an existing one is
+/// recovered and served.
+///
+/// The listening line is printed (and flushed) immediately rather than
+/// returned, because the command does not finish until the server stops —
+/// scripts backgrounding `webreason serve` need the address right away.
+/// With `--duration-secs N` the server shuts down gracefully after N
+/// seconds, checkpoints, and reports the final state; without it the
+/// process serves until killed (the journal keeps applied updates safe).
+fn serve_cmd(
+    addr: &str,
+    threads: usize,
+    journal: &str,
+    fsync: FsyncPolicy,
+    queue: usize,
+    duration_secs: Option<u64>,
+) -> Result<String, CliError> {
+    use std::io::Write as _;
+
+    let exists = std::path::Path::new(journal).join(JOURNAL_FILE).exists();
+    let store = if exists {
+        DurableStore::open(journal, fsync)
+    } else {
+        DurableStore::create(
+            journal,
+            store_config(Strategy::Counting),
+            NonZeroUsize::MIN,
+            fsync,
+        )
+    }
+    .map_err(|e| err(format!("{journal}: {e}")))?;
+    let config = webreason_server::ServerConfig {
+        addr: addr.to_owned(),
+        threads,
+        update_queue: queue,
+        ..Default::default()
+    };
+    let server =
+        webreason_server::Server::start(store, config).map_err(|e| err(format!("{addr}: {e}")))?;
+    let local = server.local_addr();
+    println!("webreason serve: listening on http://{local} (journal {journal}, {threads} workers)");
+    let _ = std::io::stdout().flush();
+
+    let Some(secs) = duration_secs else {
+        loop {
+            std::thread::park(); // serve until the process is killed
+        }
+    };
+    std::thread::sleep(std::time::Duration::from_secs(secs));
+    let mut store = server.shutdown();
+    let checkpoint = store
+        .checkpoint()
+        .map(|p| p.display().to_string())
+        .unwrap_or_else(|e| format!("checkpoint failed: {e}"));
+    let stats = store.stats();
+    Ok(format!(
+        "serve: shut down after {secs}s\n\
+         final state: {} base triples, {} dictionary terms, journal seq {}\n\
+         checkpoint: {checkpoint}\n",
+        stats.base_triples,
+        stats.dictionary_terms,
+        store.seq(),
+    ))
 }
 
 /// The built-in dataset for `webreason metrics`: a small schema plus
@@ -294,7 +370,7 @@ fn query(
     limit_display: usize,
     threads: usize,
 ) -> Result<String, CliError> {
-    let mut store = load_store(files, strategy, threads)?;
+    let store = load_store(files, strategy, threads)?;
     let sols = store
         .answer_sparql(sparql)
         .map_err(|e| err(e.to_string()))?;
@@ -315,7 +391,7 @@ fn query(
     if let Some(stats) = store.last_eval_stats() {
         let _ = writeln!(out, "  eval: {}", stats.summary());
     }
-    let lines = sols.to_strings(store.dictionary());
+    let lines = sols.to_strings(&store.dictionary());
     for line in lines.iter().take(limit_display) {
         let _ = writeln!(out, "  {line}");
     }
@@ -379,7 +455,7 @@ fn query_journaled(
         ds.seq(),
         fsync.name(),
     );
-    let lines = sols.to_strings(store.dictionary());
+    let lines = sols.to_strings(&store.dictionary());
     for line in lines.iter().take(limit_display) {
         let _ = writeln!(out, "  {line}");
     }
@@ -499,7 +575,7 @@ fn explain_cmd(files: &[String], triple: &str) -> Result<String, CliError> {
                 explanation.depth(),
                 explanation.support().len()
             );
-            out.push_str(&explanation.render(store.dictionary()));
+            out.push_str(&explanation.render(&store.dictionary()));
             Ok(out)
         }
         None => Ok("not entailed: the triple is not in G∞\n".to_owned()),

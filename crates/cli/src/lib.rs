@@ -12,6 +12,8 @@
 //! webreason explain <data.ttl>… --triple "<s> <p> <o>"
 //! webreason stats <data.ttl>…
 //! webreason metrics [--format json|prometheus] [--journal DIR]
+//! webreason serve --journal DIR [--addr A] [--threads N] [--queue N]
+//!                 [--fsync always|never] [--duration-secs S]
 //! webreason checkpoint <journal-dir>
 //! webreason recover <journal-dir>
 //! ```
@@ -52,6 +54,7 @@ COMMANDS:
     stats        summarise the dataset (triples, schema, classes, properties)
     thresholds   the paper's Fig. 3 analysis: per-query amortisation thresholds
     metrics      run a built-in workload and print the observability snapshot
+    serve        run the embedded HTTP query/update server over a journaled store
     checkpoint   snapshot a journaled store (takes the journal dir, not data files)
     recover      rebuild a journaled store read-only and summarise it
     help         show this message
@@ -73,6 +76,11 @@ OPTIONS:
                              recovered from it on later runs (data files optional)
                              metrics: keep the workload's journal in <dir>
     --fsync <always|never>   journal durability against OS crashes [default: always]
+    --addr <host:port>       serve: bind address; :0 picks a free port
+                             [default: 127.0.0.1:7878]
+    --queue <N>              serve: writer-queue depth; full => 429  [default: 64]
+    --duration-secs <S>      serve: shut down gracefully after S seconds
+                             (omit to serve until killed)
 
 Data files ending in .ttl parse as Turtle; anything else as N-Triples.
 ";

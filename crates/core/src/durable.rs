@@ -18,6 +18,7 @@
 //! base graph, which is what makes recovery converge instead of having to
 //! trust a possibly-torn derived structure.
 
+use crate::snapshot::StoreReader;
 use crate::store::{AnswerError, ReasoningConfig, Store, StoreStats};
 use durability::{
     load_latest, prune_checkpoints, write_checkpoint, Checkpoint, DurabilityError, FsyncPolicy,
@@ -189,21 +190,26 @@ impl DurableStore {
 
     /// Terms interned since the journal stream last captured the
     /// dictionary (query preparation may intern terms between updates;
-    /// the next journaled update carries them).
-    fn dict_delta(&self) -> Vec<Term> {
-        self.store
-            .dictionary()
+    /// the next journaled update carries them), plus the watermark the
+    /// capture covers. Both are read under *one* dictionary guard:
+    /// concurrent readers keep interning query constants, and a term that
+    /// slipped in between a delta and its watermark would never be
+    /// journaled — misaligning every TermId on replay.
+    fn dict_delta(&self) -> (Vec<Term>, usize) {
+        let dict = self.store.dictionary();
+        let delta = dict
             .iter()
             .skip(self.journaled_terms)
             .map(|(_, t)| t.clone())
-            .collect()
+            .collect();
+        (delta, dict.len())
     }
 
     /// Parses Turtle and durably inserts every triple as one batch.
     /// Returns the document's triple count and the update stats.
     pub fn load_turtle(&mut self, text: &str) -> Result<(usize, UpdateStats), DurableError> {
         let mut staging = Graph::new();
-        let n = rdf_io::parse_turtle(text, self.store.dict_mut(), &mut staging)
+        let n = rdf_io::parse_turtle(text, &mut self.store.dict_mut(), &mut staging)
             .map_err(AnswerError::Data)?;
         let triples: Vec<Triple> = staging.iter().collect();
         let stats = self.insert_batch(&triples)?;
@@ -213,7 +219,7 @@ impl DurableStore {
     /// Parses N-Triples and durably inserts every triple as one batch.
     pub fn load_ntriples(&mut self, text: &str) -> Result<(usize, UpdateStats), DurableError> {
         let mut staging = Graph::new();
-        let n = rdf_io::parse_ntriples(text, self.store.dict_mut(), &mut staging)
+        let n = rdf_io::parse_ntriples(text, &mut self.store.dict_mut(), &mut staging)
             .map_err(AnswerError::Data)?;
         let triples: Vec<Triple> = staging.iter().collect();
         let stats = self.insert_batch(&triples)?;
@@ -223,21 +229,23 @@ impl DurableStore {
     /// Durably inserts a batch of encoded triples: journal first, then
     /// apply (one maintenance pass where the strategy supports it).
     pub fn insert_batch(&mut self, triples: &[Triple]) -> Result<UpdateStats, DurableError> {
+        let (new_terms, watermark) = self.dict_delta();
         self.journal.append(&JournalRecord::InsertBatch {
-            new_terms: self.dict_delta(),
+            new_terms,
             triples: triples.to_vec(),
         })?;
-        self.journaled_terms = self.store.dictionary().len();
+        self.journaled_terms = watermark;
         Ok(self.store.insert_batch(triples))
     }
 
     /// Durably deletes a batch of encoded triples.
     pub fn delete_batch(&mut self, triples: &[Triple]) -> Result<UpdateStats, DurableError> {
+        let (new_terms, watermark) = self.dict_delta();
         self.journal.append(&JournalRecord::DeleteBatch {
-            new_terms: self.dict_delta(),
+            new_terms,
             triples: triples.to_vec(),
         })?;
-        self.journaled_terms = self.store.dictionary().len();
+        self.journaled_terms = watermark;
         Ok(self.store.delete_batch(triples))
     }
 
@@ -248,8 +256,10 @@ impl DurableStore {
         p: &Term,
         o: &Term,
     ) -> Result<UpdateStats, DurableError> {
-        let dict = self.store.dict_mut();
-        let t = Triple::new(dict.encode(s), dict.encode(p), dict.encode(o));
+        let t = {
+            let mut dict = self.store.dict_mut();
+            Triple::new(dict.encode(s), dict.encode(p), dict.encode(o))
+        };
         self.insert_batch(&[t])
     }
 
@@ -261,8 +271,11 @@ impl DurableStore {
         p: &Term,
         o: &Term,
     ) -> Result<UpdateStats, DurableError> {
-        let dict = self.store.dictionary();
-        match (dict.get_id(s), dict.get_id(p), dict.get_id(o)) {
+        let ids = {
+            let dict = self.store.dictionary();
+            (dict.get_id(s), dict.get_id(p), dict.get_id(o))
+        };
+        match ids {
             (Some(s), Some(p), Some(o)) => self.delete_batch(&[Triple::new(s, p, o)]),
             _ => Ok(UpdateStats {
                 kind: rdfs::incremental::UpdateKind::Noop,
@@ -293,8 +306,23 @@ impl DurableStore {
 
     /// Answers a SPARQL query (queries are not journaled; the terms they
     /// intern ride along with the next update record).
-    pub fn answer_sparql(&mut self, sparql: &str) -> Result<Solutions, AnswerError> {
+    pub fn answer_sparql(&self, sparql: &str) -> Result<Solutions, AnswerError> {
         self.store.answer_sparql(sparql)
+    }
+
+    /// Publishes the current epoch so [`StoreReader`] handles observe
+    /// every update applied so far (see [`Store::snapshot`]). The server's
+    /// writer thread calls this after each applied batch. Returns the
+    /// published epoch.
+    pub fn publish(&self) -> u64 {
+        self.store.snapshot().epoch()
+    }
+
+    /// A cloneable concurrent read handle onto the wrapped store; see
+    /// [`Store::reader`]. Readers only ever observe *published* epochs —
+    /// i.e. states some committed prefix of the journal produced.
+    pub fn reader(&self) -> StoreReader {
+        self.store.reader()
     }
 
     /// Writes a checkpoint of the current state, marks it in the journal,
@@ -475,7 +503,7 @@ mod tests {
             .unwrap();
             assert_eq!(ds.answer_sparql(MAMMALS).unwrap().len(), 1, "Felix only");
         }
-        let mut rec = Store::recover(&dir).unwrap();
+        let rec = Store::recover(&dir).unwrap();
         assert_eq!(rec.config(), sat(MaintenanceAlgorithm::DRed));
         assert_eq!(rec.answer_sparql(MAMMALS).unwrap().len(), 1);
         assert_eq!(rec.export_ntriples().lines().count(), 3, "3 + Felix - Tom");
@@ -504,7 +532,7 @@ mod tests {
             .unwrap();
             ds.sync().unwrap();
         }
-        let mut rec = Store::recover(&dir).unwrap();
+        let rec = Store::recover(&dir).unwrap();
         assert_eq!(rec.answer_sparql(MAMMALS).unwrap().len(), 2, "Tom + Rex");
         // reopening for append keeps journaling consistent
         let mut ds = DurableStore::open(&dir, FsyncPolicy::Always).unwrap();
@@ -514,7 +542,7 @@ mod tests {
             &Term::iri("http://ex/Mammal"),
         )
         .unwrap();
-        let mut rec = Store::recover(&dir).unwrap();
+        let rec = Store::recover(&dir).unwrap();
         assert_eq!(rec.answer_sparql(MAMMALS).unwrap().len(), 3);
     }
 
@@ -541,7 +569,7 @@ mod tests {
         let path = dir.join(JOURNAL_FILE);
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
-        let mut rec = Store::recover(&dir).unwrap();
+        let rec = Store::recover(&dir).unwrap();
         assert_eq!(rec.answer_sparql(MAMMALS).unwrap().len(), 1, "Rex lost");
         // …and the torn tail does not poison further appends.
         let mut ds = DurableStore::open(&dir, FsyncPolicy::Always).unwrap();
@@ -551,7 +579,7 @@ mod tests {
             &Term::iri("http://ex/Mammal"),
         )
         .unwrap();
-        let mut rec = Store::recover(&dir).unwrap();
+        let rec = Store::recover(&dir).unwrap();
         assert_eq!(rec.answer_sparql(MAMMALS).unwrap().len(), 2);
     }
 
@@ -618,7 +646,7 @@ mod tests {
             &Term::iri("http://ex/Cat"),
         )
         .unwrap();
-        let mut rec = Store::recover(live.dir()).unwrap();
+        let rec = Store::recover(live.dir()).unwrap();
         assert_eq!(rec.export_ntriples(), live.store().export_ntriples());
         assert_eq!(rec.stats(), live.stats());
         assert_eq!(

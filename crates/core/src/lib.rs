@@ -50,6 +50,7 @@ pub mod advisor;
 mod backward;
 pub mod cost;
 pub mod durable;
+pub mod snapshot;
 mod store;
 pub mod threshold;
 
@@ -57,6 +58,7 @@ pub use advisor::{advise_from_snapshot, advise_observed};
 pub use backward::evaluate_backward;
 pub use cost::ObservedCosts;
 pub use durable::{DurableError, DurableStore};
+pub use snapshot::{StoreReader, StoreSnapshot};
 pub use store::{AnswerError, ReasoningConfig, Store, StoreStats};
 pub use threshold::{observed_thresholds, ObservedThresholds};
 

@@ -1,0 +1,372 @@
+//! Snapshot isolation for concurrent query answering.
+//!
+//! The paper's amortisation story (§III) presumes a live system: queries
+//! keep arriving *while* updates trigger maintenance. This module turns
+//! the single-threaded [`Store`](crate::Store) into a snapshot-publishing
+//! design — the writer applies updates and incremental maintenance on its
+//! private state, then publishes an immutable [`StoreSnapshot`] behind an
+//! atomically-swapped `Arc` epoch; readers clone the `Arc` and evaluate
+//! against that frozen view, never blocking behind maintenance.
+//!
+//! Three invariants make this safe without fine-grained locking:
+//!
+//! 1. **Graphs are frozen at publish time.** A snapshot owns its graphs
+//!    (cloned from the writer's state at most once per epoch, lazily, on
+//!    the first read after a change); nothing mutates them afterwards.
+//! 2. **The dictionary is append-only and shared.** Term ids are never
+//!    reassigned, so one `Arc<RwLock<Dictionary>>` serves the writer and
+//!    every snapshot: readers interning query constants cannot invalidate
+//!    any id a frozen graph was encoded against.
+//! 3. **Derived caches are replaced, never cleared.** The schema closure,
+//!    reformulation cache and adaptive winners ride along as `Arc`s that
+//!    the writer *swaps* on schema-changing updates — a reader holding an
+//!    old snapshot keeps the caches consistent with *its* graph.
+
+use crate::backward::evaluate_backward;
+use crate::store::{AnswerError, ReasoningConfig};
+use datalog::rdf::saturate_via_datalog;
+use rdf_model::{Dictionary, Graph, Vocab};
+use rdfs::Schema;
+use reformulation::reformulate;
+use sparql::{
+    evaluate, evaluate_union, parse_query, try_evaluate_union, EvalStats, Query, Solutions,
+};
+use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Locks a `RwLock` for reading, recovering from poisoning: every shared
+/// structure here is append-only or replace-only, so a reader that
+/// panicked mid-read cannot have left it half-mutated.
+pub(crate) fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Locks a `RwLock` for writing, recovering from poisoning (see
+/// [`read_lock`]).
+pub(crate) fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Locks a `Mutex`, recovering from poisoning (see [`read_lock`]).
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Which path the adaptive strategy learned for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdaptiveChoice {
+    Saturated,
+    Reformulated,
+}
+
+/// Schema closure, computed at most once per schema version and shared by
+/// every snapshot of that version (the writer swaps the `Arc` on
+/// schema-changing updates).
+pub(crate) type SchemaCell = Arc<OnceLock<Schema>>;
+
+/// Per-query reformulation cache, keyed by the query's structural form.
+/// Valid for one schema version; swapped with [`SchemaCell`].
+pub(crate) type RefoCache = Arc<Mutex<rustc_hash::FxHashMap<String, Query>>>;
+
+/// Learned per-query winners of the adaptive strategy. Survives instance
+/// updates, swapped on schema updates (costs may have shifted).
+pub(crate) type Winners = Arc<Mutex<rustc_hash::FxHashMap<String, AdaptiveChoice>>>;
+
+/// The structural cache key of a query (projection + patterns + DISTINCT).
+pub(crate) fn query_key(q: &Query) -> String {
+    format!("{:?}|{:?}|{}", q.projection, q.bgps, q.distinct)
+}
+
+/// Frozen per-strategy state: the graphs a snapshot answers against.
+pub(crate) enum SnapState {
+    /// Plain `q(G)`.
+    Plain { graph: Graph },
+    /// Maintained saturation: answer with `q(G∞)`.
+    Saturated { saturated: Graph },
+    /// Reformulation / backward chaining over the explicit graph.
+    Schema {
+        graph: Graph,
+        backward: bool,
+        schema: SchemaCell,
+        refo_cache: RefoCache,
+    },
+    /// Datalog: explicit graph + per-epoch lazily materialised saturation.
+    Datalog {
+        graph: Graph,
+        saturated: OnceLock<Graph>,
+    },
+    /// Adaptive hybrid: both graphs + shared learned winners.
+    Adaptive {
+        base: Graph,
+        saturated: Graph,
+        schema: SchemaCell,
+        winners: Winners,
+    },
+}
+
+/// One published epoch of a [`Store`](crate::Store): an immutable view
+/// that answers queries with `&self`, concurrently with the writer's
+/// maintenance of the *next* epoch.
+///
+/// Cheap to share (`Arc`), safe to keep: a snapshot taken before an
+/// update keeps answering from its frozen graphs.
+pub struct StoreSnapshot {
+    pub(crate) epoch: u64,
+    pub(crate) config: ReasoningConfig,
+    pub(crate) threads: NonZeroUsize,
+    pub(crate) vocab: Vocab,
+    pub(crate) dict: Arc<RwLock<Dictionary>>,
+    pub(crate) state: SnapState,
+}
+
+impl StoreSnapshot {
+    /// The epoch this snapshot publishes. Epochs increase monotonically
+    /// with every effective update; two snapshots with the same epoch are
+    /// views of identical data.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The reasoning strategy the snapshot answers with.
+    pub fn config(&self) -> ReasoningConfig {
+        self.config
+    }
+
+    /// Explicit triples in the frozen `G`.
+    pub fn base_len(&self) -> usize {
+        match &self.state {
+            SnapState::Plain { graph }
+            | SnapState::Schema { graph, .. }
+            | SnapState::Datalog { graph, .. } => graph.len(),
+            SnapState::Saturated { saturated } => saturated.len(),
+            SnapState::Adaptive { base, .. } => base.len(),
+        }
+    }
+
+    /// Triples in the frozen saturation, when this epoch materialised one.
+    pub(crate) fn saturated_len(&self) -> Option<usize> {
+        match &self.state {
+            SnapState::Saturated { saturated } => Some(saturated.len()),
+            SnapState::Datalog { saturated, .. } => saturated.get().map(|g| g.len()),
+            SnapState::Adaptive { saturated, .. } => Some(saturated.len()),
+            _ => None,
+        }
+    }
+
+    /// A read guard on the shared dictionary (for decoding solutions).
+    pub fn dictionary(&self) -> RwLockReadGuard<'_, Dictionary> {
+        read_lock(&self.dict)
+    }
+
+    /// Parses a SPARQL query against the shared dictionary. New constants
+    /// are interned (append-only), which never disturbs existing ids.
+    pub fn prepare(&self, sparql: &str) -> Result<Query, AnswerError> {
+        Ok(parse_query(sparql, &mut write_lock(&self.dict))?)
+    }
+
+    /// Parses and answers in one call.
+    pub fn answer_sparql(
+        &self,
+        sparql: &str,
+    ) -> Result<(Solutions, Option<EvalStats>), AnswerError> {
+        let q = self.prepare(sparql)?;
+        self.answer(&q)
+    }
+
+    /// Answers a prepared query against this frozen epoch with the active
+    /// strategy, applying solution modifiers / aggregates uniformly at the
+    /// end. Returns the union-evaluation stats when a reformulation path
+    /// ran (`None` otherwise).
+    ///
+    /// `&self` end to end: lazily-derived state (schema closure, Datalog
+    /// saturation) lives in per-epoch `OnceLock`s, the reformulation cache
+    /// and adaptive winners behind shared mutexes — so any number of
+    /// readers answer concurrently with each other and with the writer.
+    pub fn answer(&self, q: &Query) -> Result<(Solutions, Option<EvalStats>), AnswerError> {
+        let reg = obs::global();
+        let _span = reg.span("core.answer.query");
+        reg.add("core.answer.queries", 1);
+        let threads = self.threads;
+        let mut eval_stats: Option<EvalStats> = None;
+        let sols = match &self.state {
+            SnapState::Plain { graph } => evaluate(graph, q),
+            SnapState::Saturated { saturated } => evaluate(saturated, q),
+            SnapState::Schema {
+                graph,
+                backward,
+                schema,
+                refo_cache,
+            } => {
+                let schema = schema.get_or_init(|| Schema::extract(graph, &self.vocab));
+                if *backward {
+                    evaluate_backward(graph, schema, &self.vocab, q)
+                } else {
+                    let key = query_key(q);
+                    let q_ref = {
+                        let mut cache = lock(refo_cache);
+                        match cache.get(&key) {
+                            Some(cached) => cached.clone(),
+                            None => {
+                                // Spanned separately so observed-cost
+                                // analysis can keep rewrite time out of
+                                // evaluation time.
+                                let _refo = reg.span("core.answer.reformulate");
+                                let r = reformulate(q, schema, &self.vocab)?;
+                                cache.insert(key, r.query.clone());
+                                r.query
+                            }
+                        }
+                    };
+                    // The union-aware evaluator: shared-prefix trie +
+                    // scan cache, parallel across the threads knob. A
+                    // worker panic surfaces as `AnswerError::Worker`; the
+                    // snapshot itself stays consistent.
+                    let (sols, stats) = try_evaluate_union(graph, &q_ref, threads)?;
+                    eval_stats = Some(stats);
+                    sols
+                }
+            }
+            SnapState::Datalog { graph, saturated } => {
+                let sat = saturated.get_or_init(|| saturate_via_datalog(graph, &self.vocab).0);
+                evaluate(sat, q)
+            }
+            SnapState::Adaptive {
+                base,
+                saturated,
+                schema,
+                winners,
+            } => {
+                let key = query_key(q);
+                let schema = schema.get_or_init(|| Schema::extract(base, &self.vocab));
+                let choice = lock(winners).get(&key).copied();
+                match choice {
+                    Some(AdaptiveChoice::Saturated) => evaluate(saturated, q),
+                    Some(AdaptiveChoice::Reformulated) => {
+                        let r = {
+                            let _refo = reg.span("core.answer.reformulate");
+                            reformulate(q, schema, &self.vocab)?
+                        };
+                        let (sols, stats) = try_evaluate_union(base, &r.query, threads)?;
+                        eval_stats = Some(stats);
+                        sols
+                    }
+                    None => {
+                        // First sight of this query: learn the cheaper path.
+                        // Non-DISTINCT queries pin to saturation (the
+                        // reformulated union has answer-set semantics), as
+                        // do queries outside the reformulation dialect.
+                        if !q.distinct {
+                            lock(winners).insert(key, AdaptiveChoice::Saturated);
+                            evaluate(saturated, q)
+                        } else {
+                            match reformulate(q, schema, &self.vocab) {
+                                Err(_) => {
+                                    lock(winners).insert(key, AdaptiveChoice::Saturated);
+                                    evaluate(saturated, q)
+                                }
+                                Ok(r) => {
+                                    let start = std::time::Instant::now();
+                                    let sat_sols = evaluate(saturated, q);
+                                    let sat_time = start.elapsed();
+                                    let start = std::time::Instant::now();
+                                    // Measure the path the strategy would
+                                    // actually take: the union-aware one.
+                                    let _ = evaluate_union(base, &r.query, threads);
+                                    let ref_time = start.elapsed();
+                                    lock(winners).insert(
+                                        key,
+                                        if sat_time <= ref_time {
+                                            AdaptiveChoice::Saturated
+                                        } else {
+                                            AdaptiveChoice::Reformulated
+                                        },
+                                    );
+                                    sat_sols
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        let sols = sparql::finalize(sols, q, &mut write_lock(&self.dict));
+        Ok((sols, eval_stats))
+    }
+}
+
+/// The publication slot: one `RwLock`-guarded `Arc` the writer swaps and
+/// readers clone. The lock is held only for the pointer copy, never
+/// during evaluation or maintenance.
+pub(crate) struct SnapshotCell {
+    slot: RwLock<Arc<StoreSnapshot>>,
+}
+
+impl SnapshotCell {
+    pub(crate) fn new(initial: Arc<StoreSnapshot>) -> Self {
+        SnapshotCell {
+            slot: RwLock::new(initial),
+        }
+    }
+
+    /// The most recently published snapshot.
+    pub(crate) fn current(&self) -> Arc<StoreSnapshot> {
+        read_lock(&self.slot).clone()
+    }
+
+    /// Atomically replaces the published snapshot.
+    pub(crate) fn publish(&self, snap: Arc<StoreSnapshot>) {
+        *write_lock(&self.slot) = snap;
+    }
+}
+
+/// A cloneable read handle onto a [`Store`](crate::Store): server worker
+/// threads (and tests) hold one per thread and answer queries against
+/// whatever epoch the writer last published, without any access to the
+/// writer itself.
+///
+/// Obtained from [`Store::reader`](crate::Store::reader) or
+/// [`DurableStore::reader`](crate::DurableStore::reader).
+#[derive(Clone)]
+pub struct StoreReader {
+    pub(crate) cell: Arc<SnapshotCell>,
+    pub(crate) dict: Arc<RwLock<Dictionary>>,
+}
+
+impl StoreReader {
+    /// The most recently published epoch, frozen. Hold it to evaluate
+    /// several queries against one consistent view.
+    pub fn snapshot(&self) -> Arc<StoreSnapshot> {
+        self.cell.current()
+    }
+
+    /// A read guard on the shared dictionary (decoding solutions).
+    pub fn dictionary(&self) -> RwLockReadGuard<'_, Dictionary> {
+        read_lock(&self.dict)
+    }
+
+    /// Parses a SPARQL query against the shared dictionary.
+    pub fn prepare(&self, sparql: &str) -> Result<Query, AnswerError> {
+        Ok(parse_query(sparql, &mut write_lock(&self.dict))?)
+    }
+
+    /// Parses and answers against the current published epoch. Returns
+    /// the solutions, the union-evaluation stats when a reformulation
+    /// path ran, and the epoch that was answered — so callers can assert
+    /// monotonic reads.
+    pub fn answer_sparql(
+        &self,
+        sparql: &str,
+    ) -> Result<(Solutions, Option<EvalStats>, u64), AnswerError> {
+        let snap = self.snapshot();
+        let q = self.prepare(sparql)?;
+        let (sols, stats) = snap.answer(&q)?;
+        Ok((sols, stats, snap.epoch()))
+    }
+
+    /// Answers a prepared query against the current published epoch.
+    pub fn answer(&self, q: &Query) -> Result<(Solutions, Option<EvalStats>, u64), AnswerError> {
+        let snap = self.snapshot();
+        let (sols, stats) = snap.answer(q)?;
+        Ok((sols, stats, snap.epoch()))
+    }
+}

@@ -1,18 +1,22 @@
 //! The [`Store`]: one RDF database, five query-answering strategies.
+//!
+//! Query answering is snapshot-isolated: [`Store::answer`] takes `&self`
+//! and evaluates against an immutable published [`StoreSnapshot`] epoch,
+//! so readers (via [`Store::reader`]) run concurrently with the writer's
+//! updates and incremental maintenance. See [`crate::snapshot`].
 
-use crate::backward::evaluate_backward;
-use datalog::rdf::saturate_via_datalog;
+use crate::snapshot::{
+    lock, read_lock, write_lock, RefoCache, SchemaCell, SnapState, SnapshotCell, StoreReader,
+    StoreSnapshot, Winners,
+};
 use rdf_io::ParseError;
 use rdf_model::{Dictionary, Graph, Term, Triple, Vocab, WorkerPanicked};
 use rdfs::incremental::{Maintainer, MaintenanceAlgorithm, UpdateStats};
-use rdfs::Schema;
-use reformulation::{reformulate, ReformulationError};
-use sparql::{
-    evaluate, evaluate_union, parse_query, try_evaluate_union, EvalStats, Query, QueryParseError,
-    Solutions,
-};
+use reformulation::ReformulationError;
+use sparql::{parse_query, EvalStats, Query, QueryParseError, Solutions};
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::sync::{Arc, Mutex, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Which query-answering technique the store uses (§II-B / §II-C).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -142,53 +146,63 @@ pub struct StoreStats {
     pub threads: usize,
 }
 
-/// Which path the adaptive strategy learned for a query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AdaptiveChoice {
-    Saturated,
-    Reformulated,
-}
-
-/// Per-strategy state.
+/// Per-strategy writer-side state. Derived caches that queries need
+/// (schema closure, reformulation cache, Datalog saturation, adaptive
+/// winners) live snapshot-side — see [`crate::snapshot::SnapState`] —
+/// so that answering never mutates the store.
 enum State {
     Plain(Graph),
     Saturation(Box<dyn Maintainer + Send>),
-    /// Reformulation / backward chaining: base graph + schema cache
-    /// (rebuilt lazily after schema updates) + per-query reformulation
-    /// cache (keyed by the query's structural form, dropped with the
-    /// schema — "reformulation is made at query run-time", §II-B, but
-    /// repeating the same query need not repeat the rewriting).
+    /// Reformulation / backward chaining over the explicit graph.
     SchemaBased {
         graph: Graph,
-        schema: Option<Schema>,
         backward: bool,
-        refo_cache: rustc_hash::FxHashMap<String, Query>,
     },
-    /// Datalog: base graph + cached saturation (invalidated on update).
+    /// Datalog: the saturation is materialised lazily per epoch,
+    /// snapshot-side.
     Datalog {
         graph: Graph,
-        saturated: Option<Graph>,
     },
-    /// Adaptive hybrid: maintained saturation + schema cache + learned
-    /// per-query winners (keyed by the query's structural form).
+    /// Adaptive hybrid: maintained saturation; learned winners are
+    /// shared with snapshots via [`Winners`].
     Adaptive {
         maintainer: Box<dyn Maintainer + Send>,
-        schema: Option<Schema>,
-        winners: rustc_hash::FxHashMap<String, AdaptiveChoice>,
     },
 }
 
 /// An RDF store with a pluggable reasoning strategy.
+///
+/// Updates (`&mut self`) bump an epoch counter; [`Store::snapshot`]
+/// publishes an immutable [`StoreSnapshot`] of the current epoch (built
+/// lazily, at most one graph clone per epoch) and [`Store::answer`]
+/// (`&self`) evaluates against it — concurrently with readers holding
+/// [`StoreReader`] handles from [`Store::reader`].
 pub struct Store {
-    dict: Dictionary,
+    /// Shared append-only dictionary: term ids are never reassigned, so
+    /// the writer and every published snapshot read the same mapping.
+    dict: Arc<RwLock<Dictionary>>,
     vocab: Vocab,
     owl: rdfs::plus::OwlVocab,
     config: ReasoningConfig,
     threads: NonZeroUsize,
     state: State,
+    /// Monotonic version: bumped on every effective mutation. Starts at 1
+    /// so the placeholder snapshot (epoch 0) is never considered fresh.
+    epoch: u64,
+    /// Schema closure of the current schema version, shared with
+    /// snapshots; swapped (not cleared) on schema-changing updates.
+    schema_cell: SchemaCell,
+    /// Reformulation cache for the current schema version (swapped with
+    /// [`Store::schema_cell`]).
+    refo_cache: RefoCache,
+    /// Adaptive per-query winners (swapped on schema changes — costs may
+    /// have shifted; surviving instance updates, as learned).
+    winners: Winners,
+    /// The publication slot readers clone snapshots from.
+    cell: Arc<SnapshotCell>,
     /// Stats of the most recent union-aware evaluation (reformulation
     /// paths only); `None` when the last answer took another path.
-    last_eval_stats: Option<EvalStats>,
+    last_eval_stats: Mutex<Option<EvalStats>>,
 }
 
 impl Store {
@@ -228,7 +242,21 @@ impl Store {
         threads: NonZeroUsize,
     ) -> Self {
         let owl = rdfs::plus::OwlVocab::intern(&mut dict);
+        let dict = Arc::new(RwLock::new(dict));
         let state = Self::build_state(graph, vocab, owl, config, threads);
+        // The slot starts with an empty epoch-0 placeholder; epoch 1 is
+        // published lazily by the first `snapshot()` call, so building a
+        // store over a large graph costs no clone until someone reads.
+        let placeholder = Arc::new(StoreSnapshot {
+            epoch: 0,
+            config,
+            threads,
+            vocab,
+            dict: dict.clone(),
+            state: SnapState::Plain {
+                graph: Graph::new(),
+            },
+        });
         Store {
             dict,
             vocab,
@@ -236,7 +264,12 @@ impl Store {
             config,
             threads,
             state,
-            last_eval_stats: None,
+            epoch: 1,
+            schema_cell: Arc::new(OnceLock::new()),
+            refo_cache: Arc::default(),
+            winners: Arc::default(),
+            cell: Arc::new(SnapshotCell::new(placeholder)),
+            last_eval_stats: Mutex::new(None),
         }
     }
 
@@ -257,25 +290,88 @@ impl Store {
             }
             ReasoningConfig::Reformulation => State::SchemaBased {
                 graph,
-                schema: None,
                 backward: false,
-                refo_cache: rustc_hash::FxHashMap::default(),
             },
             ReasoningConfig::BackwardChaining => State::SchemaBased {
                 graph,
-                schema: None,
                 backward: true,
-                refo_cache: rustc_hash::FxHashMap::default(),
             },
-            ReasoningConfig::Datalog => State::Datalog {
-                graph,
-                saturated: None,
-            },
+            ReasoningConfig::Datalog => State::Datalog { graph },
             ReasoningConfig::Adaptive => State::Adaptive {
                 maintainer: MaintenanceAlgorithm::Counting.build(graph, vocab),
-                schema: None,
-                winners: rustc_hash::FxHashMap::default(),
             },
+        }
+    }
+
+    /// Bumps the epoch (the published snapshot is now stale) and, when the
+    /// mutation touched schema triples, swaps the schema-derived caches so
+    /// the next epoch recomputes them while old snapshots keep theirs.
+    fn note_change(&mut self, schema_changed: bool) {
+        self.epoch += 1;
+        if schema_changed {
+            self.schema_cell = Arc::new(OnceLock::new());
+            self.refo_cache = Arc::default();
+            self.winners = Arc::default();
+        }
+    }
+
+    /// Builds the snapshot of the current epoch from the writer state —
+    /// the one place graphs are cloned (at most once per epoch).
+    fn build_snapshot(&self) -> StoreSnapshot {
+        let state = match &self.state {
+            State::Plain(g) => SnapState::Plain { graph: g.clone() },
+            State::Saturation(m) => SnapState::Saturated {
+                saturated: m.saturated().clone(),
+            },
+            State::SchemaBased { graph, backward } => SnapState::Schema {
+                graph: graph.clone(),
+                backward: *backward,
+                schema: self.schema_cell.clone(),
+                refo_cache: self.refo_cache.clone(),
+            },
+            State::Datalog { graph } => SnapState::Datalog {
+                graph: graph.clone(),
+                saturated: OnceLock::new(),
+            },
+            State::Adaptive { maintainer } => SnapState::Adaptive {
+                base: maintainer.base().clone(),
+                saturated: maintainer.saturated().clone(),
+                schema: self.schema_cell.clone(),
+                winners: self.winners.clone(),
+            },
+        };
+        StoreSnapshot {
+            epoch: self.epoch,
+            config: self.config,
+            threads: self.threads,
+            vocab: self.vocab,
+            dict: self.dict.clone(),
+            state,
+        }
+    }
+
+    /// The current epoch's immutable snapshot, publishing it if the one
+    /// in the slot is stale. This is how the writer makes updates visible
+    /// to [`StoreReader`] handles: apply mutations, then call `snapshot()`
+    /// (or any `&self` answering method, which does it implicitly).
+    pub fn snapshot(&self) -> Arc<StoreSnapshot> {
+        let current = self.cell.current();
+        if current.epoch == self.epoch {
+            return current;
+        }
+        let snap = Arc::new(self.build_snapshot());
+        self.cell.publish(snap.clone());
+        snap
+    }
+
+    /// A cloneable concurrent read handle: worker threads answer queries
+    /// against whatever epoch the writer last published. Publishes the
+    /// current epoch first so the handle never observes the placeholder.
+    pub fn reader(&self) -> StoreReader {
+        self.snapshot();
+        StoreReader {
+            cell: self.cell.clone(),
+            dict: self.dict.clone(),
         }
     }
 
@@ -301,6 +397,7 @@ impl Store {
         self.threads = threads;
         let graph = self.base_graph().clone();
         self.state = Self::build_state(graph, self.vocab, self.owl, self.config, threads);
+        self.note_change(true);
     }
 
     /// Switches strategy, rebuilding derived state from the base graph.
@@ -311,18 +408,22 @@ impl Store {
         let graph = self.base_graph().clone();
         self.state = Self::build_state(graph, self.vocab, self.owl, config, self.threads);
         self.config = config;
+        self.note_change(true);
     }
 
-    /// The dictionary (for decoding solution ids).
-    pub fn dictionary(&self) -> &Dictionary {
-        &self.dict
+    /// The dictionary (for decoding solution ids), as a read guard on the
+    /// shared append-only map. Deref-coerces wherever `&Dictionary` is
+    /// expected; don't hold it across a call that interns (parse/prepare).
+    pub fn dictionary(&self) -> RwLockReadGuard<'_, Dictionary> {
+        read_lock(&self.dict)
     }
 
-    /// Mutable dictionary access for the durable layer (journal replay
-    /// re-interns terms; the journaled loaders parse against the store's
-    /// dictionary before appending).
-    pub(crate) fn dict_mut(&mut self) -> &mut Dictionary {
-        &mut self.dict
+    /// Write access to the shared dictionary for the durable layer
+    /// (journal replay re-interns terms; the journaled loaders parse
+    /// against the store's dictionary before appending). Interning is
+    /// append-only, so this never invalidates a published snapshot.
+    pub(crate) fn dict_mut(&self) -> RwLockWriteGuard<'_, Dictionary> {
+        write_lock(&self.dict)
     }
 
     /// The pre-interned vocabulary.
@@ -345,16 +446,24 @@ impl Store {
     pub fn stats(&self) -> StoreStats {
         let saturated_triples = match &self.state {
             State::Saturation(m) => Some(m.saturated().len()),
-            State::Datalog {
-                saturated: Some(s), ..
-            } => Some(s.len()),
+            State::Datalog { .. } => {
+                // The Datalog saturation materialises lazily, snapshot-
+                // side; report it only if the *current* epoch's published
+                // snapshot has built one.
+                let published = self.cell.current();
+                if published.epoch == self.epoch {
+                    published.saturated_len()
+                } else {
+                    None
+                }
+            }
             State::Adaptive { maintainer, .. } => Some(maintainer.saturated().len()),
             _ => None,
         };
         StoreStats {
             base_triples: self.base_graph().len(),
             saturated_triples,
-            dictionary_terms: self.dict.len(),
+            dictionary_terms: self.dictionary().len(),
             strategy: self.config.name(),
             threads: self.threads.get(),
         }
@@ -367,7 +476,7 @@ impl Store {
     /// triples the document contained.
     pub fn load_turtle(&mut self, text: &str) -> Result<usize, AnswerError> {
         let mut staging = Graph::new();
-        let n = rdf_io::parse_turtle(text, &mut self.dict, &mut staging)?;
+        let n = rdf_io::parse_turtle(text, &mut self.dict_mut(), &mut staging)?;
         let triples: Vec<Triple> = staging.iter().collect();
         self.insert_batch(&triples);
         Ok(n)
@@ -376,7 +485,7 @@ impl Store {
     /// Parses N-Triples and inserts every triple as one batch.
     pub fn load_ntriples(&mut self, text: &str) -> Result<usize, AnswerError> {
         let mut staging = Graph::new();
-        let n = rdf_io::parse_ntriples(text, &mut self.dict, &mut staging)?;
+        let n = rdf_io::parse_ntriples(text, &mut self.dict_mut(), &mut staging)?;
         let triples: Vec<Triple> = staging.iter().collect();
         self.insert_batch(&triples);
         Ok(n)
@@ -385,21 +494,18 @@ impl Store {
     /// Inserts a batch of triples with one maintenance pass where the
     /// strategy supports it (see [`rdfs::incremental::Maintainer::insert_batch`]).
     pub fn insert_batch(&mut self, triples: &[Triple]) -> UpdateStats {
-        match &mut self.state {
-            State::Saturation(m) => m.insert_batch(triples),
-            State::Adaptive {
-                maintainer,
-                schema,
-                winners,
-            } => {
-                let stats = maintainer.insert_batch(triples);
-                if triples.iter().any(|t| self.vocab.is_schema_property(t.p)) {
-                    *schema = None;
-                    winners.clear();
-                }
+        let batched = match &mut self.state {
+            State::Saturation(m) => Some(m.insert_batch(triples)),
+            State::Adaptive { maintainer } => Some(maintainer.insert_batch(triples)),
+            _ => None,
+        };
+        match batched {
+            Some(stats) => {
+                let schema = triples.iter().any(|t| self.vocab.is_schema_property(t.p));
+                self.note_change(schema);
                 stats
             }
-            _ => {
+            None => {
                 let mut total = UpdateStats {
                     kind: rdfs::incremental::UpdateKind::Noop,
                     added: 0,
@@ -421,21 +527,18 @@ impl Store {
     /// Deletes a batch of triples with one maintenance pass where the
     /// strategy supports it.
     pub fn delete_batch(&mut self, triples: &[Triple]) -> UpdateStats {
-        match &mut self.state {
-            State::Saturation(m) => m.delete_batch(triples),
-            State::Adaptive {
-                maintainer,
-                schema,
-                winners,
-            } => {
-                let stats = maintainer.delete_batch(triples);
-                if triples.iter().any(|t| self.vocab.is_schema_property(t.p)) {
-                    *schema = None;
-                    winners.clear();
-                }
+        let batched = match &mut self.state {
+            State::Saturation(m) => Some(m.delete_batch(triples)),
+            State::Adaptive { maintainer } => Some(maintainer.delete_batch(triples)),
+            _ => None,
+        };
+        match batched {
+            Some(stats) => {
+                let schema = triples.iter().any(|t| self.vocab.is_schema_property(t.p));
+                self.note_change(schema);
                 stats
             }
-            _ => {
+            None => {
                 let mut total = UpdateStats {
                     kind: rdfs::incremental::UpdateKind::Noop,
                     added: 0,
@@ -456,11 +559,10 @@ impl Store {
 
     /// Encodes three terms and inserts the triple.
     pub fn insert_terms(&mut self, s: &Term, p: &Term, o: &Term) -> UpdateStats {
-        let t = Triple::new(
-            self.dict.encode(s),
-            self.dict.encode(p),
-            self.dict.encode(o),
-        );
+        let t = {
+            let mut dict = self.dict_mut();
+            Triple::new(dict.encode(s), dict.encode(p), dict.encode(o))
+        };
         self.insert(t)
     }
 
@@ -471,52 +573,26 @@ impl Store {
         let stats = match &mut self.state {
             State::Plain(g) => plain_update(g.insert(t), true, &t, &self.vocab),
             State::Saturation(m) => m.insert(t),
-            State::SchemaBased {
-                graph,
-                schema,
-                refo_cache,
-                ..
-            } => {
-                let changed = graph.insert(t);
-                if changed && self.vocab.is_schema_property(t.p) {
-                    *schema = None; // schema + reformulation caches invalidated
-                    refo_cache.clear();
-                }
-                plain_update(changed, true, &t, &self.vocab)
+            State::SchemaBased { graph, .. } => {
+                plain_update(graph.insert(t), true, &t, &self.vocab)
             }
-            State::Datalog { graph, saturated } => {
-                let changed = graph.insert(t);
-                if changed {
-                    *saturated = None;
-                }
-                plain_update(changed, true, &t, &self.vocab)
-            }
-            State::Adaptive {
-                maintainer,
-                schema,
-                winners,
-            } => {
-                let stats = maintainer.insert(t);
-                if self.vocab.is_schema_property(t.p)
-                    && stats.kind != rdfs::incremental::UpdateKind::Noop
-                {
-                    *schema = None;
-                    winners.clear(); // costs may have shifted; re-learn
-                }
-                stats
-            }
+            State::Datalog { graph } => plain_update(graph.insert(t), true, &t, &self.vocab),
+            State::Adaptive { maintainer } => maintainer.insert(t),
         };
         publish_update(reg, &stats, reg.now_us().saturating_sub(start));
+        if stats.kind != rdfs::incremental::UpdateKind::Noop {
+            self.note_change(self.vocab.is_schema_property(t.p));
+        }
         stats
     }
 
     /// Encodes three terms and deletes the triple (if the terms are known).
     pub fn delete_terms(&mut self, s: &Term, p: &Term, o: &Term) -> UpdateStats {
-        match (
-            self.dict.get_id(s),
-            self.dict.get_id(p),
-            self.dict.get_id(o),
-        ) {
+        let ids = {
+            let dict = self.dictionary();
+            (dict.get_id(s), dict.get_id(p), dict.get_id(o))
+        };
+        match ids {
             (Some(s), Some(p), Some(o)) => self.delete(&Triple::new(s, p, o)),
             _ => UpdateStats {
                 kind: rdfs::incremental::UpdateKind::Noop,
@@ -534,42 +610,16 @@ impl Store {
         let stats = match &mut self.state {
             State::Plain(g) => plain_update(g.remove(t), false, t, &self.vocab),
             State::Saturation(m) => m.delete(t),
-            State::SchemaBased {
-                graph,
-                schema,
-                refo_cache,
-                ..
-            } => {
-                let changed = graph.remove(t);
-                if changed && self.vocab.is_schema_property(t.p) {
-                    *schema = None;
-                    refo_cache.clear();
-                }
-                plain_update(changed, false, t, &self.vocab)
+            State::SchemaBased { graph, .. } => {
+                plain_update(graph.remove(t), false, t, &self.vocab)
             }
-            State::Datalog { graph, saturated } => {
-                let changed = graph.remove(t);
-                if changed {
-                    *saturated = None;
-                }
-                plain_update(changed, false, t, &self.vocab)
-            }
-            State::Adaptive {
-                maintainer,
-                schema,
-                winners,
-            } => {
-                let stats = maintainer.delete(t);
-                if self.vocab.is_schema_property(t.p)
-                    && stats.kind != rdfs::incremental::UpdateKind::Noop
-                {
-                    *schema = None;
-                    winners.clear();
-                }
-                stats
-            }
+            State::Datalog { graph } => plain_update(graph.remove(t), false, t, &self.vocab),
+            State::Adaptive { maintainer } => maintainer.delete(t),
         };
         publish_update(reg, &stats, reg.now_us().saturating_sub(start));
+        if stats.kind != rdfs::incremental::UpdateKind::Noop {
+            self.note_change(self.vocab.is_schema_property(t.p));
+        }
         stats
     }
 
@@ -596,11 +646,10 @@ impl Store {
         p: &Term,
         o: &Term,
     ) -> Option<rdfs::explain::Explanation> {
-        let t = Triple::new(
-            self.dict.get_id(s)?,
-            self.dict.get_id(p)?,
-            self.dict.get_id(o)?,
-        );
+        let t = {
+            let dict = self.dictionary();
+            Triple::new(dict.get_id(s)?, dict.get_id(p)?, dict.get_id(o)?)
+        };
         self.explain(&t)
     }
 
@@ -608,153 +657,55 @@ impl Store {
 
     /// Serialises the base graph `G` as sorted N-Triples.
     pub fn export_ntriples(&self) -> String {
-        rdf_io::write_ntriples_sorted(self.base_graph(), &self.dict)
+        rdf_io::write_ntriples_sorted(self.base_graph(), &self.dictionary())
     }
 
     /// Serialises the base graph `G` as Turtle against `prefixes`.
     pub fn export_turtle(&self, prefixes: &rdf_io::PrefixMap) -> String {
-        rdf_io::write_turtle(self.base_graph(), &self.dict, prefixes)
+        rdf_io::write_turtle(self.base_graph(), &self.dictionary(), prefixes)
     }
 
     // --- query answering ---------------------------------------------------
 
     /// Parses a SPARQL BGP query against this store's dictionary.
-    pub fn prepare(&mut self, sparql: &str) -> Result<Query, AnswerError> {
-        Ok(parse_query(sparql, &mut self.dict)?)
+    pub fn prepare(&self, sparql: &str) -> Result<Query, AnswerError> {
+        Ok(parse_query(sparql, &mut self.dict_mut())?)
     }
 
     /// Answers a prepared query with the active strategy, applying any
     /// solution modifiers / aggregate (`ORDER BY`, `LIMIT`, `OFFSET`,
     /// `COUNT`) uniformly at the end.
     ///
-    /// Takes `&mut self` because lazily-derived state (schema closure,
-    /// Datalog saturation) may need (re)building. Note: under
+    /// Takes `&self`: evaluation runs against the current epoch's
+    /// published [`StoreSnapshot`] (see [`Store::snapshot`]), so queries
+    /// run concurrently with each other — and, through [`StoreReader`]
+    /// handles, with the writer's maintenance. Note: under
     /// [`ReasoningConfig::Reformulation`], `COUNT(*)` counts *distinct*
     /// solutions (reformulation's answer-set semantics).
-    pub fn answer(&mut self, q: &Query) -> Result<Solutions, AnswerError> {
-        let reg = obs::global();
-        let _span = reg.span("core.answer.query");
-        reg.add("core.answer.queries", 1);
-        let threads = self.threads;
-        let mut eval_stats: Option<EvalStats> = None;
-        let sols = match &mut self.state {
-            State::Plain(g) => evaluate(g, q),
-            State::Saturation(m) => evaluate(m.saturated(), q),
-            State::SchemaBased {
-                graph,
-                schema,
-                backward,
-                refo_cache,
-            } => {
-                let schema = schema.get_or_insert_with(|| Schema::extract(graph, &self.vocab));
-                if *backward {
-                    evaluate_backward(graph, schema, &self.vocab, q)
-                } else {
-                    let key = format!("{:?}|{:?}|{}", q.projection, q.bgps, q.distinct);
-                    let q_ref = match refo_cache.get(&key) {
-                        Some(cached) => cached,
-                        None => {
-                            // Spanned separately so observed-cost analysis
-                            // can keep rewrite time out of evaluation time.
-                            let _refo = reg.span("core.answer.reformulate");
-                            let r = reformulate(q, schema, &self.vocab)?;
-                            refo_cache.entry(key).or_insert(r.query)
-                        }
-                    };
-                    // The union-aware evaluator: shared-prefix trie +
-                    // scan cache, parallel across the threads knob. A
-                    // worker panic surfaces as `AnswerError::Worker`; the
-                    // store itself stays consistent.
-                    let (sols, stats) = try_evaluate_union(graph, q_ref, threads)?;
-                    eval_stats = Some(stats);
-                    sols
-                }
-            }
-            State::Datalog { graph, saturated } => {
-                let sat =
-                    saturated.get_or_insert_with(|| saturate_via_datalog(graph, &self.vocab).0);
-                evaluate(sat, q)
-            }
-            State::Adaptive {
-                maintainer,
-                schema,
-                winners,
-            } => {
-                let key = format!("{:?}|{:?}|{}", q.projection, q.bgps, q.distinct);
-                let schema =
-                    schema.get_or_insert_with(|| Schema::extract(maintainer.base(), &self.vocab));
-                let choice = winners.get(&key).copied();
-                match choice {
-                    Some(AdaptiveChoice::Saturated) => evaluate(maintainer.saturated(), q),
-                    Some(AdaptiveChoice::Reformulated) => {
-                        let r = {
-                            let _refo = reg.span("core.answer.reformulate");
-                            reformulate(q, schema, &self.vocab)?
-                        };
-                        let (sols, stats) =
-                            try_evaluate_union(maintainer.base(), &r.query, threads)?;
-                        eval_stats = Some(stats);
-                        sols
-                    }
-                    None => {
-                        // First sight of this query: learn the cheaper path.
-                        // Non-DISTINCT queries pin to saturation (the
-                        // reformulated union has answer-set semantics), as
-                        // do queries outside the reformulation dialect.
-                        if !q.distinct {
-                            winners.insert(key, AdaptiveChoice::Saturated);
-                            evaluate(maintainer.saturated(), q)
-                        } else {
-                            match reformulate(q, schema, &self.vocab) {
-                                Err(_) => {
-                                    winners.insert(key, AdaptiveChoice::Saturated);
-                                    evaluate(maintainer.saturated(), q)
-                                }
-                                Ok(r) => {
-                                    let start = std::time::Instant::now();
-                                    let sat_sols = evaluate(maintainer.saturated(), q);
-                                    let sat_time = start.elapsed();
-                                    let start = std::time::Instant::now();
-                                    // Measure the path the strategy would
-                                    // actually take: the union-aware one.
-                                    let _ = evaluate_union(maintainer.base(), &r.query, threads);
-                                    let ref_time = start.elapsed();
-                                    winners.insert(
-                                        key,
-                                        if sat_time <= ref_time {
-                                            AdaptiveChoice::Saturated
-                                        } else {
-                                            AdaptiveChoice::Reformulated
-                                        },
-                                    );
-                                    sat_sols
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-        };
-        self.last_eval_stats = eval_stats;
-        Ok(sparql::finalize(sols, q, &mut self.dict))
+    pub fn answer(&self, q: &Query) -> Result<Solutions, AnswerError> {
+        let snap = self.snapshot();
+        let (sols, stats) = snap.answer(q)?;
+        *lock(&self.last_eval_stats) = stats;
+        Ok(sols)
     }
 
     /// Stats of the most recent [`Store::answer`] call that took a
     /// union-aware reformulation path (branch sharing, scan-cache
     /// counters, phase timings); `None` when the last answer came from a
     /// saturated graph, backward chaining or plain evaluation.
-    pub fn last_eval_stats(&self) -> Option<&EvalStats> {
-        self.last_eval_stats.as_ref()
+    pub fn last_eval_stats(&self) -> Option<EvalStats> {
+        lock(&self.last_eval_stats).clone()
     }
 
     /// For [`ReasoningConfig::Adaptive`]: how many distinct queries have
     /// been pinned to each path, as `(saturated, reformulated)`.
     pub fn adaptive_summary(&self) -> Option<(usize, usize)> {
         match &self.state {
-            State::Adaptive { winners, .. } => {
+            State::Adaptive { .. } => {
+                let winners = lock(&self.winners);
                 let sat = winners
                     .values()
-                    .filter(|&&c| c == AdaptiveChoice::Saturated)
+                    .filter(|&&c| c == crate::snapshot::AdaptiveChoice::Saturated)
                     .count();
                 Some((sat, winners.len() - sat))
             }
@@ -763,7 +714,7 @@ impl Store {
     }
 
     /// Parses and answers in one call.
-    pub fn answer_sparql(&mut self, sparql: &str) -> Result<Solutions, AnswerError> {
+    pub fn answer_sparql(&self, sparql: &str) -> Result<Solutions, AnswerError> {
         let q = self.prepare(sparql)?;
         self.answer(&q)
     }
@@ -837,7 +788,7 @@ mod tests {
 
     #[test]
     fn none_strategy_sees_explicit_only() {
-        let mut s = store_with(ReasoningConfig::None);
+        let s = store_with(ReasoningConfig::None);
         assert_eq!(s.answer_sparql(MAMMALS).unwrap().len(), 0);
     }
 
@@ -847,7 +798,7 @@ mod tests {
             if config == ReasoningConfig::None {
                 continue;
             }
-            let mut s = store_with(config);
+            let s = store_with(config);
             let sols = s.answer_sparql(MAMMALS).unwrap();
             assert_eq!(sols.len(), 1, "{}: Tom is a mammal", config.name());
             let sols = s.answer_sparql(ANIMALS).unwrap();
@@ -1132,7 +1083,7 @@ mod tests {
                     &Term::iri("http://ex/Animal"),
                 )
                 .expect("range-typed triple explains");
-            assert!(e.render(s.dictionary()).contains("[rdfs3]"));
+            assert!(e.render(&s.dictionary()).contains("[rdfs3]"));
             // A non-entailed triple has no explanation.
             assert!(s
                 .explain_terms(

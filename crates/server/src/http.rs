@@ -1,0 +1,540 @@
+//! A minimal, dependency-free HTTP/1.1 request parser.
+//!
+//! Deliberately a *pure incremental function* over a byte buffer —
+//! `parse_request(&buf)` either consumes one complete request, asks for
+//! more bytes, or rejects with a typed error that maps onto a 4xx status.
+//! No I/O happens here, which is what makes the parser fuzzable: the
+//! proptest suite feeds it truncations, garbage splices, oversized heads
+//! and broken chunked framing and asserts it never panics (mirroring
+//! `rdf-io/tests/corrupt_inputs.rs`).
+//!
+//! Supported surface (all the embedded server needs): request line +
+//! headers, `Content-Length` or `Transfer-Encoding: chunked` bodies,
+//! `Connection: close`/`keep-alive`. Everything else is rejected, loudly.
+
+use std::fmt;
+
+/// Parser limits; every one maps to a distinct client error instead of
+/// unbounded buffering.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes for request line + headers (431 beyond this).
+    pub max_head_bytes: usize,
+    /// Maximum body bytes, after de-chunking (413 beyond this).
+    pub max_body_bytes: usize,
+    /// Maximum header count (431 beyond this).
+    pub max_headers: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head_bytes: 16 * 1024,
+            max_body_bytes: 4 * 1024 * 1024,
+            max_headers: 64,
+        }
+    }
+}
+
+/// Why a request was rejected; [`HttpError::status`] maps each reason to
+/// the HTTP status the server replies with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// The request line is not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// A header line has no `:` or contains control bytes.
+    BadHeader,
+    /// Request line + headers exceed [`Limits::max_head_bytes`] or
+    /// [`Limits::max_headers`].
+    HeadTooLarge,
+    /// Declared or actual body exceeds [`Limits::max_body_bytes`].
+    BodyTooLarge,
+    /// `Content-Length` is not a decimal number (or conflicts).
+    BadContentLength,
+    /// A `Transfer-Encoding` other than exactly `chunked`, or chunked
+    /// *and* `Content-Length` together (request smuggling vector).
+    BadTransferEncoding,
+    /// Malformed chunked framing (bad size line, missing CRLF).
+    BadChunk,
+    /// The HTTP version is not 1.0 or 1.1.
+    UnsupportedVersion,
+}
+
+impl HttpError {
+    /// The HTTP status code this error answers with.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::UnsupportedVersion => 505,
+            _ => 400,
+        }
+    }
+
+    /// The canonical reason phrase for [`HttpError::status`].
+    pub fn reason(&self) -> &'static str {
+        match self.status() {
+            431 => "Request Header Fields Too Large",
+            413 => "Content Too Large",
+            505 => "HTTP Version Not Supported",
+            _ => "Bad Request",
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            HttpError::BadRequestLine => "malformed request line",
+            HttpError::BadHeader => "malformed header",
+            HttpError::HeadTooLarge => "request head too large",
+            HttpError::BodyTooLarge => "request body too large",
+            HttpError::BadContentLength => "invalid Content-Length",
+            HttpError::BadTransferEncoding => "unsupported Transfer-Encoding",
+            HttpError::BadChunk => "malformed chunked framing",
+            HttpError::UnsupportedVersion => "unsupported HTTP version",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (`/query`, `/metrics?format=json`, …).
+    pub target: String,
+    /// Header `(name, value)` pairs; names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The (de-chunked) body.
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// request (`Connection: close`, or HTTP/1.0 semantics are not
+    /// implemented — the server treats absence as keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// The path portion of the target (before any `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The query-string portion of the target (after the first `?`).
+    pub fn query_string(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+}
+
+/// Result of feeding the buffer to the parser.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ParseOutcome {
+    /// One complete request, plus how many buffer bytes it consumed
+    /// (the caller drains them and keeps the rest for pipelining).
+    Complete(Box<Request>, usize),
+    /// The buffer holds a valid prefix; read more bytes.
+    Incomplete,
+    /// The buffer can never become a valid request.
+    Error(HttpError),
+}
+
+/// Parses at most one request from `buf`. Pure: no allocation outside the
+/// returned request, no I/O, total over arbitrary bytes.
+pub fn parse_request(buf: &[u8], limits: &Limits) -> ParseOutcome {
+    // --- head: request line + headers, terminated by CRLFCRLF ---------
+    let head_end = match find_head_end(buf) {
+        Some(end) => end,
+        None => {
+            return if buf.len() > limits.max_head_bytes {
+                ParseOutcome::Error(HttpError::HeadTooLarge)
+            } else {
+                ParseOutcome::Incomplete
+            };
+        }
+    };
+    if head_end > limits.max_head_bytes {
+        return ParseOutcome::Error(HttpError::HeadTooLarge);
+    }
+    let head = &buf[..head_end];
+    let mut lines = split_crlf_lines(head);
+    let request_line = match lines.next() {
+        Some(Ok(line)) if !line.is_empty() => line,
+        _ => return ParseOutcome::Error(HttpError::BadRequestLine),
+    };
+    let (method, target) = match parse_request_line(request_line) {
+        Ok(pair) => pair,
+        Err(e) => return ParseOutcome::Error(e),
+    };
+
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => return ParseOutcome::Error(e),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= limits.max_headers {
+            return ParseOutcome::Error(HttpError::HeadTooLarge);
+        }
+        match parse_header_line(line) {
+            Ok(h) => headers.push(h),
+            Err(e) => return ParseOutcome::Error(e),
+        }
+    }
+
+    let request = Request {
+        method,
+        target,
+        headers,
+        body: Vec::new(),
+    };
+
+    // --- body framing ---------------------------------------------------
+    let content_length = request.header("content-length");
+    let transfer_encoding = request.header("transfer-encoding");
+    let body_start = head_end;
+
+    match (content_length, transfer_encoding) {
+        (Some(_), Some(_)) => ParseOutcome::Error(HttpError::BadTransferEncoding),
+        (None, Some(te)) => {
+            if !te.eq_ignore_ascii_case("chunked") {
+                return ParseOutcome::Error(HttpError::BadTransferEncoding);
+            }
+            match parse_chunked(&buf[body_start..], limits.max_body_bytes) {
+                Ok(Some((body, consumed))) => {
+                    let mut request = request;
+                    request.body = body;
+                    ParseOutcome::Complete(Box::new(request), body_start + consumed)
+                }
+                Ok(None) => ParseOutcome::Incomplete,
+                Err(e) => ParseOutcome::Error(e),
+            }
+        }
+        (Some(cl), None) => {
+            let len: usize = match parse_content_length(cl) {
+                Ok(n) => n,
+                Err(e) => return ParseOutcome::Error(e),
+            };
+            if len > limits.max_body_bytes {
+                return ParseOutcome::Error(HttpError::BodyTooLarge);
+            }
+            if buf.len() < body_start + len {
+                return ParseOutcome::Incomplete;
+            }
+            let mut request = request;
+            request.body = buf[body_start..body_start + len].to_vec();
+            ParseOutcome::Complete(Box::new(request), body_start + len)
+        }
+        (None, None) => ParseOutcome::Complete(Box::new(request), body_start),
+    }
+}
+
+/// Index just past the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Iterates CRLF-separated lines of the head as UTF-8 (headers must be
+/// ASCII-clean; raw control bytes are a [`HttpError::BadHeader`]).
+fn split_crlf_lines(head: &[u8]) -> impl Iterator<Item = Result<&str, HttpError>> {
+    head.split_inclusive2()
+}
+
+/// Tiny extension: split the head at `\r\n` boundaries without pulling in
+/// regex machinery — and validate UTF-8 per line.
+trait SplitCrlf {
+    fn split_inclusive2(&self) -> CrlfLines<'_>;
+}
+
+impl SplitCrlf for [u8] {
+    fn split_inclusive2(&self) -> CrlfLines<'_> {
+        CrlfLines { rest: self }
+    }
+}
+
+struct CrlfLines<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> Iterator for CrlfLines<'a> {
+    type Item = Result<&'a str, HttpError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        let (line, rest) = match self.rest.windows(2).position(|w| w == b"\r\n") {
+            Some(i) => (&self.rest[..i], &self.rest[i + 2..]),
+            None => (self.rest, &self.rest[..0]),
+        };
+        self.rest = rest;
+        match std::str::from_utf8(line) {
+            Ok(s) if !s.bytes().any(|b| b.is_ascii_control() && b != b'\t') => Some(Ok(s)),
+            _ => Some(Err(HttpError::BadHeader)),
+        }
+    }
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if parts.next().is_some() || method.is_empty() || target.is_empty() {
+        return Err(HttpError::BadRequestLine);
+    }
+    if !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(HttpError::BadRequestLine);
+    }
+    match version {
+        "HTTP/1.1" | "HTTP/1.0" => Ok((method.to_owned(), target.to_owned())),
+        v if v.starts_with("HTTP/") => Err(HttpError::UnsupportedVersion),
+        _ => Err(HttpError::BadRequestLine),
+    }
+}
+
+fn parse_header_line(line: &str) -> Result<(String, String), HttpError> {
+    let (name, value) = line.split_once(':').ok_or(HttpError::BadHeader)?;
+    if name.is_empty()
+        || name
+            .bytes()
+            .any(|b| b.is_ascii_whitespace() || !b.is_ascii_graphic())
+    {
+        return Err(HttpError::BadHeader);
+    }
+    Ok((name.to_ascii_lowercase(), value.trim().to_owned()))
+}
+
+fn parse_content_length(value: &str) -> Result<usize, HttpError> {
+    if value.is_empty() || !value.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::BadContentLength);
+    }
+    value.parse().map_err(|_| HttpError::BadContentLength)
+}
+
+/// De-chunks a `Transfer-Encoding: chunked` body. Returns the body and the
+/// bytes consumed, `None` when more input is needed.
+fn parse_chunked(buf: &[u8], max_body: usize) -> Result<Option<(Vec<u8>, usize)>, HttpError> {
+    let mut body = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        // chunk-size line (hex, optional extensions after ';')
+        let line_end = match buf[pos..].windows(2).position(|w| w == b"\r\n") {
+            Some(i) => pos + i,
+            None => {
+                // An unterminated size line longer than 18 bytes cannot be
+                // a valid hex size — fail instead of buffering forever.
+                return if buf.len() - pos > 18 {
+                    Err(HttpError::BadChunk)
+                } else {
+                    Ok(None)
+                };
+            }
+        };
+        let size_line =
+            std::str::from_utf8(&buf[pos..line_end]).map_err(|_| HttpError::BadChunk)?;
+        let size_hex = size_line.split(';').next().unwrap_or("").trim();
+        if size_hex.is_empty() || !size_hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(HttpError::BadChunk);
+        }
+        let size = usize::from_str_radix(size_hex, 16).map_err(|_| HttpError::BadChunk)?;
+        if body.len() + size > max_body {
+            return Err(HttpError::BodyTooLarge);
+        }
+        let data_start = line_end + 2;
+        if size == 0 {
+            // last-chunk: expect the terminating CRLF (trailers rejected).
+            if buf.len() < data_start + 2 {
+                return Ok(None);
+            }
+            if &buf[data_start..data_start + 2] != b"\r\n" {
+                return Err(HttpError::BadChunk);
+            }
+            return Ok(Some((body, data_start + 2)));
+        }
+        if buf.len() < data_start + size + 2 {
+            return Ok(None);
+        }
+        body.extend_from_slice(&buf[data_start..data_start + size]);
+        if &buf[data_start + size..data_start + size + 2] != b"\r\n" {
+            return Err(HttpError::BadChunk);
+        }
+        pos = data_start + size + 2;
+    }
+}
+
+/// Serialises one HTTP/1.1 response. `content_type` is omitted when the
+/// body is empty; `extra_headers` ride along verbatim.
+pub fn write_response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128 + body.len());
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    if !body.is_empty() {
+        out.extend_from_slice(format!("Content-Type: {content_type}\r\n").as_bytes());
+    }
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    for (name, value) in extra_headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> ParseOutcome {
+        parse_request(bytes, &Limits::default())
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let raw = b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+        match parse(raw) {
+            ParseOutcome::Complete(req, consumed) => {
+                assert_eq!(req.method, "GET");
+                assert_eq!(req.path(), "/metrics");
+                assert_eq!(req.header("host"), Some("x"));
+                assert_eq!(consumed, raw.len());
+                assert!(req.body.is_empty());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_content_length_body_and_pipelining_remainder() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhelloGET /";
+        match parse(raw) {
+            ParseOutcome::Complete(req, consumed) => {
+                assert_eq!(req.body, b"hello");
+                assert_eq!(&raw[consumed..], b"GET /");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_chunked_body() {
+        let raw = b"POST /update HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    4\r\nwiki\r\n5\r\npedia\r\n0\r\n\r\n";
+        match parse(raw) {
+            ParseOutcome::Complete(req, consumed) => {
+                assert_eq!(req.body, b"wikipedia");
+                assert_eq!(consumed, raw.len());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn incomplete_prefixes_ask_for_more() {
+        let raw = b"POST /query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhel";
+        assert_eq!(parse(raw), ParseOutcome::Incomplete);
+        assert_eq!(parse(b"GET /x HT"), ParseOutcome::Incomplete);
+        assert_eq!(
+            parse(b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nwi"),
+            ParseOutcome::Incomplete
+        );
+    }
+
+    #[test]
+    fn rejects_smuggling_and_bad_framing() {
+        let both = b"POST /u HTTP/1.1\r\nContent-Length: 3\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert!(matches!(
+            parse(both),
+            ParseOutcome::Error(HttpError::BadTransferEncoding)
+        ));
+        let gzip = b"POST /u HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n";
+        assert!(matches!(
+            parse(gzip),
+            ParseOutcome::Error(HttpError::BadTransferEncoding)
+        ));
+        let badchunk = b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz\r\n";
+        assert!(matches!(
+            parse(badchunk),
+            ParseOutcome::Error(HttpError::BadChunk)
+        ));
+    }
+
+    #[test]
+    fn enforces_limits() {
+        let limits = Limits {
+            max_head_bytes: 64,
+            max_body_bytes: 8,
+            max_headers: 2,
+        };
+        let long_head = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(100));
+        assert!(matches!(
+            parse_request(long_head.as_bytes(), &limits),
+            ParseOutcome::Error(HttpError::HeadTooLarge)
+        ));
+        let big_body = b"POST /q HTTP/1.1\r\nContent-Length: 9\r\n\r\n";
+        assert!(matches!(
+            parse_request(big_body, &limits),
+            ParseOutcome::Error(HttpError::BodyTooLarge)
+        ));
+        let many = b"GET / HTTP/1.1\r\na: 1\r\nb: 2\r\nc: 3\r\n\r\n";
+        assert!(matches!(
+            parse_request(many, &limits),
+            ParseOutcome::Error(HttpError::HeadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn error_statuses_are_4xx_or_505() {
+        for e in [
+            HttpError::BadRequestLine,
+            HttpError::BadHeader,
+            HttpError::HeadTooLarge,
+            HttpError::BodyTooLarge,
+            HttpError::BadContentLength,
+            HttpError::BadTransferEncoding,
+            HttpError::BadChunk,
+            HttpError::UnsupportedVersion,
+        ] {
+            let s = e.status();
+            assert!((400..=505).contains(&s), "{e}: {s}");
+        }
+    }
+
+    #[test]
+    fn response_writer_round_trips_sizes() {
+        let resp = write_response(
+            429,
+            "Too Many Requests",
+            "application/json",
+            &[("Retry-After", "1".to_owned())],
+            b"{}",
+        );
+        let text = String::from_utf8(resp).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

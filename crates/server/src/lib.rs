@@ -1,0 +1,588 @@
+//! Embedded HTTP/1.1 query/update server over the snapshot-isolated store.
+//!
+//! The server is dependency-free (`std::net` only) and built around the
+//! concurrency contract PR 5 introduced in `webreason-core`:
+//!
+//! * **Readers never block behind maintenance.** Each worker thread holds a
+//!   [`StoreReader`]; `POST /query` clones the current published
+//!   [`StoreSnapshot`](webreason_core::StoreSnapshot) `Arc` and evaluates
+//!   against that immutable view, concurrently with updates.
+//! * **One writer, journaled.** A dedicated writer thread owns the
+//!   [`DurableStore`]; `POST /update` bodies are decoded on the worker,
+//!   then shipped over a *bounded* channel. When the queue is full the
+//!   client gets `429 Too Many Requests` with a `Retry-After` hint —
+//!   backpressure instead of unbounded buffering.
+//! * **Graceful shutdown.** [`Server::shutdown`] stops accepting, lets
+//!   in-flight requests complete, answers stragglers with `503`, drains
+//!   the update queue, and hands the `DurableStore` back to the caller.
+//!
+//! Endpoints:
+//!
+//! | method+path    | body            | reply                              |
+//! |----------------|-----------------|------------------------------------|
+//! | `POST /query`  | SPARQL text     | JSON bindings + stats + epoch      |
+//! | `POST /update` | update script   | JSON apply summary + epoch         |
+//! | `GET /metrics` | —               | Prometheus text (obs registry)     |
+//! | `GET /health`  | —               | `200 ok`                           |
+
+pub mod http;
+pub mod proto;
+
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use http::{parse_request, write_response, Limits, ParseOutcome, Request};
+use proto::{decode_update_body, ErrorResponse, QueryResponse, UpdateOp, UpdateResponse};
+use webreason_core::{DurableStore, StoreReader};
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
+    pub addr: String,
+    /// Worker threads serving connections (readers).
+    pub threads: usize,
+    /// Bounded writer-queue depth; a full queue turns into 429s.
+    pub update_queue: usize,
+    /// Value of the `Retry-After` header on 429 responses, seconds.
+    pub retry_after_secs: u64,
+    /// HTTP parser limits (head/body/header-count caps).
+    pub limits: Limits,
+    /// Checkpoint the journal every N applied update batches (0 = never).
+    pub checkpoint_every: usize,
+    /// Test hook: artificial delay before each batch is applied, to make
+    /// queue backpressure deterministic in tests. `None` in production.
+    pub writer_delay: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            update_queue: 64,
+            retry_after_secs: 1,
+            limits: Limits::default(),
+            checkpoint_every: 256,
+            writer_delay: None,
+        }
+    }
+}
+
+/// A batch of decoded ops plus the channel the apply outcome returns on.
+struct WriteJob {
+    ops: Vec<UpdateOp>,
+    reply: SyncSender<Result<UpdateResponse, String>>,
+}
+
+/// State shared by the accept thread and every worker.
+struct Shared {
+    reader: StoreReader,
+    /// Revocable handle to the writer channel: shutdown takes it so the
+    /// writer sees disconnection once the last in-flight clone drops.
+    writer_tx: Mutex<Option<SyncSender<WriteJob>>>,
+    limits: Limits,
+    retry_after_secs: u64,
+    shutting_down: AtomicBool,
+    conns: Mutex<VecDeque<TcpStream>>,
+    conns_cv: Condvar,
+    queue_depth: AtomicU64,
+    update_queue: usize,
+}
+
+/// A running server. Dropping it without calling [`Server::shutdown`]
+/// aborts the threads without draining (the journal keeps the data safe;
+/// prefer `shutdown` to get the store back).
+pub struct Server {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+    writer_handle: Option<JoinHandle<DurableStore>>,
+    writer_tx: Option<SyncSender<WriteJob>>,
+}
+
+impl Server {
+    /// Binds, spawns the writer + worker pool + accept loop, and returns.
+    /// The store moves onto the writer thread; get it back via
+    /// [`Server::shutdown`].
+    pub fn start(store: DurableStore, config: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let reader = store.reader();
+
+        let (writer_tx, writer_rx) = mpsc::sync_channel::<WriteJob>(config.update_queue.max(1));
+        let shared = Arc::new(Shared {
+            reader,
+            writer_tx: Mutex::new(Some(writer_tx.clone())),
+            limits: config.limits,
+            retry_after_secs: config.retry_after_secs,
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(VecDeque::new()),
+            conns_cv: Condvar::new(),
+            queue_depth: AtomicU64::new(0),
+            update_queue: config.update_queue.max(1),
+        });
+
+        let writer_handle = {
+            let shared = Arc::clone(&shared);
+            let checkpoint_every = config.checkpoint_every;
+            let delay = config.writer_delay;
+            std::thread::Builder::new()
+                .name("webreason-writer".to_owned())
+                .spawn(move || writer_loop(store, writer_rx, shared, checkpoint_every, delay))?
+        };
+
+        let mut worker_handles = Vec::with_capacity(config.threads.max(1));
+        for i in 0..config.threads.max(1) {
+            let shared = Arc::clone(&shared);
+            worker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("webreason-worker-{i}"))
+                    .spawn(move || worker_loop(shared))?,
+            );
+        }
+
+        let accept_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("webreason-accept".to_owned())
+                .spawn(move || accept_loop(listener, shared))?
+        };
+
+        Ok(Server {
+            local_addr,
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+            writer_handle: Some(writer_handle),
+            writer_tx: Some(writer_tx),
+        })
+    }
+
+    /// The bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A fresh concurrent read handle onto the served store.
+    pub fn reader(&self) -> StoreReader {
+        self.shared.reader.clone()
+    }
+
+    /// Graceful shutdown: stop accepting, complete in-flight requests
+    /// (stragglers that arrive during the drain get `503`), drain the
+    /// update queue, and return the [`DurableStore`].
+    pub fn shutdown(mut self) -> DurableStore {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake the blocking accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept_handle.take() {
+            let _ = h.join();
+        }
+        // Wake idle workers; they drain queued connections (503) and exit.
+        self.shared.conns_cv.notify_all();
+        for h in self.worker_handles.drain(..) {
+            let _ = h.join();
+        }
+        // Close every sender (ours plus the revocable shared slot); the
+        // writer applies what is queued, then exits.
+        lock(&self.shared.writer_tx).take();
+        drop(self.writer_tx.take());
+        let writer = self.writer_handle.take().expect("writer joined once");
+        writer.join().expect("writer thread panicked")
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Best-effort teardown when shutdown() was skipped: detach the
+        // threads after flagging them down; the journal already holds
+        // every applied update.
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.local_addr);
+        self.shared.conns_cv.notify_all();
+        lock(&self.shared.writer_tx).take();
+        drop(self.writer_tx.take());
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    let reg = obs::global();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    // The shutdown self-connect (or a straggler racing it)
+                    // — tell it and anything else already in the backlog
+                    // that the server is going away.
+                    respond_unavailable(stream);
+                    let _ = listener.set_nonblocking(true);
+                    while let Ok((s, _)) = listener.accept() {
+                        respond_unavailable(s);
+                    }
+                    return;
+                }
+                reg.add("server.http.connections", 1);
+                let mut q = lock(&shared.conns);
+                q.push_back(stream);
+                drop(q);
+                shared.conns_cv.notify_one();
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept error; keep serving.
+            }
+        }
+    }
+}
+
+/// Tells a straggler connection the server is going away.
+fn respond_unavailable(mut stream: TcpStream) {
+    let body = ErrorResponse::to_json("unavailable", "server is shutting down");
+    let resp = write_response(503, "Service Unavailable", "application/json", &[], &body);
+    let _ = stream.write_all(&resp);
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let stream = {
+            let mut q = lock(&shared.conns);
+            loop {
+                if let Some(s) = q.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = shared.conns_cv.wait(q).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        match stream {
+            Some(s) => handle_connection(s, &shared),
+            None => return,
+        }
+    }
+}
+
+/// Serves one connection until close / error / shutdown. Keep-alive:
+/// multiple requests may arrive back-to-back or pipelined.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    // Short read timeout so an idle keep-alive connection notices
+    // shutdown instead of parking the worker forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_nodelay(true);
+    let reg = obs::global();
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Parse everything already buffered before reading more.
+        match parse_request(&buf, &shared.limits) {
+            ParseOutcome::Complete(req, consumed) => {
+                buf.drain(..consumed);
+                let close = req.wants_close();
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    respond_unavailable(stream);
+                    return;
+                }
+                let resp = dispatch(&req, shared);
+                if stream.write_all(&resp).is_err() {
+                    return;
+                }
+                if close {
+                    return;
+                }
+                continue;
+            }
+            ParseOutcome::Error(e) => {
+                reg.add("server.http.bad_requests", 1);
+                let body = ErrorResponse::to_json("bad_request", &e.to_string());
+                let resp = write_response(e.status(), e.reason(), "application/json", &[], &body);
+                let _ = stream.write_all(&resp);
+                return; // framing is unrecoverable; close.
+            }
+            ParseOutcome::Incomplete => {}
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    if !buf.is_empty() {
+                        respond_unavailable(stream);
+                    }
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Routes one parsed request to its endpoint and serialises the response.
+fn dispatch(req: &Request, shared: &Shared) -> Vec<u8> {
+    let reg = obs::global();
+    match (req.method.as_str(), req.path()) {
+        ("POST", "/query") => {
+            let start = reg.now_us();
+            let resp = handle_query(req, shared);
+            reg.record(
+                "server.query.latency_us",
+                reg.now_us().saturating_sub(start),
+            );
+            resp
+        }
+        ("POST", "/update") => {
+            let start = reg.now_us();
+            let resp = handle_update(req, shared);
+            reg.record(
+                "server.update.latency_us",
+                reg.now_us().saturating_sub(start),
+            );
+            resp
+        }
+        ("GET", "/metrics") => handle_metrics(shared),
+        ("GET", "/health") => write_response(200, "OK", "text/plain", &[], b"ok"),
+        (_, "/query") | (_, "/update") | (_, "/metrics") | (_, "/health") => {
+            let body = ErrorResponse::to_json("method_not_allowed", "wrong method for path");
+            write_response(405, "Method Not Allowed", "application/json", &[], &body)
+        }
+        _ => {
+            let body = ErrorResponse::to_json("not_found", "unknown path");
+            write_response(404, "Not Found", "application/json", &[], &body)
+        }
+    }
+}
+
+fn handle_query(req: &Request, shared: &Shared) -> Vec<u8> {
+    let reg = obs::global();
+    reg.add("server.query.requests", 1);
+    let sparql = match std::str::from_utf8(&req.body) {
+        Ok(s) if !s.trim().is_empty() => s,
+        _ => {
+            reg.add("server.query.errors", 1);
+            let body = ErrorResponse::to_json("bad_request", "body must be a SPARQL query");
+            return write_response(400, "Bad Request", "application/json", &[], &body);
+        }
+    };
+    match shared.reader.answer_sparql(sparql) {
+        Ok((sols, stats, epoch)) => {
+            let rows = {
+                let dict = shared.reader.dictionary();
+                sols.rows
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|id| {
+                                dict.decode(*id)
+                                    .map_or_else(|| id.to_string(), |t| t.to_string())
+                            })
+                            .collect()
+                    })
+                    .collect()
+            };
+            let payload = QueryResponse {
+                vars: sols.var_names.clone(),
+                rows,
+                epoch,
+                stats,
+            };
+            let body = serde_json::to_string(&payload)
+                .map(String::into_bytes)
+                .unwrap_or_else(|_| b"{\"error\":\"internal\"}".to_vec());
+            write_response(200, "OK", "application/json", &[], &body)
+        }
+        Err(e) => {
+            reg.add("server.query.errors", 1);
+            let body = ErrorResponse::to_json("bad_query", &e.to_string());
+            write_response(400, "Bad Request", "application/json", &[], &body)
+        }
+    }
+}
+
+fn handle_update(req: &Request, shared: &Shared) -> Vec<u8> {
+    let reg = obs::global();
+    reg.add("server.update.requests", 1);
+    let text = match std::str::from_utf8(&req.body) {
+        Ok(s) => s,
+        Err(_) => {
+            let body = ErrorResponse::to_json("bad_request", "update body must be UTF-8");
+            return write_response(400, "Bad Request", "application/json", &[], &body);
+        }
+    };
+    let ops = match decode_update_body(text) {
+        Ok(ops) => ops,
+        Err(e) => {
+            reg.add("server.update.decode_errors", 1);
+            let body = ErrorResponse::to_json("bad_update", &e.to_string());
+            return write_response(400, "Bad Request", "application/json", &[], &body);
+        }
+    };
+    if ops.is_empty() {
+        let body = serde_json::to_string(&UpdateResponse {
+            accepted: 0,
+            added: 0,
+            removed: 0,
+            epoch: shared.reader.snapshot().epoch(),
+        })
+        .map(String::into_bytes)
+        .unwrap_or_default();
+        return write_response(200, "OK", "application/json", &[], &body);
+    }
+
+    let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+    let job = WriteJob {
+        ops,
+        reply: reply_tx,
+    };
+    // Clone the sender out of the revocable slot so shutdown can
+    // disconnect the writer; a `None` here means the writer is gone.
+    let Some(tx) = lock(&shared.writer_tx).clone() else {
+        let body = ErrorResponse::to_json("unavailable", "writer has shut down");
+        return write_response(503, "Service Unavailable", "application/json", &[], &body);
+    };
+    // Count the slot before the send: the writer decrements after it pops
+    // a job, so incrementing afterwards could race the gauge below zero.
+    let depth = shared.queue_depth.fetch_add(1, Ordering::SeqCst) + 1;
+    match tx.try_send(job) {
+        Ok(()) => {
+            reg.record("server.update.queue_depth", depth);
+            reg.add("server.update.enqueued", 1);
+        }
+        Err(TrySendError::Full(_)) => {
+            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            reg.add("server.update.rejected", 1);
+            let body = ErrorResponse::to_json(
+                "overloaded",
+                "update queue is full; retry after the writer drains",
+            );
+            return write_response(
+                429,
+                "Too Many Requests",
+                "application/json",
+                &[("Retry-After", shared.retry_after_secs.to_string())],
+                &body,
+            );
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+            let body = ErrorResponse::to_json("unavailable", "writer has shut down");
+            return write_response(503, "Service Unavailable", "application/json", &[], &body);
+        }
+    }
+    match reply_rx.recv() {
+        Ok(Ok(resp)) => {
+            let body = serde_json::to_string(&resp)
+                .map(String::into_bytes)
+                .unwrap_or_default();
+            write_response(200, "OK", "application/json", &[], &body)
+        }
+        Ok(Err(msg)) => {
+            let body = ErrorResponse::to_json("apply_failed", &msg);
+            write_response(500, "Internal Server Error", "application/json", &[], &body)
+        }
+        Err(_) => {
+            let body = ErrorResponse::to_json("unavailable", "writer exited mid-apply");
+            write_response(503, "Service Unavailable", "application/json", &[], &body)
+        }
+    }
+}
+
+fn handle_metrics(shared: &Shared) -> Vec<u8> {
+    let reg = obs::global();
+    reg.add("server.metrics.requests", 1);
+    let mut text = reg.snapshot().to_prometheus();
+    // Live gauge: current writer-queue occupancy (counters above are
+    // cumulative; this one is the instantaneous depth).
+    text.push_str(&format!(
+        "# TYPE webreason_server_update_queue_current gauge\n\
+         webreason_server_update_queue_current {}\n\
+         # TYPE webreason_server_update_queue_capacity gauge\n\
+         webreason_server_update_queue_capacity {}\n",
+        shared.queue_depth.load(Ordering::SeqCst),
+        shared.update_queue,
+    ));
+    write_response(200, "OK", "text/plain; version=0.0.4", &[], text.as_bytes())
+}
+
+/// The single-writer loop: owns the [`DurableStore`], applies each job's
+/// ops through the journal, publishes the new epoch, and replies. Exits
+/// (returning the store) when every sender is gone.
+fn writer_loop(
+    mut store: DurableStore,
+    rx: Receiver<WriteJob>,
+    shared: Arc<Shared>,
+    checkpoint_every: usize,
+    delay: Option<Duration>,
+) -> DurableStore {
+    let reg = obs::global();
+    let mut applied_batches = 0usize;
+    while let Ok(job) = rx.recv() {
+        if let Some(d) = delay {
+            std::thread::sleep(d);
+        }
+        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
+        let outcome = apply_ops(&mut store, &job.ops);
+        let epoch = store.publish();
+        let reply = match outcome {
+            Ok((added, removed)) => {
+                reg.add("server.update.applied", 1);
+                applied_batches += 1;
+                if checkpoint_every > 0 && applied_batches.is_multiple_of(checkpoint_every) {
+                    if store.checkpoint().is_err() {
+                        reg.add("server.checkpoint.errors", 1);
+                    } else {
+                        reg.add("server.checkpoint.count", 1);
+                    }
+                }
+                Ok(UpdateResponse {
+                    accepted: job.ops.len(),
+                    added,
+                    removed,
+                    epoch,
+                })
+            }
+            Err(msg) => {
+                reg.add("server.update.apply_errors", 1);
+                Err(msg)
+            }
+        };
+        // The client may have timed out and dropped the receiver; the
+        // update is journaled and applied either way.
+        let _ = job.reply.try_send(reply);
+    }
+    store
+}
+
+/// Applies decoded ops in order through the durable journal. Returns
+/// (added, removed) triple counts.
+fn apply_ops(store: &mut DurableStore, ops: &[UpdateOp]) -> Result<(usize, usize), String> {
+    let mut added = 0usize;
+    let mut removed = 0usize;
+    for op in ops {
+        match op {
+            UpdateOp::Insert([s, p, o]) => {
+                let stats = store.insert_terms(s, p, o).map_err(|e| e.to_string())?;
+                added += stats.added;
+            }
+            UpdateOp::Delete([s, p, o]) => {
+                let stats = store.delete_terms(s, p, o).map_err(|e| e.to_string())?;
+                removed += stats.removed;
+            }
+        }
+    }
+    Ok((added, removed))
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}

@@ -1,0 +1,143 @@
+//! Robustness of the server's wire layer against hostile bytes, in the
+//! style of `rdf-io/tests/corrupt_inputs.rs`: whatever arrives on the
+//! socket — truncations, garbage splices, oversized heads, broken chunked
+//! framing — the HTTP parser and the update-body decoder return a value
+//! (`Complete`/`Incomplete`/`Error`, `Ok`/`Err`); they never panic, and
+//! `Complete` never claims more bytes than the buffer holds.
+
+use proptest::prelude::*;
+use webreason_server::http::{parse_request, Limits, ParseOutcome};
+use webreason_server::proto::decode_update_body;
+
+const VALID_POST: &[u8] =
+    b"POST /query HTTP/1.1\r\nHost: x\r\nContent-Type: text/plain\r\nContent-Length: 12\r\n\r\nSELECT WHERE";
+const VALID_CHUNKED: &[u8] =
+    b"POST /update HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nwiki\r\n5\r\npedia\r\n0\r\n\r\n";
+const VALID_UPDATE: &str = "# comment\n\
+     insert <http://ex/a> <http://ex/p> \"caf\\u00E9\"@en .\n\
+     delete <http://ex/a> <http://ex/p> \"3\"^^<http://www.w3.org/2001/XMLSchema#integer> .\n";
+
+/// Every outcome is fine; panicking or over-consuming is the only failure.
+fn total(buf: &[u8], limits: &Limits) -> Result<(), String> {
+    match parse_request(buf, limits) {
+        ParseOutcome::Complete(_, consumed) if consumed > buf.len() => Err(format!(
+            "consumed {consumed} of a {}-byte buffer",
+            buf.len()
+        )),
+        _ => Ok(()),
+    }
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the request parser.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255u8, 0..600)) {
+        prop_assert!(total(&bytes, &Limits::default()).is_ok());
+    }
+
+    /// A valid request cut off at any byte is handled totally — and the
+    /// untruncated document still parses as one complete request.
+    #[test]
+    fn truncated_requests_never_panic(at in 0usize..=120) {
+        for doc in [VALID_POST, VALID_CHUNKED] {
+            let cut = &doc[..at.min(doc.len())];
+            prop_assert!(total(cut, &Limits::default()).is_ok());
+            prop_assert!(matches!(
+                parse_request(doc, &Limits::default()),
+                ParseOutcome::Complete(_, n) if n == doc.len()
+            ));
+        }
+    }
+
+    /// Garbage spliced anywhere into a valid request never panics.
+    #[test]
+    fn garbage_splice_never_panics(
+        at in 0usize..=120,
+        garbage in proptest::collection::vec(0u8..=255u8, 0..40),
+    ) {
+        for doc in [VALID_POST, VALID_CHUNKED] {
+            let cut = at.min(doc.len());
+            let mut spliced = doc[..cut].to_vec();
+            spliced.extend_from_slice(&garbage);
+            spliced.extend_from_slice(&doc[cut..]);
+            prop_assert!(total(&spliced, &Limits::default()).is_ok());
+        }
+    }
+
+    /// Flipping any single byte of valid chunked framing is handled
+    /// totally — corrupt sizes and missing CRLFs become `Error`s or
+    /// `Incomplete`, not unwinds.
+    #[test]
+    fn corrupt_chunked_framing_never_panics(at in 0usize..90, flip in 1u8..=255) {
+        let mut doc = VALID_CHUNKED.to_vec();
+        let i = at % doc.len();
+        doc[i] ^= flip;
+        prop_assert!(total(&doc, &Limits::default()).is_ok());
+    }
+
+    /// Pathological head shapes stay bounded: unbounded header repetition
+    /// and absurd request-line lengths are rejected via limits, never
+    /// buffered forever or panicked on.
+    #[test]
+    fn oversized_heads_are_errors_not_panics(
+        n_headers in 0usize..80,
+        target_len in 1usize..4000,
+    ) {
+        let limits = Limits { max_head_bytes: 1024, max_body_bytes: 1024, max_headers: 16 };
+        let mut doc = format!("GET /{} HTTP/1.1\r\n", "x".repeat(target_len)).into_bytes();
+        for i in 0..n_headers {
+            doc.extend_from_slice(format!("h{i}: v\r\n").as_bytes());
+        }
+        doc.extend_from_slice(b"\r\n");
+        prop_assert!(total(&doc, &limits).is_ok());
+        if target_len > 1024 {
+            prop_assert!(matches!(
+                parse_request(&doc, &limits),
+                ParseOutcome::Error(e) if e.status() == 431
+            ));
+        }
+    }
+
+    /// A Content-Length body round-trips arbitrary bytes exactly.
+    #[test]
+    fn content_length_bodies_round_trip(
+        body in proptest::collection::vec(0u8..=255u8, 0..200),
+    ) {
+        let mut doc = format!(
+            "POST /update HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        doc.extend_from_slice(&body);
+        match parse_request(&doc, &Limits::default()) {
+            ParseOutcome::Complete(req, consumed) => {
+                prop_assert_eq!(&req.body, &body);
+                prop_assert_eq!(consumed, doc.len());
+            }
+            other => prop_assert!(false, "expected Complete, got {:?}", other),
+        }
+    }
+
+    /// The update decoder is total over arbitrary text.
+    #[test]
+    fn arbitrary_update_bodies_never_panic(body in "\\PC{0,120}") {
+        let _ = decode_update_body(&body);
+    }
+
+    /// Garbage spliced into a valid update script never panics the
+    /// decoder — and the unspliced script still decodes.
+    #[test]
+    fn spliced_update_bodies_never_panic(at in 0usize..=120, garbage in "\\PC{0,40}") {
+        let mut cut = at.min(VALID_UPDATE.len());
+        while !VALID_UPDATE.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        let spliced = format!(
+            "{}{garbage}{}",
+            &VALID_UPDATE[..cut],
+            &VALID_UPDATE[cut..]
+        );
+        let _ = decode_update_body(&spliced);
+        prop_assert_eq!(decode_update_body(VALID_UPDATE).expect("valid script").len(), 2);
+    }
+}

@@ -1,0 +1,281 @@
+//! Socket-level integration suite: a real `TcpStream` client against a
+//! real ephemeral-port server, covering the round-trips, the 4xx
+//! robustness contract, queue backpressure, and graceful shutdown.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::time::Duration;
+use webreason_core::{DurableStore, FsyncPolicy, MaintenanceAlgorithm, ReasoningConfig};
+use webreason_server::{Server, ServerConfig};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("webreason-server-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn boot(name: &str, config: ServerConfig) -> Server {
+    let store = DurableStore::create(
+        tmpdir(name),
+        ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting),
+        NonZeroUsize::MIN,
+        FsyncPolicy::Never,
+    )
+    .expect("store creates");
+    Server::start(store, config).expect("server boots")
+}
+
+fn ephemeral() -> ServerConfig {
+    ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 2,
+        ..Default::default()
+    }
+}
+
+/// Sends raw bytes, reads to EOF, returns (status, whole response text).
+fn raw_round_trip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout sets");
+    stream.write_all(raw).expect("request writes");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("response reads");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    (status, text)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    raw_round_trip(addr, raw.as_bytes())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let raw = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    raw_round_trip(addr, raw.as_bytes())
+}
+
+const COUNT_MAMMALS: &str = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }";
+
+#[test]
+fn query_update_metrics_round_trip() {
+    let server = boot("round-trip", ephemeral());
+    let addr = server.local_addr();
+
+    let (status, text) = get(addr, "/health");
+    assert_eq!(status, 200, "{text}");
+
+    // Empty store answers empty.
+    let (status, text) = post(addr, "/query", COUNT_MAMMALS);
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("\"rows\":[]"), "{text}");
+
+    // Schema + instance through /update: entailment shows in /query.
+    let (status, text) = post(
+        addr,
+        "/update",
+        "# zoo\n\
+         insert <http://ex/Cat> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://ex/Mammal> .\n\
+         insert <http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Cat> .\n",
+    );
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("\"accepted\":2"), "{text}");
+
+    let (status, text) = post(addr, "/query", COUNT_MAMMALS);
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("<http://ex/Tom>"), "entailed answer: {text}");
+
+    // Delete retracts the entailment.
+    let (status, text) = post(
+        addr,
+        "/update",
+        "delete <http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Cat> .\n",
+    );
+    assert_eq!(status, 200, "{text}");
+    let (status, text) = post(addr, "/query", COUNT_MAMMALS);
+    assert_eq!(status, 200);
+    assert!(text.contains("\"rows\":[]"), "{text}");
+
+    // Metrics reflect the traffic and stay machine-readable.
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let body = text.split("\r\n\r\n").nth(1).expect("metrics body");
+    obs::lint_prometheus_text(body).expect("prometheus output lints");
+    assert!(
+        body.contains("webreason_server_query_requests_total"),
+        "{body}"
+    );
+    assert!(
+        body.contains("webreason_server_update_applied_total"),
+        "{body}"
+    );
+    assert!(
+        body.contains("webreason_server_update_queue_capacity"),
+        "{body}"
+    );
+
+    let store = server.shutdown();
+    assert_eq!(store.stats().base_triples, 1, "schema triple remains");
+}
+
+#[test]
+fn malformed_inputs_get_4xx_without_killing_workers() {
+    let server = boot("malformed", ephemeral());
+    let addr = server.local_addr();
+
+    // Garbage request line.
+    let (status, _) = raw_round_trip(addr, b"NONSENSE\r\n\r\n");
+    assert_eq!(status, 400);
+    // Smuggling attempt: both framings at once.
+    let (status, _) = raw_round_trip(
+        addr,
+        b"POST /update HTTP/1.1\r\nContent-Length: 3\r\nTransfer-Encoding: chunked\r\n\r\n",
+    );
+    assert_eq!(status, 400);
+    // Unknown path / wrong method.
+    let (status, _) = get(addr, "/nope");
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/query");
+    assert_eq!(status, 405);
+    // Malformed SPARQL and malformed update script.
+    let (status, text) = post(addr, "/query", "SELECT WHERE garbage {{{");
+    assert_eq!(status, 400, "{text}");
+    let (status, text) = post(addr, "/update", "upsert <a> <b> <c> .");
+    assert_eq!(status, 400, "{text}");
+    assert!(text.contains("line 1"), "{text}");
+
+    // After all of that the workers still serve.
+    let (status, _) = get(addr, "/health");
+    assert_eq!(status, 200);
+    let (status, text) = post(addr, "/query", COUNT_MAMMALS);
+    assert_eq!(status, 200, "{text}");
+
+    drop(server.shutdown());
+}
+
+#[test]
+fn oversized_bodies_are_rejected_not_buffered() {
+    let mut config = ephemeral();
+    config.limits.max_body_bytes = 256;
+    let server = boot("oversized", config);
+    let addr = server.local_addr();
+
+    let big = "x".repeat(1024);
+    let (status, _) = post(addr, "/query", &big);
+    assert_eq!(status, 413);
+
+    let (status, _) = get(addr, "/health");
+    assert_eq!(status, 200, "server survives oversized bodies");
+    drop(server.shutdown());
+}
+
+#[test]
+fn full_update_queue_backpressures_with_429() {
+    let mut config = ephemeral();
+    config.threads = 4;
+    config.update_queue = 1;
+    config.retry_after_secs = 7;
+    config.writer_delay = Some(Duration::from_millis(400));
+    let server = boot("backpressure", config);
+    let addr = server.local_addr();
+
+    let insert = |i: usize| format!("insert <http://ex/s{i}> <http://ex/p> <http://ex/o> .\n");
+    // A occupies the writer (sleeping in the delay hook); B fills the
+    // one-slot queue. Both run on their own threads because they block
+    // until applied.
+    let a = {
+        let body = insert(0);
+        std::thread::spawn(move || post(addr, "/update", &body))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let b = {
+        let body = insert(1);
+        std::thread::spawn(move || post(addr, "/update", &body))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    // C finds the queue full: 429 + Retry-After, immediately.
+    let (status, text) = post(addr, "/update", &insert(2));
+    assert_eq!(status, 429, "{text}");
+    assert!(text.contains("Retry-After: 7"), "{text}");
+
+    let (status, text) = a.join().expect("client A");
+    assert_eq!(status, 200, "{text}");
+    let (status, text) = b.join().expect("client B");
+    assert_eq!(status, 200, "{text}");
+
+    // Queue drained: the retried update now lands.
+    let (status, text) = post(addr, "/update", &insert(2));
+    assert_eq!(status, 200, "{text}");
+
+    let store = server.shutdown();
+    assert_eq!(store.stats().base_triples, 3, "A, B and the retried C");
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_and_503s_stragglers() {
+    let mut config = ephemeral();
+    config.threads = 1; // one worker: a queued connection stays queued
+    config.writer_delay = Some(Duration::from_millis(400));
+    let server = boot("shutdown", config);
+    let addr = server.local_addr();
+
+    // A's update is in flight: the lone worker blocks on the writer.
+    let a = std::thread::spawn(move || {
+        post(
+            addr,
+            "/update",
+            "insert <http://ex/s> <http://ex/p> <http://ex/o> .\n",
+        )
+    });
+    std::thread::sleep(Duration::from_millis(100));
+
+    // B is accepted but waits for the busy worker.
+    let b = std::thread::spawn(move || post(addr, "/query", COUNT_MAMMALS));
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Shutdown begins while A is mid-apply and B is queued.
+    let shut = std::thread::spawn(move || server.shutdown());
+
+    // In-flight work completes: A's journaled update is acknowledged.
+    let (status, text) = a.join().expect("client A");
+    assert_eq!(status, 200, "in-flight update drains: {text}");
+    // The straggler gets a clean 503, not a hang or a reset.
+    let (status, text) = b.join().expect("client B");
+    assert_eq!(status, 503, "straggler: {text}");
+
+    let store = shut.join().expect("shutdown returns");
+    assert_eq!(store.stats().base_triples, 1, "A's triple survived");
+}
+
+#[test]
+fn keep_alive_and_pipelining_serve_multiple_requests_per_connection() {
+    let server = boot("keepalive", ephemeral());
+    let addr = server.local_addr();
+
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout sets");
+    // Two pipelined health checks, then a closing one.
+    let one = "GET /health HTTP/1.1\r\nHost: t\r\n\r\n";
+    let last = "GET /health HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    stream
+        .write_all(format!("{one}{one}{last}").as_bytes())
+        .expect("pipeline writes");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("responses read");
+    assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 3, "{text}");
+
+    drop(server.shutdown());
+}

@@ -52,7 +52,7 @@ type Row = Vec<TermId>;
 
 /// Evaluation statistics of one union-aware evaluation, surfaced through
 /// `Store::answer`, the `webreason query` CLI and the A-REF bench table.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize)]
 pub struct EvalStats {
     /// Union branches in the query.
     pub branches_total: usize,

@@ -36,7 +36,7 @@ fn main() {
     for line in store
         .answer_sparql(q)
         .unwrap()
-        .to_strings(store.dictionary())
+        .to_strings(&store.dictionary())
     {
         println!("    {line}");
     }
@@ -46,7 +46,7 @@ fn main() {
     for line in store
         .answer_sparql(q)
         .unwrap()
-        .to_strings(store.dictionary())
+        .to_strings(&store.dictionary())
     {
         println!("    {line}");
     }
@@ -56,7 +56,7 @@ fn main() {
     for line in store
         .answer_sparql(q)
         .unwrap()
-        .to_strings(store.dictionary())
+        .to_strings(&store.dictionary())
     {
         println!("    {line}");
     }
@@ -66,7 +66,7 @@ fn main() {
     for line in store
         .answer_sparql(q)
         .unwrap()
-        .to_strings(store.dictionary())
+        .to_strings(&store.dictionary())
     {
         println!("    {line}");
     }

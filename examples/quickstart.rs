@@ -37,7 +37,7 @@ fn main() {
             .expect("example data is valid Turtle");
         let sols = store.answer_sparql(QUERY).expect("example query is valid");
         println!("strategy {:<22} -> {} answers", config.name(), sols.len());
-        for line in sols.to_strings(store.dictionary()) {
+        for line in sols.to_strings(&store.dictionary()) {
             println!("    {line}");
         }
     }

@@ -43,12 +43,12 @@ fn main() {
     println!("== saturation-backed store ==");
     let sols = store.answer_sparql(persons).unwrap();
     println!("persons ({}):", sols.len());
-    for line in sols.to_strings(store.dictionary()) {
+    for line in sols.to_strings(&store.dictionary()) {
         println!("    {line}");
     }
     let sols = store.answer_sparql(friends).unwrap();
     println!("friendship edges incl. close friends ({}):", sols.len());
-    for line in sols.to_strings(store.dictionary()) {
+    for line in sols.to_strings(&store.dictionary()) {
         println!("    {line}");
     }
 
@@ -60,7 +60,7 @@ fn main() {
     let schema = Schema::extract(ref_store.base_graph(), ref_store.vocab());
     let r = reformulate(&q, &schema, ref_store.vocab()).unwrap();
     println!("{} union branches:", r.branches);
-    println!("{}", r.query.to_sparql(ref_store.dictionary()));
+    println!("{}", r.query.to_sparql(&ref_store.dictionary()));
 
     // The dynamic part: unfriending must retract inferred types.
     println!("\n== dynamic updates ==");

@@ -30,7 +30,7 @@ fn main() {
     );
 
     let start = Instant::now();
-    let mut sat_store = Store::from_parts(
+    let sat_store = Store::from_parts(
         ds.dict.clone(),
         ds.vocab,
         ds.graph.clone(),
@@ -46,7 +46,7 @@ fn main() {
         stats.saturated_triples.unwrap() as f64 / stats.base_triples as f64
     );
 
-    let mut ref_store = Store::from_parts(
+    let ref_store = Store::from_parts(
         ds.dict.clone(),
         ds.vocab,
         ds.graph.clone(),

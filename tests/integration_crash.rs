@@ -162,8 +162,8 @@ fn crash_and_recover(name: &str, failpoints: &str) -> (PathBuf, Store) {
         let a = rec.answer_sparql(query).expect("recovered store answers");
         let b = fresh.answer_sparql(query).expect("fresh store answers");
         assert_eq!(
-            a.to_strings(rec.dictionary()),
-            b.to_strings(fresh.dictionary()),
+            a.to_strings(&rec.dictionary()),
+            b.to_strings(&fresh.dictionary()),
             "{name}: recovered and never-crashed stores disagree on {query}"
         );
     }

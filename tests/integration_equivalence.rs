@@ -30,7 +30,7 @@ fn all_strategies_agree_on_lubm_q1_to_q10() {
     // Reference answers from recompute-saturation.
     let mut reference: Vec<FxHashSet<Vec<rdf_model::TermId>>> = Vec::new();
     {
-        let mut store = Store::from_parts(
+        let store = Store::from_parts(
             ds.dict.clone(),
             ds.vocab,
             ds.graph.clone(),
@@ -47,7 +47,7 @@ fn all_strategies_agree_on_lubm_q1_to_q10() {
         if config == ReasoningConfig::None {
             continue;
         }
-        let mut store = Store::from_parts(ds.dict.clone(), ds.vocab, ds.graph.clone(), config);
+        let store = Store::from_parts(ds.dict.clone(), ds.vocab, ds.graph.clone(), config);
         for (nq, want) in named.iter().zip(&reference) {
             let mut q = nq.query.clone();
             q.distinct = true;
@@ -113,13 +113,13 @@ fn plain_evaluation_misses_answers_on_lubm() {
     // The motivation for the whole paper: ignoring entailment loses answers.
     let mut ds = generate(&LubmConfig::tiny());
     let named = queries(&mut ds);
-    let mut none = Store::from_parts(
+    let none = Store::from_parts(
         ds.dict.clone(),
         ds.vocab,
         ds.graph.clone(),
         ReasoningConfig::None,
     );
-    let mut sat = Store::from_parts(
+    let sat = Store::from_parts(
         ds.dict,
         ds.vocab,
         ds.graph,

@@ -94,7 +94,7 @@ fn lubm_q1_metrics_snapshot_matches_golden_file() {
     );
     sat.answer(&q1).expect("Q1 over G∞");
     // … the same query through the reformulated path …
-    let mut refo = Store::from_parts_with_threads(
+    let refo = Store::from_parts_with_threads(
         ds.dict.clone(),
         ds.vocab,
         ds.graph.clone(),
@@ -200,7 +200,7 @@ fn eval_stats_do_not_accumulate_across_answers() {
     // Q2 ("all persons") has a wide reformulation — plenty of cache traffic.
     let mut q = named[1].query.clone();
     q.distinct = true;
-    let mut store = Store::from_parts_with_threads(
+    let store = Store::from_parts_with_threads(
         ds.dict.clone(),
         ds.vocab,
         ds.graph.clone(),
@@ -252,7 +252,7 @@ fn observed_thresholds_match_hand_computed_ratios_from_a_real_workload() {
         ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed),
         one(),
     );
-    let mut refo = Store::from_parts_with_threads(
+    let refo = Store::from_parts_with_threads(
         ds.dict.clone(),
         ds.vocab,
         ds.graph.clone(),

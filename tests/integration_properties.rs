@@ -107,7 +107,7 @@ proptest! {
             if config == ReasoningConfig::None {
                 continue;
             }
-            let mut store = Store::from_parts(dict.clone(), vocab, g.clone(), config);
+            let store = Store::from_parts(dict.clone(), vocab, g.clone(), config);
             let a = store.answer_sparql(&type_q).unwrap().as_set();
             let b = store.answer_sparql(&prop_q).unwrap().as_set();
             match &reference {
@@ -130,8 +130,8 @@ proptest! {
             rdf_model::vocab::RDF_TYPE,
             s.query_class
         );
-        let mut plain = Store::from_parts(dict.clone(), vocab, g.clone(), ReasoningConfig::None);
-        let mut reasoned = Store::from_parts(dict, vocab, g, ReasoningConfig::Reformulation);
+        let plain = Store::from_parts(dict.clone(), vocab, g.clone(), ReasoningConfig::None);
+        let reasoned = Store::from_parts(dict, vocab, g, ReasoningConfig::Reformulation);
         let incomplete = plain.answer_sparql(&q).unwrap().as_set();
         let complete = reasoned.answer_sparql(&q).unwrap().as_set();
         prop_assert!(incomplete.is_subset(&complete));
@@ -152,7 +152,7 @@ proptest! {
                     base.remove(t);
                 }
             }
-            let mut rebuilt = Store::from_parts(dict.clone(), vocab, base, ReasoningConfig::Saturation(MaintenanceAlgorithm::Recompute));
+            let rebuilt = Store::from_parts(dict.clone(), vocab, base, ReasoningConfig::Saturation(MaintenanceAlgorithm::Recompute));
             let q = format!(
                 "SELECT DISTINCT ?x WHERE {{ ?x <{}> <http://ex/C{}> }}",
                 rdf_model::vocab::RDF_TYPE,

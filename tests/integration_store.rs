@@ -47,7 +47,7 @@ fn anne_has_friend_domain_typing() {
     let sols = store
         .answer_sparql("PREFIX ex: <http://example.org/> SELECT ?x WHERE { ?x a ex:Person }")
         .unwrap();
-    let names = sols.to_strings(store.dictionary());
+    let names = sols.to_strings(&store.dictionary());
     assert_eq!(names, vec!["?x=<http://example.org/Anne>"]);
 }
 
@@ -167,7 +167,7 @@ fn modifiers_and_aggregates_apply_uniformly_across_strategies() {
                 "PREFIX ex: <http://ex/> SELECT (COUNT(DISTINCT *) AS ?n) WHERE { ?x a ex:Animal }",
             )
             .unwrap();
-        let n = store.dictionary().decode(sols.rows[0][0]).unwrap();
+        let n = store.dictionary().decode(sols.rows[0][0]).unwrap().clone();
         assert_eq!(n.as_literal().unwrap().lexical(), "3", "{}", config.name());
 
         // ORDER BY a numeric literal + LIMIT
@@ -178,7 +178,7 @@ fn modifiers_and_aggregates_apply_uniformly_across_strategies() {
             )
             .unwrap();
         assert_eq!(sols.len(), 2, "{}", config.name());
-        let oldest = store.dictionary().decode(sols.rows[0][0]).unwrap();
+        let oldest = store.dictionary().decode(sols.rows[0][0]).unwrap().clone();
         assert_eq!(oldest.as_iri(), Some("http://ex/rex"), "{}", config.name());
 
         // FILTER over an entailed pattern
@@ -193,7 +193,7 @@ fn modifiers_and_aggregates_apply_uniformly_across_strategies() {
 
 #[test]
 fn empty_store_answers_empty() {
-    let mut store = Store::new(ReasoningConfig::Reformulation);
+    let store = Store::new(ReasoningConfig::Reformulation);
     let sols = store
         .answer_sparql("SELECT ?x WHERE { ?x <http://p> ?y }")
         .unwrap();
