@@ -1,0 +1,542 @@
+//! `loadgen` — seeded mixed read/write load generator over real sockets.
+//!
+//! Boots the embedded HTTP server on a scratch journaled store and drives
+//! it with N closed-loop clients on persistent keep-alive connections,
+//! each flipping a seeded coin per request between a SPARQL read and an
+//! update script. Reports throughput and p50/p95/p99 latency per mode and
+//! proves the group-commit claim with observability counters: one fsync
+//! and one publish per drained group, not per script.
+//!
+//! By default the workload runs twice and the report carries the write
+//! throughput (applied ops/s) speedup between the legs:
+//!
+//! * **per-op-fsync baseline** — group commit off and one op per update
+//!   request, i.e. one journal record, one fsync and one snapshot publish
+//!   per op: exactly what the pre-group-commit server did for every op of
+//!   a script;
+//! * **group commit** — `--ops-per-update` ops per script (one atomic
+//!   record each), concurrent scripts drained per writer wakeup, one
+//!   fsync + one publish per drained group.
+//!
+//! Results land in `bench_results/table_loadgen.json`.
+//!
+//! ```text
+//! loadgen [--clients N] [--write-ratio F] [--duration-secs S]
+//!         [--ops-per-update N] [--fsync always|never]
+//!         [--group-commit on|off|both] [--threads N] [--queue N]
+//!         [--seed N] [--strict]
+//! ```
+//!
+//! `--strict` exits non-zero when any response is neither 200 nor 429 —
+//! the CI smoke gate.
+
+use bench::{emit_json, render_table};
+use durability::FsyncPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rdfs::incremental::MaintenanceAlgorithm;
+use serde::Serialize;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use webreason_core::{DurableStore, ReasoningConfig};
+use webreason_server::{Server, ServerConfig};
+
+const QUERY: &str = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }";
+
+#[derive(Debug, Clone)]
+struct Args {
+    clients: usize,
+    write_ratio: f64,
+    duration_secs: f64,
+    ops_per_update: usize,
+    fsync: FsyncPolicy,
+    /// Store reasoning strategy. `None` (default) isolates the commit
+    /// protocol — every microsecond of maintenance dilutes the fsync
+    /// amortization being measured; `counting` adds incremental
+    /// maintenance per op for an end-to-end mixed workload.
+    reasoning: ReasoningConfig,
+    /// `[false, true]` = both modes, baseline first.
+    modes: Vec<bool>,
+    threads: usize,
+    queue: usize,
+    seed: u64,
+    strict: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--clients N] [--write-ratio F] [--duration-secs S]\n\
+         \x20              [--ops-per-update N] [--fsync always|never]\n\
+         \x20              [--reasoning none|counting]\n\
+         \x20              [--group-commit on|off|both] [--threads N] [--queue N]\n\
+         \x20              [--seed N] [--strict]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        clients: 8,
+        write_ratio: 0.5,
+        duration_secs: 3.0,
+        ops_per_update: 4,
+        fsync: FsyncPolicy::Always,
+        reasoning: ReasoningConfig::None,
+        modes: vec![false, true],
+        threads: 0, // 0 = one worker per client
+        queue: 256,
+        seed: 42,
+        strict: false,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        if flag == "--strict" {
+            args.strict = true;
+            continue;
+        }
+        let Some(value) = it.next() else { usage() };
+        let ok = match flag.as_str() {
+            "--clients" => value.parse().map(|v| args.clients = v).is_ok(),
+            "--write-ratio" => value
+                .parse()
+                .ok()
+                .filter(|v| (0.0..=1.0).contains(v))
+                .map(|v| args.write_ratio = v)
+                .is_some(),
+            "--duration-secs" => value
+                .parse()
+                .ok()
+                .filter(|v| *v > 0.0)
+                .map(|v| args.duration_secs = v)
+                .is_some(),
+            "--ops-per-update" => value
+                .parse()
+                .ok()
+                .filter(|v| *v >= 1)
+                .map(|v| args.ops_per_update = v)
+                .is_some(),
+            "--fsync" => FsyncPolicy::parse(value).map(|v| args.fsync = v).is_some(),
+            "--reasoning" => match value.as_str() {
+                "none" => {
+                    args.reasoning = ReasoningConfig::None;
+                    true
+                }
+                "counting" => {
+                    args.reasoning = ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting);
+                    true
+                }
+                _ => false,
+            },
+            "--group-commit" => match value.as_str() {
+                "on" => {
+                    args.modes = vec![true];
+                    true
+                }
+                "off" => {
+                    args.modes = vec![false];
+                    true
+                }
+                "both" => {
+                    args.modes = vec![false, true];
+                    true
+                }
+                _ => false,
+            },
+            "--threads" => value.parse().map(|v| args.threads = v).is_ok(),
+            "--queue" => value
+                .parse()
+                .ok()
+                .filter(|v| *v >= 1)
+                .map(|v| args.queue = v)
+                .is_some(),
+            "--seed" => value.parse().map(|v| args.seed = v).is_ok(),
+            _ => false,
+        };
+        if !ok {
+            eprintln!("loadgen: bad flag {flag} {value}");
+            usage();
+        }
+    }
+    if args.clients == 0 {
+        usage();
+    }
+    args
+}
+
+/// One request over a persistent connection: write, then read exactly one
+/// `Content-Length`-framed response. Returns the status code.
+///
+/// Chunked reads are safe on this closed loop: the server sends exactly
+/// one response per request and the client only writes the next request
+/// after consuming the current response, so there is never a next
+/// response to over-read into.
+fn roundtrip(stream: &mut TcpStream, raw: &[u8], buf: &mut Vec<u8>) -> std::io::Result<u16> {
+    stream.write_all(raw)?;
+    buf.clear();
+    let mut chunk = [0u8; 4096];
+    let head_len = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos + 4;
+        }
+        if buf.len() > 16 * 1024 {
+            return Err(std::io::Error::other("response head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::other("peer closed mid-response"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let text = String::from_utf8_lossy(&buf[..head_len]);
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other("no status line"))?;
+    let len: usize = text
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .map(str::to_owned)
+        })
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| std::io::Error::other("no content-length"))?;
+    while buf.len() < head_len + len {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::other("peer closed mid-body"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    Ok(status)
+}
+
+fn post(path: &str, body: &str) -> Vec<u8> {
+    format!(
+        "POST {path} HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .into_bytes()
+}
+
+#[derive(Default)]
+struct ClientTally {
+    reads_ok: u64,
+    writes_ok: u64,
+    rejected_429: u64,
+    errors: u64,
+    read_us: Vec<u64>,
+    write_us: Vec<u64>,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+#[derive(Serialize)]
+struct ModeRow {
+    mode: &'static str,
+    group_commit: bool,
+    clients: usize,
+    write_ratio: f64,
+    ops_per_update: usize,
+    fsync: &'static str,
+    elapsed_secs: f64,
+    reads: u64,
+    reads_per_s: f64,
+    writes_applied: u64,
+    writes_per_s: f64,
+    ops_applied: u64,
+    write_ops_per_s: f64,
+    rejected_429: u64,
+    errors: u64,
+    read_p50_us: u64,
+    read_p95_us: u64,
+    read_p99_us: u64,
+    write_p50_us: u64,
+    write_p95_us: u64,
+    write_p99_us: u64,
+    // Counter proof of the commit protocol, deltas over this run.
+    fsyncs: u64,
+    groups: u64,
+    publishes: u64,
+    mean_group_size: f64,
+    fsyncs_per_write: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    seed: u64,
+    rows: Vec<ModeRow>,
+    /// `write_ops_per_s(group commit) / write_ops_per_s(per-op-fsync)`,
+    /// present when both legs ran.
+    write_speedup: Option<f64>,
+}
+
+/// Snapshot of the group-size histogram (count, sum) — the registry is
+/// process-global, so per-run numbers are deltas between snapshots.
+fn group_size_totals() -> (u64, u64) {
+    obs::global()
+        .snapshot()
+        .histogram("server.update.group_size")
+        .map_or((0, 0), |h| (h.count, h.sum))
+}
+
+fn run_mode(args: &Args, group_commit: bool) -> ModeRow {
+    let mode: &'static str = if group_commit {
+        "group-commit"
+    } else {
+        "per-op-fsync"
+    };
+    // The baseline leg pins one op per request: one record, one fsync,
+    // one publish per op — the pre-group-commit write path.
+    let ops_per_update = if group_commit { args.ops_per_update } else { 1 };
+    let dir = std::env::temp_dir().join(format!("webreason-loadgen-{mode}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut store = DurableStore::create(&dir, args.reasoning, NonZeroUsize::MIN, args.fsync)
+        .expect("store creates");
+    store
+        .load_turtle(
+            "@prefix ex: <http://ex/> .\n\
+             @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             ex:Cat rdfs:subClassOf ex:Mammal .\n\
+             ex:Tom a ex:Cat .\n",
+        )
+        .expect("seed loads");
+    let threads = if args.threads == 0 {
+        args.clients
+    } else {
+        args.threads
+    };
+    let server = Server::start(
+        store,
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads,
+            update_queue: args.queue,
+            checkpoint_every: 0, // keep the fsync ledger to commits only
+            group_commit,
+            ..Default::default()
+        },
+    )
+    .expect("server boots");
+    let addr: SocketAddr = server.local_addr();
+
+    let reg = obs::global();
+    let fsyncs0 = reg.counter_value("durability.journal.fsyncs");
+    let groups0 = reg.counter_value("server.update.groups");
+    let publishes0 = reg.counter_value("server.update.publishes");
+    let (gs_count0, gs_sum0) = group_size_totals();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let deadline = Duration::from_secs_f64(args.duration_secs);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..args.clients)
+        .map(|c| {
+            let stop = Arc::clone(&stop);
+            let args = args.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(args.seed.wrapping_add(c as u64));
+                let mut stream = TcpStream::connect(addr).expect("connects");
+                stream
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("timeout sets");
+                let _ = stream.set_nodelay(true);
+                let mut tally = ClientTally::default();
+                let mut head = Vec::with_capacity(256);
+                let mut n = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let write = rng.gen_bool(args.write_ratio);
+                    let raw = if write {
+                        let mut body = String::new();
+                        for j in 0..ops_per_update {
+                            body.push_str(&format!(
+                                "insert <http://ex/w{c}-{n}-{j}> \
+                                 <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                                 <http://ex/Cat> .\n"
+                            ));
+                        }
+                        post("/update", &body)
+                    } else {
+                        post("/query", QUERY)
+                    };
+                    n += 1;
+                    let t = Instant::now();
+                    match roundtrip(&mut stream, &raw, &mut head) {
+                        Ok(200) => {
+                            let us = t.elapsed().as_micros() as u64;
+                            if write {
+                                tally.writes_ok += 1;
+                                tally.write_us.push(us);
+                            } else {
+                                tally.reads_ok += 1;
+                                tally.read_us.push(us);
+                            }
+                        }
+                        Ok(429) => {
+                            tally.rejected_429 += 1;
+                            std::thread::sleep(Duration::from_micros(200));
+                        }
+                        Ok(_) => tally.errors += 1,
+                        Err(_) => {
+                            tally.errors += 1;
+                            break; // connection is gone; stop this client
+                        }
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+    std::thread::sleep(deadline);
+    stop.store(true, Ordering::Relaxed);
+    let mut total = ClientTally::default();
+    for h in handles {
+        let t = h.join().expect("client thread");
+        total.reads_ok += t.reads_ok;
+        total.writes_ok += t.writes_ok;
+        total.rejected_429 += t.rejected_429;
+        total.errors += t.errors;
+        total.read_us.extend(t.read_us);
+        total.write_us.extend(t.write_us);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let fsyncs = reg.counter_value("durability.journal.fsyncs") - fsyncs0;
+    let groups = reg.counter_value("server.update.groups") - groups0;
+    let publishes = reg.counter_value("server.update.publishes") - publishes0;
+    let (gs_count, gs_sum) = group_size_totals();
+    let mean_group_size = if gs_count > gs_count0 {
+        (gs_sum - gs_sum0) as f64 / (gs_count - gs_count0) as f64
+    } else {
+        0.0
+    };
+
+    drop(server.shutdown());
+    let _ = std::fs::remove_dir_all(&dir);
+
+    total.read_us.sort_unstable();
+    total.write_us.sort_unstable();
+    let ops_applied = total.writes_ok * ops_per_update as u64;
+    ModeRow {
+        mode,
+        group_commit,
+        clients: args.clients,
+        write_ratio: args.write_ratio,
+        ops_per_update,
+        fsync: match args.fsync {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Never => "never",
+        },
+        elapsed_secs: elapsed,
+        reads: total.reads_ok,
+        reads_per_s: total.reads_ok as f64 / elapsed,
+        writes_applied: total.writes_ok,
+        writes_per_s: total.writes_ok as f64 / elapsed,
+        ops_applied,
+        write_ops_per_s: ops_applied as f64 / elapsed,
+        rejected_429: total.rejected_429,
+        errors: total.errors,
+        read_p50_us: percentile(&total.read_us, 0.50),
+        read_p95_us: percentile(&total.read_us, 0.95),
+        read_p99_us: percentile(&total.read_us, 0.99),
+        write_p50_us: percentile(&total.write_us, 0.50),
+        write_p95_us: percentile(&total.write_us, 0.95),
+        write_p99_us: percentile(&total.write_us, 0.99),
+        fsyncs,
+        groups,
+        publishes,
+        mean_group_size,
+        fsyncs_per_write: if total.writes_ok > 0 {
+            fsyncs as f64 / total.writes_ok as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    println!(
+        "== loadgen: {} clients, write ratio {:.2}, {:.1}s per mode, fsync {:?}, seed {} ==",
+        args.clients, args.write_ratio, args.duration_secs, args.fsync, args.seed
+    );
+
+    let rows: Vec<ModeRow> = args.modes.iter().map(|&gc| run_mode(&args, gc)).collect();
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_owned(),
+                r.ops_per_update.to_string(),
+                format!("{:.0}", r.write_ops_per_s),
+                format!("{:.0}", r.writes_per_s),
+                format!("{:.0}", r.reads_per_s),
+                r.write_p50_us.to_string(),
+                r.write_p95_us.to_string(),
+                r.write_p99_us.to_string(),
+                r.fsyncs.to_string(),
+                r.groups.to_string(),
+                format!("{:.1}", r.mean_group_size),
+                r.rejected_429.to_string(),
+                r.errors.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "mode",
+                "ops/req",
+                "write ops/s",
+                "scripts/s",
+                "reads/s",
+                "w p50 (µs)",
+                "w p95 (µs)",
+                "w p99 (µs)",
+                "fsyncs",
+                "groups",
+                "mean group",
+                "429s",
+                "errors",
+            ],
+            &table
+        )
+    );
+
+    let write_speedup = match rows.as_slice() {
+        [off, on] if off.write_ops_per_s > 0.0 => Some(on.write_ops_per_s / off.write_ops_per_s),
+        _ => None,
+    };
+    if let Some(s) = write_speedup {
+        println!("write throughput speedup (group commit vs per-op fsync): {s:.1}x");
+    }
+
+    let errors: u64 = rows.iter().map(|r| r.errors).sum();
+    let report = Report {
+        seed: args.seed,
+        rows,
+        write_speedup,
+    };
+    let ok = emit_json("table_loadgen", &report);
+    if args.strict && errors > 0 {
+        eprintln!("loadgen: --strict and {errors} non-200/429 responses");
+        std::process::exit(1);
+    }
+    if !ok {
+        std::process::exit(1);
+    }
+}

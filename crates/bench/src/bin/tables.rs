@@ -503,6 +503,7 @@ fn table_aserve() -> bool {
         queries_per_s: f64,
         mean_query_ms: f64,
         updates_applied: u64,
+        updates_per_s: f64,
         updates_rejected: u64,
     }
 
@@ -607,6 +608,7 @@ fn table_aserve() -> bool {
         let _ = std::fs::remove_dir_all(&dir);
 
         let queries_per_s = queries as f64 / elapsed;
+        let updates_per_s = updates_applied as f64 / elapsed;
         let mean_query_ms = total_us as f64 / 1_000.0 / queries.max(1) as f64;
         rows.push(vec![
             readers.to_string(),
@@ -614,6 +616,7 @@ fn table_aserve() -> bool {
             format!("{queries_per_s:.0}"),
             format!("{mean_query_ms:.2}"),
             updates_applied.to_string(),
+            format!("{updates_per_s:.0}"),
             updates_rejected.to_string(),
         ]);
         report.push(Row {
@@ -622,6 +625,7 @@ fn table_aserve() -> bool {
             queries_per_s,
             mean_query_ms,
             updates_applied,
+            updates_per_s,
             updates_rejected,
         });
     }
@@ -634,6 +638,7 @@ fn table_aserve() -> bool {
                 "queries/s",
                 "mean query (ms)",
                 "updates applied",
+                "updates/s",
                 "updates 429d",
             ],
             &rows

@@ -127,6 +127,8 @@ pub enum Command {
         fsync: FsyncPolicy,
         /// Bounded writer-queue depth (a full queue answers 429).
         queue: usize,
+        /// Drain queued update scripts as one fsync+publish group.
+        group_commit: bool,
         /// Stop after this many seconds (`None` = run until killed).
         duration_secs: Option<u64>,
     },
@@ -214,6 +216,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "fsync",
         "addr",
         "queue",
+        "group-commit",
         "duration-secs",
     ];
     for (name, _) in &flags {
@@ -334,6 +337,15 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     err(format!("unknown fsync policy {v:?}; use always or never"))
                 })?,
             };
+            let group_commit = match flag("group-commit") {
+                None | Some("on") => true,
+                Some("off") => false,
+                Some(other) => {
+                    return Err(err(format!(
+                        "unknown group-commit mode {other:?}; use on or off"
+                    )))
+                }
+            };
             let duration_secs = match flag("duration-secs") {
                 None => None,
                 Some(v) => Some(
@@ -347,6 +359,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 journal,
                 fsync,
                 queue,
+                group_commit,
                 duration_secs,
             })
         }
@@ -539,13 +552,14 @@ mod tests {
                 journal: "/tmp/j".into(),
                 fsync: FsyncPolicy::Always,
                 queue: 64,
+                group_commit: true,
                 duration_secs: None,
             }
         );
         assert_eq!(
             parse_args(&argv(
                 "serve --journal /tmp/j --addr 127.0.0.1:0 --threads 2 --queue 8 \
-                 --fsync never --duration-secs 3"
+                 --fsync never --group-commit off --duration-secs 3"
             ))
             .unwrap(),
             Command::Serve {
@@ -554,6 +568,7 @@ mod tests {
                 journal: "/tmp/j".into(),
                 fsync: FsyncPolicy::Never,
                 queue: 8,
+                group_commit: false,
                 duration_secs: Some(3),
             }
         );
@@ -562,6 +577,10 @@ mod tests {
             ("serve data.ttl --journal /tmp/j", "takes no data files"),
             ("serve --journal /tmp/j --threads 0", "positive number"),
             ("serve --journal /tmp/j --queue nope", "positive number"),
+            (
+                "serve --journal /tmp/j --group-commit sometimes",
+                "use on or off",
+            ),
             (
                 "serve --journal /tmp/j --duration-secs soon",
                 "needs a number",

@@ -99,8 +99,17 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
             journal,
             fsync,
             queue,
+            group_commit,
             duration_secs,
-        } => serve_cmd(addr, *threads, journal, *fsync, *queue, *duration_secs),
+        } => serve_cmd(
+            addr,
+            *threads,
+            journal,
+            *fsync,
+            *queue,
+            *group_commit,
+            *duration_secs,
+        ),
         Command::Metrics { format, journal } => metrics_cmd(format, journal.as_deref()),
         Command::Checkpoint { dir } => checkpoint_cmd(dir),
         Command::Recover { dir } => recover_cmd(dir),
@@ -135,6 +144,7 @@ fn serve_cmd(
     journal: &str,
     fsync: FsyncPolicy,
     queue: usize,
+    group_commit: bool,
     duration_secs: Option<u64>,
 ) -> Result<String, CliError> {
     use std::io::Write as _;
@@ -155,6 +165,7 @@ fn serve_cmd(
         addr: addr.to_owned(),
         threads,
         update_queue: queue,
+        group_commit,
         ..Default::default()
     };
     let server =

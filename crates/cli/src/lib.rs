@@ -13,7 +13,7 @@
 //! webreason stats <data.ttl>…
 //! webreason metrics [--format json|prometheus] [--journal DIR]
 //! webreason serve --journal DIR [--addr A] [--threads N] [--queue N]
-//!                 [--fsync always|never] [--duration-secs S]
+//!                 [--fsync always|never] [--group-commit on|off] [--duration-secs S]
 //! webreason checkpoint <journal-dir>
 //! webreason recover <journal-dir>
 //! ```
@@ -79,6 +79,8 @@ OPTIONS:
     --addr <host:port>       serve: bind address; :0 picks a free port
                              [default: 127.0.0.1:7878]
     --queue <N>              serve: writer-queue depth; full => 429  [default: 64]
+    --group-commit <on|off>  serve: drain queued updates as one fsync+publish
+                             group (off = per-script fsync)     [default: on]
     --duration-secs <S>      serve: shut down gracefully after S seconds
                              (omit to serve until killed)
 

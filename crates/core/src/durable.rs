@@ -22,7 +22,7 @@ use crate::snapshot::StoreReader;
 use crate::store::{AnswerError, ReasoningConfig, Store, StoreStats};
 use durability::{
     load_latest, prune_checkpoints, write_checkpoint, Checkpoint, DurabilityError, FsyncPolicy,
-    Journal, JournalRecord,
+    Journal, JournalRecord, ScriptedOp,
 };
 use rdf_model::{Dictionary, Graph, Term, Triple, Vocab};
 use rdfs::incremental::UpdateStats;
@@ -33,6 +33,27 @@ use std::path::{Path, PathBuf};
 
 /// The journal file name inside a durability directory.
 pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// One term-level operation of an atomic update script (the decoded form
+/// of one `insert`/`delete` line of a `POST /update` body). Scripts are
+/// applied by [`DurableStore::apply_script`] as a single journal record:
+/// either every op lands, or none does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScriptOp {
+    /// Insert the triple.
+    Insert([Term; 3]),
+    /// Delete the triple (a no-op if absent, mirroring the store).
+    Delete([Term; 3]),
+}
+
+/// What an atomically applied script changed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScriptOutcome {
+    /// Triples actually added to the base graph.
+    pub added: usize,
+    /// Triples actually removed from the base graph.
+    pub removed: usize,
+}
 
 /// How many checkpoints [`DurableStore::checkpoint`] keeps on disk (the
 /// newest, plus one fallback in case the newest is damaged).
@@ -286,6 +307,72 @@ impl DurableStore {
         }
     }
 
+    /// Atomically and durably applies a whole update script: **one**
+    /// journal record ([`JournalRecord::UpdateScript`]) carrying every op
+    /// in request order plus the dictionary delta, then the in-memory
+    /// apply. Write-ahead order holds for the script as a unit — if the
+    /// journal append fails, *nothing* is applied and the base graph,
+    /// epoch and reader-visible answers are untouched (terms the failed
+    /// script interned ride along with the next journaled update, exactly
+    /// like query constants).
+    pub fn apply_script(&mut self, ops: &[ScriptOp]) -> Result<ScriptOutcome, DurableError> {
+        self.apply_script_inner(ops, false)
+    }
+
+    /// [`DurableStore::apply_script`] with the per-record fsync deferred:
+    /// the group-commit building block. The caller owes one
+    /// [`DurableStore::sync_group`] for the drained group before
+    /// acknowledging any of its scripts as durable.
+    pub fn apply_script_deferred(
+        &mut self,
+        ops: &[ScriptOp],
+    ) -> Result<ScriptOutcome, DurableError> {
+        self.apply_script_inner(ops, true)
+    }
+
+    fn apply_script_inner(
+        &mut self,
+        ops: &[ScriptOp],
+        deferred: bool,
+    ) -> Result<ScriptOutcome, DurableError> {
+        // Encode the whole script against the live dictionary first, so
+        // the journal record is complete before any write-ahead I/O.
+        // Deletes intern their terms too: harmless (an interned-but-absent
+        // triple deletes as a no-op) and it keeps replay ids aligned.
+        let encoded: Vec<ScriptedOp> = {
+            let mut dict = self.store.dict_mut();
+            let mut enc = |t: &[Term; 3]| {
+                Triple::new(dict.encode(&t[0]), dict.encode(&t[1]), dict.encode(&t[2]))
+            };
+            ops.iter()
+                .map(|op| match op {
+                    ScriptOp::Insert(t) => ScriptedOp::Insert(enc(t)),
+                    ScriptOp::Delete(t) => ScriptedOp::Delete(enc(t)),
+                })
+                .collect()
+        };
+        let (new_terms, watermark) = self.dict_delta();
+        let record = JournalRecord::UpdateScript {
+            new_terms,
+            ops: encoded.clone(),
+        };
+        if deferred {
+            self.journal.append_deferred(&record)?;
+        } else {
+            self.journal.append(&record)?;
+        }
+        self.journaled_terms = watermark;
+        Ok(apply_scripted(&mut self.store, &encoded))
+    }
+
+    /// Settles a group of [`DurableStore::apply_script_deferred`] calls:
+    /// one journal fsync under [`FsyncPolicy::Always`], a no-op under
+    /// [`FsyncPolicy::Never`].
+    pub fn sync_group(&mut self) -> Result<(), DurableError> {
+        self.journal.sync_group()?;
+        Ok(())
+    }
+
     /// Durably switches reasoning strategy.
     pub fn set_config(&mut self, config: ReasoningConfig) -> Result<(), DurableError> {
         self.journal.append(&JournalRecord::SetConfig {
@@ -448,8 +535,45 @@ fn apply_record(store: &mut Store, record: &JournalRecord) -> Result<(), Durable
             store.set_threads(threads);
         }
         JournalRecord::CheckpointMark { .. } => {}
+        JournalRecord::UpdateScript { new_terms, ops } => {
+            for term in new_terms {
+                store.dict_mut().encode(term);
+            }
+            apply_scripted(store, ops);
+        }
     }
     Ok(())
+}
+
+/// Applies an encoded script to the store, preserving request order.
+/// Consecutive same-kind ops run as one batch (one maintenance pass), so
+/// a pure-insert script costs the same as an [`JournalRecord::InsertBatch`]
+/// while an interleaved script still nets correctly — shared between the
+/// live write path and journal replay so both walk the identical code.
+fn apply_scripted(store: &mut Store, ops: &[ScriptedOp]) -> ScriptOutcome {
+    let mut outcome = ScriptOutcome::default();
+    let mut i = 0;
+    let mut run: Vec<Triple> = Vec::new();
+    while i < ops.len() {
+        run.clear();
+        match ops[i] {
+            ScriptedOp::Insert(_) => {
+                while let Some(ScriptedOp::Insert(t)) = ops.get(i) {
+                    run.push(*t);
+                    i += 1;
+                }
+                outcome.added += store.insert_batch(&run).added;
+            }
+            ScriptedOp::Delete(_) => {
+                while let Some(ScriptedOp::Delete(t)) = ops.get(i) {
+                    run.push(*t);
+                    i += 1;
+                }
+                outcome.removed += store.delete_batch(&run).removed;
+            }
+        }
+    }
+    outcome
 }
 
 #[cfg(test)]
@@ -601,6 +725,75 @@ mod tests {
         let rec = Store::recover(&dir).unwrap();
         assert_eq!(rec.config(), ReasoningConfig::Reformulation);
         assert_eq!(rec.threads().get(), 2);
+    }
+
+    #[test]
+    fn update_script_is_one_record_and_order_sensitive() {
+        let dir = tmpdir("script");
+        let mut ds = DurableStore::create(
+            &dir,
+            sat(MaintenanceAlgorithm::DRed),
+            NonZeroUsize::MIN,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        ds.load_turtle(ZOO).unwrap();
+        let seq_before = ds.seq();
+        let cat = |n: &str| {
+            [
+                Term::iri(format!("http://ex/{n}")),
+                Term::iri(rdf_model::vocab::RDF_TYPE),
+                Term::iri("http://ex/Cat"),
+            ]
+        };
+        // insert Felix, delete Tom, insert-then-delete Ghost (nets absent).
+        let outcome = ds
+            .apply_script(&[
+                ScriptOp::Insert(cat("Felix")),
+                ScriptOp::Delete(cat("Tom")),
+                ScriptOp::Insert(cat("Ghost")),
+                ScriptOp::Delete(cat("Ghost")),
+            ])
+            .unwrap();
+        assert_eq!(ds.seq(), seq_before + 1, "whole script is one record");
+        // Counts include entailed triples (x a Cat ⊨ Mammal, Animal), the
+        // same store-level semantics the per-op path reported.
+        assert_eq!((outcome.added, outcome.removed), (6, 6));
+        assert_eq!(ds.answer_sparql(MAMMALS).unwrap().len(), 1, "Felix only");
+        // Replay walks the same code path and converges identically.
+        let rec = Store::recover(&dir).unwrap();
+        assert_eq!(rec.export_ntriples(), ds.store().export_ntriples());
+        assert_eq!(
+            rec.answer_sparql(MAMMALS).unwrap().as_set(),
+            ds.answer_sparql(MAMMALS).unwrap().as_set()
+        );
+    }
+
+    #[test]
+    fn deferred_scripts_recover_after_sync_group() {
+        let dir = tmpdir("script-deferred");
+        let mut ds = DurableStore::create(
+            &dir,
+            sat(MaintenanceAlgorithm::Counting),
+            NonZeroUsize::MIN,
+            FsyncPolicy::Always,
+        )
+        .unwrap();
+        let rex = [
+            Term::iri("http://ex/Rex"),
+            Term::iri(rdf_model::vocab::RDF_TYPE),
+            Term::iri("http://ex/Mammal"),
+        ];
+        let ana = [
+            Term::iri("http://ex/Ana"),
+            Term::iri(rdf_model::vocab::RDF_TYPE),
+            Term::iri("http://ex/Mammal"),
+        ];
+        ds.apply_script_deferred(&[ScriptOp::Insert(rex)]).unwrap();
+        ds.apply_script_deferred(&[ScriptOp::Insert(ana)]).unwrap();
+        ds.sync_group().unwrap();
+        let rec = Store::recover(&dir).unwrap();
+        assert_eq!(rec.answer_sparql(MAMMALS).unwrap().len(), 2);
     }
 
     #[test]

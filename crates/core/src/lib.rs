@@ -57,7 +57,7 @@ pub mod threshold;
 pub use advisor::{advise_from_snapshot, advise_observed};
 pub use backward::evaluate_backward;
 pub use cost::ObservedCosts;
-pub use durable::{DurableError, DurableStore};
+pub use durable::{DurableError, DurableStore, ScriptOp, ScriptOutcome};
 pub use snapshot::{StoreReader, StoreSnapshot};
 pub use store::{AnswerError, ReasoningConfig, Store, StoreStats};
 pub use threshold::{observed_thresholds, ObservedThresholds};

@@ -66,6 +66,27 @@ pub enum JournalRecord {
         /// Journal records reflected in the checkpoint.
         seq: u64,
     },
+    /// A whole update script as one atomic record: an *ordered* mix of
+    /// inserts and deletes that commits (and replays) all-or-nothing.
+    /// Order matters — `insert` then `delete` of the same triple nets to
+    /// absent. Older journals keep replaying through `InsertBatch` /
+    /// `DeleteBatch`; this variant only appears once a writer groups a
+    /// script into a single append.
+    UpdateScript {
+        /// Terms interned since the previous record, in interning order.
+        new_terms: Vec<Term>,
+        /// The script's operations, in request order.
+        ops: Vec<ScriptedOp>,
+    },
+}
+
+/// One operation of a [`JournalRecord::UpdateScript`], over encoded ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScriptedOp {
+    /// Insert the triple into the base graph.
+    Insert(Triple),
+    /// Delete the triple from the base graph (no-op if absent).
+    Delete(Triple),
 }
 
 impl JournalRecord {
@@ -92,6 +113,26 @@ impl JournalRecord {
                 e.u8(5);
                 e.u64(*seq);
             }
+            JournalRecord::UpdateScript { new_terms, ops } => {
+                e.u8(6);
+                e.u32(new_terms.len() as u32);
+                for t in new_terms {
+                    e.term(t);
+                }
+                e.u32(ops.len() as u32);
+                for op in ops {
+                    match op {
+                        ScriptedOp::Insert(t) => {
+                            e.u8(0);
+                            e.triple(t);
+                        }
+                        ScriptedOp::Delete(t) => {
+                            e.u8(1);
+                            e.triple(t);
+                        }
+                    }
+                }
+            }
         }
         e.into_bytes()
     }
@@ -116,6 +157,29 @@ impl JournalRecord {
             5 => JournalRecord::CheckpointMark {
                 seq: d.u64("checkpoint seq")?,
             },
+            6 => {
+                let n_terms = d.u32("term count")? as usize;
+                let mut new_terms = Vec::with_capacity(n_terms.min(1 << 16));
+                for _ in 0..n_terms {
+                    new_terms.push(d.term()?);
+                }
+                let n_ops = d.u32("op count")? as usize;
+                let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
+                for _ in 0..n_ops {
+                    let op = match d.u8("op kind")? {
+                        0 => ScriptedOp::Insert(d.triple()?),
+                        1 => ScriptedOp::Delete(d.triple()?),
+                        _ => {
+                            return Err(crate::codec::CodecError {
+                                offset: d.offset().saturating_sub(1),
+                                what: "op kind",
+                            })
+                        }
+                    };
+                    ops.push(op);
+                }
+                JournalRecord::UpdateScript { new_terms, ops }
+            }
             _ => {
                 return Err(crate::codec::CodecError {
                     offset: 0,
@@ -313,6 +377,18 @@ impl Journal {
     /// Appends one record (write-ahead: callers journal *before* applying
     /// the operation in memory). Returns the record's index.
     pub fn append(&mut self, record: &JournalRecord) -> Result<u64, DurabilityError> {
+        self.append_inner(record, self.fsync == FsyncPolicy::Always)
+    }
+
+    /// Appends one record *without* the per-record fsync the
+    /// [`FsyncPolicy::Always`] policy would apply — the group-commit
+    /// building block. The caller owes a [`Journal::sync_group`] before
+    /// acknowledging the record as durable.
+    pub fn append_deferred(&mut self, record: &JournalRecord) -> Result<u64, DurabilityError> {
+        self.append_inner(record, false)
+    }
+
+    fn append_inner(&mut self, record: &JournalRecord, sync: bool) -> Result<u64, DurabilityError> {
         fail_point!("store.journal.append");
         let payload = record.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
@@ -325,7 +401,7 @@ impl Journal {
         let reg = obs::global();
         reg.add("durability.journal.appends", 1);
         reg.add("durability.journal.append_bytes", frame.len() as u64);
-        if self.fsync == FsyncPolicy::Always {
+        if sync {
             self.file.sync_data()?;
             reg.add("durability.journal.fsyncs", 1);
         }
@@ -338,6 +414,16 @@ impl Journal {
     pub fn sync(&mut self) -> Result<(), DurabilityError> {
         self.file.sync_data()?;
         obs::global().add("durability.journal.fsyncs", 1);
+        Ok(())
+    }
+
+    /// Settles a group of [`Journal::append_deferred`] appends: one fsync
+    /// under [`FsyncPolicy::Always`], a no-op under
+    /// [`FsyncPolicy::Never`] (where the appends were never owed a sync).
+    pub fn sync_group(&mut self) -> Result<(), DurabilityError> {
+        if self.fsync == FsyncPolicy::Always {
+            self.sync()?;
+        }
         Ok(())
     }
 }
@@ -371,6 +457,14 @@ mod tests {
                 name: "saturation(dred)".into(),
             },
             JournalRecord::CheckpointMark { seq: 3 },
+            JournalRecord::UpdateScript {
+                new_terms: vec![Term::iri("http://ex/b")],
+                ops: vec![
+                    ScriptedOp::Insert(Triple::new(t(3), t(1), t(2))),
+                    ScriptedOp::Delete(Triple::new(t(3), t(1), t(2))),
+                    ScriptedOp::Insert(Triple::new(t(0), t(1), t(3))),
+                ],
+            },
         ]
     }
 
@@ -390,6 +484,34 @@ mod tests {
         // reopening resumes the sequence
         let j = Journal::open(&path, FsyncPolicy::Never).unwrap();
         assert_eq!(j.seq(), records.len() as u64);
+    }
+
+    #[test]
+    fn deferred_appends_replay_and_sync_group_settles_them() {
+        let path = tmp("deferred");
+        let records = sample_records();
+        {
+            let mut j = Journal::open(&path, FsyncPolicy::Always).unwrap();
+            for (i, r) in records.iter().enumerate() {
+                assert_eq!(j.append_deferred(r).unwrap(), i as u64);
+            }
+            j.sync_group().unwrap();
+        }
+        let replay = Journal::replay(&path).unwrap();
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.torn_bytes, 0);
+    }
+
+    #[test]
+    fn script_op_kind_byte_is_validated() {
+        // A frame whose payload claims tag 6 but carries an op kind
+        // outside {0, 1} must be corruption, not a silent skip.
+        let mut e = Encoder::new();
+        e.u8(6);
+        e.u32(0); // no new terms
+        e.u32(1); // one op
+        e.u8(7); // bogus kind
+        assert!(JournalRecord::decode(&e.into_bytes()).is_err());
     }
 
     #[test]

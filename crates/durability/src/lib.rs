@@ -30,7 +30,7 @@ pub use checkpoint::{
     checkpoint_file_name, load_checkpoint, load_latest, prune_checkpoints, write_checkpoint,
     Checkpoint,
 };
-pub use journal::{Journal, JournalRecord, Replay};
+pub use journal::{Journal, JournalRecord, Replay, ScriptedOp};
 
 use std::fmt;
 use std::path::PathBuf;

@@ -111,6 +111,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// The (de-chunked) body.
     pub body: Vec<u8>,
+    /// Whether the request line said `HTTP/1.0`. Persistence defaults
+    /// flip with the version: 1.1 keeps the connection open unless told
+    /// otherwise, 1.0 closes it unless told otherwise.
+    pub http10: bool,
 }
 
 impl Request {
@@ -122,12 +126,17 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Whether the client asked to close the connection after this
-    /// request (`Connection: close`, or HTTP/1.0 semantics are not
-    /// implemented — the server treats absence as keep-alive).
+    /// Whether the connection closes after this request. `Connection:
+    /// close` always closes and `Connection: keep-alive` always keeps;
+    /// absent a header, the version decides — HTTP/1.1 defaults to
+    /// keep-alive, HTTP/1.0 to close (a 1.0 client does not expect the
+    /// connection to persist and would hang waiting for EOF).
     pub fn wants_close(&self) -> bool {
-        self.header("connection")
-            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        match self.header("connection") {
+            Some(v) if v.eq_ignore_ascii_case("close") => true,
+            Some(v) if v.eq_ignore_ascii_case("keep-alive") => false,
+            _ => self.http10,
+        }
     }
 
     /// The path portion of the target (before any `?`).
@@ -176,8 +185,8 @@ pub fn parse_request(buf: &[u8], limits: &Limits) -> ParseOutcome {
         Some(Ok(line)) if !line.is_empty() => line,
         _ => return ParseOutcome::Error(HttpError::BadRequestLine),
     };
-    let (method, target) = match parse_request_line(request_line) {
-        Ok(pair) => pair,
+    let (method, target, http10) = match parse_request_line(request_line) {
+        Ok(parts) => parts,
         Err(e) => return ParseOutcome::Error(e),
     };
 
@@ -204,6 +213,7 @@ pub fn parse_request(buf: &[u8], limits: &Limits) -> ParseOutcome {
         target,
         headers,
         body: Vec::new(),
+        http10,
     };
 
     // --- body framing ---------------------------------------------------
@@ -292,7 +302,7 @@ impl<'a> Iterator for CrlfLines<'a> {
     }
 }
 
-fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+fn parse_request_line(line: &str) -> Result<(String, String, bool), HttpError> {
     let mut parts = line.split(' ');
     let method = parts.next().unwrap_or("");
     let target = parts.next().unwrap_or("");
@@ -304,7 +314,8 @@ fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
         return Err(HttpError::BadRequestLine);
     }
     match version {
-        "HTTP/1.1" | "HTTP/1.0" => Ok((method.to_owned(), target.to_owned())),
+        "HTTP/1.1" => Ok((method.to_owned(), target.to_owned(), false)),
+        "HTTP/1.0" => Ok((method.to_owned(), target.to_owned(), true)),
         v if v.starts_with("HTTP/") => Err(HttpError::UnsupportedVersion),
         _ => Err(HttpError::BadRequestLine),
     }
@@ -401,6 +412,17 @@ pub fn write_response(
     out.extend_from_slice(b"\r\n");
     out.extend_from_slice(body);
     out
+}
+
+/// Stamps `Connection: close` onto an already-serialised response, right
+/// after the status line — the server calls this on every close path
+/// (client asked, HTTP/1.0 default, shutdown drain) so clients are told
+/// explicitly instead of having to infer the close from EOF.
+pub fn mark_close(resp: &mut Vec<u8>) {
+    if let Some(pos) = resp.windows(2).position(|w| w == b"\r\n") {
+        let at = pos + 2;
+        resp.splice(at..at, b"Connection: close\r\n".iter().copied());
+    }
 }
 
 #[cfg(test)]
@@ -520,6 +542,35 @@ mod tests {
             let s = e.status();
             assert!((400..=505).contains(&s), "{e}: {s}");
         }
+    }
+
+    #[test]
+    fn connection_persistence_follows_version_defaults() {
+        let parse_one = |raw: &[u8]| match parse(raw) {
+            ParseOutcome::Complete(req, _) => req,
+            other => panic!("{other:?}"),
+        };
+        // HTTP/1.1: keep-alive unless told to close.
+        assert!(!parse_one(b"GET / HTTP/1.1\r\n\r\n").wants_close());
+        assert!(parse_one(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").wants_close());
+        // HTTP/1.0: close unless told to keep alive.
+        let v10 = parse_one(b"GET / HTTP/1.0\r\n\r\n");
+        assert!(v10.http10);
+        assert!(v10.wants_close(), "1.0 without a header must close");
+        assert!(!parse_one(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").wants_close());
+        assert!(parse_one(b"GET / HTTP/1.0\r\nConnection: Close\r\n\r\n").wants_close());
+    }
+
+    #[test]
+    fn mark_close_lands_after_the_status_line() {
+        let mut resp = write_response(200, "OK", "text/plain", &[], b"ok");
+        mark_close(&mut resp);
+        let text = String::from_utf8(resp).unwrap();
+        assert!(
+            text.starts_with("HTTP/1.1 200 OK\r\nConnection: close\r\n"),
+            "{text}"
+        );
+        assert!(text.ends_with("\r\n\r\nok"), "framing intact: {text}");
     }
 
     #[test]

@@ -7,9 +7,13 @@
 //!   [`StoreReader`]; `POST /query` clones the current published
 //!   [`StoreSnapshot`](webreason_core::StoreSnapshot) `Arc` and evaluates
 //!   against that immutable view, concurrently with updates.
-//! * **One writer, journaled.** A dedicated writer thread owns the
-//!   [`DurableStore`]; `POST /update` bodies are decoded on the worker,
-//!   then shipped over a *bounded* channel. When the queue is full the
+//! * **One writer, journaled, group-committed.** A dedicated writer
+//!   thread owns the [`DurableStore`]; `POST /update` bodies are decoded
+//!   on the worker, then shipped over a *bounded* channel. Each script is
+//!   **atomic** — one `UpdateScript` journal record, applied
+//!   all-or-nothing — and the writer drains every queued job after each
+//!   `recv`, journals the group, fsyncs **once**, publishes **one**
+//!   epoch, and fans replies back per job. When the queue is full the
 //!   client gets `429 Too Many Requests` with a `Retry-After` hint —
 //!   backpressure instead of unbounded buffering.
 //! * **Graceful shutdown.** [`Server::shutdown`] stops accepting, lets
@@ -37,7 +41,7 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use http::{parse_request, write_response, Limits, ParseOutcome, Request};
+use http::{mark_close, parse_request, write_response, Limits, ParseOutcome, Request};
 use proto::{decode_update_body, ErrorResponse, QueryResponse, UpdateOp, UpdateResponse};
 use webreason_core::{DurableStore, StoreReader};
 
@@ -56,8 +60,14 @@ pub struct ServerConfig {
     pub limits: Limits,
     /// Checkpoint the journal every N applied update batches (0 = never).
     pub checkpoint_every: usize,
-    /// Test hook: artificial delay before each batch is applied, to make
-    /// queue backpressure deterministic in tests. `None` in production.
+    /// Group commit: after each `recv` the writer drains every queued
+    /// job, journals the group, fsyncs once and publishes one epoch.
+    /// `false` falls back to one fsync + one publish per job (the
+    /// baseline the loadgen harness measures against).
+    pub group_commit: bool,
+    /// Test hook: artificial delay before each drained group is applied,
+    /// to make queue backpressure (and grouping) deterministic in tests.
+    /// `None` in production.
     pub writer_delay: Option<Duration>,
 }
 
@@ -70,6 +80,7 @@ impl Default for ServerConfig {
             retry_after_secs: 1,
             limits: Limits::default(),
             checkpoint_every: 256,
+            group_commit: true,
             writer_delay: None,
         }
     }
@@ -134,9 +145,19 @@ impl Server {
             let shared = Arc::clone(&shared);
             let checkpoint_every = config.checkpoint_every;
             let delay = config.writer_delay;
+            let group_commit = config.group_commit;
             std::thread::Builder::new()
                 .name("webreason-writer".to_owned())
-                .spawn(move || writer_loop(store, writer_rx, shared, checkpoint_every, delay))?
+                .spawn(move || {
+                    writer_loop(
+                        store,
+                        writer_rx,
+                        shared,
+                        checkpoint_every,
+                        delay,
+                        group_commit,
+                    )
+                })?
         };
 
         let mut worker_handles = Vec::with_capacity(config.threads.max(1));
@@ -245,10 +266,12 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-/// Tells a straggler connection the server is going away.
+/// Tells a straggler connection the server is going away. The response
+/// closes the connection, and says so explicitly.
 fn respond_unavailable(mut stream: TcpStream) {
     let body = ErrorResponse::to_json("unavailable", "server is shutting down");
-    let resp = write_response(503, "Service Unavailable", "application/json", &[], &body);
+    let mut resp = write_response(503, "Service Unavailable", "application/json", &[], &body);
+    mark_close(&mut resp);
     let _ = stream.write_all(&resp);
 }
 
@@ -288,12 +311,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
         match parse_request(&buf, &shared.limits) {
             ParseOutcome::Complete(req, consumed) => {
                 buf.drain(..consumed);
-                let close = req.wants_close();
-                if shared.shutting_down.load(Ordering::SeqCst) {
-                    respond_unavailable(stream);
-                    return;
+                // A request fully received before the shutdown flag is
+                // in-flight under the drain contract: serve it. Only new
+                // bytes are refused (the read path below 503s partial
+                // requests). During shutdown the connection closes once
+                // the buffered, already-complete requests are served.
+                let shutting = shared.shutting_down.load(Ordering::SeqCst);
+                let close = req.wants_close() || (shutting && buf.is_empty());
+                let mut resp = dispatch(&req, shared);
+                if close {
+                    mark_close(&mut resp);
                 }
-                let resp = dispatch(&req, shared);
                 if stream.write_all(&resp).is_err() {
                     return;
                 }
@@ -305,7 +333,9 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             ParseOutcome::Error(e) => {
                 reg.add("server.http.bad_requests", 1);
                 let body = ErrorResponse::to_json("bad_request", &e.to_string());
-                let resp = write_response(e.status(), e.reason(), "application/json", &[], &body);
+                let mut resp =
+                    write_response(e.status(), e.reason(), "application/json", &[], &body);
+                mark_close(&mut resp);
                 let _ = stream.write_all(&resp);
                 return; // framing is unrecoverable; close.
             }
@@ -514,73 +544,113 @@ fn handle_metrics(shared: &Shared) -> Vec<u8> {
     write_response(200, "OK", "text/plain; version=0.0.4", &[], text.as_bytes())
 }
 
-/// The single-writer loop: owns the [`DurableStore`], applies each job's
-/// ops through the journal, publishes the new epoch, and replies. Exits
-/// (returning the store) when every sender is gone.
+/// The single-writer loop: owns the [`DurableStore`] and group-commits.
+/// After each blocking `recv` it drains every queued job (`try_recv`),
+/// journals each job's script as one atomic `UpdateScript` record, fsyncs
+/// **once** for the whole drained group, publishes **one** epoch, and
+/// fans replies back per job — so N concurrent writers cost one fsync,
+/// not N, while each script stays individually atomic. Replies only go
+/// out after the group sync settles: ack implies journaled + fsynced (per
+/// policy) + published. Exits (returning the store) when every sender is
+/// gone.
 fn writer_loop(
     mut store: DurableStore,
     rx: Receiver<WriteJob>,
     shared: Arc<Shared>,
     checkpoint_every: usize,
     delay: Option<Duration>,
+    group_commit: bool,
 ) -> DurableStore {
     let reg = obs::global();
-    let mut applied_batches = 0usize;
-    while let Ok(job) = rx.recv() {
+    let mut since_checkpoint = 0usize;
+    while let Ok(first) = rx.recv() {
+        // The delay hook models a slow apply *before* the drain, so tests
+        // can pile jobs into the queue and observe them grouped.
         if let Some(d) = delay {
             std::thread::sleep(d);
         }
-        shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
-        let outcome = apply_ops(&mut store, &job.ops);
-        let epoch = store.publish();
-        let reply = match outcome {
-            Ok((added, removed)) => {
-                reg.add("server.update.applied", 1);
-                applied_batches += 1;
-                if checkpoint_every > 0 && applied_batches.is_multiple_of(checkpoint_every) {
-                    if store.checkpoint().is_err() {
-                        reg.add("server.checkpoint.errors", 1);
-                    } else {
-                        reg.add("server.checkpoint.count", 1);
-                    }
-                }
-                Ok(UpdateResponse {
-                    accepted: job.ops.len(),
-                    added,
-                    removed,
-                    epoch,
-                })
+        let mut jobs = vec![first];
+        if group_commit {
+            while let Ok(job) = rx.try_recv() {
+                jobs.push(job);
             }
-            Err(msg) => {
-                reg.add("server.update.apply_errors", 1);
-                Err(msg)
-            }
-        };
-        // The client may have timed out and dropped the receiver; the
-        // update is journaled and applied either way.
-        let _ = job.reply.try_send(reply);
-    }
-    store
-}
+        }
+        shared
+            .queue_depth
+            .fetch_sub(jobs.len() as u64, Ordering::SeqCst);
+        reg.add("server.update.groups", 1);
+        reg.record("server.update.group_size", jobs.len() as u64);
 
-/// Applies decoded ops in order through the durable journal. Returns
-/// (added, removed) triple counts.
-fn apply_ops(store: &mut DurableStore, ops: &[UpdateOp]) -> Result<(usize, usize), String> {
-    let mut added = 0usize;
-    let mut removed = 0usize;
-    for op in ops {
-        match op {
-            UpdateOp::Insert([s, p, o]) => {
-                let stats = store.insert_terms(s, p, o).map_err(|e| e.to_string())?;
-                added += stats.added;
+        // Journal + apply each script; under group commit the per-record
+        // fsync is deferred to the single group sync below. A job whose
+        // append fails is rejected whole — none of its ops applied — and
+        // does not poison its groupmates.
+        let mut outcomes: Vec<Result<webreason_core::ScriptOutcome, String>> = jobs
+            .iter()
+            .map(|job| {
+                if group_commit {
+                    store.apply_script_deferred(&job.ops)
+                } else {
+                    store.apply_script(&job.ops)
+                }
+                .map_err(|e| e.to_string())
+            })
+            .collect();
+        let mut any_ok = outcomes.iter().any(Result::is_ok);
+        if group_commit && any_ok {
+            if let Err(e) = store.sync_group() {
+                // The group's durability is unknown: nothing is
+                // acknowledged, nothing is published.
+                let msg = e.to_string();
+                for o in outcomes.iter_mut().filter(|o| o.is_ok()) {
+                    *o = Err(msg.clone());
+                }
+                any_ok = false;
             }
-            UpdateOp::Delete([s, p, o]) => {
-                let stats = store.delete_terms(s, p, o).map_err(|e| e.to_string())?;
-                removed += stats.removed;
+        }
+        // One published epoch per group, and only after a successful
+        // apply — on error readers stay on the previous epoch.
+        let epoch = if any_ok {
+            reg.add("server.update.publishes", 1);
+            store.publish()
+        } else {
+            0
+        };
+        for (job, outcome) in jobs.iter().zip(outcomes) {
+            let reply = match outcome {
+                Ok(o) => {
+                    reg.add("server.update.applied", 1);
+                    since_checkpoint += 1;
+                    Ok(UpdateResponse {
+                        accepted: job.ops.len(),
+                        added: o.added,
+                        removed: o.removed,
+                        epoch,
+                    })
+                }
+                Err(msg) => {
+                    reg.add("server.update.apply_errors", 1);
+                    Err(msg)
+                }
+            };
+            // The client may have timed out and dropped the receiver; the
+            // update is journaled and applied either way.
+            let _ = job.reply.try_send(reply);
+        }
+        // Consume the counter in `checkpoint_every`-sized chunks rather
+        // than resetting it: a drained group can overshoot the boundary,
+        // and the periodic cadence must stay exactly one checkpoint per N
+        // applied updates regardless of how the groups landed.
+        while checkpoint_every > 0 && since_checkpoint >= checkpoint_every {
+            since_checkpoint -= checkpoint_every;
+            if store.checkpoint().is_err() {
+                reg.add("server.checkpoint.errors", 1);
+            } else {
+                reg.add("server.checkpoint.count", 1);
             }
         }
     }
-    Ok((added, removed))
+    store
 }
 
 fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {

@@ -15,19 +15,16 @@
 //! The decoder is pure (no store access) and total over arbitrary input,
 //! which makes it a proptest target alongside the HTTP parser.
 
-use rdf_model::{Dictionary, Graph, Term};
+use rdf_model::{Dictionary, Graph};
 use serde::Serialize;
 use sparql::EvalStats;
 
 /// One decoded update operation, term-level (ids are assigned by the
-/// writer thread against the live dictionary, not here).
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum UpdateOp {
-    /// Insert the triple.
-    Insert([Term; 3]),
-    /// Delete the triple (a no-op if absent, mirroring the store).
-    Delete([Term; 3]),
-}
+/// writer thread against the live dictionary, not here). This is the
+/// core's script-op type: a decoded body feeds
+/// [`DurableStore::apply_script`](webreason_core::DurableStore::apply_script)
+/// verbatim, so the whole script commits as one atomic journal record.
+pub use webreason_core::ScriptOp as UpdateOp;
 
 /// Why an update body was rejected (maps to a 400 with the message in
 /// the JSON error payload).

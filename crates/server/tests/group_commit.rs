@@ -1,0 +1,176 @@
+//! Group-commit equivalence suite: N concurrent clients firing single-
+//! and multi-op update scripts at a `FsyncPolicy::Always` server, with a
+//! writer delay that forces jobs to pile up and drain as groups.
+//!
+//! Oracles:
+//! * the final base graph equals the sequential application of every
+//!   acknowledged op (scripts touch disjoint triples, so the union is the
+//!   order-independent reference), live and after recovery;
+//! * every 200 carries an epoch whose snapshot contains that script's net
+//!   effect (checked through a concurrent [`StoreReader`]: published
+//!   epochs are monotonic and the triples are never deleted later, so any
+//!   snapshot at `>= epoch` must contain them);
+//! * `durability.journal.fsyncs` and `server.update.publishes` grow by
+//!   the number of *drained groups*, not the number of ops — the fsync
+//!   amortization the writer claims, proven by counters.
+//!
+//! One `#[test]` only: the obs registry is process-global, and a second
+//! test in this binary would race the counter deltas.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::time::Duration;
+use webreason_core::{DurableStore, FsyncPolicy, MaintenanceAlgorithm, ReasoningConfig, Store};
+use webreason_server::{Server, ServerConfig};
+
+const CLIENTS: usize = 8;
+const SCRIPTS_PER_CLIENT: usize = 6;
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("webreason-group-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout sets");
+    let raw = format!(
+        "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(raw.as_bytes()).expect("request writes");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("response reads");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    (status, text)
+}
+
+fn json_usize(text: &str, key: &str) -> u64 {
+    let marker = format!("\"{key}\":");
+    let at = text
+        .find(&marker)
+        .unwrap_or_else(|| panic!("{key} in {text}"));
+    text[at + marker.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .expect("numeric field")
+}
+
+#[test]
+fn concurrent_scripts_commit_in_groups_and_equal_sequential_apply() {
+    let dir = tmpdir("equivalence");
+    let store = DurableStore::create(
+        &dir,
+        ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting),
+        NonZeroUsize::MIN,
+        FsyncPolicy::Always,
+    )
+    .expect("store creates");
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: CLIENTS,
+        checkpoint_every: 0, // keep the fsync ledger to update groups only
+        writer_delay: Some(Duration::from_millis(25)),
+        ..Default::default()
+    };
+    let server = Server::start(store, config).expect("server boots");
+    let addr = server.local_addr();
+    let reader = server.reader();
+
+    let reg = obs::global();
+    let fsyncs0 = reg.counter_value("durability.journal.fsyncs");
+    let groups0 = reg.counter_value("server.update.groups");
+    let publishes0 = reg.counter_value("server.update.publishes");
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let reader = reader.clone();
+            std::thread::spawn(move || {
+                for i in 0..SCRIPTS_PER_CLIENT {
+                    // Even scripts: one insert. Odd scripts: multi-op with
+                    // an insert-then-delete pair that must net to absent.
+                    let body = if i % 2 == 0 {
+                        format!("insert <http://ex/c{c}i{i}> <http://ex/p> <http://ex/o> .\n")
+                    } else {
+                        format!(
+                            "insert <http://ex/c{c}i{i}> <http://ex/p> <http://ex/o> .\n\
+                             insert <http://ex/c{c}i{i}-ghost> <http://ex/p> <http://ex/o> .\n\
+                             delete <http://ex/c{c}i{i}-ghost> <http://ex/p> <http://ex/o> .\n"
+                        )
+                    };
+                    let (status, text) = post(addr, "/update", &body);
+                    assert_eq!(status, 200, "{text}");
+                    let acked_epoch = json_usize(&text, "epoch");
+                    // The 200's epoch must identify a snapshot containing
+                    // the script's effect: published epochs are monotonic
+                    // and nothing ever deletes this triple, so the current
+                    // snapshot (>= acked_epoch) must hold it.
+                    let snap = reader.snapshot();
+                    assert!(
+                        snap.epoch() >= acked_epoch,
+                        "published {} < acked {acked_epoch}",
+                        snap.epoch()
+                    );
+                    let q = format!(
+                        "PREFIX ex: <http://ex/> SELECT ?o WHERE {{ ex:c{c}i{i} ex:p ?o }}"
+                    );
+                    let (sols, _, epoch) = reader.answer_sparql(&q).expect("query answers");
+                    assert!(epoch >= acked_epoch);
+                    assert_eq!(sols.len(), 1, "acked effect visible at epoch {epoch}");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+
+    let total_scripts = (CLIENTS * SCRIPTS_PER_CLIENT) as u64;
+    let fsyncs = reg.counter_value("durability.journal.fsyncs") - fsyncs0;
+    let groups = reg.counter_value("server.update.groups") - groups0;
+    let publishes = reg.counter_value("server.update.publishes") - publishes0;
+    // One fsync and one publish per drained group — not per script, and
+    // with 8 concurrent closed-loop writers the writer must actually have
+    // grouped (strictly fewer groups than scripts).
+    assert_eq!(fsyncs, groups, "exactly one fsync per drained group");
+    assert_eq!(publishes, groups, "exactly one publish per drained group");
+    assert!(
+        groups < total_scripts,
+        "no grouping happened: {groups} groups for {total_scripts} scripts"
+    );
+    assert_eq!(
+        reg.counter_value("server.update.applied"),
+        reg.counter_value("server.update.enqueued"),
+        "every enqueued script was applied"
+    );
+
+    // Final state equals the sequential application of all acked ops:
+    // every c{c}i{i} triple present, every ghost absent — live and
+    // recovered.
+    let store = server.shutdown();
+    assert_eq!(
+        store.stats().base_triples,
+        CLIENTS * SCRIPTS_PER_CLIENT,
+        "each acked script nets exactly one triple"
+    );
+    let ghosts = store
+        .store()
+        .export_ntriples()
+        .lines()
+        .filter(|l| l.contains("ghost"))
+        .count();
+    assert_eq!(ghosts, 0, "insert-then-delete netted to absent");
+    let rec = Store::recover(&dir).expect("recovers");
+    assert_eq!(rec.export_ntriples(), store.store().export_ntriples());
+}

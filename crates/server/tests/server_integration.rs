@@ -223,14 +223,24 @@ fn full_update_queue_backpressures_with_429() {
 }
 
 #[test]
-fn graceful_shutdown_drains_in_flight_and_503s_stragglers() {
+fn graceful_shutdown_serves_parsed_requests_and_503s_partial_ones() {
     let mut config = ephemeral();
-    config.threads = 1; // one worker: a queued connection stays queued
+    config.threads = 2;
     config.writer_delay = Some(Duration::from_millis(400));
     let server = boot("shutdown", config);
     let addr = server.local_addr();
 
-    // A's update is in flight: the lone worker blocks on the writer.
+    // P parks one worker on a forever-incomplete request.
+    let mut partial = TcpStream::connect(addr).expect("connects");
+    partial
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout sets");
+    partial
+        .write_all(b"POST /query HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-a-prefix")
+        .expect("partial writes");
+    std::thread::sleep(Duration::from_millis(50));
+
+    // A's update is in flight: the other worker blocks on the writer.
     let a = std::thread::spawn(move || {
         post(
             addr,
@@ -240,22 +250,108 @@ fn graceful_shutdown_drains_in_flight_and_503s_stragglers() {
     });
     std::thread::sleep(Duration::from_millis(100));
 
-    // B is accepted but waits for the busy worker.
+    // B's query is fully received but still waiting for a free worker.
     let b = std::thread::spawn(move || post(addr, "/query", COUNT_MAMMALS));
     std::thread::sleep(Duration::from_millis(100));
 
-    // Shutdown begins while A is mid-apply and B is queued.
+    // Shutdown begins while A is mid-apply, B is received-but-undispatched
+    // and P is incomplete.
     let shut = std::thread::spawn(move || server.shutdown());
 
     // In-flight work completes: A's journaled update is acknowledged.
     let (status, text) = a.join().expect("client A");
     assert_eq!(status, 200, "in-flight update drains: {text}");
-    // The straggler gets a clean 503, not a hang or a reset.
+    // B's request was fully received before the flag — the drain contract
+    // says *serve* it, not 503 it.
     let (status, text) = b.join().expect("client B");
-    assert_eq!(status, 503, "straggler: {text}");
+    assert_eq!(status, 200, "fully-received request is served: {text}");
+    assert!(text.contains("Connection: close"), "{text}");
+    // The half-request can never complete: clean 503 + explicit close.
+    let mut text = String::new();
+    partial.read_to_string(&mut text).expect("partial reads");
+    assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+    assert!(text.contains("Connection: close"), "{text}");
 
     let store = shut.join().expect("shutdown returns");
     assert_eq!(store.stats().base_triples, 1, "A's triple survived");
+}
+
+#[test]
+fn http10_closes_by_default_and_keep_alive_opts_in() {
+    let server = boot("http10", ephemeral());
+    let addr = server.local_addr();
+
+    // A 1.0 request without a Connection header must close after the
+    // response (the client would otherwise hang waiting for EOF) and say
+    // so explicitly.
+    let (status, text) = raw_round_trip(addr, b"GET /health HTTP/1.0\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("Connection: close"), "{text}");
+    assert_eq!(text.matches("HTTP/1.1 200").count(), 1, "{text}");
+
+    // Explicit keep-alive persists: two 1.0 requests on one connection,
+    // the second falling back to the close-by-default.
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout sets");
+    let keep = "GET /health HTTP/1.0\r\nHost: t\r\nConnection: keep-alive\r\n\r\n";
+    let last = "GET /health HTTP/1.0\r\nHost: t\r\n\r\n";
+    stream
+        .write_all(format!("{keep}{last}").as_bytes())
+        .expect("pipeline writes");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("responses read");
+    assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 2, "{text}");
+
+    drop(server.shutdown());
+}
+
+#[test]
+fn invalid_script_line_rejects_the_whole_batch_atomically() {
+    let server = boot("atomic", ephemeral());
+    let addr = server.local_addr();
+    let dir = std::env::temp_dir().join(format!("webreason-server-atomic-{}", std::process::id()));
+    let reader = server.reader();
+
+    // Pre-state: one acknowledged triple.
+    let (status, _) = post(
+        addr,
+        "/update",
+        "insert <http://ex/pre> <http://ex/p> <http://ex/o> .\n",
+    );
+    assert_eq!(status, 200);
+    let journal_before =
+        std::fs::read(dir.join(webreason_core::durable::JOURNAL_FILE)).expect("journal reads");
+    let epoch_before = reader.snapshot().epoch();
+
+    // A script whose third line cannot decode: 400, and the valid prefix
+    // must NOT apply — the batch is atomic.
+    let (status, text) = post(
+        addr,
+        "/update",
+        "insert <http://ex/part1> <http://ex/p> <http://ex/o> .\n\
+         insert <http://ex/part2> <http://ex/p> <http://ex/o> .\n\
+         frobnicate <http://ex/part3> <http://ex/p> <http://ex/o> .\n",
+    );
+    assert_eq!(status, 400, "{text}");
+    assert!(text.contains("line 3"), "{text}");
+
+    // No state change anywhere: the journal is bit-identical, no new
+    // epoch was ever published, and a reader sees none of the script.
+    let journal_after =
+        std::fs::read(dir.join(webreason_core::durable::JOURNAL_FILE)).expect("journal reads");
+    assert_eq!(journal_before, journal_after, "journal untouched");
+    assert_eq!(reader.snapshot().epoch(), epoch_before, "no publish");
+    let q = "PREFIX ex: <http://ex/> SELECT ?o WHERE { ex:part1 ex:p ?o }";
+    let (sols, _, _) = reader.answer_sparql(q).expect("query answers");
+    assert_eq!(sols.len(), 0, "rejected script is invisible to readers");
+
+    // Recovery of the journal equals the pre-request state.
+    let store = server.shutdown();
+    assert_eq!(store.stats().base_triples, 1, "only the pre-state triple");
+    let rec = webreason_core::Store::recover(&dir).expect("recovers");
+    assert_eq!(rec.export_ntriples(), store.store().export_ntriples());
 }
 
 #[test]

@@ -27,7 +27,7 @@ use std::num::NonZeroUsize;
 use std::path::{Path, PathBuf};
 use std::process::Command;
 use webreason_core::durable::JOURNAL_FILE;
-use webreason_core::{DurableStore, ReasoningConfig, Store};
+use webreason_core::{DurableStore, ReasoningConfig, ScriptOp, Store};
 
 const ZOO: &str = r#"
     @prefix ex: <http://ex/> .
@@ -51,9 +51,14 @@ const ANIMALS: &str = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Animal 
 /// | 6 | InsertBatch(Ana a Cat)      | 3             |
 /// | 7 | DeleteBatch(Tom a Cat)      | 2             |
 /// | 8 | InsertBatch(Dog ⊑ Mammal)   | 2             |
+/// | 9 | UpdateScript(Cleo; ±Tmp)    | 3             |
+///
+/// Record 9 is a three-op script (insert Cleo a Cat, insert Tmp a Cat,
+/// delete Tmp a Cat) journaled as a *single* atomic record: a crash at
+/// append hit 9 must lose all three ops together, never a prefix.
 ///
 /// `EXPECTED_MAMMALS[k]` is the answer count after the first `k` records.
-const EXPECTED_MAMMALS: [usize; 9] = [0, 0, 0, 1, 2, 2, 3, 2, 2];
+const EXPECTED_MAMMALS: [usize; 10] = [0, 0, 0, 1, 2, 2, 3, 2, 2, 3];
 
 fn rdf_type() -> Term {
     Term::iri(rdf_model::vocab::RDF_TYPE)
@@ -92,6 +97,14 @@ fn run_workload(dir: &Path) {
         &Term::iri("http://ex/Mammal"),
     )
     .expect("schema insert");
+    let a = rdf_type();
+    let cat = Term::iri("http://ex/Cat");
+    ds.apply_script(&[
+        ScriptOp::Insert([Term::iri("http://ex/Cleo"), a.clone(), cat.clone()]),
+        ScriptOp::Insert([Term::iri("http://ex/Tmp"), a.clone(), cat.clone()]),
+        ScriptOp::Delete([Term::iri("http://ex/Tmp"), a, cat]),
+    ])
+    .expect("update script");
     ds.sync().expect("sync");
     std::fs::write(dir.join("workload-done"), b"done").expect("marker");
 }
@@ -203,7 +216,7 @@ fn crash_and_recover(name: &str, failpoints: &str) -> (PathBuf, Store) {
 /// is written, so record `n` is exactly the first uncommitted operation.
 #[test]
 fn killed_at_each_journal_append_recovers_the_committed_prefix() {
-    for hit in 1..=8u32 {
+    for hit in 1..=9u32 {
         let (_dir, _rec) = crash_and_recover(
             &format!("append-{hit}"),
             &format!("store.journal.append=abort@{hit}"),
@@ -327,5 +340,77 @@ mod panic_isolation {
         assert_eq!(fallback.graph, reference.graph);
 
         webreason_failpoints::configure("");
+    }
+
+    /// The batch-atomicity contract under a mid-script journal failure:
+    /// a script whose single append dies leaves the journal bytes, the
+    /// published epoch, and the reader-visible answers bit-identical to
+    /// before the request, recovery equals the pre-script state, and the
+    /// store stays usable afterwards.
+    #[test]
+    fn failed_script_append_leaves_state_bit_identical() {
+        let _g = serial();
+        let dir = tmpdir("script-atomic");
+        let mut ds = DurableStore::create(
+            &dir,
+            ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed),
+            NonZeroUsize::MIN,
+            FsyncPolicy::Always,
+        )
+        .expect("store creates");
+        ds.load_turtle(ZOO).expect("zoo loads");
+
+        let journal_path = dir.join(JOURNAL_FILE);
+        let journal_before = std::fs::read(&journal_path).expect("journal reads");
+        let epoch_before = ds.publish();
+        let answers_before = ds.answer_sparql(MAMMALS).expect("answers").len();
+        let export_before = ds.store().export_ntriples();
+
+        let a = rdf_type();
+        let cat = Term::iri("http://ex/Cat");
+        webreason_failpoints::configure("store.journal.append=panic");
+        let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ds.apply_script(&[
+                ScriptOp::Insert([Term::iri("http://ex/Cleo"), a.clone(), cat.clone()]),
+                ScriptOp::Insert([Term::iri("http://ex/Tmp"), a.clone(), cat.clone()]),
+            ])
+        }));
+        webreason_failpoints::configure("");
+        assert!(attempt.is_err(), "armed append must fail the script");
+
+        // Nothing happened: same journal bytes, same epoch, same answers.
+        assert_eq!(
+            std::fs::read(&journal_path).expect("journal reads"),
+            journal_before,
+            "failed script must not touch the journal"
+        );
+        assert_eq!(ds.publish(), epoch_before, "no new epoch published");
+        assert_eq!(
+            ds.answer_sparql(MAMMALS).expect("answers").len(),
+            answers_before,
+            "failed script leaked into answers"
+        );
+        assert_eq!(ds.store().export_ntriples(), export_before);
+        let rec = Store::recover(&dir).expect("recovers");
+        assert_eq!(rec.export_ntriples(), export_before, "recovery drifted");
+
+        // The store is not poisoned: the same script re-applies cleanly
+        // (its record carries the orphaned dictionary delta from the
+        // failed attempt), and replay agrees with the live store.
+        let outcome = ds
+            .apply_script(&[
+                ScriptOp::Insert([Term::iri("http://ex/Cleo"), a.clone(), cat.clone()]),
+                ScriptOp::Insert([Term::iri("http://ex/Tmp"), a.clone(), cat.clone()]),
+                ScriptOp::Delete([Term::iri("http://ex/Tmp"), a, cat]),
+            ])
+            .expect("retry succeeds");
+        assert!(outcome.added > 0);
+        assert_eq!(
+            ds.answer_sparql(MAMMALS).expect("answers").len(),
+            answers_before + 1,
+            "Cleo lands, Tmp nets to absent"
+        );
+        let rec = Store::recover(&dir).expect("recovers after retry");
+        assert_eq!(rec.export_ntriples(), ds.store().export_ntriples());
     }
 }
