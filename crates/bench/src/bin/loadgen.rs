@@ -43,7 +43,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use webreason_core::{DurableStore, ReasoningConfig};
-use webreason_server::{Server, ServerConfig};
+use webreason_server::{Backend, Server, ServerConfig};
 
 const QUERY: &str = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }";
 
@@ -65,6 +65,11 @@ struct Args {
     queue: usize,
     seed: u64,
     strict: bool,
+    backend: Backend,
+    /// Run the connection-scaling sweep (threaded@8 vs reactor@8 vs
+    /// reactor@`--clients`) into `table_cserve.json` instead of the
+    /// group-commit comparison.
+    conn_sweep: bool,
 }
 
 fn usage() -> ! {
@@ -91,12 +96,18 @@ fn parse_args() -> Args {
         queue: 256,
         seed: 42,
         strict: false,
+        backend: Backend::Reactor,
+        conn_sweep: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
         if flag == "--strict" {
             args.strict = true;
+            continue;
+        }
+        if flag == "--conn-sweep" {
+            args.conn_sweep = true;
             continue;
         }
         let Some(value) = it.next() else { usage() };
@@ -148,6 +159,17 @@ fn parse_args() -> Args {
                 _ => false,
             },
             "--threads" => value.parse().map(|v| args.threads = v).is_ok(),
+            "--backend" => match value.as_str() {
+                "reactor" => {
+                    args.backend = Backend::Reactor;
+                    true
+                }
+                "threaded" => {
+                    args.backend = Backend::Threaded;
+                    true
+                }
+                _ => false,
+            },
             "--queue" => value
                 .parse()
                 .ok()
@@ -247,6 +269,7 @@ fn percentile(sorted: &[u64], q: f64) -> u64 {
 #[derive(Serialize)]
 struct ModeRow {
     mode: &'static str,
+    backend: &'static str,
     group_commit: bool,
     clients: usize,
     write_ratio: f64,
@@ -272,6 +295,10 @@ struct ModeRow {
     groups: u64,
     publishes: u64,
     mean_group_size: f64,
+    /// `webreason_server_open_connections` scraped mid-run (sweep legs).
+    open_connections_mid: u64,
+    reactor_accepted: u64,
+    reactor_reaped: u64,
     fsyncs_per_write: f64,
 }
 
@@ -293,12 +320,77 @@ fn group_size_totals() -> (u64, u64) {
         .map_or((0, 0), |h| (h.count, h.sum))
 }
 
+/// Connects with retries: a 1000-client storm can transiently overflow
+/// the accept backlog.
+fn connect_with_retry(addr: SocketAddr) -> TcpStream {
+    let mut last = None;
+    for _ in 0..100 {
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                let _ = s.set_read_timeout(Some(Duration::from_secs(30)));
+                let _ = s.set_nodelay(true);
+                return s;
+            }
+            Err(e) => {
+                last = Some(e);
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    panic!("connect failed after retries: {last:?}");
+}
+
+/// Scrapes `/metrics` and returns the open-connections gauge.
+fn scrape_open_connections(addr: SocketAddr) -> u64 {
+    let mut stream = connect_with_retry(addr);
+    let raw = b"GET /metrics HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n";
+    let mut buf = Vec::new();
+    if stream.write_all(raw).is_err() || stream.read_to_end(&mut buf).is_err() {
+        return 0;
+    }
+    let text = String::from_utf8_lossy(&buf);
+    text.lines()
+        .find_map(|l| l.strip_prefix("webreason_server_open_connections "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(0)
+}
+
 fn run_mode(args: &Args, group_commit: bool) -> ModeRow {
-    let mode: &'static str = if group_commit {
-        "group-commit"
-    } else {
-        "per-op-fsync"
-    };
+    run_leg(
+        args,
+        LegSpec {
+            label: if group_commit {
+                "group-commit"
+            } else {
+                "per-op-fsync"
+            },
+            group_commit,
+            backend: args.backend,
+            clients: args.clients,
+            threads: if args.threads == 0 {
+                args.clients
+            } else {
+                args.threads
+            },
+            scrape_mid: false,
+        },
+    )
+}
+
+/// One sweep/mode leg: backend, client count and worker count pinned.
+#[derive(Clone, Copy)]
+struct LegSpec {
+    label: &'static str,
+    group_commit: bool,
+    backend: Backend,
+    clients: usize,
+    threads: usize,
+    scrape_mid: bool,
+}
+
+fn run_leg(args: &Args, spec: LegSpec) -> ModeRow {
+    let mode = spec.label;
+    let group_commit = spec.group_commit;
     // The baseline leg pins one op per request: one record, one fsync,
     // one publish per op — the pre-group-commit write path.
     let ops_per_update = if group_commit { args.ops_per_update } else { 1 };
@@ -314,19 +406,16 @@ fn run_mode(args: &Args, group_commit: bool) -> ModeRow {
              ex:Tom a ex:Cat .\n",
         )
         .expect("seed loads");
-    let threads = if args.threads == 0 {
-        args.clients
-    } else {
-        args.threads
-    };
     let server = Server::start(
         store,
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
-            threads,
+            threads: spec.threads,
             update_queue: args.queue,
             checkpoint_every: 0, // keep the fsync ledger to commits only
             group_commit,
+            backend: spec.backend,
+            max_conns: 4096.max(spec.clients + 64),
             ..Default::default()
         },
     )
@@ -338,17 +427,19 @@ fn run_mode(args: &Args, group_commit: bool) -> ModeRow {
     let groups0 = reg.counter_value("server.update.groups");
     let publishes0 = reg.counter_value("server.update.publishes");
     let (gs_count0, gs_sum0) = group_size_totals();
+    let accepted0 = reg.counter_value("server.reactor.accepted");
+    let reaped0 = reg.counter_value("server.reactor.reaped");
 
     let stop = Arc::new(AtomicBool::new(false));
     let deadline = Duration::from_secs_f64(args.duration_secs);
     let started = Instant::now();
-    let handles: Vec<_> = (0..args.clients)
+    let handles: Vec<_> = (0..spec.clients)
         .map(|c| {
             let stop = Arc::clone(&stop);
             let args = args.clone();
             std::thread::spawn(move || {
                 let mut rng = StdRng::seed_from_u64(args.seed.wrapping_add(c as u64));
-                let mut stream = TcpStream::connect(addr).expect("connects");
+                let mut stream = connect_with_retry(addr);
                 stream
                     .set_read_timeout(Some(Duration::from_secs(30)))
                     .expect("timeout sets");
@@ -399,7 +490,17 @@ fn run_mode(args: &Args, group_commit: bool) -> ModeRow {
             })
         })
         .collect();
-    std::thread::sleep(deadline);
+    // Mid-run gauge evidence: with every client connected and working,
+    // the server should report them all as open.
+    let open_connections_mid = if spec.scrape_mid {
+        std::thread::sleep(deadline / 2);
+        let open = scrape_open_connections(addr);
+        std::thread::sleep(deadline / 2);
+        open
+    } else {
+        std::thread::sleep(deadline);
+        0
+    };
     stop.store(true, Ordering::Relaxed);
     let mut total = ClientTally::default();
     for h in handles {
@@ -431,8 +532,12 @@ fn run_mode(args: &Args, group_commit: bool) -> ModeRow {
     let ops_applied = total.writes_ok * ops_per_update as u64;
     ModeRow {
         mode,
+        backend: match spec.backend {
+            Backend::Reactor => "reactor",
+            Backend::Threaded => "threaded",
+        },
         group_commit,
-        clients: args.clients,
+        clients: spec.clients,
         write_ratio: args.write_ratio,
         ops_per_update,
         fsync: match args.fsync {
@@ -458,6 +563,9 @@ fn run_mode(args: &Args, group_commit: bool) -> ModeRow {
         groups,
         publishes,
         mean_group_size,
+        open_connections_mid,
+        reactor_accepted: reg.counter_value("server.reactor.accepted") - accepted0,
+        reactor_reaped: reg.counter_value("server.reactor.reaped") - reaped0,
         fsyncs_per_write: if total.writes_ok > 0 {
             fsyncs as f64 / total.writes_ok as f64
         } else {
@@ -466,8 +574,125 @@ fn run_mode(args: &Args, group_commit: bool) -> ModeRow {
     }
 }
 
+#[derive(Serialize)]
+struct SweepReport {
+    seed: u64,
+    rows: Vec<ModeRow>,
+    /// `reads_per_s(reactor@8) / reads_per_s(threaded@8)` — the reactor
+    /// must not regress low-concurrency read throughput.
+    read_throughput_ratio: Option<f64>,
+}
+
+/// The connection-scaling sweep: the threaded baseline and the reactor at
+/// matched low concurrency, then the reactor alone at `--clients` (the
+/// threaded backend would need one OS thread per connection there).
+fn run_conn_sweep(args: &Args) -> ! {
+    let big = args.clients.max(64);
+    let workers = if args.threads == 0 { 8 } else { args.threads };
+    println!(
+        "== loadgen conn sweep: {big} keep-alive clients on the big leg, write ratio {:.2}, \
+         {:.1}s per leg, seed {} ==",
+        args.write_ratio, args.duration_secs, args.seed
+    );
+    let legs = [
+        LegSpec {
+            label: "threaded-8",
+            group_commit: true,
+            backend: Backend::Threaded,
+            clients: 8,
+            threads: 8.max(workers),
+            scrape_mid: false,
+        },
+        LegSpec {
+            label: "reactor-8",
+            group_commit: true,
+            backend: Backend::Reactor,
+            clients: 8,
+            threads: workers,
+            scrape_mid: false,
+        },
+        LegSpec {
+            label: "reactor-high",
+            group_commit: true,
+            backend: Backend::Reactor,
+            clients: big,
+            threads: workers,
+            scrape_mid: true,
+        },
+    ];
+    let rows: Vec<ModeRow> = legs.iter().map(|&l| run_leg(args, l)).collect();
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_owned(),
+                r.backend.to_owned(),
+                r.clients.to_string(),
+                format!("{:.0}", r.reads_per_s),
+                format!("{:.0}", r.writes_per_s),
+                r.read_p50_us.to_string(),
+                r.read_p95_us.to_string(),
+                r.read_p99_us.to_string(),
+                r.open_connections_mid.to_string(),
+                r.reactor_accepted.to_string(),
+                r.reactor_reaped.to_string(),
+                r.rejected_429.to_string(),
+                r.errors.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "leg",
+                "backend",
+                "clients",
+                "reads/s",
+                "writes/s",
+                "r p50 (µs)",
+                "r p95 (µs)",
+                "r p99 (µs)",
+                "open@mid",
+                "accepted",
+                "reaped",
+                "429s",
+                "errors",
+            ],
+            &table
+        )
+    );
+
+    let read_throughput_ratio = match rows.as_slice() {
+        [threaded, reactor, ..] if threaded.reads_per_s > 0.0 => {
+            Some(reactor.reads_per_s / threaded.reads_per_s)
+        }
+        _ => None,
+    };
+    if let Some(r) = read_throughput_ratio {
+        println!("read throughput, reactor vs threaded at 8 clients: {r:.2}x");
+    }
+
+    let errors: u64 = rows.iter().map(|r| r.errors).sum();
+    let report = SweepReport {
+        seed: args.seed,
+        rows,
+        read_throughput_ratio,
+    };
+    let ok = emit_json("table_cserve", &report);
+    if args.strict && errors > 0 {
+        eprintln!("loadgen: --strict and {errors} non-200/429 responses");
+        std::process::exit(1);
+    }
+    std::process::exit(if ok { 0 } else { 1 });
+}
+
 fn main() {
     let args = parse_args();
+    if args.conn_sweep {
+        run_conn_sweep(&args);
+    }
     println!(
         "== loadgen: {} clients, write ratio {:.2}, {:.1}s per mode, fsync {:?}, seed {} ==",
         args.clients, args.write_ratio, args.duration_secs, args.fsync, args.seed

@@ -131,6 +131,13 @@ pub enum Command {
         group_commit: bool,
         /// Stop after this many seconds (`None` = run until killed).
         duration_secs: Option<u64>,
+        /// Connection-handling engine: `reactor` (default) or `threaded`.
+        backend: String,
+        /// Open-connection cap; excess accepts are refused with 503.
+        max_conns: usize,
+        /// Per-phase idle timeout in milliseconds before a stalled
+        /// connection is reaped.
+        idle_timeout_ms: u64,
     },
     /// `webreason checkpoint <journal-dir>` — snapshot a durable store.
     Checkpoint {
@@ -218,6 +225,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "queue",
         "group-commit",
         "duration-secs",
+        "backend",
+        "max-conns",
+        "idle-timeout",
     ];
     for (name, _) in &flags {
         if !known_flags.contains(&name.as_str()) {
@@ -353,6 +363,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         .map_err(|_| err("--duration-secs needs a number"))?,
                 ),
             };
+            let backend = match flag("backend") {
+                None => "reactor".to_owned(),
+                Some(v @ ("reactor" | "threaded")) => v.to_owned(),
+                Some(other) => {
+                    return Err(err(format!(
+                        "unknown backend {other:?}; use reactor or threaded"
+                    )))
+                }
+            };
+            let max_conns = match flag("max-conns") {
+                None => 4096,
+                Some(v) => v
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| err("--max-conns needs a positive number"))?,
+            };
+            let idle_timeout_ms = match flag("idle-timeout") {
+                None => 10_000,
+                Some(v) => v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| err("--idle-timeout needs milliseconds (>= 1)"))?,
+            };
             Ok(Command::Serve {
                 addr,
                 threads,
@@ -361,6 +396,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 queue,
                 group_commit,
                 duration_secs,
+                backend,
+                max_conns,
+                idle_timeout_ms,
             })
         }
         "checkpoint" => Ok(Command::Checkpoint {
@@ -554,12 +592,16 @@ mod tests {
                 queue: 64,
                 group_commit: true,
                 duration_secs: None,
+                backend: "reactor".into(),
+                max_conns: 4096,
+                idle_timeout_ms: 10_000,
             }
         );
         assert_eq!(
             parse_args(&argv(
                 "serve --journal /tmp/j --addr 127.0.0.1:0 --threads 2 --queue 8 \
-                 --fsync never --group-commit off --duration-secs 3"
+                 --fsync never --group-commit off --duration-secs 3 \
+                 --backend threaded --max-conns 128 --idle-timeout 2500"
             ))
             .unwrap(),
             Command::Serve {
@@ -570,6 +612,9 @@ mod tests {
                 queue: 8,
                 group_commit: false,
                 duration_secs: Some(3),
+                backend: "threaded".into(),
+                max_conns: 128,
+                idle_timeout_ms: 2500,
             }
         );
         for (line, needle) in [
@@ -584,6 +629,15 @@ mod tests {
             (
                 "serve --journal /tmp/j --duration-secs soon",
                 "needs a number",
+            ),
+            (
+                "serve --journal /tmp/j --backend fibers",
+                "use reactor or threaded",
+            ),
+            ("serve --journal /tmp/j --max-conns 0", "positive number"),
+            (
+                "serve --journal /tmp/j --idle-timeout never",
+                "milliseconds",
             ),
         ] {
             let e = parse_args(&argv(line)).unwrap_err();

@@ -101,6 +101,9 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
             queue,
             group_commit,
             duration_secs,
+            backend,
+            max_conns,
+            idle_timeout_ms,
         } => serve_cmd(
             addr,
             *threads,
@@ -109,6 +112,9 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
             *queue,
             *group_commit,
             *duration_secs,
+            backend,
+            *max_conns,
+            *idle_timeout_ms,
         ),
         Command::Metrics { format, journal } => metrics_cmd(format, journal.as_deref()),
         Command::Checkpoint { dir } => checkpoint_cmd(dir),
@@ -138,6 +144,7 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
 /// With `--duration-secs N` the server shuts down gracefully after N
 /// seconds, checkpoints, and reports the final state; without it the
 /// process serves until killed (the journal keeps applied updates safe).
+#[allow(clippy::too_many_arguments)] // mirrors the flag surface
 fn serve_cmd(
     addr: &str,
     threads: usize,
@@ -146,6 +153,9 @@ fn serve_cmd(
     queue: usize,
     group_commit: bool,
     duration_secs: Option<u64>,
+    backend: &str,
+    max_conns: usize,
+    idle_timeout_ms: u64,
 ) -> Result<String, CliError> {
     use std::io::Write as _;
 
@@ -166,12 +176,21 @@ fn serve_cmd(
         threads,
         update_queue: queue,
         group_commit,
+        backend: match backend {
+            "threaded" => webreason_server::Backend::Threaded,
+            _ => webreason_server::Backend::Reactor,
+        },
+        max_conns,
+        idle_timeout: std::time::Duration::from_millis(idle_timeout_ms),
         ..Default::default()
     };
     let server =
         webreason_server::Server::start(store, config).map_err(|e| err(format!("{addr}: {e}")))?;
     let local = server.local_addr();
-    println!("webreason serve: listening on http://{local} (journal {journal}, {threads} workers)");
+    println!(
+        "webreason serve: listening on http://{local} (journal {journal}, {threads} workers, \
+         {backend} backend, {max_conns} conns max)"
+    );
     let _ = std::io::stdout().flush();
 
     let Some(secs) = duration_secs else {

@@ -14,6 +14,7 @@
 //! webreason metrics [--format json|prometheus] [--journal DIR]
 //! webreason serve --journal DIR [--addr A] [--threads N] [--queue N]
 //!                 [--fsync always|never] [--group-commit on|off] [--duration-secs S]
+//!                 [--backend reactor|threaded] [--max-conns N] [--idle-timeout MS]
 //! webreason checkpoint <journal-dir>
 //! webreason recover <journal-dir>
 //! ```
@@ -83,6 +84,12 @@ OPTIONS:
                              group (off = per-script fsync)     [default: on]
     --duration-secs <S>      serve: shut down gracefully after S seconds
                              (omit to serve until killed)
+    --backend <b>            serve: reactor (event loop; default) or threaded
+                             (blocking accept + worker pool)
+    --max-conns <N>          serve: open-connection cap; excess accepts are
+                             refused with 503            [default: 4096]
+    --idle-timeout <MS>      serve: reap connections idle for MS milliseconds
+                             in any read/write phase     [default: 10000]
 
 Data files ending in .ttl parse as Turtle; anything else as N-Triples.
 ";

@@ -261,6 +261,13 @@ fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
 }
 
+/// Whether the buffer already holds a complete head (`\r\n\r\n` seen).
+/// Used by the connection state machine to distinguish "still reading
+/// headers" from "head done, collecting the body" without re-parsing.
+pub fn head_complete(buf: &[u8]) -> bool {
+    find_head_end(buf).is_some()
+}
+
 /// Iterates CRLF-separated lines of the head as UTF-8 (headers must be
 /// ASCII-clean; raw control bytes are a [`HttpError::BadHeader`]).
 fn split_crlf_lines(head: &[u8]) -> impl Iterator<Item = Result<&str, HttpError>> {
@@ -340,6 +347,84 @@ fn parse_content_length(value: &str) -> Result<usize, HttpError> {
     value.parse().map_err(|_| HttpError::BadContentLength)
 }
 
+/// Hard cap on one chunk-size line (hex size + extensions). Applied to
+/// terminated lines *and* — via [`chunk_line_doomed`] — to unterminated
+/// prefixes, so the two checks agree and fragmented parsing stays
+/// byte-for-byte equivalent to whole-buffer parsing.
+const MAX_CHUNK_LINE: usize = 256;
+
+/// Trims ASCII space/tab from both ends of a chunk-size token. The
+/// acceptor deliberately trims only these two bytes (not full Unicode
+/// whitespace) so [`chunk_line_doomed`] can reason about prefixes without
+/// worrying about multi-byte whitespace arriving split across reads.
+fn trim_chunk_token(s: &[u8]) -> &[u8] {
+    let start = s
+        .iter()
+        .position(|&b| b != b' ' && b != b'\t')
+        .unwrap_or(s.len());
+    let end = s
+        .iter()
+        .rposition(|&b| b != b' ' && b != b'\t')
+        .map_or(start, |i| i + 1);
+    &s[start..end]
+}
+
+/// Whether a trimmed chunk-size token is acceptable: nonempty, all hex,
+/// and at most 16 digits (a `usize` can't hold more anyway; rejecting
+/// leading-zero padding beyond that keeps the doomed-prefix check exact).
+fn chunk_token_ok(tok: &[u8]) -> bool {
+    !tok.is_empty() && tok.len() <= 16 && tok.iter().all(u8::is_ascii_hexdigit)
+}
+
+/// Whether an *unterminated* chunk-size line can never become valid, no
+/// matter what bytes arrive next. This must be **prefix-stable** with
+/// respect to the terminated-line acceptor above: it may only say
+/// "doomed" when every possible continuation would be rejected —
+/// otherwise a fragmented read could 400 a request the whole-buffer
+/// parse accepts, breaking the event-loop equivalence property
+/// (`fuzz_http.rs` locks this down).
+fn chunk_line_doomed(line: &[u8]) -> bool {
+    if line.len() > MAX_CHUNK_LINE {
+        return true; // any termination yields a line over the cap
+    }
+    // A trailing '\r' may be the first half of the CRLF terminator.
+    let line = match line.split_last() {
+        Some((&b'\r', rest)) => rest,
+        _ => line,
+    };
+    if let Some(semi) = line.iter().position(|&b| b == b';') {
+        // A ';' freezes the size token: judge it exactly.
+        return !chunk_token_ok(trim_chunk_token(&line[..semi]));
+    }
+    // No ';' yet — the token may still grow. Doom only what no suffix
+    // can repair: a stray byte before/inside/after the hex run, or a
+    // run already too long (trailing whitespace could still be followed
+    // by ';', so it alone dooms nothing).
+    let mut hex_digits = 0usize;
+    #[derive(PartialEq)]
+    enum Scan {
+        Lead,
+        Hex,
+        Trail,
+    }
+    let mut state = Scan::Lead;
+    for &b in line {
+        state = match (state, b) {
+            (Scan::Lead, b' ' | b'\t') => Scan::Lead,
+            (Scan::Lead | Scan::Hex, d) if d.is_ascii_hexdigit() => {
+                hex_digits += 1;
+                if hex_digits > 16 {
+                    return true;
+                }
+                Scan::Hex
+            }
+            (Scan::Hex | Scan::Trail, b' ' | b'\t') => Scan::Trail,
+            _ => return true,
+        };
+    }
+    false
+}
+
 /// De-chunks a `Transfer-Encoding: chunked` body. Returns the body and the
 /// bytes consumed, `None` when more input is needed.
 fn parse_chunked(buf: &[u8], max_body: usize) -> Result<Option<(Vec<u8>, usize)>, HttpError> {
@@ -350,21 +435,28 @@ fn parse_chunked(buf: &[u8], max_body: usize) -> Result<Option<(Vec<u8>, usize)>
         let line_end = match buf[pos..].windows(2).position(|w| w == b"\r\n") {
             Some(i) => pos + i,
             None => {
-                // An unterminated size line longer than 18 bytes cannot be
-                // a valid hex size — fail instead of buffering forever.
-                return if buf.len() - pos > 18 {
+                // Unterminated: wait for more bytes unless no suffix can
+                // ever make this line valid.
+                return if chunk_line_doomed(&buf[pos..]) {
                     Err(HttpError::BadChunk)
                 } else {
                     Ok(None)
                 };
             }
         };
-        let size_line =
-            std::str::from_utf8(&buf[pos..line_end]).map_err(|_| HttpError::BadChunk)?;
-        let size_hex = size_line.split(';').next().unwrap_or("").trim();
-        if size_hex.is_empty() || !size_hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+        let line = &buf[pos..line_end];
+        if line.len() > MAX_CHUNK_LINE {
             return Err(HttpError::BadChunk);
         }
+        let size_part = match line.iter().position(|&b| b == b';') {
+            Some(i) => &line[..i],
+            None => line,
+        };
+        let size_hex = trim_chunk_token(size_part);
+        if !chunk_token_ok(size_hex) {
+            return Err(HttpError::BadChunk);
+        }
+        let size_hex = std::str::from_utf8(size_hex).map_err(|_| HttpError::BadChunk)?;
         let size = usize::from_str_radix(size_hex, 16).map_err(|_| HttpError::BadChunk)?;
         if body.len() + size > max_body {
             return Err(HttpError::BodyTooLarge);
@@ -525,6 +617,86 @@ mod tests {
             parse_request(many, &limits),
             ParseOutcome::Error(HttpError::HeadTooLarge)
         ));
+    }
+
+    #[test]
+    fn chunk_size_lines_over_the_cap_are_rejected_terminated_or_not() {
+        // Terminated long line: rejected outright.
+        let raw = format!(
+            "POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4;{}\r\nwiki\r\n0\r\n\r\n",
+            "e".repeat(MAX_CHUNK_LINE)
+        );
+        assert!(matches!(
+            parse(raw.as_bytes()),
+            ParseOutcome::Error(HttpError::BadChunk)
+        ));
+        // Unterminated prefix of the same line: also rejected (doomed),
+        // never buffered forever.
+        let tail = "\r\nwiki\r\n0\r\n\r\n".len();
+        let prefix = &raw.as_bytes()[..raw.len() - tail];
+        assert!(matches!(
+            parse(prefix),
+            ParseOutcome::Error(HttpError::BadChunk)
+        ));
+    }
+
+    #[test]
+    fn chunk_doom_check_is_prefix_stable() {
+        // For every chunked request the whole-buffer parser accepts, no
+        // strict prefix may error: fragmented reads must be able to reach
+        // the same final answer.
+        let corpus: &[&[u8]] = &[
+            b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r\nwiki\r\n0\r\n\r\n",
+            b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4;name=value\r\nwiki\r\n0\r\n\r\n",
+            b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n 4 ;x\r\nwiki\r\n0\r\n\r\n",
+            b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n0004\r\nwiki\r\n0\r\n\r\n",
+        ];
+        for raw in corpus {
+            assert!(
+                matches!(parse(raw), ParseOutcome::Complete(..)),
+                "corpus entry must be valid: {:?}",
+                String::from_utf8_lossy(raw)
+            );
+            for cut in 0..raw.len() {
+                assert!(
+                    !matches!(parse(&raw[..cut]), ParseOutcome::Error(_)),
+                    "prefix of a valid request errored at cut {cut}: {:?}",
+                    String::from_utf8_lossy(&raw[..cut])
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn doomed_chunk_prefixes_fail_early() {
+        // A non-hex size byte can never be repaired by later bytes.
+        let doomed = b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\nzz";
+        assert!(matches!(
+            parse(doomed),
+            ParseOutcome::Error(HttpError::BadChunk)
+        ));
+        // 17 hex digits overflow the token cap even unterminated.
+        let long = b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n12345678901234567";
+        assert!(matches!(
+            parse(long),
+            ParseOutcome::Error(HttpError::BadChunk)
+        ));
+        // An empty size frozen by ';' is doomed too.
+        let semi = b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n;ext";
+        assert!(matches!(
+            parse(semi),
+            ParseOutcome::Error(HttpError::BadChunk)
+        ));
+        // But a bare trailing '\r' (maybe half a CRLF) is not doomed…
+        let half = b"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n4\r";
+        assert_eq!(parse(half), ParseOutcome::Incomplete);
+    }
+
+    #[test]
+    fn head_complete_tracks_the_terminator() {
+        assert!(!head_complete(b"GET / HTTP/1.1\r\n"));
+        assert!(head_complete(b"GET / HTTP/1.1\r\n\r\n"));
+        assert!(head_complete(b"GET / HTTP/1.1\r\n\r\ntrailing"));
     }
 
     #[test]

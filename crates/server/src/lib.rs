@@ -29,8 +29,11 @@
 //! | `GET /metrics` | —               | Prometheus text (obs registry)     |
 //! | `GET /health`  | —               | `200 ok`                           |
 
+pub mod conn;
 pub mod http;
 pub mod proto;
+mod reactor;
+mod wheel;
 
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
@@ -45,12 +48,29 @@ use http::{mark_close, parse_request, write_response, Limits, ParseOutcome, Requ
 use proto::{decode_update_body, ErrorResponse, QueryResponse, UpdateOp, UpdateResponse};
 use webreason_core::{DurableStore, StoreReader};
 
+/// Connection-handling engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Readiness-driven event loop (epoll, `poll(2)` fallback): one
+    /// reactor thread owns every socket, `threads` CPU workers run only
+    /// request evaluation. Thousands of keep-alive connections cost
+    /// buffers, not threads.
+    #[default]
+    Reactor,
+    /// The PR 5 thread-per-connection pool: each connection pins a
+    /// blocking worker thread. Kept as the measured baseline for the
+    /// loadgen comparison (`--backend threaded`).
+    Threaded,
+}
+
 /// Tunables for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address, e.g. `127.0.0.1:0` for an ephemeral port.
     pub addr: String,
-    /// Worker threads serving connections (readers).
+    /// CPU worker threads. Under [`Backend::Threaded`] each also owns the
+    /// socket it serves; under [`Backend::Reactor`] they only evaluate
+    /// requests while the reactor owns all I/O.
     pub threads: usize,
     /// Bounded writer-queue depth; a full queue turns into 429s.
     pub update_queue: usize,
@@ -69,6 +89,18 @@ pub struct ServerConfig {
     /// to make queue backpressure (and grouping) deterministic in tests.
     /// `None` in production.
     pub writer_delay: Option<Duration>,
+    /// Connection-handling engine (reactor by default).
+    pub backend: Backend,
+    /// Reactor only: accepted-connection cap; connections beyond it are
+    /// refused with 503 instead of degrading everyone.
+    pub max_conns: usize,
+    /// Reactor only: per-phase idle deadline. A connection that stalls
+    /// while sending a request, draining a response, or sitting idle
+    /// between keep-alive requests is reaped after this long.
+    pub idle_timeout: Duration,
+    /// Test hook: skip epoll and use the `poll(2)` fallback (also
+    /// reachable via `WEBREASON_FORCE_POLL=1`).
+    pub force_poll: bool,
 }
 
 impl Default for ServerConfig {
@@ -82,6 +114,10 @@ impl Default for ServerConfig {
             checkpoint_every: 256,
             group_commit: true,
             writer_delay: None,
+            backend: Backend::Reactor,
+            max_conns: 4096,
+            idle_timeout: Duration::from_secs(10),
+            force_poll: false,
         }
     }
 }
@@ -92,7 +128,7 @@ struct WriteJob {
     reply: SyncSender<Result<UpdateResponse, String>>,
 }
 
-/// State shared by the accept thread and every worker.
+/// State shared by the accept/reactor thread and every worker.
 struct Shared {
     reader: StoreReader,
     /// Revocable handle to the writer channel: shutdown takes it so the
@@ -105,6 +141,23 @@ struct Shared {
     conns_cv: Condvar,
     queue_depth: AtomicU64,
     update_queue: usize,
+    /// Currently-open client connections (both backends), for the
+    /// `/metrics` gauge.
+    open_conns: AtomicU64,
+    max_conns: usize,
+}
+
+/// Per-backend thread handles.
+enum Engine {
+    Threaded {
+        accept_handle: Option<JoinHandle<()>>,
+        worker_handles: Vec<JoinHandle<()>>,
+    },
+    Reactor {
+        reactor_handle: Option<JoinHandle<()>>,
+        worker_handles: Vec<JoinHandle<()>>,
+        wakeup: Arc<reactor::WakeupWriter>,
+    },
 }
 
 /// A running server. Dropping it without calling [`Server::shutdown`]
@@ -113,15 +166,14 @@ struct Shared {
 pub struct Server {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    accept_handle: Option<JoinHandle<()>>,
-    worker_handles: Vec<JoinHandle<()>>,
+    engine: Engine,
     writer_handle: Option<JoinHandle<DurableStore>>,
     writer_tx: Option<SyncSender<WriteJob>>,
 }
 
 impl Server {
-    /// Binds, spawns the writer + worker pool + accept loop, and returns.
-    /// The store moves onto the writer thread; get it back via
+    /// Binds, spawns the writer + the configured connection engine, and
+    /// returns. The store moves onto the writer thread; get it back via
     /// [`Server::shutdown`].
     pub fn start(store: DurableStore, config: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
@@ -139,6 +191,8 @@ impl Server {
             conns_cv: Condvar::new(),
             queue_depth: AtomicU64::new(0),
             update_queue: config.update_queue.max(1),
+            open_conns: AtomicU64::new(0),
+            max_conns: config.max_conns.max(1),
         });
 
         let writer_handle = {
@@ -160,28 +214,72 @@ impl Server {
                 })?
         };
 
-        let mut worker_handles = Vec::with_capacity(config.threads.max(1));
-        for i in 0..config.threads.max(1) {
-            let shared = Arc::clone(&shared);
-            worker_handles.push(
-                std::thread::Builder::new()
-                    .name(format!("webreason-worker-{i}"))
-                    .spawn(move || worker_loop(shared))?,
-            );
-        }
-
-        let accept_handle = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("webreason-accept".to_owned())
-                .spawn(move || accept_loop(listener, shared))?
+        let engine = match config.backend {
+            Backend::Threaded => {
+                let mut worker_handles = Vec::with_capacity(config.threads.max(1));
+                for i in 0..config.threads.max(1) {
+                    let shared = Arc::clone(&shared);
+                    worker_handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("webreason-worker-{i}"))
+                            .spawn(move || worker_loop(shared))?,
+                    );
+                }
+                let accept_handle = {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name("webreason-accept".to_owned())
+                        .spawn(move || accept_loop(listener, shared))?
+                };
+                Engine::Threaded {
+                    accept_handle: Some(accept_handle),
+                    worker_handles,
+                }
+            }
+            Backend::Reactor => {
+                listener.set_nonblocking(true)?;
+                let (job_tx, job_rx) = mpsc::channel::<reactor::Job>();
+                let job_rx = Arc::new(Mutex::new(job_rx));
+                let completions = Arc::new(Mutex::new(Vec::new()));
+                let (wakeup_reader, wakeup) = reactor::wakeup_pair()?;
+                let mut worker_handles = Vec::with_capacity(config.threads.max(1));
+                for i in 0..config.threads.max(1) {
+                    let shared = Arc::clone(&shared);
+                    let job_rx = Arc::clone(&job_rx);
+                    let completions = Arc::clone(&completions);
+                    let wakeup = Arc::clone(&wakeup);
+                    worker_handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("webreason-cpu-{i}"))
+                            .spawn(move || cpu_worker_loop(shared, job_rx, completions, wakeup))?,
+                    );
+                }
+                let params = reactor::ReactorParams {
+                    listener,
+                    shared: Arc::clone(&shared),
+                    limits: config.limits,
+                    max_conns: config.max_conns.max(1),
+                    idle_timeout_ms: config.idle_timeout.as_millis().max(1) as u64,
+                    force_poll: config.force_poll,
+                    job_tx,
+                    completions,
+                    wakeup_reader,
+                };
+                let reactor_handle = std::thread::Builder::new()
+                    .name("webreason-reactor".to_owned())
+                    .spawn(move || reactor::reactor_loop(params))?;
+                Engine::Reactor {
+                    reactor_handle: Some(reactor_handle),
+                    worker_handles,
+                    wakeup,
+                }
+            }
         };
 
         Ok(Server {
             local_addr,
             shared,
-            accept_handle: Some(accept_handle),
-            worker_handles,
+            engine,
             writer_handle: Some(writer_handle),
             writer_tx: Some(writer_tx),
         })
@@ -202,15 +300,39 @@ impl Server {
     /// update queue, and return the [`DurableStore`].
     pub fn shutdown(mut self) -> DurableStore {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        // Wake the blocking accept() with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        if let Some(h) = self.accept_handle.take() {
-            let _ = h.join();
-        }
-        // Wake idle workers; they drain queued connections (503) and exit.
-        self.shared.conns_cv.notify_all();
-        for h in self.worker_handles.drain(..) {
-            let _ = h.join();
+        match &mut self.engine {
+            Engine::Threaded {
+                accept_handle,
+                worker_handles,
+            } => {
+                // Wake the blocking accept() with a throwaway connection.
+                let _ = TcpStream::connect(self.local_addr);
+                if let Some(h) = accept_handle.take() {
+                    let _ = h.join();
+                }
+                // Wake idle workers; they drain queued connections (503)
+                // and exit.
+                self.shared.conns_cv.notify_all();
+                for h in worker_handles.drain(..) {
+                    let _ = h.join();
+                }
+            }
+            Engine::Reactor {
+                reactor_handle,
+                worker_handles,
+                wakeup,
+            } => {
+                // Ring the pipe; the reactor sees the flag, answers the
+                // backlog, drains in-flight requests, and returns — which
+                // drops the job channel, so the CPU pool exits too.
+                wakeup.notify();
+                if let Some(h) = reactor_handle.take() {
+                    let _ = h.join();
+                }
+                for h in worker_handles.drain(..) {
+                    let _ = h.join();
+                }
+            }
         }
         // Close every sender (ours plus the revocable shared slot); the
         // writer applies what is queued, then exits.
@@ -227,10 +349,41 @@ impl Drop for Server {
         // threads after flagging them down; the journal already holds
         // every applied update.
         self.shared.shutting_down.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.local_addr);
-        self.shared.conns_cv.notify_all();
+        match &self.engine {
+            Engine::Threaded { .. } => {
+                let _ = TcpStream::connect(self.local_addr);
+                self.shared.conns_cv.notify_all();
+            }
+            Engine::Reactor { wakeup, .. } => wakeup.notify(),
+        }
         lock(&self.shared.writer_tx).take();
         drop(self.writer_tx.take());
+    }
+}
+
+/// CPU worker for the reactor backend: evaluates one request at a time
+/// and ships the serialized response back through the completion list +
+/// wakeup pipe. Blocking here (a long query, waiting on the writer's
+/// group commit) occupies one worker — never the reactor.
+fn cpu_worker_loop(
+    shared: Arc<Shared>,
+    job_rx: Arc<Mutex<Receiver<reactor::Job>>>,
+    completions: Arc<Mutex<Vec<reactor::Completion>>>,
+    wakeup: Arc<reactor::WakeupWriter>,
+) {
+    loop {
+        // Hold the lock only while dequeuing; evaluation runs unlocked.
+        let job = match lock(&job_rx).recv() {
+            Ok(job) => job,
+            Err(_) => return, // reactor gone: no more work will arrive
+        };
+        let resp = dispatch(&job.req, &shared);
+        lock(&completions).push(reactor::Completion {
+            token: job.token,
+            generation: job.generation,
+            resp,
+        });
+        wakeup.notify();
     }
 }
 
@@ -251,6 +404,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
                     return;
                 }
                 reg.add("server.http.connections", 1);
+                shared.open_conns.fetch_add(1, Ordering::SeqCst);
                 let mut q = lock(&shared.conns);
                 q.push_back(stream);
                 drop(q);
@@ -290,7 +444,10 @@ fn worker_loop(shared: Arc<Shared>) {
             }
         };
         match stream {
-            Some(s) => handle_connection(s, &shared),
+            Some(s) => {
+                handle_connection(s, &shared);
+                shared.open_conns.fetch_sub(1, Ordering::SeqCst);
+            }
             None => return,
         }
     }
@@ -537,9 +694,15 @@ fn handle_metrics(shared: &Shared) -> Vec<u8> {
         "# TYPE webreason_server_update_queue_current gauge\n\
          webreason_server_update_queue_current {}\n\
          # TYPE webreason_server_update_queue_capacity gauge\n\
-         webreason_server_update_queue_capacity {}\n",
+         webreason_server_update_queue_capacity {}\n\
+         # TYPE webreason_server_open_connections gauge\n\
+         webreason_server_open_connections {}\n\
+         # TYPE webreason_server_max_connections gauge\n\
+         webreason_server_max_connections {}\n",
         shared.queue_depth.load(Ordering::SeqCst),
         shared.update_queue,
+        shared.open_conns.load(Ordering::SeqCst),
+        shared.max_conns,
     ));
     write_response(200, "OK", "text/plain; version=0.0.4", &[], text.as_bytes())
 }

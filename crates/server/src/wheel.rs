@@ -1,0 +1,166 @@
+//! A hashed timer wheel for connection idle deadlines.
+//!
+//! The reactor needs "reap anything whose phase deadline passed" without
+//! scanning every connection per tick and without a heap reorder per
+//! deadline change. The wheel hashes each deadline into one of `slots`
+//! buckets by tick number; advancing the cursor drains only the buckets
+//! the clock crossed. Entries are **lazy**: the wheel never deletes —
+//! connections re-arm by inserting a new entry and the reactor drops
+//! stale pops by re-checking `(generation, current deadline)` against the
+//! live connection. An entry that pops early (its deadline is still in
+//! the future because the bucket wrapped, or the connection re-armed
+//! later) is simply reinserted / re-checked, so correctness never depends
+//! on wheel bookkeeping — only liveness does.
+
+/// One armed deadline: an opaque `(token, generation)` owner plus the
+/// absolute millisecond it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Timeout {
+    pub token: usize,
+    pub generation: u64,
+    pub deadline_ms: u64,
+}
+
+/// Fixed-fanout hashed wheel over millisecond ticks.
+pub struct TimerWheel {
+    slots: Vec<Vec<Timeout>>,
+    tick_ms: u64,
+    /// Last tick the cursor fully processed.
+    cur_tick: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    /// `tick_ms` is the reap granularity (deadlines fire up to one tick
+    /// late); `slots` the fanout (span = `tick_ms * slots` before an
+    /// entry wraps and pops early for a re-check).
+    pub fn new(tick_ms: u64, slots: usize, now_ms: u64) -> TimerWheel {
+        let tick_ms = tick_ms.max(1);
+        TimerWheel {
+            slots: (0..slots.max(2)).map(|_| Vec::new()).collect(),
+            tick_ms,
+            cur_tick: now_ms / tick_ms,
+            len: 0,
+        }
+    }
+
+    /// Number of armed (possibly stale) entries.
+    #[allow(dead_code)] // exercised by the unit tests
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are armed.
+    #[allow(dead_code)] // exercised by the unit tests
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Arms a deadline. A deadline at or before the cursor lands in the
+    /// next tick (it fires on the next `advance`, never a full wrap away).
+    pub fn insert(&mut self, token: usize, generation: u64, deadline_ms: u64) {
+        let tick = (deadline_ms / self.tick_ms).max(self.cur_tick + 1);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Timeout {
+            token,
+            generation,
+            deadline_ms,
+        });
+        self.len += 1;
+    }
+
+    /// Moves the cursor to `now_ms`, returning every entry whose deadline
+    /// has passed. Entries found early (wrapped buckets) are reinserted
+    /// for a future pass. The caller must treat returned entries as
+    /// *candidates* — re-check them against the live connection state.
+    pub fn advance(&mut self, now_ms: u64) -> Vec<Timeout> {
+        let target = now_ms / self.tick_ms;
+        let mut fired = Vec::new();
+        if target <= self.cur_tick || self.len == 0 {
+            self.cur_tick = self.cur_tick.max(target);
+            return fired;
+        }
+        // Visiting more buckets than the fanout revisits them; cap there.
+        let steps = (target - self.cur_tick).min(self.slots.len() as u64);
+        let mut requeue = Vec::new();
+        for i in 1..=steps {
+            let tick = self.cur_tick + i;
+            let slot = (tick % self.slots.len() as u64) as usize;
+            for t in self.slots[slot].drain(..) {
+                self.len -= 1;
+                if t.deadline_ms <= now_ms {
+                    fired.push(t);
+                } else {
+                    requeue.push(t); // wrapped: not due yet
+                }
+            }
+        }
+        self.cur_tick = target;
+        for t in requeue {
+            self.insert(t.token, t.generation, t.deadline_ms);
+        }
+        fired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_after_the_deadline_not_before() {
+        let mut w = TimerWheel::new(10, 16, 0);
+        w.insert(1, 7, 95);
+        assert!(w.advance(90).is_empty());
+        let fired = w.advance(100);
+        assert_eq!(fired.len(), 1);
+        assert_eq!((fired[0].token, fired[0].generation), (1, 7));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn wrapped_entries_pop_late_not_lost() {
+        // Span is 10ms * 4 slots = 40ms; a 100ms deadline wraps twice.
+        let mut w = TimerWheel::new(10, 4, 0);
+        w.insert(3, 1, 100);
+        let mut t = 0;
+        let mut fired = Vec::new();
+        while fired.is_empty() && t < 300 {
+            t += 10;
+            fired = w.advance(t);
+        }
+        assert_eq!(fired.len(), 1);
+        assert!(t >= 100, "fired at {t}, before the 100ms deadline");
+    }
+
+    #[test]
+    fn past_deadlines_fire_on_the_next_advance() {
+        let mut w = TimerWheel::new(10, 8, 1000);
+        w.insert(5, 2, 500); // already past
+        let fired = w.advance(1011);
+        assert_eq!(fired.len(), 1);
+    }
+
+    #[test]
+    fn big_jumps_visit_every_slot_once() {
+        let mut w = TimerWheel::new(10, 8, 0);
+        for token in 0..32 {
+            w.insert(token, 0, 10 + token as u64);
+        }
+        let fired = w.advance(10_000);
+        assert_eq!(fired.len(), 32);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn duplicate_arms_both_pop() {
+        // Re-arming inserts a second entry; the reactor drops the stale
+        // one by re-checking the live deadline. The wheel just delivers.
+        let mut w = TimerWheel::new(10, 16, 0);
+        w.insert(1, 1, 30);
+        w.insert(1, 1, 60);
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.advance(40).len(), 1);
+        assert_eq!(w.advance(70).len(), 1);
+    }
+}

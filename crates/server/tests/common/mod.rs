@@ -1,0 +1,109 @@
+//! Shared test plumbing: a scripted, deterministic [`IoSource`] so the
+//! per-connection state machine can be driven with exact byte/event
+//! sequences — no sockets, no threads, no timing.
+
+#![allow(dead_code)] // each test binary uses a subset
+
+use std::collections::VecDeque;
+use std::io::{self, ErrorKind};
+
+use webreason_server::conn::IoSource;
+
+/// One scripted readability outcome.
+pub enum ReadStep {
+    /// The "socket" delivers exactly these bytes (never empty).
+    Data(Vec<u8>),
+    /// The "socket" has nothing right now (`WouldBlock`).
+    Block,
+    /// Peer half-closed its write side; reads return 0 from here on.
+    Eof,
+}
+
+/// A deterministic I/O source: reads replay a script, writes accept a
+/// capped number of bytes per call and record everything accepted.
+pub struct ScriptedIo {
+    reads: VecDeque<ReadStep>,
+    /// Per-call write caps, consumed front-to-back.
+    write_caps: VecDeque<usize>,
+    /// Cap applied once `write_caps` is exhausted: `None` = unlimited,
+    /// `Some(0)` = `WouldBlock`.
+    pub default_write: Option<usize>,
+    /// Everything the connection managed to write, in order.
+    pub written: Vec<u8>,
+    eof: bool,
+}
+
+impl ScriptedIo {
+    pub fn new() -> ScriptedIo {
+        ScriptedIo {
+            reads: VecDeque::new(),
+            write_caps: VecDeque::new(),
+            default_write: None,
+            written: Vec::new(),
+            eof: false,
+        }
+    }
+
+    /// Queues readable bytes (ignored if empty — a zero-byte read would
+    /// masquerade as EOF).
+    pub fn push_data(&mut self, bytes: &[u8]) {
+        if !bytes.is_empty() {
+            self.reads.push_back(ReadStep::Data(bytes.to_vec()));
+        }
+    }
+
+    /// Queues one `WouldBlock`.
+    pub fn push_block(&mut self) {
+        self.reads.push_back(ReadStep::Block);
+    }
+
+    /// Queues the peer's half-close (sticky: all later reads return 0).
+    pub fn push_eof(&mut self) {
+        self.reads.push_back(ReadStep::Eof);
+    }
+
+    /// Caps the next write call at `n` bytes (0 = `WouldBlock`).
+    pub fn cap_next_write(&mut self, n: usize) {
+        self.write_caps.push_back(n);
+    }
+}
+
+impl IoSource for ScriptedIo {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self.reads.pop_front() {
+            Some(ReadStep::Data(mut d)) => {
+                if d.len() > buf.len() {
+                    let rest = d.split_off(buf.len());
+                    self.reads.push_front(ReadStep::Data(rest));
+                }
+                buf[..d.len()].copy_from_slice(&d);
+                Ok(d.len())
+            }
+            Some(ReadStep::Block) => Err(ErrorKind::WouldBlock.into()),
+            Some(ReadStep::Eof) => {
+                self.eof = true;
+                Ok(0)
+            }
+            None => {
+                if self.eof {
+                    Ok(0)
+                } else {
+                    Err(ErrorKind::WouldBlock.into())
+                }
+            }
+        }
+    }
+
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let cap = match self.write_caps.pop_front() {
+            Some(c) => c,
+            None => self.default_write.unwrap_or(buf.len()),
+        };
+        if cap == 0 {
+            return Err(ErrorKind::WouldBlock.into());
+        }
+        let n = cap.min(buf.len());
+        self.written.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+}

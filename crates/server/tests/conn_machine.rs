@@ -1,0 +1,391 @@
+//! Deterministic harness for the per-connection state machine: every
+//! lifecycle the reactor relies on, driven with scripted readable /
+//! writable / EOF sequences and an explicit clock — no sockets, no
+//! threads, no sleeps. This is where the protocol corner cases live;
+//! `server_integration.rs` only has to prove the reactor wires the same
+//! machine to real sockets.
+
+mod common;
+
+use common::ScriptedIo;
+use webreason_server::conn::{ConnState, Connection};
+use webreason_server::http::{write_response, Limits, Request};
+
+const IDLE_MS: u64 = 100;
+
+fn new_conn(now: u64) -> Connection {
+    Connection::new(Limits::default(), IDLE_MS, now)
+}
+
+/// A pure stand-in for the dispatch layer: the response identifies the
+/// request it answered, so tests can assert ordering byte-for-byte.
+fn canned(req: &Request) -> Vec<u8> {
+    let body = format!(
+        "{} {} [{}]",
+        req.method,
+        req.target,
+        String::from_utf8_lossy(&req.body)
+    );
+    write_response(200, "OK", "text/plain", &[], body.as_bytes())
+}
+
+const GET_HEALTH: &[u8] = b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n";
+
+#[test]
+fn request_response_then_keep_alive_reuse() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    assert_eq!(conn.state(), ConnState::ReadingHead);
+    assert!(conn.wants_read() && !conn.wants_write());
+
+    io.push_data(GET_HEALTH);
+    let req = conn.on_readable(&mut io, 10).expect("one request");
+    assert_eq!(req.path(), "/health");
+    assert_eq!(conn.state(), ConnState::Dispatched);
+    assert!(!conn.wants_read(), "serial dispatch: reads pause");
+
+    let resp = canned(&req);
+    assert!(conn.on_response(resp.clone(), false, &mut io, 20).is_none());
+    assert_eq!(conn.state(), ConnState::KeepAlive);
+    assert_eq!(io.written, resp);
+    assert!(conn.wants_read(), "idle connection awaits the next request");
+
+    // Reuse: a second request on the same connection.
+    io.push_data(b"GET /metrics HTTP/1.1\r\nHost: t\r\n\r\n");
+    let req2 = conn.on_readable(&mut io, 150).expect("second request");
+    assert_eq!(req2.path(), "/metrics");
+    conn.on_response(canned(&req2), false, &mut io, 160);
+    assert_eq!(conn.served(), 2);
+    assert_eq!(conn.state(), ConnState::KeepAlive);
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+
+    // Two requests in one read: serial dispatch hands out the first,
+    // buffers the second until the first response is queued.
+    let mut doc = GET_HEALTH.to_vec();
+    doc.extend_from_slice(b"POST /query HTTP/1.1\r\nContent-Length: 2\r\n\r\nq2");
+    io.push_data(&doc);
+
+    let r1 = conn.on_readable(&mut io, 0).expect("first request");
+    assert_eq!(r1.path(), "/health");
+    let resp1 = canned(&r1);
+    let r2 = conn
+        .on_response(resp1.clone(), false, &mut io, 5)
+        .expect("pipelined follow-up dispatches after the response");
+    assert_eq!(r2.path(), "/query");
+    assert_eq!(r2.body, b"q2");
+    let resp2 = canned(&r2);
+    assert!(conn.on_response(resp2.clone(), false, &mut io, 9).is_none());
+
+    let mut expect = resp1;
+    expect.extend_from_slice(&resp2);
+    assert_eq!(io.written, expect, "responses in request order");
+    assert_eq!(conn.state(), ConnState::KeepAlive);
+}
+
+#[test]
+fn partial_writes_park_then_resume_on_writability() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    io.push_data(GET_HEALTH);
+    let req = conn.on_readable(&mut io, 0).expect("request");
+
+    // The "socket" accepts 5 bytes, then blocks.
+    let resp = canned(&req);
+    io.cap_next_write(5);
+    io.default_write = Some(0);
+    assert!(conn.on_response(resp.clone(), false, &mut io, 10).is_none());
+    assert_eq!(conn.state(), ConnState::Writing);
+    assert!(conn.wants_write(), "partial write registers write interest");
+    assert_eq!(io.written.len(), 5);
+
+    // Writability: 7 more bytes land, still short.
+    io.cap_next_write(7);
+    assert!(conn.on_writable(&mut io, 20).is_none());
+    assert_eq!(io.written.len(), 12);
+    assert!(conn.wants_write());
+
+    // Finally the socket drains fully.
+    io.default_write = None;
+    assert!(conn.on_writable(&mut io, 30).is_none());
+    assert_eq!(io.written, resp, "resumed writes reassemble the response");
+    assert_eq!(conn.state(), ConnState::KeepAlive);
+    assert!(!conn.wants_write());
+}
+
+#[test]
+fn half_close_after_a_full_request_still_gets_its_response() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    io.push_data(GET_HEALTH);
+    io.push_eof(); // client shuts down its write side right away
+
+    let req = conn.on_readable(&mut io, 0).expect("request parsed");
+    let resp = canned(&req);
+    conn.on_response(resp.clone(), false, &mut io, 5);
+    assert_eq!(io.written, resp, "half-close does not lose the response");
+
+    // The next readability event observes the EOF and closes.
+    assert!(conn.on_readable(&mut io, 10).is_none());
+    assert!(conn.is_closed());
+}
+
+#[test]
+fn eof_mid_request_closes_without_a_response() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    io.push_data(b"POST /query HTTP/1.1\r\nContent-Le");
+    io.push_eof();
+    assert!(conn.on_readable(&mut io, 0).is_none());
+    assert!(conn.is_closed(), "a truncated request can never complete");
+    assert!(io.written.is_empty());
+}
+
+#[test]
+fn head_limit_breached_mid_read_gets_431_and_close() {
+    let mut io = ScriptedIo::new();
+    let limits = Limits {
+        max_head_bytes: 64,
+        ..Limits::default()
+    };
+    let mut conn = Connection::new(limits, IDLE_MS, 0);
+
+    // The head arrives in fragments and blows the cap before CRLFCRLF.
+    io.push_data(b"GET /");
+    io.push_data("x".repeat(80).as_bytes());
+    assert!(conn.on_readable(&mut io, 0).is_none());
+    let text = String::from_utf8_lossy(&io.written);
+    assert!(text.starts_with("HTTP/1.1 431"), "{text}");
+    assert!(text.contains("Connection: close"), "{text}");
+    assert!(conn.is_closed());
+}
+
+#[test]
+fn body_limit_breached_mid_read_gets_413() {
+    let mut io = ScriptedIo::new();
+    let limits = Limits {
+        max_body_bytes: 16,
+        ..Limits::default()
+    };
+    let mut conn = Connection::new(limits, IDLE_MS, 0);
+    io.push_data(b"POST /query HTTP/1.1\r\nContent-Length: 64\r\n\r\n");
+    assert!(conn.on_readable(&mut io, 0).is_none());
+    let text = String::from_utf8_lossy(&io.written);
+    assert!(text.starts_with("HTTP/1.1 413"), "{text}");
+    assert!(conn.is_closed());
+}
+
+#[test]
+fn garbage_gets_400_and_close() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    io.push_data(b"NONSENSE\r\n\r\n");
+    assert!(conn.on_readable(&mut io, 0).is_none());
+    let text = String::from_utf8_lossy(&io.written);
+    assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    assert!(text.contains("Connection: close"), "{text}");
+    assert!(conn.is_closed());
+}
+
+#[test]
+fn pipelined_garbage_after_a_valid_request_flushes_both_responses() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    let mut doc = GET_HEALTH.to_vec();
+    doc.extend_from_slice(b"GARBAGE\r\n\r\n");
+    io.push_data(&doc);
+
+    let req = conn.on_readable(&mut io, 0).expect("valid first request");
+    let resp = canned(&req);
+    assert!(conn.on_response(resp.clone(), false, &mut io, 5).is_none());
+    let text = String::from_utf8_lossy(&io.written);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("HTTP/1.1 400"), "{text}");
+    assert!(conn.is_closed(), "framing errors are unrecoverable");
+}
+
+#[test]
+fn connection_close_header_closes_after_the_response() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    io.push_data(b"GET /health HTTP/1.1\r\nConnection: close\r\n\r\n");
+    let req = conn.on_readable(&mut io, 0).expect("request");
+    assert!(conn.on_response(canned(&req), false, &mut io, 5).is_none());
+    let text = String::from_utf8_lossy(&io.written);
+    assert!(text.contains("Connection: close"), "{text}");
+    assert!(conn.is_closed());
+}
+
+// --- phase deadlines (the slowloris defence) ---------------------------
+
+#[test]
+fn read_phase_deadline_does_not_slide_on_trickled_bytes() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    assert_eq!(conn.deadline_ms(), Some(IDLE_MS));
+
+    // A slowloris sender trickles one byte at a time. The deadline was
+    // armed when the phase began; progress must NOT refresh it.
+    for (i, t) in [(0usize, 30u64), (1, 60), (2, 90), (3, 99)] {
+        io.push_data(&b"GET "[i..i + 1]);
+        assert!(conn.on_readable(&mut io, t).is_none());
+        assert_eq!(
+            conn.deadline_ms(),
+            Some(IDLE_MS),
+            "deadline slid after byte {i} at t={t}"
+        );
+    }
+}
+
+#[test]
+fn keep_alive_phase_rearms_once_per_request() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    io.push_data(GET_HEALTH);
+    let req = conn.on_readable(&mut io, 10).expect("request");
+    conn.on_response(canned(&req), false, &mut io, 40);
+    // Idle phase armed at response completion.
+    assert_eq!(conn.deadline_ms(), Some(40 + IDLE_MS));
+
+    // First byte of the next request re-arms once…
+    io.push_data(b"GET");
+    conn.on_readable(&mut io, 120);
+    assert_eq!(conn.deadline_ms(), Some(120 + IDLE_MS));
+    // …and later bytes of the same request do not.
+    io.push_data(b" /health HT");
+    conn.on_readable(&mut io, 219);
+    assert_eq!(conn.deadline_ms(), Some(120 + IDLE_MS));
+}
+
+#[test]
+fn write_phase_deadline_is_fixed_while_a_reader_stalls() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    io.push_data(GET_HEALTH);
+    let req = conn.on_readable(&mut io, 0).expect("request");
+
+    io.cap_next_write(1);
+    io.default_write = Some(0);
+    conn.on_response(canned(&req), false, &mut io, 10);
+    assert_eq!(conn.deadline_ms(), Some(10 + IDLE_MS));
+
+    // A stalled reader accepts one byte per writability event: progress,
+    // but the phase deadline holds — this connection gets reaped.
+    for t in [40, 70, 100] {
+        io.cap_next_write(1);
+        assert!(conn.on_writable(&mut io, t).is_none());
+        assert_eq!(conn.deadline_ms(), Some(10 + IDLE_MS), "slid at t={t}");
+    }
+}
+
+#[test]
+fn dispatched_requests_have_no_deadline() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    io.push_data(GET_HEALTH);
+    let req = conn.on_readable(&mut io, 0).expect("request");
+    assert_eq!(conn.state(), ConnState::Dispatched);
+    assert_eq!(
+        conn.deadline_ms(),
+        None,
+        "server-side latency must never reap a well-behaved client"
+    );
+    conn.on_response(canned(&req), false, &mut io, 5);
+    assert!(conn.deadline_ms().is_some(), "idle phase re-arms");
+}
+
+// --- graceful shutdown --------------------------------------------------
+
+#[test]
+fn shutdown_closes_idle_connections_immediately() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    io.push_data(GET_HEALTH);
+    let req = conn.on_readable(&mut io, 0).expect("request");
+    conn.on_response(canned(&req), false, &mut io, 5);
+    assert_eq!(conn.state(), ConnState::KeepAlive);
+
+    conn.begin_shutdown(&mut io, 10);
+    assert!(conn.is_closed());
+}
+
+#[test]
+fn shutdown_503s_a_partial_request() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    io.push_data(b"POST /query HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-a-prefix");
+    assert!(conn.on_readable(&mut io, 0).is_none());
+
+    conn.begin_shutdown(&mut io, 10);
+    let text = String::from_utf8_lossy(&io.written);
+    assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+    assert!(text.contains("Connection: close"), "{text}");
+    assert!(conn.is_closed());
+}
+
+#[test]
+fn shutdown_lets_a_dispatched_request_finish_then_closes() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    io.push_data(GET_HEALTH);
+    let req = conn.on_readable(&mut io, 0).expect("request");
+
+    conn.begin_shutdown(&mut io, 5);
+    assert_eq!(
+        conn.state(),
+        ConnState::Dispatched,
+        "in-flight request drains under the shutdown contract"
+    );
+
+    // The reactor passes force_close for responses landing mid-drain.
+    let resp = canned(&req);
+    assert!(conn.on_response(resp, true, &mut io, 10).is_none());
+    let text = String::from_utf8_lossy(&io.written);
+    assert!(text.starts_with("HTTP/1.1 200"), "{text}");
+    assert!(text.contains("Connection: close"), "{text}");
+    assert!(conn.is_closed());
+}
+
+#[test]
+fn shutdown_with_nothing_buffered_closes_silently() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    conn.begin_shutdown(&mut io, 1);
+    assert!(conn.is_closed());
+    assert!(
+        io.written.is_empty(),
+        "no bytes owed to a silent connection"
+    );
+}
+
+// --- interest signals the reactor keys off ------------------------------
+
+#[test]
+fn interest_tracks_the_state_machine() {
+    let mut io = ScriptedIo::new();
+    let mut conn = new_conn(0);
+    assert!(conn.wants_read() && !conn.wants_write());
+
+    io.push_data(GET_HEALTH);
+    let req = conn.on_readable(&mut io, 0).expect("request");
+    assert!(
+        !conn.wants_read() && !conn.wants_write(),
+        "dispatched: quiet"
+    );
+
+    io.default_write = Some(0);
+    conn.on_response(canned(&req), false, &mut io, 5);
+    assert!(conn.wants_write(), "blocked response: write interest");
+    assert!(!conn.wants_read(), "serial: no reads while writing");
+
+    io.default_write = None;
+    conn.on_writable(&mut io, 10);
+    assert!(
+        conn.wants_read() && !conn.wants_write(),
+        "idle: read interest"
+    );
+}

@@ -5,8 +5,12 @@
 //! (`Complete`/`Incomplete`/`Error`, `Ok`/`Err`); they never panic, and
 //! `Complete` never claims more bytes than the buffer holds.
 
+mod common;
+
+use common::ScriptedIo;
 use proptest::prelude::*;
-use webreason_server::http::{parse_request, Limits, ParseOutcome};
+use webreason_server::conn::Connection;
+use webreason_server::http::{parse_request, write_response, Limits, ParseOutcome, Request};
 use webreason_server::proto::decode_update_body;
 
 const VALID_POST: &[u8] =
@@ -139,5 +143,105 @@ proptest! {
         );
         let _ = decode_update_body(&spliced);
         prop_assert_eq!(decode_update_body(VALID_UPDATE).expect("valid script").len(), 2);
+    }
+}
+
+// --- the event-loop read path ------------------------------------------
+//
+// The reactor feeds the parser through `Connection::on_readable`, one
+// readiness event at a time, with reads fragmented however the kernel
+// feels like. The contract: fragmentation is unobservable — the bytes
+// written back are identical to feeding the whole document in one read.
+// This is what forced the chunk-size doom check to be prefix-stable.
+
+/// Answers every request with a deterministic echo so response bytes
+/// identify exactly which requests the machine dispatched, in order.
+fn respond_all(conn: &mut Connection, io: &mut ScriptedIo, first: Option<Box<Request>>) {
+    let mut next = first;
+    while let Some(r) = next.take() {
+        let body = format!("{} {} {}b", r.method, r.target, r.body.len());
+        let resp = write_response(200, "OK", "text/plain", &[], body.as_bytes());
+        next = conn.on_response(resp, false, io, 0);
+    }
+}
+
+/// Replays `doc` through a connection as a series of readiness events,
+/// one fragment per event (`frags` sizes, then the remainder), followed
+/// by EOF. Returns every byte the connection wrote.
+fn drive(doc: &[u8], frags: &[usize]) -> Vec<u8> {
+    let mut io = ScriptedIo::new();
+    let mut conn = Connection::new(Limits::default(), 1_000, 0);
+    let mut pos = 0usize;
+    let mut frags = frags.iter().copied();
+    while pos < doc.len() && !conn.is_closed() {
+        let n = frags
+            .next()
+            .unwrap_or(doc.len() - pos)
+            .clamp(1, doc.len() - pos);
+        io.push_data(&doc[pos..pos + n]);
+        pos += n;
+        let req = conn.on_readable(&mut io, 0);
+        respond_all(&mut conn, &mut io, req);
+    }
+    if !conn.is_closed() {
+        io.push_eof();
+        let req = conn.on_readable(&mut io, 0);
+        respond_all(&mut conn, &mut io, req);
+    }
+    io.written
+}
+
+proptest! {
+    /// Corpus documents — including a pipelined pair — produce
+    /// byte-identical responses whether read whole or in 1..=7-byte
+    /// fragments.
+    #[test]
+    fn fragmented_reads_match_whole_buffer_on_the_corpus(
+        frags in proptest::collection::vec(1usize..=7, 0..200),
+    ) {
+        let mut pipelined = VALID_POST.to_vec();
+        pipelined.extend_from_slice(VALID_CHUNKED);
+        for doc in [VALID_POST.to_vec(), VALID_CHUNKED.to_vec(), pipelined] {
+            let whole = drive(&doc, &[doc.len()]);
+            let split = drive(&doc, &frags);
+            prop_assert_eq!(
+                String::from_utf8_lossy(&split),
+                String::from_utf8_lossy(&whole)
+            );
+            prop_assert!(!whole.is_empty(), "corpus docs always get answered");
+        }
+    }
+
+    /// Equivalence survives corruption: flip any byte of the chunked
+    /// document and the error responses land identically regardless of
+    /// read fragmentation. (The old ad-hoc chunk-line heuristic failed
+    /// exactly this property.)
+    #[test]
+    fn fragmented_reads_match_whole_buffer_under_corruption(
+        at in 0usize..90,
+        flip in 1u8..=255,
+        frags in proptest::collection::vec(1usize..=7, 0..120),
+    ) {
+        let mut doc = VALID_CHUNKED.to_vec();
+        let i = at % doc.len();
+        doc[i] ^= flip;
+        let whole = drive(&doc, &[doc.len()]);
+        let split = drive(&doc, &frags);
+        prop_assert_eq!(
+            String::from_utf8_lossy(&split),
+            String::from_utf8_lossy(&whole)
+        );
+    }
+
+    /// Arbitrary bytes through the event-loop read path: no panics, and
+    /// fragmentation is still unobservable.
+    #[test]
+    fn fragmented_arbitrary_bytes_never_panic_and_match(
+        bytes in proptest::collection::vec(0u8..=255u8, 0..300),
+        frags in proptest::collection::vec(1usize..=7, 0..120),
+    ) {
+        let whole = drive(&bytes, &[bytes.len()]);
+        let split = drive(&bytes, &frags);
+        prop_assert_eq!(split, whole);
     }
 }

@@ -6,9 +6,9 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::num::NonZeroUsize;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use webreason_core::{DurableStore, FsyncPolicy, MaintenanceAlgorithm, ReasoningConfig};
-use webreason_server::{Server, ServerConfig};
+use webreason_server::{Backend, Server, ServerConfig};
 
 fn tmpdir(name: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("webreason-server-{name}-{}", std::process::id()));
@@ -63,6 +63,59 @@ fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
 fn get(addr: SocketAddr, path: &str) -> (u16, String) {
     let raw = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
     raw_round_trip(addr, raw.as_bytes())
+}
+
+/// Reads exactly one response off a keep-alive connection (head, then
+/// `Content-Length` bytes of body) without waiting for EOF.
+fn read_one_response(stream: &mut TcpStream) -> (u16, String) {
+    let mut buf = Vec::new();
+    let mut tmp = [0u8; 1024];
+    let head_end = loop {
+        if let Some(i) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break i + 4;
+        }
+        let n = stream.read(&mut tmp).expect("response head reads");
+        assert!(n > 0, "EOF before a full response head: {buf:?}");
+        buf.extend_from_slice(&tmp[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let clen: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().parse().expect("content-length parses"))
+        })
+        .unwrap_or(0);
+    while buf.len() < head_end + clen {
+        let n = stream.read(&mut tmp).expect("response body reads");
+        assert!(n > 0, "EOF mid-body");
+        buf.extend_from_slice(&tmp[..n]);
+    }
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {head:?}"));
+    (
+        status,
+        String::from_utf8_lossy(&buf[..head_end + clen]).to_string(),
+    )
+}
+
+/// Pulls one counter/gauge value out of a `/metrics` scrape.
+fn metric_value(addr: SocketAddr, name: &str) -> u64 {
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    text.lines()
+        .find_map(|l| {
+            let v = l.strip_prefix(name)?;
+            if !v.starts_with(' ') {
+                return None; // a longer metric name sharing this prefix
+            }
+            Some(v.trim().parse().expect("metric parses"))
+        })
+        .unwrap_or_else(|| panic!("{name} missing from scrape"))
 }
 
 const COUNT_MAMMALS: &str = "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x a ex:Mammal }";
@@ -364,6 +417,314 @@ fn keep_alive_and_pipelining_serve_multiple_requests_per_connection() {
         .set_read_timeout(Some(Duration::from_secs(10)))
         .expect("timeout sets");
     // Two pipelined health checks, then a closing one.
+    let one = "GET /health HTTP/1.1\r\nHost: t\r\n\r\n";
+    let last = "GET /health HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
+    stream
+        .write_all(format!("{one}{one}{last}").as_bytes())
+        .expect("pipeline writes");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("responses read");
+    assert_eq!(text.matches("HTTP/1.1 200 OK").count(), 3, "{text}");
+
+    drop(server.shutdown());
+}
+
+// --- reactor robustness -------------------------------------------------
+
+#[test]
+fn slowloris_headers_are_reaped_without_stalling_others() {
+    let mut config = ephemeral();
+    config.idle_timeout = Duration::from_millis(300);
+    let server = boot("slowloris", config);
+    let addr = server.local_addr();
+
+    // The attacker trickles header bytes forever, one at a time, never
+    // sending the blank line. The read-phase deadline is armed at the
+    // first byte and must NOT slide on progress — so this connection dies
+    // ~300ms in, however diligently it drips.
+    let attacker = std::thread::spawn(move || {
+        let mut slow = TcpStream::connect(addr).expect("connects");
+        let doc = b"GET /health HTTP/1.1\r\nX-Slow: aaaaaaaa\r\n";
+        for i in 0..200 {
+            if slow.write_all(&[doc[i % doc.len()]]).is_err() {
+                return true; // reaped: the server reset us
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        false
+    });
+
+    // Meanwhile everyone else is served normally.
+    for _ in 0..4 {
+        let (status, text) = get(addr, "/health");
+        assert_eq!(status, 200, "victim starved by a slowloris: {text}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    assert!(
+        attacker.join().expect("attacker thread"),
+        "slowloris connection was never reaped"
+    );
+    assert!(
+        metric_value(addr, "webreason_server_reactor_reaped_total") >= 1,
+        "reap not visible in metrics"
+    );
+    drop(server.shutdown());
+}
+
+/// Caps a socket's kernel receive buffer so a stalled reader's window
+/// stays small and the server genuinely blocks on the write.
+fn shrink_rcvbuf(stream: &TcpStream) {
+    use std::os::fd::AsRawFd;
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_RCVBUF: i32 = 8;
+    let sz: i32 = 16 * 1024;
+    let rc = unsafe { setsockopt(stream.as_raw_fd(), SOL_SOCKET, SO_RCVBUF, &sz, 4) };
+    assert_eq!(rc, 0, "SO_RCVBUF sets");
+}
+
+#[test]
+fn stalled_reader_of_a_large_response_is_reaped() {
+    let mut config = ephemeral();
+    config.idle_timeout = Duration::from_millis(400);
+    let server = boot("stalled-reader", config);
+    let addr = server.local_addr();
+
+    // Stage a response far larger than any socket buffering: 400 triples
+    // sharing one object make a 400×400 self-join (~160k rows, ~11MB) —
+    // the server must park in the write phase waiting for a reader that
+    // never comes back.
+    let mut script = String::new();
+    for i in 0..400 {
+        script.push_str(&format!(
+            "insert <http://ex/s{i}> <http://ex/p> <http://ex/hub> .\n"
+        ));
+    }
+    let (status, text) = post(addr, "/update", &script);
+    assert_eq!(status, 200, "{text}");
+
+    let mut stalled = TcpStream::connect(addr).expect("connects");
+    shrink_rcvbuf(&stalled);
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout sets");
+    let q = "SELECT ?a ?b WHERE { ?a <http://ex/p> ?h . ?b <http://ex/p> ?h }";
+    stalled
+        .write_all(
+            format!(
+                "POST /query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{q}",
+                q.len()
+            )
+            .as_bytes(),
+        )
+        .expect("query writes");
+
+    // ...and then never reads. The write-phase deadline is armed when the
+    // response starts flowing and holds while the reader stalls. Wait for
+    // this server's own gauge to confirm the reap: once the stalled
+    // connection dies, the only open connection is the scrape itself.
+    let t0 = Instant::now();
+    loop {
+        let open = metric_value(addr, "webreason_server_open_connections");
+        if open <= 1 {
+            break;
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(30),
+            "stalled reader never reaped ({open} connections still open)"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // Other clients were never blocked behind the stalled writer.
+    let (status, _) = get(addr, "/health");
+    assert_eq!(status, 200);
+
+    // Drain whatever made it through: the connection must be dead
+    // mid-response, short of the advertised Content-Length.
+    let mut buf = Vec::new();
+    let _ = stalled.read_to_end(&mut buf); // reset mid-read is also fine
+    let text = String::from_utf8_lossy(&buf);
+    let head_end = text.find("\r\n\r\n").map(|i| i + 4).unwrap_or(buf.len());
+    let clen: usize = text
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(|v| v.trim().parse().unwrap())
+        })
+        .expect("response head made it into the buffers");
+    assert!(
+        buf.len() < head_end + clen,
+        "read {} of {} body bytes — the stalled reader was never reaped",
+        buf.len() - head_end,
+        clen
+    );
+    drop(server.shutdown());
+}
+
+#[test]
+fn connection_limit_refuses_excess_with_503() {
+    let mut config = ephemeral();
+    config.max_conns = 2;
+    let server = boot("conn-limit", config);
+    let addr = server.local_addr();
+
+    // Two keep-alive connections occupy the table...
+    let mut held = Vec::new();
+    for _ in 0..2 {
+        let mut s = TcpStream::connect(addr).expect("connects");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("request writes");
+        let (status, _) = read_one_response(&mut s);
+        assert_eq!(status, 200);
+        held.push(s);
+    }
+
+    // ...so the third is refused at accept with an explicit 503.
+    let mut third = TcpStream::connect(addr).expect("connects");
+    third
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout sets");
+    let mut text = String::new();
+    third.read_to_string(&mut text).expect("refusal reads");
+    assert!(text.starts_with("HTTP/1.1 503"), "{text}");
+    assert!(text.contains("connection limit"), "{text}");
+
+    // Releasing a slot readmits new clients.
+    drop(held.pop());
+    let mut ok = false;
+    for _ in 0..50 {
+        std::thread::sleep(Duration::from_millis(20));
+        let mut s = TcpStream::connect(addr).expect("connects");
+        s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        s.write_all(b"GET /health HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+            .expect("request writes");
+        let mut text = String::new();
+        s.read_to_string(&mut text).expect("response reads");
+        if text.starts_with("HTTP/1.1 200") {
+            ok = true;
+            break;
+        }
+    }
+    assert!(ok, "freed slot never readmitted a client");
+    drop(server.shutdown());
+}
+
+#[test]
+fn reactor_answers_429_immediately_while_the_writer_is_busy() {
+    let mut config = ephemeral();
+    config.threads = 4;
+    config.update_queue = 1;
+    config.retry_after_secs = 3;
+    config.writer_delay = Some(Duration::from_millis(400));
+    let server = boot("reactor-429", config);
+    let addr = server.local_addr();
+
+    let insert = |i: usize| format!("insert <http://ex/r{i}> <http://ex/p> <http://ex/o> .\n");
+    let a = {
+        let body = insert(0);
+        std::thread::spawn(move || post(addr, "/update", &body))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+    let b = {
+        let body = insert(1);
+        std::thread::spawn(move || post(addr, "/update", &body))
+    };
+    std::thread::sleep(Duration::from_millis(100));
+
+    // The writer is parked in its 400ms delay hook and the queue is full.
+    // The reactor must answer 429 from a CPU worker without ever touching
+    // the writer — i.e. well inside the writer's delay.
+    let t0 = Instant::now();
+    let (status, text) = post(addr, "/update", &insert(2));
+    let elapsed = t0.elapsed();
+    assert_eq!(status, 429, "{text}");
+    assert!(text.contains("Retry-After: 3"), "{text}");
+    assert!(
+        elapsed < Duration::from_millis(300),
+        "429 took {elapsed:?} — the reactor path blocked behind the writer"
+    );
+
+    let (status, _) = a.join().expect("client A");
+    assert_eq!(status, 200);
+    let (status, _) = b.join().expect("client B");
+    assert_eq!(status, 200);
+    drop(server.shutdown());
+}
+
+#[test]
+fn shutdown_closes_idle_keep_alive_connections_promptly() {
+    let server = boot("shutdown-idle", ephemeral());
+    let addr = server.local_addr();
+
+    let mut idle = TcpStream::connect(addr).expect("connects");
+    idle.set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout sets");
+    idle.write_all(b"GET /health HTTP/1.1\r\nHost: t\r\n\r\n")
+        .expect("request writes");
+    let (status, _) = read_one_response(&mut idle);
+    assert_eq!(status, 200);
+
+    // An idle keep-alive connection owes the server nothing; shutdown
+    // must not wait out the idle timeout (10s here) to drain it.
+    let t0 = Instant::now();
+    drop(server.shutdown());
+    assert!(
+        t0.elapsed() < Duration::from_secs(3),
+        "shutdown hung {:?} on an idle connection",
+        t0.elapsed()
+    );
+    let mut rest = String::new();
+    idle.read_to_string(&mut rest).expect("EOF reads");
+    assert!(rest.is_empty(), "unexpected bytes after shutdown: {rest}");
+}
+
+// --- backend parity -----------------------------------------------------
+
+#[test]
+fn threaded_backend_still_serves_round_trips() {
+    let mut config = ephemeral();
+    config.backend = Backend::Threaded;
+    let server = boot("threaded-parity", config);
+    let addr = server.local_addr();
+
+    let (status, _) = get(addr, "/health");
+    assert_eq!(status, 200);
+    let (status, text) = post(
+        addr,
+        "/update",
+        "insert <http://ex/Cat> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://ex/Mammal> .\n\
+         insert <http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Cat> .\n",
+    );
+    assert_eq!(status, 200, "{text}");
+    let (status, text) = post(addr, "/query", COUNT_MAMMALS);
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("<http://ex/Tom>"), "{text}");
+
+    let store = server.shutdown();
+    assert_eq!(store.stats().base_triples, 2);
+}
+
+#[test]
+fn poll_fallback_serves_round_trips() {
+    let mut config = ephemeral();
+    config.force_poll = true;
+    let server = boot("poll-fallback", config);
+    let addr = server.local_addr();
+
+    let (status, _) = get(addr, "/health");
+    assert_eq!(status, 200);
+
+    // Keep-alive pipelining works identically under poll(2).
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout sets");
     let one = "GET /health HTTP/1.1\r\nHost: t\r\n\r\n";
     let last = "GET /health HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n";
     stream

@@ -19,7 +19,11 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use webreason_core::{DurableStore, FsyncPolicy, MaintenanceAlgorithm, ReasoningConfig, Store};
-use webreason_server::{Server, ServerConfig};
+use webreason_server::{Backend, Server, ServerConfig};
+
+/// The counter oracle reads the process-wide `obs::global()` registry, so
+/// the per-backend soaks must not overlap inside this test binary.
+static SOAK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 
 const UPDATE_CLIENTS: usize = 3;
 const QUERY_CLIENTS: usize = 3;
@@ -135,9 +139,9 @@ fn query_client(addr: SocketAddr, stop: Arc<AtomicBool>) -> u64 {
     answered
 }
 
-#[test]
-fn soak_concurrent_clients_checkpoint_and_reconcile() {
-    let dir = std::env::temp_dir().join(format!("webreason-soak-{}", std::process::id()));
+fn run_soak(name: &str, backend: Backend) {
+    let _guard = SOAK_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let dir = std::env::temp_dir().join(format!("webreason-soak-{name}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     obs::global().reset();
 
@@ -162,6 +166,7 @@ fn soak_concurrent_clients_checkpoint_and_reconcile() {
             addr: "127.0.0.1:0".to_owned(),
             threads: 4,
             checkpoint_every: 8, // checkpoints fire many times per second
+            backend,
             ..Default::default()
         },
     )
@@ -249,4 +254,14 @@ fn soak_concurrent_clients_checkpoint_and_reconcile() {
     );
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn soak_reactor_backend_reconciles() {
+    run_soak("reactor", Backend::Reactor);
+}
+
+#[test]
+fn soak_threaded_backend_reconciles() {
+    run_soak("threaded", Backend::Threaded);
 }
