@@ -70,6 +70,11 @@ struct Args {
     /// reactor@`--clients`) into `table_cserve.json` instead of the
     /// group-commit comparison.
     conn_sweep: bool,
+    /// Run the chaos leg (disk-fault windows + slow-client stalls) into
+    /// `table_chaos.json`. Needs `--features failpoints`.
+    chaos: bool,
+    chaos_windows: usize,
+    chaos_window_ms: u64,
 }
 
 fn usage() -> ! {
@@ -78,7 +83,8 @@ fn usage() -> ! {
          \x20              [--ops-per-update N] [--fsync always|never]\n\
          \x20              [--reasoning none|counting]\n\
          \x20              [--group-commit on|off|both] [--threads N] [--queue N]\n\
-         \x20              [--seed N] [--strict]"
+         \x20              [--seed N] [--strict] [--conn-sweep]\n\
+         \x20              [--chaos] [--chaos-windows N] [--chaos-window-ms MS]"
     );
     std::process::exit(2);
 }
@@ -98,6 +104,9 @@ fn parse_args() -> Args {
         strict: false,
         backend: Backend::Reactor,
         conn_sweep: false,
+        chaos: false,
+        chaos_windows: 2,
+        chaos_window_ms: 2000,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -108,6 +117,10 @@ fn parse_args() -> Args {
         }
         if flag == "--conn-sweep" {
             args.conn_sweep = true;
+            continue;
+        }
+        if flag == "--chaos" {
+            args.chaos = true;
             continue;
         }
         let Some(value) = it.next() else { usage() };
@@ -177,6 +190,18 @@ fn parse_args() -> Args {
                 .map(|v| args.queue = v)
                 .is_some(),
             "--seed" => value.parse().map(|v| args.seed = v).is_ok(),
+            "--chaos-windows" => value
+                .parse()
+                .ok()
+                .filter(|v| *v >= 1)
+                .map(|v| args.chaos_windows = v)
+                .is_some(),
+            "--chaos-window-ms" => value
+                .parse()
+                .ok()
+                .filter(|v| *v >= 100)
+                .map(|v| args.chaos_window_ms = v)
+                .is_some(),
             _ => false,
         };
         if !ok {
@@ -690,6 +715,9 @@ fn run_conn_sweep(args: &Args) -> ! {
 
 fn main() {
     let args = parse_args();
+    if args.chaos {
+        chaos::run(&args);
+    }
     if args.conn_sweep {
         run_conn_sweep(&args);
     }
@@ -763,5 +791,536 @@ fn main() {
     }
     if !ok {
         std::process::exit(1);
+    }
+}
+
+/// The chaos leg (`--chaos`): mixed load with injected disk-fault windows
+/// and a slow-client stall, asserting the graceful-degradation SLOs:
+///
+/// * **reads never fail** — not one read error, in or out of a fault
+///   window, and reads keep flowing *during* every window;
+/// * **zero lost acked writes** — every 200'd update is present in the
+///   recovered store; every 5xx'd update is absent;
+/// * **degraded entry/exit counters match the windows** — the server
+///   enters read-only mode exactly once per window and auto-recovers
+///   exactly once per window;
+/// * **deadlines hold under load** — a deadline-capped wide union
+///   returns 504 within deadline + 50 ms while concurrent queries are
+///   unaffected (asserted only when the uncapped run is slow enough for
+///   the cap to bite);
+/// * **slow clients are reaped** — a stalled half-request is closed by
+///   the idle reaper instead of pinning a connection.
+///
+/// Results land in `bench_results/table_chaos.json`; `--strict` exits
+/// non-zero when any SLO fails.
+mod chaos {
+    #[cfg(not(feature = "failpoints"))]
+    pub fn run(_args: &super::Args) -> ! {
+        eprintln!(
+            "loadgen: --chaos needs the fault-injection sites compiled in;\n\
+             rerun with: cargo run -p bench --bin loadgen --features failpoints -- --chaos"
+        );
+        std::process::exit(2);
+    }
+
+    #[cfg(feature = "failpoints")]
+    pub fn run(args: &super::Args) -> ! {
+        imp::run(args)
+    }
+
+    #[cfg(feature = "failpoints")]
+    mod imp {
+        use super::super::*;
+        use serde::Serialize;
+        use std::collections::HashSet;
+        use std::sync::atomic::AtomicU64;
+        use webreason_failpoints::configure;
+
+        const WIDE_QUERY: &str = "SELECT ?x WHERE { ?x a <http://ex/Thing> }";
+        const CHEAP_QUERY: &str = "SELECT ?x WHERE { ?x a <http://ex/C0> }";
+        const WRITE_CLASS_QUERY: &str = "SELECT ?x WHERE { ?x a <http://ex/C1> }";
+
+        /// 362 subclasses of `ex:Thing` with `per` instances each: the
+        /// wide query reformulates into a 363-branch union.
+        fn fixture_ttl(per: usize) -> String {
+            let mut ttl = String::from(
+                "@prefix ex: <http://ex/> .\n\
+                 @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n",
+            );
+            for c in 0..362 {
+                ttl.push_str(&format!("ex:C{c} rdfs:subClassOf ex:Thing .\n"));
+                for i in 0..per {
+                    ttl.push_str(&format!("ex:i{c}x{i} a ex:C{c} .\n"));
+                }
+            }
+            ttl
+        }
+
+        fn post_with_deadline(path: &str, body: &str, deadline_ms: u64) -> Vec<u8> {
+            format!(
+                "POST {path} HTTP/1.1\r\nHost: loadgen\r\n\
+                 X-Webreason-Deadline-Ms: {deadline_ms}\r\n\
+                 Content-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .into_bytes()
+        }
+
+        /// One `Connection: close` GET, returning the status code.
+        fn get_status(addr: SocketAddr, path: &str) -> std::io::Result<u16> {
+            let mut stream = TcpStream::connect(addr)?;
+            stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+            stream.write_all(
+                format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\nConnection: close\r\n\r\n")
+                    .as_bytes(),
+            )?;
+            let mut buf = Vec::new();
+            stream.read_to_end(&mut buf)?;
+            String::from_utf8_lossy(&buf)
+                .split(' ')
+                .nth(1)
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| std::io::Error::other("no status line"))
+        }
+
+        fn wait_ready(addr: SocketAddr, budget: Duration) -> bool {
+            let start = Instant::now();
+            while start.elapsed() < budget {
+                if matches!(get_status(addr, "/ready"), Ok(200)) {
+                    return true;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            false
+        }
+
+        #[derive(Default)]
+        struct WriterTally {
+            /// Subjects the server acked with 200 — must all survive.
+            acked: Vec<String>,
+            /// Subjects refused with 5xx — must all be absent.
+            refused: Vec<String>,
+            rejected_429: u64,
+            ambiguous: u64,
+        }
+
+        #[derive(Serialize)]
+        struct DeadlineProbe {
+            uncapped_ms: u64,
+            deadline_ms: u64,
+            /// Whether the cap was slow enough to assert on (uncapped
+            /// > 2x deadline); when false the probe is informational.
+            enforced: bool,
+            status: u16,
+            elapsed_ms: u64,
+        }
+
+        #[derive(Serialize)]
+        struct ChaosReport {
+            seed: u64,
+            windows: usize,
+            window_ms: u64,
+            readers: usize,
+            writers: usize,
+            reads_ok: u64,
+            read_errors: u64,
+            /// Successful reads counted *inside* each fault window.
+            reads_during_windows: Vec<u64>,
+            writes_acked: u64,
+            writes_refused_5xx: u64,
+            writes_rejected_429: u64,
+            writes_ambiguous: u64,
+            degraded_entered: u64,
+            degraded_exited: u64,
+            recovered_within_budget: bool,
+            /// Acked subjects missing from the recovered store (SLO: 0).
+            lost_acked_writes: u64,
+            /// 5xx'd subjects present in the recovered store (SLO: 0).
+            phantom_refused_writes: u64,
+            live_rows: u64,
+            recovered_rows: u64,
+            deadline: DeadlineProbe,
+            slow_client_reaped: bool,
+            slo_failures: Vec<String>,
+        }
+
+        pub fn run(args: &Args) -> ! {
+            configure("");
+            let windows = args.chaos_windows;
+            let window = Duration::from_millis(args.chaos_window_ms);
+            let readers = args.clients.saturating_sub(2).max(2);
+            let writers = 2usize;
+            println!(
+                "== loadgen chaos: {readers} readers + {writers} writers, {windows} x \
+                 {}ms ENOSPC windows, seed {} ==",
+                args.chaos_window_ms, args.seed
+            );
+
+            let dir = std::env::temp_dir()
+                .join(format!("webreason-loadgen-chaos-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            let mut store = DurableStore::create(
+                &dir,
+                ReasoningConfig::Reformulation,
+                NonZeroUsize::MIN,
+                FsyncPolicy::Always,
+            )
+            .expect("store creates");
+            // 200 instances per class: wide enough that the uncapped
+            // 363-branch union takes tens of milliseconds even in release
+            // builds, so the deadline probe genuinely bites.
+            store.load_turtle(&fixture_ttl(200)).expect("fixture loads");
+            let server = Server::start(
+                store,
+                ServerConfig {
+                    addr: "127.0.0.1:0".to_owned(),
+                    threads: 4,
+                    update_queue: args.queue,
+                    checkpoint_every: 0,
+                    group_commit: true,
+                    backend: Backend::Reactor,
+                    idle_timeout: Duration::from_millis(1000),
+                    ..Default::default()
+                },
+            )
+            .expect("server boots");
+            let addr: SocketAddr = server.local_addr();
+
+            let reg = obs::global();
+            let entered0 = reg.counter_value("server.degraded.entered");
+            let exited0 = reg.counter_value("server.degraded.exited");
+
+            // Baseline for the deadline probe: the uncapped wide union.
+            let mut probe_conn = connect_with_retry(addr);
+            let mut head = Vec::new();
+            let t = Instant::now();
+            let status = roundtrip(&mut probe_conn, &post("/query", WIDE_QUERY), &mut head)
+                .expect("uncapped wide query");
+            assert_eq!(status, 200, "uncapped wide query must answer");
+            let uncapped_ms = t.elapsed().as_millis() as u64;
+
+            let stop = Arc::new(AtomicBool::new(false));
+            let reads_ok = Arc::new(AtomicU64::new(0));
+            let read_errors = Arc::new(AtomicU64::new(0));
+            let reader_handles: Vec<_> = (0..readers)
+                .map(|_| {
+                    let stop = Arc::clone(&stop);
+                    let reads_ok = Arc::clone(&reads_ok);
+                    let read_errors = Arc::clone(&read_errors);
+                    std::thread::spawn(move || {
+                        let mut stream = connect_with_retry(addr);
+                        let mut head = Vec::with_capacity(256);
+                        while !stop.load(Ordering::Relaxed) {
+                            match roundtrip(&mut stream, &post("/query", CHEAP_QUERY), &mut head) {
+                                Ok(200) => {
+                                    reads_ok.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Ok(_) => {
+                                    read_errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(_) => {
+                                    read_errors.fetch_add(1, Ordering::Relaxed);
+                                    stream = connect_with_retry(addr);
+                                }
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                    })
+                })
+                .collect();
+            let writer_handles: Vec<_> = (0..writers)
+                .map(|c| {
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        let mut stream = connect_with_retry(addr);
+                        let mut head = Vec::with_capacity(256);
+                        let mut tally = WriterTally::default();
+                        let mut n = 0u64;
+                        while !stop.load(Ordering::Relaxed) {
+                            let subject = format!("http://ex/w{c}-{n}");
+                            n += 1;
+                            let body = format!(
+                                "insert <{subject}> \
+                                 <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                                 <http://ex/C1> .\n"
+                            );
+                            match roundtrip(&mut stream, &post("/update", &body), &mut head) {
+                                Ok(200) => tally.acked.push(subject),
+                                Ok(429) => {
+                                    tally.rejected_429 += 1;
+                                    std::thread::sleep(Duration::from_millis(2));
+                                }
+                                Ok(s) if s >= 500 => tally.refused.push(subject),
+                                Ok(_) => tally.ambiguous += 1,
+                                Err(_) => {
+                                    // The reply was lost mid-flight: the
+                                    // write's fate is unknown — exclude it
+                                    // from both membership sets.
+                                    tally.ambiguous += 1;
+                                    stream = connect_with_retry(addr);
+                                }
+                            }
+                            std::thread::sleep(Duration::from_millis(1));
+                        }
+                        tally
+                    })
+                })
+                .collect();
+
+            // Warmup, then the fault windows.
+            std::thread::sleep(Duration::from_millis(500));
+            let mut reads_during_windows = Vec::with_capacity(windows);
+            let mut recovered_within_budget = true;
+            let mut slow_client: Option<std::thread::JoinHandle<bool>> = None;
+            for w in 0..windows {
+                let before = reads_ok.load(Ordering::Relaxed);
+                configure("store.journal.append=err(ENOSPC)");
+                if w == 0 {
+                    // A slow client stalls mid-request during the first
+                    // window: the idle reaper must close it.
+                    slow_client = Some(std::thread::spawn(move || {
+                        let mut stream = connect_with_retry(addr);
+                        if stream.write_all(b"POST /update HTTP/1.1\r\n").is_err() {
+                            return false;
+                        }
+                        let _ = stream.set_read_timeout(Some(Duration::from_secs(8)));
+                        let mut buf = [0u8; 64];
+                        // EOF or reset = reaped; a timeout means the stall
+                        // pinned the connection for 8s.
+                        !matches!(
+                            stream.read(&mut buf),
+                            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut
+                        )
+                    }));
+                }
+                std::thread::sleep(window);
+                configure("");
+                reads_during_windows.push(reads_ok.load(Ordering::Relaxed) - before);
+                // The disk healed: the probe supervisor must exit degraded
+                // mode on its own before the next window.
+                if !wait_ready(addr, Duration::from_secs(10)) {
+                    recovered_within_budget = false;
+                }
+                std::thread::sleep(Duration::from_millis(500));
+            }
+
+            // Deadline probe against the healed server, under load. The
+            // original probe connection idled through the fault windows
+            // and was reaped — that's the reaper doing its job; reconnect.
+            // Best of three attempts: a prompt 504 proves cancellation is
+            // enforced inside evaluation; a single descheduled attempt on
+            // an oversubscribed box is scheduler noise, not a server SLO.
+            let mut probe_conn = connect_with_retry(addr);
+            let deadline_ms = (uncapped_ms / 4).max(5);
+            let mut best: Option<(u16, u64)> = None;
+            for _ in 0..3 {
+                let t = Instant::now();
+                let status = roundtrip(
+                    &mut probe_conn,
+                    &post_with_deadline("/query", WIDE_QUERY, deadline_ms),
+                    &mut head,
+                )
+                .expect("capped wide query");
+                let elapsed = t.elapsed().as_millis() as u64;
+                if best.is_none_or(|(_, b)| elapsed < b) {
+                    best = Some((status, elapsed));
+                }
+                if status == 504 && elapsed <= deadline_ms + 50 {
+                    break;
+                }
+            }
+            let (status, elapsed_ms) = best.expect("three probe attempts");
+            let capped = DeadlineProbe {
+                uncapped_ms,
+                deadline_ms,
+                enforced: uncapped_ms > deadline_ms * 2,
+                status,
+                elapsed_ms,
+            };
+
+            stop.store(true, Ordering::Relaxed);
+            for h in reader_handles {
+                h.join().expect("reader joins");
+            }
+            let mut tally = WriterTally::default();
+            for h in writer_handles {
+                let t = h.join().expect("writer joins");
+                tally.acked.extend(t.acked);
+                tally.refused.extend(t.refused);
+                tally.rejected_429 += t.rejected_429;
+                tally.ambiguous += t.ambiguous;
+            }
+            let slow_client_reaped = slow_client
+                .map(|h| h.join().expect("slow client joins"))
+                .unwrap_or(true);
+
+            // A sentinel write proves the healed server still commits,
+            // then the live row count pins the pre-shutdown state.
+            let status = roundtrip(
+                &mut probe_conn,
+                &post(
+                    "/update",
+                    "insert <http://ex/sentinel> \
+                     <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/C1> .",
+                ),
+                &mut head,
+            )
+            .expect("sentinel write");
+            assert_eq!(status, 200, "post-chaos write must land");
+            tally.acked.push("http://ex/sentinel".to_owned());
+            let status = roundtrip(
+                &mut probe_conn,
+                &post("/query", WRITE_CLASS_QUERY),
+                &mut head,
+            )
+            .expect("live row count");
+            assert_eq!(status, 200);
+            let live_rows = {
+                let text = String::from_utf8_lossy(&head);
+                let body = &text[text.find("\r\n\r\n").map(|p| p + 4).unwrap_or(0)..];
+                body.matches("http://ex/").count() as u64
+            };
+
+            let degraded_entered = reg.counter_value("server.degraded.entered") - entered0;
+            let degraded_exited = reg.counter_value("server.degraded.exited") - exited0;
+            drop(server.shutdown());
+
+            // Recovery comparison: the journal must rebuild exactly the
+            // acked state — no lost acked writes, no phantom refused ones.
+            let rec = webreason_core::Store::recover(&dir).expect("recovers");
+            let recovered_rows = rec
+                .answer_sparql(WRITE_CLASS_QUERY)
+                .expect("recovered store answers")
+                .len() as u64;
+            let export = rec.export_ntriples();
+            let subjects: HashSet<&str> = export
+                .lines()
+                .filter_map(|l| l.split_whitespace().next())
+                .collect();
+            let lost_acked_writes = tally
+                .acked
+                .iter()
+                .filter(|s| !subjects.contains(format!("<{s}>").as_str()))
+                .count() as u64;
+            let phantom_refused_writes = tally
+                .refused
+                .iter()
+                .filter(|s| subjects.contains(format!("<{s}>").as_str()))
+                .count() as u64;
+            let _ = std::fs::remove_dir_all(&dir);
+
+            let mut slo_failures: Vec<String> = Vec::new();
+            let errors = read_errors.load(Ordering::Relaxed);
+            if errors > 0 {
+                slo_failures.push(format!("{errors} read errors (must be 0)"));
+            }
+            for (w, &n) in reads_during_windows.iter().enumerate() {
+                if n == 0 {
+                    slo_failures.push(format!("no reads flowed during window {w}"));
+                }
+            }
+            if lost_acked_writes > 0 {
+                slo_failures.push(format!("{lost_acked_writes} acked writes lost"));
+            }
+            if phantom_refused_writes > 0 {
+                slo_failures.push(format!(
+                    "{phantom_refused_writes} refused writes present after recovery"
+                ));
+            }
+            if degraded_entered != windows as u64 || degraded_exited != windows as u64 {
+                slo_failures.push(format!(
+                    "degraded entered/exited {degraded_entered}/{degraded_exited}, \
+                     expected {windows}/{windows}"
+                ));
+            }
+            if !recovered_within_budget {
+                slo_failures.push("degraded mode did not clear within 10s of heal".to_owned());
+            }
+            if live_rows != recovered_rows {
+                slo_failures.push(format!(
+                    "live rows {live_rows} != recovered rows {recovered_rows}"
+                ));
+            }
+            if !slow_client_reaped {
+                slo_failures.push("slow client was not reaped".to_owned());
+            }
+            if capped.enforced {
+                if capped.status != 504 {
+                    slo_failures.push(format!(
+                        "deadline-capped query returned {} (expected 504)",
+                        capped.status
+                    ));
+                } else if capped.elapsed_ms > capped.deadline_ms + 50 {
+                    slo_failures.push(format!(
+                        "504 took {}ms against a {}ms deadline (+50ms budget)",
+                        capped.elapsed_ms, capped.deadline_ms
+                    ));
+                }
+            }
+
+            let report = ChaosReport {
+                seed: args.seed,
+                windows,
+                window_ms: args.chaos_window_ms,
+                readers,
+                writers,
+                reads_ok: reads_ok.load(Ordering::Relaxed),
+                read_errors: errors,
+                reads_during_windows,
+                writes_acked: tally.acked.len() as u64,
+                writes_refused_5xx: tally.refused.len() as u64,
+                writes_rejected_429: tally.rejected_429,
+                writes_ambiguous: tally.ambiguous,
+                degraded_entered,
+                degraded_exited,
+                recovered_within_budget,
+                lost_acked_writes,
+                phantom_refused_writes,
+                live_rows,
+                recovered_rows,
+                deadline: capped,
+                slow_client_reaped,
+                slo_failures: slo_failures.clone(),
+            };
+            let table = vec![vec![
+                report.reads_ok.to_string(),
+                report.read_errors.to_string(),
+                report.writes_acked.to_string(),
+                report.writes_refused_5xx.to_string(),
+                format!("{degraded_entered}/{degraded_exited}"),
+                report.lost_acked_writes.to_string(),
+                format!("{}/{}", report.deadline.status, report.deadline.elapsed_ms),
+                report.slow_client_reaped.to_string(),
+            ]];
+            println!(
+                "{}",
+                render_table(
+                    &[
+                        "reads ok",
+                        "read errs",
+                        "acked",
+                        "5xx",
+                        "degraded in/out",
+                        "lost acked",
+                        "504 probe (st/ms)",
+                        "reaped",
+                    ],
+                    &table
+                )
+            );
+            for f in &slo_failures {
+                eprintln!("chaos SLO FAILED: {f}");
+            }
+            if slo_failures.is_empty() {
+                println!("all chaos SLOs held");
+            }
+
+            let ok = emit_json("table_chaos", &report);
+            if args.strict && !slo_failures.is_empty() {
+                std::process::exit(1);
+            }
+            std::process::exit(if ok { 0 } else { 1 });
+        }
     }
 }

@@ -138,6 +138,11 @@ pub enum Command {
         /// Per-phase idle timeout in milliseconds before a stalled
         /// connection is reaped.
         idle_timeout_ms: u64,
+        /// Deadline applied to requests that send no
+        /// `X-Webreason-Deadline-Ms` header (`None` = no default).
+        default_deadline_ms: Option<u64>,
+        /// Upper clamp on any per-request deadline header.
+        max_deadline_ms: u64,
     },
     /// `webreason checkpoint <journal-dir>` — snapshot a durable store.
     Checkpoint {
@@ -228,6 +233,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "backend",
         "max-conns",
         "idle-timeout",
+        "default-deadline-ms",
+        "max-deadline-ms",
     ];
     for (name, _) in &flags {
         if !known_flags.contains(&name.as_str()) {
@@ -388,6 +395,23 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| err("--idle-timeout needs milliseconds (>= 1)"))?,
             };
+            // 0 disables the default deadline (requests without a header
+            // run uncapped), matching the header's `0 = uncapped` rule.
+            let default_deadline_ms = match flag("default-deadline-ms") {
+                None => Some(30_000),
+                Some(v) => v
+                    .parse::<u64>()
+                    .map(|n| (n > 0).then_some(n))
+                    .map_err(|_| err("--default-deadline-ms needs milliseconds (0 = off)"))?,
+            };
+            let max_deadline_ms = match flag("max-deadline-ms") {
+                None => 60_000,
+                Some(v) => v
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| err("--max-deadline-ms needs milliseconds (>= 1)"))?,
+            };
             Ok(Command::Serve {
                 addr,
                 threads,
@@ -399,6 +423,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 backend,
                 max_conns,
                 idle_timeout_ms,
+                default_deadline_ms,
+                max_deadline_ms,
             })
         }
         "checkpoint" => Ok(Command::Checkpoint {
@@ -595,13 +621,16 @@ mod tests {
                 backend: "reactor".into(),
                 max_conns: 4096,
                 idle_timeout_ms: 10_000,
+                default_deadline_ms: Some(30_000),
+                max_deadline_ms: 60_000,
             }
         );
         assert_eq!(
             parse_args(&argv(
                 "serve --journal /tmp/j --addr 127.0.0.1:0 --threads 2 --queue 8 \
                  --fsync never --group-commit off --duration-secs 3 \
-                 --backend threaded --max-conns 128 --idle-timeout 2500"
+                 --backend threaded --max-conns 128 --idle-timeout 2500 \
+                 --default-deadline-ms 0 --max-deadline-ms 120000"
             ))
             .unwrap(),
             Command::Serve {
@@ -615,6 +644,8 @@ mod tests {
                 backend: "threaded".into(),
                 max_conns: 128,
                 idle_timeout_ms: 2500,
+                default_deadline_ms: None,
+                max_deadline_ms: 120_000,
             }
         );
         for (line, needle) in [
@@ -639,6 +670,11 @@ mod tests {
                 "serve --journal /tmp/j --idle-timeout never",
                 "milliseconds",
             ),
+            (
+                "serve --journal /tmp/j --default-deadline-ms soon",
+                "milliseconds",
+            ),
+            ("serve --journal /tmp/j --max-deadline-ms 0", "milliseconds"),
         ] {
             let e = parse_args(&argv(line)).unwrap_err();
             assert!(e.0.contains(needle), "{line:?}: {e}");

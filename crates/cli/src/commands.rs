@@ -104,6 +104,8 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
             backend,
             max_conns,
             idle_timeout_ms,
+            default_deadline_ms,
+            max_deadline_ms,
         } => serve_cmd(
             addr,
             *threads,
@@ -115,6 +117,8 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
             backend,
             *max_conns,
             *idle_timeout_ms,
+            *default_deadline_ms,
+            *max_deadline_ms,
         ),
         Command::Metrics { format, journal } => metrics_cmd(format, journal.as_deref()),
         Command::Checkpoint { dir } => checkpoint_cmd(dir),
@@ -156,6 +160,8 @@ fn serve_cmd(
     backend: &str,
     max_conns: usize,
     idle_timeout_ms: u64,
+    default_deadline_ms: Option<u64>,
+    max_deadline_ms: u64,
 ) -> Result<String, CliError> {
     use std::io::Write as _;
 
@@ -182,6 +188,8 @@ fn serve_cmd(
         },
         max_conns,
         idle_timeout: std::time::Duration::from_millis(idle_timeout_ms),
+        default_deadline_ms,
+        max_deadline_ms,
         ..Default::default()
     };
     let server =

@@ -15,6 +15,7 @@
 //! webreason serve --journal DIR [--addr A] [--threads N] [--queue N]
 //!                 [--fsync always|never] [--group-commit on|off] [--duration-secs S]
 //!                 [--backend reactor|threaded] [--max-conns N] [--idle-timeout MS]
+//!                 [--default-deadline-ms MS] [--max-deadline-ms MS]
 //! webreason checkpoint <journal-dir>
 //! webreason recover <journal-dir>
 //! ```
@@ -90,6 +91,11 @@ OPTIONS:
                              refused with 503            [default: 4096]
     --idle-timeout <MS>      serve: reap connections idle for MS milliseconds
                              in any read/write phase     [default: 10000]
+    --default-deadline-ms <MS>  serve: deadline for requests without an
+                             X-Webreason-Deadline-Ms header; 0 disables
+                             [default: 30000]
+    --max-deadline-ms <MS>   serve: clamp on per-request deadline headers
+                             [default: 60000]
 
 Data files ending in .ttl parse as Turtle; anything else as N-Triples.
 ";

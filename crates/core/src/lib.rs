@@ -63,6 +63,6 @@ pub use store::{AnswerError, ReasoningConfig, Store, StoreStats};
 pub use threshold::{observed_thresholds, ObservedThresholds};
 
 // Re-export the pieces callers compose with.
-pub use durability::FsyncPolicy;
+pub use durability::{DurabilityError, FsyncPolicy};
 pub use rdfs::incremental::MaintenanceAlgorithm;
 pub use sparql::Solutions;

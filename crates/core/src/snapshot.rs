@@ -25,11 +25,13 @@
 use crate::backward::evaluate_backward;
 use crate::store::{AnswerError, ReasoningConfig};
 use datalog::rdf::saturate_via_datalog;
+use obs::CancelToken;
 use rdf_model::{Dictionary, Graph, Vocab};
 use rdfs::Schema;
 use reformulation::reformulate;
 use sparql::{
-    evaluate, evaluate_union, parse_query, try_evaluate_union, EvalStats, Query, Solutions,
+    evaluate, evaluate_union, parse_query, try_evaluate_union_cancel, EvalStats, Query, Solutions,
+    UnionEvalError,
 };
 use std::num::NonZeroUsize;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -183,9 +185,35 @@ impl StoreSnapshot {
     /// and adaptive winners behind shared mutexes — so any number of
     /// readers answer concurrently with each other and with the writer.
     pub fn answer(&self, q: &Query) -> Result<(Solutions, Option<EvalStats>), AnswerError> {
+        self.answer_cancel(q, &CancelToken::none())
+    }
+
+    /// [`answer`](StoreSnapshot::answer) with cooperative cancellation:
+    /// the token is polled on entry and threaded into the parallel union
+    /// evaluator, which checks it at branch/chunk boundaries. On trip the
+    /// query returns [`AnswerError::Cancelled`] and every worker's partial
+    /// state is discarded — the snapshot (including its shared scan cache
+    /// and reformulation cache) is untouched, so an identical re-run
+    /// produces bit-identical answers.
+    pub fn answer_cancel(
+        &self,
+        q: &Query,
+        cancel: &CancelToken,
+    ) -> Result<(Solutions, Option<EvalStats>), AnswerError> {
         let reg = obs::global();
         let _span = reg.span("core.answer.query");
         reg.add("core.answer.queries", 1);
+        if cancel.is_cancelled() {
+            reg.add("core.answer.cancelled", 1);
+            return Err(AnswerError::Cancelled);
+        }
+        let map_union = |e: UnionEvalError| match e {
+            UnionEvalError::Worker(w) => AnswerError::Worker(w),
+            UnionEvalError::Cancelled => {
+                reg.add("core.answer.cancelled", 1);
+                AnswerError::Cancelled
+            }
+        };
         let threads = self.threads;
         let mut eval_stats: Option<EvalStats> = None;
         let sols = match &self.state {
@@ -219,9 +247,11 @@ impl StoreSnapshot {
                     };
                     // The union-aware evaluator: shared-prefix trie +
                     // scan cache, parallel across the threads knob. A
-                    // worker panic surfaces as `AnswerError::Worker`; the
-                    // snapshot itself stays consistent.
-                    let (sols, stats) = try_evaluate_union(graph, &q_ref, threads)?;
+                    // worker panic surfaces as `AnswerError::Worker`, a
+                    // tripped token as `AnswerError::Cancelled`; the
+                    // snapshot itself stays consistent either way.
+                    let (sols, stats) = try_evaluate_union_cancel(graph, &q_ref, threads, cancel)
+                        .map_err(map_union)?;
                     eval_stats = Some(stats);
                     sols
                 }
@@ -246,7 +276,9 @@ impl StoreSnapshot {
                             let _refo = reg.span("core.answer.reformulate");
                             reformulate(q, schema, &self.vocab)?
                         };
-                        let (sols, stats) = try_evaluate_union(base, &r.query, threads)?;
+                        let (sols, stats) =
+                            try_evaluate_union_cancel(base, &r.query, threads, cancel)
+                                .map_err(map_union)?;
                         eval_stats = Some(stats);
                         sols
                     }
@@ -365,8 +397,31 @@ impl StoreReader {
 
     /// Answers a prepared query against the current published epoch.
     pub fn answer(&self, q: &Query) -> Result<(Solutions, Option<EvalStats>, u64), AnswerError> {
+        self.answer_cancel(q, &CancelToken::none())
+    }
+
+    /// [`answer`](StoreReader::answer) with cooperative cancellation (see
+    /// [`StoreSnapshot::answer_cancel`]).
+    pub fn answer_cancel(
+        &self,
+        q: &Query,
+        cancel: &CancelToken,
+    ) -> Result<(Solutions, Option<EvalStats>, u64), AnswerError> {
         let snap = self.snapshot();
-        let (sols, stats) = snap.answer(q)?;
+        let (sols, stats) = snap.answer_cancel(q, cancel)?;
+        Ok((sols, stats, snap.epoch()))
+    }
+
+    /// [`answer_sparql`](StoreReader::answer_sparql) with cooperative
+    /// cancellation (see [`StoreSnapshot::answer_cancel`]).
+    pub fn answer_sparql_cancel(
+        &self,
+        sparql: &str,
+        cancel: &CancelToken,
+    ) -> Result<(Solutions, Option<EvalStats>, u64), AnswerError> {
+        let snap = self.snapshot();
+        let q = self.prepare(sparql)?;
+        let (sols, stats) = snap.answer_cancel(&q, cancel)?;
         Ok((sols, stats, snap.epoch()))
     }
 }

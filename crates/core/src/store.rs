@@ -94,6 +94,12 @@ pub enum AnswerError {
     /// without corrupting the store (which stays usable — retry, or drop
     /// to one thread).
     Worker(WorkerPanicked),
+    /// The request's [`obs::CancelToken`] tripped (deadline expired or
+    /// client disconnected) and evaluation was abandoned cooperatively.
+    /// No partial state escapes: the snapshot, scan caches and counters
+    /// are exactly as if the query had never run (plus cancellation
+    /// counters). The server maps this to HTTP 504.
+    Cancelled,
 }
 
 impl fmt::Display for AnswerError {
@@ -103,6 +109,7 @@ impl fmt::Display for AnswerError {
             AnswerError::Query(e) => write!(f, "{e}"),
             AnswerError::Reformulation(e) => write!(f, "{e}"),
             AnswerError::Worker(e) => write!(f, "{e}"),
+            AnswerError::Cancelled => f.write_str("query cancelled (deadline expired)"),
         }
     }
 }

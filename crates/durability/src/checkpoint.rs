@@ -21,7 +21,7 @@ use crate::crc32::crc32;
 use crate::DurabilityError;
 use rdf_model::{Term, Triple};
 use std::path::{Path, PathBuf};
-use webreason_failpoints::fail_point;
+use webreason_failpoints::fail_point_io;
 
 /// File magic: "WRCKP" + format version 1.
 pub const CHECKPOINT_MAGIC: [u8; 8] = *b"WRCKP\x01\0\0";
@@ -114,7 +114,10 @@ pub fn write_checkpoint(dir: &Path, cp: &Checkpoint) -> Result<PathBuf, Durabili
         f.write_all(&bytes)?;
         f.sync_all()?;
     }
-    fail_point!("store.checkpoint.write");
+    // Crash actions model dying between the tmp-file fsync and the
+    // rename; err actions model the rename target's volume failing.
+    // Either way the previous checkpoint (if any) stays intact.
+    fail_point_io!("store.checkpoint.write");
     let path = dir.join(checkpoint_file_name(cp.seq));
     std::fs::rename(&tmp, &path)?;
     // Best effort: persist the rename itself.

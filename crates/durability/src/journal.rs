@@ -21,7 +21,7 @@ use rdf_model::{Term, Triple};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
-use webreason_failpoints::fail_point;
+use webreason_failpoints::fail_point_io;
 
 /// File magic: "WRJNL" + format version 1.
 pub const JOURNAL_MAGIC: [u8; 8] = *b"WRJNL\x01\0\0";
@@ -389,7 +389,10 @@ impl Journal {
     }
 
     fn append_inner(&mut self, record: &JournalRecord, sync: bool) -> Result<u64, DurabilityError> {
-        fail_point!("store.journal.append");
+        // Crash-style (panic/abort) and disk-fault-style (err(ENOSPC),
+        // err(EIO)) actions both arm here; the err flavour surfaces as an
+        // ordinary `DurabilityError::Io`, exactly like a full disk.
+        fail_point_io!("store.journal.append");
         let payload = record.encode();
         let mut frame = Vec::with_capacity(8 + payload.len());
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
@@ -412,6 +415,9 @@ impl Journal {
 
     /// Forces buffered appends to disk regardless of the fsync policy.
     pub fn sync(&mut self) -> Result<(), DurabilityError> {
+        // A failed group fsync models the nastiest disk fault: the frames
+        // are in the file but their durability was never acknowledged.
+        fail_point_io!("store.journal.fsync");
         self.file.sync_data()?;
         obs::global().add("durability.journal.fsyncs", 1);
         Ok(())

@@ -22,12 +22,25 @@
 //! * `panic` — panic at the site (unwinding; exercises panic isolation),
 //! * `abort` — abort the process at the site (no destructors, no unwind;
 //!   models a crash / power cut for recovery tests),
+//! * `err(ENOSPC)` / `err(EIO)` — make the site return the corresponding
+//!   `std::io::Error` (raw OS errno, so `raw_os_error()` matches real
+//!   disk faults). Only sites marked with [`fail_point_io!`] can return;
+//!   a plain [`fail_point!`] ignores an armed `err` action.
 //! * `off`   — explicitly disarmed (useful to override an outer script).
 //!
 //! `@n` (1-based, default 1) delays the action until the *n*-th hit of the
 //! site, so a test can survive two appends and die on the third. Hits are
 //! counted per site with a process-global atomic counter, which makes the
 //! trigger deterministic for a deterministic workload.
+//!
+//! Trigger semantics differ by action class: `panic`/`abort` are
+//! **one-shot** (they fire exactly on hit *n* — the process usually does
+//! not survive to hit *n+1* anyway), while `err(...)` is **persistent**
+//! (it fires on every hit from *n* onward, until re-[`configure`]d).
+//! Persistence is what makes a *fault window* expressible: arm
+//! `store.journal.append=err(ENOSPC)`, run traffic, disarm with
+//! `configure("")` — every append in between fails, exactly like a full
+//! disk that stays full until an operator frees space.
 //!
 //! ## Naming convention
 //!
@@ -62,6 +75,30 @@ macro_rules! fail_point {
     ($name:expr) => {};
 }
 
+/// Marks a fault-injection site on a fallible I/O path.
+///
+/// Like [`fail_point!`], but the site can also be armed with an
+/// `err(ENOSPC)` / `err(EIO)` action, which makes the macro return the
+/// corresponding `std::io::Error` from the enclosing function via `?` —
+/// the enclosing error type must implement `From<std::io::Error>`.
+/// `panic`/`abort` actions behave exactly as at a plain site.
+#[cfg(feature = "failpoints")]
+#[macro_export]
+macro_rules! fail_point_io {
+    ($name:expr) => {
+        $crate::eval_io($name)?
+    };
+}
+
+/// Marks a fault-injection site on a fallible I/O path (no-op build: the
+/// `failpoints` feature is disabled, the macro expands to nothing — no
+/// registry, no branch, no `Result` in sight).
+#[cfg(not(feature = "failpoints"))]
+#[macro_export]
+macro_rules! fail_point_io {
+    ($name:expr) => {};
+}
+
 #[cfg(feature = "failpoints")]
 mod imp {
     use std::collections::HashMap;
@@ -75,8 +112,33 @@ mod imp {
         Panic,
         /// Abort the process at the site — models a hard crash.
         Abort,
+        /// Return an injected `std::io::Error` (only from
+        /// `fail_point_io!` sites). Unlike `Panic`/`Abort`, fires on
+        /// *every* hit from `trigger_at` onward — a fault window stays
+        /// faulted until reconfigured, like a disk that stays full.
+        Err(ErrKind),
         /// Explicitly disarmed.
         Off,
+    }
+
+    /// Which I/O error an [`Action::Err`] site injects. The raw OS errno
+    /// is used so `io::Error::raw_os_error()` is indistinguishable from a
+    /// real disk fault.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ErrKind {
+        /// `ENOSPC` — no space left on device (errno 28).
+        Enospc,
+        /// `EIO` — input/output error (errno 5).
+        Eio,
+    }
+
+    impl ErrKind {
+        fn to_io_error(self) -> std::io::Error {
+            match self {
+                ErrKind::Enospc => std::io::Error::from_raw_os_error(28),
+                ErrKind::Eio => std::io::Error::from_raw_os_error(5),
+            }
+        }
     }
 
     struct Site {
@@ -115,6 +177,8 @@ mod imp {
             let action = match action.trim() {
                 "panic" => Action::Panic,
                 "abort" | "kill" => Action::Abort,
+                a if a.eq_ignore_ascii_case("err(ENOSPC)") => Action::Err(ErrKind::Enospc),
+                a if a.eq_ignore_ascii_case("err(EIO)") => Action::Err(ErrKind::Eio),
                 _ => Action::Off,
             };
             sites.insert(
@@ -130,27 +194,39 @@ mod imp {
     }
 
     /// Evaluates a site: counts the hit and fires the armed action on the
-    /// configured occurrence. Called by `fail_point!`.
+    /// configured occurrence. Called by `fail_point!`. An armed `err`
+    /// action is ignored here — a plain site has no way to return it.
     pub fn eval(name: &str) {
+        let _ = eval_inner(name);
+    }
+
+    /// Evaluates an I/O site: like [`eval`], but an armed `err` action
+    /// returns the injected error (on every hit from `trigger_at`
+    /// onward). Called by `fail_point_io!`.
+    pub fn eval_io(name: &str) -> std::io::Result<()> {
+        eval_inner(name)
+    }
+
+    fn eval_inner(name: &str) -> std::io::Result<()> {
         let reg = registry().lock().expect("failpoint registry");
         let Some(site) = reg.sites.get(name) else {
-            return;
+            return Ok(());
         };
         let hit = site.hits.fetch_add(1, Ordering::SeqCst) + 1;
-        if hit != site.trigger_at {
-            return;
-        }
         match site.action {
-            Action::Off => {}
-            Action::Panic => {
+            // Persistent: the window stays faulted from `trigger_at` on.
+            Action::Err(kind) if hit >= site.trigger_at => Err(kind.to_io_error()),
+            // One-shot actions fire exactly on the configured hit.
+            Action::Panic if hit == site.trigger_at => {
                 drop(reg); // don't poison the registry for catch_unwind users
                 panic!("failpoint {name} triggered (hit {hit})");
             }
-            Action::Abort => {
+            Action::Abort if hit == site.trigger_at => {
                 // Flush nothing, unwind nothing: model a hard crash.
                 eprintln!("failpoint {name} aborting process (hit {hit})");
                 std::process::abort();
             }
+            _ => Ok(()),
         }
     }
 
@@ -173,7 +249,7 @@ mod imp {
 }
 
 #[cfg(feature = "failpoints")]
-pub use imp::{configure, eval, hit_count, Action};
+pub use imp::{configure, eval, eval_io, hit_count, Action, ErrKind};
 
 #[cfg(all(test, feature = "failpoints"))]
 mod tests {
@@ -220,5 +296,73 @@ mod tests {
         let r = std::panic::catch_unwind(|| fail_point!("x"));
         assert!(r.is_err());
         assert_eq!(hit_count("t.off"), 1);
+    }
+
+    fn io_site(name: &str) -> std::io::Result<()> {
+        fail_point_io!(name);
+        Ok(())
+    }
+
+    #[test]
+    fn err_actions_fire_persistently_from_the_trigger() {
+        let _g = serial();
+        configure("t.io=err(ENOSPC)@3");
+        assert!(io_site("t.io").is_ok(), "hit 1 survives");
+        assert!(io_site("t.io").is_ok(), "hit 2 survives");
+        for hit in 3..6 {
+            let e = io_site("t.io").expect_err("err actions persist");
+            assert_eq!(e.raw_os_error(), Some(28), "ENOSPC at hit {hit}");
+        }
+        assert_eq!(hit_count("t.io"), 5);
+        // Disarming ends the fault window; the site heals.
+        configure("");
+        assert!(io_site("t.io").is_ok());
+    }
+
+    #[test]
+    fn err_kinds_map_to_real_errnos() {
+        let _g = serial();
+        configure("t.eio=err(EIO)");
+        assert_eq!(io_site("t.eio").unwrap_err().raw_os_error(), Some(5));
+        configure("t.enospc=err(enospc)"); // case-insensitive inner token
+        assert_eq!(io_site("t.enospc").unwrap_err().raw_os_error(), Some(28));
+    }
+
+    #[test]
+    fn io_sites_still_honour_panic_actions() {
+        let _g = serial();
+        configure("t.io_panic=panic@2");
+        assert!(io_site("t.io_panic").is_ok());
+        let r = std::panic::catch_unwind(|| io_site("t.io_panic"));
+        assert!(r.is_err(), "second hit panics through the io macro");
+        // One-shot: hit 3 is inert again.
+        assert!(io_site("t.io_panic").is_ok());
+    }
+
+    #[test]
+    fn plain_sites_ignore_err_actions() {
+        let _g = serial();
+        configure("t.plain=err(ENOSPC)");
+        fail_point!("t.plain"); // no way to return: must not fire
+        assert_eq!(hit_count("t.plain"), 1);
+    }
+}
+
+/// Default-build proof: with the `failpoints` feature off, the macros
+/// expand to nothing — the compiler sees a function whose only statement
+/// is `Ok(())`, no registry, no atomics, no branch. The CI
+/// `cargo test -p webreason-failpoints` (no features) run compiles and
+/// executes this, pinning the zero-cost claim.
+#[cfg(all(test, not(feature = "failpoints")))]
+mod noop_tests {
+    fn io_site() -> std::io::Result<()> {
+        fail_point_io!("store.journal.append");
+        Ok(())
+    }
+
+    #[test]
+    fn disabled_macros_compile_to_nothing() {
+        fail_point!("store.journal.append");
+        assert!(io_site().is_ok(), "an unarmed build can never inject");
     }
 }

@@ -39,11 +39,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod clock;
 pub mod histogram;
 pub mod registry;
 pub mod snapshot;
 
+pub use cancel::CancelToken;
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use histogram::{bucket_bounds, bucket_index, Histogram, BUCKETS};
 pub use registry::{Counter, Registry, Span, SpanAgg};

@@ -56,6 +56,8 @@ pub mod rules;
 mod saturation;
 mod schema;
 
-pub use parallel::saturate_parallel;
+pub use parallel::{
+    saturate_parallel, try_saturate_parallel, try_saturate_parallel_cancel, ParallelError,
+};
 pub use saturation::{saturate, saturate_full, saturate_naive, SaturationResult, SaturationStats};
 pub use schema::Schema;

@@ -30,12 +30,46 @@
 
 use crate::saturation::{derive_instance_consequences, SaturationResult, SaturationStats};
 use crate::schema::Schema;
+use obs::CancelToken;
 use rdf_model::{Graph, Triple, TripleBuckets, Vocab, WorkerPanicked};
 use rustc_hash::{FxHashMap, FxHashSet};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 use webreason_failpoints::fail_point;
+
+/// How many base triples a derive worker processes between cancellation
+/// polls. Small enough that an expired deadline stops a worker within
+/// microseconds of work; large enough that the poll (one atomic load)
+/// never shows up in a profile.
+const CANCEL_POLL_STRIDE: usize = 512;
+
+/// Why a cancellable parallel saturation returned no result.
+#[derive(Debug)]
+pub enum ParallelError {
+    /// A derive worker panicked (a bug, or an armed failpoint).
+    Worker(WorkerPanicked),
+    /// The [`CancelToken`] tripped; every worker's routed buckets were
+    /// discarded whole and nothing was merged into an output graph.
+    Cancelled,
+}
+
+impl std::fmt::Display for ParallelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParallelError::Worker(e) => write!(f, "{e}"),
+            ParallelError::Cancelled => f.write_str("parallel saturation cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for ParallelError {}
+
+impl From<WorkerPanicked> for ParallelError {
+    fn from(e: WorkerPanicked) -> Self {
+        ParallelError::Worker(e)
+    }
+}
 
 /// Computes `G∞` with `threads` worker threads for both phases.
 ///
@@ -68,6 +102,32 @@ pub fn try_saturate_parallel(
     vocab: &Vocab,
     threads: NonZeroUsize,
 ) -> Result<SaturationResult, WorkerPanicked> {
+    match try_saturate_parallel_cancel(g, vocab, threads, &CancelToken::none()) {
+        Ok(result) => Ok(result),
+        Err(ParallelError::Worker(e)) => Err(e),
+        Err(ParallelError::Cancelled) => {
+            unreachable!("a CancelToken::none() saturation never cancels")
+        }
+    }
+}
+
+/// [`try_saturate_parallel`] with cooperative cancellation: each derive
+/// worker polls `cancel` every [`CANCEL_POLL_STRIDE`] base triples, and
+/// the main thread polls it between the derive and merge phases. On trip
+/// every worker's routed buckets are dropped whole, no counters other
+/// than `rdfs.parallel.cancelled` are published, and
+/// [`ParallelError::Cancelled`] is returned.
+///
+/// The store's maintenance path deliberately passes
+/// [`CancelToken::none`]: an update's saturation must run to completion
+/// for atomicity, so only standalone/offline saturations (CLI, bench)
+/// are candidates for a live token.
+pub fn try_saturate_parallel_cancel(
+    g: &Graph,
+    vocab: &Vocab,
+    threads: NonZeroUsize,
+    cancel: &CancelToken,
+) -> Result<SaturationResult, ParallelError> {
     let reg = obs::global();
     let _run_span = reg.span("rdfs.parallel.run");
     let threads = threads.get();
@@ -83,7 +143,9 @@ pub fn try_saturate_parallel(
     let derive_start = Instant::now();
     let base: Vec<Triple> = g.iter().collect();
     let chunk = base.len().div_ceil(threads).max(1);
-    type WorkerResult = Result<(TripleBuckets, u64), WorkerPanicked>;
+    // `None` inside the Ok arm means the worker saw the token trip and
+    // abandoned its chunk; its partial bucket never leaves the closure.
+    type WorkerResult = Result<Option<(TripleBuckets, u64)>, WorkerPanicked>;
     let worker_out: Vec<WorkerResult> = std::thread::scope(|scope| {
         let schema = &schema;
         let handles: Vec<_> = base
@@ -98,7 +160,10 @@ pub fn try_saturate_parallel(
                         let mut bucket = TripleBuckets::new(shard_count);
                         let mut local =
                             FxHashSet::with_capacity_and_hasher(part.len() * 2, Default::default());
-                        for t in part {
+                        for (i, t) in part.iter().enumerate() {
+                            if i % CANCEL_POLL_STRIDE == 0 && cancel.is_cancelled() {
+                                return None;
+                            }
                             bucket.push(*t);
                             derive_instance_consequences(t, vocab, schema, |_, c| {
                                 if local.insert(c) {
@@ -106,7 +171,7 @@ pub fn try_saturate_parallel(
                                 }
                             });
                         }
-                        (bucket, local.len() as u64)
+                        Some((bucket, local.len() as u64))
                     }))
                     .map_err(|payload| {
                         WorkerPanicked::from_payload("rdfs.parallel.worker", payload)
@@ -120,13 +185,24 @@ pub fn try_saturate_parallel(
             .collect()
     });
     let mut buckets: Vec<TripleBuckets> = Vec::with_capacity(worker_out.len() + 1);
+    let mut worker_raws: Vec<u64> = Vec::with_capacity(worker_out.len());
     let mut derived_raw = 0u64;
+    let mut cancelled = false;
     for result in worker_out {
-        let (bucket, raw) = result?;
-        derived_raw += raw;
-        // Per-worker derivation spread — skew here means poor balance.
-        reg.record("rdfs.parallel.worker_derived", raw);
-        buckets.push(bucket);
+        match result? {
+            Some((bucket, raw)) => {
+                derived_raw += raw;
+                worker_raws.push(raw);
+                buckets.push(bucket);
+            }
+            // One cancelled worker discards the whole pass — but keep
+            // draining so a sibling's panic still surfaces as Worker.
+            None => cancelled = true,
+        }
+    }
+    if cancelled {
+        reg.add("rdfs.parallel.cancelled", 1);
+        return Err(ParallelError::Cancelled);
     }
     // The closed schema is part of G∞. It is tiny, so the main thread
     // routes it, counting its contribution for the stats split below.
@@ -148,6 +224,18 @@ pub fn try_saturate_parallel(
     // Phase 2 — merge. One task per (index, shard), all concurrent. The
     // failpoint sits between the phases: killing here models a crash
     // after derivation but before any write lands in the output graph.
+    // Last cancellation poll: past this point the merge runs to
+    // completion (its writes are into the private `out` graph anyway).
+    if cancel.is_cancelled() {
+        reg.add("rdfs.parallel.cancelled", 1);
+        return Err(ParallelError::Cancelled);
+    }
+    for raw in worker_raws {
+        // Per-worker derivation spread — skew here means poor balance.
+        // Deferred past the last cancellation poll so an abandoned pass
+        // publishes nothing but `rdfs.parallel.cancelled`.
+        reg.record("rdfs.parallel.worker_derived", raw);
+    }
     fail_point!("store.merge.pre_commit");
     let merge_span = reg.span("rdfs.parallel.merge");
     let merge_start = Instant::now();
@@ -252,6 +340,41 @@ mod tests {
         let mut g = Graph::new();
         g.insert(Triple::new(a, vocab.sub_class_of, b));
         let par = saturate_parallel(&g, &vocab, NonZeroUsize::new(64).unwrap());
+        assert_eq!(par.graph, saturate(&g, &vocab).graph);
+    }
+
+    #[test]
+    fn cancelled_saturation_returns_cancelled_and_nothing_else() {
+        let (g, vocab) = fixture();
+        // Trips on the very first poll: every worker abandons its chunk.
+        let cancel = CancelToken::trip_after_checks(1);
+        let err = try_saturate_parallel_cancel(&g, &vocab, NonZeroUsize::new(4).unwrap(), &cancel)
+            .unwrap_err();
+        assert!(matches!(err, ParallelError::Cancelled), "got {err}");
+    }
+
+    #[test]
+    fn cancelled_pass_leaves_a_rerun_identical() {
+        let (g, vocab) = fixture();
+        let threads = NonZeroUsize::new(4).unwrap();
+        let cancel = CancelToken::trip_after_checks(1);
+        let _ = try_saturate_parallel_cancel(&g, &vocab, threads, &cancel);
+        // The abandoned pass left no shared state behind: a fresh run
+        // still equals the sequential closure.
+        let par = try_saturate_parallel_cancel(&g, &vocab, threads, &CancelToken::none()).unwrap();
+        assert_eq!(par.graph, saturate(&g, &vocab).graph);
+    }
+
+    #[test]
+    fn none_token_never_cancels() {
+        let (g, vocab) = fixture();
+        let par = try_saturate_parallel_cancel(
+            &g,
+            &vocab,
+            NonZeroUsize::new(2).unwrap(),
+            &CancelToken::none(),
+        )
+        .unwrap();
         assert_eq!(par.graph, saturate(&g, &vocab).graph);
     }
 

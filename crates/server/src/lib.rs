@@ -27,7 +27,36 @@
 //! | `POST /query`  | SPARQL text     | JSON bindings + stats + epoch      |
 //! | `POST /update` | update script   | JSON apply summary + epoch         |
 //! | `GET /metrics` | —               | Prometheus text (obs registry)     |
-//! | `GET /health`  | —               | `200 ok`                           |
+//! | `GET /health`  | —               | `200 ok` (liveness; never sheds)   |
+//! | `GET /ready`   | —               | `200 ready`, or `503` + reason     |
+//!
+//! # Graceful degradation (PR 8)
+//!
+//! * **Deadlines + cooperative cancellation.** Every request carries a
+//!   [`obs::CancelToken`] stamped from `X-Webreason-Deadline-Ms` (clamped
+//!   to [`ServerConfig::max_deadline_ms`]) or
+//!   [`ServerConfig::default_deadline_ms`]. The token is threaded through
+//!   `StoreReader::answer_sparql_cancel` into the parallel union
+//!   evaluator, which polls it at branch/chunk boundaries; an expired
+//!   deadline returns `504` mid-evaluation (partial per-worker state
+//!   discarded) or `503` + `Retry-After` when the request expired before
+//!   it was ever dispatched. The reactor cancels the token on client
+//!   disconnect, so abandoned queries stop consuming CPU workers.
+//! * **Adaptive load shedding.** The writer and the reactor's dispatch
+//!   queue measure their queue delay (log2 histograms
+//!   `server.update.queue_wait_us` / `server.reactor.dispatch_wait_us`
+//!   plus EWMAs); admission control sheds updates whose estimated wait
+//!   exceeds their deadline budget with `503` + a `Retry-After` computed
+//!   from the observed drain rate. `/health` and `/metrics` bypass
+//!   shedding.
+//! * **Degraded read-only mode.** A journal append/fsync I/O error fails
+//!   the in-flight group (nothing acknowledged, nothing published) and
+//!   flips the server to degraded: updates get `503`
+//!   `{"degraded":"journal_enospc"}` while reads keep serving snapshots.
+//!   A supervisor retries a probe append with jittered exponential
+//!   backoff and exits degraded automatically once the disk heals.
+//!   Checkpoint failures are counted but never degrade (the journal alone
+//!   is durable).
 
 pub mod conn;
 pub mod http;
@@ -45,8 +74,9 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use http::{mark_close, parse_request, write_response, Limits, ParseOutcome, Request};
+use obs::CancelToken;
 use proto::{decode_update_body, ErrorResponse, QueryResponse, UpdateOp, UpdateResponse};
-use webreason_core::{DurableStore, StoreReader};
+use webreason_core::{AnswerError, DurabilityError, DurableError, DurableStore, StoreReader};
 
 /// Connection-handling engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,6 +131,14 @@ pub struct ServerConfig {
     /// Test hook: skip epoll and use the `poll(2)` fallback (also
     /// reachable via `WEBREASON_FORCE_POLL=1`).
     pub force_poll: bool,
+    /// Default per-request deadline in milliseconds, applied when the
+    /// client sends no `X-Webreason-Deadline-Ms` header. `None` disables
+    /// deadlines for header-less requests (the library default, so
+    /// embedded uses opt in; the CLI defaults to 30 000 ms).
+    pub default_deadline_ms: Option<u64>,
+    /// Upper clamp on client-requested deadlines, milliseconds. A header
+    /// asking for more gets exactly this much.
+    pub max_deadline_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -118,14 +156,32 @@ impl Default for ServerConfig {
             max_conns: 4096,
             idle_timeout: Duration::from_secs(10),
             force_poll: false,
+            default_deadline_ms: None,
+            max_deadline_ms: 60_000,
         }
     }
+}
+
+/// Why the writer rejected a job, carried back over the reply channel.
+enum WriteError {
+    /// The server is in read-only degraded mode (value = reason); the
+    /// journal was not touched. Maps to `503` + `Retry-After`.
+    Degraded(String),
+    /// The apply (journal append / group fsync) failed; the update is
+    /// not acknowledged and nothing was published. Maps to `500`.
+    Apply(String),
 }
 
 /// A batch of decoded ops plus the channel the apply outcome returns on.
 struct WriteJob {
     ops: Vec<UpdateOp>,
-    reply: SyncSender<Result<UpdateResponse, String>>,
+    reply: SyncSender<Result<UpdateResponse, WriteError>>,
+    /// Microsecond enqueue timestamp (obs clock) — the writer records the
+    /// queue wait, which feeds the shedding EWMA.
+    enqueued_us: u64,
+    /// Degraded-mode supervisor probe: bypasses the degraded fail-fast
+    /// (it exists to test the journal) and the queue-depth gauge.
+    probe: bool,
 }
 
 /// State shared by the accept/reactor thread and every worker.
@@ -145,6 +201,117 @@ struct Shared {
     /// `/metrics` gauge.
     open_conns: AtomicU64,
     max_conns: usize,
+    /// Deadline knobs (see [`ServerConfig`]).
+    default_deadline_ms: Option<u64>,
+    max_deadline_ms: u64,
+    /// Read-only degraded mode: fast flag checked on every update
+    /// admission; the reason lives behind the mutex the supervisor's
+    /// condvar pairs with.
+    degraded: AtomicBool,
+    degraded_reason: Mutex<Option<String>>,
+    degraded_cv: Condvar,
+    /// EWMAs (µs, α=1/8) feeding admission control: writer queue wait,
+    /// writer per-job service time, reactor dispatch-queue wait.
+    writer_wait_ewma_us: AtomicU64,
+    writer_service_ewma_us: AtomicU64,
+    dispatch_wait_ewma_us: AtomicU64,
+}
+
+impl Shared {
+    fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// The current degraded reason (`"journal_io"` fallback covers the
+    /// moment between the flag flip and the reason store).
+    fn degraded_reason(&self) -> String {
+        lock(&self.degraded_reason)
+            .clone()
+            .unwrap_or_else(|| "journal_io".to_owned())
+    }
+
+    /// Flips into degraded mode (idempotent) and wakes the supervisor.
+    fn enter_degraded(&self, reason: String) {
+        let mut guard = lock(&self.degraded_reason);
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            obs::global().add("server.degraded.entered", 1);
+        }
+        *guard = Some(reason);
+        drop(guard);
+        self.degraded_cv.notify_all();
+    }
+
+    /// Leaves degraded mode (idempotent; called by the writer when a
+    /// probe append + fsync succeeds).
+    fn exit_degraded(&self) {
+        let mut guard = lock(&self.degraded_reason);
+        if self.degraded.swap(false, Ordering::SeqCst) {
+            obs::global().add("server.degraded.exited", 1);
+        }
+        *guard = None;
+    }
+
+    /// Estimated writer-drain time for a newly admitted update, in
+    /// milliseconds: (queued + 1) × observed per-job service EWMA.
+    fn drain_estimate_ms(&self) -> u64 {
+        let depth = self.queue_depth.load(Ordering::SeqCst) + 1;
+        let service = self.writer_service_ewma_us.load(Ordering::Relaxed);
+        depth.saturating_mul(service) / 1000
+    }
+
+    /// `Retry-After` pair (header seconds, body milliseconds) computed
+    /// from the observed drain rate, floored at the configured hint.
+    fn computed_retry_after(&self) -> (u64, u64) {
+        let ms = self
+            .drain_estimate_ms()
+            .max(self.retry_after_secs.saturating_mul(1000).max(1));
+        (ms.div_ceil(1000).max(1), ms)
+    }
+}
+
+/// α=1/8 exponentially-weighted moving average over an atomic cell; a
+/// zero cell seeds directly from the first sample. Racy updates only
+/// blur the estimate — it feeds shedding heuristics, not correctness.
+fn ewma_update(cell: &AtomicU64, sample_us: u64) {
+    let prev = cell.load(Ordering::Relaxed);
+    let next = if prev == 0 {
+        sample_us
+    } else {
+        prev - prev / 8 + sample_us / 8
+    };
+    cell.store(next, Ordering::Relaxed);
+}
+
+/// Classifies a writer-side failure: `Some(reason)` when the store hit a
+/// journal/fsync I/O error (ENOSPC, EIO, …) that should flip the server
+/// into degraded read-only mode; `None` for semantic apply errors, which
+/// stay plain 500s.
+fn degraded_reason_for(e: &DurableError) -> Option<&'static str> {
+    match e {
+        DurableError::Durability(DurabilityError::Io(io)) => Some(match io.raw_os_error() {
+            Some(28) => "journal_enospc",
+            Some(5) => "journal_eio",
+            _ => "journal_io",
+        }),
+        _ => None,
+    }
+}
+
+/// Builds the request's cancellation token: `X-Webreason-Deadline-Ms`
+/// (clamped to the server max) wins, else the configured default, else a
+/// token that never cancels.
+fn deadline_token(req: &Request, shared: &Shared) -> CancelToken {
+    let requested = req
+        .header("x-webreason-deadline-ms")
+        .and_then(|v| v.trim().parse::<u64>().ok());
+    let budget_ms = match requested {
+        Some(ms) => Some(ms.min(shared.max_deadline_ms)),
+        None => shared.default_deadline_ms,
+    };
+    match budget_ms {
+        Some(0) | None => CancelToken::none(),
+        Some(ms) => CancelToken::with_deadline(Duration::from_millis(ms)),
+    }
 }
 
 /// Per-backend thread handles.
@@ -169,6 +336,7 @@ pub struct Server {
     engine: Engine,
     writer_handle: Option<JoinHandle<DurableStore>>,
     writer_tx: Option<SyncSender<WriteJob>>,
+    supervisor_handle: Option<JoinHandle<()>>,
 }
 
 impl Server {
@@ -193,6 +361,14 @@ impl Server {
             update_queue: config.update_queue.max(1),
             open_conns: AtomicU64::new(0),
             max_conns: config.max_conns.max(1),
+            default_deadline_ms: config.default_deadline_ms,
+            max_deadline_ms: config.max_deadline_ms.max(1),
+            degraded: AtomicBool::new(false),
+            degraded_reason: Mutex::new(None),
+            degraded_cv: Condvar::new(),
+            writer_wait_ewma_us: AtomicU64::new(0),
+            writer_service_ewma_us: AtomicU64::new(0),
+            dispatch_wait_ewma_us: AtomicU64::new(0),
         });
 
         let writer_handle = {
@@ -276,12 +452,20 @@ impl Server {
             }
         };
 
+        let supervisor_handle = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("webreason-degraded-supervisor".to_owned())
+                .spawn(move || degraded_supervisor(shared))?
+        };
+
         Ok(Server {
             local_addr,
             shared,
             engine,
             writer_handle: Some(writer_handle),
             writer_tx: Some(writer_tx),
+            supervisor_handle: Some(supervisor_handle),
         })
     }
 
@@ -335,9 +519,14 @@ impl Server {
             }
         }
         // Close every sender (ours plus the revocable shared slot); the
-        // writer applies what is queued, then exits.
+        // writer applies what is queued, then exits. The supervisor sees
+        // the shutdown flag (or the revoked channel) and exits too.
         lock(&self.shared.writer_tx).take();
         drop(self.writer_tx.take());
+        self.shared.degraded_cv.notify_all();
+        if let Some(h) = self.supervisor_handle.take() {
+            let _ = h.join();
+        }
         let writer = self.writer_handle.take().expect("writer joined once");
         writer.join().expect("writer thread panicked")
     }
@@ -358,6 +547,82 @@ impl Drop for Server {
         }
         lock(&self.shared.writer_tx).take();
         drop(self.writer_tx.take());
+        self.shared.degraded_cv.notify_all();
+    }
+}
+
+/// Degraded-mode supervisor: parked until the writer flips the degraded
+/// flag, then probes the journal (an empty `apply_script_deferred` +
+/// group fsync shipped through the ordinary writer queue) with jittered
+/// exponential backoff — 50 ms doubling to a 500 ms cap, ±25% xorshift
+/// jitter — until a probe lands, at which point the *writer* clears the
+/// flag and the supervisor parks again. The 500 ms cap bounds the
+/// worst-case exit latency after the disk heals to well under a second.
+fn degraded_supervisor(shared: Arc<Shared>) {
+    let reg = obs::global();
+    let mut seed = reg.now_us() | 1;
+    let mut xorshift = move || {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        seed
+    };
+    loop {
+        // Park until degraded (or shutting down). The timeout is a
+        // safety net against a missed notify.
+        {
+            let mut guard = lock(&shared.degraded_reason);
+            loop {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                if shared.degraded.load(Ordering::SeqCst) {
+                    break;
+                }
+                guard = shared
+                    .degraded_cv
+                    .wait_timeout(guard, Duration::from_millis(200))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        }
+        let mut backoff_ms = 50u64;
+        while shared.degraded.load(Ordering::SeqCst) && !shared.shutting_down.load(Ordering::SeqCst)
+        {
+            // ±25% jitter so repeated windows don't phase-lock probes.
+            let jitter = (xorshift() % (backoff_ms / 2 + 1)) as i64 - (backoff_ms / 4) as i64;
+            let sleep_ms = (backoff_ms as i64 + jitter).max(1) as u64;
+            std::thread::sleep(Duration::from_millis(sleep_ms));
+            if !shared.degraded.load(Ordering::SeqCst)
+                || shared.shutting_down.load(Ordering::SeqCst)
+            {
+                break;
+            }
+            let Some(tx) = lock(&shared.writer_tx).clone() else {
+                return; // shutdown revoked the channel
+            };
+            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+            reg.add("server.degraded.probes", 1);
+            // Blocking send: the probe must reach the writer even when
+            // the queue is briefly full of fail-fast rejections.
+            if tx
+                .send(WriteJob {
+                    ops: Vec::new(),
+                    reply: reply_tx,
+                    enqueued_us: reg.now_us(),
+                    probe: true,
+                })
+                .is_err()
+            {
+                return;
+            }
+            match reply_rx.recv() {
+                Ok(Ok(_)) => break, // writer already cleared the flag
+                Ok(Err(_)) => {}    // disk still sick; back off further
+                Err(_) => return,   // writer exited
+            }
+            backoff_ms = (backoff_ms * 2).min(500);
+        }
     }
 }
 
@@ -371,13 +636,40 @@ fn cpu_worker_loop(
     completions: Arc<Mutex<Vec<reactor::Completion>>>,
     wakeup: Arc<reactor::WakeupWriter>,
 ) {
+    let reg = obs::global();
     loop {
         // Hold the lock only while dequeuing; evaluation runs unlocked.
         let job = match lock(&job_rx).recv() {
             Ok(job) => job,
             Err(_) => return, // reactor gone: no more work will arrive
         };
-        let resp = dispatch(&job.req, &shared);
+        // Dispatch-queue age: how long the parsed request waited for a
+        // CPU worker. Feeds the shedding EWMA and the latency histogram.
+        let wait_us = reg.now_us().saturating_sub(job.enqueued_us);
+        reg.record("server.reactor.dispatch_wait_us", wait_us);
+        ewma_update(&shared.dispatch_wait_ewma_us, wait_us);
+        let resp = if job.cancel.is_cancelled() {
+            // The deadline expired (or the client vanished) while the
+            // request sat in the dispatch queue — it was never evaluated,
+            // so this is overload shedding (503 + Retry-After), not a
+            // timeout of work in progress (504).
+            reg.add("server.reactor.shed", 1);
+            let (secs, ms) = shared.computed_retry_after();
+            let body = ErrorResponse::to_json_retry(
+                "overloaded",
+                "deadline expired before dispatch; retry after the queues drain",
+                ms,
+            );
+            write_response(
+                503,
+                "Service Unavailable",
+                "application/json",
+                &[("Retry-After", secs.to_string())],
+                &body,
+            )
+        } else {
+            dispatch(&job.req, &shared, &job.cancel)
+        };
         lock(&completions).push(reactor::Completion {
             token: job.token,
             generation: job.generation,
@@ -475,7 +767,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 // the buffered, already-complete requests are served.
                 let shutting = shared.shutting_down.load(Ordering::SeqCst);
                 let close = req.wants_close() || (shutting && buf.is_empty());
-                let mut resp = dispatch(&req, shared);
+                // Threaded backend: no dispatch queue, so the token is
+                // stamped right here and only the evaluation itself can
+                // consume the budget.
+                let cancel = deadline_token(&req, shared);
+                let mut resp = dispatch(&req, shared, &cancel);
                 if close {
                     mark_close(&mut resp);
                 }
@@ -516,12 +812,14 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
 }
 
 /// Routes one parsed request to its endpoint and serialises the response.
-fn dispatch(req: &Request, shared: &Shared) -> Vec<u8> {
+/// `/health` and `/metrics` never shed and never consult the deadline —
+/// they are the probes operators rely on *during* overload.
+fn dispatch(req: &Request, shared: &Shared, cancel: &CancelToken) -> Vec<u8> {
     let reg = obs::global();
     match (req.method.as_str(), req.path()) {
         ("POST", "/query") => {
             let start = reg.now_us();
-            let resp = handle_query(req, shared);
+            let resp = handle_query(req, shared, cancel);
             reg.record(
                 "server.query.latency_us",
                 reg.now_us().saturating_sub(start),
@@ -530,7 +828,7 @@ fn dispatch(req: &Request, shared: &Shared) -> Vec<u8> {
         }
         ("POST", "/update") => {
             let start = reg.now_us();
-            let resp = handle_update(req, shared);
+            let resp = handle_update(req, shared, cancel);
             reg.record(
                 "server.update.latency_us",
                 reg.now_us().saturating_sub(start),
@@ -539,7 +837,8 @@ fn dispatch(req: &Request, shared: &Shared) -> Vec<u8> {
         }
         ("GET", "/metrics") => handle_metrics(shared),
         ("GET", "/health") => write_response(200, "OK", "text/plain", &[], b"ok"),
-        (_, "/query") | (_, "/update") | (_, "/metrics") | (_, "/health") => {
+        ("GET", "/ready") => handle_ready(shared),
+        (_, "/query") | (_, "/update") | (_, "/metrics") | (_, "/health") | (_, "/ready") => {
             let body = ErrorResponse::to_json("method_not_allowed", "wrong method for path");
             write_response(405, "Method Not Allowed", "application/json", &[], &body)
         }
@@ -550,7 +849,35 @@ fn dispatch(req: &Request, shared: &Shared) -> Vec<u8> {
     }
 }
 
-fn handle_query(req: &Request, shared: &Shared) -> Vec<u8> {
+/// Readiness: distinct from `/health` (pure liveness) so orchestrators
+/// can pull a degraded or draining instance out of the write path while
+/// the process itself stays up (reads keep flowing either way).
+fn handle_ready(shared: &Shared) -> Vec<u8> {
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        let body = ErrorResponse::to_json("shutting_down", "server is draining");
+        return write_response(503, "Service Unavailable", "application/json", &[], &body);
+    }
+    if shared.is_degraded() {
+        let reason = shared.degraded_reason();
+        let (secs, ms) = shared.computed_retry_after();
+        let body = ErrorResponse::to_json_full(
+            "degraded",
+            "journal faulted; serving reads only",
+            Some(ms),
+            Some(reason),
+        );
+        return write_response(
+            503,
+            "Service Unavailable",
+            "application/json",
+            &[("Retry-After", secs.to_string())],
+            &body,
+        );
+    }
+    write_response(200, "OK", "text/plain", &[], b"ready")
+}
+
+fn handle_query(req: &Request, shared: &Shared, cancel: &CancelToken) -> Vec<u8> {
     let reg = obs::global();
     reg.add("server.query.requests", 1);
     let sparql = match std::str::from_utf8(&req.body) {
@@ -561,7 +888,7 @@ fn handle_query(req: &Request, shared: &Shared) -> Vec<u8> {
             return write_response(400, "Bad Request", "application/json", &[], &body);
         }
     };
-    match shared.reader.answer_sparql(sparql) {
+    match shared.reader.answer_sparql_cancel(sparql, cancel) {
         Ok((sols, stats, epoch)) => {
             let rows = {
                 let dict = shared.reader.dictionary();
@@ -588,6 +915,18 @@ fn handle_query(req: &Request, shared: &Shared) -> Vec<u8> {
                 .unwrap_or_else(|_| b"{\"error\":\"internal\"}".to_vec());
             write_response(200, "OK", "application/json", &[], &body)
         }
+        Err(AnswerError::Cancelled) => {
+            // Cooperative cancellation fired mid-evaluation: the deadline
+            // expired (or the reactor cancelled on disconnect). Every
+            // worker's partial state was discarded; the snapshot and its
+            // caches are untouched.
+            reg.add("server.query.deadline_exceeded", 1);
+            let body = ErrorResponse::to_json(
+                "deadline_exceeded",
+                "query cancelled: deadline expired during evaluation",
+            );
+            write_response(504, "Gateway Timeout", "application/json", &[], &body)
+        }
         Err(e) => {
             reg.add("server.query.errors", 1);
             let body = ErrorResponse::to_json("bad_query", &e.to_string());
@@ -596,7 +935,7 @@ fn handle_query(req: &Request, shared: &Shared) -> Vec<u8> {
     }
 }
 
-fn handle_update(req: &Request, shared: &Shared) -> Vec<u8> {
+fn handle_update(req: &Request, shared: &Shared, cancel: &CancelToken) -> Vec<u8> {
     let reg = obs::global();
     reg.add("server.update.requests", 1);
     let text = match std::str::from_utf8(&req.body) {
@@ -626,10 +965,56 @@ fn handle_update(req: &Request, shared: &Shared) -> Vec<u8> {
         return write_response(200, "OK", "application/json", &[], &body);
     }
 
+    // Degraded mode: the journal is sick, so updates are refused before
+    // they touch the queue. Reads keep flowing from published snapshots.
+    if shared.is_degraded() {
+        reg.add("server.update.degraded_rejects", 1);
+        let (secs, ms) = shared.computed_retry_after();
+        let reason = shared.degraded_reason();
+        let body = ErrorResponse::to_json_full(
+            "degraded",
+            "journal faulted; server is read-only until the disk heals",
+            Some(ms),
+            Some(reason),
+        );
+        return write_response(
+            503,
+            "Service Unavailable",
+            "application/json",
+            &[("Retry-After", secs.to_string())],
+            &body,
+        );
+    }
+
+    // Adaptive shedding: if the measured writer drain rate says this
+    // request cannot be serviced inside its deadline budget, refuse it
+    // now — a 503 in microseconds beats a 504 after the full wait.
+    if let Some(remaining) = cancel.remaining() {
+        let est_us = shared.drain_estimate_ms().saturating_mul(1000);
+        if est_us > remaining.as_micros() as u64 {
+            reg.add("server.update.shed", 1);
+            let (secs, ms) = shared.computed_retry_after();
+            let body = ErrorResponse::to_json_retry(
+                "overloaded",
+                "estimated queue delay exceeds the request deadline",
+                ms,
+            );
+            return write_response(
+                503,
+                "Service Unavailable",
+                "application/json",
+                &[("Retry-After", secs.to_string())],
+                &body,
+            );
+        }
+    }
+
     let (reply_tx, reply_rx) = mpsc::sync_channel(1);
     let job = WriteJob {
         ops,
         reply: reply_tx,
+        enqueued_us: reg.now_us(),
+        probe: false,
     };
     // Clone the sender out of the revocable slot so shutdown can
     // disconnect the writer; a `None` here means the writer is gone.
@@ -648,9 +1033,10 @@ fn handle_update(req: &Request, shared: &Shared) -> Vec<u8> {
         Err(TrySendError::Full(_)) => {
             shared.queue_depth.fetch_sub(1, Ordering::SeqCst);
             reg.add("server.update.rejected", 1);
-            let body = ErrorResponse::to_json(
+            let body = ErrorResponse::to_json_retry(
                 "overloaded",
                 "update queue is full; retry after the writer drains",
+                shared.retry_after_secs.saturating_mul(1000).max(1),
             );
             return write_response(
                 429,
@@ -673,7 +1059,26 @@ fn handle_update(req: &Request, shared: &Shared) -> Vec<u8> {
                 .unwrap_or_default();
             write_response(200, "OK", "application/json", &[], &body)
         }
-        Ok(Err(msg)) => {
+        Ok(Err(WriteError::Degraded(reason))) => {
+            // The fault landed while this job was queued: fail-fast from
+            // the writer, journal untouched, nothing acknowledged.
+            reg.add("server.update.degraded_rejects", 1);
+            let (secs, ms) = shared.computed_retry_after();
+            let body = ErrorResponse::to_json_full(
+                "degraded",
+                "journal faulted; server is read-only until the disk heals",
+                Some(ms),
+                Some(reason),
+            );
+            write_response(
+                503,
+                "Service Unavailable",
+                "application/json",
+                &[("Retry-After", secs.to_string())],
+                &body,
+            )
+        }
+        Ok(Err(WriteError::Apply(msg))) => {
             let body = ErrorResponse::to_json("apply_failed", &msg);
             write_response(500, "Internal Server Error", "application/json", &[], &body)
         }
@@ -698,11 +1103,17 @@ fn handle_metrics(shared: &Shared) -> Vec<u8> {
          # TYPE webreason_server_open_connections gauge\n\
          webreason_server_open_connections {}\n\
          # TYPE webreason_server_max_connections gauge\n\
-         webreason_server_max_connections {}\n",
+         webreason_server_max_connections {}\n\
+         # TYPE webreason_server_degraded gauge\n\
+         webreason_server_degraded {}\n\
+         # TYPE webreason_server_drain_estimate_ms gauge\n\
+         webreason_server_drain_estimate_ms {}\n",
         shared.queue_depth.load(Ordering::SeqCst),
         shared.update_queue,
         shared.open_conns.load(Ordering::SeqCst),
         shared.max_conns,
+        u64::from(shared.is_degraded()),
+        shared.drain_estimate_ms(),
     ));
     write_response(200, "OK", "text/plain; version=0.0.4", &[], text.as_bytes())
 }
@@ -738,39 +1149,82 @@ fn writer_loop(
                 jobs.push(job);
             }
         }
-        shared
-            .queue_depth
-            .fetch_sub(jobs.len() as u64, Ordering::SeqCst);
+        // Probes never passed through the admission gauge, so only the
+        // client jobs release queue slots.
+        let client_jobs = jobs.iter().filter(|j| !j.probe).count() as u64;
+        shared.queue_depth.fetch_sub(client_jobs, Ordering::SeqCst);
+        let now = reg.now_us();
+        for job in &jobs {
+            let wait = now.saturating_sub(job.enqueued_us);
+            reg.record("server.update.queue_wait_us", wait);
+            ewma_update(&shared.writer_wait_ewma_us, wait);
+        }
         reg.add("server.update.groups", 1);
         reg.record("server.update.group_size", jobs.len() as u64);
+        let group_start = reg.now_us();
 
         // Journal + apply each script; under group commit the per-record
         // fsync is deferred to the single group sync below. A job whose
         // append fails is rejected whole — none of its ops applied — and
-        // does not poison its groupmates.
-        let mut outcomes: Vec<Result<webreason_core::ScriptOutcome, String>> = jobs
+        // does not poison its groupmates. A *journal I/O* failure
+        // additionally flips the server into degraded read-only mode:
+        // the failing job 500s (its durability attempt really happened),
+        // while later client jobs in the same drain fail-fast with a
+        // Degraded reply rather than hammering the sick disk. Probe jobs
+        // (from the degraded supervisor) always attempt the disk.
+        let mut faulted = shared.is_degraded().then(|| shared.degraded_reason());
+        let mut outcomes: Vec<Result<webreason_core::ScriptOutcome, WriteError>> = jobs
             .iter()
             .map(|job| {
-                if group_commit {
+                if let Some(reason) = &faulted {
+                    if !job.probe {
+                        return Err(WriteError::Degraded(reason.clone()));
+                    }
+                }
+                let result = if group_commit {
                     store.apply_script_deferred(&job.ops)
                 } else {
                     store.apply_script(&job.ops)
-                }
-                .map_err(|e| e.to_string())
+                };
+                result.map_err(|e| {
+                    if let Some(reason) = degraded_reason_for(&e) {
+                        shared.enter_degraded(reason.to_owned());
+                        faulted = Some(reason.to_owned());
+                    }
+                    WriteError::Apply(e.to_string())
+                })
             })
             .collect();
         let mut any_ok = outcomes.iter().any(Result::is_ok);
         if group_commit && any_ok {
             if let Err(e) = store.sync_group() {
                 // The group's durability is unknown: nothing is
-                // acknowledged, nothing is published.
+                // acknowledged, nothing is published. An fsync I/O error
+                // is a disk fault like any other — degrade.
+                if let Some(reason) = degraded_reason_for(&e) {
+                    shared.enter_degraded(reason.to_owned());
+                }
                 let msg = e.to_string();
                 for o in outcomes.iter_mut().filter(|o| o.is_ok()) {
-                    *o = Err(msg.clone());
+                    *o = Err(WriteError::Apply(msg.clone()));
                 }
                 any_ok = false;
             }
         }
+        // A probe that journaled *and* synced proves the disk has healed:
+        // the writer itself clears degraded mode, so there is no window
+        // where a queued client job can observe a half-cleared flag.
+        if jobs
+            .iter()
+            .zip(&outcomes)
+            .any(|(job, o)| job.probe && o.is_ok())
+        {
+            shared.exit_degraded();
+        }
+        // Service-rate sample: mean per-job cost of this drained group,
+        // feeding the shed estimator's drain rate.
+        let per_job_us = reg.now_us().saturating_sub(group_start) / jobs.len() as u64;
+        ewma_update(&shared.writer_service_ewma_us, per_job_us);
         // One published epoch per group, and only after a successful
         // apply — on error readers stay on the previous epoch.
         let epoch = if any_ok {
@@ -782,8 +1236,10 @@ fn writer_loop(
         for (job, outcome) in jobs.iter().zip(outcomes) {
             let reply = match outcome {
                 Ok(o) => {
-                    reg.add("server.update.applied", 1);
-                    since_checkpoint += 1;
+                    if !job.probe {
+                        reg.add("server.update.applied", 1);
+                        since_checkpoint += 1;
+                    }
                     Ok(UpdateResponse {
                         accepted: job.ops.len(),
                         added: o.added,
@@ -791,9 +1247,11 @@ fn writer_loop(
                         epoch,
                     })
                 }
-                Err(msg) => {
-                    reg.add("server.update.apply_errors", 1);
-                    Err(msg)
+                Err(e) => {
+                    if !job.probe {
+                        reg.add("server.update.apply_errors", 1);
+                    }
+                    Err(e)
                 }
             };
             // The client may have timed out and dropped the receiver; the

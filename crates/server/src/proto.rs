@@ -119,21 +119,48 @@ pub struct UpdateResponse {
     pub epoch: u64,
 }
 
-/// JSON error payload used by every non-2xx response with a body.
+/// JSON error payload used by every non-2xx response with a body. The
+/// shape is uniform across both backends and every error class:
+/// `retry_after_ms` is non-null exactly when the response carries a
+/// `Retry-After` header (429 backpressure, 503 shed/degraded/limit), and
+/// `degraded` is non-null exactly when the server is in read-only
+/// degraded mode (its value is the machine-readable reason, e.g.
+/// `journal_enospc`).
 #[derive(Debug, Serialize)]
 pub struct ErrorResponse {
     /// Machine-readable error class (`bad_request`, `overloaded`, …).
     pub error: String,
     /// Human-readable detail.
     pub message: String,
+    /// Suggested retry delay in milliseconds (mirrors `Retry-After`).
+    pub retry_after_ms: Option<u64>,
+    /// Degraded-mode reason when the server is read-only.
+    pub degraded: Option<String>,
 }
 
 impl ErrorResponse {
-    /// Serialises the payload (infallible: plain strings).
+    /// Serialises a plain error payload (infallible: plain strings).
     pub fn to_json(error: &str, message: &str) -> Vec<u8> {
+        Self::to_json_full(error, message, None, None)
+    }
+
+    /// Serialises an error payload carrying a retry hint.
+    pub fn to_json_retry(error: &str, message: &str, retry_after_ms: u64) -> Vec<u8> {
+        Self::to_json_full(error, message, Some(retry_after_ms), None)
+    }
+
+    /// Serialises the full payload.
+    pub fn to_json_full(
+        error: &str,
+        message: &str,
+        retry_after_ms: Option<u64>,
+        degraded: Option<String>,
+    ) -> Vec<u8> {
         serde_json::to_string(&ErrorResponse {
             error: error.to_owned(),
             message: message.to_owned(),
+            retry_after_ms,
+            degraded,
         })
         .map(String::into_bytes)
         .unwrap_or_else(|_| b"{\"error\":\"internal\"}".to_vec())

@@ -40,6 +40,7 @@ use crate::lock;
 use crate::proto::ErrorResponse;
 use crate::wheel::TimerWheel;
 use crate::Shared;
+use obs::CancelToken;
 
 /// Raw Linux syscall surface. Numbers/layouts match the x86_64 and
 /// aarch64 ABIs; `EpollEvent` is packed only on x86_64 (the kernel
@@ -330,6 +331,13 @@ pub(crate) fn wakeup_pair() -> io::Result<(WakeupReader, Arc<WakeupWriter>)> {
 pub(crate) struct Job {
     pub token: usize,
     pub generation: u64,
+    /// Deadline/disconnect token: armed from the request's deadline at
+    /// enqueue time, tripped early if the connection dies while the job
+    /// waits — a worker picking up a dead job sheds it without evaluating.
+    pub cancel: CancelToken,
+    /// `Registry::now_us` when the job entered the dispatch queue, for
+    /// the queue-delay histogram feeding admission control.
+    pub enqueued_us: u64,
     pub req: Box<crate::http::Request>,
 }
 
@@ -363,6 +371,9 @@ struct Slot {
     armed: Option<u64>,
     /// Interest mask last registered with the poller.
     interest: (bool, bool),
+    /// Cancel token of the in-flight dispatched request, tripped when the
+    /// slot is reaped so the worker stops evaluating for a dead client.
+    cancel: CancelToken,
 }
 
 /// Index-stable slot arena; generations disambiguate reuse.
@@ -389,6 +400,7 @@ impl Slab {
             generation,
             armed: None,
             interest: (false, false),
+            cancel: CancelToken::none(),
         };
         match self.free.pop() {
             Some(i) => {
@@ -486,18 +498,26 @@ pub(crate) fn reactor_loop(params: ReactorParams) {
                     };
                     if ev.writable {
                         if let Some(req) = slot.conn.on_writable(&mut slot.stream, now) {
+                            let cancel = crate::deadline_token(&req, &shared);
+                            slot.cancel = cancel.clone();
                             ready.push_back(Job {
                                 token,
                                 generation: slot.generation,
+                                cancel,
+                                enqueued_us: reg.now_us(),
                                 req,
                             });
                         }
                     }
                     if ev.readable {
                         if let Some(req) = slot.conn.on_readable(&mut slot.stream, now) {
+                            let cancel = crate::deadline_token(&req, &shared);
+                            slot.cancel = cancel.clone();
                             ready.push_back(Job {
                                 token,
                                 generation: slot.generation,
+                                cancel,
+                                enqueued_us: reg.now_us(),
                                 req,
                             });
                         }
@@ -520,9 +540,13 @@ pub(crate) fn reactor_loop(params: ReactorParams) {
                 .conn
                 .on_response(c.resp, draining, &mut slot.stream, now)
             {
+                let cancel = crate::deadline_token(&req, &shared);
+                slot.cancel = cancel.clone();
                 ready.push_back(Job {
                     token: c.token,
                     generation: slot.generation,
+                    cancel,
+                    enqueued_us: reg.now_us(),
                     req,
                 });
             }
@@ -542,7 +566,7 @@ pub(crate) fn reactor_loop(params: ReactorParams) {
         if shared.shutting_down.load(Ordering::SeqCst) && !draining {
             draining = true;
             if let Some(l) = listener.take() {
-                drain_backlog(&l);
+                drain_backlog(&l, &shared);
                 poller.remove(listener_fd);
                 // Dropping the listener here closes the socket: late
                 // connects get a refusal instead of parking in a backlog
@@ -610,7 +634,9 @@ fn accept_ready(
                         stream,
                         503,
                         "Service Unavailable",
+                        "overloaded",
                         "connection limit reached",
+                        Some(shared.retry_after_secs),
                     );
                     continue;
                 }
@@ -651,21 +677,38 @@ fn accept_ready(
 }
 
 /// After the shutdown flag: answer whatever is already in the backlog.
-fn drain_backlog(listener: &TcpListener) {
+fn drain_backlog(listener: &TcpListener, shared: &Arc<Shared>) {
     while let Ok((stream, _)) = listener.accept() {
         refuse(
             stream,
             503,
             "Service Unavailable",
+            "unavailable",
             "server is shutting down",
+            Some(shared.retry_after_secs),
         );
     }
 }
 
-/// Best-effort one-shot refusal on a connection we will not serve.
-fn refuse(mut stream: TcpStream, status: u16, reason: &str, msg: &str) {
-    let body = ErrorResponse::to_json("unavailable", msg);
-    let mut resp = write_response(status, reason, "application/json", &[], &body);
+/// Best-effort one-shot refusal on a connection we will not serve. The
+/// body keeps the uniform error shape; `retry_after_secs` mirrors into
+/// both the header and `retry_after_ms` so clients can back off.
+fn refuse(
+    mut stream: TcpStream,
+    status: u16,
+    reason: &str,
+    error: &str,
+    msg: &str,
+    retry_after_secs: Option<u64>,
+) {
+    let (body, headers) = match retry_after_secs {
+        Some(secs) => (
+            ErrorResponse::to_json_retry(error, msg, secs.saturating_mul(1000).max(1)),
+            vec![("Retry-After", secs.to_string())],
+        ),
+        None => (ErrorResponse::to_json(error, msg), Vec::new()),
+    };
+    let mut resp = write_response(status, reason, "application/json", &headers, &body);
     mark_close(&mut resp);
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(std::time::Duration::from_millis(100)));
@@ -708,8 +751,11 @@ fn finish_slot(
 }
 
 /// Removes a slot: poller deregistration, socket close, gauge decrement.
+/// Trips the slot's cancel token so a worker still evaluating for this
+/// connection stops at its next poll instead of computing into the void.
 fn drop_slot(token: usize, slab: &mut Slab, poller: &mut Poller, shared: &Arc<Shared>) {
     if let Some(slot) = slab.remove(token) {
+        slot.cancel.cancel();
         poller.remove(slot.stream.as_raw_fd());
         shared.open_conns.fetch_sub(1, Ordering::SeqCst);
         // Socket closes on drop.

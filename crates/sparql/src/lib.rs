@@ -50,4 +50,6 @@ pub use eval::{
     Solutions,
 };
 pub use parser::{parse_query, QueryParseError};
-pub use union_eval::{evaluate_union, try_evaluate_union, EvalStats};
+pub use union_eval::{
+    evaluate_union, try_evaluate_union, try_evaluate_union_cancel, EvalStats, UnionEvalError,
+};

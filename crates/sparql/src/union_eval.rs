@@ -37,9 +37,11 @@
 use crate::ast::{Query, TriplePattern};
 use crate::eval::{bind_triple, passes_negation, resolve, Solutions};
 use crate::plan::{plan_bgp_with, DistinctCounts};
+use obs::CancelToken;
 use rdf_model::{Graph, Pattern, TermId, Triple, WorkerPanicked};
 use rustc_hash::{FxHashMap, FxHashSet, FxHasher};
 use smallvec::SmallVec;
+use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -49,6 +51,35 @@ use webreason_failpoints::fail_point;
 
 /// One projected answer row.
 type Row = Vec<TermId>;
+
+/// Why a cancellable union evaluation returned no answer.
+#[derive(Debug)]
+pub enum UnionEvalError {
+    /// A parallel worker panicked (a bug, or an armed failpoint).
+    Worker(WorkerPanicked),
+    /// The request's [`CancelToken`] tripped — deadline exceeded or
+    /// client gone. Every worker's partial state (row shards, scan
+    /// caches) was discarded whole; no counters for the abandoned pass
+    /// were published, so a re-run is bit-identical to a fresh run.
+    Cancelled,
+}
+
+impl fmt::Display for UnionEvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnionEvalError::Worker(e) => write!(f, "{e}"),
+            UnionEvalError::Cancelled => f.write_str("union evaluation cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for UnionEvalError {}
+
+impl From<WorkerPanicked> for UnionEvalError {
+    fn from(e: WorkerPanicked) -> Self {
+        UnionEvalError::Worker(e)
+    }
+}
 
 /// Evaluation statistics of one union-aware evaluation, surfaced through
 /// `Store::answer`, the `webreason query` CLI and the A-REF bench table.
@@ -327,12 +358,18 @@ fn step(
 /// Evaluates one chunk of branches: builds the chunk's trie, walks it with
 /// a fresh scan cache, and routes projected rows into `shard_count`
 /// hash-sharded buckets.
+///
+/// Cancellation is polled between trie roots — the branch boundary of
+/// this worker's chunk. `None` means the token tripped: the partial
+/// shards and the worker-private scan cache are dropped on return, so
+/// nothing of the abandoned pass survives.
 fn run_chunk(
     g: &Graph,
     q: &Query,
     branches: &[Vec<TriplePattern>],
     shard_count: usize,
-) -> WorkerOutput {
+    cancel: &CancelToken,
+) -> Option<WorkerOutput> {
     let trie = Trie::build(branches);
     let mask = shard_count - 1;
     let mut shards: Vec<Vec<Row>> = (0..shard_count).map(|_| Vec::new()).collect();
@@ -374,16 +411,19 @@ fn run_chunk(
             emit(&binding, trie.empty_mult);
         }
         for root in &trie.roots {
+            if cancel.is_cancelled() {
+                return None;
+            }
             walk(g, root, &mut binding, &mut cache, &mut emit);
         }
     }
-    WorkerOutput {
+    Some(WorkerOutput {
         shards,
         cache_hits: cache.hits,
         cache_misses: cache.misses,
         trie_nodes: trie.nodes,
         shared_branches: trie.shared_branches,
-    }
+    })
 }
 
 /// Merges one shard's per-worker row lists. Workers already deduplicated
@@ -434,6 +474,30 @@ pub fn try_evaluate_union(
     q: &Query,
     threads: NonZeroUsize,
 ) -> Result<(Solutions, EvalStats), WorkerPanicked> {
+    match try_evaluate_union_cancel(g, q, threads, &CancelToken::none()) {
+        Ok(r) => Ok(r),
+        Err(UnionEvalError::Worker(w)) => Err(w),
+        Err(UnionEvalError::Cancelled) => {
+            unreachable!("a CancelToken::none() evaluation never cancels")
+        }
+    }
+}
+
+/// [`try_evaluate_union`] with cooperative cancellation: `cancel` is
+/// polled at branch boundaries inside every worker (between trie roots),
+/// between the planning, evaluation and merge phases, and between shard
+/// merges. A tripped token aborts the query with
+/// [`UnionEvalError::Cancelled`]; no partial rows escape and no
+/// `sparql.union.*` counters for the abandoned pass are published
+/// (except `sparql.union.cancelled` itself), so a subsequent identical
+/// query behaves bit-identically to one that was never preceded by a
+/// cancelled run.
+pub fn try_evaluate_union_cancel(
+    g: &Graph,
+    q: &Query,
+    threads: NonZeroUsize,
+    cancel: &CancelToken,
+) -> Result<(Solutions, EvalStats), UnionEvalError> {
     let reg = obs::global();
     let _total_span = reg.span("sparql.union.total");
     let eval_start = Instant::now();
@@ -448,6 +512,12 @@ pub fn try_evaluate_union(
     let dc = DistinctCounts::of(g);
     let mut branches: Vec<Vec<TriplePattern>> = Vec::with_capacity(q.bgps.len());
     for bgp in &q.bgps {
+        // Branch boundary: a deadline that expires while planning a
+        // hundreds-of-branches union stops before evaluation starts.
+        if cancel.is_cancelled() {
+            reg.add("sparql.union.cancelled", 1);
+            return Err(UnionEvalError::Cancelled);
+        }
         let vars = bgp.variables();
         if !q.projection.iter().all(|v| vars.contains(v)) {
             stats.branches_pruned += 1;
@@ -468,8 +538,8 @@ pub fn try_evaluate_union(
     let shard_count = workers.next_power_of_two();
 
     let eval_span = reg.span("sparql.union.eval");
-    let outputs: Vec<WorkerOutput> = if workers <= 1 {
-        vec![run_chunk(g, q, &branches, shard_count)]
+    let maybe_outputs: Vec<Option<WorkerOutput>> = if workers <= 1 {
+        vec![run_chunk(g, q, &branches, shard_count, cancel)]
     } else {
         let per = branches.len().div_ceil(workers);
         std::thread::scope(|s| {
@@ -482,7 +552,7 @@ pub fn try_evaluate_union(
                         // joins cleanly and nothing shared is poisoned.
                         catch_unwind(AssertUnwindSafe(|| {
                             fail_point!("sparql.union.worker");
-                            run_chunk(g, q, chunk, shard_count)
+                            run_chunk(g, q, chunk, shard_count, cancel)
                         }))
                         .map_err(|payload| {
                             WorkerPanicked::from_payload("sparql.union.worker", payload)
@@ -496,19 +566,28 @@ pub fn try_evaluate_union(
                 .collect::<Result<Vec<_>, _>>()
         })?
     };
+    // One cancelled worker cancels the query: every sibling's output is
+    // discarded here, whether or not it finished its chunk first.
+    let outputs: Vec<WorkerOutput> = match maybe_outputs.into_iter().collect() {
+        Some(outputs) => outputs,
+        None => {
+            reg.add("sparql.union.cancelled", 1);
+            return Err(UnionEvalError::Cancelled);
+        }
+    };
 
     // Transpose worker outputs into per-shard merge tasks.
     let mut shard_parts: Vec<Vec<Vec<Row>>> = (0..shard_count).map(|_| Vec::new()).collect();
+    // Per-worker emitted-row spread — skew here means poor balance.
+    // Recorded only once the whole query survives (below), so a pass
+    // cancelled during the merge publishes nothing.
+    let mut worker_rows: Vec<u64> = Vec::with_capacity(workers);
     for out in outputs {
         stats.scan_cache_hits += out.cache_hits;
         stats.scan_cache_misses += out.cache_misses;
         stats.trie_nodes += out.trie_nodes;
         stats.branches_shared += out.shared_branches;
-        // Per-worker emitted-row spread — skew here means poor balance.
-        reg.record(
-            "sparql.union.worker_rows",
-            out.shards.iter().map(|s| s.len() as u64).sum(),
-        );
+        worker_rows.push(out.shards.iter().map(|s| s.len() as u64).sum());
         for (shard, rows) in out.shards.into_iter().enumerate() {
             shard_parts[shard].push(rows);
         }
@@ -533,6 +612,12 @@ pub fn try_evaluate_union(
                         catch_unwind(AssertUnwindSafe(|| {
                             fail_point!("sparql.union.worker");
                             for (task, out) in task_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                                // Shard boundary: a tripped token stops
+                                // the merge; the final poll below turns
+                                // the partial merge into `Cancelled`.
+                                if cancel.is_cancelled() {
+                                    return;
+                                }
                                 *out = merge_shard(task.take().expect("merge task"), q.distinct);
                             }
                         }))
@@ -548,13 +633,24 @@ pub fn try_evaluate_union(
         })?;
     } else {
         for (parts, out) in shard_parts.into_iter().zip(merged.iter_mut()) {
+            if cancel.is_cancelled() {
+                break;
+            }
             *out = merge_shard(parts, q.distinct);
         }
+    }
+    // A token tripped during the merge left `merged` partial — discard it.
+    if cancel.is_cancelled() {
+        reg.add("sparql.union.cancelled", 1);
+        return Err(UnionEvalError::Cancelled);
     }
     let rows: Vec<Row> = merged.into_iter().flatten().collect();
     stats.merge_us = merge_start.elapsed().as_micros() as u64;
     stats.rows = rows.len();
     drop(merge_span);
+    for rows in worker_rows {
+        reg.record("sparql.union.worker_rows", rows);
+    }
     publish_stats(reg, &stats);
 
     let var_names = q

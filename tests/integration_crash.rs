@@ -284,6 +284,13 @@ fn torn_tail_on_top_of_a_crash_recovers() {
     );
 }
 
+/// The failpoint registry is process-global; in-process tests that
+/// reconfigure it (here and in [`err_faults`]) must not overlap.
+fn fp_serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 mod panic_isolation {
     //! Worker panics must stay inside the pool that spawned them: the
     //! fallible APIs return a structured [`WorkerPanicked`], the
@@ -291,14 +298,11 @@ mod panic_isolation {
     //! keeps answering afterwards.
 
     use super::*;
-    use std::sync::{Mutex, MutexGuard};
+    use std::sync::MutexGuard;
     use webreason_core::AnswerError;
 
-    /// The failpoint registry is process-global; tests that reconfigure
-    /// it must not overlap.
     fn serial() -> MutexGuard<'static, ()> {
-        static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        super::fp_serial()
     }
 
     #[test]
@@ -412,5 +416,168 @@ mod panic_isolation {
         );
         let rec = Store::recover(&dir).expect("recovers after retry");
         assert_eq!(rec.export_ntriples(), ds.store().export_ntriples());
+    }
+}
+
+mod err_faults {
+    //! Disk faults that *return* instead of killing the process — the
+    //! `err(ENOSPC)` / `err(EIO)` failpoint actions. The contract at the
+    //! store layer: every err site leaves the store answerable, leaves
+    //! [`Store::recover`] bit-identical to the live state, and a retried
+    //! write after the fault clears is durable **exactly once** (the
+    //! journal gains exactly one record for it).
+
+    use super::*;
+    use webreason_failpoints::configure;
+
+    fn answerable(ds: &mut DurableStore, expected: usize) {
+        assert_eq!(ds.answer_sparql(MAMMALS).expect("answers").len(), expected);
+    }
+
+    fn recovery_matches_live(dir: &Path, ds: &DurableStore) {
+        let rec = Store::recover(dir).expect("recovers");
+        assert_eq!(
+            rec.export_ntriples(),
+            ds.store().export_ntriples(),
+            "recovered store drifted from the live one"
+        );
+    }
+
+    fn zoo_store(name: &str, fsync: FsyncPolicy) -> (PathBuf, DurableStore) {
+        let dir = tmpdir(name);
+        let mut ds = DurableStore::create(
+            &dir,
+            ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed),
+            NonZeroUsize::MIN,
+            fsync,
+        )
+        .expect("store creates");
+        ds.load_turtle(ZOO).expect("zoo loads");
+        (dir, ds)
+    }
+
+    fn journal_records(dir: &Path) -> usize {
+        Journal::replay(dir.join(JOURNAL_FILE))
+            .expect("journal replays")
+            .records
+            .len()
+    }
+
+    fn rex() -> [Term; 3] {
+        [
+            Term::iri("http://ex/Rex"),
+            rdf_type(),
+            Term::iri("http://ex/Mammal"),
+        ]
+    }
+
+    /// ENOSPC at the journal append: the write is rejected before any
+    /// bytes land, nothing is applied, and the retried write lands once.
+    #[test]
+    fn enospc_on_append_rejects_cleanly_and_retry_is_durable_once() {
+        let _g = fp_serial();
+        configure("");
+        let (dir, mut ds) = zoo_store("err-append", FsyncPolicy::Always);
+        let records_before = journal_records(&dir);
+        let bytes_before = std::fs::read(dir.join(JOURNAL_FILE)).expect("journal reads");
+
+        configure("store.journal.append=err(ENOSPC)");
+        let [s, p, o] = rex();
+        let err = ds
+            .insert_terms(&s, &p, &o)
+            .expect_err("armed append must fail");
+        assert!(err.to_string().contains("os error 28"), "{err}");
+        // The err action is persistent: a second attempt fails too.
+        ds.insert_terms(&s, &p, &o).expect_err("still armed");
+        configure("");
+
+        // Nothing happened: same journal bytes, same answers, recovery
+        // equals the live state, and the store keeps answering.
+        assert_eq!(
+            std::fs::read(dir.join(JOURNAL_FILE)).expect("journal reads"),
+            bytes_before,
+            "failed append touched the journal"
+        );
+        answerable(&mut ds, 1);
+        recovery_matches_live(&dir, &ds);
+
+        // The disk "frees up": the retry lands exactly once.
+        ds.insert_terms(&s, &p, &o).expect("retry succeeds");
+        assert_eq!(
+            journal_records(&dir),
+            records_before + 1,
+            "exactly one new record"
+        );
+        answerable(&mut ds, 2);
+        recovery_matches_live(&dir, &ds);
+    }
+
+    /// EIO at the group fsync: the frames are in the file but their
+    /// durability was never acknowledged. Re-syncing after the fault
+    /// clears settles the same frames — no re-append, no duplicates.
+    #[test]
+    fn eio_on_group_fsync_settles_without_duplicates() {
+        let _g = fp_serial();
+        configure("");
+        let (dir, mut ds) = zoo_store("err-fsync", FsyncPolicy::Always);
+        let records_before = journal_records(&dir);
+
+        let [s, p, o] = rex();
+        configure("store.journal.fsync=err(EIO)");
+        ds.apply_script_deferred(&[ScriptOp::Insert([s, p, o])])
+            .expect("deferred append itself succeeds");
+        let err = ds.sync_group().expect_err("armed group fsync must fail");
+        assert!(err.to_string().contains("os error 5"), "{err}");
+        configure("");
+
+        // The store stays answerable and consistent with recovery even
+        // mid-fault (the frame is written, just not yet acknowledged).
+        answerable(&mut ds, 2);
+        recovery_matches_live(&dir, &ds);
+
+        // Retrying the *sync* (not the append) makes the write durable
+        // exactly once.
+        ds.sync_group().expect("retried sync succeeds");
+        assert_eq!(
+            journal_records(&dir),
+            records_before + 1,
+            "no duplicate record"
+        );
+        answerable(&mut ds, 2);
+        recovery_matches_live(&dir, &ds);
+    }
+
+    /// ENOSPC between the checkpoint's tmp write and its rename: the
+    /// half-made checkpoint stays invisible, recovery is journal-only,
+    /// and a retried checkpoint completes.
+    #[test]
+    fn enospc_mid_checkpoint_leaves_journal_only_recovery() {
+        let _g = fp_serial();
+        configure("");
+        let (dir, mut ds) = zoo_store("err-ckpt", FsyncPolicy::Always);
+        let [s, p, o] = rex();
+        ds.insert_terms(&s, &p, &o).expect("insert Rex");
+
+        configure("store.checkpoint.write=err(ENOSPC)");
+        let err = ds.checkpoint().expect_err("armed checkpoint must fail");
+        assert!(err.to_string().contains("os error 28"), "{err}");
+        configure("");
+
+        let visible_ckpt = |dir: &Path| {
+            dir.read_dir()
+                .expect("dir lists")
+                .filter_map(Result::ok)
+                .any(|e| e.file_name().to_string_lossy().ends_with(".ckpt"))
+        };
+        assert!(!visible_ckpt(&dir), "half-made checkpoint became visible");
+        answerable(&mut ds, 2);
+        recovery_matches_live(&dir, &ds);
+
+        // The retry completes and recovery (now checkpoint-based) still
+        // equals the live state.
+        ds.checkpoint().expect("retried checkpoint succeeds");
+        assert!(visible_ckpt(&dir), "retried checkpoint missing");
+        answerable(&mut ds, 2);
+        recovery_matches_live(&dir, &ds);
     }
 }
