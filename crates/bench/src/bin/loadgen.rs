@@ -25,6 +25,7 @@
 //!         [--ops-per-update N] [--fsync always|never]
 //!         [--group-commit on|off|both] [--threads N] [--queue N]
 //!         [--seed N] [--strict]
+//!         [--subscribers N] [--subscribe-triples T] [--subscribe-updates U]
 //! ```
 //!
 //! `--strict` exits non-zero when any response is neither 200 nor 429 —
@@ -75,6 +76,13 @@ struct Args {
     chaos: bool,
     chaos_windows: usize,
     chaos_window_ms: u64,
+    /// Run the subscription leg (`--subscribers N`) into
+    /// `table_subscribe.json`: N live `POST /subscribe` streams over a
+    /// LUBM-style store, asserting zero lost deltas and measuring delta
+    /// propagation vs full re-evaluation.
+    subscribers: usize,
+    subscribe_triples: usize,
+    subscribe_updates: usize,
 }
 
 fn usage() -> ! {
@@ -84,7 +92,8 @@ fn usage() -> ! {
          \x20              [--reasoning none|counting]\n\
          \x20              [--group-commit on|off|both] [--threads N] [--queue N]\n\
          \x20              [--seed N] [--strict] [--conn-sweep]\n\
-         \x20              [--chaos] [--chaos-windows N] [--chaos-window-ms MS]"
+         \x20              [--chaos] [--chaos-windows N] [--chaos-window-ms MS]\n\
+         \x20              [--subscribers N] [--subscribe-triples T] [--subscribe-updates U]"
     );
     std::process::exit(2);
 }
@@ -107,6 +116,9 @@ fn parse_args() -> Args {
         chaos: false,
         chaos_windows: 2,
         chaos_window_ms: 2000,
+        subscribers: 0,
+        subscribe_triples: 100_000,
+        subscribe_updates: 50,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -201,6 +213,24 @@ fn parse_args() -> Args {
                 .ok()
                 .filter(|v| *v >= 100)
                 .map(|v| args.chaos_window_ms = v)
+                .is_some(),
+            "--subscribers" => value
+                .parse()
+                .ok()
+                .filter(|v| *v >= 1)
+                .map(|v| args.subscribers = v)
+                .is_some(),
+            "--subscribe-triples" => value
+                .parse()
+                .ok()
+                .filter(|v| *v >= 1000)
+                .map(|v| args.subscribe_triples = v)
+                .is_some(),
+            "--subscribe-updates" => value
+                .parse()
+                .ok()
+                .filter(|v| *v >= 1)
+                .map(|v| args.subscribe_updates = v)
                 .is_some(),
             _ => false,
         };
@@ -715,6 +745,9 @@ fn run_conn_sweep(args: &Args) -> ! {
 
 fn main() {
     let args = parse_args();
+    if args.subscribers > 0 {
+        subscribe::run(&args);
+    }
     if args.chaos {
         chaos::run(&args);
     }
@@ -791,6 +824,485 @@ fn main() {
     }
     if !ok {
         std::process::exit(1);
+    }
+}
+
+/// The subscription leg (`--subscribers N`): N live `POST /subscribe`
+/// streams over a LUBM-style store (universities, professors, students —
+/// `--subscribe-triples` base triples under Counting saturation), driven
+/// by `--subscribe-updates` single-triple updates that each change the
+/// subscribed view by exactly one row.
+///
+/// Asserted (and `--strict`-gated): **zero lost deltas** — every
+/// subscriber receives exactly one batch per update and its accumulated
+/// state converges to the final from-scratch answer.
+///
+/// Measured: per-update **delta propagation** (update acked → batch on
+/// the wire) vs **full re-evaluation** (`POST /query` of the same SPARQL)
+/// p50/p95, and their ratio — the O(|Δ|)-vs-O(|G|) claim the incremental
+/// views exist for. Results land in `bench_results/table_subscribe.json`.
+mod subscribe {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::Mutex;
+
+    const PERSON_QUERY: &str = "SELECT ?x WHERE { ?x a <http://ex/Person> }";
+
+    /// LUBM-flavoured fixture: a Person class tree over graduate students
+    /// and full professors plus advisor edges, sized to ~`triples`.
+    fn fixture_ttl(triples: usize) -> String {
+        let mut ttl = String::from(
+            "@prefix ex: <http://ex/> .\n\
+             @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .\n\
+             ex:FullProfessor rdfs:subClassOf ex:Professor .\n\
+             ex:Professor rdfs:subClassOf ex:Person .\n\
+             ex:GraduateStudent rdfs:subClassOf ex:Student .\n\
+             ex:Student rdfs:subClassOf ex:Person .\n",
+        );
+        let profs = 1000.min(triples / 10);
+        for p in 0..profs {
+            ttl.push_str(&format!("ex:prof{p} a ex:FullProfessor .\n"));
+        }
+        let students = (triples.saturating_sub(profs + 4)) / 2;
+        for i in 0..students {
+            ttl.push_str(&format!(
+                "ex:s{i} a ex:GraduateStudent .\nex:s{i} ex:advisor ex:prof{} .\n",
+                i % profs.max(1)
+            ));
+        }
+        ttl
+    }
+
+    /// `"key":<digits>` extractor — enough for our own wire format.
+    fn json_u64(text: &str, key: &str) -> Option<u64> {
+        let pat = format!("\"{key}\":");
+        let at = text.find(&pat)? + pat.len();
+        let digits: String = text[at..]
+            .chars()
+            .take_while(char::is_ascii_digit)
+            .collect();
+        digits.parse().ok()
+    }
+
+    /// Applies a batch frame's events to `state`. Rows here are single
+    /// IRIs (`["<http://ex/s1>"]`) — no JSON string escapes to handle.
+    fn apply_events(state: &mut HashMap<String, i64>, frame: &str, reset: bool) {
+        if reset {
+            state.clear();
+        }
+        let mut rest = frame;
+        while let Some(at) = rest.find("{\"row\":[\"") {
+            let tail = &rest[at + 9..];
+            let Some(end) = tail.find("\"]") else { break };
+            let row = tail[..end].to_owned();
+            let after = &tail[end..];
+            let delta: i64 = after
+                .find("\"delta\":")
+                .and_then(|d| {
+                    let s: String = after[d + 8..]
+                        .chars()
+                        .take_while(|c| c.is_ascii_digit() || *c == '-')
+                        .collect();
+                    s.parse().ok()
+                })
+                .unwrap_or(0);
+            let m = state.entry(row.clone()).or_insert(0);
+            *m += delta;
+            if *m == 0 {
+                state.remove(&row);
+            }
+            rest = &rest[at + 9 + end..];
+        }
+    }
+
+    /// Incremental chunked-transfer frame reader over a blocking socket.
+    struct FrameReader {
+        stream: TcpStream,
+        buf: Vec<u8>,
+    }
+
+    enum Frame {
+        Data(String),
+        End,
+    }
+
+    impl FrameReader {
+        /// Consumes the response head, asserting a 200 chunked stream.
+        fn read_head(&mut self) {
+            loop {
+                if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                    let head = String::from_utf8_lossy(&self.buf[..pos]).to_string();
+                    assert!(
+                        head.starts_with("HTTP/1.1 200"),
+                        "subscribe refused: {head}"
+                    );
+                    self.buf.drain(..pos + 4);
+                    return;
+                }
+                self.fill();
+            }
+        }
+
+        fn fill(&mut self) {
+            let mut chunk = [0u8; 16 * 1024];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => panic!("subscribe stream closed mid-frame"),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {}
+                Err(e) => panic!("subscribe stream read error: {e}"),
+            }
+        }
+
+        /// Next chunked frame, or None on a (timeout-bounded) quiet wire.
+        fn next_frame(&mut self, patience: Duration) -> Option<Frame> {
+            let start = Instant::now();
+            loop {
+                if let Some(line_end) = self.buf.windows(2).position(|w| w == b"\r\n") {
+                    let size_hex = String::from_utf8_lossy(&self.buf[..line_end]).to_string();
+                    let size = usize::from_str_radix(size_hex.trim(), 16)
+                        .unwrap_or_else(|_| panic!("bad chunk size line {size_hex:?}"));
+                    if size == 0 {
+                        return Some(Frame::End);
+                    }
+                    if self.buf.len() >= line_end + 2 + size + 2 {
+                        let payload =
+                            String::from_utf8_lossy(&self.buf[line_end + 2..line_end + 2 + size])
+                                .to_string();
+                        self.buf.drain(..line_end + 2 + size + 2);
+                        return Some(Frame::Data(payload));
+                    }
+                }
+                if start.elapsed() > patience {
+                    return None;
+                }
+                self.fill();
+            }
+        }
+    }
+
+    /// What one subscriber has seen, shared with the measuring writer.
+    #[derive(Default)]
+    struct SubState {
+        /// Epoch → wall-clock arrival of its batch frame.
+        arrivals: HashMap<u64, Instant>,
+        /// Accumulated row → signed count state.
+        state: HashMap<String, i64>,
+        batches: u64,
+        terminal: Option<String>,
+    }
+
+    #[derive(Serialize)]
+    struct SubscribeReport {
+        seed: u64,
+        subscribers: usize,
+        base_triples: usize,
+        view_rows: usize,
+        updates: usize,
+        /// Per-update cost of the `server.subscribe.publish` span (µs):
+        /// the O(|Δ|) dataflow that refreshes every registered view and
+        /// fans the batch out. This is what each subscriber would
+        /// otherwise pay as a full re-evaluation.
+        delta_p50_us: u64,
+        delta_p95_us: u64,
+        /// `POST /query` of the same SPARQL at full size (µs).
+        full_p50_us: u64,
+        full_p95_us: u64,
+        /// full_p50 / delta_p50 — the re-evaluation cost the delta
+        /// dataflow avoids on every update.
+        speedup_p50: f64,
+        /// Update acked → batch on subscriber 0's wire (µs): how stale a
+        /// live stream is relative to a client that re-polls (which pays
+        /// `full_*` on top).
+        propagate_p50_us: u64,
+        propagate_p95_us: u64,
+        lost_deltas: u64,
+        diverged_subscribers: u64,
+        update_p50_us: u64,
+        update_p95_us: u64,
+    }
+
+    pub fn run(args: &Args) -> ! {
+        let n_subs = args.subscribers;
+        let updates = args.subscribe_updates;
+        println!(
+            "== loadgen subscribe: {n_subs} live streams over ~{} LUBM-style triples, \
+             {updates} updates, seed {} ==",
+            args.subscribe_triples, args.seed
+        );
+
+        let dir =
+            std::env::temp_dir().join(format!("webreason-loadgen-sub-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = DurableStore::create(
+            &dir,
+            ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting),
+            NonZeroUsize::MIN,
+            args.fsync,
+        )
+        .expect("store creates");
+        let (base_triples, _) = store
+            .load_turtle(&fixture_ttl(args.subscribe_triples))
+            .expect("fixture loads");
+        let server = Server::start(
+            store,
+            ServerConfig {
+                addr: "127.0.0.1:0".to_owned(),
+                threads: n_subs + 4,
+                update_queue: args.queue,
+                checkpoint_every: 0,
+                group_commit: true,
+                backend: Backend::Threaded, // live streams, one worker each
+                max_conns: 4096,
+                max_subscriptions: n_subs + 1,
+                ..Default::default()
+            },
+        )
+        .expect("server boots");
+        let addr: SocketAddr = server.local_addr();
+
+        // Register every subscriber and park a reader thread on each
+        // stream. The threaded backend keeps the stream open for as long
+        // as the subscription lives.
+        let stop = Arc::new(AtomicBool::new(false));
+        let states: Vec<Arc<Mutex<SubState>>> = (0..n_subs)
+            .map(|_| Arc::new(Mutex::new(SubState::default())))
+            .collect();
+        let sub_handles: Vec<_> = states
+            .iter()
+            .map(|st| {
+                let st = Arc::clone(st);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut stream = connect_with_retry(addr);
+                    stream
+                        .set_read_timeout(Some(Duration::from_millis(50)))
+                        .expect("timeout sets");
+                    stream
+                        .write_all(&post("/subscribe", PERSON_QUERY))
+                        .expect("subscribe sends");
+                    let mut rd = FrameReader {
+                        stream,
+                        buf: Vec::new(),
+                    };
+                    rd.read_head();
+                    let header = loop {
+                        if let Some(Frame::Data(f)) = rd.next_frame(Duration::from_secs(30)) {
+                            break f;
+                        }
+                    };
+                    assert!(header.contains("\"vars\""), "no registration receipt");
+                    // Initial materialization: a reset batch.
+                    let initial = loop {
+                        if let Some(Frame::Data(f)) = rd.next_frame(Duration::from_secs(30)) {
+                            break f;
+                        }
+                    };
+                    apply_events(&mut st.lock().unwrap().state, &initial, true);
+                    while !stop.load(Ordering::Relaxed) {
+                        match rd.next_frame(Duration::from_millis(100)) {
+                            Some(Frame::Data(f)) => {
+                                let mut s = st.lock().unwrap();
+                                if let Some(t) = f.find("\"terminal\"").map(|_| f.clone()) {
+                                    s.terminal = Some(t);
+                                    break;
+                                }
+                                let epoch = json_u64(&f, "epoch").expect("batch epoch");
+                                s.arrivals.insert(epoch, Instant::now());
+                                s.batches += 1;
+                                apply_events(&mut s.state, &f, f.contains("\"reset\":true"));
+                            }
+                            Some(Frame::End) => break,
+                            None => {}
+                        }
+                    }
+                })
+            })
+            .collect();
+
+        // Wait until every stream has its initial state before measuring.
+        for st in &states {
+            while st.lock().unwrap().state.is_empty() {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+
+        // The measuring writer: each update flips exactly one Person row,
+        // then we time (a) acked → batch arrival on subscriber 0 and
+        // (b) a from-scratch POST /query of the same view.
+        let mut writer = connect_with_retry(addr);
+        let mut prober = connect_with_retry(addr);
+        let mut head = Vec::with_capacity(64 * 1024);
+        let reg = obs::global();
+        let mut delta_us: Vec<u64> = Vec::new();
+        let mut propagate_us: Vec<u64> = Vec::new();
+        let mut full_us: Vec<u64> = Vec::new();
+        let mut update_us: Vec<u64> = Vec::new();
+        let mut lost_deltas = 0u64;
+        let mut span_total = reg.snapshot().span_total_us("server.subscribe.publish");
+        for u in 0..updates {
+            let (op, subj) = if u % 2 == 0 {
+                ("insert", format!("http://ex/new{u}"))
+            } else {
+                ("delete", format!("http://ex/new{}", u - 1))
+            };
+            let body = format!(
+                "{op} <{subj}> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> \
+                 <http://ex/GraduateStudent> .\n"
+            );
+            let t0 = Instant::now();
+            let status =
+                roundtrip(&mut writer, &post("/update", &body), &mut head).expect("update lands");
+            assert_eq!(status, 200, "update {u} refused");
+            let acked = Instant::now();
+            update_us.push(t0.elapsed().as_micros() as u64);
+            let epoch = json_u64(&String::from_utf8_lossy(&head), "epoch").expect("update epoch");
+
+            // Every subscriber must see this epoch's batch; subscriber 0
+            // times the propagation.
+            let deadline = Instant::now() + Duration::from_secs(10);
+            let mut arrived = vec![false; n_subs];
+            while Instant::now() < deadline && arrived.iter().any(|a| !a) {
+                for (i, st) in states.iter().enumerate() {
+                    if !arrived[i] {
+                        if let Some(at) = st.lock().unwrap().arrivals.get(&epoch) {
+                            arrived[i] = true;
+                            if i == 0 {
+                                propagate_us
+                                    .push(at.saturating_duration_since(acked).as_micros() as u64);
+                            }
+                        }
+                    }
+                }
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            lost_deltas += arrived.iter().filter(|a| !**a).count() as u64;
+
+            // Updates are serial, so the span's growth over this update
+            // is exactly this publication's view-maintenance cost.
+            let total = reg.snapshot().span_total_us("server.subscribe.publish");
+            delta_us.push(total - span_total);
+            span_total = total;
+
+            let t1 = Instant::now();
+            let status = roundtrip(&mut prober, &post("/query", PERSON_QUERY), &mut head)
+                .expect("full re-evaluation");
+            assert_eq!(status, 200);
+            full_us.push(t1.elapsed().as_micros() as u64);
+        }
+
+        // From-scratch final answer → convergence check per subscriber.
+        let status =
+            roundtrip(&mut prober, &post("/query", PERSON_QUERY), &mut head).expect("final answer");
+        assert_eq!(status, 200);
+        let final_text = String::from_utf8_lossy(&head).to_string();
+        let body = &final_text[final_text.find("\r\n\r\n").map(|p| p + 4).unwrap_or(0)..];
+        let mut oracle: Vec<&str> = body
+            .split('"')
+            .filter(|t| t.starts_with("<http://ex/"))
+            .collect();
+        oracle.sort_unstable();
+        oracle.dedup();
+
+        std::thread::sleep(Duration::from_millis(200));
+        stop.store(true, Ordering::Relaxed);
+        for h in sub_handles {
+            h.join().expect("subscriber joins");
+        }
+        let mut diverged = 0u64;
+        for (i, st) in states.iter().enumerate() {
+            let s = st.lock().unwrap();
+            if let Some(t) = &s.terminal {
+                eprintln!("subscriber {i} terminated early: {t}");
+                diverged += 1;
+                continue;
+            }
+            let mut got: Vec<&str> = s
+                .state
+                .iter()
+                .filter(|(_, &m)| m > 0)
+                .map(|(k, _)| k.as_str())
+                .collect();
+            got.sort_unstable();
+            if got != oracle {
+                eprintln!(
+                    "subscriber {i} diverged: {} rows vs oracle {}",
+                    got.len(),
+                    oracle.len()
+                );
+                diverged += 1;
+            }
+        }
+        drop(server.shutdown());
+        let _ = std::fs::remove_dir_all(&dir);
+
+        delta_us.sort_unstable();
+        propagate_us.sort_unstable();
+        full_us.sort_unstable();
+        update_us.sort_unstable();
+        let report = SubscribeReport {
+            seed: args.seed,
+            subscribers: n_subs,
+            base_triples,
+            view_rows: oracle.len(),
+            updates,
+            delta_p50_us: percentile(&delta_us, 0.50),
+            delta_p95_us: percentile(&delta_us, 0.95),
+            full_p50_us: percentile(&full_us, 0.50),
+            full_p95_us: percentile(&full_us, 0.95),
+            speedup_p50: if percentile(&delta_us, 0.50) > 0 {
+                percentile(&full_us, 0.50) as f64 / percentile(&delta_us, 0.50) as f64
+            } else {
+                f64::INFINITY
+            },
+            propagate_p50_us: percentile(&propagate_us, 0.50),
+            propagate_p95_us: percentile(&propagate_us, 0.95),
+            lost_deltas,
+            diverged_subscribers: diverged,
+            update_p50_us: percentile(&update_us, 0.50),
+            update_p95_us: percentile(&update_us, 0.95),
+        };
+        println!(
+            "{}",
+            render_table(
+                &[
+                    "subs",
+                    "triples",
+                    "view rows",
+                    "updates",
+                    "Δ p50 (µs)",
+                    "Δ p95 (µs)",
+                    "full p50 (µs)",
+                    "full p95 (µs)",
+                    "speedup",
+                    "lost",
+                    "diverged",
+                ],
+                &[vec![
+                    report.subscribers.to_string(),
+                    report.base_triples.to_string(),
+                    report.view_rows.to_string(),
+                    report.updates.to_string(),
+                    report.delta_p50_us.to_string(),
+                    report.delta_p95_us.to_string(),
+                    report.full_p50_us.to_string(),
+                    report.full_p95_us.to_string(),
+                    format!("{:.1}x", report.speedup_p50),
+                    report.lost_deltas.to_string(),
+                    report.diverged_subscribers.to_string(),
+                ]]
+            )
+        );
+
+        let ok = emit_json("table_subscribe", &report);
+        if args.strict && (report.lost_deltas > 0 || report.diverged_subscribers > 0) {
+            eprintln!(
+                "loadgen: --strict and {} lost deltas / {} diverged subscribers",
+                report.lost_deltas, report.diverged_subscribers
+            );
+            std::process::exit(1);
+        }
+        std::process::exit(if ok { 0 } else { 1 });
     }
 }
 

@@ -143,6 +143,9 @@ pub enum Command {
         default_deadline_ms: Option<u64>,
         /// Upper clamp on any per-request deadline header.
         max_deadline_ms: u64,
+        /// Live `POST /subscribe` registrations allowed at once
+        /// (0 disables the subscription subsystem).
+        max_subscriptions: usize,
     },
     /// `webreason checkpoint <journal-dir>` — snapshot a durable store.
     Checkpoint {
@@ -235,6 +238,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "idle-timeout",
         "default-deadline-ms",
         "max-deadline-ms",
+        "max-subscriptions",
     ];
     for (name, _) in &flags {
         if !known_flags.contains(&name.as_str()) {
@@ -412,6 +416,13 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .filter(|&n| n >= 1)
                     .ok_or_else(|| err("--max-deadline-ms needs milliseconds (>= 1)"))?,
             };
+            // 0 is legal: it turns the subscription subsystem off.
+            let max_subscriptions = match flag("max-subscriptions") {
+                None => 64,
+                Some(v) => v
+                    .parse::<usize>()
+                    .map_err(|_| err("--max-subscriptions needs a number (0 = off)"))?,
+            };
             Ok(Command::Serve {
                 addr,
                 threads,
@@ -425,6 +436,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 idle_timeout_ms,
                 default_deadline_ms,
                 max_deadline_ms,
+                max_subscriptions,
             })
         }
         "checkpoint" => Ok(Command::Checkpoint {
@@ -623,6 +635,7 @@ mod tests {
                 idle_timeout_ms: 10_000,
                 default_deadline_ms: Some(30_000),
                 max_deadline_ms: 60_000,
+                max_subscriptions: 64,
             }
         );
         assert_eq!(
@@ -630,7 +643,8 @@ mod tests {
                 "serve --journal /tmp/j --addr 127.0.0.1:0 --threads 2 --queue 8 \
                  --fsync never --group-commit off --duration-secs 3 \
                  --backend threaded --max-conns 128 --idle-timeout 2500 \
-                 --default-deadline-ms 0 --max-deadline-ms 120000"
+                 --default-deadline-ms 0 --max-deadline-ms 120000 \
+                 --max-subscriptions 8"
             ))
             .unwrap(),
             Command::Serve {
@@ -646,6 +660,7 @@ mod tests {
                 idle_timeout_ms: 2500,
                 default_deadline_ms: None,
                 max_deadline_ms: 120_000,
+                max_subscriptions: 8,
             }
         );
         for (line, needle) in [

@@ -106,6 +106,7 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
             idle_timeout_ms,
             default_deadline_ms,
             max_deadline_ms,
+            max_subscriptions,
         } => serve_cmd(
             addr,
             *threads,
@@ -119,6 +120,7 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
             *idle_timeout_ms,
             *default_deadline_ms,
             *max_deadline_ms,
+            *max_subscriptions,
         ),
         Command::Metrics { format, journal } => metrics_cmd(format, journal.as_deref()),
         Command::Checkpoint { dir } => checkpoint_cmd(dir),
@@ -162,6 +164,7 @@ fn serve_cmd(
     idle_timeout_ms: u64,
     default_deadline_ms: Option<u64>,
     max_deadline_ms: u64,
+    max_subscriptions: usize,
 ) -> Result<String, CliError> {
     use std::io::Write as _;
 
@@ -190,6 +193,7 @@ fn serve_cmd(
         idle_timeout: std::time::Duration::from_millis(idle_timeout_ms),
         default_deadline_ms,
         max_deadline_ms,
+        max_subscriptions,
         ..Default::default()
     };
     let server =

@@ -16,6 +16,7 @@
 //!                 [--fsync always|never] [--group-commit on|off] [--duration-secs S]
 //!                 [--backend reactor|threaded] [--max-conns N] [--idle-timeout MS]
 //!                 [--default-deadline-ms MS] [--max-deadline-ms MS]
+//!                 [--max-subscriptions N]
 //! webreason checkpoint <journal-dir>
 //! webreason recover <journal-dir>
 //! ```
@@ -96,6 +97,8 @@ OPTIONS:
                              [default: 30000]
     --max-deadline-ms <MS>   serve: clamp on per-request deadline headers
                              [default: 60000]
+    --max-subscriptions <N>  serve: live POST /subscribe registrations allowed
+                             at once; 0 disables them    [default: 64]
 
 Data files ending in .ttl parse as Turtle; anything else as N-Triples.
 ";

@@ -412,6 +412,19 @@ impl DurableStore {
         self.store.reader()
     }
 
+    /// Turns update-delta capture on or off (see
+    /// [`Store::set_delta_tracking`]). Delta state is in-memory only — it
+    /// is not journaled, and a recovered store starts with tracking off.
+    pub fn set_delta_tracking(&mut self, on: bool) {
+        self.store.set_delta_tracking(on);
+    }
+
+    /// Drains the delta captured since the last drain (see
+    /// [`Store::take_delta`]).
+    pub fn take_delta(&mut self) -> crate::store::StoreDelta {
+        self.store.take_delta()
+    }
+
     /// Writes a checkpoint of the current state, marks it in the journal,
     /// and prunes old checkpoints (the newest two are kept). Returns the
     /// checkpoint's path.

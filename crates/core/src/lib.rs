@@ -59,7 +59,7 @@ pub use backward::evaluate_backward;
 pub use cost::ObservedCosts;
 pub use durable::{DurableError, DurableStore, ScriptOp, ScriptOutcome};
 pub use snapshot::{StoreReader, StoreSnapshot};
-pub use store::{AnswerError, ReasoningConfig, Store, StoreStats};
+pub use store::{AnswerError, ReasoningConfig, Store, StoreDelta, StoreStats};
 pub use threshold::{observed_thresholds, ObservedThresholds};
 
 // Re-export the pieces callers compose with.

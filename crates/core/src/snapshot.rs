@@ -160,6 +160,51 @@ impl StoreSnapshot {
         read_lock(&self.dict)
     }
 
+    /// The frozen graph a registered incremental view's dataflow probes
+    /// under this snapshot's strategy: `G∞` for the saturation strategies
+    /// (their entailed delta streams), the explicit `G` for plain and
+    /// reformulation answering. `None` for the strategies the subscription
+    /// layer does not support (backward chaining, Datalog, adaptive —
+    /// their answer processes have no delta form here).
+    pub fn view_graph(&self) -> Option<&Graph> {
+        match &self.state {
+            SnapState::Plain { graph } => Some(graph),
+            SnapState::Saturated { saturated } => Some(saturated),
+            SnapState::Schema {
+                graph,
+                backward: false,
+                ..
+            } => Some(graph),
+            _ => None,
+        }
+    }
+
+    /// For the reformulation strategy: compiles `q` into its reformulated
+    /// union `q_ref` against this snapshot's schema version, through the
+    /// same per-version cache the answer path uses. `Ok(None)` when this
+    /// snapshot's strategy does not answer by reformulation.
+    pub fn reformulated(&self, q: &Query) -> Result<Option<Query>, AnswerError> {
+        match &self.state {
+            SnapState::Schema {
+                graph,
+                backward: false,
+                schema,
+                refo_cache,
+            } => {
+                let schema = schema.get_or_init(|| Schema::extract(graph, &self.vocab));
+                let key = query_key(q);
+                let mut cache = lock(refo_cache);
+                if let Some(cached) = cache.get(&key) {
+                    return Ok(Some(cached.clone()));
+                }
+                let r = reformulate(q, schema, &self.vocab)?;
+                cache.insert(key, r.query.clone());
+                Ok(Some(r.query))
+            }
+            _ => Ok(None),
+        }
+    }
+
     /// Parses a SPARQL query against the shared dictionary. New constants
     /// are interned (append-only), which never disturbs existing ids.
     pub fn prepare(&self, sparql: &str) -> Result<Query, AnswerError> {

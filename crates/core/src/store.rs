@@ -153,6 +153,32 @@ pub struct StoreStats {
     pub threads: usize,
 }
 
+/// The signed triple delta accumulated between two [`Store::take_delta`]
+/// drains, in application order. Consumers (the subscription layer) must
+/// consolidate: a triple may appear once per direction when an update
+/// script inserts and deletes it in turn.
+#[derive(Debug, Clone, Default)]
+pub struct StoreDelta {
+    /// Changes to the explicit graph `G`: `(t, true)` when `t` was
+    /// inserted, `(t, false)` when it was removed.
+    pub base: Vec<(Triple, bool)>,
+    /// Changes to the maintained saturation `G∞` — empty unless the active
+    /// strategy maintains one whose maintainer records entailed deltas
+    /// (see [`rdfs::incremental::Maintainer::supports_delta_tracking`]).
+    pub entailed: Vec<(Triple, bool)>,
+    /// Whether a schema-changing mutation (or a strategy/thread rebuild)
+    /// happened since the last drain. Derived caches were swapped; views
+    /// over reformulated queries must recompile.
+    pub schema_changed: bool,
+}
+
+impl StoreDelta {
+    /// True when nothing changed since the last drain.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty() && self.entailed.is_empty() && !self.schema_changed
+    }
+}
+
 /// Per-strategy writer-side state. Derived caches that queries need
 /// (schema closure, reformulation cache, Datalog saturation, adaptive
 /// winners) live snapshot-side — see [`crate::snapshot::SnapState`] —
@@ -210,6 +236,14 @@ pub struct Store {
     /// Stats of the most recent union-aware evaluation (reformulation
     /// paths only); `None` when the last answer took another path.
     last_eval_stats: Mutex<Option<EvalStats>>,
+    /// Whether [`Store::take_delta`] consumers are attached (see
+    /// [`Store::set_delta_tracking`]). Off by default: capture is free
+    /// when no one subscribes.
+    delta_tracking: bool,
+    /// Base-graph delta accumulated since the last [`Store::take_delta`].
+    base_delta: Vec<(Triple, bool)>,
+    /// Schema-changed flag accumulated since the last drain.
+    delta_schema_changed: bool,
 }
 
 impl Store {
@@ -277,6 +311,9 @@ impl Store {
             winners: Arc::default(),
             cell: Arc::new(SnapshotCell::new(placeholder)),
             last_eval_stats: Mutex::new(None),
+            delta_tracking: false,
+            base_delta: Vec::new(),
+            delta_schema_changed: false,
         }
     }
 
@@ -319,6 +356,9 @@ impl Store {
             self.schema_cell = Arc::new(OnceLock::new());
             self.refo_cache = Arc::default();
             self.winners = Arc::default();
+            if self.delta_tracking {
+                self.delta_schema_changed = true;
+            }
         }
     }
 
@@ -404,6 +444,7 @@ impl Store {
         self.threads = threads;
         let graph = self.base_graph().clone();
         self.state = Self::build_state(graph, self.vocab, self.owl, self.config, threads);
+        self.rearm_delta_tracking();
         self.note_change(true);
     }
 
@@ -415,7 +456,73 @@ impl Store {
         let graph = self.base_graph().clone();
         self.state = Self::build_state(graph, self.vocab, self.owl, config, self.threads);
         self.config = config;
+        self.rearm_delta_tracking();
         self.note_change(true);
+    }
+
+    /// Re-enables maintainer-side delta recording after the writer state
+    /// was rebuilt (strategy or thread-count switch). The rebuild loses
+    /// the per-triple trail, but both callers report `schema_changed`,
+    /// which tells delta consumers to refresh wholesale.
+    fn rearm_delta_tracking(&mut self) {
+        if !self.delta_tracking {
+            return;
+        }
+        match &mut self.state {
+            State::Saturation(m) => m.set_delta_tracking(true),
+            State::Adaptive { maintainer } => maintainer.set_delta_tracking(true),
+            _ => {}
+        }
+    }
+
+    // --- delta tracking -----------------------------------------------------
+
+    /// Turns capture of update deltas on or off. While on, every effective
+    /// mutation records its base-graph delta (and, under the saturation
+    /// strategies, the entailed delta) for [`Store::take_delta`]. Turning
+    /// it off discards anything captured but not yet drained.
+    pub fn set_delta_tracking(&mut self, on: bool) {
+        self.delta_tracking = on;
+        if !on {
+            self.base_delta.clear();
+            self.delta_schema_changed = false;
+        }
+        match &mut self.state {
+            State::Saturation(m) => m.set_delta_tracking(on),
+            State::Adaptive { maintainer } => maintainer.set_delta_tracking(on),
+            _ => {}
+        }
+    }
+
+    /// Whether delta capture is currently enabled.
+    pub fn delta_tracking(&self) -> bool {
+        self.delta_tracking
+    }
+
+    /// Whether the active strategy reports *entailed* deltas (a maintained
+    /// saturation whose maintainer records them). When false, only the
+    /// base delta of [`StoreDelta`] is populated.
+    pub fn supports_entailed_delta(&self) -> bool {
+        match &self.state {
+            State::Saturation(m) => m.supports_delta_tracking(),
+            State::Adaptive { maintainer } => maintainer.supports_delta_tracking(),
+            _ => false,
+        }
+    }
+
+    /// Drains the delta captured since the last drain (empty unless
+    /// [`Store::set_delta_tracking`] is on).
+    pub fn take_delta(&mut self) -> StoreDelta {
+        let entailed = match &mut self.state {
+            State::Saturation(m) => m.take_entailed_delta(),
+            State::Adaptive { maintainer } => maintainer.take_entailed_delta(),
+            _ => Vec::new(),
+        };
+        StoreDelta {
+            base: std::mem::take(&mut self.base_delta),
+            entailed,
+            schema_changed: std::mem::take(&mut self.delta_schema_changed),
+        }
     }
 
     /// The dictionary (for decoding solution ids), as a read guard on the
@@ -501,6 +608,24 @@ impl Store {
     /// Inserts a batch of triples with one maintenance pass where the
     /// strategy supports it (see [`rdfs::incremental::Maintainer::insert_batch`]).
     pub fn insert_batch(&mut self, triples: &[Triple]) -> UpdateStats {
+        // The maintainers don't report which batch members were new to the
+        // base, so capture those up front (the per-triple fallback path
+        // records inside `insert` instead).
+        if self.delta_tracking
+            && matches!(self.state, State::Saturation(_) | State::Adaptive { .. })
+        {
+            let mut fresh = Vec::new();
+            {
+                let base = self.base_graph();
+                let mut seen = rustc_hash::FxHashSet::default();
+                for &t in triples {
+                    if !base.contains(&t) && seen.insert(t) {
+                        fresh.push((t, true));
+                    }
+                }
+            }
+            self.base_delta.extend(fresh);
+        }
         let batched = match &mut self.state {
             State::Saturation(m) => Some(m.insert_batch(triples)),
             State::Adaptive { maintainer } => Some(maintainer.insert_batch(triples)),
@@ -534,6 +659,21 @@ impl Store {
     /// Deletes a batch of triples with one maintenance pass where the
     /// strategy supports it.
     pub fn delete_batch(&mut self, triples: &[Triple]) -> UpdateStats {
+        if self.delta_tracking
+            && matches!(self.state, State::Saturation(_) | State::Adaptive { .. })
+        {
+            let mut gone = Vec::new();
+            {
+                let base = self.base_graph();
+                let mut seen = rustc_hash::FxHashSet::default();
+                for &t in triples {
+                    if base.contains(&t) && seen.insert(t) {
+                        gone.push((t, false));
+                    }
+                }
+            }
+            self.base_delta.extend(gone);
+        }
         let batched = match &mut self.state {
             State::Saturation(m) => Some(m.delete_batch(triples)),
             State::Adaptive { maintainer } => Some(maintainer.delete_batch(triples)),
@@ -588,6 +728,9 @@ impl Store {
         };
         publish_update(reg, &stats, reg.now_us().saturating_sub(start));
         if stats.kind != rdfs::incremental::UpdateKind::Noop {
+            if self.delta_tracking {
+                self.base_delta.push((t, true));
+            }
             self.note_change(self.vocab.is_schema_property(t.p));
         }
         stats
@@ -625,6 +768,9 @@ impl Store {
         };
         publish_update(reg, &stats, reg.now_us().saturating_sub(start));
         if stats.kind != rdfs::incremental::UpdateKind::Noop {
+            if self.delta_tracking {
+                self.base_delta.push((*t, false));
+            }
             self.note_change(self.vocab.is_schema_property(t.p));
         }
         stats

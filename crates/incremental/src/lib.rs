@@ -1,0 +1,1202 @@
+//! # webreason-incremental — materialized views with delta subscriptions
+//!
+//! The paper's amortisation argument (§III) prices *queries* against
+//! *updates*: saturation makes updates expensive so queries stay cheap.
+//! This crate closes the loop for standing queries — instead of
+//! re-answering a registered query after every update, the store
+//! maintains its answer **incrementally** and streams the changes:
+//!
+//! 1. A subscriber registers a SPARQL BGP (union) query. The query is
+//!    compiled once into a [`sparql::dataflow::DeltaProgram`] against the
+//!    active reasoning strategy:
+//!    * **Saturation** — the dataflow probes `G∞` and consumes the
+//!      *entailed* delta the maintenance layer (DRed / counting /
+//!      recompute) already computes; the view pays nothing extra for
+//!      reasoning.
+//!    * **Reformulation** — the query is reformulated into `q_ref` and the
+//!      dataflow probes the explicit `G`, consuming the base delta.
+//!    * **None** — plain evaluation over the explicit graph.
+//! 2. After every writer group-commit, [`SubscriptionHub::publish`] runs
+//!    each view's delta program over the consolidated triple delta —
+//!    `O(|Δ|)` join work — updates the view's multiplicity counts, and
+//!    fans epoch-tagged [`DeltaBatch`]es out to subscribers.
+//! 3. Consumers accumulate batches; at any published epoch the
+//!    accumulated state equals the from-scratch answer at that epoch
+//!    (the *epoch-replay* invariant the integration oracle enforces).
+//!
+//! Multiplicities, not sets: each view keeps a signed count per projected
+//! row. A `DISTINCT` view emits only `0 ↔ positive` transitions, so a row
+//! derived twice (two union branches, two join derivations) survives the
+//! deletion of one derivation — collapsing to a set any earlier is the
+//! classic incorrect-view bug.
+//!
+//! Backpressure: streaming subscribers get a bounded queue; the writer
+//! only ever *try-pushes*. A consumer that falls behind is cut loose with
+//! a terminal [`Terminal::Lagged`] event — the writer never blocks on a
+//! socket. Pull (catch-up) consumers read the view's bounded epoch log;
+//! when they fall off its tail they receive a full snapshot-reset batch
+//! instead of a gap.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rustc_hash::FxHashMap;
+use serde::Serialize;
+use sparql::dataflow::{compile_delta, consolidate_delta, DeltaProgram};
+use sparql::Query;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+use webreason_core::{AnswerError, ReasoningConfig, StoreDelta, StoreReader, StoreSnapshot};
+use webreason_failpoints::fail_point;
+
+/// Tuning knobs for a [`SubscriptionHub`].
+#[derive(Debug, Clone, Copy)]
+pub struct HubConfig {
+    /// Maximum live subscriptions; further registrations are refused.
+    pub max_subscriptions: usize,
+    /// Per-streaming-subscriber queue bound; overflow drops the
+    /// subscriber with [`Terminal::Lagged`].
+    pub queue_capacity: usize,
+    /// Per-view epoch-log bound for catch-up; older epochs fall back to a
+    /// snapshot reset.
+    pub log_capacity: usize,
+}
+
+impl Default for HubConfig {
+    fn default() -> Self {
+        HubConfig {
+            max_subscriptions: 64,
+            queue_capacity: 256,
+            log_capacity: 128,
+        }
+    }
+}
+
+/// One signed change to a view's answer: `row` holds the projected terms
+/// in N-Triples syntax, `delta` the multiplicity change (`±n`; for
+/// `DISTINCT` views always `±1`, meaning the row entered / left the
+/// answer set).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DeltaEvent {
+    /// Projected terms, N-Triples rendered, in SELECT order.
+    pub row: Vec<String>,
+    /// Signed multiplicity change.
+    pub delta: i64,
+}
+
+/// A batch of view changes published at one store epoch.
+///
+/// When `reset` is true the consumer must discard all accumulated state
+/// first: `events` then carry the complete answer at `epoch` (used for
+/// the initial batch, schema-change rebuilds, and catch-up requests that
+/// fell off the epoch log).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct DeltaBatch {
+    /// The store epoch whose publication produced this batch.
+    pub epoch: u64,
+    /// Discard accumulated state before applying `events`.
+    pub reset: bool,
+    /// The row changes (consolidated: one event per row).
+    pub events: Vec<DeltaEvent>,
+}
+
+/// Why a subscription's stream ended. Terminal events are delivered
+/// in-stream so a consumer can distinguish "drop me, re-subscribe"
+/// ([`Terminal::Lagged`]) from "server going away" ([`Terminal::Shutdown`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Terminal {
+    /// The subscriber's queue overflowed — it consumed slower than the
+    /// writer published and was cut loose to protect the write path.
+    Lagged,
+    /// The server is shutting down.
+    Shutdown,
+}
+
+impl Terminal {
+    /// Wire name of the terminal condition.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Terminal::Lagged => "lagged",
+            Terminal::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// Why a subscription could not be registered.
+#[derive(Debug)]
+pub enum SubscribeError {
+    /// The active reasoning strategy or a query feature has no delta form.
+    Unsupported(String),
+    /// Parsing / reformulation / evaluation failed (including
+    /// [`AnswerError::Cancelled`] when a registration deadline expired).
+    Query(AnswerError),
+    /// The `--max-subscriptions` limit is reached.
+    AtCapacity(usize),
+    /// The hub has shut down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubscribeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubscribeError::Unsupported(why) => write!(f, "{why}"),
+            SubscribeError::Query(e) => write!(f, "{e}"),
+            SubscribeError::AtCapacity(max) => {
+                write!(f, "subscription limit reached ({max})")
+            }
+            SubscribeError::ShuttingDown => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubscribeError {}
+
+/// A successful registration.
+#[derive(Debug)]
+pub struct SubscribeOk {
+    /// Subscription id — the handle for streaming / catch-up / cancel.
+    pub id: u64,
+    /// Epoch of the initial state.
+    pub epoch: u64,
+    /// Projected variable names, in SELECT order.
+    pub vars: Vec<String>,
+    /// Whether the view has set (`DISTINCT`) or bag semantics.
+    pub distinct: bool,
+    /// The initial snapshot: a `reset` batch holding the complete answer
+    /// at `epoch`.
+    pub initial: DeltaBatch,
+}
+
+/// Result of waiting for a streaming subscriber's next deliverable.
+#[derive(Debug)]
+pub enum NextWake {
+    /// Queued batches, in publication order.
+    Batches(Vec<std::sync::Arc<DeltaBatch>>),
+    /// The stream ended; no further batches will arrive. The subscription
+    /// has been removed.
+    Terminal(Terminal),
+    /// The wait timed out with nothing to deliver.
+    Idle,
+    /// Unknown subscription id (never registered, cancelled, or already
+    /// terminated).
+    Gone,
+}
+
+/// Result of a catch-up (pull) request.
+#[derive(Debug)]
+pub struct CatchUp {
+    /// Batches with `epoch > from`, in order — or a single snapshot-reset
+    /// batch when `from` fell off the epoch log.
+    pub batches: Vec<std::sync::Arc<DeltaBatch>>,
+    /// Set when the stream has ended (shutdown).
+    pub terminal: Option<Terminal>,
+}
+
+use std::sync::Arc;
+
+/// How a view evaluates under the strategy it was registered against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Plain evaluation over the explicit graph; consumes the base delta.
+    Direct,
+    /// Evaluation over maintained `G∞`; consumes the entailed delta.
+    Saturated,
+    /// Reformulated union over the explicit graph; consumes the base
+    /// delta, recompiles on schema change.
+    Reformulated,
+}
+
+struct View {
+    key: String,
+    mode: Mode,
+    distinct: bool,
+    vars: Vec<String>,
+    /// The original query as registered (recompiled on schema change).
+    query: Query,
+    program: DeltaProgram,
+    /// Signed multiplicity per projected row (decoded) — the view's
+    /// materialized state. Rows with count 0 are removed.
+    counts: FxHashMap<Vec<String>, i64>,
+    /// Bounded log of published batches for pull/catch-up consumers.
+    log: VecDeque<Arc<DeltaBatch>>,
+    /// Catch-up from any epoch `>= log_anchor` is replayable from `log`;
+    /// older requests get a snapshot reset.
+    log_anchor: u64,
+    /// Latest epoch published to this view (even if it produced no batch).
+    last_epoch: u64,
+    subscribers: Vec<u64>,
+}
+
+struct Sub {
+    view: usize,
+    /// Streaming subscribers get pushed batches; pull subscribers read
+    /// the view log via catch-up and have no queue.
+    streaming: bool,
+    queue: VecDeque<Arc<DeltaBatch>>,
+    terminal: Option<Terminal>,
+}
+
+struct Inner {
+    views: Vec<View>,
+    subs: FxHashMap<u64, Sub>,
+    next_id: u64,
+    /// Highest epoch `publish` has seen — guards the registration race.
+    last_epoch: u64,
+    shutdown: bool,
+}
+
+/// The subscription hub: owns every registered view and subscriber, sits
+/// between the single writer (which calls [`publish`](Self::publish) after
+/// each group commit) and the server connections (which register, stream,
+/// catch up and cancel).
+pub struct SubscriptionHub {
+    cfg: HubConfig,
+    inner: Mutex<Inner>,
+    wake: Condvar,
+}
+
+fn lock(m: &Mutex<Inner>) -> MutexGuard<'_, Inner> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+impl SubscriptionHub {
+    /// Creates an empty hub.
+    pub fn new(cfg: HubConfig) -> Self {
+        SubscriptionHub {
+            cfg,
+            inner: Mutex::new(Inner {
+                views: Vec::new(),
+                subs: FxHashMap::default(),
+                next_id: 1,
+                last_epoch: 0,
+                shutdown: false,
+            }),
+            wake: Condvar::new(),
+        }
+    }
+
+    /// Live subscriber count (the metrics gauge).
+    pub fn live_subscribers(&self) -> usize {
+        lock(&self.inner).subs.len()
+    }
+
+    /// Number of registered views (may be shared by several subscribers).
+    pub fn view_count(&self) -> usize {
+        lock(&self.inner).views.len()
+    }
+
+    /// Registers a subscription for `sparql`.
+    ///
+    /// The initial answer is evaluated against a reader snapshot *without*
+    /// holding the hub lock (the writer keeps publishing meanwhile); the
+    /// commit step detects a concurrent epoch advance and re-evaluates, so
+    /// the returned initial state and the first streamed batch are always
+    /// gap-free. `cancel` is the request's deadline token: expiry aborts
+    /// registration with [`SubscribeError::Query`]([`AnswerError::Cancelled`]).
+    pub fn subscribe(
+        &self,
+        reader: &StoreReader,
+        sparql: &str,
+        streaming: bool,
+        cancel: &obs::CancelToken,
+    ) -> Result<SubscribeOk, SubscribeError> {
+        let reg = obs::global();
+        loop {
+            let snap = reader.snapshot();
+            let q = snap.prepare(sparql).map_err(SubscribeError::Query)?;
+            let key = view_key(&q);
+
+            // Fast path: the view already exists — attach and hand the
+            // subscriber the view's current state (no re-evaluation).
+            {
+                let mut inner = lock(&self.inner);
+                if inner.shutdown {
+                    return Err(SubscribeError::ShuttingDown);
+                }
+                if inner.subs.len() >= self.cfg.max_subscriptions {
+                    return Err(SubscribeError::AtCapacity(self.cfg.max_subscriptions));
+                }
+                if let Some(vi) = inner.views.iter().position(|v| v.key == key) {
+                    return Ok(self.attach(&mut inner, vi, streaming));
+                }
+            }
+
+            if cancel.is_cancelled() {
+                return Err(SubscribeError::Query(AnswerError::Cancelled));
+            }
+
+            // Slow path: build the view off-lock against the frozen
+            // snapshot.
+            let (mode, program) = compile_for(&snap, &q)?;
+            let graph = snap.view_graph().ok_or_else(|| {
+                SubscribeError::Unsupported(format!(
+                    "strategy {} does not support subscriptions",
+                    snap.config().name()
+                ))
+            })?;
+            let mut counts: FxHashMap<Vec<String>, i64> = FxHashMap::default();
+            {
+                let dict = snap.dictionary();
+                program.eval_full(graph, &dict, |row, m| {
+                    let decoded = decode_row(&dict, &row);
+                    *counts.entry(decoded).or_insert(0) += m;
+                });
+            }
+            counts.retain(|_, m| *m != 0);
+            if cancel.is_cancelled() {
+                return Err(SubscribeError::Query(AnswerError::Cancelled));
+            }
+
+            // Commit: only if no epoch was published past our snapshot
+            // while we evaluated (else retry against a fresh one).
+            let mut inner = lock(&self.inner);
+            if inner.shutdown {
+                return Err(SubscribeError::ShuttingDown);
+            }
+            if inner.subs.len() >= self.cfg.max_subscriptions {
+                return Err(SubscribeError::AtCapacity(self.cfg.max_subscriptions));
+            }
+            if let Some(vi) = inner.views.iter().position(|v| v.key == key) {
+                // Another registrant won the race to create this view.
+                return Ok(self.attach(&mut inner, vi, streaming));
+            }
+            if inner.last_epoch > snap.epoch() {
+                drop(inner);
+                reg.add("server.subscribe.register_retries", 1);
+                continue;
+            }
+            let vars: Vec<String> = q.var_names.clone();
+            let view = View {
+                key,
+                mode,
+                distinct: q.distinct,
+                vars,
+                query: q,
+                program,
+                counts,
+                log: VecDeque::new(),
+                log_anchor: snap.epoch(),
+                last_epoch: snap.epoch(),
+                subscribers: Vec::new(),
+            };
+            inner.views.push(view);
+            let vi = inner.views.len() - 1;
+            return Ok(self.attach(&mut inner, vi, streaming));
+        }
+    }
+
+    /// Attaches a new subscriber to an existing view and builds its
+    /// initial reset batch from the view's current counts.
+    fn attach(&self, inner: &mut Inner, vi: usize, streaming: bool) -> SubscribeOk {
+        let id = inner.next_id;
+        inner.next_id += 1;
+        inner.subs.insert(
+            id,
+            Sub {
+                view: vi,
+                streaming,
+                queue: VecDeque::new(),
+                terminal: None,
+            },
+        );
+        let view = &mut inner.views[vi];
+        view.subscribers.push(id);
+        let reg = obs::global();
+        reg.add("server.subscribe.registered", 1);
+        SubscribeOk {
+            id,
+            epoch: view.last_epoch,
+            vars: view.vars.clone(),
+            distinct: view.distinct,
+            initial: reset_batch(view),
+        }
+    }
+
+    /// Publishes one epoch to every view: runs each delta program over the
+    /// consolidated triple delta, updates view counts, appends to epoch
+    /// logs and fans out to streaming queues. Called by the single writer
+    /// after group commit — `old`/`new` are the snapshots around the
+    /// group, `delta` the drained [`StoreDelta`].
+    ///
+    /// The writer never blocks here: queue pushes are try-pushes and a
+    /// full queue drops its subscriber with [`Terminal::Lagged`].
+    pub fn publish(&self, old: &StoreSnapshot, new: &StoreSnapshot, delta: &StoreDelta) {
+        fail_point!("store.subscribe.publish");
+        let reg = obs::global();
+        let epoch = new.epoch();
+        let mut inner = lock(&self.inner);
+        inner.last_epoch = inner.last_epoch.max(epoch);
+        if inner.views.is_empty() || (delta.is_empty() && !delta.schema_changed) {
+            for view in &mut inner.views {
+                view.last_epoch = epoch;
+            }
+            return;
+        }
+        let _span = reg.span("server.subscribe.publish");
+        let base_net = consolidate_delta(&delta.base);
+        let entailed_net = consolidate_delta(&delta.entailed);
+        let dict = new.dictionary();
+        let mut delivered = false;
+        let mut dead_views: Vec<usize> = Vec::new();
+        let mut drops: Vec<u64> = Vec::new();
+        let Inner { views, subs, .. } = &mut *inner;
+        for (vi, view) in views.iter_mut().enumerate() {
+            let batch = if delta.schema_changed {
+                // Derived state was swapped wholesale (schema mutation or
+                // strategy/thread rebuild): recompile where needed and
+                // rebuild the view from scratch, publishing a reset.
+                match rebuild_view(view, new, &dict) {
+                    Ok(batch) => Some(batch),
+                    Err(_) => {
+                        dead_views.push(vi);
+                        continue;
+                    }
+                }
+            } else {
+                let net = match view.mode {
+                    Mode::Saturated => &entailed_net,
+                    Mode::Direct | Mode::Reformulated => &base_net,
+                };
+                step_view(view, old, new, net, &dict)
+            };
+            view.last_epoch = epoch;
+            let Some(batch) = batch else { continue };
+            let batch = Arc::new(batch);
+            push_log(view, batch.clone(), self.cfg.log_capacity);
+            reg.add("server.subscribe.delta_batches", 1);
+            for &sid in &view.subscribers {
+                let Some(sub) = subs.get_mut(&sid) else {
+                    continue;
+                };
+                if !sub.streaming || sub.terminal.is_some() {
+                    continue;
+                }
+                if sub.queue.len() >= self.cfg.queue_capacity {
+                    sub.queue.clear();
+                    sub.terminal = Some(Terminal::Lagged);
+                    drops.push(sid);
+                    reg.add("server.subscribe.dropped", 1);
+                } else {
+                    sub.queue.push_back(batch.clone());
+                }
+                delivered = true;
+            }
+        }
+        // Views whose strategy stopped supporting subscriptions: cut their
+        // subscribers loose (they must re-subscribe) and remove the view.
+        for vi in dead_views.into_iter().rev() {
+            let view = views.remove(vi);
+            for sid in view.subscribers {
+                if let Some(sub) = subs.get_mut(&sid) {
+                    sub.queue.clear();
+                    sub.terminal = Some(Terminal::Shutdown);
+                    delivered = true;
+                }
+            }
+            // Reindex subscribers of the views shifted down.
+            for sub in subs.values_mut() {
+                if sub.view > vi {
+                    sub.view -= 1;
+                }
+            }
+        }
+        let _ = drops;
+        drop(dict);
+        drop(inner);
+        if delivered {
+            self.wake.notify_all();
+        }
+    }
+
+    /// Blocks until the streaming subscriber `id` has batches, a terminal
+    /// event, or `timeout` elapses. Draining is destructive; a terminal
+    /// result removes the subscription.
+    pub fn next_wake(&self, id: u64, timeout: Duration) -> NextWake {
+        let mut inner = lock(&self.inner);
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match inner.subs.get_mut(&id) {
+                None => return NextWake::Gone,
+                Some(sub) => {
+                    if !sub.queue.is_empty() {
+                        let batches: Vec<Arc<DeltaBatch>> = sub.queue.drain(..).collect();
+                        return NextWake::Batches(batches);
+                    }
+                    if let Some(t) = sub.terminal {
+                        self.remove_sub(&mut inner, id);
+                        return NextWake::Terminal(t);
+                    }
+                    if inner.shutdown {
+                        self.remove_sub(&mut inner, id);
+                        return NextWake::Terminal(Terminal::Shutdown);
+                    }
+                }
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return NextWake::Idle;
+            }
+            let (guard, res) = self
+                .wake
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+            if res.timed_out() {
+                // Re-check once after the timeout before reporting idle.
+                continue;
+            }
+        }
+    }
+
+    /// Pull-side catch-up: returns every batch published to `id`'s view
+    /// after epoch `from`, or a single snapshot-reset batch when `from`
+    /// has fallen off the bounded epoch log.
+    pub fn catch_up(&self, id: u64, from: u64) -> Option<CatchUp> {
+        let mut inner = lock(&self.inner);
+        let shutdown = inner.shutdown;
+        let sub = inner.subs.get(&id)?;
+        let terminal = sub.terminal.or(if shutdown {
+            Some(Terminal::Shutdown)
+        } else {
+            None
+        });
+        let vi = sub.view;
+        let view = &mut inner.views[vi];
+        let batches = if from >= view.log_anchor {
+            view.log
+                .iter()
+                .filter(|b| b.epoch > from)
+                .cloned()
+                .collect()
+        } else {
+            vec![Arc::new(reset_batch(view))]
+        };
+        Some(CatchUp { batches, terminal })
+    }
+
+    /// Removes a subscription (client cancel or connection close). The
+    /// backing view is dropped with its last subscriber, so the writer
+    /// stops paying for it.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut inner = lock(&self.inner);
+        let existed = inner.subs.contains_key(&id);
+        if existed {
+            self.remove_sub(&mut inner, id);
+        }
+        existed
+    }
+
+    fn remove_sub(&self, inner: &mut Inner, id: u64) {
+        let Some(sub) = inner.subs.remove(&id) else {
+            return;
+        };
+        obs::global().add("server.subscribe.closed", 1);
+        let vi = sub.view;
+        if let Some(view) = inner.views.get_mut(vi) {
+            view.subscribers.retain(|&s| s != id);
+            if view.subscribers.is_empty() {
+                inner.views.remove(vi);
+                for s in inner.subs.values_mut() {
+                    if s.view > vi {
+                        s.view -= 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Initiates shutdown: every streamer wakes with
+    /// [`Terminal::Shutdown`]; new registrations are refused.
+    pub fn shutdown(&self) {
+        let mut inner = lock(&self.inner);
+        inner.shutdown = true;
+        drop(inner);
+        self.wake.notify_all();
+    }
+}
+
+/// Stable identity of a registered query (structural, dictionary-id
+/// based — two textually different queries interning to the same AST
+/// share a view).
+fn view_key(q: &Query) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{}|{:?}",
+        q.projection, q.bgps, q.filters, q.distinct, q.var_names
+    )
+}
+
+fn decode_row(dict: &rdf_model::Dictionary, row: &[rdf_model::TermId]) -> Vec<String> {
+    row.iter()
+        .map(|id| {
+            dict.decode(*id)
+                .map_or_else(|| format!("{id:?}"), |t| t.to_string())
+        })
+        .collect()
+}
+
+/// Chooses the view mode for the snapshot's strategy and compiles the
+/// delta program ( reformulating first when the strategy answers by
+/// reformulation).
+fn compile_for(snap: &StoreSnapshot, q: &Query) -> Result<(Mode, DeltaProgram), SubscribeError> {
+    let unsupported = |what: &str| SubscribeError::Unsupported(what.to_string());
+    let (mode, effective) = match snap.config() {
+        ReasoningConfig::None => (Mode::Direct, None),
+        ReasoningConfig::Saturation(_) => (Mode::Saturated, None),
+        ReasoningConfig::Reformulation => {
+            let q_ref = snap
+                .reformulated(q)
+                .map_err(SubscribeError::Query)?
+                .ok_or_else(|| unsupported("reformulation unavailable"))?;
+            (Mode::Reformulated, Some(q_ref))
+        }
+        other => {
+            return Err(unsupported(&format!(
+                "strategy {} does not support subscriptions",
+                other.name()
+            )))
+        }
+    };
+    let program = compile_delta(effective.as_ref().unwrap_or(q))
+        .map_err(|e| SubscribeError::Unsupported(e.to_string()))?;
+    Ok((mode, program))
+}
+
+/// The complete current answer of a view as a reset batch at its last
+/// published epoch.
+fn reset_batch(view: &View) -> DeltaBatch {
+    let mut events: Vec<DeltaEvent> = view
+        .counts
+        .iter()
+        .filter(|(_, &m)| m > 0)
+        .map(|(row, &m)| DeltaEvent {
+            row: row.clone(),
+            delta: if view.distinct { 1 } else { m },
+        })
+        .collect();
+    events.sort_by(|a, b| a.row.cmp(&b.row));
+    DeltaBatch {
+        epoch: view.last_epoch,
+        reset: true,
+        events,
+    }
+}
+
+/// Applies one consolidated triple delta to a view: runs the delta
+/// program, folds the row changes into the multiplicity counts and
+/// derives the events to publish (raw signed deltas for bag views,
+/// `0 ↔ positive` transitions for `DISTINCT` views). Returns `None` when
+/// the answer did not change.
+fn step_view(
+    view: &mut View,
+    old: &StoreSnapshot,
+    new: &StoreSnapshot,
+    net: &[(rdf_model::Triple, i64)],
+    dict: &rdf_model::Dictionary,
+) -> Option<DeltaBatch> {
+    if net.is_empty() {
+        return None;
+    }
+    let (Some(old_g), Some(new_g)) = (old.view_graph(), new.view_graph()) else {
+        return None;
+    };
+    let mut raw: FxHashMap<Vec<String>, i64> = FxHashMap::default();
+    view.program.eval_delta(old_g, new_g, net, dict, |row, m| {
+        *raw.entry(decode_row(dict, &row)).or_insert(0) += m;
+    });
+    raw.retain(|_, m| *m != 0);
+    if raw.is_empty() {
+        return None;
+    }
+    let mut events = Vec::with_capacity(raw.len());
+    for (row, m) in raw {
+        let before = view.counts.get(&row).copied().unwrap_or(0);
+        let after = before + m;
+        if after == 0 {
+            view.counts.remove(&row);
+        } else {
+            view.counts.insert(row.clone(), after);
+        }
+        if view.distinct {
+            match (before > 0, after > 0) {
+                (false, true) => events.push(DeltaEvent { row, delta: 1 }),
+                (true, false) => events.push(DeltaEvent { row, delta: -1 }),
+                _ => {}
+            }
+        } else {
+            events.push(DeltaEvent { row, delta: m });
+        }
+    }
+    if events.is_empty() {
+        return None;
+    }
+    events.sort_by(|a, b| a.row.cmp(&b.row));
+    Some(DeltaBatch {
+        epoch: new.epoch(),
+        reset: false,
+        events,
+    })
+}
+
+/// Rebuilds a view after a schema change / strategy rebuild: recompiles
+/// the program (reformulation changes with the schema) and recomputes the
+/// counts from scratch, publishing a reset batch. Errors mean the new
+/// strategy cannot host the view.
+fn rebuild_view(
+    view: &mut View,
+    new: &StoreSnapshot,
+    dict: &rdf_model::Dictionary,
+) -> Result<DeltaBatch, ()> {
+    let (mode, program) = compile_for(new, &view.query).map_err(|_| ())?;
+    let graph = new.view_graph().ok_or(())?;
+    let mut counts: FxHashMap<Vec<String>, i64> = FxHashMap::default();
+    program.eval_full(graph, dict, |row, m| {
+        *counts.entry(decode_row(dict, &row)).or_insert(0) += m;
+    });
+    counts.retain(|_, m| *m != 0);
+    view.mode = mode;
+    view.program = program;
+    view.counts = counts;
+    view.last_epoch = new.epoch();
+    // A reset supersedes history: any catch-up can replay from it.
+    view.log.clear();
+    view.log_anchor = 0;
+    Ok(reset_batch(view))
+}
+
+fn push_log(view: &mut View, batch: Arc<DeltaBatch>, cap: usize) {
+    if batch.reset {
+        view.log.clear();
+        view.log_anchor = 0;
+    }
+    view.log.push_back(batch);
+    while view.log.len() > cap {
+        if let Some(evicted) = view.log.pop_front() {
+            // Everything up to the evicted epoch is no longer replayable.
+            view.log_anchor = view.log_anchor.max(evicted.epoch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::CancelToken;
+    use webreason_core::{MaintenanceAlgorithm, ReasoningConfig, Store};
+
+    const SCHEMA: &str = r#"
+        @prefix ex: <http://ex/> .
+        @prefix rdfs: <http://www.w3.org/2000/01/rdf-schema#> .
+        ex:Cat rdfs:subClassOf ex:Mammal .
+        ex:hasPet rdfs:domain ex:Owner .
+    "#;
+
+    fn store_with(config: ReasoningConfig) -> Store {
+        let mut store = Store::new(config);
+        store.load_turtle(SCHEMA).unwrap();
+        store
+    }
+
+    const TYPE: &str = rdf_model::vocab::RDF_TYPE;
+    const SUBCLASS: &str = rdf_model::vocab::RDFS_SUB_CLASS_OF;
+
+    /// Applies inserts/deletes of IRI triples, drains the store delta and
+    /// publishes it through the hub, returning the new epoch.
+    fn apply_and_publish(
+        store: &mut Store,
+        hub: &SubscriptionHub,
+        ops: &[[&str; 3]],
+        insert: bool,
+    ) -> u64 {
+        use rdf_model::Term;
+        let old = store.snapshot();
+        for [s, p, o] in ops {
+            let (s, p, o) = (Term::iri(*s), Term::iri(*p), Term::iri(*o));
+            if insert {
+                store.insert_terms(&s, &p, &o);
+            } else {
+                store.delete_terms(&s, &p, &o);
+            }
+        }
+        let delta = store.take_delta();
+        let new = store.snapshot();
+        hub.publish(&old, &new, &delta);
+        new.epoch()
+    }
+
+    /// Accumulates a subscriber's batches into row → count state.
+    fn apply_batch(state: &mut FxHashMap<Vec<String>, i64>, batch: &DeltaBatch) {
+        if batch.reset {
+            state.clear();
+        }
+        for ev in &batch.events {
+            *state.entry(ev.row.clone()).or_insert(0) += ev.delta;
+        }
+        state.retain(|_, m| *m != 0);
+    }
+
+    /// From-scratch answer (distinct) decoded like the hub decodes.
+    fn oracle_rows(store: &Store, sparql: &str) -> FxHashMap<Vec<String>, i64> {
+        let reader = store.reader();
+        let snap = reader.snapshot();
+        let q = snap.prepare(sparql).unwrap();
+        let (sols, _) = snap.answer(&q).unwrap();
+        let dict = snap.dictionary();
+        let mut out = FxHashMap::default();
+        for row in sols.as_set() {
+            let decoded: Vec<String> = row
+                .iter()
+                .map(|id| dict.decode(*id).unwrap().to_string())
+                .collect();
+            out.insert(decoded, 1);
+        }
+        out
+    }
+
+    fn distinct_keys(state: &FxHashMap<Vec<String>, i64>) -> FxHashMap<Vec<String>, i64> {
+        state
+            .iter()
+            .filter(|(_, &m)| m > 0)
+            .map(|(k, _)| (k.clone(), 1))
+            .collect()
+    }
+
+    const Q_MAMMALS: &str = "PREFIX ex: <http://ex/> SELECT DISTINCT ?x WHERE { ?x a ex:Mammal }";
+
+    #[test]
+    fn saturation_stream_replays_entailed_changes() {
+        for algo in [
+            MaintenanceAlgorithm::Recompute,
+            MaintenanceAlgorithm::DRed,
+            MaintenanceAlgorithm::Counting,
+        ] {
+            let mut store = store_with(ReasoningConfig::Saturation(algo));
+            store.set_delta_tracking(true);
+            let hub = SubscriptionHub::new(HubConfig::default());
+            let reader = store.reader();
+            let ok = hub
+                .subscribe(&reader, Q_MAMMALS, true, &CancelToken::none())
+                .unwrap();
+            let mut state = FxHashMap::default();
+            apply_batch(&mut state, &ok.initial);
+            assert!(state.is_empty());
+
+            apply_and_publish(
+                &mut store,
+                &hub,
+                &[["http://ex/tom", TYPE, "http://ex/Cat"]],
+                true,
+            );
+            match hub.next_wake(ok.id, Duration::from_millis(10)) {
+                NextWake::Batches(batches) => {
+                    for b in &batches {
+                        apply_batch(&mut state, b);
+                    }
+                }
+                other => panic!("expected batches, got {other:?} ({algo:?})"),
+            }
+            assert_eq!(distinct_keys(&state), oracle_rows(&store, Q_MAMMALS));
+
+            apply_and_publish(
+                &mut store,
+                &hub,
+                &[["http://ex/tom", TYPE, "http://ex/Cat"]],
+                false,
+            );
+            if let NextWake::Batches(batches) = hub.next_wake(ok.id, Duration::from_millis(10)) {
+                for b in &batches {
+                    apply_batch(&mut state, b);
+                }
+            }
+            assert_eq!(distinct_keys(&state), oracle_rows(&store, Q_MAMMALS));
+            assert!(state.is_empty(), "tom retracted from the view ({algo:?})");
+        }
+    }
+
+    #[test]
+    fn reformulation_stream_consumes_base_delta() {
+        let mut store = store_with(ReasoningConfig::Reformulation);
+        store.set_delta_tracking(true);
+        let hub = SubscriptionHub::new(HubConfig::default());
+        let reader = store.reader();
+        let ok = hub
+            .subscribe(&reader, Q_MAMMALS, true, &CancelToken::none())
+            .unwrap();
+        let mut state = FxHashMap::default();
+        apply_batch(&mut state, &ok.initial);
+
+        apply_and_publish(
+            &mut store,
+            &hub,
+            &[
+                ["http://ex/tom", TYPE, "http://ex/Cat"],
+                ["http://ex/rex", TYPE, "http://ex/Mammal"],
+            ],
+            true,
+        );
+        if let NextWake::Batches(batches) = hub.next_wake(ok.id, Duration::from_millis(10)) {
+            for b in &batches {
+                apply_batch(&mut state, b);
+            }
+        }
+        assert_eq!(state.len(), 2, "tom (entailed) and rex (explicit)");
+        assert_eq!(distinct_keys(&state), oracle_rows(&store, Q_MAMMALS));
+    }
+
+    #[test]
+    fn schema_change_triggers_reset_rebuild() {
+        let mut store = store_with(ReasoningConfig::Reformulation);
+        store.set_delta_tracking(true);
+        let hub = SubscriptionHub::new(HubConfig::default());
+        let reader = store.reader();
+        let ok = hub
+            .subscribe(&reader, Q_MAMMALS, true, &CancelToken::none())
+            .unwrap();
+        apply_and_publish(
+            &mut store,
+            &hub,
+            &[["http://ex/fido", TYPE, "http://ex/Dog"]],
+            true,
+        );
+        // New subclass axiom: Dog ⊑ Mammal — changes q_ref itself.
+        apply_and_publish(
+            &mut store,
+            &hub,
+            &[["http://ex/Dog", SUBCLASS, "http://ex/Mammal"]],
+            true,
+        );
+        let mut state = FxHashMap::default();
+        apply_batch(&mut state, &ok.initial);
+        while let NextWake::Batches(batches) = hub.next_wake(ok.id, Duration::from_millis(10)) {
+            for b in &batches {
+                apply_batch(&mut state, b);
+            }
+        }
+        assert_eq!(distinct_keys(&state), oracle_rows(&store, Q_MAMMALS));
+        assert_eq!(state.len(), 1, "fido now a mammal via the new axiom");
+    }
+
+    #[test]
+    fn slow_consumer_is_dropped_with_terminal() {
+        let mut store = store_with(ReasoningConfig::None);
+        store.set_delta_tracking(true);
+        let hub = SubscriptionHub::new(HubConfig {
+            queue_capacity: 2,
+            ..HubConfig::default()
+        });
+        let reader = store.reader();
+        let q = "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p ex:o }";
+        let ok = hub
+            .subscribe(&reader, q, true, &CancelToken::none())
+            .unwrap();
+        for i in 0..4 {
+            let s = format!("http://ex/s{i}");
+            apply_and_publish(
+                &mut store,
+                &hub,
+                &[[&s, "http://ex/p", "http://ex/o"]],
+                true,
+            );
+        }
+        // Queue bound 2: the 3rd push drops the subscriber.
+        match hub.next_wake(ok.id, Duration::from_millis(10)) {
+            NextWake::Terminal(Terminal::Lagged) => {}
+            other => panic!("expected lagged terminal, got {other:?}"),
+        }
+        assert_eq!(hub.live_subscribers(), 0);
+        assert!(matches!(
+            hub.next_wake(ok.id, Duration::from_millis(1)),
+            NextWake::Gone
+        ));
+    }
+
+    #[test]
+    fn catch_up_replays_or_resets() {
+        let mut store = store_with(ReasoningConfig::None);
+        store.set_delta_tracking(true);
+        let hub = SubscriptionHub::new(HubConfig {
+            log_capacity: 2,
+            ..HubConfig::default()
+        });
+        let reader = store.reader();
+        let q = "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p ex:o }";
+        let ok = hub
+            .subscribe(&reader, q, false, &CancelToken::none())
+            .unwrap();
+        let e0 = ok.epoch;
+        let mut epochs = Vec::new();
+        for i in 0..4 {
+            let s = format!("http://ex/s{i}");
+            epochs.push(apply_and_publish(
+                &mut store,
+                &hub,
+                &[[&s, "http://ex/p", "http://ex/o"]],
+                true,
+            ));
+        }
+        // Recent epoch: exact replay of the retained tail.
+        let cu = hub.catch_up(ok.id, epochs[2]).unwrap();
+        assert_eq!(cu.batches.len(), 1);
+        assert!(!cu.batches[0].reset);
+        assert_eq!(cu.batches[0].epoch, epochs[3]);
+        // Ancient epoch (fell off the 2-deep log): snapshot reset.
+        let cu = hub.catch_up(ok.id, e0).unwrap();
+        assert_eq!(cu.batches.len(), 1);
+        assert!(cu.batches[0].reset);
+        assert_eq!(cu.batches[0].events.len(), 4);
+        // Replaying the reset converges to the oracle.
+        let mut state = FxHashMap::default();
+        apply_batch(&mut state, &cu.batches[0]);
+        assert_eq!(distinct_keys(&state), oracle_rows(&store, q));
+    }
+
+    #[test]
+    fn capacity_limit_refuses_registration() {
+        let store = store_with(ReasoningConfig::None);
+        let hub = SubscriptionHub::new(HubConfig {
+            max_subscriptions: 1,
+            ..HubConfig::default()
+        });
+        let reader = store.reader();
+        let q = "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p ex:o }";
+        hub.subscribe(&reader, q, true, &CancelToken::none())
+            .unwrap();
+        match hub.subscribe(&reader, q, true, &CancelToken::none()) {
+            Err(SubscribeError::AtCapacity(1)) => {}
+            other => panic!("expected capacity refusal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_registration_is_rejected() {
+        let store = store_with(ReasoningConfig::None);
+        let hub = SubscriptionHub::new(HubConfig::default());
+        let reader = store.reader();
+        let token = CancelToken::new();
+        token.cancel();
+        match hub.subscribe(
+            &reader,
+            "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p ex:o }",
+            true,
+            &token,
+        ) {
+            Err(SubscribeError::Query(AnswerError::Cancelled)) => {}
+            other => panic!("expected cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_strategies_and_queries_are_refused() {
+        let store = store_with(ReasoningConfig::BackwardChaining);
+        let hub = SubscriptionHub::new(HubConfig::default());
+        let reader = store.reader();
+        match hub.subscribe(
+            &reader,
+            "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p ex:o }",
+            true,
+            &CancelToken::none(),
+        ) {
+            Err(SubscribeError::Unsupported(_)) => {}
+            other => panic!("expected unsupported, got {other:?}"),
+        }
+        let store = store_with(ReasoningConfig::None);
+        let reader = store.reader();
+        match hub.subscribe(
+            &reader,
+            "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p ex:o } LIMIT 3",
+            true,
+            &CancelToken::none(),
+        ) {
+            Err(SubscribeError::Unsupported(_)) => {}
+            other => panic!("expected unsupported query, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shutdown_wakes_streamers_with_terminal() {
+        let store = store_with(ReasoningConfig::None);
+        let hub = std::sync::Arc::new(SubscriptionHub::new(HubConfig::default()));
+        let reader = store.reader();
+        let ok = hub
+            .subscribe(
+                &reader,
+                "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p ex:o }",
+                true,
+                &CancelToken::none(),
+            )
+            .unwrap();
+        let h2 = hub.clone();
+        let waiter = std::thread::spawn(move || h2.next_wake(ok.id, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        hub.shutdown();
+        match waiter.join().unwrap() {
+            NextWake::Terminal(Terminal::Shutdown) => {}
+            other => panic!("expected shutdown terminal, got {other:?}"),
+        }
+        assert!(matches!(
+            hub.subscribe(
+                &reader,
+                "PREFIX ex: <http://ex/> SELECT ?s WHERE { ?s ex:p ex:o }",
+                true,
+                &CancelToken::none(),
+            ),
+            Err(SubscribeError::ShuttingDown)
+        ));
+    }
+
+    /// The distinct-multiplicity regression (bag-vs-set bug class): a row
+    /// with two derivations through overlapping union branches must NOT
+    /// be retracted when one derivation is deleted.
+    #[test]
+    fn distinct_survives_losing_one_of_two_derivations() {
+        let mut store = store_with(ReasoningConfig::Reformulation);
+        store.set_delta_tracking(true);
+        let hub = SubscriptionHub::new(HubConfig::default());
+        let reader = store.reader();
+        // tom is a Mammal twice over: explicitly, and entailed via Cat.
+        store
+            .load_turtle("@prefix ex: <http://ex/> . ex:tom a ex:Cat . ex:tom a ex:Mammal .")
+            .unwrap();
+        store.take_delta(); // not yet subscribed; discard
+        store.snapshot(); // publish, so registration sees the load
+        let ok = hub
+            .subscribe(&reader, Q_MAMMALS, true, &CancelToken::none())
+            .unwrap();
+        let mut state = FxHashMap::default();
+        apply_batch(&mut state, &ok.initial);
+        assert_eq!(state.len(), 1);
+
+        // Delete the explicit assertion: the entailed derivation remains.
+        apply_and_publish(
+            &mut store,
+            &hub,
+            &[["http://ex/tom", TYPE, "http://ex/Mammal"]],
+            false,
+        );
+        match hub.next_wake(ok.id, Duration::from_millis(10)) {
+            NextWake::Idle => {} // correctly NO retraction event
+            NextWake::Batches(batches) => {
+                for b in &batches {
+                    apply_batch(&mut state, b);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(state.len(), 1, "tom still a mammal via ex:Cat");
+        assert_eq!(distinct_keys(&state), oracle_rows(&store, Q_MAMMALS));
+
+        // Delete the remaining derivation: now it must retract.
+        apply_and_publish(
+            &mut store,
+            &hub,
+            &[["http://ex/tom", TYPE, "http://ex/Cat"]],
+            false,
+        );
+        if let NextWake::Batches(batches) = hub.next_wake(ok.id, Duration::from_millis(10)) {
+            for b in &batches {
+                apply_batch(&mut state, b);
+            }
+        }
+        assert!(state.is_empty(), "no derivations left");
+    }
+}

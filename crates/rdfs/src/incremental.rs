@@ -133,6 +133,26 @@ pub trait Maintainer {
         }
         total
     }
+
+    /// Turns recording of the *entailed* delta on or off. While on, every
+    /// triple that enters or leaves the saturation is appended to a buffer
+    /// drained by [`Maintainer::take_entailed_delta`]. Off by default; the
+    /// default implementation ignores the request (see
+    /// [`Maintainer::supports_delta_tracking`]).
+    fn set_delta_tracking(&mut self, _on: bool) {}
+
+    /// Drains the entailed delta recorded since the last drain: `(t, true)`
+    /// when `t` entered `G∞`, `(t, false)` when it left. Within one drain a
+    /// triple appears at most once per direction net of cancellation only
+    /// if the maintainer guarantees it — consumers must consolidate.
+    fn take_entailed_delta(&mut self) -> Vec<(Triple, bool)> {
+        Vec::new()
+    }
+
+    /// True when this maintainer actually records entailed deltas.
+    fn supports_delta_tracking(&self) -> bool {
+        false
+    }
 }
 
 /// Selector for the three maintenance algorithms.
@@ -199,7 +219,12 @@ fn classify(t: &Triple, vocab: &Vocab, insert: bool) -> UpdateKind {
 
 /// Semi-naive forward closure from `frontier` (already inserted in `sat`).
 /// Returns `(new_triples, work)`.
-fn seminaive_extend(sat: &mut Graph, mut frontier: Vec<Triple>, vocab: &Vocab) -> (usize, usize) {
+fn seminaive_extend(
+    sat: &mut Graph,
+    mut frontier: Vec<Triple>,
+    vocab: &Vocab,
+    mut delta: Option<&mut Vec<(Triple, bool)>>,
+) -> (usize, usize) {
     // Crash site for the fault-injection suite: the base graph is already
     // updated but the saturation delta has not been applied yet — exactly
     // the state a recovery must be able to reconverge from.
@@ -218,6 +243,9 @@ fn seminaive_extend(sat: &mut Graph, mut frontier: Vec<Triple>, vocab: &Vocab) -
             if sat.insert(c) {
                 added += 1;
                 frontier.push(c);
+                if let Some(d) = delta.as_deref_mut() {
+                    d.push((c, true));
+                }
             }
         }
     }
@@ -236,6 +264,7 @@ pub struct RecomputeMaintainer {
     base: Graph,
     sat: Graph,
     threads: NonZeroUsize,
+    delta: Option<Vec<(Triple, bool)>>,
 }
 
 impl RecomputeMaintainer {
@@ -254,6 +283,7 @@ impl RecomputeMaintainer {
             base,
             sat,
             threads,
+            delta: None,
         }
     }
 
@@ -270,6 +300,19 @@ impl RecomputeMaintainer {
         let graph = Self::saturate_base(&self.base, &self.vocab, self.threads);
         let work = graph.len();
         let new_len = graph.len();
+        if let Some(buf) = &mut self.delta {
+            // Recomputation gives no per-triple trail, so diff wholesale.
+            for t in self.sat.iter() {
+                if !graph.contains(&t) {
+                    buf.push((t, false));
+                }
+            }
+            for t in graph.iter() {
+                if !self.sat.contains(&t) {
+                    buf.push((t, true));
+                }
+            }
+        }
         self.sat = graph;
         UpdateStats {
             kind,
@@ -303,6 +346,20 @@ impl Maintainer for RecomputeMaintainer {
         MaintenanceAlgorithm::Recompute
     }
 
+    fn set_delta_tracking(&mut self, on: bool) {
+        match (on, self.delta.is_some()) {
+            (true, false) => self.delta = Some(Vec::new()),
+            (false, _) => self.delta = None,
+            _ => {}
+        }
+    }
+    fn take_entailed_delta(&mut self) -> Vec<(Triple, bool)> {
+        self.delta.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+    fn supports_delta_tracking(&self) -> bool {
+        true
+    }
+
     /// Batches pay a single recomputation — the whole point of batching
     /// under this algorithm.
     fn insert_batch(&mut self, triples: &[Triple]) -> UpdateStats {
@@ -332,13 +389,19 @@ pub struct DRedMaintainer {
     vocab: Vocab,
     base: Graph,
     sat: Graph,
+    delta: Option<Vec<(Triple, bool)>>,
 }
 
 impl DRedMaintainer {
     /// Builds the maintainer and computes the initial saturation.
     pub fn new(base: Graph, vocab: Vocab) -> Self {
         let sat = saturate(&base, &vocab).graph;
-        DRedMaintainer { vocab, base, sat }
+        DRedMaintainer {
+            vocab,
+            base,
+            sat,
+            delta: None,
+        }
     }
 }
 
@@ -364,7 +427,11 @@ impl Maintainer for DRedMaintainer {
                 work: 0,
             };
         }
-        let (added, work) = seminaive_extend(&mut self.sat, vec![t], &self.vocab);
+        if let Some(buf) = &mut self.delta {
+            buf.push((t, true));
+        }
+        let (added, work) =
+            seminaive_extend(&mut self.sat, vec![t], &self.vocab, self.delta.as_mut());
         UpdateStats {
             kind,
             added: added + 1,
@@ -391,6 +458,20 @@ impl Maintainer for DRedMaintainer {
         MaintenanceAlgorithm::DRed
     }
 
+    fn set_delta_tracking(&mut self, on: bool) {
+        match (on, self.delta.is_some()) {
+            (true, false) => self.delta = Some(Vec::new()),
+            (false, _) => self.delta = None,
+            _ => {}
+        }
+    }
+    fn take_entailed_delta(&mut self) -> Vec<(Triple, bool)> {
+        self.delta.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+    fn supports_delta_tracking(&self) -> bool {
+        true
+    }
+
     /// A batch insertion runs one semi-naive pass from all new triples.
     fn insert_batch(&mut self, triples: &[Triple]) -> UpdateStats {
         let mut seeds = Vec::new();
@@ -402,8 +483,12 @@ impl Maintainer for DRedMaintainer {
         if seeds.is_empty() {
             return UpdateStats::noop();
         }
+        if let Some(buf) = &mut self.delta {
+            buf.extend(seeds.iter().map(|&t| (t, true)));
+        }
         let n_seeds = seeds.len();
-        let (added, work) = seminaive_extend(&mut self.sat, seeds, &self.vocab);
+        let (added, work) =
+            seminaive_extend(&mut self.sat, seeds, &self.vocab, self.delta.as_mut());
         UpdateStats {
             kind: UpdateKind::Batch,
             added: added + n_seeds,
@@ -466,13 +551,21 @@ impl DRedMaintainer {
                 rederive.push(*d);
             }
         }
-        // …and their consequences with them.
-        let (_readded, w2) = seminaive_extend(&mut self.sat, rederive, &self.vocab);
+        // …and their consequences with them. Re-derived triples were all
+        // present before the over-deletion, so no additions are recorded.
+        let (_readded, w2) = seminaive_extend(&mut self.sat, rederive, &self.vocab, None);
         work += w2;
 
         // Everything re-derived was previously present, so the net effect is
         // pure removal.
         let removed = over.iter().filter(|d| !self.sat.contains(d)).count();
+        if let Some(buf) = &mut self.delta {
+            buf.extend(
+                over.iter()
+                    .filter(|d| !self.sat.contains(d))
+                    .map(|&d| (d, false)),
+            );
+        }
         (removed, work)
     }
 }
@@ -497,6 +590,7 @@ pub struct CountingMaintainer {
     counts: FxHashMap<Triple, u32>,
     schema: Schema,
     closed_schema: FxHashSet<Triple>,
+    delta: Option<Vec<(Triple, bool)>>,
 }
 
 impl CountingMaintainer {
@@ -510,6 +604,7 @@ impl CountingMaintainer {
             counts: FxHashMap::default(),
             schema,
             closed_schema: FxHashSet::default(),
+            delta: None,
         };
         m.closed_schema = m.schema.closed_triples(&m.vocab).into_iter().collect();
         for &t in &m.closed_schema {
@@ -548,7 +643,13 @@ impl CountingMaintainer {
         let c = self.counts.entry(d).or_insert(0);
         *c += 1;
         if *c == 1 {
-            self.sat.insert(d);
+            // The saturation only changes when `d` was not already present
+            // via the schema closure — only then is a delta recorded.
+            if self.sat.insert(d) {
+                if let Some(buf) = &mut self.delta {
+                    buf.push((d, true));
+                }
+            }
             true
         } else {
             false
@@ -566,7 +667,11 @@ impl CountingMaintainer {
                 // A schema-closure triple stays even at count 0 (its
                 // membership is governed by the closure set).
                 if !self.closed_schema.contains(d) {
-                    self.sat.remove(d);
+                    if self.sat.remove(d) {
+                        if let Some(buf) = &mut self.delta {
+                            buf.push((*d, false));
+                        }
+                    }
                     true
                 } else {
                     false
@@ -669,11 +774,17 @@ impl CountingMaintainer {
             // Gone from the closure and not independently counted → drop.
             if self.counts.get(d).copied().unwrap_or(0) == 0 && self.sat.remove(d) {
                 removed += 1;
+                if let Some(buf) = &mut self.delta {
+                    buf.push((*d, false));
+                }
             }
         }
         for &d in new_closed.difference(&self.closed_schema) {
             if self.sat.insert(d) {
                 added += 1;
+                if let Some(buf) = &mut self.delta {
+                    buf.push((d, true));
+                }
             }
         }
         self.closed_schema = new_closed;
@@ -723,6 +834,20 @@ impl Maintainer for CountingMaintainer {
 
     fn algorithm(&self) -> MaintenanceAlgorithm {
         MaintenanceAlgorithm::Counting
+    }
+
+    fn set_delta_tracking(&mut self, on: bool) {
+        match (on, self.delta.is_some()) {
+            (true, false) => self.delta = Some(Vec::new()),
+            (false, _) => self.delta = None,
+            _ => {}
+        }
+    }
+    fn take_entailed_delta(&mut self) -> Vec<(Triple, bool)> {
+        self.delta.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+    fn supports_delta_tracking(&self) -> bool {
+        true
     }
 }
 
@@ -1193,6 +1318,54 @@ mod tests {
                 prop_assert_eq!(counting.saturated(), &expect, "Counting diverged");
                 prop_assert_eq!(dred.base(), &base);
                 prop_assert_eq!(counting.base(), &base);
+            }
+
+            /// Replaying the entailed delta drained after each update onto a
+            /// shadow copy of the saturation keeps the shadow equal to the
+            /// maintained saturation — the contract the subscription layer
+            /// relies on.
+            #[test]
+            fn entailed_delta_replays_saturation(ops in arb_ops()) {
+                let mut dict = Dictionary::new();
+                let vocab = Vocab::intern(&mut dict);
+                let mut maintainers: Vec<Box<dyn Maintainer + Send>> = vec![
+                    Box::new(RecomputeMaintainer::new(Graph::new(), vocab)),
+                    Box::new(DRedMaintainer::new(Graph::new(), vocab)),
+                    Box::new(CountingMaintainer::new(Graph::new(), vocab)),
+                ];
+                for m in &mut maintainers {
+                    prop_assert!(m.supports_delta_tracking());
+                    m.set_delta_tracking(true);
+                }
+                let mut shadows = [Graph::new(), Graph::new(), Graph::new()];
+                for op in &ops {
+                    let (t, insert) = materialise(op, &mut dict, &vocab);
+                    for (m, shadow) in maintainers.iter_mut().zip(shadows.iter_mut()) {
+                        if insert {
+                            m.insert(t);
+                        } else {
+                            m.delete(&t);
+                        }
+                        for (d, add) in m.take_entailed_delta() {
+                            if add {
+                                prop_assert!(
+                                    shadow.insert(d),
+                                    "{:?}: duplicate add in delta", m.algorithm()
+                                );
+                            } else {
+                                prop_assert!(
+                                    shadow.remove(&d),
+                                    "{:?}: removal of absent triple in delta", m.algorithm()
+                                );
+                            }
+                        }
+                        prop_assert_eq!(
+                            shadow as &Graph,
+                            m.saturated(),
+                            "{:?}: delta replay diverged", m.algorithm()
+                        );
+                    }
+                }
             }
         }
     }

@@ -506,6 +506,44 @@ pub fn write_response(
     out
 }
 
+/// Serialises the head of a `Transfer-Encoding: chunked` response — the
+/// framing the subscription stream uses, since its length is unknown when
+/// the status line goes out. Follow with [`chunk`] frames and terminate
+/// with [`CHUNK_END`].
+pub fn write_chunked_head(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(160);
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(format!("Content-Type: {content_type}\r\n").as_bytes());
+    out.extend_from_slice(b"Transfer-Encoding: chunked\r\n");
+    for (name, value) in extra_headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Frames one chunk of a chunked response (hex length, CRLF, payload,
+/// CRLF). Empty payloads are skipped entirely — an empty chunk would
+/// terminate the stream.
+pub fn chunk(payload: &[u8]) -> Vec<u8> {
+    if payload.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(format!("{:x}\r\n", payload.len()).as_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminating frame of a chunked response.
+pub const CHUNK_END: &[u8] = b"0\r\n\r\n";
+
 /// Stamps `Connection: close` onto an already-serialised response, right
 /// after the status line — the server calls this on every close path
 /// (client asked, HTTP/1.0 default, shutdown drain) so clients are told

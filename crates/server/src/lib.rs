@@ -73,10 +73,18 @@ use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use http::{mark_close, parse_request, write_response, Limits, ParseOutcome, Request};
+use http::{
+    chunk, mark_close, parse_request, write_chunked_head, write_response, Limits, ParseOutcome,
+    Request, CHUNK_END,
+};
 use obs::CancelToken;
-use proto::{decode_update_body, ErrorResponse, QueryResponse, UpdateOp, UpdateResponse};
+use proto::{
+    decode_update_body, ErrorResponse, QueryResponse, SubscribeHeader, UpdateOp, UpdateResponse,
+};
 use webreason_core::{AnswerError, DurabilityError, DurableError, DurableStore, StoreReader};
+use webreason_incremental::{
+    DeltaBatch, HubConfig, NextWake, SubscribeError, SubscribeOk, SubscriptionHub,
+};
 
 /// Connection-handling engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -139,6 +147,15 @@ pub struct ServerConfig {
     /// Upper clamp on client-requested deadlines, milliseconds. A header
     /// asking for more gets exactly this much.
     pub max_deadline_ms: u64,
+    /// Live `POST /subscribe` registrations allowed at once; further
+    /// registrations get `503 subscription_limit`. `0` disables the
+    /// subscription subsystem entirely (no delta tracking on the writer).
+    pub max_subscriptions: usize,
+    /// Per-streaming-subscriber delta-batch queue bound. A subscriber
+    /// whose queue overflows (it consumes slower than the writer
+    /// publishes) is dropped with a `lagged` terminal event — the writer
+    /// never blocks on a slow consumer.
+    pub subscribe_queue: usize,
 }
 
 impl Default for ServerConfig {
@@ -158,6 +175,8 @@ impl Default for ServerConfig {
             force_poll: false,
             default_deadline_ms: None,
             max_deadline_ms: 60_000,
+            max_subscriptions: 64,
+            subscribe_queue: 256,
         }
     }
 }
@@ -215,6 +234,12 @@ struct Shared {
     writer_wait_ewma_us: AtomicU64,
     writer_service_ewma_us: AtomicU64,
     dispatch_wait_ewma_us: AtomicU64,
+    /// Incremental-view hub: registered views and their subscribers. The
+    /// writer publishes each group's consolidated delta into it.
+    hub: SubscriptionHub,
+    /// `--max-subscriptions` (0 = subscriptions disabled, no delta
+    /// tracking on the writer).
+    max_subscriptions: usize,
 }
 
 impl Shared {
@@ -369,6 +394,12 @@ impl Server {
             writer_wait_ewma_us: AtomicU64::new(0),
             writer_service_ewma_us: AtomicU64::new(0),
             dispatch_wait_ewma_us: AtomicU64::new(0),
+            hub: SubscriptionHub::new(HubConfig {
+                max_subscriptions: config.max_subscriptions,
+                queue_capacity: config.subscribe_queue.max(1),
+                ..HubConfig::default()
+            }),
+            max_subscriptions: config.max_subscriptions,
         });
 
         let writer_handle = {
@@ -479,11 +510,20 @@ impl Server {
         self.shared.reader.clone()
     }
 
+    /// Currently live `POST /subscribe` registrations (test/ops hook; the
+    /// same number backs the `webreason_server_subscriptions_live` gauge).
+    pub fn subscriptions_live(&self) -> usize {
+        self.shared.hub.live_subscribers()
+    }
+
     /// Graceful shutdown: stop accepting, complete in-flight requests
     /// (stragglers that arrive during the drain get `503`), drain the
     /// update queue, and return the [`DurableStore`].
     pub fn shutdown(mut self) -> DurableStore {
         self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake every streaming subscriber with a `shutdown` terminal event
+        // before joining the workers that serve them.
+        self.shared.hub.shutdown();
         match &mut self.engine {
             Engine::Threaded {
                 accept_handle,
@@ -538,6 +578,7 @@ impl Drop for Server {
         // threads after flagging them down; the journal already holds
         // every applied update.
         self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.hub.shutdown();
         match &self.engine {
             Engine::Threaded { .. } => {
                 let _ = TcpStream::connect(self.local_addr);
@@ -771,6 +812,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 // stamped right here and only the evaluation itself can
                 // consume the budget.
                 let cancel = deadline_token(&req, shared);
+                if req.method == "POST" && req.path() == "/subscribe" {
+                    // The subscribe stream takes over the connection: the
+                    // response is open-ended chunked frames, so no
+                    // keep-alive afterwards (pipelined bytes are dropped).
+                    handle_subscribe_stream(&mut stream, &req, shared, &cancel);
+                    return;
+                }
                 let mut resp = dispatch(&req, shared, &cancel);
                 if close {
                     mark_close(&mut resp);
@@ -835,10 +883,32 @@ fn dispatch(req: &Request, shared: &Shared, cancel: &CancelToken) -> Vec<u8> {
             );
             resp
         }
+        ("POST", "/subscribe") => {
+            // Bounded-window registration (the reactor path — a worker
+            // must not own the socket forever): the chunked response ends
+            // after the initial snapshot, and the client follows the
+            // `next` link to poll `GET /subscribe/{id}?from=E` for deltas.
+            // The threaded backend intercepts this route *before* dispatch
+            // and live-streams instead.
+            handle_subscribe_window(req, shared, cancel)
+        }
+        ("GET", p) if p.strip_prefix("/subscribe/").is_some() => {
+            handle_subscribe_catchup(req, shared)
+        }
+        ("DELETE", p) if p.strip_prefix("/subscribe/").is_some() => handle_unsubscribe(req, shared),
         ("GET", "/metrics") => handle_metrics(shared),
         ("GET", "/health") => write_response(200, "OK", "text/plain", &[], b"ok"),
         ("GET", "/ready") => handle_ready(shared),
-        (_, "/query") | (_, "/update") | (_, "/metrics") | (_, "/health") | (_, "/ready") => {
+        (_, "/query")
+        | (_, "/update")
+        | (_, "/metrics")
+        | (_, "/health")
+        | (_, "/ready")
+        | (_, "/subscribe") => {
+            let body = ErrorResponse::to_json("method_not_allowed", "wrong method for path");
+            write_response(405, "Method Not Allowed", "application/json", &[], &body)
+        }
+        (_, p) if p.strip_prefix("/subscribe/").is_some() => {
             let body = ErrorResponse::to_json("method_not_allowed", "wrong method for path");
             write_response(405, "Method Not Allowed", "application/json", &[], &body)
         }
@@ -1089,6 +1159,241 @@ fn handle_update(req: &Request, shared: &Shared, cancel: &CancelToken) -> Vec<u8
     }
 }
 
+/// Registration step shared by both subscribe styles (live stream on the
+/// threaded backend, bounded window + pull catch-up on the reactor).
+/// Returns the serialized error response when registration is refused.
+fn subscribe_register(
+    req: &Request,
+    shared: &Shared,
+    cancel: &CancelToken,
+    streaming: bool,
+) -> Result<SubscribeOk, Vec<u8>> {
+    let reg = obs::global();
+    reg.add("server.subscribe.requests", 1);
+    if shared.shutting_down.load(Ordering::SeqCst) {
+        let body = ErrorResponse::to_json("unavailable", "server is shutting down");
+        return Err(write_response(
+            503,
+            "Service Unavailable",
+            "application/json",
+            &[],
+            &body,
+        ));
+    }
+    let sparql = match std::str::from_utf8(&req.body) {
+        Ok(s) if !s.trim().is_empty() => s,
+        _ => {
+            let body = ErrorResponse::to_json("bad_request", "body must be a SPARQL query");
+            return Err(write_response(
+                400,
+                "Bad Request",
+                "application/json",
+                &[],
+                &body,
+            ));
+        }
+    };
+    shared
+        .hub
+        .subscribe(&shared.reader, sparql, streaming, cancel)
+        .map_err(|e| match e {
+            SubscribeError::AtCapacity(max) => {
+                reg.add("server.subscribe.limit_rejects", 1);
+                let (secs, ms) = shared.computed_retry_after();
+                let body = ErrorResponse::to_json_retry(
+                    "subscription_limit",
+                    &format!("subscription limit ({max}) reached; retry once a subscriber leaves"),
+                    ms,
+                );
+                write_response(
+                    503,
+                    "Service Unavailable",
+                    "application/json",
+                    &[("Retry-After", secs.to_string())],
+                    &body,
+                )
+            }
+            SubscribeError::Query(AnswerError::Cancelled) => {
+                // Same contract as /query: the deadline expired during the
+                // initial materialization, nothing was registered.
+                reg.add("server.subscribe.deadline_exceeded", 1);
+                let body = ErrorResponse::to_json(
+                    "deadline_exceeded",
+                    "subscription cancelled: deadline expired during initial evaluation",
+                );
+                write_response(504, "Gateway Timeout", "application/json", &[], &body)
+            }
+            SubscribeError::Query(e) => {
+                let body = ErrorResponse::to_json("bad_query", &e.to_string());
+                write_response(400, "Bad Request", "application/json", &[], &body)
+            }
+            SubscribeError::Unsupported(why) => {
+                let body = ErrorResponse::to_json("unsupported_subscription", &why);
+                write_response(400, "Bad Request", "application/json", &[], &body)
+            }
+            SubscribeError::ShuttingDown => {
+                let body = ErrorResponse::to_json("unavailable", "server is shutting down");
+                write_response(503, "Service Unavailable", "application/json", &[], &body)
+            }
+        })
+}
+
+/// Serialises the registration receipt that opens every subscribe stream.
+fn subscribe_header_json(ok: &SubscribeOk) -> String {
+    serde_json::to_string(&SubscribeHeader {
+        id: ok.id,
+        epoch: ok.epoch,
+        vars: ok.vars.clone(),
+        distinct: ok.distinct,
+    })
+    .unwrap_or_else(|_| "{\"error\":\"internal\"}".to_owned())
+}
+
+fn batch_json(batch: &DeltaBatch) -> String {
+    serde_json::to_string(batch).unwrap_or_else(|_| "{\"error\":\"internal\"}".to_owned())
+}
+
+/// `POST /subscribe` on the reactor backend: a CPU worker cannot own the
+/// socket indefinitely, so the chunked response is a *bounded window* —
+/// registration header, initial snapshot batch, and a `next` link the
+/// client polls (`GET /subscribe/{id}?from=E`) for subsequent deltas.
+fn handle_subscribe_window(req: &Request, shared: &Shared, cancel: &CancelToken) -> Vec<u8> {
+    let ok = match subscribe_register(req, shared, cancel, false) {
+        Ok(ok) => ok,
+        Err(resp) => return resp,
+    };
+    let more = format!(
+        "{{\"more\":true,\"next\":\"/subscribe/{}?from={}\"}}",
+        ok.id, ok.epoch
+    );
+    let mut resp = write_chunked_head(200, "OK", "application/json", &[]);
+    resp.extend_from_slice(&chunk(subscribe_header_json(&ok).as_bytes()));
+    resp.extend_from_slice(&chunk(batch_json(&ok.initial).as_bytes()));
+    resp.extend_from_slice(&chunk(more.as_bytes()));
+    resp.extend_from_slice(CHUNK_END);
+    resp
+}
+
+/// `POST /subscribe` on the threaded backend: the worker owns the socket,
+/// so the chunked response never ends — each published delta batch is
+/// written as its own chunk until the client disconnects, the subscriber
+/// lags out, or the server shuts down (the last two emit a terminal
+/// frame, then the stream closes).
+fn handle_subscribe_stream(
+    stream: &mut TcpStream,
+    req: &Request,
+    shared: &Shared,
+    cancel: &CancelToken,
+) {
+    let ok = match subscribe_register(req, shared, cancel, true) {
+        Ok(ok) => ok,
+        Err(mut resp) => {
+            mark_close(&mut resp);
+            let _ = stream.write_all(&resp);
+            return;
+        }
+    };
+    let id = ok.id;
+    let mut head = write_chunked_head(
+        200,
+        "OK",
+        "application/json",
+        &[("Connection", "close".to_owned())],
+    );
+    head.extend_from_slice(&chunk(subscribe_header_json(&ok).as_bytes()));
+    head.extend_from_slice(&chunk(batch_json(&ok.initial).as_bytes()));
+    if stream.write_all(&head).is_err() {
+        shared.hub.unsubscribe(id);
+        return;
+    }
+    loop {
+        match shared.hub.next_wake(id, Duration::from_millis(100)) {
+            NextWake::Batches(batches) => {
+                let mut out = Vec::new();
+                for b in &batches {
+                    out.extend_from_slice(&chunk(batch_json(b).as_bytes()));
+                }
+                // A dead client shows up here as a write error; dropping
+                // the subscription keeps the view from accumulating for
+                // nobody. The hub's bounded queue already guarantees the
+                // writer never blocked on this socket.
+                if stream.write_all(&out).is_err() {
+                    shared.hub.unsubscribe(id);
+                    return;
+                }
+            }
+            NextWake::Idle => continue,
+            NextWake::Terminal(t) => {
+                let mut out = chunk(format!("{{\"terminal\":\"{}\"}}", t.as_str()).as_bytes());
+                out.extend_from_slice(CHUNK_END);
+                let _ = stream.write_all(&out);
+                return;
+            }
+            NextWake::Gone => return,
+        }
+    }
+}
+
+/// `GET /subscribe/{id}?from=E`: pull-side catch-up. Replays every batch
+/// published after epoch `E` (or one snapshot-reset batch when `E` has
+/// fallen off the bounded epoch log), plus the terminal condition if the
+/// stream has ended.
+fn handle_subscribe_catchup(req: &Request, shared: &Shared) -> Vec<u8> {
+    let Some(id) = parse_sub_id(req.path()) else {
+        let body = ErrorResponse::to_json("bad_request", "subscription id must be an integer");
+        return write_response(400, "Bad Request", "application/json", &[], &body);
+    };
+    let from = req
+        .query_string()
+        .and_then(|q| q.split('&').find_map(|kv| kv.strip_prefix("from=")))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(0);
+    match shared.hub.catch_up(id, from) {
+        Some(cu) => {
+            let mut body = String::from("{\"batches\":[");
+            for (i, b) in cu.batches.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                body.push_str(&batch_json(b));
+            }
+            body.push_str("],\"terminal\":");
+            match cu.terminal {
+                Some(t) => {
+                    body.push('"');
+                    body.push_str(t.as_str());
+                    body.push('"');
+                }
+                None => body.push_str("null"),
+            }
+            body.push('}');
+            write_response(200, "OK", "application/json", &[], body.as_bytes())
+        }
+        None => {
+            let body = ErrorResponse::to_json("unknown_subscription", "no such subscription id");
+            write_response(404, "Not Found", "application/json", &[], &body)
+        }
+    }
+}
+
+/// `DELETE /subscribe/{id}`: client-side cancellation.
+fn handle_unsubscribe(req: &Request, shared: &Shared) -> Vec<u8> {
+    let Some(id) = parse_sub_id(req.path()) else {
+        let body = ErrorResponse::to_json("bad_request", "subscription id must be an integer");
+        return write_response(400, "Bad Request", "application/json", &[], &body);
+    };
+    if shared.hub.unsubscribe(id) {
+        write_response(200, "OK", "application/json", &[], b"{\"cancelled\":true}")
+    } else {
+        let body = ErrorResponse::to_json("unknown_subscription", "no such subscription id");
+        write_response(404, "Not Found", "application/json", &[], &body)
+    }
+}
+
+fn parse_sub_id(path: &str) -> Option<u64> {
+    path.strip_prefix("/subscribe/")?.parse().ok()
+}
+
 fn handle_metrics(shared: &Shared) -> Vec<u8> {
     let reg = obs::global();
     reg.add("server.metrics.requests", 1);
@@ -1107,13 +1412,22 @@ fn handle_metrics(shared: &Shared) -> Vec<u8> {
          # TYPE webreason_server_degraded gauge\n\
          webreason_server_degraded {}\n\
          # TYPE webreason_server_drain_estimate_ms gauge\n\
-         webreason_server_drain_estimate_ms {}\n",
+         webreason_server_drain_estimate_ms {}\n\
+         # TYPE webreason_server_subscriptions_live gauge\n\
+         webreason_server_subscriptions_live {}\n\
+         # TYPE webreason_server_subscriptions_max gauge\n\
+         webreason_server_subscriptions_max {}\n\
+         # TYPE webreason_server_subscription_views gauge\n\
+         webreason_server_subscription_views {}\n",
         shared.queue_depth.load(Ordering::SeqCst),
         shared.update_queue,
         shared.open_conns.load(Ordering::SeqCst),
         shared.max_conns,
         u64::from(shared.is_degraded()),
         shared.drain_estimate_ms(),
+        shared.hub.live_subscribers(),
+        shared.max_subscriptions,
+        shared.hub.view_count(),
     ));
     write_response(200, "OK", "text/plain; version=0.0.4", &[], text.as_bytes())
 }
@@ -1137,6 +1451,16 @@ fn writer_loop(
 ) -> DurableStore {
     let reg = obs::global();
     let mut since_checkpoint = 0usize;
+    // Delta tracking feeds the subscription hub; with subscriptions
+    // disabled the store skips the bookkeeping entirely.
+    if shared.max_subscriptions > 0 {
+        store.set_delta_tracking(true);
+    }
+    // The snapshot the last published epoch's subscribers have seen —
+    // each group's delta steps views from here to the freshly published
+    // snapshot. A group that fails leaves its (empty) delta buffered, so
+    // the next successful group publishes one consistent step.
+    let mut prev_snap = shared.reader.snapshot();
     while let Ok(first) = rx.recv() {
         // The delay hook models a slow apply *before* the drain, so tests
         // can pile jobs into the queue and observe them grouped.
@@ -1229,7 +1553,16 @@ fn writer_loop(
         // apply — on error readers stay on the previous epoch.
         let epoch = if any_ok {
             reg.add("server.update.publishes", 1);
-            store.publish()
+            // Drain the group's consolidated delta *before* publishing so
+            // it can't pick up a later group's changes, then step every
+            // registered view from the previously published snapshot to
+            // the new one.
+            let delta = store.take_delta();
+            let e = store.publish();
+            let new_snap = shared.reader.snapshot();
+            shared.hub.publish(&prev_snap, &new_snap, &delta);
+            prev_snap = new_snap;
+            e
         } else {
             0
         };

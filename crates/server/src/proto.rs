@@ -119,6 +119,22 @@ pub struct UpdateResponse {
     pub epoch: u64,
 }
 
+/// First frame of a `POST /subscribe` stream: the registration receipt.
+/// The initial materialization and subsequent delta batches follow as
+/// separate frames (each a serialized `DeltaBatch`), so a client can
+/// parse the stream one JSON document per chunk.
+#[derive(Debug, Serialize)]
+pub struct SubscribeHeader {
+    /// Server-assigned subscription id (used by `GET /subscribe/{id}`).
+    pub id: u64,
+    /// Epoch of the initial materialization that follows this header.
+    pub epoch: u64,
+    /// Projected variable names, in SELECT order.
+    pub vars: Vec<String>,
+    /// Whether the view is under set semantics (`SELECT DISTINCT`).
+    pub distinct: bool,
+}
+
 /// JSON error payload used by every non-2xx response with a body. The
 /// shape is uniform across both backends and every error class:
 /// `retry_after_ms` is non-null exactly when the response carries a

@@ -1,0 +1,614 @@
+//! Socket-level subscription protocol suite: real `TcpStream` clients
+//! against real ephemeral-port servers, covering the chunked-stream
+//! framing, pull-side catch-up from an epoch, slow-consumer drops (the
+//! writer never stalls behind a subscriber), the `--max-subscriptions`
+//! cap, graceful-shutdown terminal events, and registration deadlines.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::num::NonZeroUsize;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use webreason_core::{DurableStore, FsyncPolicy, MaintenanceAlgorithm, ReasoningConfig};
+use webreason_server::{Backend, Server, ServerConfig};
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("webreason-subscribe-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn boot_with(name: &str, config: ServerConfig, reasoning: ReasoningConfig) -> Server {
+    let store = DurableStore::create(
+        tmpdir(name),
+        reasoning,
+        NonZeroUsize::MIN,
+        FsyncPolicy::Never,
+    )
+    .expect("store creates");
+    Server::start(store, config).expect("server boots")
+}
+
+fn counting() -> ReasoningConfig {
+    ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting)
+}
+
+/// Sends raw bytes, reads to EOF, returns (status, whole response text).
+fn raw_round_trip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(20)))
+        .expect("timeout sets");
+    stream.write_all(raw).expect("request writes");
+    let mut text = String::new();
+    stream.read_to_string(&mut text).expect("response reads");
+    let status: u16 = text
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("no status line in {text:?}"));
+    (status, text)
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    post_with_headers(addr, path, body, &[])
+}
+
+fn post_with_headers(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    headers: &[(&str, &str)],
+) -> (u16, String) {
+    let mut raw = format!("POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n");
+    for (n, v) in headers {
+        raw.push_str(&format!("{n}: {v}\r\n"));
+    }
+    raw.push_str(&format!("Content-Length: {}\r\n\r\n{body}", body.len()));
+    raw_round_trip(addr, raw.as_bytes())
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let raw = format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    raw_round_trip(addr, raw.as_bytes())
+}
+
+fn delete(addr: SocketAddr, path: &str) -> (u16, String) {
+    let raw = format!("DELETE {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n");
+    raw_round_trip(addr, raw.as_bytes())
+}
+
+/// Pulls one counter/gauge value out of a `/metrics` scrape (0 when the
+/// counter has not been minted yet).
+fn metric_or_zero(addr: SocketAddr, name: &str) -> u64 {
+    let (status, text) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    text.lines()
+        .find_map(|l| {
+            let v = l.strip_prefix(name)?;
+            if !v.starts_with(' ') {
+                return None;
+            }
+            Some(v.trim().parse().expect("metric parses"))
+        })
+        .unwrap_or(0)
+}
+
+/// Extracts `"key":<u64>` from a JSON text without a parser.
+fn json_u64(text: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let at = text.find(&pat).unwrap_or_else(|| panic!("{key} in {text}"));
+    text[at + pat.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("{key} not a number in {text}"))
+}
+
+/// Decodes a complete `Transfer-Encoding: chunked` body into its frames.
+fn decode_chunks(mut body: &[u8]) -> Vec<String> {
+    let mut frames = Vec::new();
+    loop {
+        let line_end = body
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .expect("chunk size line");
+        let size = usize::from_str_radix(
+            std::str::from_utf8(&body[..line_end]).expect("chunk size utf8"),
+            16,
+        )
+        .expect("chunk size hex");
+        body = &body[line_end + 2..];
+        if size == 0 {
+            return frames;
+        }
+        frames.push(String::from_utf8_lossy(&body[..size]).to_string());
+        assert_eq!(&body[size..size + 2], b"\r\n", "chunk trailer");
+        body = &body[size + 2..];
+    }
+}
+
+/// One parsed event on a live subscribe stream.
+#[derive(Debug)]
+enum Frame {
+    /// One chunk (= one JSON document).
+    Data(String),
+    /// The 0-chunk: the stream ended cleanly.
+    End,
+    /// The peer closed without a 0-chunk.
+    Eof,
+}
+
+/// Incremental chunked-frame reader over a live streaming connection.
+struct FrameReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FrameReader {
+    fn new(stream: TcpStream) -> FrameReader {
+        stream
+            .set_read_timeout(Some(Duration::from_secs(20)))
+            .expect("timeout sets");
+        FrameReader {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Reads until the response head is complete, returning it.
+    fn read_head(&mut self) -> String {
+        let mut tmp = [0u8; 4096];
+        loop {
+            if let Some(i) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&self.buf[..i + 4]).to_string();
+                self.buf.drain(..i + 4);
+                return head;
+            }
+            let n = self.stream.read(&mut tmp).expect("head reads");
+            assert!(n > 0, "EOF before a full head");
+            self.buf.extend_from_slice(&tmp[..n]);
+        }
+    }
+
+    /// Blocks until the next whole frame (or stream end) is available.
+    fn next_frame(&mut self) -> Frame {
+        let mut tmp = [0u8; 65536];
+        loop {
+            if let Some(line_end) = self.buf.windows(2).position(|w| w == b"\r\n") {
+                let size = usize::from_str_radix(
+                    std::str::from_utf8(&self.buf[..line_end]).expect("chunk size utf8"),
+                    16,
+                )
+                .expect("chunk size hex");
+                if size == 0 {
+                    return Frame::End;
+                }
+                if self.buf.len() >= line_end + 2 + size + 2 {
+                    let payload =
+                        String::from_utf8_lossy(&self.buf[line_end + 2..line_end + 2 + size])
+                            .to_string();
+                    self.buf.drain(..line_end + 2 + size + 2);
+                    return Frame::Data(payload);
+                }
+            }
+            match self.stream.read(&mut tmp) {
+                Ok(0) => return Frame::Eof,
+                Ok(n) => self.buf.extend_from_slice(&tmp[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    panic!("timed out waiting for a frame; buffered: {:?}", self.buf)
+                }
+                Err(e) => panic!("stream read failed: {e}"),
+            }
+        }
+    }
+}
+
+/// Opens a live streaming subscription (threaded backend) and consumes
+/// the registration header + initial snapshot frames.
+fn open_stream(
+    addr: SocketAddr,
+    sparql: &str,
+    headers: &[(&str, &str)],
+) -> (FrameReader, u64, u64) {
+    let mut stream = TcpStream::connect(addr).expect("connects");
+    let mut raw = "POST /subscribe HTTP/1.1\r\nHost: t\r\n".to_string();
+    for (n, v) in headers {
+        raw.push_str(&format!("{n}: {v}\r\n"));
+    }
+    raw.push_str(&format!("Content-Length: {}\r\n\r\n{sparql}", sparql.len()));
+    stream.write_all(raw.as_bytes()).expect("request writes");
+    let mut reader = FrameReader::new(stream);
+    let head = reader.read_head();
+    assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked"),
+        "{head}"
+    );
+    let Frame::Data(header) = reader.next_frame() else {
+        panic!("missing registration header frame")
+    };
+    let id = json_u64(&header, "id");
+    let epoch = json_u64(&header, "epoch");
+    let Frame::Data(initial) = reader.next_frame() else {
+        panic!("missing initial snapshot frame")
+    };
+    assert!(initial.contains("\"reset\":true"), "{initial}");
+    (reader, id, epoch)
+}
+
+const MAMMALS: &str = "SELECT ?x WHERE { ?x a <http://ex/Mammal> }";
+const SCHEMA: &str =
+    "insert <http://ex/Cat> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://ex/Mammal> .";
+const TOM_IS_CAT: &str =
+    "<http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Cat> .";
+
+#[test]
+fn streaming_frames_round_trip_entailed_insert_and_delete() {
+    let server = boot_with(
+        "stream",
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            backend: Backend::Threaded,
+            ..Default::default()
+        },
+        counting(),
+    );
+    let addr = server.local_addr();
+    let (status, _) = post(addr, "/update", SCHEMA);
+    assert_eq!(status, 200);
+
+    let (mut reader, id, epoch0) = open_stream(addr, MAMMALS, &[]);
+    assert!(id >= 1);
+    assert_eq!(server.subscriptions_live(), 1);
+
+    // Inserting `Tom a Cat` entails `Tom a Mammal`: the subscriber gets
+    // the *entailed* delta, tagged with the publishing epoch.
+    let (status, text) = post(addr, "/update", &format!("insert {TOM_IS_CAT}"));
+    assert_eq!(status, 200, "{text}");
+    let update_epoch = json_u64(&text, "epoch");
+    assert!(update_epoch > epoch0);
+    let Frame::Data(batch) = reader.next_frame() else {
+        panic!("expected a delta frame")
+    };
+    assert_eq!(json_u64(&batch, "epoch"), update_epoch, "{batch}");
+    assert!(batch.contains("\"reset\":false"), "{batch}");
+    assert!(
+        batch.contains("\"row\":[\"<http://ex/Tom>\"],\"delta\":1"),
+        "{batch}"
+    );
+
+    // Deleting the explicit fact retracts the entailment: delta −1.
+    let (status, text) = post(addr, "/update", &format!("delete {TOM_IS_CAT}"));
+    assert_eq!(status, 200, "{text}");
+    let Frame::Data(batch) = reader.next_frame() else {
+        panic!("expected a retraction frame")
+    };
+    assert!(
+        batch.contains("\"row\":[\"<http://ex/Tom>\"],\"delta\":-1"),
+        "{batch}"
+    );
+
+    // Client-side cancellation from another connection ends the stream
+    // without a terminal event (the subscription is simply gone).
+    let (status, text) = delete(addr, &format!("/subscribe/{id}"));
+    assert_eq!(status, 200, "{text}");
+    assert!(matches!(reader.next_frame(), Frame::Eof | Frame::End));
+    let (status, _) = delete(addr, &format!("/subscribe/{id}"));
+    assert_eq!(status, 404, "double-cancel");
+
+    drop(server.shutdown());
+}
+
+#[test]
+fn reactor_window_then_catchup_from_epoch() {
+    let server = boot_with(
+        "catchup",
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            backend: Backend::Reactor,
+            ..Default::default()
+        },
+        counting(),
+    );
+    let addr = server.local_addr();
+    let (status, _) = post(addr, "/update", SCHEMA);
+    assert_eq!(status, 200);
+
+    // The reactor's bounded window: header, initial snapshot, `next`
+    // link, then the 0-chunk — the response *ends* and the client polls.
+    let (status, text) = post(addr, "/subscribe", MAMMALS);
+    assert_eq!(status, 200, "{text}");
+    let body_at = text.find("\r\n\r\n").expect("head ends") + 4;
+    let frames = decode_chunks(&text.as_bytes()[body_at..]);
+    assert_eq!(frames.len(), 3, "{frames:?}");
+    let id = json_u64(&frames[0], "id");
+    let epoch0 = json_u64(&frames[0], "epoch");
+    assert!(frames[1].contains("\"reset\":true"), "{}", frames[1]);
+    assert!(
+        frames[2].contains(&format!("\"next\":\"/subscribe/{id}?from={epoch0}\"")),
+        "{}",
+        frames[2]
+    );
+
+    // Two published epochs while the client is away.
+    let (status, text) = post(addr, "/update", &format!("insert {TOM_IS_CAT}"));
+    assert_eq!(status, 200);
+    let e1 = json_u64(&text, "epoch");
+    let (status, text) = post(
+        addr,
+        "/update",
+        "insert <http://ex/Jerry> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Mammal> .",
+    );
+    assert_eq!(status, 200);
+    let e2 = json_u64(&text, "epoch");
+
+    // Catch-up from the registration epoch: both batches, in order.
+    let (status, text) = get(addr, &format!("/subscribe/{id}?from={epoch0}"));
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("\"terminal\":null"), "{text}");
+    let tom = text
+        .find("<http://ex/Tom>")
+        .unwrap_or_else(|| panic!("{text}"));
+    let jerry = text
+        .find("<http://ex/Jerry>")
+        .unwrap_or_else(|| panic!("{text}"));
+    assert!(tom < jerry, "publication order: {text}");
+    assert!(text.contains(&format!("\"epoch\":{e1}")), "{text}");
+    assert!(text.contains(&format!("\"epoch\":{e2}")), "{text}");
+
+    // From the newer epoch: only the later batch.
+    let (status, text) = get(addr, &format!("/subscribe/{id}?from={e1}"));
+    assert_eq!(status, 200);
+    assert!(!text.contains("<http://ex/Tom>"), "{text}");
+    assert!(text.contains("<http://ex/Jerry>"), "{text}");
+
+    // From before the log's anchor: one snapshot-reset batch carrying the
+    // complete current answer.
+    let (status, text) = get(addr, &format!("/subscribe/{id}?from=0"));
+    assert_eq!(status, 200);
+    assert!(text.contains("\"reset\":true"), "{text}");
+    assert!(
+        text.contains("<http://ex/Tom>") && text.contains("<http://ex/Jerry>"),
+        "{text}"
+    );
+
+    // Unknown ids and non-numeric ids are clean errors.
+    let (status, _) = get(addr, "/subscribe/999?from=0");
+    assert_eq!(status, 404);
+    let (status, _) = get(addr, "/subscribe/nope?from=0");
+    assert_eq!(status, 400);
+
+    let (status, _) = delete(addr, &format!("/subscribe/{id}"));
+    assert_eq!(status, 200);
+    let (status, _) = get(addr, &format!("/subscribe/{id}?from=0"));
+    assert_eq!(status, 404, "catch-up after cancel");
+
+    drop(server.shutdown());
+}
+
+#[test]
+fn slow_consumer_is_dropped_lagged_and_the_writer_never_stalls() {
+    let server = boot_with(
+        "lagged",
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            backend: Backend::Threaded,
+            subscribe_queue: 2,
+            ..Default::default()
+        },
+        counting(),
+    );
+    let addr = server.local_addr();
+
+    // Project the payload so every delta batch is ~256 KiB: the stalled
+    // subscriber's TCP window fills quickly, then its 2-slot hub queue
+    // overflows and the hub cuts it loose.
+    let (mut reader, _, _) = open_stream(addr, "SELECT ?s ?v WHERE { ?s <http://ex/big> ?v }", &[]);
+    let payload = "x".repeat(256 * 1024);
+
+    // The subscriber stops reading here. The writer must keep absorbing
+    // updates at full speed regardless.
+    let mut dropped = false;
+    let started = Instant::now();
+    for i in 0..1000 {
+        let body = format!("insert <http://ex/s{i}> <http://ex/big> \"{payload}\" .");
+        let t0 = Instant::now();
+        let (status, text) = post(addr, "/update", &body);
+        assert_eq!(status, 200, "{text}");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "update {i} stalled behind the slow subscriber"
+        );
+        if metric_or_zero(addr, "webreason_server_subscribe_dropped_total") >= 1 {
+            dropped = true;
+            break;
+        }
+    }
+    assert!(
+        dropped,
+        "subscriber never dropped after {:?} of updates",
+        started.elapsed()
+    );
+
+    // Draining the stream now ends with the in-stream `lagged` terminal.
+    let mut saw_lagged = false;
+    while let Frame::Data(f) = reader.next_frame() {
+        if f.contains("\"terminal\":\"lagged\"") {
+            saw_lagged = true;
+        }
+    }
+    assert!(saw_lagged, "missing lagged terminal frame");
+    assert_eq!(server.subscriptions_live(), 0);
+
+    drop(server.shutdown());
+}
+
+#[test]
+fn max_subscriptions_cap_refuses_then_admits_after_cancel() {
+    let server = boot_with(
+        "cap",
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            backend: Backend::Reactor,
+            max_subscriptions: 1,
+            ..Default::default()
+        },
+        counting(),
+    );
+    let addr = server.local_addr();
+
+    let (status, text) = post(addr, "/subscribe", MAMMALS);
+    assert_eq!(status, 200, "{text}");
+    let body_at = text.find("\r\n\r\n").expect("head ends") + 4;
+    let id = json_u64(&decode_chunks(&text.as_bytes()[body_at..])[0], "id");
+
+    // Note a *different* query: the cap is on subscribers, not views.
+    let (status, text) = post(
+        addr,
+        "/subscribe",
+        "SELECT ?x WHERE { ?x a <http://ex/Cat> }",
+    );
+    assert_eq!(status, 503, "{text}");
+    assert!(text.contains("subscription_limit"), "{text}");
+    assert!(text.contains("Retry-After"), "{text}");
+
+    let (status, _) = delete(addr, &format!("/subscribe/{id}"));
+    assert_eq!(status, 200);
+    let (status, text) = post(addr, "/subscribe", MAMMALS);
+    assert_eq!(status, 200, "slot freed: {text}");
+
+    drop(server.shutdown());
+}
+
+#[test]
+fn threaded_shutdown_sends_shutdown_terminal_to_live_streams() {
+    let server = boot_with(
+        "shutdown-threaded",
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            backend: Backend::Threaded,
+            ..Default::default()
+        },
+        counting(),
+    );
+    let addr = server.local_addr();
+    let (mut reader, _, _) = open_stream(addr, MAMMALS, &[]);
+
+    let drain = std::thread::spawn(move || {
+        let mut saw_shutdown = false;
+        while let Frame::Data(f) = reader.next_frame() {
+            if f.contains("\"terminal\":\"shutdown\"") {
+                saw_shutdown = true;
+            }
+        }
+        saw_shutdown
+    });
+    drop(server.shutdown());
+    assert!(
+        drain.join().expect("drain thread"),
+        "missing shutdown terminal frame"
+    );
+}
+
+#[test]
+fn reactor_shutdown_with_pull_subscribers_is_clean_and_registration_is_refused() {
+    let server = boot_with(
+        "shutdown-reactor",
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            backend: Backend::Reactor,
+            ..Default::default()
+        },
+        counting(),
+    );
+    let addr = server.local_addr();
+    let (status, _) = post(addr, "/subscribe", MAMMALS);
+    assert_eq!(status, 200);
+    // Shutdown with a registered pull subscriber must not hang; after it,
+    // the port is gone (polling clients treat the refused connect as the
+    // shutdown signal).
+    let store = server.shutdown();
+    assert!(TcpStream::connect(addr).is_err(), "port still open");
+    drop(store);
+}
+
+#[test]
+fn registration_deadline_expiry_is_a_504() {
+    // Reformulation + a wide class hierarchy: the initial materialization
+    // reformulates into hundreds of union branches, so a 1 ms deadline
+    // deterministically expires inside registration.
+    let server = boot_with(
+        "deadline",
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 2,
+            backend: Backend::Threaded,
+            ..Default::default()
+        },
+        ReasoningConfig::Reformulation,
+    );
+    let addr = server.local_addr();
+    const SUBCLASS: &str = "http://www.w3.org/2000/01/rdf-schema#subClassOf";
+    const RDF_TYPE: &str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type";
+    let mut lines = Vec::new();
+    for c in 0..363 {
+        lines.push(format!(
+            "insert <http://ex/C{c}> <{SUBCLASS}> <http://ex/Thing> ."
+        ));
+        for i in 0..10 {
+            lines.push(format!(
+                "insert <http://ex/i{c}x{i}> <{RDF_TYPE}> <http://ex/C{c}> ."
+            ));
+        }
+    }
+    for chunk in lines.chunks(1000) {
+        let (status, text) = post(addr, "/update", &chunk.join("\n"));
+        assert_eq!(status, 200, "fixture chunk failed: {text}");
+    }
+
+    let query = "SELECT ?x WHERE { ?x a <http://ex/Thing> }";
+    let start = Instant::now();
+    let (status, text) = post_with_headers(
+        addr,
+        "/subscribe",
+        query,
+        &[("X-Webreason-Deadline-Ms", "1")],
+    );
+    assert_eq!(status, 504, "{text}");
+    assert!(text.contains("deadline_exceeded"), "{text}");
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "504 was not prompt"
+    );
+    assert_eq!(server.subscriptions_live(), 0, "nothing half-registered");
+
+    // The identical registration without a deadline succeeds and streams.
+    let (mut reader, _, _) = open_stream(addr, query, &[]);
+    let (status, text) = post(
+        addr,
+        "/update",
+        &format!("insert <http://ex/late> <{RDF_TYPE}> <http://ex/C0> ."),
+    );
+    assert_eq!(status, 200, "{text}");
+    let Frame::Data(batch) = reader.next_frame() else {
+        panic!("expected a delta frame")
+    };
+    assert!(batch.contains("<http://ex/late>"), "{batch}");
+
+    drop(server.shutdown());
+}

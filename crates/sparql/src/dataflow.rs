@@ -1,0 +1,696 @@
+//! Delta evaluation of BGP union queries — the dataflow layer behind
+//! incremental materialized views.
+//!
+//! A registered query is compiled once into a [`DeltaProgram`]; when the
+//! graph changes from `G_old` to `G_new = G_old ± Δ`, the program emits the
+//! *signed multiplicity change* of every answer row in `O(|Δ|)` join work
+//! instead of re-evaluating from scratch. The algebra is the classical
+//! delta rule for a k-way join (all patterns range over the same graph, so
+//! every pattern position sees the same `Δ`):
+//!
+//! ```text
+//! Δ(P₀ ⋈ … ⋈ Pₖ₋₁) = Σᵢ  P₀(old) ⋈ … ⋈ Pᵢ₋₁(old) ⋈ ΔPᵢ ⋈ Pᵢ₊₁(new) ⋈ … ⋈ Pₖ₋₁(new)
+//! ```
+//!
+//! Each term has exactly one `Δ` factor, so an emitted row's multiplicity
+//! change is the sign of the delta triple that seeded it (`+1` insert,
+//! `-1` delete); the telescoping sum makes the union of terms *exactly*
+//! `q(G_new) − q(G_old)` in the bag algebra. Union branches contribute
+//! independently (bag-union is linear). `DISTINCT` is **not** applied
+//! here: consumers keep per-row multiplicity counts and emit set-level
+//! transitions on 0 ↔ positive crossings — collapsing early would retract
+//! a row that still has other derivations (the bag-vs-set bug class).
+//!
+//! Filters commute with the delta rule (they are per-row predicates on
+//! projected — hence bound — variables) and are applied to every emitted
+//! binding. Queries with aggregates, negation or solution modifiers have
+//! no incremental form here and are rejected at compile time.
+
+use crate::ast::{Bgp, CompareOp, Filter, QTerm, Query, TriplePattern, Variable};
+use crate::eval::{bind_triple, compare_terms, resolve};
+use crate::plan::{plan_bgp_with, DistinctCounts};
+use rdf_model::{Dictionary, Graph, Pattern, TermId, Triple};
+use rustc_hash::FxHashSet;
+use smallvec::SmallVec;
+use std::fmt;
+
+/// Why a query has no incremental (delta) form in this dataflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaUnsupported {
+    /// Aggregates (`COUNT`) need their own maintenance operators.
+    Aggregate,
+    /// `FILTER NOT EXISTS` is non-monotone per *binding*, not per row —
+    /// a base delta can flip answers that no delta term seeds.
+    NotExists,
+    /// `ORDER BY` / `LIMIT` / `OFFSET` are presentation-level; a delta
+    /// stream of an ordered prefix is not well-defined here.
+    Modifiers,
+}
+
+impl fmt::Display for DeltaUnsupported {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            DeltaUnsupported::Aggregate => "aggregate queries",
+            DeltaUnsupported::NotExists => "FILTER NOT EXISTS",
+            DeltaUnsupported::Modifiers => "solution modifiers (ORDER BY/LIMIT/OFFSET)",
+        };
+        write!(f, "{what} cannot be incrementally maintained")
+    }
+}
+
+impl std::error::Error for DeltaUnsupported {}
+
+/// One union branch of a compiled program: the BGP plus, per delta
+/// position `i`, a join order for the remaining patterns (graph-independent
+/// connectivity ordering, computed once at compile time).
+#[derive(Debug)]
+struct DeltaBranch {
+    bgp: Bgp,
+    /// `orders[i]` = evaluation order of the patterns `≠ i`, starting from
+    /// the variables the delta triple binds at position `i`.
+    orders: Vec<Vec<usize>>,
+}
+
+/// A query compiled for delta evaluation. Built once per registered view
+/// by [`compile_delta`]; [`DeltaProgram::eval_delta`] then costs
+/// `O(|Δ| · joins)` per update batch.
+#[derive(Debug)]
+pub struct DeltaProgram {
+    n_vars: usize,
+    projection: Vec<Variable>,
+    filters: Vec<Filter>,
+    branches: Vec<DeltaBranch>,
+}
+
+/// Orders the patterns of `bgp` other than `seed` so that each step stays
+/// connected to the already-bound variables where possible — the same
+/// greedy discipline as the cost-based planner, but graph-independent
+/// (cardinalities change every epoch; connectivity does not).
+fn connectivity_order(bgp: &Bgp, seed: usize) -> Vec<usize> {
+    let mut bound: FxHashSet<Variable> = bgp.patterns[seed].variables().into_iter().collect();
+    let mut remaining: Vec<usize> = (0..bgp.patterns.len()).filter(|&j| j != seed).collect();
+    let mut order = Vec::with_capacity(remaining.len());
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .position(|&j| {
+                let tp = &bgp.patterns[j];
+                tp.variables().is_empty() || tp.variables().iter().any(|v| bound.contains(v))
+            })
+            .unwrap_or(0);
+        let j = remaining.remove(pick);
+        for v in bgp.patterns[j].variables() {
+            bound.insert(v);
+        }
+        order.push(j);
+    }
+    order
+}
+
+/// Compiles `q` (a BGP union — the original query, or a reformulated
+/// `q_ref`) into a delta program. Branches that do not bind every
+/// projected variable are dropped, mirroring [`crate::evaluate`].
+pub fn compile_delta(q: &Query) -> Result<DeltaProgram, DeltaUnsupported> {
+    if q.aggregate.is_some() {
+        return Err(DeltaUnsupported::Aggregate);
+    }
+    if !q.not_exists.is_empty() {
+        return Err(DeltaUnsupported::NotExists);
+    }
+    if !q.modifiers.is_empty() {
+        return Err(DeltaUnsupported::Modifiers);
+    }
+    let branches = q
+        .bgps
+        .iter()
+        .filter(|bgp| {
+            let vars = bgp.variables();
+            q.projection.iter().all(|v| vars.contains(v))
+        })
+        .map(|bgp| DeltaBranch {
+            orders: (0..bgp.patterns.len())
+                .map(|i| connectivity_order(bgp, i))
+                .collect(),
+            bgp: bgp.clone(),
+        })
+        .collect();
+    Ok(DeltaProgram {
+        n_vars: q.var_names.len(),
+        projection: q.projection.clone(),
+        filters: q.filters.clone(),
+        branches,
+    })
+}
+
+impl DeltaProgram {
+    /// Number of (projectable) union branches.
+    pub fn branch_count(&self) -> usize {
+        self.branches.len()
+    }
+
+    /// True when a binding passes every `FILTER`. Filter variables are
+    /// projected (parser restriction) and every kept branch binds the
+    /// projection, so both sides are always bound here.
+    fn passes_filters(&self, binding: &[Option<TermId>], dict: &Dictionary) -> bool {
+        self.filters.iter().all(|f| {
+            let lhs = match binding[f.left.index()] {
+                Some(id) => id,
+                None => return false,
+            };
+            let rhs = match resolve(f.right, binding) {
+                Some(id) => id,
+                None => return false,
+            };
+            match f.op {
+                CompareOp::Eq => lhs == rhs,
+                CompareOp::Ne => lhs != rhs,
+                op => match (dict.decode(lhs), dict.decode(rhs)) {
+                    (Some(a), Some(b)) => op.test(compare_terms(a, b)),
+                    _ => false,
+                },
+            }
+        })
+    }
+
+    fn project(&self, binding: &[Option<TermId>]) -> Vec<TermId> {
+        self.projection
+            .iter()
+            .map(|v| binding[v.index()].expect("projected variable bound"))
+            .collect()
+    }
+
+    /// Full (from-scratch) evaluation with per-derivation multiplicities:
+    /// emits every projected row once per derivation across all branches,
+    /// with multiplicity `+1`. This — not the set-collapsed
+    /// [`crate::evaluate`] — is the correct initial state for a
+    /// multiplicity-counting view: a row derived twice must survive the
+    /// deletion of one derivation.
+    pub fn eval_full(&self, g: &Graph, dict: &Dictionary, mut emit: impl FnMut(Vec<TermId>, i64)) {
+        let dc = DistinctCounts::of(g);
+        for branch in &self.branches {
+            let plan = plan_bgp_with(g, &dc, &branch.bgp);
+            let mut binding: Vec<Option<TermId>> = vec![None; self.n_vars];
+            self.full_rec(
+                g,
+                &branch.bgp,
+                &plan.order,
+                0,
+                &mut binding,
+                dict,
+                &mut emit,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn full_rec(
+        &self,
+        g: &Graph,
+        bgp: &Bgp,
+        order: &[usize],
+        depth: usize,
+        binding: &mut Vec<Option<TermId>>,
+        dict: &Dictionary,
+        emit: &mut impl FnMut(Vec<TermId>, i64),
+    ) {
+        if depth == order.len() {
+            if self.passes_filters(binding, dict) {
+                emit(self.project(binding), 1);
+            }
+            return;
+        }
+        let tp = &bgp.patterns[order[depth]];
+        let probe = probe_of(tp, binding);
+        g.for_each_match(&probe, |t| {
+            let mut touched: SmallVec<[Variable; 3]> = SmallVec::new();
+            if bind_triple(tp, &t, binding, &mut touched) {
+                self.full_rec(g, bgp, order, depth + 1, binding, dict, emit);
+            }
+            for v in touched {
+                binding[v.index()] = None;
+            }
+        });
+    }
+
+    /// Delta evaluation: emits `(row, ±1)` for every multiplicity change
+    /// of the query's bag answer between `old` and `new`.
+    ///
+    /// Contract: `delta` must be the **consolidated** difference of the two
+    /// graphs — `new = old ∪ {t | (t, +1)} ∖ {t | (t, −1)}`, each triple at
+    /// most once, inserts absent from `old`, deletes present in `old`.
+    /// The subscription layer derives it from the store's base or entailed
+    /// delta stream.
+    pub fn eval_delta(
+        &self,
+        old: &Graph,
+        new: &Graph,
+        delta: &[(Triple, i64)],
+        dict: &Dictionary,
+        mut emit: impl FnMut(Vec<TermId>, i64),
+    ) {
+        if delta.is_empty() {
+            return;
+        }
+        for branch in &self.branches {
+            for i in 0..branch.bgp.patterns.len() {
+                let tp = &branch.bgp.patterns[i];
+                let order = &branch.orders[i];
+                for &(t, sign) in delta {
+                    if !consts_match(tp, &t) {
+                        continue;
+                    }
+                    let mut binding: Vec<Option<TermId>> = vec![None; self.n_vars];
+                    let mut touched: SmallVec<[Variable; 3]> = SmallVec::new();
+                    if bind_triple(tp, &t, &mut binding, &mut touched) {
+                        self.delta_rec(
+                            old,
+                            new,
+                            &branch.bgp,
+                            i,
+                            order,
+                            0,
+                            &mut binding,
+                            sign,
+                            dict,
+                            &mut emit,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn delta_rec(
+        &self,
+        old: &Graph,
+        new: &Graph,
+        bgp: &Bgp,
+        split: usize,
+        order: &[usize],
+        depth: usize,
+        binding: &mut Vec<Option<TermId>>,
+        sign: i64,
+        dict: &Dictionary,
+        emit: &mut impl FnMut(Vec<TermId>, i64),
+    ) {
+        if depth == order.len() {
+            if self.passes_filters(binding, dict) {
+                emit(self.project(binding), sign);
+            }
+            return;
+        }
+        let j = order[depth];
+        // The delta rule's telescoping: positions before the Δ factor see
+        // the old graph, positions after it the new one.
+        let g = if j < split { old } else { new };
+        let tp = &bgp.patterns[j];
+        let probe = probe_of(tp, binding);
+        g.for_each_match(&probe, |t| {
+            let mut touched: SmallVec<[Variable; 3]> = SmallVec::new();
+            if bind_triple(tp, &t, binding, &mut touched) {
+                self.delta_rec(
+                    old,
+                    new,
+                    bgp,
+                    split,
+                    order,
+                    depth + 1,
+                    binding,
+                    sign,
+                    dict,
+                    emit,
+                );
+            }
+            for v in touched {
+                binding[v.index()] = None;
+            }
+        });
+    }
+}
+
+/// `bind_triple` trusts `for_each_match` to have filtered constant
+/// positions; delta triples arrive unfiltered, so check them explicitly
+/// before seeding a pattern.
+fn consts_match(tp: &TriplePattern, t: &Triple) -> bool {
+    [(tp.s, t.s), (tp.p, t.p), (tp.o, t.o)]
+        .iter()
+        .all(|&(qt, v)| match qt {
+            QTerm::Const(c) => c == v,
+            QTerm::Var(_) => true,
+        })
+}
+
+fn probe_of(tp: &TriplePattern, binding: &[Option<TermId>]) -> Pattern {
+    Pattern::new(
+        resolve(tp.s, binding),
+        resolve(tp.p, binding),
+        resolve(tp.o, binding),
+    )
+}
+
+/// Consolidates an event-ordered signed triple stream (as drained from the
+/// store) into the net set difference [`DeltaProgram::eval_delta`]
+/// requires: later events override earlier ones per triple, zero-net
+/// triples drop out, and the result carries `±1` (graphs are sets).
+pub fn consolidate_delta(events: &[(Triple, bool)]) -> Vec<(Triple, i64)> {
+    let mut last: rustc_hash::FxHashMap<Triple, bool> = rustc_hash::FxHashMap::default();
+    let mut first_seen: rustc_hash::FxHashMap<Triple, bool> = rustc_hash::FxHashMap::default();
+    for &(t, add) in events {
+        first_seen.entry(t).or_insert(add);
+        last.insert(t, add);
+    }
+    // A triple whose first event inserts and last event deletes (or vice
+    // versa) may still net out: insert→delete over a triple absent from
+    // the old graph is a no-op, delete→insert over a present one too.
+    // The first event's direction tells us the old-graph membership
+    // (insert ⇒ was absent, delete ⇒ was present); the last event tells
+    // the new-graph membership.
+    let mut out = Vec::with_capacity(last.len());
+    for (t, add) in last {
+        let was_present = !first_seen[&t]; // first insert ⇒ absent before
+        let now_present = add;
+        match (was_present, now_present) {
+            (false, true) => out.push((t, 1)),
+            (true, false) => out.push((t, -1)),
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::OrderKey;
+    use crate::eval::evaluate;
+    use crate::parser::parse_query;
+    use rustc_hash::FxHashMap;
+
+    fn setup(turtle: &str) -> (Dictionary, Graph) {
+        let mut dict = Dictionary::new();
+        let mut g = Graph::new();
+        rdf_io::parse_turtle(turtle, &mut dict, &mut g).unwrap();
+        (dict, g)
+    }
+
+    /// Applies a consolidated delta to a graph copy.
+    fn apply(g: &Graph, delta: &[(Triple, i64)]) -> Graph {
+        let mut out = g.clone();
+        for &(t, s) in delta {
+            if s > 0 {
+                assert!(out.insert(t), "insert of present triple");
+            } else {
+                assert!(out.remove(&t), "delete of absent triple");
+            }
+        }
+        out
+    }
+
+    /// Bag of projected rows with multiplicities, from scratch.
+    fn full_counts(p: &DeltaProgram, g: &Graph, dict: &Dictionary) -> FxHashMap<Vec<TermId>, i64> {
+        let mut counts = FxHashMap::default();
+        p.eval_full(g, dict, |row, m| *counts.entry(row).or_insert(0) += m);
+        counts
+    }
+
+    fn check_delta_matches_rescratch(
+        q: &Query,
+        dict: &Dictionary,
+        old: &Graph,
+        delta: Vec<(Triple, i64)>,
+    ) {
+        let p = compile_delta(q).unwrap();
+        let new = apply(old, &delta);
+        let mut counts = full_counts(&p, old, dict);
+        p.eval_delta(old, &new, &delta, dict, |row, m| {
+            *counts.entry(row).or_insert(0) += m;
+        });
+        counts.retain(|_, m| *m != 0);
+        let expect = full_counts(&p, &new, dict);
+        assert_eq!(counts, expect, "delta-maintained bag diverged");
+    }
+
+    #[test]
+    fn single_pattern_insert_and_delete() {
+        let (mut dict, g) = setup(
+            r#"@prefix ex: <http://ex/> .
+               ex:a ex:p ex:b . ex:b ex:p ex:c ."#,
+        );
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> SELECT ?x ?y WHERE { ?x ex:p ?y }",
+            &mut dict,
+        )
+        .unwrap();
+        let p = dict.get_iri_id("http://ex/p").unwrap();
+        let a = dict.get_iri_id("http://ex/a").unwrap();
+        let c = dict.get_iri_id("http://ex/c").unwrap();
+        check_delta_matches_rescratch(&q, &dict, &g, vec![(Triple::new(a, p, c), 1)]);
+        let b = dict.get_iri_id("http://ex/b").unwrap();
+        check_delta_matches_rescratch(&q, &dict, &g, vec![(Triple::new(b, p, c), -1)]);
+    }
+
+    #[test]
+    fn join_delta_covers_all_positions() {
+        let (mut dict, g) = setup(
+            r#"@prefix ex: <http://ex/> .
+               ex:a ex:knows ex:b . ex:b ex:knows ex:c .
+               ex:c ex:knows ex:d . ex:x ex:knows ex:a ."#,
+        );
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> SELECT ?x ?z WHERE { ?x ex:knows ?y . ?y ex:knows ?z }",
+            &mut dict,
+        )
+        .unwrap();
+        let knows = dict.get_iri_id("http://ex/knows").unwrap();
+        let b = dict.get_iri_id("http://ex/b").unwrap();
+        let d = dict.get_iri_id("http://ex/d").unwrap();
+        let a = dict.get_iri_id("http://ex/a").unwrap();
+        // Mixed batch: one insert creating new 2-hop paths through both
+        // join sides, one delete removing existing ones.
+        check_delta_matches_rescratch(
+            &q,
+            &dict,
+            &g,
+            vec![
+                (Triple::new(d, knows, b), 1),
+                (Triple::new(a, knows, b), -1),
+            ],
+        );
+    }
+
+    #[test]
+    fn self_join_same_triple_both_positions() {
+        // ?x knows ?y . ?y knows ?z with a triple participating on both
+        // sides (b knows b): the delta rule must count each derivation
+        // exactly once per position.
+        let (mut dict, g) = setup(
+            r#"@prefix ex: <http://ex/> .
+               ex:a ex:knows ex:b ."#,
+        );
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> SELECT ?x ?z WHERE { ?x ex:knows ?y . ?y ex:knows ?z }",
+            &mut dict,
+        )
+        .unwrap();
+        let knows = dict.get_iri_id("http://ex/knows").unwrap();
+        let b = dict.get_iri_id("http://ex/b").unwrap();
+        check_delta_matches_rescratch(&q, &dict, &g, vec![(Triple::new(b, knows, b), 1)]);
+        // And removal of the loop once inserted.
+        let mut g2 = g.clone();
+        g2.insert(Triple::new(b, knows, b));
+        check_delta_matches_rescratch(&q, &dict, &g2, vec![(Triple::new(b, knows, b), -1)]);
+    }
+
+    #[test]
+    fn union_branches_contribute_multiplicities() {
+        let (mut dict, g) = setup(
+            r#"@prefix ex: <http://ex/> .
+               ex:a ex:p ex:b ."#,
+        );
+        // Overlapping branches: a row answering both branches has bag
+        // multiplicity 2; deleting the support of one branch must leave it.
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { { ?x ex:p ?y } UNION { ?x ex:q ?y } }",
+            &mut dict,
+        )
+        .unwrap();
+        let qprop = dict.get_iri_id("http://ex/q").unwrap();
+        let a = dict.get_iri_id("http://ex/a").unwrap();
+        let b = dict.get_iri_id("http://ex/b").unwrap();
+        check_delta_matches_rescratch(&q, &dict, &g, vec![(Triple::new(a, qprop, b), 1)]);
+        let mut g2 = g.clone();
+        g2.insert(Triple::new(a, qprop, b));
+        let p = dict.get_iri_id("http://ex/p").unwrap();
+        // Delete one of two derivations: bag count drops 2 → 1.
+        let program = compile_delta(&q).unwrap();
+        let delta = vec![(Triple::new(a, p, b), -1)];
+        let new = apply(&g2, &delta);
+        let mut counts = full_counts(&program, &g2, &dict);
+        program.eval_delta(&g2, &new, &delta, &dict, |row, m| {
+            *counts.entry(row).or_insert(0) += m;
+        });
+        assert_eq!(
+            counts.get(&vec![a]).copied(),
+            Some(1),
+            "one derivation left"
+        );
+    }
+
+    #[test]
+    fn filters_apply_to_delta_rows() {
+        // Plain literals compare lexically (same rule as `finalize`).
+        let (mut dict, g) = setup(
+            r#"@prefix ex: <http://ex/> .
+               ex:a ex:age "c" . ex:b ex:age "a" ."#,
+        );
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> SELECT ?x ?v WHERE { ?x ex:age ?v . FILTER (?v > \"b\") }",
+            &mut dict,
+        )
+        .unwrap();
+        let age = dict.get_iri_id("http://ex/age").unwrap();
+        let c = dict.encode_iri("http://ex/c");
+        let pass = dict.encode(&rdf_model::Term::literal("d"));
+        let fail = dict.encode(&rdf_model::Term::literal("a"));
+        check_delta_matches_rescratch(&q, &dict, &g, vec![(Triple::new(c, age, pass), 1)]);
+        // A row failing the filter emits nothing.
+        let p = compile_delta(&q).unwrap();
+        let delta = vec![(Triple::new(c, age, fail), 1)];
+        let new = apply(&g, &delta);
+        let mut emitted = 0;
+        p.eval_delta(&g, &new, &delta, &dict, |_, _| emitted += 1);
+        assert_eq!(emitted, 0);
+    }
+
+    #[test]
+    fn unsupported_features_are_rejected() {
+        let mut dict = Dictionary::new();
+        let q = parse_query("SELECT (COUNT(*) AS ?n) WHERE { ?x ?p ?y }", &mut dict);
+        // Variable-property queries still parse; only compile must reject.
+        if let Ok(q) = q {
+            assert_eq!(compile_delta(&q).unwrap_err(), DeltaUnsupported::Aggregate);
+        }
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ?y . FILTER NOT EXISTS { ?x ex:q ?y } }",
+            &mut dict,
+        )
+        .unwrap();
+        assert_eq!(compile_delta(&q).unwrap_err(), DeltaUnsupported::NotExists);
+        let mut q = parse_query(
+            "PREFIX ex: <http://ex/> SELECT ?x WHERE { ?x ex:p ?y } LIMIT 3",
+            &mut dict,
+        )
+        .unwrap();
+        assert_eq!(compile_delta(&q).unwrap_err(), DeltaUnsupported::Modifiers);
+        q.modifiers.limit = None;
+        q.modifiers.order_by = vec![OrderKey {
+            var: Variable(0),
+            descending: false,
+        }];
+        assert_eq!(compile_delta(&q).unwrap_err(), DeltaUnsupported::Modifiers);
+    }
+
+    #[test]
+    fn eval_full_matches_evaluate_as_set() {
+        let (mut dict, g) = setup(
+            r#"@prefix ex: <http://ex/> .
+               ex:a ex:p ex:b . ex:b ex:p ex:c . ex:a ex:q ex:b ."#,
+        );
+        let q = parse_query(
+            "PREFIX ex: <http://ex/> SELECT ?x ?y WHERE { { ?x ex:p ?y } UNION { ?x ex:q ?y } }",
+            &mut dict,
+        )
+        .unwrap();
+        let p = compile_delta(&q).unwrap();
+        let counts = full_counts(&p, &g, &dict);
+        let sols = evaluate(&g, &q);
+        // evaluate (bag, non-distinct) row count == sum of multiplicities
+        let total: i64 = counts.values().sum();
+        assert_eq!(total, sols.len() as i64);
+        assert_eq!(counts.len(), sols.as_set().len());
+    }
+
+    #[test]
+    fn consolidation_nets_out_churn() {
+        let mut dict = Dictionary::new();
+        let p = dict.encode_iri("http://ex/p");
+        let a = dict.encode_iri("http://ex/a");
+        let b = dict.encode_iri("http://ex/b");
+        let c = dict.encode_iri("http://ex/c");
+        let t1 = Triple::new(a, p, b);
+        let t2 = Triple::new(a, p, c);
+        let t3 = Triple::new(b, p, c);
+        // t1: insert then delete (absent before) → nets out.
+        // t2: delete then insert (present before) → nets out.
+        // t3: plain insert → survives.
+        let events = vec![(t1, true), (t2, false), (t3, true), (t1, false), (t2, true)];
+        let mut net = consolidate_delta(&events);
+        net.sort();
+        assert_eq!(net, vec![(t3, 1)]);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        type ArbTriples = Vec<(u8, u8, u8)>;
+        type ArbDeltaOps = Vec<(u8, u8, u8, bool)>;
+
+        fn arb_graph_and_delta() -> impl Strategy<Value = (ArbTriples, ArbDeltaOps)> {
+            (
+                proptest::collection::vec((0u8..6, 0u8..3, 0u8..6), 0..25),
+                proptest::collection::vec((0u8..6, 0u8..3, 0u8..6, proptest::bool::ANY), 0..12),
+            )
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(96))]
+            /// Delta evaluation applied to the old bag always equals
+            /// re-evaluation from scratch on the new graph — joins,
+            /// unions and self-joins included.
+            #[test]
+            fn delta_equals_rescratch((triples, raw_delta) in arb_graph_and_delta()) {
+                let mut dict = Dictionary::new();
+                let id = |d: &mut Dictionary, i: u8| d.encode_iri(&format!("http://ex/n{i}"));
+                let prop = |d: &mut Dictionary, i: u8| d.encode_iri(&format!("http://ex/p{i}"));
+                let mut old = Graph::new();
+                for (s, p, o) in &triples {
+                    let t = Triple::new(id(&mut dict, *s), prop(&mut dict, *p), id(&mut dict, *o));
+                    old.insert(t);
+                }
+                // Build a consolidated, contract-respecting delta.
+                let mut new = old.clone();
+                let mut delta: Vec<(Triple, i64)> = Vec::new();
+                for (s, p, o, add) in &raw_delta {
+                    let t = Triple::new(id(&mut dict, *s), prop(&mut dict, *p), id(&mut dict, *o));
+                    if *add {
+                        if new.insert(t) {
+                            delta.push((t, 1));
+                        }
+                    } else if new.remove(&t) {
+                        delta.push((t, -1));
+                    }
+                }
+                // Net per triple (a later delete can cancel an earlier insert).
+                let mut net: FxHashMap<Triple, i64> = FxHashMap::default();
+                for (t, s) in delta { *net.entry(t).or_insert(0) += s; }
+                let delta: Vec<(Triple, i64)> = net.into_iter().filter(|(_, s)| *s != 0).collect();
+
+                let q = parse_query(
+                    "PREFIX ex: <http://ex/> SELECT ?x ?z WHERE \
+                     { { ?x ex:p0 ?y . ?y ex:p1 ?z } UNION { ?x ex:p2 ?z } }",
+                    &mut dict,
+                ).unwrap();
+                let program = compile_delta(&q).unwrap();
+                let mut counts = full_counts(&program, &old, &dict);
+                program.eval_delta(&old, &new, &delta, &dict, |row, m| {
+                    *counts.entry(row).or_insert(0) += m;
+                });
+                counts.retain(|_, m| *m != 0);
+                let expect = full_counts(&program, &new, &dict);
+                prop_assert_eq!(counts, expect);
+            }
+        }
+    }
+}

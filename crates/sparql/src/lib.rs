@@ -39,12 +39,14 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod dataflow;
 mod eval;
 mod parser;
 pub mod plan;
 mod union_eval;
 
 pub use ast::{Aggregate, Bgp, Modifiers, OrderKey, QTerm, Query, TriplePattern, Variable};
+pub use dataflow::{compile_delta, consolidate_delta, DeltaProgram, DeltaUnsupported};
 pub use eval::{
     bgp_has_match, compare_terms, evaluate, evaluate_bgp, evaluate_bgp_with_plan, finalize,
     Solutions,

@@ -1,0 +1,369 @@
+//! Differential epoch-replay oracle for incremental views.
+//!
+//! Seeded random insert/delete scripts run through the store while 1, 2
+//! or 4 concurrent subscribers stream delta batches from the
+//! [`SubscriptionHub`]. The invariant locked down here is the whole
+//! point of the subsystem: **accumulating a subscription's delta stream
+//! reproduces the from-scratch answer at every published epoch** — under
+//! set (`SELECT DISTINCT`) and bag semantics, under Saturation and
+//! Reformulation, with mid-script registrations, schema changes (view
+//! rebuilds) and pull-side catch-up thrown in.
+//!
+//! `WEBREASON_PROPTEST_CASES` scales the case count (CI pins it).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rdf_model::Term;
+use rustc_hash::FxHashMap;
+use sparql::compile_delta;
+use webreason_core::{MaintenanceAlgorithm, ReasoningConfig, Store, StoreSnapshot};
+use webreason_incremental::{DeltaBatch, HubConfig, NextWake, SubscriptionHub};
+
+const TYPE: &str = rdf_model::vocab::RDF_TYPE;
+const SUBCLASS: &str = rdf_model::vocab::RDFS_SUB_CLASS_OF;
+
+/// One script operation, generated over small id spaces so collisions
+/// (re-inserts, deletes of absent facts, net-zero churn) are common.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `n{a} rdf:type C{b}` — the bread-and-butter entailment feedstock.
+    Type { insert: bool, node: u8, class: u8 },
+    /// `n{a} p0 n{b}` — property facts for the join query.
+    Prop { insert: bool, s: u8, o: u8 },
+    /// `C{a} rdfs:subClassOf C{b}` — a schema change: forces the hub to
+    /// rebuild every view (recompile + recount).
+    Schema { insert: bool, sub: u8, sup: u8 },
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    /// Initial subclass edges loaded before anything subscribes.
+    schema: Vec<(u8, u8)>,
+    /// Facts present before registration (initial state is non-empty).
+    preload: Vec<(u8, u8)>,
+    /// The update script: one inner vec per published epoch.
+    epochs: Vec<Vec<Op>>,
+    /// 1, 2 or 4 concurrent subscribers per query.
+    n_subs: usize,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (0u8..10, proptest::bool::ANY, 0u8..7, 0u8..7).prop_map(|(kind, insert, a, b)| match kind {
+        0..=5 => Op::Type {
+            insert,
+            node: a,
+            class: b % 5,
+        },
+        6..=8 => Op::Prop { insert, s: a, o: b },
+        _ => Op::Schema {
+            insert,
+            sub: a % 5,
+            sup: b % 5,
+        },
+    })
+}
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec((0u8..5, 0u8..5), 0..5),
+        proptest::collection::vec((0u8..7, 0u8..5), 0..8),
+        proptest::collection::vec(proptest::collection::vec(arb_op(), 1..5), 1..7),
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+    )
+        .prop_map(|(schema, preload, epochs, n_subs)| Scenario {
+            schema,
+            preload,
+            epochs,
+            n_subs,
+        })
+}
+
+fn iri(kind: &str, i: u8) -> String {
+    format!("http://ex/{kind}{i}")
+}
+
+fn apply_op(store: &mut Store, op: Op) {
+    let (insert, s, p, o) = match op {
+        Op::Type {
+            insert,
+            node,
+            class,
+        } => (insert, iri("n", node), TYPE.to_owned(), iri("C", class)),
+        Op::Prop { insert, s, o } => (insert, iri("n", s), iri("p", 0), iri("n", o)),
+        Op::Schema { insert, sub, sup } => {
+            (insert, iri("C", sub), SUBCLASS.to_owned(), iri("C", sup))
+        }
+    };
+    let (s, p, o) = (Term::iri(s), Term::iri(p), Term::iri(o));
+    if insert {
+        store.insert_terms(&s, &p, &o);
+    } else {
+        store.delete_terms(&s, &p, &o);
+    }
+}
+
+/// Accumulates a subscriber's batches into row → signed count state,
+/// exactly as a client would.
+fn apply_batch(state: &mut FxHashMap<Vec<String>, i64>, batch: &DeltaBatch) {
+    if batch.reset {
+        state.clear();
+    }
+    for ev in &batch.events {
+        *state.entry(ev.row.clone()).or_insert(0) += ev.delta;
+    }
+    state.retain(|_, m| *m != 0);
+}
+
+/// From-scratch **set** oracle: the store's own strategy-aware answer
+/// path (`snap.answer`), fully independent of the dataflow code.
+fn set_oracle(store: &Store, sparql: &str) -> FxHashMap<Vec<String>, i64> {
+    let reader = store.reader();
+    let snap = reader.snapshot();
+    let q = snap.prepare(sparql).unwrap();
+    let (sols, _) = snap.answer(&q).unwrap();
+    let dict = snap.dictionary();
+    let mut out = FxHashMap::default();
+    for row in sols.as_set() {
+        let decoded: Vec<String> = row
+            .iter()
+            .map(|id| dict.decode(*id).unwrap().to_string())
+            .collect();
+        out.insert(decoded, 1);
+    }
+    out
+}
+
+/// From-scratch **bag** oracle: recompile the view's delta program
+/// against the current snapshot and re-derive every row multiplicity
+/// from zero — the differential counterpart of the incremental path.
+fn bag_oracle(
+    snap: &StoreSnapshot,
+    sparql: &str,
+    reformulate: bool,
+) -> FxHashMap<Vec<String>, i64> {
+    let q = snap.prepare(sparql).unwrap();
+    let q = if reformulate {
+        snap.reformulated(&q).unwrap().expect("BGP reformulates")
+    } else {
+        q
+    };
+    let program = compile_delta(&q).expect("delta-compilable");
+    let graph = snap.view_graph().expect("materialized view graph");
+    let dict = snap.dictionary();
+    let mut out: FxHashMap<Vec<String>, i64> = FxHashMap::default();
+    program.eval_full(graph, &dict, |row, m| {
+        let decoded: Vec<String> = row
+            .iter()
+            .map(|id| dict.decode(*id).unwrap().to_string())
+            .collect();
+        *out.entry(decoded).or_insert(0) += m;
+    });
+    out.retain(|_, m| *m != 0);
+    out
+}
+
+fn distinct_keys(state: &FxHashMap<Vec<String>, i64>) -> FxHashMap<Vec<String>, i64> {
+    state
+        .iter()
+        .filter(|(_, &m)| m > 0)
+        .map(|(k, _)| (k.clone(), 1))
+        .collect()
+}
+
+/// `?x a C0` — touched by subclass entailment from every direction.
+const SET_QUERY: &str = "SELECT DISTINCT ?x WHERE { ?x a <http://ex/C0> }";
+const BAG_QUERY: &str = "SELECT ?x WHERE { ?x a <http://ex/C0> }";
+/// A join: property fact × entailed type — deltas must seed both
+/// positions (old graph left of the seed, new graph right of it).
+const JOIN_QUERY: &str = "SELECT ?x ?y WHERE { ?x <http://ex/p0> ?y . ?y a <http://ex/C0> }";
+
+struct Subscriber {
+    id: u64,
+    state: FxHashMap<Vec<String>, i64>,
+    /// Last epoch this subscriber acknowledged (for the pull twin below).
+    acked: u64,
+}
+
+/// Runs one scenario under one strategy for one query, with
+/// `scenario.n_subs` concurrent streaming subscribers plus one pull-mode
+/// subscriber exercising `catch_up` from its last acked epoch.
+fn check_scenario(
+    s: &Scenario,
+    config: ReasoningConfig,
+    sparql: &str,
+    distinct: bool,
+) -> Result<(), String> {
+    let reformulate = matches!(config, ReasoningConfig::Reformulation);
+    let mut store = Store::new(config);
+    store.set_delta_tracking(true);
+    for &(sub, sup) in &s.schema {
+        apply_op(
+            &mut store,
+            Op::Schema {
+                insert: true,
+                sub,
+                sup,
+            },
+        );
+    }
+    for &(node, class) in &s.preload {
+        apply_op(
+            &mut store,
+            Op::Type {
+                insert: true,
+                node,
+                class,
+            },
+        );
+    }
+    // Registration must see the loaded state: publish it first, and drop
+    // the pre-registration delta (nobody is subscribed yet).
+    let _ = store.take_delta();
+    store.snapshot();
+
+    let hub = SubscriptionHub::new(HubConfig::default());
+    let reader = store.reader();
+    let cancel = obs::CancelToken::none();
+    let mut subs: Vec<Subscriber> = Vec::new();
+    for _ in 0..s.n_subs {
+        let ok = hub
+            .subscribe(&reader, sparql, true, &cancel)
+            .expect("registers");
+        let mut state = FxHashMap::default();
+        apply_batch(&mut state, &ok.initial);
+        subs.push(Subscriber {
+            id: ok.id,
+            state,
+            acked: ok.epoch,
+        });
+    }
+    // The pull twin reads the same view through catch_up instead of a
+    // streaming queue.
+    let pull = hub
+        .subscribe(&reader, sparql, false, &cancel)
+        .expect("pull registers");
+    let mut pull_state = FxHashMap::default();
+    apply_batch(&mut pull_state, &pull.initial);
+    let mut pull_acked = pull.epoch;
+
+    // A straggler registers halfway through the script; its initial
+    // snapshot must match the oracle *at that epoch*.
+    let mid = s.epochs.len() / 2;
+    let mut straggler: Option<Subscriber> = None;
+
+    let verify =
+        |store: &Store, state: &FxHashMap<Vec<String>, i64>, who: &str| -> Result<(), String> {
+            if distinct {
+                let oracle = set_oracle(store, sparql);
+                prop_assert_eq!(
+                    &distinct_keys(state),
+                    &oracle,
+                    "{} diverged from the set oracle",
+                    who
+                );
+            } else {
+                let reader = store.reader();
+                let snap = reader.snapshot();
+                let oracle = bag_oracle(&snap, sparql, reformulate);
+                prop_assert_eq!(state, &oracle, "{} diverged from the bag oracle", who);
+            }
+            Ok(())
+        };
+
+    for (i, epoch_ops) in s.epochs.iter().enumerate() {
+        if i == mid {
+            let ok = hub
+                .subscribe(&reader, sparql, true, &cancel)
+                .expect("mid-script registration");
+            let mut state = FxHashMap::default();
+            apply_batch(&mut state, &ok.initial);
+            verify(&store, &state, "straggler initial")?;
+            straggler = Some(Subscriber {
+                id: ok.id,
+                state,
+                acked: ok.epoch,
+            });
+        }
+
+        let old = store.snapshot();
+        for &op in epoch_ops {
+            apply_op(&mut store, op);
+        }
+        let delta = store.take_delta();
+        let new = store.snapshot();
+        hub.publish(&old, &new, &delta);
+        let epoch = new.epoch();
+
+        for sub in subs.iter_mut().chain(straggler.as_mut()) {
+            match hub.next_wake(sub.id, Duration::from_millis(50)) {
+                NextWake::Batches(batches) => {
+                    for b in &batches {
+                        prop_assert!(b.epoch > sub.acked, "stale or duplicate epoch");
+                        apply_batch(&mut sub.state, b);
+                        sub.acked = b.epoch;
+                    }
+                }
+                NextWake::Idle => {} // empty delta for this view
+                other => return Err(format!("subscriber {} lost its stream: {other:?}", sub.id)),
+            }
+            verify(&store, &sub.state, "streaming subscriber")?;
+        }
+
+        // Pull twin: catch up from its last acked epoch.
+        let cu = hub.catch_up(pull.id, pull_acked).expect("pull twin alive");
+        prop_assert!(cu.terminal.is_none());
+        for b in &cu.batches {
+            apply_batch(&mut pull_state, b);
+            pull_acked = pull_acked.max(b.epoch);
+        }
+        prop_assert!(pull_acked <= epoch);
+        verify(&store, &pull_state, "catch-up subscriber")?;
+
+        // All concurrent subscribers of one view agree with each other.
+        for pair in subs.windows(2) {
+            prop_assert_eq!(&pair[0].state, &pair[1].state, "subscribers disagree");
+        }
+    }
+    Ok(())
+}
+
+/// Case-count knob: `WEBREASON_PROPTEST_CASES=200` for a deeper local
+/// run; CI exports a fixed value so runs are comparable.
+fn env_cases(default: u32) -> u32 {
+    std::env::var("WEBREASON_PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(env_cases(24)))]
+
+    /// Saturation (Counting maintenance): subscribers consume the
+    /// *entailed* delta over G∞.
+    #[test]
+    fn saturation_streams_replay_to_the_oracle(s in arb_scenario()) {
+        let cfg = ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting);
+        check_scenario(&s, cfg, SET_QUERY, true)?;
+        check_scenario(&s, cfg, BAG_QUERY, false)?;
+    }
+
+    /// Reformulation: views run q_ref over the base graph and consume the
+    /// base delta; schema ops force live view rebuilds.
+    #[test]
+    fn reformulation_streams_replay_to_the_oracle(s in arb_scenario()) {
+        let cfg = ReasoningConfig::Reformulation;
+        check_scenario(&s, cfg, SET_QUERY, true)?;
+        check_scenario(&s, cfg, BAG_QUERY, false)?;
+    }
+
+    /// The join view under both strategies: deltas seed every pattern
+    /// position, probing old graph left of the seed and new graph right.
+    #[test]
+    fn join_views_replay_to_the_oracle(s in arb_scenario()) {
+        let sat = ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting);
+        check_scenario(&s, sat, JOIN_QUERY, false)?;
+        check_scenario(&s, ReasoningConfig::Reformulation, JOIN_QUERY, false)?;
+    }
+}
