@@ -83,12 +83,21 @@ fn main() {
         webreason_core::ReasoningConfig::Reformulation,
         one,
     );
+    let int_store = webreason_core::Store::from_parts_with_threads(
+        ds.dict.clone(),
+        ds.vocab,
+        ds.graph.clone(),
+        webreason_core::ReasoningConfig::Interval,
+        one,
+    );
     for (name, q) in &qs {
         let mut q = q.clone();
         q.distinct = true;
         let a = sat_store.answer(&q).expect("saturated answers");
         let b = ref_store.answer(&q).expect("reformulated answers");
+        let c = int_store.answer(&q).expect("interval answers");
         assert_eq!(a.len(), b.len(), "{name}: both paths agree");
+        assert_eq!(a.len(), c.len(), "{name}: interval path agrees");
     }
     let instance_sample: Vec<rdf_model::Triple> = ds
         .graph
@@ -181,6 +190,15 @@ fn main() {
             println!("  {:<20} {}", label, threshold);
         }
     }
+    let interval = webreason_core::interval_thresholds(&observed);
+    if let Some(t) = &interval {
+        println!("interval-strategy thresholds (third technique, same snapshot):");
+        println!(
+            "  {:<20} {}",
+            "reencode-vs-refo", t.reencode_vs_reformulation
+        );
+        println!("  {:<20} {}", "sat-vs-interval", t.saturation_vs_interval);
+    }
 
     #[derive(serde::Serialize)]
     struct Fig3Report<'a> {
@@ -190,6 +208,7 @@ fn main() {
         spread_orders_of_magnitude: f64,
         journal_overhead: Option<JournalOverhead>,
         observed_costs: webreason_core::ObservedCosts,
+        interval_thresholds: Option<webreason_core::IntervalThresholds>,
         metrics: &'a obs::MetricsSnapshot,
     }
     let ok = emit_json(
@@ -201,6 +220,7 @@ fn main() {
             spread_orders_of_magnitude: spread,
             journal_overhead,
             observed_costs: observed,
+            interval_thresholds: interval,
             metrics: &snapshot,
         },
     ) && emit_json("metrics", &snapshot);

@@ -1,5 +1,5 @@
 //! Regenerates the evaluation tables (DESIGN.md §3): T-SAT, T-REF, T-QA,
-//! T-MAINT, A-DATALOG, A-ADVISOR, A-PAR, A-REF, A-SERVE.
+//! T-MAINT, A-DATALOG, A-ADVISOR, A-PAR, A-REF, T-INT, A-SERVE.
 //!
 //! ```sh
 //! cargo run --release -p bench --bin tables            # all tables, small scale
@@ -13,15 +13,17 @@ use bench::{
 use durability::FsyncPolicy;
 use rdfs::incremental::MaintenanceAlgorithm;
 use rdfs::{saturate, saturate_naive, saturate_parallel, Schema};
-use reformulation::reformulate;
+use reformulation::{reformulate, reformulate_intervals};
 use serde::Serialize;
-use sparql::{evaluate, evaluate_union};
+use sparql::{evaluate, evaluate_interval, evaluate_union, Query};
 use std::num::NonZeroUsize;
+use std::sync::Arc;
 use webreason_core::advisor::{advise, Recommendation, UpdateMix, WorkloadMix};
 use webreason_core::cost::profile;
 use webreason_core::evaluate_backward;
 use workload::lubm::{generate, LubmConfig};
 use workload::synth::{generate as synth_generate, SynthConfig};
+use workload::Dataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,6 +69,9 @@ fn main() {
     }
     if run("aref") {
         reports_ok &= table_aref(scale);
+    }
+    if run("interval") {
+        reports_ok &= table_interval(scale);
     }
     if run("fed") {
         table_federation();
@@ -289,37 +294,20 @@ fn table_parallel() {
     );
 }
 
-/// A-REF: union-aware evaluation of reformulated queries — the per-branch
-/// baseline vs the shared-prefix trie evaluator (1 thread) vs the same
-/// evaluator across 4 workers. The subclass-heavy synthetic query (a
-/// depth-4 × fanout-3 class tree, >100 union branches) is the stress case
-/// for the §II-D open issue of evaluating large reformulated unions.
-fn table_aref(scale: Scale) -> bool {
-    println!("== A-REF: union-aware evaluation of q_ref (sequential / shared / parallel) ==");
-    const SAMPLES: usize = 3;
+/// The union-stress workload shared by A-REF and T-INT: LUBM Q1–Q10 plus
+/// two subclass-heavy synthetic cases over a depth-4 × fanout-3 class
+/// tree (121 classes) — the root type query (single-atom branches — pure
+/// planning/merge stress, no sharing) and a join query
+/// `?x <p> ?y . ?y a <root>` whose >100 branches all keep the selective
+/// `?x <p> ?y` atom first, so the trie shares its scan.
+struct UnionCases {
+    /// `[0]` = LUBM, `[1]` = SYNTH, each with its extracted schema.
+    datasets: Vec<(Dataset, Schema)>,
+    /// `(name, dataset index, query)`.
+    cases: Vec<(String, usize, Query)>,
+}
 
-    // The union evaluator is instrumented; reset the registry so the
-    // embedded snapshot covers exactly this table's evaluations.
-    let reg = obs::global();
-    reg.reset();
-
-    #[derive(Serialize)]
-    struct Row {
-        query: String,
-        branches: usize,
-        sequential_s: f64,
-        shared_s: f64,
-        parallel_s: f64,
-        shared_prefix_scans: usize,
-        scan_cache_hits: u64,
-        answers: usize,
-    }
-
-    // LUBM Q1–Q10, plus two subclass-heavy synthetic cases over a
-    // depth-4 × fanout-3 class tree (121 classes): the root type query
-    // (single-atom branches — pure planning/merge stress, no sharing) and
-    // a join query `?x <p> ?y . ?y a <root>` whose >100 branches all keep
-    // the selective `?x <p> ?y` atom first, so the trie shares its scan.
+fn union_stress_cases(scale: Scale) -> UnionCases {
     let (ds, qs) = lubm_workload(scale);
     let lubm_schema = Schema::extract(&ds.graph, &ds.vocab);
     let mut w = synth_generate(&SynthConfig {
@@ -330,7 +318,7 @@ fn table_aref(scale: Scale) -> bool {
         typings: 80_000,
         // No domain/range constraints: with them, a range inside the tree
         // lets core minimisation collapse `{?x p ?y . ?y a C}` branches to
-        // `{?x p ?y}`, deflating the union this table is stressing.
+        // `{?x p ?y}`, deflating the union these tables are stressing.
         domain_range_density: 0.0,
         ..Default::default()
     });
@@ -358,26 +346,48 @@ fn table_aref(scale: Scale) -> bool {
     )
     .expect("join query parses");
 
-    let mut cases: Vec<(String, &_, &_, _)> = qs
-        .iter()
-        .map(|(name, q)| (name.clone(), &ds, &lubm_schema, q.clone()))
-        .collect();
-    cases.push((
-        "SYNTH-root".to_owned(),
-        &w.dataset,
-        &synth_schema,
-        synth_root_q,
-    ));
-    cases.push((
-        "SYNTH-join".to_owned(),
-        &w.dataset,
-        &synth_schema,
-        synth_join_q,
-    ));
+    let mut cases: Vec<(String, usize, Query)> =
+        qs.into_iter().map(|(name, q)| (name, 0, q)).collect();
+    cases.push(("SYNTH-root".to_owned(), 1, synth_root_q));
+    cases.push(("SYNTH-join".to_owned(), 1, synth_join_q));
+    UnionCases {
+        datasets: vec![(ds, lubm_schema), (w.dataset, synth_schema)],
+        cases,
+    }
+}
+
+/// A-REF: union-aware evaluation of reformulated queries — the per-branch
+/// baseline vs the shared-prefix trie evaluator (1 thread) vs the same
+/// evaluator across 4 workers. The subclass-heavy synthetic query (a
+/// depth-4 × fanout-3 class tree, >100 union branches) is the stress case
+/// for the §II-D open issue of evaluating large reformulated unions.
+fn table_aref(scale: Scale) -> bool {
+    println!("== A-REF: union-aware evaluation of q_ref (sequential / shared / parallel) ==");
+    const SAMPLES: usize = 3;
+
+    // The union evaluator is instrumented; reset the registry so the
+    // embedded snapshot covers exactly this table's evaluations.
+    let reg = obs::global();
+    reg.reset();
+
+    #[derive(Serialize)]
+    struct Row {
+        query: String,
+        branches: usize,
+        sequential_s: f64,
+        shared_s: f64,
+        parallel_s: f64,
+        shared_prefix_scans: usize,
+        scan_cache_hits: u64,
+        answers: usize,
+    }
+
+    let UnionCases { datasets, cases } = union_stress_cases(scale);
 
     let mut report = Vec::new();
     let mut rows = Vec::new();
-    for (name, data, schema, q) in cases {
+    for (name, di, q) in cases {
+        let (data, schema) = &datasets[di];
         let r = reformulate(&q, schema, &data.vocab).expect("dialect ok");
         let g = &data.graph;
 
@@ -455,6 +465,202 @@ fn table_aref(scale: Scale) -> bool {
     emit_json(
         "table_aref",
         &ArefReport {
+            rows: report,
+            metrics: reg.snapshot(),
+        },
+    )
+}
+
+/// T-INT: the interval (LiteMat-style) strategy against union
+/// reformulation and saturation on the A-REF workload, plus the
+/// strategy's own schema-update cost — rebuilding the interval dictionary
+/// — next to full saturation (what a schema change costs each side).
+fn table_interval(scale: Scale) -> bool {
+    println!("== T-INT: interval encoding vs reformulation vs saturation ==");
+    const SAMPLES: usize = 3;
+
+    // The range evaluator is instrumented; reset the registry so the
+    // embedded snapshot covers exactly this table's evaluations.
+    let reg = obs::global();
+    reg.reset();
+
+    let UnionCases { datasets, cases } = union_stress_cases(scale);
+
+    // Per dataset: the interval re-encode cost (the interval strategy's
+    // analogue of a schema-update maintenance step) vs full saturation.
+    #[derive(Serialize)]
+    struct EncodeRow {
+        dataset: String,
+        encoded_terms: usize,
+        fallback_terms: usize,
+        reencode_s: f64,
+        saturation_s: f64,
+    }
+    let mut encodings = Vec::new();
+    let mut encode_report = Vec::new();
+    let mut encode_rows = Vec::new();
+    for (label, (ds, schema)) in ["LUBM", "SYNTH"].iter().zip(&datasets) {
+        let mut reencode_s = f64::INFINITY;
+        let mut idict = None;
+        for _ in 0..SAMPLES {
+            let (d, secs) = time(|| schema.interval_dict());
+            reencode_s = reencode_s.min(secs);
+            idict = Some(d);
+        }
+        let idict = Arc::new(idict.expect("at least one sample"));
+        let (sat, saturation_s) = time(|| saturate(&ds.graph, &ds.vocab).graph);
+        encode_rows.push(vec![
+            (*label).to_owned(),
+            idict.len().to_string(),
+            idict.fallback_terms().to_string(),
+            fmt_secs(reencode_s),
+            fmt_secs(saturation_s),
+        ]);
+        encode_report.push(EncodeRow {
+            dataset: (*label).to_owned(),
+            encoded_terms: idict.len(),
+            fallback_terms: idict.fallback_terms(),
+            reencode_s,
+            saturation_s,
+        });
+        encodings.push((idict, sat));
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "dataset",
+                "encoded terms",
+                "fallback terms",
+                "re-encode",
+                "saturation"
+            ],
+            &encode_rows
+        )
+    );
+
+    #[derive(Serialize)]
+    struct Row {
+        query: String,
+        union_branches: usize,
+        interval_branches: usize,
+        branches_collapsed: usize,
+        collapsed_fraction: f64,
+        range_scans: u64,
+        saturated_s: f64,
+        union_s: f64,
+        interval_s: f64,
+        speedup_vs_union: f64,
+        answers: usize,
+    }
+
+    let one = NonZeroUsize::MIN;
+    let mut report = Vec::new();
+    let mut rows = Vec::new();
+    for (name, di, q) in &cases {
+        let (ds, schema) = &datasets[*di];
+        let (idict, sat) = &encodings[*di];
+        let r = reformulate(q, schema, &ds.vocab).expect("dialect ok");
+        let iq = reformulate_intervals(q, schema, &ds.vocab, idict.clone()).expect("dialect ok");
+        let mut distinct_q = q.clone();
+        distinct_q.distinct = true;
+
+        let mut union_s = f64::INFINITY;
+        let mut interval_s = f64::INFINITY;
+        let mut saturated_s = f64::INFINITY;
+        let mut stats = sparql::EvalStats::default();
+        let mut answers = 0;
+        for _ in 0..SAMPLES {
+            let ((u_sols, _), secs) = time(|| evaluate_union(&ds.graph, &r.query, one));
+            union_s = union_s.min(secs);
+            let ((i_sols, s), secs) = time(|| evaluate_interval(&ds.graph, &iq, one));
+            interval_s = interval_s.min(secs);
+            let (s_sols, secs) = time(|| evaluate(sat, &distinct_q));
+            saturated_s = saturated_s.min(secs);
+            assert_same_answers(&u_sols, &i_sols, name);
+            assert_same_answers(&s_sols, &i_sols, name);
+            answers = i_sols.len();
+            stats = s;
+        }
+
+        let collapsed_fraction = if iq.union_branches > 0 {
+            iq.branches_collapsed as f64 / iq.union_branches as f64
+        } else {
+            0.0
+        };
+        // The headline acceptance bar: on the subclass-heavy synthetic
+        // cases, interval encoding must replace ≥90% of the hierarchy
+        // union branches with range scans.
+        if name.starts_with("SYNTH") {
+            assert!(
+                collapsed_fraction >= 0.9,
+                "{name}: only {:.0}% of {} union branches collapsed",
+                collapsed_fraction * 100.0,
+                iq.union_branches,
+            );
+        }
+        rows.push(vec![
+            name.clone(),
+            iq.union_branches.to_string(),
+            iq.branches.len().to_string(),
+            format!(
+                "{} ({:.0}%)",
+                iq.branches_collapsed,
+                collapsed_fraction * 100.0
+            ),
+            stats.range_scans.to_string(),
+            fmt_secs(saturated_s),
+            fmt_secs(union_s),
+            fmt_secs(interval_s),
+            format!("{:.2}×", union_s / interval_s),
+        ]);
+        report.push(Row {
+            query: name.clone(),
+            union_branches: iq.union_branches,
+            interval_branches: iq.branches.len(),
+            branches_collapsed: iq.branches_collapsed,
+            collapsed_fraction,
+            range_scans: stats.range_scans,
+            saturated_s,
+            union_s,
+            interval_s,
+            speedup_vs_union: union_s / interval_s,
+            answers,
+        });
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "query",
+                "union br.",
+                "interval br.",
+                "collapsed",
+                "range scans",
+                "saturated",
+                "union",
+                "interval",
+                "speedup",
+            ],
+            &rows
+        )
+    );
+    println!(
+        "All three strategies are asserted to return the same answer set.\n\
+         \"collapsed\" counts hierarchy union branches replaced by interval\n\
+         range scans; \"speedup\" is union / interval (1 thread, best of {SAMPLES}).\n"
+    );
+
+    #[derive(Serialize)]
+    struct IntervalReport {
+        reencode: Vec<EncodeRow>,
+        rows: Vec<Row>,
+        metrics: obs::MetricsSnapshot,
+    }
+    emit_json(
+        "table_interval",
+        &IntervalReport {
+            reencode: encode_report,
             rows: report,
             metrics: reg.snapshot(),
         },
@@ -1028,6 +1234,7 @@ fn table_advisor(scale: Scale) {
             let rec = |p| match advise(p, &w).recommendation {
                 Recommendation::Saturation => "saturation",
                 Recommendation::Reformulation => "reformulation",
+                Recommendation::Interval => "interval",
             };
             rows.push(vec![
                 mix_name.to_owned(),

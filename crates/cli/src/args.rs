@@ -19,6 +19,8 @@ pub enum Strategy {
     Plus,
     /// Query reformulation.
     Reformulation,
+    /// LiteMat interval rewriting (range scans over hierarchy intervals).
+    Interval,
     /// Adaptive hybrid (learns per query).
     Adaptive,
     /// Backward chaining.
@@ -36,6 +38,7 @@ impl Strategy {
             "counting" => Strategy::Counting,
             "plus" | "rdfs-plus" => Strategy::Plus,
             "reformulation" => Strategy::Reformulation,
+            "interval" | "litemat" => Strategy::Interval,
             "adaptive" => Strategy::Adaptive,
             "backward" | "backward-chaining" => Strategy::Backward,
             "datalog" => Strategy::Datalog,
@@ -146,6 +149,10 @@ pub enum Command {
         /// Live `POST /subscribe` registrations allowed at once
         /// (0 disables the subscription subsystem).
         max_subscriptions: usize,
+        /// Reasoning strategy for a freshly created journal (`None` =
+        /// counting saturation); an existing journal keeps the strategy
+        /// it was created with.
+        strategy: Option<Strategy>,
     },
     /// `webreason checkpoint <journal-dir>` — snapshot a durable store.
     Checkpoint {
@@ -423,6 +430,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     .parse::<usize>()
                     .map_err(|_| err("--max-subscriptions needs a number (0 = off)"))?,
             };
+            // Only consulted when the journal is created fresh; an
+            // existing journal keeps the strategy it was created with.
+            let strategy = match flag("strategy") {
+                None => None,
+                Some(v) => {
+                    Some(Strategy::parse(v).ok_or_else(|| err(format!("unknown strategy {v:?}")))?)
+                }
+            };
             Ok(Command::Serve {
                 addr,
                 threads,
@@ -437,6 +452,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 default_deadline_ms,
                 max_deadline_ms,
                 max_subscriptions,
+                strategy,
             })
         }
         "checkpoint" => Ok(Command::Checkpoint {
@@ -564,6 +580,8 @@ mod tests {
             ("none", Strategy::None),
             ("dred", Strategy::DRed),
             ("plus", Strategy::Plus),
+            ("interval", Strategy::Interval),
+            ("litemat", Strategy::Interval),
             ("backward-chaining", Strategy::Backward),
             ("datalog", Strategy::Datalog),
         ] {
@@ -636,6 +654,7 @@ mod tests {
                 default_deadline_ms: Some(30_000),
                 max_deadline_ms: 60_000,
                 max_subscriptions: 64,
+                strategy: None,
             }
         );
         assert_eq!(
@@ -644,7 +663,7 @@ mod tests {
                  --fsync never --group-commit off --duration-secs 3 \
                  --backend threaded --max-conns 128 --idle-timeout 2500 \
                  --default-deadline-ms 0 --max-deadline-ms 120000 \
-                 --max-subscriptions 8"
+                 --max-subscriptions 8 --strategy interval"
             ))
             .unwrap(),
             Command::Serve {
@@ -661,6 +680,7 @@ mod tests {
                 default_deadline_ms: None,
                 max_deadline_ms: 120_000,
                 max_subscriptions: 8,
+                strategy: Some(Strategy::Interval),
             }
         );
         for (line, needle) in [
@@ -681,6 +701,10 @@ mod tests {
                 "use reactor or threaded",
             ),
             ("serve --journal /tmp/j --max-conns 0", "positive number"),
+            (
+                "serve --journal /tmp/j --strategy fibers",
+                "unknown strategy",
+            ),
             (
                 "serve --journal /tmp/j --idle-timeout never",
                 "milliseconds",

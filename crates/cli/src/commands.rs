@@ -45,6 +45,7 @@ fn store_config(strategy: Strategy) -> ReasoningConfig {
         Strategy::Counting => ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting),
         Strategy::Plus => ReasoningConfig::SaturationPlus,
         Strategy::Reformulation => ReasoningConfig::Reformulation,
+        Strategy::Interval => ReasoningConfig::Interval,
         Strategy::Adaptive => ReasoningConfig::Adaptive,
         Strategy::Backward => ReasoningConfig::BackwardChaining,
         Strategy::Datalog => ReasoningConfig::Datalog,
@@ -107,6 +108,7 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
             default_deadline_ms,
             max_deadline_ms,
             max_subscriptions,
+            strategy,
         } => serve_cmd(
             addr,
             *threads,
@@ -121,6 +123,7 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
             *default_deadline_ms,
             *max_deadline_ms,
             *max_subscriptions,
+            *strategy,
         ),
         Command::Metrics { format, journal } => metrics_cmd(format, journal.as_deref()),
         Command::Checkpoint { dir } => checkpoint_cmd(dir),
@@ -140,9 +143,9 @@ pub fn run_command(command: &Command) -> Result<String, CliError> {
 
 /// Boots the embedded HTTP server over a journaled store and blocks.
 ///
-/// A missing journal directory is created fresh (counting maintenance,
-/// like `query --journal` on a new directory); an existing one is
-/// recovered and served.
+/// A missing journal directory is created fresh (`--strategy`, default
+/// counting maintenance, like `query --journal` on a new directory); an
+/// existing one is recovered and served with its own strategy.
 ///
 /// The listening line is printed (and flushed) immediately rather than
 /// returned, because the command does not finish until the server stops —
@@ -165,16 +168,19 @@ fn serve_cmd(
     default_deadline_ms: Option<u64>,
     max_deadline_ms: u64,
     max_subscriptions: usize,
+    strategy: Option<Strategy>,
 ) -> Result<String, CliError> {
     use std::io::Write as _;
 
     let exists = std::path::Path::new(journal).join(JOURNAL_FILE).exists();
     let store = if exists {
+        // An existing journal keeps the strategy it was created with;
+        // `--strategy` only shapes a fresh store.
         DurableStore::open(journal, fsync)
     } else {
         DurableStore::create(
             journal,
-            store_config(Strategy::Counting),
+            store_config(strategy.unwrap_or(Strategy::Counting)),
             NonZeroUsize::MIN,
             fsync,
         )

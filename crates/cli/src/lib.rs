@@ -65,8 +65,10 @@ COMMANDS:
 OPTIONS:
     --sparql <text|@file>    the query (query/reformulate); '@f' reads file f
     --strategy <name>        none | saturation | dred | counting | plus |
-                             reformulation | adaptive | backward | datalog
+                             reformulation | interval (alias litemat) |
+                             adaptive | backward | datalog
                              [default: counting]
+                             serve: strategy for a freshly created journal
     --triple \"<s> <p> <o>\"   the triple to explain (N-Triples terms)
     --parallel <N>           saturate with N worker threads
     --threads <N>            query: saturation passes use N threads [default: 1]

@@ -72,6 +72,9 @@ pub enum Recommendation {
     Saturation,
     /// Reformulate at query time.
     Reformulation,
+    /// Interval rewriting: range scans over the LiteMat interval
+    /// dictionary, re-encoded on schema change.
+    Interval,
 }
 
 /// Advice for one query.
@@ -192,6 +195,69 @@ pub fn advise_observed(costs: &ObservedCosts, workload: &WorkloadMix) -> Option<
         return None;
     }
     Some(advise(&observed_profile(costs), workload))
+}
+
+/// Three-way advice on observed costs: saturation vs reformulation vs
+/// interval rewriting, per epoch of `workload`.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ThreeWayAdvice {
+    /// Cost per epoch under saturation (maintenance + evaluations), seconds.
+    pub saturation_epoch_cost: f64,
+    /// Cost per epoch under reformulation, seconds.
+    pub reformulation_epoch_cost: f64,
+    /// Cost per epoch under interval rewriting: schema updates pay a
+    /// dictionary re-encode, instance updates are free, evaluations run
+    /// the range-scan evaluator.
+    pub interval_epoch_cost: f64,
+    /// The cheapest of the three (ties resolve in the order saturation,
+    /// reformulation, interval).
+    pub recommendation: Recommendation,
+}
+
+/// Compares all three observed answer paths under `workload`. `None`
+/// unless the snapshot observed every path (see
+/// [`ObservedCosts::covers_both_paths`] and
+/// [`ObservedCosts::covers_interval`]).
+pub fn advise_three_way(costs: &ObservedCosts, workload: &WorkloadMix) -> Option<ThreeWayAdvice> {
+    if !costs.covers_both_paths() || !costs.covers_interval() {
+        return None;
+    }
+    let mix = &workload.updates;
+    let total = mix.total();
+    let update_cost = mixed_update_cost(&observed_profile(costs), mix);
+    // Interval maintenance: only schema updates trigger a re-encode.
+    let schema_fraction = if total > 0.0 {
+        (mix.schema_insert + mix.schema_delete) / total
+    } else {
+        0.0
+    };
+    let k = workload.queries_per_update.max(0.0);
+    let (sat, refo, interval) = if k.is_infinite() {
+        (
+            costs.eval_saturated,
+            costs.eval_reformulated,
+            costs.eval_interval,
+        )
+    } else {
+        (
+            update_cost + k * costs.eval_saturated,
+            k * costs.eval_reformulated,
+            schema_fraction * costs.interval_reencode + k * costs.eval_interval,
+        )
+    };
+    let recommendation = if sat <= refo && sat <= interval {
+        Recommendation::Saturation
+    } else if refo <= interval {
+        Recommendation::Reformulation
+    } else {
+        Recommendation::Interval
+    };
+    Some(ThreeWayAdvice {
+        saturation_epoch_cost: sat,
+        reformulation_epoch_cost: refo,
+        interval_epoch_cost: interval,
+        recommendation,
+    })
 }
 
 /// Closes the self-tuning loop end to end: reads [`ObservedCosts`] out of
@@ -419,6 +485,7 @@ mod tests {
             eval_saturated_runs: 10,
             eval_reformulated: 0.5,
             eval_reformulated_runs: 10,
+            ..ObservedCosts::default()
         };
         let mix = UpdateMix {
             instance_insert: 1.0,
@@ -449,6 +516,67 @@ mod tests {
             &WorkloadMix {
                 queries_per_update: 50.0,
                 updates: mix
+            }
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn three_way_advice_flips_with_the_workload() {
+        // Interval eval sits between saturated and union eval; its only
+        // maintenance is the re-encode on schema updates.
+        let costs = ObservedCosts {
+            saturation: 10.0,
+            saturation_runs: 1,
+            maintenance: MaintenanceCosts {
+                instance_insert: 0.5,
+                instance_delete: 0.5,
+                schema_insert: 0.5,
+                schema_delete: 0.5,
+            },
+            updates_observed: 4,
+            eval_saturated: 0.001,
+            eval_saturated_runs: 10,
+            eval_reformulated: 0.010,
+            eval_reformulated_runs: 10,
+            eval_interval: 0.002,
+            eval_interval_runs: 10,
+            interval_reencode: 0.1,
+            interval_reencodes: 1,
+        };
+        let at = |k: f64, updates: UpdateMix| {
+            advise_three_way(
+                &costs,
+                &WorkloadMix {
+                    queries_per_update: k,
+                    updates,
+                },
+            )
+            .expect("all paths observed")
+        };
+        // Instance-churn workload: saturation pays 0.5 s per update,
+        // interval pays nothing — interval wins over both.
+        let churn = at(10.0, UpdateMix::append_mostly());
+        assert_eq!(churn.recommendation, Recommendation::Interval);
+        assert!(churn.interval_epoch_cost < churn.saturation_epoch_cost);
+        assert!(churn.interval_epoch_cost < churn.reformulation_epoch_cost);
+        // Read-only workload: pure evaluation rates, saturation fastest.
+        let ro = at(f64::INFINITY, UpdateMix::append_mostly());
+        assert_eq!(ro.recommendation, Recommendation::Saturation);
+        // Heavy query traffic between updates amortises the maintenance.
+        assert_eq!(
+            at(10_000.0, UpdateMix::append_mostly()).recommendation,
+            Recommendation::Saturation
+        );
+        // Missing the interval observations → no three-way advice.
+        assert!(advise_three_way(
+            &ObservedCosts {
+                eval_interval_runs: 0,
+                ..costs
+            },
+            &WorkloadMix {
+                queries_per_update: 10.0,
+                updates: UpdateMix::append_mostly(),
             }
         )
         .is_none());

@@ -111,6 +111,18 @@ pub struct ObservedCosts {
     pub eval_reformulated: f64,
     /// Reformulated (union-aware) evaluations observed.
     pub eval_reformulated_runs: u64,
+    /// Mean interval-rewritten evaluation cost, seconds: the
+    /// `sparql.range.total` span.
+    pub eval_interval: f64,
+    /// Interval (range-scan) evaluations observed.
+    pub eval_interval_runs: u64,
+    /// Mean cost of re-encoding the interval dictionary after a schema
+    /// change, seconds: the `core.interval.reencode` span. This is the
+    /// interval strategy's whole maintenance bill — instance updates cost
+    /// it nothing.
+    pub interval_reencode: f64,
+    /// Interval re-encodes observed.
+    pub interval_reencodes: u64,
 }
 
 /// Microseconds to seconds.
@@ -162,23 +174,38 @@ impl ObservedCosts {
         let updates_observed = snap.counter("core.maintain.updates").unwrap_or(0);
 
         let (eval_reformulated, eval_reformulated_runs) = span_mean("sparql.union.total");
+        let (eval_interval, eval_interval_runs) = span_mean("sparql.range.total");
+        let (interval_reencode, interval_reencodes) = span_mean("core.interval.reencode");
 
-        // Answers that did not go through the union evaluator: subtract the
-        // nested reformulation time from the total answer time.
+        // Answers that went through neither rewriting evaluator: subtract
+        // the nested union/range evaluation, rewrite and re-encode time
+        // from the total answer time.
         let answers = snap.span_count("core.answer.query");
         let union_under_answer = snap
             .span("sparql.union.total", Some("core.answer.query"))
+            .map(|s| (s.count, s.total_us))
+            .unwrap_or((0, 0));
+        let range_under_answer = snap
+            .span("sparql.range.total", Some("core.answer.query"))
             .map(|s| (s.count, s.total_us))
             .unwrap_or((0, 0));
         let refo_under_answer_us = snap
             .span("core.answer.reformulate", Some("core.answer.query"))
             .map(|s| s.total_us)
             .unwrap_or(0);
-        let sat_answers = answers.saturating_sub(union_under_answer.0);
+        let reencode_under_answer_us = snap
+            .span("core.interval.reencode", Some("core.answer.query"))
+            .map(|s| s.total_us)
+            .unwrap_or(0);
+        let sat_answers = answers
+            .saturating_sub(union_under_answer.0)
+            .saturating_sub(range_under_answer.0);
         let sat_answer_us = snap
             .span_total_us("core.answer.query")
             .saturating_sub(union_under_answer.1)
-            .saturating_sub(refo_under_answer_us);
+            .saturating_sub(range_under_answer.1)
+            .saturating_sub(refo_under_answer_us)
+            .saturating_sub(reencode_under_answer_us);
         let eval_saturated = if sat_answers > 0 {
             us_to_s(sat_answer_us as f64 / sat_answers as f64)
         } else {
@@ -194,6 +221,10 @@ impl ObservedCosts {
             eval_saturated_runs: sat_answers,
             eval_reformulated,
             eval_reformulated_runs,
+            eval_interval,
+            eval_interval_runs,
+            interval_reencode,
+            interval_reencodes,
         }
     }
 
@@ -201,6 +232,12 @@ impl ObservedCosts {
     /// threshold/advisor arithmetic has real numbers on both sides.
     pub fn covers_both_paths(&self) -> bool {
         self.eval_saturated_runs > 0 && self.eval_reformulated_runs > 0
+    }
+
+    /// Whether the snapshot also observed the interval path, i.e. the
+    /// three-way threshold/advice terms have real numbers.
+    pub fn covers_interval(&self) -> bool {
+        self.eval_interval_runs > 0
     }
 }
 

@@ -54,13 +54,15 @@ pub mod snapshot;
 mod store;
 pub mod threshold;
 
-pub use advisor::{advise_from_snapshot, advise_observed};
+pub use advisor::{advise_from_snapshot, advise_observed, advise_three_way, ThreeWayAdvice};
 pub use backward::evaluate_backward;
 pub use cost::ObservedCosts;
 pub use durable::{DurableError, DurableStore, ScriptOp, ScriptOutcome};
 pub use snapshot::{StoreReader, StoreSnapshot};
 pub use store::{AnswerError, ReasoningConfig, Store, StoreDelta, StoreStats};
-pub use threshold::{observed_thresholds, ObservedThresholds};
+pub use threshold::{
+    interval_thresholds, observed_thresholds, IntervalThresholds, ObservedThresholds,
+};
 
 // Re-export the pieces callers compose with.
 pub use durability::{DurabilityError, FsyncPolicy};

@@ -26,12 +26,12 @@ use crate::backward::evaluate_backward;
 use crate::store::{AnswerError, ReasoningConfig};
 use datalog::rdf::saturate_via_datalog;
 use obs::CancelToken;
-use rdf_model::{Dictionary, Graph, Vocab};
+use rdf_model::{Dictionary, Graph, IntervalDict, Vocab};
 use rdfs::Schema;
-use reformulation::reformulate;
+use reformulation::{reformulate, reformulate_intervals};
 use sparql::{
-    evaluate, evaluate_union, parse_query, try_evaluate_union_cancel, EvalStats, Query, Solutions,
-    UnionEvalError,
+    evaluate, evaluate_union, parse_query, try_evaluate_interval_cancel, try_evaluate_union_cancel,
+    EvalStats, IntervalQuery, Query, Solutions, UnionEvalError,
 };
 use std::num::NonZeroUsize;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -54,6 +54,18 @@ pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(|e| e.into_inner())
 }
 
+/// Maps a parallel-evaluator error onto the answer error surface,
+/// counting cancellations.
+fn map_union(reg: &obs::Registry, e: UnionEvalError) -> AnswerError {
+    match e {
+        UnionEvalError::Worker(w) => AnswerError::Worker(w),
+        UnionEvalError::Cancelled => {
+            reg.add("core.answer.cancelled", 1);
+            AnswerError::Cancelled
+        }
+    }
+}
+
 /// Which path the adaptive strategy learned for a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum AdaptiveChoice {
@@ -70,6 +82,28 @@ pub(crate) type SchemaCell = Arc<OnceLock<Schema>>;
 /// Valid for one schema version; swapped with [`SchemaCell`].
 pub(crate) type RefoCache = Arc<Mutex<rustc_hash::FxHashMap<String, Query>>>;
 
+/// The LiteMat interval dictionary of the current schema version, built
+/// lazily behind the first interval-strategy answer (the build *is* the
+/// interval strategy's schema-update cost — spanned as
+/// `core.interval.reencode`). Swapped with [`SchemaCell`].
+pub(crate) type IntervalCell = Arc<OnceLock<Arc<IntervalDict>>>;
+
+/// Per-query interval-rewrite cache; valid for one schema version,
+/// swapped with [`SchemaCell`].
+pub(crate) type IqCache = Arc<Mutex<rustc_hash::FxHashMap<String, Arc<IntervalQuery>>>>;
+
+/// How a schema-based (non-materialising) snapshot answers queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SchemaMode {
+    /// Per-atom backward chaining during join evaluation.
+    Backward,
+    /// Union reformulation: `q_ref(G)` through the union-aware evaluator.
+    Reformulate,
+    /// LiteMat interval rewriting: range-scan atoms over the interval
+    /// dictionary instead of hierarchy unions.
+    Interval,
+}
+
 /// Learned per-query winners of the adaptive strategy. Survives instance
 /// updates, swapped on schema updates (costs may have shifted).
 pub(crate) type Winners = Arc<Mutex<rustc_hash::FxHashMap<String, AdaptiveChoice>>>;
@@ -85,24 +119,34 @@ pub(crate) enum SnapState {
     Plain { graph: Graph },
     /// Maintained saturation: answer with `q(G∞)`.
     Saturated { saturated: Graph },
-    /// Reformulation / backward chaining over the explicit graph.
+    /// Reformulation / interval rewriting / backward chaining over the
+    /// explicit graph. All three share the schema closure; the per-query
+    /// compile caches ride along so any mode is also servable as a
+    /// per-query override (see [`StoreSnapshot::answer_with_strategy`]).
     Schema {
         graph: Graph,
-        backward: bool,
+        mode: SchemaMode,
         schema: SchemaCell,
         refo_cache: RefoCache,
+        interval: IntervalCell,
+        iq_cache: IqCache,
     },
     /// Datalog: explicit graph + per-epoch lazily materialised saturation.
     Datalog {
         graph: Graph,
         saturated: OnceLock<Graph>,
     },
-    /// Adaptive hybrid: both graphs + shared learned winners.
+    /// Adaptive hybrid: both graphs + shared learned winners. Carries the
+    /// reformulation and interval caches too, so every strategy is
+    /// servable per query against one snapshot.
     Adaptive {
         base: Graph,
         saturated: Graph,
         schema: SchemaCell,
         winners: Winners,
+        refo_cache: RefoCache,
+        interval: IntervalCell,
+        iq_cache: IqCache,
     },
 }
 
@@ -170,27 +214,28 @@ impl StoreSnapshot {
         match &self.state {
             SnapState::Plain { graph } => Some(graph),
             SnapState::Saturated { saturated } => Some(saturated),
-            SnapState::Schema {
-                graph,
-                backward: false,
-                ..
-            } => Some(graph),
+            SnapState::Schema { graph, mode, .. } if *mode != SchemaMode::Backward => Some(graph),
             _ => None,
         }
     }
 
-    /// For the reformulation strategy: compiles `q` into its reformulated
-    /// union `q_ref` against this snapshot's schema version, through the
-    /// same per-version cache the answer path uses. `Ok(None)` when this
-    /// snapshot's strategy does not answer by reformulation.
+    /// For the reformulation and interval strategies: compiles `q` into
+    /// its reformulated union `q_ref` against this snapshot's schema
+    /// version, through the same per-version cache the answer path uses.
+    /// (Interval-mode snapshots serve the *union* form here: the
+    /// subscription layer's incremental dataflow is compiled from union
+    /// branches, and both rewritings produce identical answers.)
+    /// `Ok(None)` when this snapshot's strategy does not answer over the
+    /// explicit graph with a rewriting.
     pub fn reformulated(&self, q: &Query) -> Result<Option<Query>, AnswerError> {
         match &self.state {
             SnapState::Schema {
                 graph,
-                backward: false,
+                mode,
                 schema,
                 refo_cache,
-            } => {
+                ..
+            } if *mode != SchemaMode::Backward => {
                 let schema = schema.get_or_init(|| Schema::extract(graph, &self.vocab));
                 let key = query_key(q);
                 let mut cache = lock(refo_cache);
@@ -245,6 +290,96 @@ impl StoreSnapshot {
         q: &Query,
         cancel: &CancelToken,
     ) -> Result<(Solutions, Option<EvalStats>), AnswerError> {
+        self.answer_with_strategy(q, None, cancel)
+    }
+
+    /// The union-reformulation answer path: compile (or hit the cache),
+    /// then the union-aware evaluator — shared-prefix trie + scan cache,
+    /// parallel across the threads knob. A worker panic surfaces as
+    /// `AnswerError::Worker`, a tripped token as `AnswerError::Cancelled`;
+    /// the snapshot itself stays consistent either way.
+    #[allow(clippy::too_many_arguments)]
+    fn union_path(
+        &self,
+        graph: &Graph,
+        schema: &Schema,
+        refo_cache: &RefoCache,
+        q: &Query,
+        cancel: &CancelToken,
+        reg: &obs::Registry,
+    ) -> Result<(Solutions, EvalStats), AnswerError> {
+        let key = query_key(q);
+        let q_ref = {
+            let mut cache = lock(refo_cache);
+            match cache.get(&key) {
+                Some(cached) => cached.clone(),
+                None => {
+                    // Spanned separately so observed-cost analysis can
+                    // keep rewrite time out of evaluation time.
+                    let _refo = reg.span("core.answer.reformulate");
+                    let r = reformulate(q, schema, &self.vocab)?;
+                    cache.insert(key, r.query.clone());
+                    r.query
+                }
+            }
+        };
+        try_evaluate_union_cancel(graph, &q_ref, self.threads, cancel)
+            .map_err(|e| map_union(reg, e))
+    }
+
+    /// The interval answer path: build the interval dictionary once per
+    /// schema version (spanned `core.interval.reencode` — the interval
+    /// strategy's schema-update cost), rewrite through the per-version
+    /// cache, evaluate with the range-scan evaluator.
+    #[allow(clippy::too_many_arguments)]
+    fn interval_path(
+        &self,
+        graph: &Graph,
+        schema: &Schema,
+        interval: &IntervalCell,
+        iq_cache: &IqCache,
+        q: &Query,
+        cancel: &CancelToken,
+        reg: &obs::Registry,
+    ) -> Result<(Solutions, EvalStats), AnswerError> {
+        let idict = interval
+            .get_or_init(|| {
+                let _span = reg.span("core.interval.reencode");
+                reg.add("core.interval.reencodes", 1);
+                Arc::new(schema.interval_dict())
+            })
+            .clone();
+        let key = query_key(q);
+        let iq = {
+            let mut cache = lock(iq_cache);
+            match cache.get(&key) {
+                Some(cached) => cached.clone(),
+                None => {
+                    let _refo = reg.span("core.answer.reformulate");
+                    let iq = Arc::new(reformulate_intervals(q, schema, &self.vocab, idict)?);
+                    cache.insert(key, iq.clone());
+                    iq
+                }
+            }
+        };
+        try_evaluate_interval_cancel(graph, &iq, self.threads, cancel)
+            .map_err(|e| map_union(reg, e))
+    }
+
+    /// [`answer_cancel`](StoreSnapshot::answer_cancel) with an optional
+    /// per-query strategy override: `"saturation"`, `"reformulation"`,
+    /// `"interval"` or `"backward-chaining"` (the server's `X-Strategy`
+    /// header lands here). The override is honoured when this snapshot's
+    /// state holds the graphs that path needs — any schema-based snapshot
+    /// serves the three rewriting paths, adaptive snapshots additionally
+    /// serve `saturation` — and rejected with
+    /// [`AnswerError::StrategyUnsupported`] otherwise.
+    pub fn answer_with_strategy(
+        &self,
+        q: &Query,
+        strategy: Option<&str>,
+        cancel: &CancelToken,
+    ) -> Result<(Solutions, Option<EvalStats>), AnswerError> {
         let reg = obs::global();
         let _span = reg.span("core.answer.query");
         reg.add("core.answer.queries", 1);
@@ -252,65 +387,111 @@ impl StoreSnapshot {
             reg.add("core.answer.cancelled", 1);
             return Err(AnswerError::Cancelled);
         }
-        let map_union = |e: UnionEvalError| match e {
-            UnionEvalError::Worker(w) => AnswerError::Worker(w),
-            UnionEvalError::Cancelled => {
-                reg.add("core.answer.cancelled", 1);
-                AnswerError::Cancelled
-            }
+        let unsupported = |s: &str| {
+            AnswerError::StrategyUnsupported(format!(
+                "strategy '{s}' is not servable under the '{}' configuration",
+                self.config.name()
+            ))
         };
-        let threads = self.threads;
         let mut eval_stats: Option<EvalStats> = None;
-        let sols = match &self.state {
-            SnapState::Plain { graph } => evaluate(graph, q),
-            SnapState::Saturated { saturated } => evaluate(saturated, q),
-            SnapState::Schema {
-                graph,
-                backward,
-                schema,
-                refo_cache,
-            } => {
+        let sols = match (&self.state, strategy) {
+            (_, Some(s))
+                if !matches!(
+                    s,
+                    "saturation" | "reformulation" | "interval" | "backward-chaining"
+                ) =>
+            {
+                return Err(AnswerError::StrategyUnsupported(format!(
+                    "unknown strategy '{s}' (expected saturation, reformulation, \
+                     interval or backward-chaining)"
+                )))
+            }
+            (SnapState::Plain { graph }, None) => evaluate(graph, q),
+            (SnapState::Saturated { saturated }, None | Some("saturation")) => {
+                evaluate(saturated, q)
+            }
+            (
+                SnapState::Schema {
+                    graph,
+                    mode,
+                    schema,
+                    refo_cache,
+                    interval,
+                    iq_cache,
+                },
+                strategy,
+            ) => {
                 let schema = schema.get_or_init(|| Schema::extract(graph, &self.vocab));
-                if *backward {
-                    evaluate_backward(graph, schema, &self.vocab, q)
-                } else {
-                    let key = query_key(q);
-                    let q_ref = {
-                        let mut cache = lock(refo_cache);
-                        match cache.get(&key) {
-                            Some(cached) => cached.clone(),
-                            None => {
-                                // Spanned separately so observed-cost
-                                // analysis can keep rewrite time out of
-                                // evaluation time.
-                                let _refo = reg.span("core.answer.reformulate");
-                                let r = reformulate(q, schema, &self.vocab)?;
-                                cache.insert(key, r.query.clone());
-                                r.query
-                            }
-                        }
-                    };
-                    // The union-aware evaluator: shared-prefix trie +
-                    // scan cache, parallel across the threads knob. A
-                    // worker panic surfaces as `AnswerError::Worker`, a
-                    // tripped token as `AnswerError::Cancelled`; the
-                    // snapshot itself stays consistent either way.
-                    let (sols, stats) = try_evaluate_union_cancel(graph, &q_ref, threads, cancel)
-                        .map_err(map_union)?;
-                    eval_stats = Some(stats);
-                    sols
+                let mode = match strategy {
+                    None => *mode,
+                    Some("reformulation") => SchemaMode::Reformulate,
+                    Some("interval") => SchemaMode::Interval,
+                    Some("backward-chaining") => SchemaMode::Backward,
+                    Some(s) => return Err(unsupported(s)),
+                };
+                match mode {
+                    SchemaMode::Backward => evaluate_backward(graph, schema, &self.vocab, q),
+                    SchemaMode::Reformulate => {
+                        let (sols, stats) =
+                            self.union_path(graph, schema, refo_cache, q, cancel, reg)?;
+                        eval_stats = Some(stats);
+                        sols
+                    }
+                    SchemaMode::Interval => {
+                        let (sols, stats) =
+                            self.interval_path(graph, schema, interval, iq_cache, q, cancel, reg)?;
+                        eval_stats = Some(stats);
+                        sols
+                    }
                 }
             }
-            SnapState::Datalog { graph, saturated } => {
+            (SnapState::Datalog { graph, saturated }, None | Some("saturation")) => {
                 let sat = saturated.get_or_init(|| saturate_via_datalog(graph, &self.vocab).0);
                 evaluate(sat, q)
             }
-            SnapState::Adaptive {
-                base,
-                saturated,
-                schema,
-                winners,
-            } => {
+            (
+                SnapState::Adaptive {
+                    base,
+                    saturated,
+                    schema,
+                    refo_cache,
+                    interval,
+                    iq_cache,
+                    ..
+                },
+                Some(s),
+            ) => match s {
+                "saturation" => evaluate(saturated, q),
+                _ => {
+                    let schema = schema.get_or_init(|| Schema::extract(base, &self.vocab));
+                    match s {
+                        "reformulation" => {
+                            let (sols, stats) =
+                                self.union_path(base, schema, refo_cache, q, cancel, reg)?;
+                            eval_stats = Some(stats);
+                            sols
+                        }
+                        "interval" => {
+                            let (sols, stats) = self
+                                .interval_path(base, schema, interval, iq_cache, q, cancel, reg)?;
+                            eval_stats = Some(stats);
+                            sols
+                        }
+                        _ => evaluate_backward(base, schema, &self.vocab, q),
+                    }
+                }
+            },
+            (_, Some(s)) => return Err(unsupported(s)),
+            (
+                SnapState::Adaptive {
+                    base,
+                    saturated,
+                    schema,
+                    winners,
+                    ..
+                },
+                None,
+            ) => {
                 let key = query_key(q);
                 let schema = schema.get_or_init(|| Schema::extract(base, &self.vocab));
                 let choice = lock(winners).get(&key).copied();
@@ -322,8 +503,8 @@ impl StoreSnapshot {
                             reformulate(q, schema, &self.vocab)?
                         };
                         let (sols, stats) =
-                            try_evaluate_union_cancel(base, &r.query, threads, cancel)
-                                .map_err(map_union)?;
+                            try_evaluate_union_cancel(base, &r.query, self.threads, cancel)
+                                .map_err(|e| map_union(reg, e))?;
                         eval_stats = Some(stats);
                         sols
                     }
@@ -348,7 +529,7 @@ impl StoreSnapshot {
                                     let start = std::time::Instant::now();
                                     // Measure the path the strategy would
                                     // actually take: the union-aware one.
-                                    let _ = evaluate_union(base, &r.query, threads);
+                                    let _ = evaluate_union(base, &r.query, self.threads);
                                     let ref_time = start.elapsed();
                                     lock(winners).insert(
                                         key,
@@ -464,9 +645,21 @@ impl StoreReader {
         sparql: &str,
         cancel: &CancelToken,
     ) -> Result<(Solutions, Option<EvalStats>, u64), AnswerError> {
+        self.answer_sparql_strategy_cancel(sparql, None, cancel)
+    }
+
+    /// [`answer_sparql_cancel`](StoreReader::answer_sparql_cancel) with an
+    /// optional per-query strategy override (see
+    /// [`StoreSnapshot::answer_with_strategy`]).
+    pub fn answer_sparql_strategy_cancel(
+        &self,
+        sparql: &str,
+        strategy: Option<&str>,
+        cancel: &CancelToken,
+    ) -> Result<(Solutions, Option<EvalStats>, u64), AnswerError> {
         let snap = self.snapshot();
         let q = self.prepare(sparql)?;
-        let (sols, stats) = snap.answer_cancel(&q, cancel)?;
+        let (sols, stats) = snap.answer_with_strategy(&q, strategy, cancel)?;
         Ok((sols, stats, snap.epoch()))
     }
 }

@@ -6,8 +6,8 @@
 //! updates and incremental maintenance. See [`crate::snapshot`].
 
 use crate::snapshot::{
-    lock, read_lock, write_lock, RefoCache, SchemaCell, SnapState, SnapshotCell, StoreReader,
-    StoreSnapshot, Winners,
+    lock, read_lock, write_lock, IntervalCell, IqCache, RefoCache, SchemaCell, SchemaMode,
+    SnapState, SnapshotCell, StoreReader, StoreSnapshot, Winners,
 };
 use rdf_io::ParseError;
 use rdf_model::{Dictionary, Graph, Term, Triple, Vocab, WorkerPanicked};
@@ -31,6 +31,11 @@ pub enum ReasoningConfig {
     SaturationPlus,
     /// Rewrite queries; answer with `q_ref(G)`.
     Reformulation,
+    /// LiteMat-style interval rewriting: a hierarchy-interval dictionary
+    /// turns "`C` or any subclass" into one range scan instead of a union
+    /// branch per subclass. Answers equal `q_ref(G)` = `q(G∞)`; the
+    /// schema-update cost is re-encoding the interval dictionary.
+    Interval,
     /// Adaptive hybrid (the paper's §II-D open issue of "automatizing …
     /// the choice between these two techniques"): maintains a saturation
     /// *and* reformulates; the first execution of each distinct query
@@ -47,13 +52,14 @@ pub enum ReasoningConfig {
 
 impl ReasoningConfig {
     /// Every configuration, for sweeps and equivalence tests.
-    pub const ALL: [ReasoningConfig; 9] = [
+    pub const ALL: [ReasoningConfig; 10] = [
         ReasoningConfig::None,
         ReasoningConfig::Saturation(MaintenanceAlgorithm::Recompute),
         ReasoningConfig::Saturation(MaintenanceAlgorithm::DRed),
         ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting),
         ReasoningConfig::SaturationPlus,
         ReasoningConfig::Reformulation,
+        ReasoningConfig::Interval,
         ReasoningConfig::Adaptive,
         ReasoningConfig::BackwardChaining,
         ReasoningConfig::Datalog,
@@ -73,6 +79,7 @@ impl ReasoningConfig {
             ReasoningConfig::Saturation(a) => format!("saturation({})", a.name()),
             ReasoningConfig::SaturationPlus => "saturation-plus".into(),
             ReasoningConfig::Reformulation => "reformulation".into(),
+            ReasoningConfig::Interval => "interval".into(),
             ReasoningConfig::Adaptive => "adaptive".into(),
             ReasoningConfig::BackwardChaining => "backward-chaining".into(),
             ReasoningConfig::Datalog => "datalog".into(),
@@ -100,6 +107,10 @@ pub enum AnswerError {
     /// are exactly as if the query had never run (plus cancellation
     /// counters). The server maps this to HTTP 504.
     Cancelled,
+    /// A per-query strategy override asked for a path this snapshot's
+    /// configuration cannot serve (e.g. `saturation` on a pure
+    /// reformulation store). The server maps this to HTTP 400.
+    StrategyUnsupported(String),
 }
 
 impl fmt::Display for AnswerError {
@@ -110,6 +121,7 @@ impl fmt::Display for AnswerError {
             AnswerError::Reformulation(e) => write!(f, "{e}"),
             AnswerError::Worker(e) => write!(f, "{e}"),
             AnswerError::Cancelled => f.write_str("query cancelled (deadline expired)"),
+            AnswerError::StrategyUnsupported(msg) => f.write_str(msg),
         }
     }
 }
@@ -186,10 +198,11 @@ impl StoreDelta {
 enum State {
     Plain(Graph),
     Saturation(Box<dyn Maintainer + Send>),
-    /// Reformulation / backward chaining over the explicit graph.
+    /// Reformulation / interval rewriting / backward chaining over the
+    /// explicit graph.
     SchemaBased {
         graph: Graph,
-        backward: bool,
+        mode: SchemaMode,
     },
     /// Datalog: the saturation is materialised lazily per epoch,
     /// snapshot-side.
@@ -228,6 +241,14 @@ pub struct Store {
     /// Reformulation cache for the current schema version (swapped with
     /// [`Store::schema_cell`]).
     refo_cache: RefoCache,
+    /// Interval dictionary of the current schema version, built lazily by
+    /// the first interval-path answer; swapping it on schema change *is*
+    /// the interval strategy's maintenance step (the next answer pays the
+    /// re-encode, spanned `core.interval.reencode`).
+    interval_cell: IntervalCell,
+    /// Per-query interval-rewrite cache (swapped with
+    /// [`Store::interval_cell`]).
+    iq_cache: IqCache,
     /// Adaptive per-query winners (swapped on schema changes — costs may
     /// have shifted; surviving instance updates, as learned).
     winners: Winners,
@@ -308,6 +329,8 @@ impl Store {
             epoch: 1,
             schema_cell: Arc::new(OnceLock::new()),
             refo_cache: Arc::default(),
+            interval_cell: Arc::new(OnceLock::new()),
+            iq_cache: Arc::default(),
             winners: Arc::default(),
             cell: Arc::new(SnapshotCell::new(placeholder)),
             last_eval_stats: Mutex::new(None),
@@ -334,11 +357,15 @@ impl Store {
             }
             ReasoningConfig::Reformulation => State::SchemaBased {
                 graph,
-                backward: false,
+                mode: SchemaMode::Reformulate,
+            },
+            ReasoningConfig::Interval => State::SchemaBased {
+                graph,
+                mode: SchemaMode::Interval,
             },
             ReasoningConfig::BackwardChaining => State::SchemaBased {
                 graph,
-                backward: true,
+                mode: SchemaMode::Backward,
             },
             ReasoningConfig::Datalog => State::Datalog { graph },
             ReasoningConfig::Adaptive => State::Adaptive {
@@ -355,6 +382,8 @@ impl Store {
         if schema_changed {
             self.schema_cell = Arc::new(OnceLock::new());
             self.refo_cache = Arc::default();
+            self.interval_cell = Arc::new(OnceLock::new());
+            self.iq_cache = Arc::default();
             self.winners = Arc::default();
             if self.delta_tracking {
                 self.delta_schema_changed = true;
@@ -370,11 +399,13 @@ impl Store {
             State::Saturation(m) => SnapState::Saturated {
                 saturated: m.saturated().clone(),
             },
-            State::SchemaBased { graph, backward } => SnapState::Schema {
+            State::SchemaBased { graph, mode } => SnapState::Schema {
                 graph: graph.clone(),
-                backward: *backward,
+                mode: *mode,
                 schema: self.schema_cell.clone(),
                 refo_cache: self.refo_cache.clone(),
+                interval: self.interval_cell.clone(),
+                iq_cache: self.iq_cache.clone(),
             },
             State::Datalog { graph } => SnapState::Datalog {
                 graph: graph.clone(),
@@ -385,6 +416,9 @@ impl Store {
                 saturated: maintainer.saturated().clone(),
                 schema: self.schema_cell.clone(),
                 winners: self.winners.clone(),
+                refo_cache: self.refo_cache.clone(),
+                interval: self.interval_cell.clone(),
+                iq_cache: self.iq_cache.clone(),
             },
         };
         StoreSnapshot {
@@ -1115,6 +1149,60 @@ mod tests {
         s.set_config(ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting));
         s.answer_sparql(ANIMALS).unwrap();
         assert!(s.last_eval_stats().is_none());
+    }
+
+    #[test]
+    fn interval_strategy_collapses_branches_into_range_scans() {
+        let s = store_with(ReasoningConfig::Interval);
+        let sols = s.answer_sparql(ANIMALS).unwrap();
+        assert_eq!(sols.len(), 2, "Tom + Goldie, same as every strategy");
+        let stats = s.last_eval_stats().expect("interval path records stats");
+        assert!(stats.range_scans >= 1, "{stats:?}");
+        assert!(
+            stats.branches_collapsed >= 1,
+            "Animal ∪ Mammal ∪ Cat should collapse: {stats:?}"
+        );
+        // Out-of-dialect queries are rejected like reformulation.
+        assert!(matches!(
+            s.answer_sparql("SELECT ?p WHERE { <http://ex/Tom> ?p <http://ex/Cat> }"),
+            Err(AnswerError::Reformulation(_))
+        ));
+    }
+
+    #[test]
+    fn per_query_strategy_overrides() {
+        let none = obs::CancelToken::none();
+        let s = store_with(ReasoningConfig::Interval);
+        let reader = s.reader();
+        for strat in ["interval", "reformulation", "backward-chaining"] {
+            let (sols, _, _) = reader
+                .answer_sparql_strategy_cancel(MAMMALS, Some(strat), &none)
+                .unwrap();
+            assert_eq!(sols.len(), 1, "{strat}");
+        }
+        // No materialised G∞ on a schema-based store.
+        assert!(matches!(
+            reader.answer_sparql_strategy_cancel(MAMMALS, Some("saturation"), &none),
+            Err(AnswerError::StrategyUnsupported(_))
+        ));
+        assert!(matches!(
+            reader.answer_sparql_strategy_cancel(MAMMALS, Some("bogus"), &none),
+            Err(AnswerError::StrategyUnsupported(_))
+        ));
+        // An adaptive store holds both graphs: all four paths servable.
+        let s = store_with(ReasoningConfig::Adaptive);
+        let reader = s.reader();
+        for strat in [
+            "saturation",
+            "reformulation",
+            "interval",
+            "backward-chaining",
+        ] {
+            let (sols, _, _) = reader
+                .answer_sparql_strategy_cancel(ANIMALS, Some(strat), &none)
+                .unwrap();
+            assert_eq!(sols.len(), 2, "{strat}");
+        }
     }
 
     #[test]

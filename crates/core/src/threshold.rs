@@ -164,6 +164,46 @@ pub fn observed_thresholds(costs: &ObservedCosts) -> Option<ObservedThresholds> 
     })
 }
 
+/// Interval-encoding threshold terms: the Fig. 3 arithmetic asked with
+/// the LiteMat interval strategy in the mix. Its fixed cost is not a
+/// saturation but the *re-encode* of the interval dictionary after a
+/// schema change (instance updates cost it nothing).
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct IntervalThresholds {
+    /// Runs of the interval evaluator needed for its per-run speedup over
+    /// the union evaluator to pay back one schema re-encode. `Never` when
+    /// the union evaluator is at least as fast per run.
+    pub reencode_vs_reformulation: Threshold,
+    /// Runs needed for a from-scratch saturation to pay off against
+    /// answering with interval rewriting instead. `Never` when interval
+    /// evaluation is at least as fast as `q(G∞)` — then materialising
+    /// never amortises at all.
+    pub saturation_vs_interval: Threshold,
+}
+
+/// Computes the interval-strategy thresholds from observed per-operation
+/// means (see [`ObservedCosts::covers_interval`]). Returns `None` when the
+/// snapshot never ran the interval evaluator; the `saturation_vs_interval`
+/// term is [`Threshold::Never`] when no saturation cost was observed.
+pub fn interval_thresholds(costs: &ObservedCosts) -> Option<IntervalThresholds> {
+    if !costs.covers_interval() || costs.eval_reformulated_runs == 0 {
+        return None;
+    }
+    let saturation_vs_interval = if costs.saturation_runs > 0 {
+        Threshold::compute(costs.saturation, costs.eval_saturated, costs.eval_interval)
+    } else {
+        Threshold::Never
+    };
+    Some(IntervalThresholds {
+        reencode_vs_reformulation: Threshold::compute(
+            costs.interval_reencode,
+            costs.eval_interval,
+            costs.eval_reformulated,
+        ),
+        saturation_vs_interval,
+    })
+}
+
 /// The spread of finite thresholds across queries and update kinds, in
 /// orders of magnitude — the paper's headline observation is a spread of
 /// "up to 7 orders of magnitude" on one database.
@@ -302,6 +342,7 @@ mod tests {
             eval_saturated_runs: 5,
             eval_reformulated: 0.003,
             eval_reformulated_runs: 5,
+            ..ObservedCosts::default()
         };
         // gain = 0.003 − 0.001 = 0.002 s per run; n = ⌈fixed / gain⌉.
         let t = observed_thresholds(&costs).expect("both paths observed");
@@ -343,6 +384,51 @@ mod tests {
         };
         let t = observed_thresholds(&ref_wins).unwrap();
         assert!(t.series().iter().all(|(_, th)| *th == Threshold::Never));
+    }
+
+    #[test]
+    fn interval_thresholds_pin_the_reencode_payback() {
+        let costs = ObservedCosts {
+            saturation: 2.0,
+            saturation_runs: 1,
+            eval_saturated: 0.001,
+            eval_saturated_runs: 5,
+            eval_reformulated: 0.004,
+            eval_reformulated_runs: 5,
+            eval_interval: 0.002,
+            eval_interval_runs: 5,
+            interval_reencode: 0.01,
+            interval_reencodes: 1,
+            ..ObservedCosts::default()
+        };
+        let t = interval_thresholds(&costs).expect("interval path observed");
+        // Re-encode 0.01 s pays back at 2 ms/run over the union evaluator.
+        assert_eq!(t.reencode_vs_reformulation, Threshold::Amortizes(5));
+        // Saturation (2 s) against a 1 ms/run gain over interval eval.
+        assert_eq!(t.saturation_vs_interval, Threshold::Amortizes(2000));
+
+        // Interval faster than union but never observed → no terms.
+        assert!(interval_thresholds(&ObservedCosts {
+            eval_interval_runs: 0,
+            ..costs
+        })
+        .is_none());
+        // Union faster per run → the re-encode never pays back.
+        let union_wins = ObservedCosts {
+            eval_interval: 0.005,
+            ..costs
+        };
+        let t = interval_thresholds(&union_wins).unwrap();
+        assert_eq!(t.reencode_vs_reformulation, Threshold::Never);
+        // No saturation observed → that side stays Never.
+        let no_sat = ObservedCosts {
+            saturation_runs: 0,
+            ..costs
+        };
+        assert_eq!(
+            interval_thresholds(&no_sat).unwrap().saturation_vs_interval,
+            Threshold::Never
+        );
     }
 
     #[test]

@@ -643,7 +643,11 @@ fn compile_for(snap: &StoreSnapshot, q: &Query) -> Result<(Mode, DeltaProgram), 
     let (mode, effective) = match snap.config() {
         ReasoningConfig::None => (Mode::Direct, None),
         ReasoningConfig::Saturation(_) => (Mode::Saturated, None),
-        ReasoningConfig::Reformulation => {
+        // Interval stores stream like reformulation ones: the view's
+        // dataflow compiles from the union reformulation over the base
+        // graph (the interval encoding only accelerates the answer path),
+        // so a schema re-encode never touches a live view.
+        ReasoningConfig::Reformulation | ReasoningConfig::Interval => {
             let q_ref = snap
                 .reformulated(q)
                 .map_err(SubscribeError::Query)?

@@ -1,0 +1,569 @@
+//! LiteMat-style hierarchy-interval encoding.
+//!
+//! Reformulation expands "`C` or any subclass" into one union branch per
+//! subclass. LiteMat (Curé et al.) instead renumbers the hierarchy so that
+//! every subtree occupies a *contiguous interval* of ids: the same
+//! semantic test becomes a single range containment check, and a probe
+//! over the whole subtree becomes one range scan.
+//!
+//! [`IntervalDict`] implements that renumbering as a **sidecar** to the
+//! ordinary [`crate::Dictionary`]: term ids stay append-only (snapshot
+//! invariant), and the interval pass assigns each hierarchy term a
+//! separate dense *interval id* (`iid`). The encoding is rebuilt from
+//! scratch on schema change — rebuilding is the "schema update" cost of
+//! the interval strategy, the analogue of re-saturation.
+//!
+//! The labelling tolerates the full RDFS schema shape:
+//!
+//! * **Cycles** (`C1 ⊑ C2 ⊑ C1`) are condensed into one strongly
+//!   connected component whose members get consecutive iids and share one
+//!   coverage set (the classes are equivalent).
+//! * **Multi-parent DAG nodes** get a deterministic *primary* parent; the
+//!   pre-order numbering follows the primary forest, so pure-tree
+//!   subtrees stay contiguous, and a node reached through a secondary
+//!   edge contributes extra runs to its ancestors' [`IntervalSet`]s (the
+//!   "small interval sets" fallback — counted by
+//!   [`IntervalDict::fallback_terms`]).
+
+use crate::TermId;
+use rustc_hash::FxHashMap;
+use smallvec::SmallVec;
+
+/// A set of interval ids stored as sorted, disjoint, maximal half-open
+/// runs `[lo, hi)`. Pure-tree subtrees compress to a single run; DAG
+/// fallback nodes carry a few.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct IntervalSet {
+    runs: SmallVec<[(u32, u32); 2]>,
+}
+
+impl IntervalSet {
+    /// Builds a set from an arbitrary list of ids (sorted, deduplicated
+    /// and compressed into maximal runs).
+    pub fn from_ids(mut ids: Vec<u32>) -> IntervalSet {
+        ids.sort_unstable();
+        ids.dedup();
+        let mut runs: SmallVec<[(u32, u32); 2]> = SmallVec::new();
+        for id in ids {
+            match runs.last_mut() {
+                Some((_, hi)) if *hi == id => *hi = id + 1,
+                _ => runs.push((id, id + 1)),
+            }
+        }
+        IntervalSet { runs }
+    }
+
+    /// Merges several sets into one (sorted disjoint maximal runs).
+    pub fn union_of<'a>(sets: impl IntoIterator<Item = &'a IntervalSet>) -> IntervalSet {
+        let mut runs: Vec<(u32, u32)> = sets
+            .into_iter()
+            .flat_map(|s| s.runs.iter().copied())
+            .collect();
+        runs.sort_unstable();
+        let mut merged: SmallVec<[(u32, u32); 2]> = SmallVec::new();
+        for (lo, hi) in runs {
+            match merged.last_mut() {
+                Some((_, mhi)) if *mhi >= lo => *mhi = (*mhi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        IntervalSet { runs: merged }
+    }
+
+    /// Whether `iid` falls inside one of the runs.
+    pub fn contains(&self, iid: u32) -> bool {
+        self.runs
+            .binary_search_by(|&(lo, hi)| {
+                if iid < lo {
+                    std::cmp::Ordering::Greater
+                } else if iid >= hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Total number of member ids.
+    pub fn len(&self) -> usize {
+        self.runs.iter().map(|&(lo, hi)| (hi - lo) as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// The compressed runs.
+    pub fn runs(&self) -> &[(u32, u32)] {
+        &self.runs
+    }
+
+    /// Iterates every member id in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.runs.iter().flat_map(|&(lo, hi)| lo..hi)
+    }
+}
+
+/// The hierarchy-interval sidecar dictionary: a dense renumbering of the
+/// schema's class and property terms such that subtree membership is an
+/// interval containment test.
+///
+/// Built by [`IntervalDict::build`] from the *direct* child → parent
+/// edges of the hierarchy (both `subClassOf` and `subPropertyOf` — the
+/// two component sets are disjoint, so one numbering serves both).
+#[derive(Debug, Clone, Default)]
+pub struct IntervalDict {
+    /// Term → interval id.
+    iid_of: FxHashMap<TermId, u32>,
+    /// Interval id → term (dense reverse array: the "range scan" walks
+    /// this slice).
+    term_of: Vec<TermId>,
+    /// Term → covered interval set ({term} ∪ all descendants). Members
+    /// of a cycle (equivalence SCC) share identical coverage.
+    coverage: FxHashMap<TermId, IntervalSet>,
+    /// Number of terms whose coverage needed more than one run (DAG
+    /// fallback).
+    fallback_terms: usize,
+}
+
+impl IntervalDict {
+    /// Builds the encoding from direct `(child, parent)` hierarchy edges
+    /// plus any standalone hierarchy terms without edges. Duplicate edges
+    /// and self-loops are tolerated; unknown terms in queries simply have
+    /// no coverage.
+    pub fn build(edges: &[(TermId, TermId)], extra: &[TermId]) -> IntervalDict {
+        // Collect and index the node set deterministically.
+        let mut terms: Vec<TermId> = edges
+            .iter()
+            .flat_map(|&(c, p)| [c, p])
+            .chain(extra.iter().copied())
+            .collect();
+        terms.sort_unstable();
+        terms.dedup();
+        let n = terms.len();
+        if n == 0 {
+            return IntervalDict::default();
+        }
+        let idx_of: FxHashMap<TermId, usize> =
+            terms.iter().enumerate().map(|(i, &t)| (t, i)).collect();
+
+        // Adjacency: child → parents (the direction of ⊑).
+        let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(c, p) in edges {
+            if c == p {
+                continue;
+            }
+            let (ci, pi) = (idx_of[&c], idx_of[&p]);
+            if !parents[ci].contains(&pi) {
+                parents[ci].push(pi);
+            }
+        }
+        for ps in &mut parents {
+            ps.sort_unstable();
+        }
+
+        // Kosaraju SCC condensation: cycles are equivalence classes.
+        let scc_of = sccs(&parents);
+        let n_scc = scc_of.iter().copied().max().map_or(0, |m| m + 1);
+        let mut scc_members: Vec<Vec<usize>> = vec![Vec::new(); n_scc];
+        for (i, &s) in scc_of.iter().enumerate() {
+            scc_members[s].push(i);
+        }
+        for m in &mut scc_members {
+            m.sort_unstable(); // terms[] is sorted, so this sorts by TermId
+        }
+
+        // Condensed edges (deduplicated), both directions.
+        let mut scc_parents: Vec<Vec<usize>> = vec![Vec::new(); n_scc];
+        let mut scc_children: Vec<Vec<usize>> = vec![Vec::new(); n_scc];
+        for (c, ps) in parents.iter().enumerate() {
+            for &p in ps {
+                let (cs, psc) = (scc_of[c], scc_of[p]);
+                if cs != psc && !scc_parents[cs].contains(&psc) {
+                    scc_parents[cs].push(psc);
+                    scc_children[psc].push(cs);
+                }
+            }
+        }
+        // Representative (smallest member index) orders SCCs deterministically.
+        let rep = |s: usize| scc_members[s][0];
+        for cs in &mut scc_children {
+            cs.sort_unstable_by_key(|&s| rep(s));
+        }
+
+        // Primary parent = parent SCC with the smallest representative;
+        // the primary edges form a forest the pre-order numbering follows.
+        let primary: Vec<Option<usize>> = scc_parents
+            .iter()
+            .map(|ps| ps.iter().copied().min_by_key(|&s| rep(s)))
+            .collect();
+        let mut primary_children: Vec<Vec<usize>> = vec![Vec::new(); n_scc];
+        for (s, &p) in primary.iter().enumerate() {
+            if let Some(p) = p {
+                primary_children[p].push(s);
+            }
+        }
+        for cs in &mut primary_children {
+            cs.sort_unstable_by_key(|&s| rep(s));
+        }
+        let mut roots: Vec<usize> = (0..n_scc).filter(|&s| primary[s].is_none()).collect();
+        roots.sort_unstable_by_key(|&s| rep(s));
+
+        // Pre-order DFS over the primary forest assigns consecutive iids
+        // to each SCC's members, so every primary subtree is contiguous.
+        let mut first_iid: Vec<u32> = vec![0; n_scc];
+        let mut term_of: Vec<TermId> = Vec::with_capacity(n);
+        let mut iid_of: FxHashMap<TermId, u32> = FxHashMap::default();
+        let mut stack: Vec<usize> = roots.iter().rev().copied().collect();
+        while let Some(s) = stack.pop() {
+            first_iid[s] = term_of.len() as u32;
+            for &m in &scc_members[s] {
+                iid_of.insert(terms[m], term_of.len() as u32);
+                term_of.push(terms[m]);
+            }
+            stack.extend(primary_children[s].iter().rev());
+        }
+
+        // Coverage: every SCC reachable through child edges (the full
+        // DAG, not just the primary forest) contributes its iid run.
+        let mut coverage: FxHashMap<TermId, IntervalSet> = FxHashMap::default();
+        let mut fallback_terms = 0usize;
+        let mut seen: Vec<u32> = vec![u32::MAX; n_scc];
+        for s in 0..n_scc {
+            let mut ids: Vec<u32> = Vec::new();
+            let mut dfs: Vec<usize> = vec![s];
+            while let Some(d) = dfs.pop() {
+                if seen[d] == s as u32 {
+                    continue;
+                }
+                seen[d] = s as u32;
+                let lo = first_iid[d];
+                ids.extend(lo..lo + scc_members[d].len() as u32);
+                dfs.extend(scc_children[d].iter().copied());
+            }
+            let set = IntervalSet::from_ids(ids);
+            if set.runs.len() > 1 {
+                fallback_terms += scc_members[s].len();
+            }
+            for &m in &scc_members[s] {
+                coverage.insert(terms[m], set.clone());
+            }
+        }
+
+        IntervalDict {
+            iid_of,
+            term_of,
+            coverage,
+            fallback_terms,
+        }
+    }
+
+    /// The interval id of a hierarchy term, if it was part of the schema.
+    pub fn interval_id(&self, t: TermId) -> Option<u32> {
+        self.iid_of.get(&t).copied()
+    }
+
+    /// The term at a given interval id (reverse lookup; dense).
+    pub fn term_at(&self, iid: u32) -> Option<TermId> {
+        self.term_of.get(iid as usize).copied()
+    }
+
+    /// The interval set covering `t` and all of its descendants, or
+    /// `None` when `t` is not a hierarchy term.
+    pub fn coverage(&self, t: TermId) -> Option<&IntervalSet> {
+        self.coverage.get(&t)
+    }
+
+    /// Whether `t` is a member of `set` (O(1) map lookup + O(log runs)
+    /// containment — the filter-scan probe).
+    pub fn contains(&self, set: &IntervalSet, t: TermId) -> bool {
+        self.iid_of.get(&t).is_some_and(|&iid| set.contains(iid))
+    }
+
+    /// Iterates the terms of `set` via the dense reverse array (the
+    /// member-enumeration probe: one contiguous walk per run).
+    pub fn members<'a>(&'a self, set: &'a IntervalSet) -> impl Iterator<Item = TermId> + 'a {
+        set.iter().filter_map(|iid| self.term_at(iid))
+    }
+
+    /// Number of encoded hierarchy terms.
+    pub fn len(&self) -> usize {
+        self.term_of.len()
+    }
+
+    /// Whether the dictionary encodes no terms.
+    pub fn is_empty(&self) -> bool {
+        self.term_of.is_empty()
+    }
+
+    /// How many terms needed a multi-run coverage set (multi-parent DAG
+    /// fallback). Zero for pure trees.
+    pub fn fallback_terms(&self) -> usize {
+        self.fallback_terms
+    }
+}
+
+/// Kosaraju's algorithm (iterative): returns the SCC id of every node.
+/// Ids are assigned in reverse-finish order, but callers only rely on the
+/// partition itself.
+fn sccs(adj: &[Vec<usize>]) -> Vec<usize> {
+    let n = adj.len();
+    let mut radj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (u, vs) in adj.iter().enumerate() {
+        for &v in vs {
+            radj[v].push(u);
+        }
+    }
+    // Pass 1: post-order finish times on the forward graph.
+    let mut finish: Vec<usize> = Vec::with_capacity(n);
+    let mut visited = vec![false; n];
+    for start in 0..n {
+        if visited[start] {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        visited[start] = true;
+        while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+            if *next < adj[u].len() {
+                let v = adj[u][*next];
+                *next += 1;
+                if !visited[v] {
+                    visited[v] = true;
+                    stack.push((v, 0));
+                }
+            } else {
+                finish.push(u);
+                stack.pop();
+            }
+        }
+    }
+    // Pass 2: DFS on the reverse graph in reverse finish order.
+    let mut scc = vec![usize::MAX; n];
+    let mut count = 0usize;
+    for &start in finish.iter().rev() {
+        if scc[start] != usize::MAX {
+            continue;
+        }
+        let mut stack = vec![start];
+        scc[start] = count;
+        while let Some(u) = stack.pop() {
+            for &v in &radj[u] {
+                if scc[v] == usize::MAX {
+                    scc[v] = count;
+                    stack.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    scc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rustc_hash::FxHashSet;
+
+    fn t(i: usize) -> TermId {
+        TermId::from_index(i)
+    }
+
+    /// child → parent edges of a small tree:
+    ///        0
+    ///      /   \
+    ///     1     2
+    ///    / \     \
+    ///   3   4     5
+    fn tree_edges() -> Vec<(TermId, TermId)> {
+        vec![
+            (t(1), t(0)),
+            (t(2), t(0)),
+            (t(3), t(1)),
+            (t(4), t(1)),
+            (t(5), t(2)),
+        ]
+    }
+
+    #[test]
+    fn tree_subtrees_are_single_contiguous_runs() {
+        let d = IntervalDict::build(&tree_edges(), &[]);
+        assert_eq!(d.len(), 6);
+        assert_eq!(d.fallback_terms(), 0);
+        for i in 0..6 {
+            let cov = d.coverage(t(i)).unwrap();
+            assert_eq!(cov.runs().len(), 1, "tree node {i} must be one run");
+        }
+        assert_eq!(d.coverage(t(0)).unwrap().len(), 6);
+        assert_eq!(d.coverage(t(1)).unwrap().len(), 3);
+        assert_eq!(d.coverage(t(2)).unwrap().len(), 2);
+        assert_eq!(d.coverage(t(3)).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn descendant_coverage_nests_and_siblings_are_disjoint() {
+        let d = IntervalDict::build(&tree_edges(), &[]);
+        let root = d.coverage(t(0)).unwrap();
+        for i in 1..6 {
+            for iid in d.coverage(t(i)).unwrap().iter() {
+                assert!(root.contains(iid), "descendant {i} ⊆ root interval");
+            }
+        }
+        let (a, b) = (d.coverage(t(1)).unwrap(), d.coverage(t(2)).unwrap());
+        assert!(a.iter().all(|iid| !b.contains(iid)), "siblings disjoint");
+    }
+
+    #[test]
+    fn multi_parent_fallback_keeps_every_descendant() {
+        // 3 has parents 1 and 2; 1 and 2 are under 0; 4 pads 1's subtree
+        // so 2's coverage cannot stay contiguous.
+        let edges = vec![
+            (t(1), t(0)),
+            (t(2), t(0)),
+            (t(3), t(1)),
+            (t(3), t(2)),
+            (t(4), t(1)),
+        ];
+        let d = IntervalDict::build(&edges, &[]);
+        assert!(d.contains(d.coverage(t(1)).unwrap(), t(3)));
+        assert!(d.contains(d.coverage(t(2)).unwrap(), t(3)));
+        assert!(d.contains(d.coverage(t(0)).unwrap(), t(3)));
+        // The secondary parent reaches 3 through a non-adjacent run.
+        assert!(d.fallback_terms() >= 1);
+        assert!(d.coverage(t(2)).unwrap().runs().len() > 1);
+    }
+
+    #[test]
+    fn cycles_condense_into_shared_coverage() {
+        // 1 ⊑ 2 ⊑ 1 (equivalent), both under 0, with 3 below the cycle.
+        let edges = vec![(t(1), t(2)), (t(2), t(1)), (t(1), t(0)), (t(3), t(2))];
+        let d = IntervalDict::build(&edges, &[]);
+        assert_eq!(d.coverage(t(1)), d.coverage(t(2)));
+        assert!(d.contains(d.coverage(t(1)).unwrap(), t(3)));
+        assert!(d.contains(d.coverage(t(0)).unwrap(), t(3)));
+        // The cycle members occupy consecutive iids.
+        let (a, b) = (d.interval_id(t(1)).unwrap(), d.interval_id(t(2)).unwrap());
+        assert_eq!(a.abs_diff(b), 1);
+    }
+
+    #[test]
+    fn standalone_terms_cover_only_themselves() {
+        let d = IntervalDict::build(&[], &[t(7), t(9)]);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.coverage(t(7)).unwrap().len(), 1);
+        assert!(d.contains(d.coverage(t(9)).unwrap(), t(9)));
+        assert!(!d.contains(d.coverage(t(9)).unwrap(), t(7)));
+        assert!(d.coverage(t(8)).is_none());
+    }
+
+    #[test]
+    fn empty_build_is_empty() {
+        let d = IntervalDict::build(&[], &[]);
+        assert!(d.is_empty());
+        assert_eq!(d.fallback_terms(), 0);
+    }
+
+    #[test]
+    fn interval_set_ops() {
+        let s = IntervalSet::from_ids(vec![5, 1, 2, 3, 1, 9]);
+        assert_eq!(s.runs(), &[(1, 4), (5, 6), (9, 10)]);
+        assert_eq!(s.len(), 5);
+        assert!(s.contains(3) && s.contains(5) && s.contains(9));
+        assert!(!s.contains(0) && !s.contains(4) && !s.contains(10));
+        let u = IntervalSet::union_of([&s, &IntervalSet::from_ids(vec![4, 10])]);
+        assert_eq!(u.runs(), &[(1, 6), (9, 11)]);
+        assert!(IntervalSet::default().is_empty());
+    }
+
+    /// Reachability by brute force over the raw edges, for comparison.
+    fn reach(edges: &[(TermId, TermId)], from: TermId) -> FxHashSet<TermId> {
+        let mut out: FxHashSet<TermId> = FxHashSet::default();
+        let mut stack = vec![from];
+        while let Some(u) = stack.pop() {
+            if out.insert(u) {
+                for &(c, p) in edges {
+                    if p == u {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn arb_edges() -> impl Strategy<Value = Vec<(usize, usize)>> {
+        proptest::collection::vec((0usize..12, 0usize..12), 0..24)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// On any digraph (cycles, multi-parent, self-loops), coverage
+        /// membership equals reachability over the edge relation.
+        #[test]
+        fn coverage_equals_reachability(raw in arb_edges(), extra in proptest::collection::vec(0usize..12, 0..4)) {
+            let edges: Vec<(TermId, TermId)> =
+                raw.iter().map(|&(c, p)| (t(c), t(p))).collect();
+            let extra: Vec<TermId> = extra.iter().map(|&i| t(i)).collect();
+            let d = IntervalDict::build(&edges, &extra);
+            let nodes: FxHashSet<TermId> =
+                edges.iter().flat_map(|&(c, p)| [c, p]).chain(extra.iter().copied()).collect();
+            prop_assert_eq!(d.len(), nodes.len());
+            for &nd in &nodes {
+                let cov = d.coverage(nd).unwrap();
+                let expect = reach(&edges, nd);
+                let got: FxHashSet<TermId> = d.members(cov).collect();
+                prop_assert_eq!(&got, &expect, "coverage({:?}) mismatch", nd);
+                // Containment agrees with enumeration.
+                for &o in &nodes {
+                    prop_assert_eq!(d.contains(cov, o), expect.contains(&o));
+                }
+            }
+        }
+
+        /// iids are a dense permutation and reverse lookups round-trip.
+        #[test]
+        fn iids_are_dense_and_round_trip(raw in arb_edges()) {
+            let edges: Vec<(TermId, TermId)> =
+                raw.iter().map(|&(c, p)| (t(c), t(p))).collect();
+            let d = IntervalDict::build(&edges, &[]);
+            let mut seen = vec![false; d.len()];
+            for iid in 0..d.len() as u32 {
+                let term = d.term_at(iid).unwrap();
+                prop_assert_eq!(d.interval_id(term), Some(iid));
+                prop_assert!(!std::mem::replace(&mut seen[iid as usize], true));
+            }
+        }
+
+        /// Re-encoding after a random schema delta (edge additions and
+        /// removals) still matches reachability — nothing is lost.
+        #[test]
+        fn reencode_after_delta_preserves_membership(
+            raw in arb_edges(),
+            add in arb_edges(),
+            drop_mask in proptest::collection::vec(proptest::bool::ANY, 0..25),
+        ) {
+            let mut edges: Vec<(TermId, TermId)> =
+                raw.iter().map(|&(c, p)| (t(c), t(p))).collect();
+            edges.retain({
+                let mut i = 0;
+                let mask = drop_mask;
+                move |_| {
+                    let keep = !mask.get(i).copied().unwrap_or(false);
+                    i += 1;
+                    keep
+                }
+            });
+            edges.extend(add.iter().map(|&(c, p)| (t(c), t(p))));
+            let d = IntervalDict::build(&edges, &[]);
+            let nodes: FxHashSet<TermId> =
+                edges.iter().flat_map(|&(c, p)| [c, p]).collect();
+            for &nd in &nodes {
+                let got: FxHashSet<TermId> = d.members(d.coverage(nd).unwrap()).collect();
+                prop_assert_eq!(got, reach(&edges, nd));
+            }
+        }
+    }
+}

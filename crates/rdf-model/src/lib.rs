@@ -43,6 +43,7 @@
 
 mod dictionary;
 mod graph;
+mod interval;
 mod term;
 mod triple;
 pub mod vocab;
@@ -50,6 +51,7 @@ mod worker;
 
 pub use dictionary::{Dictionary, TermId};
 pub use graph::{Graph, TripleBuckets};
+pub use interval::{IntervalDict, IntervalSet};
 pub use term::{Literal, Term};
 pub use triple::{Pattern, Triple};
 pub use vocab::Vocab;

@@ -299,6 +299,30 @@ impl Schema {
         out
     }
 
+    /// Builds the LiteMat hierarchy-interval sidecar for this schema: one
+    /// [`rdf_model::IntervalDict`] over the *direct* `subClassOf` and
+    /// `subPropertyOf` edges (the class and property components are
+    /// disjoint, so one numbering serves both), with every class or
+    /// property mentioned only in a domain/range constraint included as a
+    /// standalone node. Rebuilding this after a schema change is the
+    /// interval strategy's maintenance cost.
+    pub fn interval_dict(&self) -> rdf_model::IntervalDict {
+        let mut edges: Vec<(TermId, TermId)> = Vec::new();
+        for (&child, parents) in self
+            .direct_sub_class
+            .iter()
+            .chain(self.direct_sub_property.iter())
+        {
+            edges.extend(parents.iter().map(|&p| (child, p)));
+        }
+        let extra: Vec<TermId> = self
+            .classes()
+            .into_iter()
+            .chain(self.properties())
+            .collect();
+        rdf_model::IntervalDict::build(&edges, &extra)
+    }
+
     /// Entities whose closed entries differ between `self` (the old schema)
     /// and `new`: returns `(affected_classes, affected_properties)`.
     ///
@@ -498,6 +522,30 @@ mod tests {
         let props = s.properties();
         assert!(props.contains(&f.id("enrolled")));
         assert!(props.contains(&f.id("memberOf")));
+    }
+
+    #[test]
+    fn interval_dict_mirrors_closed_hierarchy() {
+        let mut f = Fixture::new();
+        let s = university(&mut f);
+        let d = s.interval_dict();
+        // Every class/property is encoded.
+        for c in s.classes().into_iter().chain(s.properties()) {
+            assert!(d.coverage(c).is_some(), "term missing from IntervalDict");
+        }
+        // coverage(C) = {C} ∪ strict subclasses, as sets of terms.
+        let person = f.id("Person");
+        let cov: rustc_hash::FxHashSet<TermId> = d.members(d.coverage(person).unwrap()).collect();
+        let mut expect = s.sub_classes(person).clone();
+        expect.insert(person);
+        assert_eq!(cov, expect);
+        // Same for a property hierarchy root.
+        let member_of = f.id("memberOf");
+        let cov: rustc_hash::FxHashSet<TermId> =
+            d.members(d.coverage(member_of).unwrap()).collect();
+        let mut expect = s.sub_properties(member_of).clone();
+        expect.insert(member_of);
+        assert_eq!(cov, expect);
     }
 
     #[test]

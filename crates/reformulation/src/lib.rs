@@ -58,8 +58,10 @@
 #![warn(missing_docs)]
 
 mod containment;
+mod interval;
 
 pub use containment::{homomorphism, minimize, prune_subsumed};
+pub use interval::reformulate_intervals;
 
 use rdf_model::{TermId, Vocab};
 use rdfs::Schema;
@@ -159,7 +161,7 @@ impl Options {
 }
 
 /// Checks that every pattern is in the supported reformulation dialect.
-fn check_dialect(bgp: &Bgp, vocab: &Vocab) -> Result<(), ReformulationError> {
+pub(crate) fn check_dialect(bgp: &Bgp, vocab: &Vocab) -> Result<(), ReformulationError> {
     for tp in &bgp.patterns {
         match tp.p {
             QTerm::Var(_) => return Err(ReformulationError::VariableProperty),

@@ -958,7 +958,15 @@ fn handle_query(req: &Request, shared: &Shared, cancel: &CancelToken) -> Vec<u8>
             return write_response(400, "Bad Request", "application/json", &[], &body);
         }
     };
-    match shared.reader.answer_sparql_cancel(sparql, cancel) {
+    // Optional per-query strategy override (`X-Webreason-Strategy:
+    // saturation | reformulation | interval | backward-chaining`). The
+    // snapshot decides whether it can serve the named strategy; a refusal
+    // surfaces as `AnswerError::StrategyUnsupported` below.
+    let strategy = req.header("x-webreason-strategy");
+    match shared
+        .reader
+        .answer_sparql_strategy_cancel(sparql, strategy, cancel)
+    {
         Ok((sols, stats, epoch)) => {
             let rows = {
                 let dict = shared.reader.dictionary();
@@ -996,6 +1004,11 @@ fn handle_query(req: &Request, shared: &Shared, cancel: &CancelToken) -> Vec<u8>
                 "query cancelled: deadline expired during evaluation",
             );
             write_response(504, "Gateway Timeout", "application/json", &[], &body)
+        }
+        Err(e @ AnswerError::StrategyUnsupported(_)) => {
+            reg.add("server.query.bad_strategy", 1);
+            let body = ErrorResponse::to_json("bad_strategy", &e.to_string());
+            write_response(400, "Bad Request", "application/json", &[], &body)
         }
         Err(e) => {
             reg.add("server.query.errors", 1);

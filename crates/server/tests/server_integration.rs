@@ -17,9 +17,17 @@ fn tmpdir(name: &str) -> PathBuf {
 }
 
 fn boot(name: &str, config: ServerConfig) -> Server {
+    boot_reasoning(
+        name,
+        config,
+        ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting),
+    )
+}
+
+fn boot_reasoning(name: &str, config: ServerConfig, reasoning: ReasoningConfig) -> Server {
     let store = DurableStore::create(
         tmpdir(name),
-        ReasoningConfig::Saturation(MaintenanceAlgorithm::Counting),
+        reasoning,
         NonZeroUsize::MIN,
         FsyncPolicy::Never,
     )
@@ -55,6 +63,15 @@ fn raw_round_trip(addr: SocketAddr, raw: &[u8]) -> (u16, String) {
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
     let raw = format!(
         "POST {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    raw_round_trip(addr, raw.as_bytes())
+}
+
+fn post_with_strategy(addr: SocketAddr, body: &str, strategy: &str) -> (u16, String) {
+    let raw = format!(
+        "POST /query HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\
+         X-Webreason-Strategy: {strategy}\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     raw_round_trip(addr, raw.as_bytes())
@@ -179,6 +196,45 @@ fn query_update_metrics_round_trip() {
 
     let store = server.shutdown();
     assert_eq!(store.stats().base_triples, 1, "schema triple remains");
+}
+
+#[test]
+fn strategy_header_selects_interval_and_rejects_unservable_names() {
+    let server = boot_reasoning("strategy-header", ephemeral(), ReasoningConfig::Interval);
+    let addr = server.local_addr();
+
+    let (status, text) = post(
+        addr,
+        "/update",
+        "insert <http://ex/Cat> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <http://ex/Mammal> .\n\
+         insert <http://ex/Tom> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <http://ex/Cat> .\n",
+    );
+    assert_eq!(status, 200, "{text}");
+
+    // The store's own configuration answers through interval rewriting.
+    let (status, text) = post(addr, "/query", COUNT_MAMMALS);
+    assert_eq!(status, 200, "{text}");
+    assert!(text.contains("<http://ex/Tom>"), "{text}");
+    assert!(text.contains("\"range_scans\""), "interval stats: {text}");
+
+    // Explicit per-query overrides: every rewriting strategy answers
+    // identically on the same snapshot.
+    for strategy in ["interval", "reformulation", "backward-chaining"] {
+        let (status, text) = post_with_strategy(addr, COUNT_MAMMALS, strategy);
+        assert_eq!(status, 200, "{strategy}: {text}");
+        assert!(text.contains("<http://ex/Tom>"), "{strategy}: {text}");
+    }
+
+    // Saturation needs a materialised G∞ this configuration never builds,
+    // and unknown names are refused outright — both as a clean 400.
+    for strategy in ["saturation", "bogus"] {
+        let (status, text) = post_with_strategy(addr, COUNT_MAMMALS, strategy);
+        assert_eq!(status, 400, "{strategy}: {text}");
+        assert!(text.contains("bad_strategy"), "{strategy}: {text}");
+    }
+    assert!(metric_value(addr, "webreason_server_query_bad_strategy_total") >= 2);
+
+    server.shutdown();
 }
 
 #[test]

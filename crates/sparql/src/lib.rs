@@ -43,6 +43,7 @@ pub mod dataflow;
 mod eval;
 mod parser;
 pub mod plan;
+mod range_eval;
 mod union_eval;
 
 pub use ast::{Aggregate, Bgp, Modifiers, OrderKey, QTerm, Query, TriplePattern, Variable};
@@ -52,6 +53,10 @@ pub use eval::{
     Solutions,
 };
 pub use parser::{parse_query, QueryParseError};
+pub use range_eval::{
+    evaluate_interval, try_evaluate_interval, try_evaluate_interval_cancel, IntervalQuery, RTerm,
+    RangeAtom, RangeBgp,
+};
 pub use union_eval::{
     evaluate_union, try_evaluate_union, try_evaluate_union_cancel, EvalStats, UnionEvalError,
 };

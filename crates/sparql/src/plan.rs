@@ -34,9 +34,9 @@ pub struct PlannedBgp {
 /// branches) should compute them once with [`DistinctCounts::of`] and
 /// reuse them via [`plan_bgp_with`].
 pub struct DistinctCounts {
-    subjects: f64,
-    properties: f64,
-    objects: f64,
+    pub(crate) subjects: f64,
+    pub(crate) properties: f64,
+    pub(crate) objects: f64,
 }
 
 impl DistinctCounts {

@@ -1,0 +1,768 @@
+//! Interval (LiteMat-style) evaluation of hierarchy queries.
+//!
+//! Reformulation turns "`?x` is a `C` *or any subclass*" into one union
+//! branch per subclass; [`crate::evaluate_union`] then has to trie-share
+//! hundreds of near-identical branches back together. With a
+//! [`rdf_model::IntervalDict`] sidecar the same semantic disjunction is a
+//! single **range-scan atom**: a triple-pattern position holding an
+//! interval set instead of a constant, matched either by enumerating the
+//! interval's members off the dense reverse array (one contiguous walk
+//! per run) or by filter-scanning a wildcard probe with an O(1)
+//! interval-containment test per triple. This module defines the
+//! range-atom query shape ([`IntervalQuery`]) and its evaluator.
+//!
+//! The rewriting that *produces* an [`IntervalQuery`] lives in the
+//! `reformulation` crate (it needs the schema); this module only needs
+//! the finished ranges, so a range position never binds a variable — it
+//! restricts which triples match, exactly like a constant would, but for
+//! a whole subtree at once.
+
+use crate::ast::{Query, Variable};
+use crate::eval::{passes_negation, Solutions};
+use crate::plan::DistinctCounts;
+use crate::union_eval::{EvalStats, UnionEvalError};
+use obs::CancelToken;
+use rdf_model::{Graph, IntervalDict, IntervalSet, Pattern, TermId, Triple, WorkerPanicked};
+use rustc_hash::FxHashSet;
+use smallvec::SmallVec;
+use std::fmt::Write as _;
+use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One projected answer row.
+type Row = Vec<TermId>;
+
+/// A position of a range-scan atom: a variable, a constant, or a
+/// hierarchy interval (an index into the owning query's range table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RTerm {
+    /// A named variable of the original query.
+    Var(Variable),
+    /// A dictionary-encoded constant.
+    Const(TermId),
+    /// An interval set: matches any term whose interval id falls inside.
+    /// Never binds a variable.
+    Range(u16),
+}
+
+impl RTerm {
+    /// The range-table index, if this position holds a range.
+    pub fn as_range(self) -> Option<u16> {
+        match self {
+            RTerm::Range(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// One range-scan triple pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RangeAtom {
+    /// Subject position.
+    pub s: RTerm,
+    /// Property position.
+    pub p: RTerm,
+    /// Object position.
+    pub o: RTerm,
+}
+
+impl RangeAtom {
+    /// The three positions in s/p/o order.
+    pub fn positions(&self) -> [RTerm; 3] {
+        [self.s, self.p, self.o]
+    }
+
+    /// The variables of this atom, possibly repeated.
+    pub fn variables(&self) -> SmallVec<[Variable; 3]> {
+        self.positions()
+            .iter()
+            .filter_map(|t| match t {
+                RTerm::Var(v) => Some(*v),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Whether any position holds a range.
+    pub fn has_range(&self) -> bool {
+        self.positions()
+            .iter()
+            .any(|t| matches!(t, RTerm::Range(_)))
+    }
+}
+
+/// One conjunctive branch of range atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeBgp {
+    /// The conjuncts.
+    pub atoms: Vec<RangeAtom>,
+}
+
+/// An interval-rewritten query: the original query's projection and
+/// modifiers, a (small) union of range-atom branches, the interval sets
+/// they reference, and the [`IntervalDict`] that gives the sets meaning.
+#[derive(Debug, Clone)]
+pub struct IntervalQuery {
+    /// The source query (projection, variable names, `DISTINCT`, filters,
+    /// negation, modifiers — all carried through like `reformulate`).
+    pub query: Query,
+    /// The union of range-atom branches.
+    pub branches: Vec<RangeBgp>,
+    /// The interval sets referenced by [`RTerm::Range`] indices.
+    pub ranges: Vec<IntervalSet>,
+    /// How many branches the classical union reformulation would hold.
+    pub union_branches: usize,
+    /// `union_branches` minus `branches.len()`: hierarchy unions replaced
+    /// by range scans.
+    pub branches_collapsed: usize,
+    /// The interval encoding the ranges index into.
+    pub dict: Arc<IntervalDict>,
+}
+
+impl IntervalQuery {
+    /// Renders the planned shape of every branch — the golden-snapshot
+    /// format of `tests/golden/planner_interval.txt`. Deterministic for a
+    /// fixed graph and query.
+    pub fn explain(&self, g: &Graph, dict: &rdf_model::Dictionary) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} union branches -> {} interval branches ({} collapsed, {} ranges)",
+            self.union_branches,
+            self.branches.len(),
+            self.branches_collapsed,
+            self.ranges.len(),
+        );
+        let dc = DistinctCounts::of(g);
+        for (bi, branch) in self.branches.iter().enumerate() {
+            let _ = writeln!(out, "branch {bi}:");
+            let order = plan_branch(g, &dc, self, &branch.atoms);
+            for (step, &i) in order.iter().enumerate() {
+                let atom = &branch.atoms[i];
+                let est = estimate_atom(g, &dc, self, atom, &FxHashSet::default());
+                let pos = |t: RTerm| -> String {
+                    match t {
+                        RTerm::Var(v) => format!("?{}", self.query.var_name(v)),
+                        RTerm::Const(id) => dict
+                            .decode(id)
+                            .map_or_else(|| format!("#{id}"), |tm| tm.to_string()),
+                        RTerm::Range(r) => {
+                            let set = &self.ranges[r as usize];
+                            format!("[{} terms; {} runs]", set.len(), set.runs().len())
+                        }
+                    }
+                };
+                let _ = writeln!(
+                    out,
+                    "  {}. {} {} {}  est={est:.4}",
+                    step + 1,
+                    pos(atom.s),
+                    pos(atom.p),
+                    pos(atom.o),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Estimated matches of a range atom: the exact index count of the
+/// constant skeleton (ranges count as wildcards), discounted per
+/// bound-variable position like the union planner, and scaled by the
+/// fraction of the position's distinct values a range admits.
+fn estimate_atom(
+    g: &Graph,
+    dc: &DistinctCounts,
+    iq: &IntervalQuery,
+    atom: &RangeAtom,
+    bound: &FxHashSet<Variable>,
+) -> f64 {
+    let as_const = |t: RTerm| match t {
+        RTerm::Const(c) => Some(c),
+        _ => None,
+    };
+    let skeleton = Pattern::new(as_const(atom.s), as_const(atom.p), as_const(atom.o));
+    let mut est = g.count(&skeleton) as f64;
+    for (t, v_count) in [
+        (atom.s, dc.subjects),
+        (atom.p, dc.properties),
+        (atom.o, dc.objects),
+    ] {
+        match t {
+            RTerm::Var(v) if bound.contains(&v) => est /= v_count,
+            RTerm::Range(r) => {
+                let fraction = iq.ranges[r as usize].len() as f64 / v_count;
+                est *= fraction.min(1.0);
+            }
+            _ => {}
+        }
+    }
+    est
+}
+
+/// Greedy join order for one branch, mirroring `plan_bgp_with`: prefer
+/// atoms connected to the bound variables (or ground / range-only atoms),
+/// cheapest estimate first.
+fn plan_branch(
+    g: &Graph,
+    dc: &DistinctCounts,
+    iq: &IntervalQuery,
+    atoms: &[RangeAtom],
+) -> Vec<usize> {
+    let n = atoms.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut bound: FxHashSet<Variable> = FxHashSet::default();
+    while !remaining.is_empty() {
+        let mut candidates: Vec<usize> = remaining
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let vars = atoms[i].variables();
+                vars.is_empty() || vars.iter().any(|v| bound.contains(v)) || bound.is_empty()
+            })
+            .collect();
+        if candidates.is_empty() {
+            candidates.clone_from(&remaining);
+        }
+        let (best, _) = candidates
+            .iter()
+            .map(|&i| (i, estimate_atom(g, dc, iq, &atoms[i], &bound)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("candidates nonempty");
+        remaining.retain(|&i| i != best);
+        for v in atoms[best].variables() {
+            bound.insert(v);
+        }
+        order.push(best);
+    }
+    order
+}
+
+/// Binds the variables of `atom` against a matched triple; constant and
+/// range positions were already enforced by the probe and its containment
+/// checks. Returns `false` on a repeated-variable clash; `touched` lists
+/// the variables to unbind afterwards.
+fn bind_range(
+    atom: &RangeAtom,
+    t: &Triple,
+    binding: &mut [Option<TermId>],
+    touched: &mut SmallVec<[Variable; 3]>,
+) -> bool {
+    for (rt, value) in [(atom.s, t.s), (atom.p, t.p), (atom.o, t.o)] {
+        if let RTerm::Var(v) = rt {
+            match binding[v.index()] {
+                Some(bound) => {
+                    if bound != value {
+                        return false;
+                    }
+                }
+                None => {
+                    binding[v.index()] = Some(value);
+                    touched.push(v);
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Index-nested-loop evaluation of one branch's atoms in planned order.
+///
+/// At each range atom the probe mode is chosen from live cardinalities:
+/// **member-enumerate** walks the interval's reverse array and probes once
+/// per member (cheap for small subtrees against big scans), while
+/// **filter-scan** probes the wildcard pattern once and keeps only triples
+/// whose term falls inside the interval (cheap for big subtrees). An atom
+/// with several range positions drives the smallest one and filter-checks
+/// the rest.
+fn eval_rec(
+    g: &Graph,
+    iq: &IntervalQuery,
+    atoms: &[RangeAtom],
+    idx: usize,
+    binding: &mut Vec<Option<TermId>>,
+    emit: &mut dyn FnMut(&mut Vec<Option<TermId>>),
+) {
+    if idx == atoms.len() {
+        emit(binding);
+        return;
+    }
+    let atom = &atoms[idx];
+    let mut probe = [None; 3];
+    let mut range_positions: SmallVec<[(usize, &IntervalSet); 2]> = SmallVec::new();
+    for (i, rt) in atom.positions().into_iter().enumerate() {
+        match rt {
+            RTerm::Var(v) => probe[i] = binding[v.index()],
+            RTerm::Const(c) => probe[i] = Some(c),
+            RTerm::Range(r) => range_positions.push((i, &iq.ranges[r as usize])),
+        }
+    }
+    let pattern = |probe: &[Option<TermId>; 3]| Pattern::new(probe[0], probe[1], probe[2]);
+
+    // Pick the driving range (smallest member count) if enumerating it
+    // beats the wildcard scan.
+    let driver = range_positions
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, (_, set))| set.len())
+        .map(|(k, _)| k);
+    let enumerate = driver.is_some_and(|k| {
+        let wildcard = g.count(&pattern(&probe));
+        range_positions[k].1.len() < wildcard
+    });
+
+    let mut step = |t: &Triple, binding: &mut Vec<Option<TermId>>| {
+        let mut touched: SmallVec<[Variable; 3]> = SmallVec::new();
+        if bind_range(atom, t, binding, &mut touched) {
+            eval_rec(g, iq, atoms, idx + 1, binding, emit);
+        }
+        for v in touched {
+            binding[v.index()] = None;
+        }
+    };
+
+    if enumerate {
+        let k = driver.expect("enumerate implies a driver");
+        let (pos, set) = range_positions[k];
+        let checks: SmallVec<[(usize, &IntervalSet); 2]> = range_positions
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != k)
+            .map(|(_, &c)| c)
+            .collect();
+        let mut probe = probe;
+        for member in iq.dict.members(set) {
+            probe[pos] = Some(member);
+            g.for_each_match(&pattern(&probe), |t| {
+                let values = [t.s, t.p, t.o];
+                if checks
+                    .iter()
+                    .all(|&(j, set)| iq.dict.contains(set, values[j]))
+                {
+                    step(&t, binding);
+                }
+            });
+        }
+    } else {
+        g.for_each_match(&pattern(&probe), |t| {
+            let values = [t.s, t.p, t.o];
+            if range_positions
+                .iter()
+                .all(|&(j, set)| iq.dict.contains(set, values[j]))
+            {
+                step(&t, binding);
+            }
+        });
+    }
+}
+
+/// Evaluates one worker's chunk of planned branches, deduplicating its
+/// own rows under `DISTINCT`. `None` means the cancel token tripped.
+fn run_chunk(
+    g: &Graph,
+    iq: &IntervalQuery,
+    branches: &[Vec<RangeAtom>],
+    cancel: &CancelToken,
+) -> Option<Vec<Row>> {
+    let q = &iq.query;
+    let mut rows: Vec<Row> = Vec::new();
+    let mut seen: FxHashSet<Row> = FxHashSet::default();
+    let mut binding: Vec<Option<TermId>> = vec![None; q.var_names.len()];
+    for atoms in branches {
+        if cancel.is_cancelled() {
+            return None;
+        }
+        let mut emit = |binding: &mut Vec<Option<TermId>>| {
+            if !passes_negation(g, q, binding) {
+                return;
+            }
+            let row: Row = q
+                .projection
+                .iter()
+                .map(|v| binding[v.index()].expect("projected variable bound"))
+                .collect();
+            if q.distinct {
+                if seen.insert(row.clone()) {
+                    rows.push(row);
+                }
+            } else {
+                rows.push(row);
+            }
+        };
+        eval_rec(g, iq, atoms, 0, &mut binding, &mut emit);
+    }
+    Some(rows)
+}
+
+/// Mirrors a finished interval evaluation's stats into the registry under
+/// the `sparql.range.*` names.
+fn publish_stats(reg: &obs::Registry, stats: &EvalStats) {
+    if !reg.is_enabled() {
+        return;
+    }
+    reg.add("sparql.range.queries", 1);
+    reg.add("sparql.range.branches_total", stats.branches_total as u64);
+    reg.add("sparql.range.branches_pruned", stats.branches_pruned as u64);
+    reg.add("sparql.range.scans", stats.range_scans);
+    reg.add(
+        "sparql.range.branches_collapsed",
+        stats.branches_collapsed as u64,
+    );
+    reg.add("sparql.range.rows", stats.rows as u64);
+    reg.add("sparql.range.workers", stats.threads as u64);
+}
+
+/// Evaluates an interval query with up to `threads` workers, falling back
+/// to a single-threaded re-run if a worker panics (mirrors
+/// [`crate::evaluate_union`]).
+pub fn evaluate_interval(
+    g: &Graph,
+    iq: &IntervalQuery,
+    threads: NonZeroUsize,
+) -> (Solutions, EvalStats) {
+    match try_evaluate_interval(g, iq, threads) {
+        Ok(result) => result,
+        Err(_) => try_evaluate_interval(g, iq, NonZeroUsize::MIN)
+            .expect("single-threaded interval evaluation spawns no workers"),
+    }
+}
+
+/// [`evaluate_interval`] surfacing a worker panic instead of falling back.
+pub fn try_evaluate_interval(
+    g: &Graph,
+    iq: &IntervalQuery,
+    threads: NonZeroUsize,
+) -> Result<(Solutions, EvalStats), WorkerPanicked> {
+    match try_evaluate_interval_cancel(g, iq, threads, &CancelToken::none()) {
+        Ok(r) => Ok(r),
+        Err(UnionEvalError::Worker(w)) => Err(w),
+        Err(UnionEvalError::Cancelled) => {
+            unreachable!("a CancelToken::none() evaluation never cancels")
+        }
+    }
+}
+
+/// [`try_evaluate_interval`] with cooperative cancellation, polled at
+/// branch boundaries inside every worker. Returns the same answer set as
+/// evaluating the classical union reformulation (and the same bag for the
+/// deduplicated branch lists the interval rewriter emits).
+pub fn try_evaluate_interval_cancel(
+    g: &Graph,
+    iq: &IntervalQuery,
+    threads: NonZeroUsize,
+    cancel: &CancelToken,
+) -> Result<(Solutions, EvalStats), UnionEvalError> {
+    let reg = obs::global();
+    let _total_span = reg.span("sparql.range.total");
+    let eval_start = Instant::now();
+    let q = &iq.query;
+    let mut stats = EvalStats {
+        branches_total: iq.branches.len(),
+        branches_collapsed: iq.branches_collapsed,
+        ..EvalStats::default()
+    };
+
+    // Plan every branch once (one distinct-counts pass for the union).
+    let dc = DistinctCounts::of(g);
+    let mut branches: Vec<Vec<RangeAtom>> = Vec::with_capacity(iq.branches.len());
+    for branch in &iq.branches {
+        if cancel.is_cancelled() {
+            reg.add("sparql.range.cancelled", 1);
+            return Err(UnionEvalError::Cancelled);
+        }
+        let vars: FxHashSet<Variable> = branch.atoms.iter().flat_map(|a| a.variables()).collect();
+        if !q.projection.iter().all(|v| vars.contains(v)) {
+            stats.branches_pruned += 1;
+            continue;
+        }
+        let order = plan_branch(g, &dc, iq, &branch.atoms);
+        let seq: Vec<RangeAtom> = order.iter().map(|&i| branch.atoms[i]).collect();
+        stats.patterns_total += seq.len();
+        stats.range_scans += seq.iter().filter(|a| a.has_range()).count() as u64;
+        branches.push(seq);
+    }
+    branches.sort();
+
+    let workers = threads.get().min(branches.len()).max(1);
+    stats.threads = workers;
+
+    let maybe_outputs: Vec<Option<Vec<Row>>> = if workers <= 1 {
+        vec![run_chunk(g, iq, &branches, cancel)]
+    } else {
+        let per = branches.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = branches
+                .chunks(per)
+                .map(|chunk| {
+                    s.spawn(move || {
+                        catch_unwind(AssertUnwindSafe(|| run_chunk(g, iq, chunk, cancel))).map_err(
+                            |payload| WorkerPanicked::from_payload("sparql.range.worker", payload),
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("caught-panic worker never unwinds"))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .map_err(UnionEvalError::Worker)?
+    };
+    let outputs: Vec<Vec<Row>> = match maybe_outputs.into_iter().collect() {
+        Some(outputs) => outputs,
+        None => {
+            reg.add("sparql.range.cancelled", 1);
+            return Err(UnionEvalError::Cancelled);
+        }
+    };
+    stats.eval_us = eval_start.elapsed().as_micros() as u64;
+
+    // Merge: workers deduplicated their own rows, so `DISTINCT` only has
+    // to resolve duplicates across workers.
+    let merge_start = Instant::now();
+    let rows: Vec<Row> = if q.distinct && outputs.len() > 1 {
+        let mut seen: FxHashSet<Row> = FxHashSet::default();
+        let mut out = Vec::new();
+        for rows in outputs {
+            for row in rows {
+                if seen.insert(row.clone()) {
+                    out.push(row);
+                }
+            }
+        }
+        out
+    } else {
+        outputs.into_iter().flatten().collect()
+    };
+    stats.merge_us = merge_start.elapsed().as_micros() as u64;
+    stats.rows = rows.len();
+    publish_stats(reg, &stats);
+
+    let var_names = q
+        .projection
+        .iter()
+        .map(|&v| q.var_name(v).to_owned())
+        .collect();
+    Ok((Solutions { var_names, rows }, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Bgp, QTerm, TriplePattern};
+    use crate::eval::evaluate;
+    use rdf_model::Dictionary;
+
+    /// A small zoo: `Cat ⊑ Mammal ⊑ Animal`, typed individuals, plus a
+    /// `hasPet` edge. The IntervalDict covers the class hierarchy.
+    struct Fixture {
+        dict: Dictionary,
+        g: Graph,
+        rdf_type: TermId,
+        animal: TermId,
+        mammal: TermId,
+        cat: TermId,
+        idict: Arc<IntervalDict>,
+    }
+
+    fn fixture() -> Fixture {
+        let mut dict = Dictionary::new();
+        let mut g = Graph::new();
+        let rdf_type = dict.encode_iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type");
+        let animal = dict.encode_iri("http://ex/Animal");
+        let mammal = dict.encode_iri("http://ex/Mammal");
+        let cat = dict.encode_iri("http://ex/Cat");
+        for (name, class) in [("tom", cat), ("rex", mammal), ("nemo", animal)] {
+            let s = dict.encode_iri(&format!("http://ex/{name}"));
+            g.insert(Triple::new(s, rdf_type, class));
+        }
+        let idict = Arc::new(IntervalDict::build(&[(cat, mammal), (mammal, animal)], &[]));
+        Fixture {
+            dict,
+            g,
+            rdf_type,
+            animal,
+            mammal,
+            cat,
+            idict,
+        }
+    }
+
+    /// `SELECT ?x WHERE { ?x rdf:type <range over class ∪ subclasses> }`
+    fn type_query(f: &Fixture, class: TermId) -> IntervalQuery {
+        let cov = f.idict.coverage(class).unwrap().clone();
+        let union_branches = cov.len();
+        let query = Query::conjunctive(
+            vec!["x".into()],
+            vec![Variable(0)],
+            true,
+            Bgp::new(vec![TriplePattern::new(
+                QTerm::Var(Variable(0)),
+                QTerm::Const(f.rdf_type),
+                QTerm::Const(class),
+            )]),
+        );
+        IntervalQuery {
+            query,
+            branches: vec![RangeBgp {
+                atoms: vec![RangeAtom {
+                    s: RTerm::Var(Variable(0)),
+                    p: RTerm::Const(f.rdf_type),
+                    o: RTerm::Range(0),
+                }],
+            }],
+            ranges: vec![cov],
+            union_branches,
+            branches_collapsed: union_branches - 1,
+            dict: Arc::clone(&f.idict),
+        }
+    }
+
+    #[test]
+    fn range_atom_matches_whole_subtree() {
+        let f = fixture();
+        for (class, expect) in [(f.animal, 3), (f.mammal, 2), (f.cat, 1)] {
+            let iq = type_query(&f, class);
+            for t in [1usize, 2, 4] {
+                let (sols, stats) = evaluate_interval(&f.g, &iq, NonZeroUsize::new(t).unwrap());
+                assert_eq!(sols.len(), expect, "class coverage at {t} threads");
+                assert_eq!(stats.range_scans, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_union_expansion() {
+        let f = fixture();
+        let iq = type_query(&f, f.animal);
+        // Expand the range by hand into the classical union.
+        let bgps: Vec<Bgp> = [f.animal, f.mammal, f.cat]
+            .iter()
+            .map(|&c| {
+                Bgp::new(vec![TriplePattern::new(
+                    QTerm::Var(Variable(0)),
+                    QTerm::Const(f.rdf_type),
+                    QTerm::Const(c),
+                )])
+            })
+            .collect();
+        let union = iq.query.with_bgps(bgps);
+        let legacy = evaluate(&f.g, &union);
+        let (got, stats) = evaluate_interval(&f.g, &iq, NonZeroUsize::MIN);
+        assert_eq!(got.sorted_rows(), legacy.sorted_rows());
+        assert_eq!(stats.branches_total, 1);
+        assert_eq!(stats.branches_collapsed, 2);
+    }
+
+    #[test]
+    fn filter_scan_and_enumerate_agree() {
+        // Join through a range: ?x hasPet ?y . ?y rdf:type [Animal..] —
+        // the driving decision differs with graph shape but the answers
+        // must not.
+        let mut f = fixture();
+        let has_pet = f.dict.encode_iri("http://ex/hasPet");
+        let anne = f.dict.encode_iri("http://ex/anne");
+        let tom = f.dict.get_iri_id("http://ex/tom").unwrap();
+        f.g.insert(Triple::new(anne, has_pet, tom));
+        let cov = f.idict.coverage(f.animal).unwrap().clone();
+        let query = Query::conjunctive(
+            vec!["x".into(), "y".into()],
+            vec![Variable(0)],
+            true,
+            Bgp::new(vec![
+                TriplePattern::new(
+                    QTerm::Var(Variable(0)),
+                    QTerm::Const(has_pet),
+                    QTerm::Var(Variable(1)),
+                ),
+                TriplePattern::new(
+                    QTerm::Var(Variable(1)),
+                    QTerm::Const(f.rdf_type),
+                    QTerm::Const(f.animal),
+                ),
+            ]),
+        );
+        let iq = IntervalQuery {
+            query,
+            branches: vec![RangeBgp {
+                atoms: vec![
+                    RangeAtom {
+                        s: RTerm::Var(Variable(0)),
+                        p: RTerm::Const(has_pet),
+                        o: RTerm::Var(Variable(1)),
+                    },
+                    RangeAtom {
+                        s: RTerm::Var(Variable(1)),
+                        p: RTerm::Const(f.rdf_type),
+                        o: RTerm::Range(0),
+                    },
+                ],
+            }],
+            ranges: vec![cov],
+            union_branches: 3,
+            branches_collapsed: 2,
+            dict: Arc::clone(&f.idict),
+        };
+        let (sols, _) = evaluate_interval(&f.g, &iq, NonZeroUsize::MIN);
+        assert_eq!(sols.len(), 1, "anne's pet tom is an animal");
+    }
+
+    #[test]
+    fn range_in_property_position() {
+        // ?x [p ∪ subproperties] ?y as a single range atom.
+        let mut dict = Dictionary::new();
+        let mut g = Graph::new();
+        let knows = dict.encode_iri("http://ex/knows");
+        let friend = dict.encode_iri("http://ex/hasFriend");
+        let other = dict.encode_iri("http://ex/unrelated");
+        let a = dict.encode_iri("http://ex/a");
+        let b = dict.encode_iri("http://ex/b");
+        let c = dict.encode_iri("http://ex/c");
+        g.insert(Triple::new(a, friend, b));
+        g.insert(Triple::new(b, knows, c));
+        g.insert(Triple::new(a, other, c));
+        let idict = Arc::new(IntervalDict::build(&[(friend, knows)], &[]));
+        let cov = idict.coverage(knows).unwrap().clone();
+        let query = Query::conjunctive(
+            vec!["x".into(), "y".into()],
+            vec![Variable(0), Variable(1)],
+            true,
+            Bgp::new(vec![TriplePattern::new(
+                QTerm::Var(Variable(0)),
+                QTerm::Const(knows),
+                QTerm::Var(Variable(1)),
+            )]),
+        );
+        let iq = IntervalQuery {
+            query,
+            branches: vec![RangeBgp {
+                atoms: vec![RangeAtom {
+                    s: RTerm::Var(Variable(0)),
+                    p: RTerm::Range(0),
+                    o: RTerm::Var(Variable(1)),
+                }],
+            }],
+            ranges: vec![cov],
+            union_branches: 2,
+            branches_collapsed: 1,
+            dict: idict,
+        };
+        let (sols, _) = evaluate_interval(&g, &iq, NonZeroUsize::MIN);
+        assert_eq!(sols.len(), 2, "knows ∪ hasFriend edges, not `unrelated`");
+    }
+
+    #[test]
+    fn explain_renders_ranges() {
+        let f = fixture();
+        let iq = type_query(&f, f.animal);
+        let text = iq.explain(&f.g, &f.dict);
+        assert!(
+            text.contains("3 union branches -> 1 interval branches"),
+            "{text}"
+        );
+        assert!(text.contains("[3 terms; 1 runs]"), "{text}");
+    }
+}

@@ -109,6 +109,13 @@ pub struct EvalStats {
     pub merge_us: u64,
     /// Answer rows produced (after `DISTINCT`, before `finalize`).
     pub rows: usize,
+    /// Range-scan atoms evaluated (interval strategy only; a range atom
+    /// probes one hierarchy interval instead of one union branch per
+    /// member).
+    pub range_scans: u64,
+    /// Union branches the interval rewriting collapsed into range scans
+    /// (interval strategy only): `q_ref` branches minus interval branches.
+    pub branches_collapsed: usize,
 }
 
 impl EvalStats {
@@ -119,7 +126,7 @@ impl EvalStats {
 
     /// One-line human-readable rendering for CLI / bench output.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} branches ({} pruned, {} shared ≥1 prefix, {} scans saved), \
              scan cache {} hits / {} misses, {} worker(s), \
              eval {}µs + merge {}µs",
@@ -132,7 +139,14 @@ impl EvalStats {
             self.threads,
             self.eval_us,
             self.merge_us,
-        )
+        );
+        if self.range_scans > 0 || self.branches_collapsed > 0 {
+            line.push_str(&format!(
+                ", {} range scans ({} union branches collapsed)",
+                self.range_scans, self.branches_collapsed,
+            ));
+        }
+        line
     }
 }
 

@@ -97,6 +97,7 @@ fn main() {
             match advice.recommendation {
                 Recommendation::Saturation => "SATURATION",
                 Recommendation::Reformulation => "REFORMULATION",
+                Recommendation::Interval => "INTERVAL",
             }
         );
     }

@@ -4,20 +4,24 @@
 //! backbone of the paper's performance comparison (the techniques compute
 //! the *same* answers at different costs).
 //!
-//! The differential half of the file locks the union-aware evaluator to
-//! that contract on *random* schemas (cyclic ones included), graphs
-//! (empty ones included) and queries: `q_ref(G)` under
-//! [`sparql::evaluate_union`] at 1, 2 and 4 threads must equal `q(G∞)`
-//! and the legacy per-branch evaluator — set-equal under `DISTINCT`,
-//! bag-equal otherwise. `WEBREASON_PROPTEST_CASES` scales the case count
-//! (CI pins it for reproducibility; generation is already deterministic
-//! per test name and case index).
+//! The differential half of the file locks the union-aware evaluator AND
+//! the interval (LiteMat-style) evaluator to that contract on *random*
+//! schemas (cyclic and multi-parent DAGs included), graphs (empty ones
+//! included) and queries: `q_ref(G)` under [`sparql::evaluate_union`] and
+//! `q_int(G)` under [`sparql::evaluate_interval`] at 1, 2 and 4 threads
+//! must equal `q(G∞)` — set-equal under `DISTINCT`; under bag semantics
+//! both union evaluators must match, and the interval evaluator's
+//! multiset must be thread-count invariant (its deduplicated branch list
+//! makes raw-union multiplicity parity intentionally out of scope).
+//! `WEBREASON_PROPTEST_CASES` scales the case count (CI pins it for
+//! reproducibility; generation is already deterministic per test name and
+//! case index).
 
 use proptest::prelude::*;
 use rdf_model::{Dictionary, Graph, Triple, Vocab};
 use rdfs::saturate;
 use rustc_hash::FxHashSet;
-use sparql::{evaluate, evaluate_union, parse_query};
+use sparql::{evaluate, evaluate_interval, evaluate_union, parse_query};
 use std::num::NonZeroUsize;
 use webreason_core::{ReasoningConfig, Store};
 use workload::lubm::{generate, queries, LubmConfig};
@@ -236,7 +240,8 @@ fn env_cases(default: u32) -> u32 {
 const DIFF_THREADS: [usize; 3] = [1, 2, 4];
 
 /// The differential check for one query text over one scenario graph:
-/// reformulate, then compare every evaluation route.
+/// reformulate (union and interval), then compare every evaluation route —
+/// the three-strategy oracle `q_int(G) = q_ref(G) = q(G∞)`.
 fn assert_routes_agree(
     dict: &mut Dictionary,
     vocab: &Vocab,
@@ -248,6 +253,11 @@ fn assert_routes_agree(
     let schema = rdfs::Schema::extract(g, vocab);
     let r =
         reformulation::reformulate(&q, &schema, vocab).map_err(|e| format!("{query_text}: {e}"))?;
+    // The interval rewriter accepts exactly the reformulation dialect:
+    // whenever `reformulate` succeeds, so must `reformulate_intervals`.
+    let idict = std::sync::Arc::new(schema.interval_dict());
+    let iq = reformulation::reformulate_intervals(&q, &schema, vocab, idict)
+        .map_err(|e| format!("{query_text}: interval rewrite refused: {e}"))?;
 
     // Answer-set semantics: q(G∞) is the ground truth.
     let reference = evaluate(sat_graph, &q).as_set();
@@ -263,6 +273,17 @@ fn assert_routes_agree(
         if stats.rows != sols.len() {
             return Err(format!("stats.rows mismatch ({t} threads) on {query_text}"));
         }
+        let (isols, istats) = evaluate_interval(g, &iq, NonZeroUsize::new(t).unwrap());
+        if isols.as_set() != reference {
+            return Err(format!(
+                "interval eval ({t} threads) != q(G∞) on {query_text}"
+            ));
+        }
+        if istats.rows != isols.len() {
+            return Err(format!(
+                "interval stats.rows mismatch ({t} threads) on {query_text}"
+            ));
+        }
     }
 
     // Bag semantics: both evaluators of q_ref must agree on multiplicities.
@@ -274,6 +295,24 @@ fn assert_routes_agree(
         if sols.sorted_rows() != legacy_bag {
             return Err(format!(
                 "union eval bag ({t} threads) != legacy bag on {query_text}"
+            ));
+        }
+    }
+    // Interval bag semantics: the rewriter canonically deduplicates its
+    // branch list, so multiplicities can legitimately differ from the raw
+    // union's — the contract is that the worker split stays invisible:
+    // every thread count returns the same multiset as one thread.
+    let mut ibag = iq.clone();
+    ibag.query.distinct = false;
+    let ibag_reference = {
+        let (sols, _) = evaluate_interval(g, &ibag, NonZeroUsize::MIN);
+        sols.sorted_rows()
+    };
+    for t in DIFF_THREADS {
+        let (sols, _) = evaluate_interval(g, &ibag, NonZeroUsize::new(t).unwrap());
+        if sols.sorted_rows() != ibag_reference {
+            return Err(format!(
+                "interval bag ({t} threads) != single-threaded interval bag on {query_text}"
             ));
         }
     }
